@@ -1,0 +1,73 @@
+//! A1 — ablation: exact ILP versus the list heuristic across random
+//! layered task-graph families.
+//!
+//! Quantifies how often (and by how much) the list partitioner's eager
+//! packing loses latency relative to the proven optimum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparcs_core::delay::partition_delays;
+use sparcs_core::list::partition_list;
+use sparcs_core::{IlpPartitioner, PartitionOptions};
+use sparcs_dfg::gen::{self, LayeredConfig};
+use sparcs_dfg::Resources;
+use sparcs_estimate::Architecture;
+use std::hint::black_box;
+
+fn arch(clbs: u64) -> Architecture {
+    let mut a = Architecture::xc4044_wildforce();
+    a.resources = Resources::clbs(clbs);
+    a
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = LayeredConfig {
+        layers: 3,
+        min_width: 2,
+        max_width: 3,
+        ..LayeredConfig::default()
+    };
+    let dev = arch(700);
+    let mut wins = 0u32;
+    let mut total_gap = 0.0f64;
+    let mut n = 0u32;
+    for seed in 0..12 {
+        let g = gen::layered(&cfg, seed);
+        let Ok(list) = partition_list(&g, &dev) else {
+            continue;
+        };
+        let Ok(ilp) = IlpPartitioner::new(dev.clone(), PartitionOptions::default()).partition(&g)
+        else {
+            continue;
+        };
+        let list_delays = partition_delays(&g, &list).expect("DAG");
+        let list_latency =
+            list.partition_count() as u64 * dev.reconfig_time_ns + list_delays.iter().sum::<u64>();
+        assert!(ilp.latency_ns <= list_latency, "seed {seed}: ILP is exact");
+        n += 1;
+        if ilp.latency_ns < list_latency {
+            wins += 1;
+            total_gap += (list_latency - ilp.latency_ns) as f64 / list_latency as f64 * 100.0;
+        }
+    }
+    println!(
+        "[A1] ILP strictly better on {wins}/{n} random graphs, mean gap {:.2}% when it wins",
+        if wins > 0 { total_gap / f64::from(wins) } else { 0.0 }
+    );
+
+    let g = gen::layered(&cfg, 3);
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("ilp_partition_random_graph", |b| {
+        b.iter(|| {
+            IlpPartitioner::new(dev.clone(), PartitionOptions::default())
+                .partition(black_box(&g))
+        })
+    });
+    group.bench_function("list_partition_random_graph", |b| {
+        b.iter(|| partition_list(black_box(&g), black_box(&dev)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! A3 — ablation: edge-based versus net-based memory accounting.
+//!
+//! The paper's Equation 3 counts bytes per edge; its §4 accounting counts
+//! distinct values. On fan-out-heavy graphs (like the DCT, where every T1
+//! output feeds four T2 tasks) the edge model overestimates boundary traffic
+//! by the fan-out factor, which can force unnecessary partitions when memory
+//! is tight.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparcs_bench::experiment;
+use sparcs_core::memory::boundary_words;
+use sparcs_core::partitioning::MemoryMode;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = experiment();
+    let g = &exp.dct.graph;
+    let part = &exp.design.partitioning;
+    let net = boundary_words(g, part, MemoryMode::Net);
+    let edge = boundary_words(g, part, MemoryMode::Edge);
+    println!("[A3] DCT boundary words  net-mode: {net:?} (paper's §4 accounting)");
+    println!("[A3] DCT boundary words edge-mode: {edge:?} (literal Eq. 3)");
+    // Boundary 1: 16 Y values, each feeding 4 T2s → edge counts 8 rows' worth
+    // of duplicates.
+    assert_eq!(net[0], 16);
+    assert!(edge[0] > net[0], "fan-out inflates the edge model");
+
+    c.bench_function("ablation/boundary_words_net", |b| {
+        b.iter(|| boundary_words(black_box(g), black_box(part), MemoryMode::Net))
+    });
+    c.bench_function("ablation/boundary_words_edge", |b| {
+        b.iter(|| boundary_words(black_box(g), black_box(part), MemoryMode::Edge))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

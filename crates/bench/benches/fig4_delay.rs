@@ -1,0 +1,51 @@
+//! E1 — Figure 4: partition-delay estimation.
+//!
+//! Reproduces the worked example (partition delays 400 ns and 300 ns from
+//! path delays 350/400/150 and 300) and measures the path-max delay DP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparcs_core::delay::partition_delays;
+use sparcs_core::partitioning::{PartitionId, Partitioning};
+use sparcs_dfg::gen;
+use std::hint::black_box;
+
+fn fig4_partitioning() -> (sparcs_dfg::TaskGraph, Partitioning) {
+    let g = gen::fig4_example();
+    let assign: Vec<PartitionId> = (0..7).map(|i| PartitionId(u32::from(i >= 5))).collect();
+    (g, Partitioning::new(assign))
+}
+
+fn bench(c: &mut Criterion) {
+    let (g, part) = fig4_partitioning();
+    let delays = partition_delays(&g, &part).expect("fig4 is a DAG");
+    println!("[fig4] paper: d_1 = max(350, 400, 150) = 400 ns, d_2 = 300 ns");
+    println!("[fig4] ours : d_1 = {} ns, d_2 = {} ns", delays[0], delays[1]);
+    assert_eq!(delays, vec![400, 300]);
+
+    c.bench_function("fig4/partition_delays", |b| {
+        b.iter(|| partition_delays(black_box(&g), black_box(&part)))
+    });
+
+    // Scale check on a larger random graph.
+    let big = gen::layered(
+        &gen::LayeredConfig {
+            layers: 12,
+            min_width: 6,
+            max_width: 10,
+            ..gen::LayeredConfig::default()
+        },
+        42,
+    );
+    let lv = sparcs_dfg::algo::levels(&big).expect("DAG");
+    let assign: Vec<PartitionId> = big
+        .task_ids()
+        .map(|t| PartitionId(lv.asap[t.index()] / 4))
+        .collect();
+    let part_big = Partitioning::new(assign);
+    c.bench_function("fig4/partition_delays/large_graph", |b| {
+        b.iter(|| partition_delays(black_box(&big), black_box(&part_big)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

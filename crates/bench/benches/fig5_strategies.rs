@@ -1,0 +1,40 @@
+//! E9 — Figure 5: FDH versus IDH sequencing strategies.
+//!
+//! Sweeps the input size and charts which strategy the analyzer selects,
+//! reproducing the figure's message: without fission the overhead is
+//! `k·N·CT`; FDH reduces it to `N·CT·I_sw`; IDH trades reconfigurations for
+//! host traffic and wins when the bus is fast enough.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparcs_bench::experiment;
+use sparcs_core::fission::SequencingStrategy;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = experiment();
+    let f = &exp.fission;
+    println!("[fig5] overheads for I computations (ns):");
+    for &i in &[2_048u64, 16_384, 245_760] {
+        println!(
+            "[fig5] I = {:>7}: unfissioned {:>16}, FDH {:>13}, IDH {:>12} -> choose {}",
+            i,
+            f.unfissioned_overhead_ns(i),
+            f.fdh_overhead_ns(i),
+            f.idh_overhead_ns(i),
+            f.choose_strategy(i)
+        );
+        // Fission reduces the unfissioned overhead by exactly k.
+        assert_eq!(f.unfissioned_overhead_ns(i) / f.fdh_overhead_ns(i), f.k);
+    }
+    assert_eq!(f.choose_strategy(245_760), SequencingStrategy::Idh);
+
+    c.bench_function("fig5/strategy_selection", |b| {
+        b.iter(|| f.choose_strategy(black_box(245_760)))
+    });
+    c.bench_function("fig5/idh_overlapped_total", |b| {
+        b.iter(|| f.idh_total_time_overlapped_ns(black_box(245_760)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

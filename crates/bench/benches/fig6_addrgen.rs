@@ -1,0 +1,46 @@
+//! E10/A2 — Figure 6 and §3: memory blocks and address generation.
+//!
+//! Compares the multiplier-based and concatenation-based address generators
+//! (area, delay, functional throughput) and charts the power-of-two memory
+//! wastage across block sizes — the trade the paper says *"has to be made
+//! for each RTR architecture"*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparcs_estimate::ComponentLibrary;
+use sparcs_hls::addrgen::{AddrGen, AddressGenerator};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let lib = ComponentLibrary::xc4000();
+    let mul = AddressGenerator::new(AddrGen::Multiplier, 32, 2_048).expect("valid");
+    let cat = AddressGenerator::new(AddrGen::Concatenation, 32, 2_048).expect("valid");
+    println!(
+        "[fig6] multiplier addrgen: {} CLBs, {:.1} ns; concatenation: {} CLBs, {:.1} ns",
+        mul.clbs(&lib),
+        mul.delay_ns(&lib),
+        cat.clbs(&lib),
+        cat.delay_ns(&lib)
+    );
+    assert!(cat.clbs(&lib) < mul.clbs(&lib));
+
+    println!("[fig6] power-of-two wastage across data sizes (k chosen to fit 64K):");
+    for data in [16u64, 17, 24, 32, 33, 48, 63, 65] {
+        let block = data.next_power_of_two();
+        let k = 65_536 / block;
+        let wasted = (block - data) * k;
+        println!(
+            "[fig6]   data {data:>3} words -> block {block:>3}, k = {k:>5}, wasted {wasted:>6} words ({:.1}%)",
+            wasted as f64 / 65_536.0 * 100.0
+        );
+    }
+
+    c.bench_function("fig6/addr_multiplier", |b| {
+        b.iter(|| mul.address(black_box(1_234), black_box(16), black_box(7)))
+    });
+    c.bench_function("fig6/addr_concatenation", |b| {
+        b.iter(|| cat.address(black_box(1_234), black_box(16), black_box(7)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E11 — Figure 7: the augmented controller.
+//!
+//! Simulates the iteration-counter FSM through a full batch of `k = 2048`
+//! iterations (the paper's partition-1 controller: 68 datapath states) and
+//! measures the stepping rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparcs_hls::AugmentedController;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ctrl = AugmentedController::new(68, 2_048);
+    let cycles = ctrl.run_batch();
+    println!(
+        "[fig7] one batch: {} cycles = {} ms at 50 ns (paper partition 1)",
+        cycles,
+        cycles as f64 * 50.0 / 1e6
+    );
+    assert_eq!(cycles, 68 * 2_048);
+    assert!(ctrl.finish_asserted());
+
+    c.bench_function("fig7/run_batch_68x2048", |b| {
+        b.iter(|| {
+            let mut ctrl = AugmentedController::new(black_box(68), black_box(2_048));
+            ctrl.run_batch()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

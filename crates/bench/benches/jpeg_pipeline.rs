@@ -1,0 +1,38 @@
+//! Throughput of the software JPEG pipeline (the co-design's software half)
+//! and of the fixed-point DCT kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sparcs_jpeg::{fixed, pipeline, Image};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let img = Image::smooth(128, 128);
+    let blocks = img.blocks();
+    println!(
+        "[jpeg] encoding {}x{} ({} blocks)",
+        img.width,
+        img.height,
+        blocks.len()
+    );
+
+    let mut group = c.benchmark_group("jpeg");
+    group.throughput(Throughput::Elements(blocks.len() as u64));
+    group.bench_function("fixed_dct_per_image", |b| {
+        b.iter(|| {
+            for blk in &blocks {
+                black_box(fixed::forward_fixed(black_box(blk)));
+            }
+        })
+    });
+    group.bench_function("encode_q75", |b| {
+        b.iter(|| pipeline::encode(black_box(&img), 75).expect("encodes"))
+    });
+    let compressed = pipeline::encode(&img, 75).expect("encodes");
+    group.bench_function("decode_q75", |b| {
+        b.iter(|| pipeline::decode(black_box(&compressed)).expect("decodes"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

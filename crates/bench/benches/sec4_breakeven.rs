@@ -1,0 +1,37 @@
+//! E7 — §4: the break-even point.
+//!
+//! Paper: *"we will require roughly 42,553 blocks of DCT to be computed in
+//! each temporal partition"* before reconfiguration amortizes; with the 64K
+//! memory capping `k` at 2048, FDH can never win. Our formula
+//! `N·CT / (static − rtr)` gives 39,683 (the paper used a slightly different
+//! per-block delta; the conclusion is identical).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparcs_bench::{break_even_sweep, experiment};
+use sparcs_estimate::paper;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = experiment();
+    let (be, points) = break_even_sweep(exp);
+    println!("[breakeven] paper: ~42,553 blocks; ours: {be} blocks");
+    for p in &points {
+        println!(
+            "[breakeven] k = {:>6}: reconfig/comp {:>7} ns -> {}",
+            p.k,
+            p.reconfig_per_computation_ns,
+            if p.rtr_wins { "RTR wins" } else { "static wins" }
+        );
+    }
+    assert!(!points.iter().find(|p| p.k == 2_048).unwrap().rtr_wins);
+
+    c.bench_function("sec4/break_even_computation", |b| {
+        b.iter(|| {
+            exp.fission
+                .break_even_computations(black_box(paper::STATIC_DELAY_NS))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

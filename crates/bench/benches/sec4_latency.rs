@@ -1,0 +1,36 @@
+//! E3 — §4: per-computation latency of RTR versus static designs.
+//!
+//! Paper: static = 160 cycles @ 100 ns = 16 µs; RTR = 68 @ 50 + 2 × 36 @ 70
+//! = 8.44 µs, i.e. 7560 ns less per 4×4 block. This bench checks those
+//! numbers and measures the functional kernels actually computing a block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparcs_bench::experiment;
+use sparcs_estimate::paper;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = experiment();
+    let rtr = exp.design.sum_delay_ns;
+    println!(
+        "[sec4] per-computation: static {} ns, RTR {} ns, saving {} ns (paper: 7560 ns)",
+        paper::STATIC_DELAY_NS,
+        rtr,
+        paper::STATIC_DELAY_NS - rtr
+    );
+    assert_eq!(paper::STATIC_DELAY_NS - rtr, 7_560);
+
+    let design = exp.rtr_design();
+    let stat = exp.static_design();
+    let input: Vec<i32> = (0..16).map(|i| (i * 13 % 200) - 100).collect();
+
+    c.bench_function("sec4/rtr_kernels_one_block", |b| {
+        b.iter(|| design.compute_one(black_box(&input)))
+    });
+    c.bench_function("sec4/static_kernel_one_block", |b| {
+        b.iter(|| (stat.kernel)(black_box(&input)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E2 — §4: ILP temporal partitioning of the 32-task DCT graph versus the
+//! list-based strawman.
+//!
+//! The paper's result: 3 partitions with all 16 T1 in partition 1 and 8 T2
+//! in each of partitions 2 and 3; a list-based partitioner would mix T2
+//! tasks into partition 1 and lengthen the latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparcs_bench::experiment;
+use sparcs_core::delay::partition_delays;
+use sparcs_core::list::partition_list;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = experiment();
+    let part = &exp.design.partitioning;
+    println!(
+        "[sec4] ILP: N = {}, Σd = {} ns (paper: 3 partitions, 8440 ns)",
+        part.partition_count(),
+        exp.design.sum_delay_ns
+    );
+
+    let list = partition_list(&exp.dct.graph, &exp.arch).expect("tasks fit the device");
+    let list_delays = partition_delays(&exp.dct.graph, &list).expect("DAG");
+    let list_sum: u64 = list_delays.iter().sum();
+    let p1 = list.tasks_in(sparcs_core::PartitionId(0));
+    let mixed_t2 = p1
+        .iter()
+        .filter(|t| exp.dct.graph.task(**t).kind == "T2")
+        .count();
+    println!(
+        "[sec4] list baseline: N = {}, Σd = {} ns, {} T2 tasks packed into P1 \
+         (paper: 'would have increased the delay')",
+        list.partition_count(),
+        list_sum,
+        mixed_t2
+    );
+    assert!(mixed_t2 > 0, "the strawman must exhibit the paper's flaw");
+    assert!(list_sum > exp.design.sum_delay_ns);
+
+    c.bench_function("sec4/list_partitioner", |b| {
+        b.iter(|| partition_list(black_box(&exp.dct.graph), black_box(&exp.arch)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

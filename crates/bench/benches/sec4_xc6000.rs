@@ -1,0 +1,41 @@
+//! E8 — §4: the XC6000 conjecture.
+//!
+//! Paper: with a 500 µs reconfiguration overhead, the improvement for the
+//! largest file *"is calculated to be 47%"*, and RTR starts winning even on
+//! smaller images. This bench regenerates the conjecture table and measures
+//! the whole-experiment assembly on the fast-reconfiguration device.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparcs::casestudy::DctExperiment;
+use sparcs_bench::{render_table, xc6000_table};
+use sparcs_estimate::Architecture;
+use sparcs_jpeg::EstimateBackend;
+
+fn bench(c: &mut Criterion) {
+    let rows = xc6000_table();
+    print!(
+        "{}",
+        render_table("[xc6000] IDH vs static at CT = 500 us (paper: 47%):", &rows)
+    );
+    let headline = rows.iter().find(|r| r.blocks == 245_760).expect("row");
+    assert!(
+        (headline.improvement_pct - 47.0).abs() < 2.0,
+        "headline {}",
+        headline.improvement_pct
+    );
+
+    let mut group = c.benchmark_group("sec4");
+    group.sample_size(10);
+    group.bench_function("xc6000_full_flow", |b| {
+        b.iter(|| {
+            DctExperiment::with(
+                EstimateBackend::PaperCalibrated,
+                Architecture::xc6200_fast_reconfig(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

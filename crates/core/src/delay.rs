@@ -1,0 +1,148 @@
+//! Partition delay — the paper's Figure 4 measure.
+//!
+//! *"The delay of design execution on a partition will be the maximum delay
+//! among all the paths of the task graph mapped to that partition."* For a
+//! root→leaf path `π` and partition `p`, only the tasks of `π` that sit in
+//! `p` contribute; `d_p = max_π Σ_{t ∈ π ∩ p} D(t)`.
+//!
+//! [`partition_delays`] computes this without enumerating paths: for each
+//! partition, weight tasks by `D(t)` inside the partition and `0` outside,
+//! then take the longest weighted root→leaf path by dynamic programming —
+//! exact because weights are non-negative and every task lies on some
+//! root→leaf path.
+
+use crate::partitioning::Partitioning;
+use sparcs_dfg::{GraphError, TaskGraph};
+
+/// Per-partition delays `d_p` in nanoseconds (index = partition id).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if the graph is not a DAG.
+pub fn partition_delays(g: &TaskGraph, part: &Partitioning) -> Result<Vec<u64>, GraphError> {
+    let order = g.topological_order()?;
+    let n_parts = part.partition_count() as usize;
+    let mut delays = vec![0u64; n_parts];
+    // best[t] = max over paths ending at t of the partition-masked sum.
+    let mut best = vec![0u64; g.task_count()];
+    for p in 0..n_parts {
+        for b in best.iter_mut() {
+            *b = 0;
+        }
+        let mut d_p = 0u64;
+        for &t in &order {
+            let w = if part.partition_of(t).index() == p {
+                g.task(t).delay_ns
+            } else {
+                0
+            };
+            let from_preds = g.predecessors(t).map(|q| best[q.index()]).max().unwrap_or(0);
+            best[t.index()] = w + from_preds;
+            d_p = d_p.max(best[t.index()]);
+        }
+        delays[p] = d_p;
+    }
+    Ok(delays)
+}
+
+/// Total design latency for one computation: `N·CT + Σ d_p`
+/// (the paper's optimality goal).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if the graph is not a DAG.
+pub fn total_latency_ns(
+    g: &TaskGraph,
+    part: &Partitioning,
+    reconfig_time_ns: u64,
+) -> Result<u64, GraphError> {
+    let d: u64 = partition_delays(g, part)?.iter().sum();
+    Ok(part.partition_count() as u64 * reconfig_time_ns + d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioning::PartitionId;
+    use sparcs_dfg::{gen, paths, Resources, TaskGraph};
+
+    /// Figure 4 reproduction: partition 1 delay = max(350, 400, 150) = 400,
+    /// partition 2 delay = 300.
+    #[test]
+    fn fig4_partition_delays() {
+        let g = gen::fig4_example();
+        let assign: Vec<PartitionId> = (0..7)
+            .map(|i| PartitionId(u32::from(i >= 5)))
+            .collect();
+        let part = Partitioning::new(assign);
+        let d = partition_delays(&g, &part).unwrap();
+        assert_eq!(d, vec![400, 300]);
+    }
+
+    #[test]
+    fn fig4_total_latency_includes_reconfig() {
+        let g = gen::fig4_example();
+        let assign: Vec<PartitionId> = (0..7)
+            .map(|i| PartitionId(u32::from(i >= 5)))
+            .collect();
+        let part = Partitioning::new(assign);
+        // 2 partitions × 1000 ns CT + 400 + 300.
+        assert_eq!(total_latency_ns(&g, &part, 1000).unwrap(), 2700);
+    }
+
+    #[test]
+    fn single_partition_delay_is_critical_path() {
+        let g = gen::fig4_example();
+        let part = Partitioning::new(vec![PartitionId(0); 7]);
+        let d = partition_delays(&g, &part).unwrap();
+        let cp = sparcs_dfg::algo::critical_path(&g).unwrap().unwrap();
+        assert_eq!(d, vec![cp.delay_ns]);
+    }
+
+    /// The DP must agree with explicit path enumeration on random graphs.
+    #[test]
+    fn dp_matches_path_enumeration() {
+        for seed in 0..10 {
+            let g = gen::layered(&sparcs_dfg::gen::LayeredConfig::default(), seed);
+            // Arbitrary 3-way partition by level parity.
+            let lv = sparcs_dfg::algo::levels(&g).unwrap();
+            let assign: Vec<PartitionId> = g
+                .task_ids()
+                .map(|t| PartitionId(lv.asap[t.index()] * 3 / lv.depth.max(1)))
+                .collect();
+            let part = Partitioning::new(assign);
+            let dp = partition_delays(&g, &part).unwrap();
+
+            let all_paths = paths::enumerate_paths(&g, 1_000_000).unwrap();
+            for p in part.partitions() {
+                let by_enum = all_paths
+                    .iter()
+                    .map(|path| {
+                        path.tasks
+                            .iter()
+                            .filter(|&&t| part.partition_of(t) == p)
+                            .map(|&t| g.task(t).delay_ns)
+                            .sum::<u64>()
+                    })
+                    .max()
+                    .unwrap_or(0);
+                assert_eq!(dp[p.index()], by_enum, "seed {seed}, {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_partitions_mask_correctly() {
+        // Chain a(10) -> b(20) -> c(30) with partitions 0, 1, 0:
+        // invalid temporally, but the delay measure is still defined:
+        // d_0 = 10 + 30 = 40 (both on the single path), d_1 = 20.
+        let mut g = TaskGraph::new("chain");
+        let a = g.add_task("a", Resources::ZERO, 10, 1);
+        let b = g.add_task("b", Resources::ZERO, 20, 1);
+        let c = g.add_task("c", Resources::ZERO, 30, 1);
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(b, c, 1).unwrap();
+        let part = Partitioning::new(vec![PartitionId(0), PartitionId(1), PartitionId(0)]);
+        assert_eq!(partition_delays(&g, &part).unwrap(), vec![40, 20]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Level-based clustering — a second heuristic baseline.
+//!
+//! The paper surveys prior temporal partitioners that "extend existing
+//! scheduling and clustering techniques of high-level synthesis" [4, 5, 6, 8].
+//! This baseline is that family's archetype: cut the graph along ASAP
+//! levels, packing whole levels into a partition while they fit. Unlike the
+//! greedy list partitioner it never mixes a consumer level into its
+//! producer's partition unless the *entire* level fits, so it avoids the
+//! paper's T2-in-partition-1 mistake — at the price of leaving resources
+//! idle when levels are lumpy (which the A1 ablation quantifies).
+
+use crate::list::ListError;
+use crate::partitioning::{PartitionId, Partitioning};
+use sparcs_dfg::{algo, Resources, TaskGraph};
+use sparcs_estimate::Architecture;
+
+/// Level-clustering temporal partitioning.
+///
+/// Tasks are grouped by ASAP level; levels are packed in order, opening a
+/// new partition whenever the next level does not fit beside the levels
+/// already placed. Oversized *levels* fall back to task-by-task packing
+/// within the level (still in level order, so temporal order holds).
+///
+/// # Errors
+///
+/// [`ListError::TaskTooLarge`] when a single task exceeds the device,
+/// [`ListError::Graph`] for cyclic graphs.
+pub fn partition_levels(g: &TaskGraph, arch: &Architecture) -> Result<Partitioning, ListError> {
+    let levels = algo::levels(g)?;
+    let mut assignment = vec![PartitionId(0); g.task_count()];
+    let mut current = 0u32;
+    let mut used = Resources::ZERO;
+    for level in 0..levels.depth {
+        let tasks = levels.tasks_at(level);
+        let level_cost: Resources = tasks.iter().map(|&t| g.task(t).resources).sum();
+        if level_cost.fits_within(&arch.resources) {
+            // Pack the whole level, opening a partition if needed.
+            if !(used + level_cost).fits_within(&arch.resources) && !used.is_zero() {
+                current += 1;
+                used = Resources::ZERO;
+            }
+            used += level_cost;
+            for &t in &tasks {
+                assignment[t.index()] = PartitionId(current);
+            }
+        } else {
+            // The level alone exceeds the device: place task by task.
+            for &t in &tasks {
+                let need = g.task(t).resources;
+                if !need.fits_within(&arch.resources) {
+                    return Err(ListError::TaskTooLarge(t));
+                }
+                if !(used + need).fits_within(&arch.resources) && !used.is_zero() {
+                    current += 1;
+                    used = Resources::ZERO;
+                }
+                used += need;
+                assignment[t.index()] = PartitionId(current);
+            }
+        }
+    }
+    Ok(Partitioning::new(assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioning::MemoryMode;
+    use sparcs_dfg::gen;
+
+    fn arch(clbs: u64) -> Architecture {
+        let mut a = Architecture::xc4044_wildforce();
+        a.resources = Resources::clbs(clbs);
+        a
+    }
+
+    #[test]
+    fn whole_levels_stay_together_when_they_fit() {
+        let g = gen::fig4_example(); // level costs: 600, 900(?), 500…
+        let p = partition_levels(&g, &arch(1_200)).unwrap();
+        // Temporal order must hold.
+        for e in g.edges() {
+            assert!(p.partition_of(e.src) <= p.partition_of(e.dst));
+        }
+        // No resource violations.
+        assert!(p
+            .validate(&g, &arch(1_200), MemoryMode::Net)
+            .iter()
+            .all(|v| matches!(v, crate::partitioning::Violation::Memory { .. })));
+    }
+
+    #[test]
+    fn avoids_mixing_consumer_levels_when_level_fits() {
+        // DCT-like: 4 producers (level 0) + 4 consumers (level 1), device
+        // fits 5 producers' worth — the list heuristic would drag one
+        // consumer forward; levels keep the stages separate.
+        let mut g = sparcs_dfg::TaskGraph::new("stages");
+        let mut prod = Vec::new();
+        for i in 0..4 {
+            prod.push(g.add_task(format!("p{i}"), Resources::clbs(100), 10, 1));
+        }
+        for i in 0..4 {
+            let t = g.add_task(format!("c{i}"), Resources::clbs(100), 10, 1);
+            for &p in &prod {
+                g.add_edge(p, t, 1).unwrap();
+            }
+        }
+        let dev = arch(500);
+        let by_level = partition_levels(&g, &dev).unwrap();
+        assert_eq!(by_level.partition_count(), 2);
+        let p0 = by_level.tasks_in(PartitionId(0));
+        assert_eq!(p0.len(), 4, "level 0 alone in partition 1");
+
+        let by_list = crate::list::partition_list(&g, &dev).unwrap();
+        let mixed = by_list
+            .tasks_in(PartitionId(0))
+            .iter()
+            .any(|&t| t.index() >= 4);
+        assert!(mixed, "the list heuristic exhibits the paper's flaw");
+    }
+
+    #[test]
+    fn oversized_level_falls_back_to_task_packing() {
+        let mut g = sparcs_dfg::TaskGraph::new("wide");
+        for i in 0..6 {
+            g.add_task(format!("t{i}"), Resources::clbs(300), 10, 1);
+        }
+        let p = partition_levels(&g, &arch(700)).unwrap();
+        // 6 × 300 on a 700 device → 3 partitions of 2.
+        assert_eq!(p.partition_count(), 3);
+    }
+
+    #[test]
+    fn oversized_task_reported() {
+        let mut g = sparcs_dfg::TaskGraph::new("whale");
+        let t = g.add_task("w", Resources::clbs(2_000), 1, 1);
+        assert_eq!(
+            partition_levels(&g, &arch(1_000)).unwrap_err(),
+            ListError::TaskTooLarge(t)
+        );
+    }
+
+    #[test]
+    fn random_graphs_stay_temporally_ordered() {
+        for seed in 0..10 {
+            let g = gen::layered(&gen::LayeredConfig::default(), seed);
+            if let Ok(p) = partition_levels(&g, &arch(900)) {
+                for e in g.edges() {
+                    assert!(p.partition_of(e.src) <= p.partition_of(e.dst), "seed {seed}");
+                }
+            }
+        }
+    }
+}

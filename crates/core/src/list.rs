@@ -1,0 +1,146 @@
+//! List-based temporal partitioning — the paper's §4 strawman.
+//!
+//! A classic list/clustering heuristic of the kind the paper contrasts with
+//! its ILP: walk the tasks in topological order and greedily pack each into
+//! the current partition whenever it fits the device, opening a new partition
+//! otherwise. Being latency-blind, it happily fills partition 1's leftover
+//! CLBs with tasks of the next stage — exactly the behaviour the paper calls
+//! out: *"A list based temporal partitioner would have placed some tasks of
+//! type T2 into temporal partition 1 because it has unused CLBs. However
+//! doing this would have increased the delay of temporal partition 1, thus
+//! increasing the latency of the whole design."*
+
+use crate::partitioning::{PartitionId, Partitioning};
+use sparcs_dfg::{GraphError, Resources, TaskGraph, TaskId};
+use sparcs_estimate::Architecture;
+use std::fmt;
+
+/// Errors from the list partitioner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListError {
+    /// The graph is not a DAG.
+    Graph(GraphError),
+    /// A single task exceeds the device capacity and can never be placed.
+    TaskTooLarge(TaskId),
+}
+
+impl fmt::Display for ListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ListError::Graph(e) => write!(f, "{e}"),
+            ListError::TaskTooLarge(t) => write!(f, "task {t} exceeds the device capacity"),
+        }
+    }
+}
+
+impl std::error::Error for ListError {}
+
+impl From<GraphError> for ListError {
+    fn from(e: GraphError) -> Self {
+        ListError::Graph(e)
+    }
+}
+
+/// Greedy list-based temporal partitioning.
+///
+/// Tasks are visited in deterministic topological order; each is placed into
+/// the newest open partition if its resources fit, otherwise a new partition
+/// is opened. Temporal order is respected by construction. The heuristic is
+/// memory-blind (validate the result if `M_max` matters — the ILP partitioner
+/// does this before using it as a warm start).
+///
+/// # Errors
+///
+/// See [`ListError`].
+pub fn partition_list(g: &TaskGraph, arch: &Architecture) -> Result<Partitioning, ListError> {
+    let order = g.topological_order()?;
+    let mut assignment = vec![PartitionId(0); g.task_count()];
+    let mut current = 0u32;
+    let mut used = Resources::ZERO;
+    for t in order {
+        let need = g.task(t).resources;
+        if !need.fits_within(&arch.resources) {
+            return Err(ListError::TaskTooLarge(t));
+        }
+        if !(used + need).fits_within(&arch.resources) {
+            current += 1;
+            used = Resources::ZERO;
+        }
+        used += need;
+        assignment[t.index()] = PartitionId(current);
+    }
+    Ok(Partitioning::new(assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioning::MemoryMode;
+    use sparcs_dfg::gen;
+
+    fn arch(clbs: u64) -> Architecture {
+        let mut a = Architecture::xc4044_wildforce();
+        a.resources = Resources::clbs(clbs);
+        a
+    }
+
+    #[test]
+    fn everything_fits_one_partition() {
+        let g = gen::fig4_example(); // total 2000 CLBs
+        let p = partition_list(&g, &arch(2000)).unwrap();
+        assert_eq!(p.partition_count(), 1);
+    }
+
+    #[test]
+    fn splits_when_capacity_exceeded() {
+        let g = gen::fig4_example();
+        let p = partition_list(&g, &arch(1200)).unwrap();
+        assert!(p.partition_count() >= 2);
+        assert!(p
+            .validate(&g, &arch(1200), MemoryMode::Net)
+            .iter()
+            .all(|v| matches!(v, crate::partitioning::Violation::Memory { .. })),
+            "only memory violations tolerated (heuristic is memory-blind)");
+    }
+
+    #[test]
+    fn oversized_task_is_an_error() {
+        let g = gen::fig4_example(); // largest task 500 CLBs
+        assert_eq!(
+            partition_list(&g, &arch(400)),
+            Err(ListError::TaskTooLarge(sparcs_dfg::TaskId(5)))
+        );
+    }
+
+    #[test]
+    fn respects_temporal_order_by_construction() {
+        for seed in 0..10 {
+            let g = gen::layered(&gen::LayeredConfig::default(), seed);
+            let a = arch(800);
+            if let Ok(p) = partition_list(&g, &a) {
+                for e in g.edges() {
+                    assert!(
+                        p.partition_of(e.src) <= p.partition_of(e.dst),
+                        "seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_packs_eagerly() {
+        // Two independent 60-CLB tasks then a dependent 60-CLB task, device
+        // 130 CLBs: greedy packs the first two plus nothing else (60+60+60 >
+        // 130), second partition gets the third.
+        let mut g = sparcs_dfg::TaskGraph::new("greedy");
+        let a = g.add_task("a", Resources::clbs(60), 10, 1);
+        let b = g.add_task("b", Resources::clbs(60), 10, 1);
+        let c = g.add_task("c", Resources::clbs(60), 10, 1);
+        g.add_edge(a, c, 1).unwrap();
+        g.add_edge(b, c, 1).unwrap();
+        let p = partition_list(&g, &arch(130)).unwrap();
+        assert_eq!(p.partition_of(a), p.partition_of(b));
+        assert_ne!(p.partition_of(a), p.partition_of(c));
+    }
+}

@@ -1,0 +1,267 @@
+//! Inter-partition memory accounting.
+//!
+//! Three related measures, all in board-memory words:
+//!
+//! * [`boundary_words`] — data live *across* each partition boundary
+//!   (the quantity bounded by `M_max` in the ILP's Equation 3);
+//! * [`per_partition_words`] — the paper's per-partition `m_i_temp`
+//!   (§2.2/§4 accounting: data read into plus written out of partition `i`
+//!   for one computation), which sizes the loop-fission memory blocks;
+//! * [`live_range_words`] — a sharper measure tracking every value's full
+//!   lifetime (a value produced in partition 1 and consumed in partition 3
+//!   occupies memory while partition 2 runs, which the paper's per-partition
+//!   count ignores). Offered for the A3 ablation.
+
+use crate::partitioning::{MemoryMode, Partitioning};
+use sparcs_dfg::{TaskGraph, TaskId};
+
+/// Words stored across each boundary `b` (between partitions `b` and `b+1`);
+/// the returned vector has `N − 1` entries.
+///
+/// With [`MemoryMode::Edge`] each edge `t1 → t2` whose endpoints straddle the
+/// boundary contributes `B(t1, t2)`; with [`MemoryMode::Net`] each *producer*
+/// with at least one consumer beyond the boundary contributes its
+/// `output_words` once.
+pub fn boundary_words(g: &TaskGraph, part: &Partitioning, mode: MemoryMode) -> Vec<u64> {
+    let n = part.partition_count();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; (n - 1) as usize];
+    match mode {
+        MemoryMode::Edge => {
+            for e in g.edges() {
+                let ps = part.partition_of(e.src).0;
+                let pd = part.partition_of(e.dst).0;
+                for b in ps..pd {
+                    out[b as usize] += e.words;
+                }
+            }
+        }
+        MemoryMode::Net => {
+            for (t, task) in g.tasks() {
+                let ps = part.partition_of(t).0;
+                let max_consumer = g
+                    .successors(t)
+                    .map(|s| part.partition_of(s).0)
+                    .max()
+                    .unwrap_or(ps);
+                for b in ps..max_consumer {
+                    out[b as usize] += task.output_words;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The paper's per-partition intermediate memory `m_i_temp`: for each
+/// partition, words read in (environment inputs consumed there plus
+/// values crossing in from earlier partitions) plus words written out
+/// (values crossing to later partitions plus environment outputs).
+///
+/// For the DCT case study this reproduces the paper's `(32, 16, 16)`.
+pub fn per_partition_words(g: &TaskGraph, part: &Partitioning) -> Vec<u64> {
+    let n = part.partition_count() as usize;
+    let mut input = vec![0u64; n];
+    let mut output = vec![0u64; n];
+
+    // Environment inputs: counted in every partition that consumes the port.
+    for (_, port) in g.env_inputs() {
+        let mut parts: Vec<u32> = port.tasks.iter().map(|&t| part.partition_of(t).0).collect();
+        parts.sort_unstable();
+        parts.dedup();
+        for p in parts {
+            input[p as usize] += port.words;
+        }
+    }
+    // Environment outputs: counted in every partition that produces the port.
+    for (_, port) in g.env_outputs() {
+        let mut parts: Vec<u32> = port.tasks.iter().map(|&t| part.partition_of(t).0).collect();
+        parts.sort_unstable();
+        parts.dedup();
+        for p in parts {
+            output[p as usize] += port.words;
+        }
+    }
+    // Inter-task values (net semantics: one stored copy per producer). A
+    // consuming partition reads at most the producer's full value, and at
+    // most the sum of the edge payloads actually entering it.
+    for (t, task) in g.tasks() {
+        let ps = part.partition_of(t).0 as usize;
+        let mut words_into: Vec<(u32, u64)> = Vec::new();
+        for e in g.out_edges(t) {
+            let pd = part.partition_of(e.dst).0;
+            if pd as usize == ps {
+                continue;
+            }
+            match words_into.iter_mut().find(|(p, _)| *p == pd) {
+                Some((_, w)) => *w += e.words,
+                None => words_into.push((pd, e.words)),
+            }
+        }
+        if !words_into.is_empty() {
+            output[ps] += task.output_words;
+            for (p, w) in words_into {
+                input[p as usize] += w.min(task.output_words);
+            }
+        }
+    }
+    (0..n).map(|i| input[i] + output[i]).collect()
+}
+
+/// Maximum words live *during* each partition's execution, tracking full
+/// value lifetimes (FDH semantics: environment outputs stay in memory until
+/// the whole run finishes; environment inputs are loaded just before their
+/// first consuming partition).
+pub fn live_range_words(g: &TaskGraph, part: &Partitioning) -> Vec<u64> {
+    let n = part.partition_count() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let last = (n - 1) as u32;
+    let mut live = vec![0u64; n];
+    let mut add_range = |from: u32, to: u32, words: u64| {
+        for p in from..=to {
+            live[p as usize] += words;
+        }
+    };
+    for (_, port) in g.env_inputs() {
+        let first = port
+            .tasks
+            .iter()
+            .map(|&t| part.partition_of(t).0)
+            .min()
+            .expect("env ports have consumers");
+        let lastc = port
+            .tasks
+            .iter()
+            .map(|&t| part.partition_of(t).0)
+            .max()
+            .expect("env ports have consumers");
+        add_range(first, lastc, port.words);
+    }
+    for (_, port) in g.env_outputs() {
+        let first = port
+            .tasks
+            .iter()
+            .map(|&t| part.partition_of(t).0)
+            .min()
+            .expect("env ports have producers");
+        add_range(first, last, port.words);
+    }
+    for (t, task) in g.tasks() {
+        let ps = part.partition_of(t).0;
+        if let Some(maxc) = g.successors(t).map(|s| part.partition_of(s).0).max() {
+            if maxc > ps {
+                add_range(ps, maxc, task.output_words);
+            }
+        }
+    }
+    live
+}
+
+/// Convenience: which tasks' outputs cross boundary `b` (used by the memory
+/// mapper in `sparcs-hls`).
+pub fn crossing_producers(g: &TaskGraph, part: &Partitioning, b: u32) -> Vec<TaskId> {
+    g.tasks()
+        .filter(|&(t, _)| {
+            let ps = part.partition_of(t).0;
+            let maxc = g
+                .successors(t)
+                .map(|s| part.partition_of(s).0)
+                .max()
+                .unwrap_or(ps);
+            ps <= b && maxc > b
+        })
+        .map(|(t, _)| t)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioning::PartitionId;
+    use sparcs_dfg::{Resources, TaskGraph};
+
+    /// a → {b, c}; a's output is 4 words; edges carry 4 words each.
+    fn fanout_graph() -> TaskGraph {
+        let mut g = TaskGraph::new("fanout");
+        let a = g.add_task("a", Resources::clbs(1), 10, 4);
+        let b = g.add_task("b", Resources::clbs(1), 10, 1);
+        let c = g.add_task("c", Resources::clbs(1), 10, 1);
+        g.add_edge(a, b, 4).unwrap();
+        g.add_edge(a, c, 4).unwrap();
+        g.add_env_input("in", 4, [a]).unwrap();
+        g.add_env_output("out_b", 1, [b]).unwrap();
+        g.add_env_output("out_c", 1, [c]).unwrap();
+        g
+    }
+
+    #[test]
+    fn edge_mode_double_counts_shared_values() {
+        let g = fanout_graph();
+        let p = Partitioning::new(vec![PartitionId(0), PartitionId(1), PartitionId(1)]);
+        assert_eq!(boundary_words(&g, &p, MemoryMode::Edge), vec![8]);
+        assert_eq!(boundary_words(&g, &p, MemoryMode::Net), vec![4]);
+    }
+
+    #[test]
+    fn net_mode_counts_until_last_consumer() {
+        let g = fanout_graph();
+        // a | b | c: a's value crosses both boundaries (c reads it in P3).
+        let p = Partitioning::new(vec![PartitionId(0), PartitionId(1), PartitionId(2)]);
+        assert_eq!(boundary_words(&g, &p, MemoryMode::Net), vec![4, 4]);
+        assert_eq!(boundary_words(&g, &p, MemoryMode::Edge), vec![8, 4]);
+    }
+
+    #[test]
+    fn single_partition_has_no_boundaries() {
+        let g = fanout_graph();
+        let p = Partitioning::new(vec![PartitionId(0); 3]);
+        assert!(boundary_words(&g, &p, MemoryMode::Net).is_empty());
+    }
+
+    #[test]
+    fn per_partition_counts_env_and_crossings() {
+        let g = fanout_graph();
+        let p = Partitioning::new(vec![PartitionId(0), PartitionId(1), PartitionId(1)]);
+        // P1: env in 4 + crossing out 4 = 8. P2: crossing in 4 + env out 2 = 6.
+        assert_eq!(per_partition_words(&g, &p), vec![8, 6]);
+    }
+
+    #[test]
+    fn per_partition_env_input_spanning_two_partitions_counts_twice() {
+        let mut g = TaskGraph::new("span");
+        let a = g.add_task("a", Resources::clbs(1), 1, 1);
+        let b = g.add_task("b", Resources::clbs(1), 1, 1);
+        g.add_env_input("shared", 6, [a, b]).unwrap();
+        g.add_env_output("oa", 1, [a]).unwrap();
+        g.add_env_output("ob", 1, [b]).unwrap();
+        let p = Partitioning::new(vec![PartitionId(0), PartitionId(1)]);
+        // P1: in 6 + out 1; P2: in 6 + out 1.
+        assert_eq!(per_partition_words(&g, &p), vec![7, 7]);
+    }
+
+    #[test]
+    fn live_range_sees_pass_through_values() {
+        let g = fanout_graph();
+        let p = Partitioning::new(vec![PartitionId(0), PartitionId(1), PartitionId(2)]);
+        let live = live_range_words(&g, &p);
+        // P1: in(4) + a-value(4) + no outputs yet = 8
+        // P2: a-value still live (c reads it later): 4 + out_b(1) = 5
+        // P3: a-value(4) + out_b(1, held to end) + out_c(1) = 6
+        assert_eq!(live, vec![8, 5, 6]);
+        // The paper's per-partition count misses the pass-through in P2:
+        let paper = per_partition_words(&g, &p);
+        assert_eq!(paper, vec![8, 5, 5]);
+    }
+
+    #[test]
+    fn crossing_producers_identifies_sources() {
+        let g = fanout_graph();
+        let p = Partitioning::new(vec![PartitionId(0), PartitionId(1), PartitionId(2)]);
+        assert_eq!(crossing_producers(&g, &p, 0), vec![sparcs_dfg::TaskId(0)]);
+        assert_eq!(crossing_producers(&g, &p, 1), vec![sparcs_dfg::TaskId(0)]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Temporal partitioning results and their validation.
+//!
+//! A [`Partitioning`] maps every task of a [`TaskGraph`] to one of `N`
+//! temporal partitions `0..N` executed in order on the FPGA. The validator
+//! checks the paper's feasibility conditions: uniqueness (structural here),
+//! temporal order (Eq. 2), per-partition resources (Eq. 6) and per-boundary
+//! memory (Eq. 3).
+
+use crate::memory;
+use serde::{Deserialize, Serialize};
+use sparcs_dfg::{Resources, TaskGraph, TaskId};
+use sparcs_estimate::Architecture;
+use std::fmt;
+
+/// Identifier of a temporal partition (`0`-based; the paper writes `1..N`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PartitionId(pub u32);
+
+impl PartitionId {
+    /// Dense index of the partition.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0 + 1) // print 1-based like the paper
+    }
+}
+
+/// How inter-partition memory traffic is counted.
+///
+/// The paper's Equation 3 sums `B(t1, t2)` per *edge*; its §4 accounting
+/// counts each produced *value* once no matter how many consumers read it
+/// (a DCT `T1` output feeds four `T2` tasks but occupies one word). Both
+/// conventions are supported; [`MemoryMode::Net`] is the default because it
+/// matches the case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum MemoryMode {
+    /// Sum `B(t1, t2)` per edge — the literal Equation 3.
+    Edge,
+    /// Count each producer's output once per crossed boundary — the §4
+    /// accounting.
+    #[default]
+    Net,
+}
+
+/// A complete assignment of tasks to temporal partitions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partitioning {
+    assignment: Vec<PartitionId>,
+    n_partitions: u32,
+}
+
+/// A feasibility violation found by [`Partitioning::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// An edge runs backwards in time: `src` sits in a later partition than
+    /// `dst`.
+    TemporalOrder {
+        /// Producer task.
+        src: TaskId,
+        /// Consumer task.
+        dst: TaskId,
+    },
+    /// A partition exceeds the device resources.
+    Resources {
+        /// Offending partition.
+        partition: PartitionId,
+        /// Its total demand.
+        used: Resources,
+    },
+    /// A boundary's live data exceeds the on-board memory.
+    Memory {
+        /// Boundary index `b` (between partitions `b` and `b+1`).
+        boundary: u32,
+        /// Words that must be stored across the boundary.
+        words: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::TemporalOrder { src, dst } => {
+                write!(f, "edge {src} -> {dst} runs backwards in time")
+            }
+            Violation::Resources { partition, used } => {
+                write!(f, "{partition} exceeds device resources (uses {used})")
+            }
+            Violation::Memory { boundary, words } => {
+                write!(f, "boundary {boundary} stores {words} words > M_max")
+            }
+        }
+    }
+}
+
+impl Partitioning {
+    /// Creates a partitioning from a per-task assignment vector.
+    ///
+    /// Empty partitions are *compacted away* and the remainder renumbered in
+    /// order, so `partition_count` always counts non-empty partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is empty but `n_hint > 0` semantics are
+    /// violated — i.e. never for outputs of the partitioners in this crate.
+    pub fn new(assignment: Vec<PartitionId>) -> Self {
+        // Compact: map used partition ids, in ascending order, to 0..n.
+        let mut used: Vec<u32> = assignment.iter().map(|p| p.0).collect();
+        used.sort_unstable();
+        used.dedup();
+        let remap = |p: PartitionId| {
+            PartitionId(used.binary_search(&p.0).expect("id present") as u32)
+        };
+        let assignment: Vec<PartitionId> = assignment.iter().map(|&p| remap(p)).collect();
+        let n_partitions = used.len() as u32;
+        Partitioning {
+            assignment,
+            n_partitions,
+        }
+    }
+
+    /// Number of (non-empty) partitions, the paper's `N`.
+    pub fn partition_count(&self) -> u32 {
+        self.n_partitions
+    }
+
+    /// Partition of task `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range for the partitioned graph.
+    pub fn partition_of(&self, t: TaskId) -> PartitionId {
+        self.assignment[t.index()]
+    }
+
+    /// The full assignment, indexed by task.
+    pub fn assignment(&self) -> &[PartitionId] {
+        &self.assignment
+    }
+
+    /// Tasks assigned to partition `p`, ascending by id.
+    pub fn tasks_in(&self, p: PartitionId) -> Vec<TaskId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &q)| q == p)
+            .map(|(i, _)| TaskId(i as u32))
+            .collect()
+    }
+
+    /// Iterator over all partition ids.
+    pub fn partitions(&self) -> impl Iterator<Item = PartitionId> {
+        (0..self.n_partitions).map(PartitionId)
+    }
+
+    /// Total resources used by partition `p`.
+    pub fn resources_of(&self, g: &TaskGraph, p: PartitionId) -> Resources {
+        self.tasks_in(p)
+            .into_iter()
+            .map(|t| g.task(t).resources)
+            .sum()
+    }
+
+    /// Checks all feasibility conditions against `arch`; an empty vector
+    /// means the partitioning is feasible.
+    pub fn validate(
+        &self,
+        g: &TaskGraph,
+        arch: &Architecture,
+        mode: MemoryMode,
+    ) -> Vec<Violation> {
+        let mut out = Vec::new();
+        assert_eq!(
+            self.assignment.len(),
+            g.task_count(),
+            "assignment covers every task"
+        );
+        for e in g.edges() {
+            if self.partition_of(e.src) > self.partition_of(e.dst) {
+                out.push(Violation::TemporalOrder {
+                    src: e.src,
+                    dst: e.dst,
+                });
+            }
+        }
+        for p in self.partitions() {
+            let used = self.resources_of(g, p);
+            if !used.fits_within(&arch.resources) {
+                out.push(Violation::Resources { partition: p, used });
+            }
+        }
+        let crossing = memory::boundary_words(g, self, mode);
+        for (b, &words) in crossing.iter().enumerate() {
+            if words > arch.memory_words {
+                out.push(Violation::Memory {
+                    boundary: b as u32,
+                    words,
+                });
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Partitioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} partitions:", self.n_partitions)?;
+        for p in self.partitions() {
+            let tasks = self.tasks_in(p);
+            write!(f, " {p}={{")?;
+            for (i, t) in tasks.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcs_dfg::gen;
+
+    #[test]
+    fn compaction_renumbers_dense() {
+        // Assign to partitions {0, 3, 7} — should compact to {0, 1, 2}.
+        let p = Partitioning::new(vec![PartitionId(3), PartitionId(0), PartitionId(7)]);
+        assert_eq!(p.partition_count(), 3);
+        assert_eq!(p.partition_of(TaskId(0)), PartitionId(1));
+        assert_eq!(p.partition_of(TaskId(1)), PartitionId(0));
+        assert_eq!(p.partition_of(TaskId(2)), PartitionId(2));
+    }
+
+    #[test]
+    fn tasks_in_and_resources() {
+        let g = gen::fig4_example();
+        // Tasks 0..5 (P1 tasks) in partition 0, tasks 5,6 in partition 1.
+        let assign: Vec<PartitionId> = (0..7)
+            .map(|i| PartitionId(u32::from(i >= 5)))
+            .collect();
+        let p = Partitioning::new(assign);
+        assert_eq!(p.tasks_in(PartitionId(0)).len(), 5);
+        assert_eq!(p.tasks_in(PartitionId(1)).len(), 2);
+        assert_eq!(
+            p.resources_of(&g, PartitionId(0)),
+            sparcs_dfg::Resources::clbs(1000)
+        );
+    }
+
+    #[test]
+    fn validate_flags_backward_edges() {
+        let g = gen::fig4_example();
+        // Put the sink chain (tasks 5, 6) *before* their producers.
+        let assign: Vec<PartitionId> = (0..7)
+            .map(|i| PartitionId(u32::from(i < 5)))
+            .collect();
+        let p = Partitioning::new(assign);
+        let arch = sparcs_estimate::Architecture::xc4044_wildforce();
+        let v = p.validate(&g, &arch, MemoryMode::Net);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::TemporalOrder { .. })));
+    }
+
+    #[test]
+    fn validate_flags_resource_overflow() {
+        let g = gen::fig4_example(); // total 2000 CLBs
+        let p = Partitioning::new(vec![PartitionId(0); 7]);
+        let arch = sparcs_estimate::Architecture::xc4044_wildforce(); // 1600
+        let v = p.validate(&g, &arch, MemoryMode::Net);
+        assert!(v.iter().any(|x| matches!(x, Violation::Resources { .. })));
+    }
+
+    #[test]
+    fn validate_flags_memory_overflow() {
+        let g = gen::fig4_example();
+        let assign: Vec<PartitionId> = (0..7)
+            .map(|i| PartitionId(u32::from(i >= 5)))
+            .collect();
+        let p = Partitioning::new(assign);
+        // 3 words cross the boundary; memory of 2 words must trip.
+        let arch = sparcs_estimate::Architecture::xc4044_wildforce().with_memory_words(2);
+        let v = p.validate(&g, &arch, MemoryMode::Net);
+        assert!(v.iter().any(|x| matches!(x, Violation::Memory { .. })));
+    }
+
+    #[test]
+    fn feasible_partitioning_validates_clean() {
+        let g = gen::fig4_example();
+        let assign: Vec<PartitionId> = (0..7)
+            .map(|i| PartitionId(u32::from(i >= 5)))
+            .collect();
+        let p = Partitioning::new(assign);
+        let arch = sparcs_estimate::Architecture::xc4044_wildforce();
+        assert!(p.validate(&g, &arch, MemoryMode::Net).is_empty());
+        assert!(p.validate(&g, &arch, MemoryMode::Edge).is_empty());
+    }
+
+    #[test]
+    fn display_lists_partitions() {
+        let p = Partitioning::new(vec![PartitionId(0), PartitionId(1)]);
+        let s = p.to_string();
+        assert!(s.contains("P1={t0}"));
+        assert!(s.contains("P2={t1}"));
+    }
+}

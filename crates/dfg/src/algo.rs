@@ -1,0 +1,298 @@
+//! DAG algorithms over [`TaskGraph`]: levels, reachability, critical paths.
+//!
+//! These are the analyses the temporal partitioner and the list-based baseline
+//! need: ASAP/ALAP levels drive list ordering, reachability feeds the
+//! temporal-order constraints, and delay-weighted longest paths give both the
+//! critical path (a latency lower bound) and the per-partition delay measure
+//! of the paper's Figure 4.
+
+use crate::graph::{GraphError, TaskGraph, TaskId};
+
+/// Per-task level assignments computed by [`levels`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levels {
+    /// ASAP level: longest edge-count distance from any root (roots are 0).
+    pub asap: Vec<u32>,
+    /// ALAP level: `depth - 1 - (longest distance to any leaf)`.
+    pub alap: Vec<u32>,
+    /// Number of distinct ASAP levels (`max(asap) + 1`), 0 for empty graphs.
+    pub depth: u32,
+}
+
+impl Levels {
+    /// Tasks whose ASAP level equals `level`, in ascending id order.
+    pub fn tasks_at(&self, level: u32) -> Vec<TaskId> {
+        self.asap
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == level)
+            .map(|(i, _)| TaskId(i as u32))
+            .collect()
+    }
+
+    /// Scheduling slack (`alap - asap`) of a task.
+    pub fn slack(&self, t: TaskId) -> u32 {
+        self.alap[t.index()] - self.asap[t.index()]
+    }
+}
+
+/// Computes ASAP/ALAP levels for every task.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if the graph is not a DAG.
+pub fn levels(g: &TaskGraph) -> Result<Levels, GraphError> {
+    let order = g.topological_order()?;
+    let n = g.task_count();
+    let mut asap = vec![0u32; n];
+    for &t in &order {
+        for s in g.successors(t) {
+            asap[s.index()] = asap[s.index()].max(asap[t.index()] + 1);
+        }
+    }
+    let depth = if n == 0 {
+        0
+    } else {
+        asap.iter().copied().max().unwrap_or(0) + 1
+    };
+    // Longest distance to a leaf, then mirror.
+    let mut to_leaf = vec![0u32; n];
+    for &t in order.iter().rev() {
+        for s in g.successors(t) {
+            to_leaf[t.index()] = to_leaf[t.index()].max(to_leaf[s.index()] + 1);
+        }
+    }
+    let alap = to_leaf
+        .iter()
+        .map(|&d| depth.saturating_sub(1) - d)
+        .collect();
+    Ok(Levels { asap, alap, depth })
+}
+
+/// Dense reachability matrix: `reach[i][j]` is `true` iff there is a directed
+/// path `t_i ⇒ t_j` (the paper's `t_i ⤳ t_j`). `reach[i][i]` is `false`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reachability {
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl Reachability {
+    /// Whether a directed path `from ⇒ to` exists.
+    pub fn reaches(&self, from: TaskId, to: TaskId) -> bool {
+        self.bits[from.index() * self.n + to.index()]
+    }
+
+    /// All tasks reachable from `from` (excluding itself), ascending.
+    pub fn descendants(&self, from: TaskId) -> Vec<TaskId> {
+        (0..self.n as u32)
+            .map(TaskId)
+            .filter(|&t| self.reaches(from, t))
+            .collect()
+    }
+
+    /// All tasks that reach `to` (excluding itself), ascending.
+    pub fn ancestors(&self, to: TaskId) -> Vec<TaskId> {
+        (0..self.n as u32)
+            .map(TaskId)
+            .filter(|&t| self.reaches(t, to))
+            .collect()
+    }
+}
+
+/// Computes the transitive closure of the task graph.
+///
+/// O(V·E) bitset-free propagation in reverse topological order — fine for the
+/// coarse-grain graphs of this domain (tens to a few thousand tasks).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if the graph is not a DAG.
+pub fn reachability(g: &TaskGraph) -> Result<Reachability, GraphError> {
+    let order = g.topological_order()?;
+    let n = g.task_count();
+    let mut bits = vec![false; n * n];
+    for &t in order.iter().rev() {
+        let ti = t.index();
+        for s in g.successors(t) {
+            let si = s.index();
+            bits[ti * n + si] = true;
+            // row[t] |= row[s]
+            for j in 0..n {
+                if bits[si * n + j] {
+                    bits[ti * n + j] = true;
+                }
+            }
+        }
+    }
+    Ok(Reachability { n, bits })
+}
+
+/// Result of a delay-weighted longest-path computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Total delay along the path in nanoseconds (sum of task delays).
+    pub delay_ns: u64,
+    /// The tasks on the path, root first.
+    pub tasks: Vec<TaskId>,
+}
+
+/// Computes the delay-weighted critical path of the whole graph: the
+/// root→leaf path maximizing `Σ D(t)`. This is the latency of the design when
+/// everything fits in a single configuration, and a lower bound on `Σ d_p`.
+///
+/// Returns `None` for an empty graph.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if the graph is not a DAG.
+pub fn critical_path(g: &TaskGraph) -> Result<Option<CriticalPath>, GraphError> {
+    let order = g.topological_order()?;
+    if order.is_empty() {
+        return Ok(None);
+    }
+    let n = g.task_count();
+    // best[t] = max over paths starting at t of total delay; next[t] on path.
+    let mut best = vec![0u64; n];
+    let mut next: Vec<Option<TaskId>> = vec![None; n];
+    for &t in order.iter().rev() {
+        let ti = t.index();
+        best[ti] = g.task(t).delay_ns;
+        for s in g.successors(t) {
+            let cand = g.task(t).delay_ns + best[s.index()];
+            if cand > best[ti] {
+                best[ti] = cand;
+                next[ti] = Some(s);
+            }
+        }
+    }
+    let start = g
+        .roots()
+        .into_iter()
+        .max_by_key(|t| best[t.index()])
+        .expect("non-empty DAG has a root");
+    let mut tasks = vec![start];
+    let mut cur = start;
+    while let Some(nx) = next[cur.index()] {
+        tasks.push(nx);
+        cur = nx;
+    }
+    Ok(Some(CriticalPath {
+        delay_ns: best[start.index()],
+        tasks,
+    }))
+}
+
+/// Sum of task delays over the whole graph — the worst-case serial latency.
+pub fn total_delay(g: &TaskGraph) -> u64 {
+    g.tasks().map(|(_, t)| t.delay_ns).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraph;
+    use crate::resources::Resources;
+
+    /// The delay-estimation example of the paper's Figure 4: two partitions,
+    /// three paths with delays 350/400/150 ns in partition 1 and 300 ns in
+    /// partition 2. Here we build the full (unpartitioned) graph.
+    fn fig4_like() -> (TaskGraph, Vec<TaskId>) {
+        let mut g = TaskGraph::new("fig4");
+        // Partition-1 tasks: three parallel chains.
+        let a1 = g.add_task("a1", Resources::clbs(1), 100, 1);
+        let a2 = g.add_task("a2", Resources::clbs(1), 250, 1);
+        let b1 = g.add_task("b1", Resources::clbs(1), 300, 1);
+        let b2 = g.add_task("b2", Resources::clbs(1), 100, 1);
+        let c1 = g.add_task("c1", Resources::clbs(1), 150, 1);
+        // Partition-2 tasks: one chain of 300 ns.
+        let d1 = g.add_task("d1", Resources::clbs(1), 200, 1);
+        let d2 = g.add_task("d2", Resources::clbs(1), 100, 1);
+        g.add_edge(a1, a2, 1).unwrap();
+        g.add_edge(b1, b2, 1).unwrap();
+        g.add_edge(a2, d1, 1).unwrap();
+        g.add_edge(b2, d1, 1).unwrap();
+        g.add_edge(c1, d1, 1).unwrap();
+        g.add_edge(d1, d2, 1).unwrap();
+        (g, vec![a1, a2, b1, b2, c1, d1, d2])
+    }
+
+    #[test]
+    fn levels_diamond() {
+        let mut g = TaskGraph::new("d");
+        let a = g.add_task("a", Resources::ZERO, 1, 1);
+        let b = g.add_task("b", Resources::ZERO, 1, 1);
+        let c = g.add_task("c", Resources::ZERO, 1, 1);
+        let d = g.add_task("d", Resources::ZERO, 1, 1);
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(a, c, 1).unwrap();
+        g.add_edge(b, d, 1).unwrap();
+        g.add_edge(c, d, 1).unwrap();
+        let lv = levels(&g).unwrap();
+        assert_eq!(lv.asap, vec![0, 1, 1, 2]);
+        assert_eq!(lv.alap, vec![0, 1, 1, 2]);
+        assert_eq!(lv.depth, 3);
+        assert_eq!(lv.slack(b), 0);
+        assert_eq!(lv.tasks_at(1), vec![b, c]);
+    }
+
+    #[test]
+    fn alap_gives_slack_to_short_branches() {
+        let mut g = TaskGraph::new("g");
+        let a = g.add_task("a", Resources::ZERO, 1, 1);
+        let b = g.add_task("b", Resources::ZERO, 1, 1);
+        let c = g.add_task("c", Resources::ZERO, 1, 1);
+        let d = g.add_task("d", Resources::ZERO, 1, 1);
+        // a -> b -> d and c -> d: c can float to level 1.
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(b, d, 1).unwrap();
+        g.add_edge(c, d, 1).unwrap();
+        let lv = levels(&g).unwrap();
+        assert_eq!(lv.asap[c.index()], 0);
+        assert_eq!(lv.alap[c.index()], 1);
+        assert_eq!(lv.slack(c), 1);
+        assert_eq!(lv.slack(a), 0);
+    }
+
+    #[test]
+    fn reachability_transitive() {
+        let (g, t) = fig4_like();
+        let r = reachability(&g).unwrap();
+        assert!(r.reaches(t[0], t[6]), "a1 reaches d2 transitively");
+        assert!(!r.reaches(t[6], t[0]));
+        assert!(!r.reaches(t[0], t[0]), "reflexive pairs excluded");
+        assert!(!r.reaches(t[0], t[2]), "parallel chains unrelated");
+        assert_eq!(r.ancestors(t[5]).len(), 5, "d1 has all five upstream");
+        assert_eq!(r.descendants(t[4]), vec![t[5], t[6]]);
+    }
+
+    #[test]
+    fn critical_path_fig4() {
+        let (g, t) = fig4_like();
+        let cp = critical_path(&g).unwrap().unwrap();
+        // b1(300) + b2(100) + d1(200) + d2(100) = 700 ns.
+        assert_eq!(cp.delay_ns, 700);
+        assert_eq!(cp.tasks, vec![t[2], t[3], t[5], t[6]]);
+    }
+
+    #[test]
+    fn critical_path_empty_graph_is_none() {
+        let g = TaskGraph::new("empty");
+        assert_eq!(critical_path(&g).unwrap(), None);
+    }
+
+    #[test]
+    fn critical_path_single_task() {
+        let mut g = TaskGraph::new("one");
+        let a = g.add_task("a", Resources::ZERO, 42, 1);
+        let cp = critical_path(&g).unwrap().unwrap();
+        assert_eq!(cp.delay_ns, 42);
+        assert_eq!(cp.tasks, vec![a]);
+    }
+
+    #[test]
+    fn total_delay_sums_everything() {
+        let (g, _) = fig4_like();
+        assert_eq!(total_delay(&g), 100 + 250 + 300 + 100 + 150 + 200 + 100);
+    }
+}

@@ -1,0 +1,122 @@
+//! Graphviz (DOT) export of task graphs and partitioned task graphs.
+//!
+//! Useful for eyeballing generated graphs and for documenting experiments;
+//! the partition-aware variant clusters tasks per temporal partition the way
+//! the paper draws its Figure 4.
+
+use crate::graph::{EnvDirection, TaskGraph, TaskId};
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Tasks become boxes labeled `name\nR / D`, data edges are labeled with their
+/// word counts, and environment ports appear as ellipses.
+pub fn to_dot(g: &TaskGraph) -> String {
+    to_dot_partitioned(g, |_| None)
+}
+
+/// Renders the graph in DOT with tasks grouped into `cluster_p` subgraphs
+/// according to `partition_of` (tasks mapping to `None` stay top-level).
+///
+/// # Examples
+///
+/// ```
+/// use sparcs_dfg::{TaskGraph, Resources, dot};
+///
+/// let mut g = TaskGraph::new("g");
+/// let a = g.add_task("a", Resources::clbs(10), 100, 1);
+/// let text = dot::to_dot_partitioned(&g, |t| if t == a { Some(0) } else { None });
+/// assert!(text.contains("cluster_0"));
+/// ```
+pub fn to_dot_partitioned(g: &TaskGraph, partition_of: impl Fn(TaskId) -> Option<u32>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", g.name());
+    let _ = writeln!(s, "  rankdir=TB;");
+    let _ = writeln!(s, "  node [shape=box, fontname=\"Helvetica\"];");
+
+    // Group tasks by partition.
+    let mut by_part: Vec<(Option<u32>, Vec<TaskId>)> = Vec::new();
+    for t in g.task_ids() {
+        let p = partition_of(t);
+        match by_part.iter_mut().find(|(q, _)| *q == p) {
+            Some((_, v)) => v.push(t),
+            None => by_part.push((p, vec![t])),
+        }
+    }
+    by_part.sort_by_key(|(p, _)| *p);
+
+    for (p, tasks) in &by_part {
+        if let Some(p) = p {
+            let _ = writeln!(s, "  subgraph cluster_{p} {{");
+            let _ = writeln!(s, "    label=\"temporal partition {}\";", p + 1);
+        }
+        for &t in tasks {
+            let task = g.task(t);
+            let indent = if p.is_some() { "    " } else { "  " };
+            let _ = writeln!(
+                s,
+                "{indent}{} [label=\"{}\\n{} / {} ns\"];",
+                t, task.name, task.resources, task.delay_ns
+            );
+        }
+        if p.is_some() {
+            let _ = writeln!(s, "  }}");
+        }
+    }
+
+    for e in g.edges() {
+        let _ = writeln!(s, "  {} -> {} [label=\"{}\"];", e.src, e.dst, e.words);
+    }
+
+    for (id, port) in g.env_ports().iter().enumerate() {
+        let name = format!("env{id}");
+        let _ = writeln!(
+            s,
+            "  {name} [shape=ellipse, label=\"{}\\n{} words\"];",
+            port.name, port.words
+        );
+        for &t in &port.tasks {
+            match port.direction {
+                EnvDirection::Input => {
+                    let _ = writeln!(s, "  {name} -> {t} [style=dashed];");
+                }
+                EnvDirection::Output => {
+                    let _ = writeln!(s, "  {t} -> {name} [style=dashed];");
+                }
+            }
+        }
+    }
+
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn dot_contains_all_tasks_edges_and_ports() {
+        let g = gen::fig4_example();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        for t in g.task_ids() {
+            assert!(dot.contains(&format!("{t} [label=")), "{t} missing");
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count() + 4); // 4 env arcs
+        assert!(dot.contains("in_a"));
+        assert!(dot.contains("out"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn partitioned_dot_clusters_tasks() {
+        let g = gen::fig4_example();
+        let dot = to_dot_partitioned(&g, |t| if t.index() < 5 { Some(0) } else { Some(1) });
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("temporal partition 1"));
+        assert!(dot.contains("temporal partition 2"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Deterministic task-graph generators for tests, property tests and the
+//! ablation benchmarks (experiment A1 of DESIGN.md).
+//!
+//! All generators are seeded ([`rand::rngs::StdRng`]) so every experiment is
+//! reproducible bit-for-bit.
+
+use crate::graph::{TaskGraph, TaskId};
+use crate::resources::Resources;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`layered`] random DAG generation (TGFF-style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayeredConfig {
+    /// Number of layers (≥ 1).
+    pub layers: u32,
+    /// Minimum tasks per layer (≥ 1).
+    pub min_width: u32,
+    /// Maximum tasks per layer (≥ `min_width`).
+    pub max_width: u32,
+    /// Probability of an edge between a task and each task of the next layer.
+    pub edge_prob: f64,
+    /// Inclusive range of task CLB costs.
+    pub clbs: (u64, u64),
+    /// Inclusive range of task delays in nanoseconds.
+    pub delay_ns: (u64, u64),
+    /// Inclusive range of per-edge word counts.
+    pub words: (u64, u64),
+}
+
+impl Default for LayeredConfig {
+    fn default() -> Self {
+        LayeredConfig {
+            layers: 5,
+            min_width: 2,
+            max_width: 6,
+            edge_prob: 0.4,
+            clbs: (40, 400),
+            delay_ns: (50, 800),
+            words: (1, 16),
+        }
+    }
+}
+
+/// Generates a layered random DAG.
+///
+/// Every non-first layer task is guaranteed at least one predecessor in the
+/// previous layer so the graph's depth equals `layers`, which keeps the
+/// temporal-order structure interesting for partitioning.
+///
+/// # Panics
+///
+/// Panics if `cfg` is degenerate (`layers == 0`, `min_width == 0`,
+/// `min_width > max_width`, or an inverted range).
+pub fn layered(cfg: &LayeredConfig, seed: u64) -> TaskGraph {
+    assert!(cfg.layers >= 1, "need at least one layer");
+    assert!(cfg.min_width >= 1, "need at least one task per layer");
+    assert!(cfg.min_width <= cfg.max_width, "width range inverted");
+    assert!(cfg.clbs.0 <= cfg.clbs.1, "clb range inverted");
+    assert!(cfg.delay_ns.0 <= cfg.delay_ns.1, "delay range inverted");
+    assert!(cfg.words.0 <= cfg.words.1, "word range inverted");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = TaskGraph::new(format!("layered-{seed}"));
+    let mut prev_layer: Vec<TaskId> = Vec::new();
+    for layer in 0..cfg.layers {
+        let width = rng.gen_range(cfg.min_width..=cfg.max_width);
+        let mut this_layer = Vec::with_capacity(width as usize);
+        for i in 0..width {
+            let t = g.add_task(
+                format!("L{layer}_{i}"),
+                Resources::clbs(rng.gen_range(cfg.clbs.0..=cfg.clbs.1)),
+                rng.gen_range(cfg.delay_ns.0..=cfg.delay_ns.1),
+                rng.gen_range(cfg.words.0..=cfg.words.1),
+            );
+            this_layer.push(t);
+        }
+        if !prev_layer.is_empty() {
+            for &dst in &this_layer {
+                let mut connected = false;
+                for &src in &prev_layer {
+                    if rng.gen_bool(cfg.edge_prob) {
+                        let w = rng.gen_range(cfg.words.0..=cfg.words.1);
+                        g.add_edge(src, dst, w).expect("layered edges are acyclic");
+                        connected = true;
+                    }
+                }
+                if !connected {
+                    let src = prev_layer[rng.gen_range(0..prev_layer.len())];
+                    let w = rng.gen_range(cfg.words.0..=cfg.words.1);
+                    g.add_edge(src, dst, w).expect("layered edges are acyclic");
+                }
+            }
+        }
+        prev_layer = this_layer;
+    }
+    // Environment I/O on roots and leaves (the Figure-3 shape).
+    let roots = g.roots();
+    let leaves = g.leaves();
+    for (i, &r) in roots.iter().enumerate() {
+        let words = g.task(r).output_words.max(1);
+        g.add_env_input(format!("in{i}"), words, [r])
+            .expect("roots are valid tasks");
+    }
+    for (i, &l) in leaves.iter().enumerate() {
+        let words = g.task(l).output_words.max(1);
+        g.add_env_output(format!("out{i}"), words, [l])
+            .expect("leaves are valid tasks");
+    }
+    g
+}
+
+/// A linear chain of `n` identical tasks — the simplest pipeline.
+pub fn chain(n: u32, clbs: u64, delay_ns: u64, words: u64) -> TaskGraph {
+    let mut g = TaskGraph::new(format!("chain-{n}"));
+    let ids: Vec<TaskId> = (0..n)
+        .map(|i| g.add_task(format!("t{i}"), Resources::clbs(clbs), delay_ns, words))
+        .collect();
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1], words).expect("chain is acyclic");
+    }
+    if let (Some(&first), Some(&last)) = (ids.first(), ids.last()) {
+        g.add_env_input("in", words, [first]).expect("valid");
+        g.add_env_output("out", words, [last]).expect("valid");
+    }
+    g
+}
+
+/// The worked delay-estimation example of the paper's Figure 4.
+///
+/// Builds a graph whose optimal 2-partition split yields partition delays of
+/// exactly 400 ns and 300 ns: partition 1 holds three parallel chains with
+/// path delays 350, 400 and 150 ns; partition 2 holds a 300 ns chain fed by
+/// all three.
+pub fn fig4_example() -> TaskGraph {
+    let mut g = TaskGraph::new("fig4");
+    // Chain A: 100 + 250 = 350 ns.
+    let a1 = g.add_task_kind("a1", "P1", Resources::clbs(200), 100, 1);
+    let a2 = g.add_task_kind("a2", "P1", Resources::clbs(200), 250, 1);
+    // Chain B: 300 + 100 = 400 ns.
+    let b1 = g.add_task_kind("b1", "P1", Resources::clbs(200), 300, 1);
+    let b2 = g.add_task_kind("b2", "P1", Resources::clbs(200), 100, 1);
+    // Chain C: 150 ns.
+    let c1 = g.add_task_kind("c1", "P1", Resources::clbs(200), 150, 1);
+    // Partition 2: 200 + 100 = 300 ns.
+    let d1 = g.add_task_kind("d1", "P2", Resources::clbs(500), 200, 1);
+    let d2 = g.add_task_kind("d2", "P2", Resources::clbs(500), 100, 1);
+    g.add_edge(a1, a2, 1).expect("acyclic");
+    g.add_edge(b1, b2, 1).expect("acyclic");
+    g.add_edge(a2, d1, 1).expect("acyclic");
+    g.add_edge(b2, d1, 1).expect("acyclic");
+    g.add_edge(c1, d1, 1).expect("acyclic");
+    g.add_edge(d1, d2, 1).expect("acyclic");
+    g.add_env_input("in_a", 1, [a1]).expect("valid");
+    g.add_env_input("in_b", 1, [b1]).expect("valid");
+    g.add_env_input("in_c", 1, [c1]).expect("valid");
+    g.add_env_output("out", 1, [d2]).expect("valid");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use crate::paths;
+
+    #[test]
+    fn layered_is_a_dag_with_requested_depth() {
+        let cfg = LayeredConfig::default();
+        for seed in 0..20 {
+            let g = layered(&cfg, seed);
+            g.validate().unwrap();
+            let lv = algo::levels(&g).unwrap();
+            assert_eq!(lv.depth, cfg.layers, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn layered_is_deterministic_per_seed() {
+        let cfg = LayeredConfig::default();
+        assert_eq!(layered(&cfg, 7), layered(&cfg, 7));
+        assert_ne!(layered(&cfg, 7), layered(&cfg, 8));
+    }
+
+    #[test]
+    fn layered_non_roots_have_predecessors() {
+        let g = layered(&LayeredConfig::default(), 3);
+        let lv = algo::levels(&g).unwrap();
+        for t in g.task_ids() {
+            if lv.asap[t.index()] > 0 {
+                assert!(g.in_degree(t) > 0, "{t} at level >0 must have preds");
+            }
+        }
+    }
+
+    #[test]
+    fn layered_env_ports_cover_roots_and_leaves() {
+        let g = layered(&LayeredConfig::default(), 11);
+        assert_eq!(g.env_inputs().count(), g.roots().len());
+        assert_eq!(g.env_outputs().count(), g.leaves().len());
+    }
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(6, 100, 50, 2);
+        assert_eq!(g.task_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(paths::count_paths(&g).unwrap(), 1);
+        assert_eq!(algo::total_delay(&g), 300);
+    }
+
+    #[test]
+    fn fig4_path_delays_match_paper() {
+        let g = fig4_example();
+        let all = paths::enumerate_paths(&g, 16).unwrap();
+        // Whole-graph root→leaf paths (all end in d1,d2): 350+300, 400+300,
+        // 150+300.
+        let mut delays: Vec<u64> = all.iter().map(|p| p.delay_ns(&g)).collect();
+        delays.sort_unstable();
+        assert_eq!(delays, vec![450, 650, 700]);
+        let cp = algo::critical_path(&g).unwrap().unwrap();
+        assert_eq!(cp.delay_ns, 700);
+    }
+}

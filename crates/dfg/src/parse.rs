@@ -1,0 +1,350 @@
+//! A plain-text behavior-specification format.
+//!
+//! The paper's flow starts from "behavior level design descriptions"; this
+//! module gives SPARCS-RS a concrete on-disk form for them, so the CLI and
+//! downstream users can feed task graphs in without writing Rust. The format
+//! is line-based:
+//!
+//! ```text
+//! # comment
+//! graph jpeg_dct
+//! task t1_00 clbs=70 delay=3400 out=1 kind=T1
+//! task t2_00 clbs=180 delay=2520 out=1 kind=T2
+//! edge t1_00 -> t2_00 words=1
+//! input x_col0 words=4 tasks=t1_00
+//! output z_row0 words=1 tasks=t2_00
+//! ```
+//!
+//! [`parse`] builds a [`TaskGraph`]; [`to_text`] writes one back out
+//! (round-trip tested).
+
+use crate::graph::{GraphError, TaskGraph, TaskId};
+use crate::resources::Resources;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// Parse failure categories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Unknown directive at line start.
+    UnknownDirective(String),
+    /// A `key=value` field was malformed or had a bad number.
+    BadField(String),
+    /// A required field was missing.
+    MissingField(&'static str),
+    /// Reference to an undeclared task name.
+    UnknownTask(String),
+    /// The same task name declared twice.
+    DuplicateTask(String),
+    /// Structural error from the graph builder.
+    Graph(GraphError),
+    /// `edge` line missing the `->` arrow.
+    MissingArrow,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            ParseErrorKind::BadField(s) => write!(f, "malformed field `{s}`"),
+            ParseErrorKind::MissingField(k) => write!(f, "missing field `{k}`"),
+            ParseErrorKind::UnknownTask(t) => write!(f, "unknown task `{t}`"),
+            ParseErrorKind::DuplicateTask(t) => write!(f, "task `{t}` declared twice"),
+            ParseErrorKind::Graph(e) => write!(f, "{e}"),
+            ParseErrorKind::MissingArrow => write!(f, "edge must be `edge A -> B words=N`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn fields(parts: &[&str], line: usize) -> Result<BTreeMap<String, String>, ParseError> {
+    let mut map = BTreeMap::new();
+    for p in parts {
+        let Some((k, v)) = p.split_once('=') else {
+            return Err(ParseError {
+                line,
+                kind: ParseErrorKind::BadField((*p).to_string()),
+            });
+        };
+        map.insert(k.to_string(), v.to_string());
+    }
+    Ok(map)
+}
+
+fn num(map: &BTreeMap<String, String>, key: &'static str, line: usize) -> Result<u64, ParseError> {
+    let raw = map.get(key).ok_or(ParseError {
+        line,
+        kind: ParseErrorKind::MissingField(key),
+    })?;
+    raw.replace('_', "").parse().map_err(|_| ParseError {
+        line,
+        kind: ParseErrorKind::BadField(format!("{key}={raw}")),
+    })
+}
+
+/// Parses the text format into a [`TaskGraph`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn parse(text: &str) -> Result<TaskGraph, ParseError> {
+    let mut g = TaskGraph::new("unnamed");
+    let mut names: BTreeMap<String, TaskId> = BTreeMap::new();
+    let lookup = |names: &BTreeMap<String, TaskId>, name: &str, line: usize| {
+        names.get(name).copied().ok_or(ParseError {
+            line,
+            kind: ParseErrorKind::UnknownTask(name.to_string()),
+        })
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
+        let directive = parts.next().expect("non-empty line");
+        let rest: Vec<&str> = parts.collect();
+        match directive {
+            "graph" => {
+                let name = rest.first().copied().unwrap_or("unnamed");
+                g = rename(g, name);
+            }
+            "task" => {
+                let Some((&name, kv)) = rest.split_first() else {
+                    return Err(ParseError {
+                        line,
+                        kind: ParseErrorKind::MissingField("name"),
+                    });
+                };
+                if names.contains_key(name) {
+                    return Err(ParseError {
+                        line,
+                        kind: ParseErrorKind::DuplicateTask(name.to_string()),
+                    });
+                }
+                let map = fields(kv, line)?;
+                let clbs = num(&map, "clbs", line)?;
+                let delay = num(&map, "delay", line)?;
+                let out = num(&map, "out", line)?;
+                let kind = map.get("kind").cloned().unwrap_or_default();
+                let id = g.add_task_kind(name, kind, Resources::clbs(clbs), delay, out);
+                names.insert(name.to_string(), id);
+            }
+            "edge" => {
+                // edge A -> B words=N
+                if rest.len() < 3 || rest[1] != "->" {
+                    return Err(ParseError {
+                        line,
+                        kind: ParseErrorKind::MissingArrow,
+                    });
+                }
+                let src = lookup(&names, rest[0], line)?;
+                let dst = lookup(&names, rest[2], line)?;
+                let map = fields(&rest[3..], line)?;
+                let words = if map.contains_key("words") {
+                    num(&map, "words", line)?
+                } else {
+                    g.task(src).output_words
+                };
+                g.add_edge(src, dst, words).map_err(|e| ParseError {
+                    line,
+                    kind: ParseErrorKind::Graph(e),
+                })?;
+            }
+            "input" | "output" => {
+                let Some((&name, kv)) = rest.split_first() else {
+                    return Err(ParseError {
+                        line,
+                        kind: ParseErrorKind::MissingField("name"),
+                    });
+                };
+                let map = fields(kv, line)?;
+                let words = num(&map, "words", line)?;
+                let tasks_raw = map.get("tasks").ok_or(ParseError {
+                    line,
+                    kind: ParseErrorKind::MissingField("tasks"),
+                })?;
+                let mut ids = Vec::new();
+                for t in tasks_raw.split(',').filter(|s| !s.is_empty()) {
+                    ids.push(lookup(&names, t, line)?);
+                }
+                let result = if directive == "input" {
+                    g.add_env_input(name, words, ids)
+                } else {
+                    g.add_env_output(name, words, ids)
+                };
+                result.map_err(|e| ParseError {
+                    line,
+                    kind: ParseErrorKind::Graph(e),
+                })?;
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    kind: ParseErrorKind::UnknownDirective(other.to_string()),
+                })
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Renames a graph (the builder has no rename; rebuild the shell cheaply).
+fn rename(g: TaskGraph, name: &str) -> TaskGraph {
+    // Only legal before any task is added (the `graph` directive comes
+    // first); otherwise keep contents and only change the label by
+    // serializing through the builder.
+    if g.task_count() == 0 && g.env_ports().is_empty() {
+        TaskGraph::new(name)
+    } else {
+        g
+    }
+}
+
+/// Writes a [`TaskGraph`] in the text format (inverse of [`parse`] up to
+/// comments and formatting).
+pub fn to_text(g: &TaskGraph) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "graph {}", g.name());
+    for (id, t) in g.tasks() {
+        let _ = write!(
+            s,
+            "task {} clbs={} delay={} out={}",
+            t.name, t.resources.clbs, t.delay_ns, t.output_words
+        );
+        if t.kind.is_empty() {
+            let _ = writeln!(s);
+        } else {
+            let _ = writeln!(s, " kind={}", t.kind);
+        }
+        let _ = id;
+    }
+    for e in g.edges() {
+        let _ = writeln!(
+            s,
+            "edge {} -> {} words={}",
+            g.task(e.src).name,
+            g.task(e.dst).name,
+            e.words
+        );
+    }
+    for port in g.env_ports() {
+        let dir = match port.direction {
+            crate::graph::EnvDirection::Input => "input",
+            crate::graph::EnvDirection::Output => "output",
+        };
+        let tasks: Vec<&str> = port.tasks.iter().map(|&t| g.task(t).name.as_str()).collect();
+        let _ = writeln!(
+            s,
+            "{dir} {} words={} tasks={}",
+            port.name,
+            port.words,
+            tasks.join(",")
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+# a two-stage pipeline
+graph sample
+task a clbs=700 delay=2_000 out=8 kind=FIR
+task b clbs=500 delay=800 out=4
+edge a -> b words=8
+input samples words=8 tasks=a
+output packed words=4 tasks=b
+";
+
+    #[test]
+    fn parses_sample() {
+        let g = parse(SAMPLE).unwrap();
+        assert_eq!(g.name(), "sample");
+        assert_eq!(g.task_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.env_inputs().count(), 1);
+        assert_eq!(g.env_outputs().count(), 1);
+        let a = g.task(crate::graph::TaskId(0));
+        assert_eq!(a.resources.clbs, 700);
+        assert_eq!(a.delay_ns, 2_000);
+        assert_eq!(a.kind, "FIR");
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let g = parse(SAMPLE).unwrap();
+        let text = to_text(&g);
+        let g2 = parse(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn round_trips_generated_graphs() {
+        let g = crate::gen::fig4_example();
+        let g2 = parse(&to_text(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_words_default_to_producer_output() {
+        let g = parse(
+            "task a clbs=1 delay=1 out=6\ntask b clbs=1 delay=1 out=1\nedge a -> b",
+        )
+        .unwrap();
+        assert_eq!(g.edges()[0].words, 6);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("task a clbs=1 delay=1 out=1\nbogus x").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseErrorKind::UnknownDirective(_)));
+
+        let err = parse("task a clbs=ten delay=1 out=1").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(matches!(err.kind, ParseErrorKind::BadField(_)));
+
+        let err = parse("edge a -> b words=1").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnknownTask(_)));
+
+        let err = parse("task a clbs=1 delay=1 out=1\ntask a clbs=1 delay=1 out=1").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::DuplicateTask(_)));
+
+        let err = parse("task a clbs=1 out=1").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::MissingField("delay"));
+
+        let err = parse("task a clbs=1 delay=1 out=1\nedge a b words=1").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::MissingArrow);
+    }
+
+    #[test]
+    fn structural_errors_surface() {
+        let err = parse("task a clbs=1 delay=1 out=1\nedge a -> a words=1").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::Graph(GraphError::SelfLoop(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = parse("# nothing\n\n   # indented comment\n").unwrap();
+        assert_eq!(g.task_count(), 0);
+    }
+}

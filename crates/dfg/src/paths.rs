@@ -1,0 +1,268 @@
+//! Root→leaf path enumeration — the paper's `P_{ls}` set.
+//!
+//! The partition-delay constraint of the paper (its Equation 7) is generated
+//! *per directed path from a root task to a leaf task*. The number of such
+//! paths can grow exponentially in pathological DAGs, so enumeration is
+//! budgeted: callers state how many paths they are willing to materialize and
+//! get a typed error beyond that, at which point the model generator falls
+//! back to a safe over-approximation (see `sparcs-core`).
+
+use crate::graph::{GraphError, TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A directed root→leaf path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TaskPath {
+    /// Tasks on the path, root first, leaf last. Never empty.
+    pub tasks: Vec<TaskId>,
+}
+
+impl TaskPath {
+    /// Total delay `Σ D(t)` along the path, given the owning graph.
+    pub fn delay_ns(&self, g: &TaskGraph) -> u64 {
+        self.tasks.iter().map(|&t| g.task(t).delay_ns).sum()
+    }
+
+    /// Number of tasks on the path.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the path is empty (never true for paths produced here).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+impl fmt::Display for TaskPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for t in &self.tasks {
+            if !first {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{t}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when a graph has more root→leaf paths than the caller's
+/// budget allows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathBudgetExceeded {
+    /// The budget that was exceeded.
+    pub budget: usize,
+}
+
+impl fmt::Display for PathBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "root-to-leaf path count exceeds budget of {}", self.budget)
+    }
+}
+
+impl std::error::Error for PathBudgetExceeded {}
+
+/// Counts root→leaf paths without materializing them (dynamic programming in
+/// topological order, saturating at `u128::MAX`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if the graph is not a DAG.
+pub fn count_paths(g: &TaskGraph) -> Result<u128, GraphError> {
+    let order = g.topological_order()?;
+    let n = g.task_count();
+    let mut count = vec![0u128; n];
+    for &t in order.iter().rev() {
+        let ti = t.index();
+        if g.out_degree(t) == 0 {
+            count[ti] = 1;
+        } else {
+            count[ti] = g
+                .successors(t)
+                .map(|s| count[s.index()])
+                .fold(0u128, |a, b| a.saturating_add(b));
+        }
+    }
+    Ok(g.roots()
+        .into_iter()
+        .map(|r| count[r.index()])
+        .fold(0u128, |a, b| a.saturating_add(b)))
+}
+
+/// Enumerates every root→leaf path, failing fast when more than `budget`
+/// paths exist.
+///
+/// Paths are produced in depth-first order with successors visited in edge
+/// insertion order, so output is deterministic for a deterministic builder.
+///
+/// # Errors
+///
+/// * [`GraphError::Cycle`] (wrapped in `Ok(Err(..))`? No —) the graph must be
+///   a DAG; cycles surface as `EnumerateError::Graph`.
+/// * `EnumerateError::Budget` when the path count exceeds `budget`.
+pub fn enumerate_paths(
+    g: &TaskGraph,
+    budget: usize,
+) -> Result<Vec<TaskPath>, EnumerateError> {
+    g.validate().map_err(EnumerateError::Graph)?;
+    if count_paths(g).map_err(EnumerateError::Graph)? > budget as u128 {
+        return Err(EnumerateError::Budget(PathBudgetExceeded { budget }));
+    }
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    for r in g.roots() {
+        dfs(g, r, &mut stack, &mut out);
+    }
+    Ok(out)
+}
+
+fn dfs(g: &TaskGraph, t: TaskId, stack: &mut Vec<TaskId>, out: &mut Vec<TaskPath>) {
+    stack.push(t);
+    if g.out_degree(t) == 0 {
+        out.push(TaskPath {
+            tasks: stack.clone(),
+        });
+    } else {
+        for s in g.successors(t) {
+            dfs(g, s, stack, out);
+        }
+    }
+    stack.pop();
+}
+
+/// Errors from [`enumerate_paths`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnumerateError {
+    /// The underlying graph is invalid (contains a cycle).
+    Graph(GraphError),
+    /// More paths exist than the enumeration budget allows.
+    Budget(PathBudgetExceeded),
+}
+
+impl fmt::Display for EnumerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumerateError::Graph(e) => write!(f, "{e}"),
+            EnumerateError::Budget(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EnumerateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraph;
+    use crate::resources::Resources;
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new("chain");
+        let ids: Vec<_> = (0..n)
+            .map(|i| g.add_task(format!("t{i}"), Resources::ZERO, 10, 1))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 1).unwrap();
+        }
+        g
+    }
+
+    /// k independent diamonds in series: path count = 2^k.
+    fn diamond_chain(k: usize) -> TaskGraph {
+        let mut g = TaskGraph::new("diamonds");
+        let mut prev: Option<TaskId> = None;
+        for i in 0..k {
+            let s = g.add_task(format!("s{i}"), Resources::ZERO, 1, 1);
+            let a = g.add_task(format!("a{i}"), Resources::ZERO, 1, 1);
+            let b = g.add_task(format!("b{i}"), Resources::ZERO, 1, 1);
+            let j = g.add_task(format!("j{i}"), Resources::ZERO, 1, 1);
+            g.add_edge(s, a, 1).unwrap();
+            g.add_edge(s, b, 1).unwrap();
+            g.add_edge(a, j, 1).unwrap();
+            g.add_edge(b, j, 1).unwrap();
+            if let Some(p) = prev {
+                g.add_edge(p, s, 1).unwrap();
+            }
+            prev = Some(j);
+        }
+        g
+    }
+
+    #[test]
+    fn chain_has_one_path() {
+        let g = chain(5);
+        assert_eq!(count_paths(&g).unwrap(), 1);
+        let paths = enumerate_paths(&g, 10).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 5);
+        assert_eq!(paths[0].delay_ns(&g), 50);
+    }
+
+    #[test]
+    fn diamond_chain_counts_exponentially() {
+        for k in 1..=6 {
+            let g = diamond_chain(k);
+            assert_eq!(count_paths(&g).unwrap(), 1u128 << k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_count() {
+        let g = diamond_chain(4);
+        let paths = enumerate_paths(&g, 100).unwrap();
+        assert_eq!(paths.len() as u128, count_paths(&g).unwrap());
+        // Every path is root->leaf and respects edges.
+        for p in &paths {
+            assert_eq!(g.in_degree(p.tasks[0]), 0);
+            assert_eq!(g.out_degree(*p.tasks.last().unwrap()), 0);
+            for w in p.tasks.windows(2) {
+                assert!(g.successors(w[0]).any(|s| s == w[1]));
+            }
+        }
+        // All paths distinct.
+        let mut sorted = paths.clone();
+        sorted.sort_by(|a, b| a.tasks.cmp(&b.tasks));
+        sorted.dedup();
+        assert_eq!(sorted.len(), paths.len());
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let g = diamond_chain(5); // 32 paths
+        match enumerate_paths(&g, 31) {
+            Err(EnumerateError::Budget(b)) => assert_eq!(b.budget, 31),
+            other => panic!("expected budget error, got {other:?}"),
+        }
+        assert!(enumerate_paths(&g, 32).is_ok());
+    }
+
+    #[test]
+    fn multi_root_multi_leaf() {
+        let mut g = TaskGraph::new("g");
+        let a = g.add_task("a", Resources::ZERO, 1, 1);
+        let b = g.add_task("b", Resources::ZERO, 2, 1);
+        let c = g.add_task("c", Resources::ZERO, 4, 1);
+        let d = g.add_task("d", Resources::ZERO, 8, 1);
+        // two roots a, b ; two leaves c, d ; complete bipartite.
+        g.add_edge(a, c, 1).unwrap();
+        g.add_edge(a, d, 1).unwrap();
+        g.add_edge(b, c, 1).unwrap();
+        g.add_edge(b, d, 1).unwrap();
+        assert_eq!(count_paths(&g).unwrap(), 4);
+        let paths = enumerate_paths(&g, 4).unwrap();
+        let delays: Vec<u64> = paths.iter().map(|p| p.delay_ns(&g)).collect();
+        assert_eq!(delays, vec![5, 9, 6, 10]);
+    }
+
+    #[test]
+    fn isolated_task_is_its_own_path() {
+        let mut g = TaskGraph::new("g");
+        let a = g.add_task("a", Resources::ZERO, 7, 1);
+        assert_eq!(count_paths(&g).unwrap(), 1);
+        let paths = enumerate_paths(&g, 1).unwrap();
+        assert_eq!(paths[0].tasks, vec![a]);
+    }
+}

@@ -1,0 +1,319 @@
+//! Operation-level data-flow graphs.
+//!
+//! A task of the behavior task graph is *internally* a small data-flow graph
+//! of arithmetic operations and memory accesses; the estimator schedules this
+//! graph to derive cycle counts, and the HLS crate later synthesizes it into
+//! a datapath and controller. This mirrors the paper's two granularities:
+//! task-level for partitioning (their earlier DATE'98 work was
+//! operation-level and "could only handle small behavior specifications"),
+//! operation-level for estimation and synthesis.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operation classes known to the component library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Magnitude comparison.
+    Cmp,
+    /// Bitwise/shift logic (barrel shift, and/or/xor).
+    Logic,
+    /// Read one word from the on-board memory port.
+    MemRead,
+    /// Write one word to the on-board memory port.
+    MemWrite,
+}
+
+impl OpKind {
+    /// All operation kinds (stable order).
+    pub const ALL: [OpKind; 7] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Cmp,
+        OpKind::Logic,
+        OpKind::MemRead,
+        OpKind::MemWrite,
+    ];
+
+    /// Whether the operation uses the (single) memory port.
+    pub fn uses_memory_port(self) -> bool {
+        matches!(self, OpKind::MemRead | OpKind::MemWrite)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Cmp => "cmp",
+            OpKind::Logic => "logic",
+            OpKind::MemRead => "mem_read",
+            OpKind::MemWrite => "mem_write",
+        })
+    }
+}
+
+/// Identifier of an operation within its [`OpGraph`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// One operation node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpNode {
+    /// Operation class.
+    pub kind: OpKind,
+    /// Output bit width (drives component selection).
+    pub bits: u32,
+    /// Diagnostic name.
+    pub name: String,
+}
+
+/// A small DAG of operations — the body of one behavior task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct OpGraph {
+    ops: Vec<OpNode>,
+    /// Dependency edges `(producer, consumer)`.
+    edges: Vec<(OpId, OpId)>,
+}
+
+impl OpGraph {
+    /// Creates an empty operation graph.
+    pub fn new() -> Self {
+        OpGraph::default()
+    }
+
+    /// Adds an operation and returns its id.
+    pub fn add_op(&mut self, kind: OpKind, bits: u32, name: impl Into<String>) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(OpNode {
+            kind,
+            bits,
+            name: name.into(),
+        });
+        id
+    }
+
+    /// Adds a dependency `producer → consumer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range or on a self-dependency.
+    pub fn add_dep(&mut self, producer: OpId, consumer: OpId) {
+        assert!(producer.index() < self.ops.len(), "unknown producer");
+        assert!(consumer.index() < self.ops.len(), "unknown consumer");
+        assert_ne!(producer, consumer, "self dependency");
+        self.edges.push((producer, consumer));
+    }
+
+    /// Number of operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Operation record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn op(&self, id: OpId) -> &OpNode {
+        &self.ops[id.index()]
+    }
+
+    /// All operations with ids.
+    pub fn ops(&self) -> impl Iterator<Item = (OpId, &OpNode)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (OpId(i as u32), o))
+    }
+
+    /// Dependency edges.
+    pub fn deps(&self) -> &[(OpId, OpId)] {
+        &self.edges
+    }
+
+    /// Predecessors of `id`.
+    pub fn preds(&self, id: OpId) -> impl Iterator<Item = OpId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(_, c)| *c == id)
+            .map(|(p, _)| *p)
+    }
+
+    /// Successors of `id`.
+    pub fn succs(&self, id: OpId) -> impl Iterator<Item = OpId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(p, _)| *p == id)
+            .map(|(_, c)| *c)
+    }
+
+    /// Topological order; `None` if a cycle exists.
+    pub fn topological_order(&self) -> Option<Vec<OpId>> {
+        let n = self.ops.len();
+        let mut indeg = vec![0usize; n];
+        for &(_, c) in &self.edges {
+            indeg[c.index()] += 1;
+        }
+        let mut ready: Vec<OpId> = (0..n as u32)
+            .map(OpId)
+            .filter(|o| indeg[o.index()] == 0)
+            .collect();
+        ready.reverse(); // pop from the low end first
+        let mut order = Vec::with_capacity(n);
+        while let Some(o) = ready.pop() {
+            order.push(o);
+            for s in self.succs(o) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// The operation-level graph of an `n`-element vector product
+    /// (the paper's Figure 8 task shape): `n` memory reads, `n` constant
+    /// multiplies, an adder tree, one memory write.
+    ///
+    /// `in_bits` is the input element width, `coef_bits` the coefficient
+    /// width. The multiplier nodes carry the *operand* width
+    /// `max(in_bits, coef_bits)` — that is how the paper names its units
+    /// ("9 bit multipliers", "17 bit multipliers") — while the adder tree
+    /// grows from the full product width `in_bits + coef_bits`.
+    pub fn vector_product(n: u32, in_bits: u32, coef_bits: u32) -> OpGraph {
+        let mut g = OpGraph::new();
+        let mul_bits = in_bits.max(coef_bits);
+        let prod_bits = in_bits + coef_bits;
+        let mut layer: Vec<OpId> = (0..n)
+            .map(|i| {
+                let rd = g.add_op(OpKind::MemRead, in_bits, format!("read{i}"));
+                let mul = g.add_op(OpKind::Mul, mul_bits, format!("mul{i}"));
+                g.add_dep(rd, mul);
+                mul
+            })
+            .collect();
+        // Balanced adder tree.
+        let mut width = prod_bits;
+        while layer.len() > 1 {
+            width += 1;
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    let add = g.add_op(OpKind::Add, width, format!("add_{width}b"));
+                    g.add_dep(pair[0], add);
+                    g.add_dep(pair[1], add);
+                    next.push(add);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        let wr = g.add_op(OpKind::MemWrite, width, "write");
+        g.add_dep(layer[0], wr);
+        g
+    }
+}
+
+impl fmt::Display for OpGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op graph: {} ops, {} deps", self.ops.len(), self.edges.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_product_shape() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        // 4 reads + 4 muls + 3 adds + 1 write = 12 ops.
+        assert_eq!(g.op_count(), 12);
+        let kinds = |k: OpKind| g.ops().filter(|(_, o)| o.kind == k).count();
+        assert_eq!(kinds(OpKind::MemRead), 4);
+        assert_eq!(kinds(OpKind::Mul), 4);
+        assert_eq!(kinds(OpKind::Add), 3);
+        assert_eq!(kinds(OpKind::MemWrite), 1);
+        assert!(g.topological_order().is_some());
+    }
+
+    #[test]
+    fn vector_product_widths_grow() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        let mul_bits: Vec<u32> = g
+            .ops()
+            .filter(|(_, o)| o.kind == OpKind::Mul)
+            .map(|(_, o)| o.bits)
+            .collect();
+        // Multipliers are named by operand width: max(8, 9) = 9 bits.
+        assert!(mul_bits.iter().all(|&b| b == 9));
+        let write_bits = g
+            .ops()
+            .find(|(_, o)| o.kind == OpKind::MemWrite)
+            .map(|(_, o)| o.bits)
+            .unwrap();
+        assert_eq!(write_bits, 19); // 17 + 2 tree levels
+    }
+
+    #[test]
+    fn single_element_vector_product_has_no_adds() {
+        let g = OpGraph::vector_product(1, 8, 8);
+        assert_eq!(g.op_count(), 3); // read, mul, write
+        assert!(g.ops().all(|(_, o)| o.kind != OpKind::Add));
+    }
+
+    #[test]
+    fn topo_order_respects_deps() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        let order = g.topological_order().unwrap();
+        let pos = |o: OpId| order.iter().position(|&x| x == o).unwrap();
+        for &(p, c) in g.deps() {
+            assert!(pos(p) < pos(c));
+        }
+    }
+
+    #[test]
+    fn cycle_returns_none() {
+        let mut g = OpGraph::new();
+        let a = g.add_op(OpKind::Add, 8, "a");
+        let b = g.add_op(OpKind::Add, 8, "b");
+        g.add_dep(a, b);
+        g.add_dep(b, a);
+        assert!(g.topological_order().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "self dependency")]
+    fn self_dep_panics() {
+        let mut g = OpGraph::new();
+        let a = g.add_op(OpKind::Add, 8, "a");
+        g.add_dep(a, a);
+    }
+}

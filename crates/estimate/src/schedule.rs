@@ -1,0 +1,393 @@
+//! Resource-constrained list scheduling of operation graphs.
+//!
+//! Cycle counts for task estimation come from scheduling the task's
+//! [`OpGraph`] onto an [`Allocation`] of functional units. Priority is the
+//! classic longest-path-to-sink; ties break on op id so schedules are
+//! deterministic. Operations whose combinational delay exceeds the clock
+//! period become multi-cycle.
+
+use crate::library::ComponentLibrary;
+use crate::opgraph::{OpGraph, OpId, OpKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A group of identical functional units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuSpec {
+    /// Operation class the unit executes.
+    pub kind: OpKind,
+    /// Operand width of the unit; ops up to this width can bind to it.
+    pub bits: u32,
+    /// Number of unit instances.
+    pub count: u32,
+}
+
+/// A set of functional units available to the schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Allocation {
+    /// Unit groups (order irrelevant; ops bind to the narrowest adequate).
+    pub units: Vec<FuSpec>,
+}
+
+impl Allocation {
+    /// One unit per operation kind present in the graph, sized to the widest
+    /// op of that kind; memory reads and writes collapse into a single port
+    /// unit (one board memory bank).
+    pub fn minimal_for(g: &OpGraph) -> Allocation {
+        let mut units: Vec<FuSpec> = Vec::new();
+        for (_, op) in g.ops() {
+            // Both memory op kinds map onto the one physical port group.
+            let unit_kind = if op.kind.uses_memory_port() {
+                OpKind::MemRead
+            } else {
+                op.kind
+            };
+            match units.iter_mut().find(|u| u.kind == unit_kind) {
+                Some(u) => u.bits = u.bits.max(op.bits),
+                None => units.push(FuSpec {
+                    kind: unit_kind,
+                    bits: op.bits,
+                    count: 1,
+                }),
+            }
+        }
+        Allocation { units }
+    }
+
+    /// As many units as there are ops of each kind (an upper bound used for
+    /// ASAP-like estimation); memory stays single-ported.
+    pub fn unconstrained_for(g: &OpGraph) -> Allocation {
+        let mut alloc = Allocation::minimal_for(g);
+        for u in &mut alloc.units {
+            if !u.kind.uses_memory_port() {
+                u.count = g.ops().filter(|(_, o)| o.kind == u.kind).count() as u32;
+            }
+        }
+        alloc
+    }
+
+    /// Adds a unit group.
+    pub fn with_units(mut self, kind: OpKind, bits: u32, count: u32) -> Allocation {
+        self.units.push(FuSpec { kind, bits, count });
+        self
+    }
+
+    /// Total instances able to execute `kind` at `bits` width.
+    ///
+    /// Memory reads and writes share the same physical port, so either kind
+    /// of unit serves both.
+    pub fn capacity(&self, kind: OpKind, bits: u32) -> u32 {
+        self.units
+            .iter()
+            .filter(|u| {
+                let kind_ok = u.kind == kind
+                    || (u.kind.uses_memory_port() && kind.uses_memory_port());
+                kind_ok && u.bits >= bits
+            })
+            .map(|u| u.count)
+            .sum()
+    }
+
+    /// Sum of functional-unit CLB costs under `lib` (memory ports excluded,
+    /// they are priced by the library's interface constant).
+    pub fn fu_clbs(&self, lib: &ComponentLibrary) -> u64 {
+        self.units
+            .iter()
+            .map(|u| lib.fu_clbs(u.kind, u.bits) * u.count as u64)
+            .sum()
+    }
+}
+
+/// A computed schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Start cycle of each op (dense by op index).
+    pub start_cycle: Vec<u32>,
+    /// Duration in cycles of each op.
+    pub op_cycles: Vec<u32>,
+    /// Total latency in cycles (max finish).
+    pub latency_cycles: u32,
+    /// Maximum number of values simultaneously live across a cycle boundary
+    /// (drives register estimation).
+    pub max_live_values: u32,
+}
+
+/// Errors from [`list_schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The graph has a dependency cycle.
+    Cyclic,
+    /// No allocated unit can execute the given op.
+    NoCompatibleUnit(OpId, OpKind, u32),
+    /// The clock period is zero.
+    ZeroClock,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Cyclic => write!(f, "operation graph has a cycle"),
+            ScheduleError::NoCompatibleUnit(op, k, b) => {
+                write!(f, "no allocated unit can run {op} ({k}, {b} bits)")
+            }
+            ScheduleError::ZeroClock => write!(f, "clock period must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// List-schedules `g` on `alloc` with the given clock period.
+///
+/// # Errors
+///
+/// See [`ScheduleError`].
+pub fn list_schedule(
+    g: &OpGraph,
+    alloc: &Allocation,
+    lib: &ComponentLibrary,
+    clock_ns: u64,
+) -> Result<Schedule, ScheduleError> {
+    if clock_ns == 0 {
+        return Err(ScheduleError::ZeroClock);
+    }
+    let order = g.topological_order().ok_or(ScheduleError::Cyclic)?;
+    let n = g.op_count();
+
+    // Cycles per op (multi-cycle when slower than the clock).
+    let mut op_cycles = vec![0u32; n];
+    for (id, op) in g.ops() {
+        if alloc.capacity(op.kind, op.bits) == 0 {
+            return Err(ScheduleError::NoCompatibleUnit(id, op.kind, op.bits));
+        }
+        let d = lib.fu_delay_ns(op.kind, op.bits);
+        op_cycles[id.index()] = ((d / clock_ns as f64).ceil() as u32).max(1);
+    }
+
+    // Priority: longest path (in cycles) to any sink.
+    let mut priority = vec![0u64; n];
+    for &o in order.iter().rev() {
+        let oi = o.index();
+        priority[oi] = op_cycles[oi] as u64;
+        for s in g.succs(o) {
+            priority[oi] = priority[oi].max(op_cycles[oi] as u64 + priority[s.index()]);
+        }
+    }
+
+    let mut start = vec![u32::MAX; n];
+    let mut finish = vec![u32::MAX; n];
+    let mut unscheduled: Vec<OpId> = order.clone();
+    // Busy-until cycle per (kind,bits)-group instance, flattened per group.
+    // We model capacity per cycle instead: count ops of a group active each
+    // cycle. Simpler: simulate cycle by cycle.
+    let mut cycle: u32 = 0;
+    let mut remaining = n;
+    // Ready = all preds scheduled & finished by `cycle`.
+    while remaining > 0 {
+        // Gather ready ops, highest priority first (tie: lower id).
+        let mut ready: Vec<OpId> = unscheduled
+            .iter()
+            .copied()
+            .filter(|&o| start[o.index()] == u32::MAX)
+            .filter(|&o| {
+                g.preds(o)
+                    .all(|p| finish[p.index()] != u32::MAX && finish[p.index()] <= cycle)
+            })
+            .collect();
+        ready.sort_by_key(|&o| (std::cmp::Reverse(priority[o.index()]), o));
+
+        for o in ready {
+            let op = g.op(o);
+            // Units of the matching group already busy this cycle.
+            let busy = (0..n)
+                .filter(|&j| {
+                    start[j] != u32::MAX
+                        && start[j] <= cycle
+                        && finish[j] > cycle
+                        && compatible(g.op(OpId(j as u32)).kind, op.kind)
+                        && unit_class(g, alloc, OpId(j as u32)) == unit_class(g, alloc, o)
+                })
+                .count() as u32;
+            if busy < alloc.capacity(op.kind, op.bits) {
+                start[o.index()] = cycle;
+                finish[o.index()] = cycle + op_cycles[o.index()];
+                remaining -= 1;
+            }
+        }
+        unscheduled.retain(|&o| start[o.index()] == u32::MAX);
+        cycle += 1;
+        debug_assert!(
+            cycle < 1_000_000,
+            "schedule failed to make progress (bug)"
+        );
+    }
+
+    let latency_cycles = (0..n).map(|i| finish[i]).max().unwrap_or(0);
+
+    // Live-value analysis: a value produced by op p consumed by op c is live
+    // on every cycle boundary in (finish[p] .. start[c]+1). Count max overlap.
+    let mut max_live = 0u32;
+    for boundary in 0..=latency_cycles {
+        let live = g
+            .deps()
+            .iter()
+            .filter(|&&(p, c)| finish[p.index()] <= boundary && start[c.index()] >= boundary)
+            .map(|&(p, _)| p)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len() as u32;
+        max_live = max_live.max(live);
+    }
+
+    Ok(Schedule {
+        start_cycle: start,
+        op_cycles,
+        latency_cycles,
+        max_live_values: max_live,
+    })
+}
+
+fn compatible(unit_kind: OpKind, op_kind: OpKind) -> bool {
+    unit_kind == op_kind || (unit_kind.uses_memory_port() && op_kind.uses_memory_port())
+}
+
+/// Coarse unit class used to pool busy counts: memory ops share one class,
+/// every other kind is its own class.
+fn unit_class(_g: &OpGraph, _alloc: &Allocation, o: OpId) -> u8 {
+    // Ops are pooled by kind; memory reads/writes share the port class.
+    match _g.op(o).kind {
+        OpKind::MemRead | OpKind::MemWrite => 0,
+        OpKind::Add => 1,
+        OpKind::Sub => 2,
+        OpKind::Mul => 3,
+        OpKind::Cmp => 4,
+        OpKind::Logic => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opgraph::OpGraph;
+
+    fn lib() -> ComponentLibrary {
+        ComponentLibrary::xc4000()
+    }
+
+    #[test]
+    fn vector_product_minimal_allocation() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        let alloc = Allocation::minimal_for(&g);
+        let s = list_schedule(&g, &alloc, &lib(), 50).unwrap();
+        // Single mult + single adder + single mem port: at least
+        // 4 reads + 1 write on the port and 4 serialized muls, with the
+        // final write trailing the adder tree.
+        assert!(s.latency_cycles >= 8, "latency {}", s.latency_cycles);
+        assert!(s.latency_cycles <= 20, "latency {}", s.latency_cycles);
+    }
+
+    #[test]
+    fn more_units_never_slower() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        let min = list_schedule(&g, &Allocation::minimal_for(&g), &lib(), 50).unwrap();
+        let unc = list_schedule(&g, &Allocation::unconstrained_for(&g), &lib(), 50).unwrap();
+        assert!(unc.latency_cycles <= min.latency_cycles);
+    }
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        let alloc = Allocation::minimal_for(&g);
+        let s = list_schedule(&g, &alloc, &lib(), 50).unwrap();
+        for &(p, c) in g.deps() {
+            assert!(
+                s.start_cycle[p.index()] + s.op_cycles[p.index()] <= s.start_cycle[c.index()],
+                "{p} must finish before {c} starts"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_respects_capacity() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        let alloc = Allocation::minimal_for(&g);
+        let s = list_schedule(&g, &alloc, &lib(), 50).unwrap();
+        for cycle in 0..s.latency_cycles {
+            let muls_active = g
+                .ops()
+                .filter(|(id, o)| {
+                    o.kind == OpKind::Mul
+                        && s.start_cycle[id.index()] <= cycle
+                        && cycle < s.start_cycle[id.index()] + s.op_cycles[id.index()]
+                })
+                .count();
+            assert!(muls_active <= 1, "cycle {cycle}: {muls_active} muls");
+            let mems_active = g
+                .ops()
+                .filter(|(id, o)| {
+                    o.kind.uses_memory_port()
+                        && s.start_cycle[id.index()] <= cycle
+                        && cycle < s.start_cycle[id.index()] + s.op_cycles[id.index()]
+                })
+                .count();
+            assert!(mems_active <= 1, "cycle {cycle}: {mems_active} mem ops");
+        }
+    }
+
+    #[test]
+    fn multicycle_ops_with_tight_clock() {
+        // 17-bit multiply is 70 ns; a 25 ns clock makes it a 3-cycle op.
+        let mut g = OpGraph::new();
+        let m = g.add_op(OpKind::Mul, 17, "m");
+        let s = list_schedule(&g, &Allocation::minimal_for(&g), &lib(), 25).unwrap();
+        assert_eq!(s.op_cycles[m.index()], 3);
+        assert_eq!(s.latency_cycles, 3);
+    }
+
+    #[test]
+    fn missing_unit_is_an_error() {
+        let g = OpGraph::vector_product(2, 8, 9);
+        let alloc = Allocation::default().with_units(OpKind::Add, 32, 1);
+        match list_schedule(&g, &alloc, &lib(), 50) {
+            Err(ScheduleError::NoCompatibleUnit(_, k, _)) => {
+                assert!(k == OpKind::Mul || k.uses_memory_port());
+            }
+            other => panic!("expected NoCompatibleUnit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_narrow_unit_is_an_error() {
+        let mut g = OpGraph::new();
+        g.add_op(OpKind::Add, 32, "wide");
+        let alloc = Allocation::default().with_units(OpKind::Add, 16, 4);
+        assert!(matches!(
+            list_schedule(&g, &alloc, &lib(), 50),
+            Err(ScheduleError::NoCompatibleUnit(..))
+        ));
+    }
+
+    #[test]
+    fn zero_clock_rejected() {
+        let g = OpGraph::vector_product(2, 8, 9);
+        assert_eq!(
+            list_schedule(&g, &Allocation::minimal_for(&g), &lib(), 0),
+            Err(ScheduleError::ZeroClock)
+        );
+    }
+
+    #[test]
+    fn live_values_bounded_by_ops() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        let s = list_schedule(&g, &Allocation::minimal_for(&g), &lib(), 50).unwrap();
+        assert!(s.max_live_values >= 1);
+        assert!(s.max_live_values <= g.op_count() as u32);
+    }
+
+    #[test]
+    fn empty_graph_schedules_to_zero() {
+        let g = OpGraph::new();
+        let s = list_schedule(&g, &Allocation::default(), &lib(), 50).unwrap();
+        assert_eq!(s.latency_cycles, 0);
+        assert_eq!(s.max_live_values, 0);
+    }
+}

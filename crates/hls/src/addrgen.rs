@@ -1,0 +1,204 @@
+//! Address generation hardware: multiply versus concatenate (paper §3).
+//!
+//! The per-iteration address is `iteration·block + offset + location`.
+//! *"Since a multiplication operation is expensive, and will increase the
+//! area and delay of the synthesized circuit, we round off the memory block
+//! … to the nearest power of 2 and perform address generation by a simple
+//! concatenation/appending of data values in registers."* Both generators
+//! are implemented functionally and priced with the component library so the
+//! A2 ablation can chart the area/delay-versus-wastage trade.
+
+use serde::{Deserialize, Serialize};
+use sparcs_estimate::library::ComponentLibrary;
+use sparcs_estimate::opgraph::OpKind;
+use std::fmt;
+
+/// Which hardware computes addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddrGen {
+    /// `iteration × block_size` in a real multiplier (arbitrary block size).
+    Multiplier,
+    /// `iteration` shifted into the high bits (block size must be a power of
+    /// two).
+    Concatenation,
+}
+
+impl fmt::Display for AddrGen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AddrGen::Multiplier => "multiplier",
+            AddrGen::Concatenation => "concatenation",
+        })
+    }
+}
+
+/// A sized address generator for one partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressGenerator {
+    /// Generator style.
+    pub style: AddrGen,
+    /// Block size in words.
+    pub block_words: u64,
+    /// Address width in bits (covers `k · block`).
+    pub addr_bits: u32,
+    /// Iteration-counter width in bits (covers `k`).
+    pub iter_bits: u32,
+}
+
+/// Errors from address-generator construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddrGenError {
+    /// Concatenation requires a power-of-two block size.
+    NotPowerOfTwo(u64),
+    /// Block size must be positive.
+    ZeroBlock,
+}
+
+impl fmt::Display for AddrGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrGenError::NotPowerOfTwo(b) => {
+                write!(f, "block size {b} is not a power of two")
+            }
+            AddrGenError::ZeroBlock => write!(f, "block size must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for AddrGenError {}
+
+fn bits_for(v: u64) -> u32 {
+    64 - v.max(1).leading_zeros() // bits to represent values 0..=v-1 is bits_for(v-1); callers pass max value
+}
+
+impl AddressGenerator {
+    /// Builds a generator for `k` iterations of `block_words`-sized blocks.
+    ///
+    /// # Errors
+    ///
+    /// See [`AddrGenError`].
+    pub fn new(style: AddrGen, block_words: u64, k: u64) -> Result<Self, AddrGenError> {
+        if block_words == 0 {
+            return Err(AddrGenError::ZeroBlock);
+        }
+        if style == AddrGen::Concatenation && !block_words.is_power_of_two() {
+            return Err(AddrGenError::NotPowerOfTwo(block_words));
+        }
+        let max_addr = k.saturating_mul(block_words).saturating_sub(1);
+        Ok(AddressGenerator {
+            style,
+            block_words,
+            addr_bits: bits_for(max_addr),
+            iter_bits: bits_for(k.saturating_sub(1)),
+        })
+    }
+
+    /// Computes the address for `(iteration, offset, location)` exactly as
+    /// the synthesized hardware would.
+    pub fn address(&self, iteration: u64, offset: u64, location: u64) -> u64 {
+        match self.style {
+            AddrGen::Multiplier => iteration * self.block_words + offset + location,
+            AddrGen::Concatenation => {
+                // iteration lands in the high bits; offset+location in the
+                // low log2(block) bits.
+                let shift = self.block_words.trailing_zeros();
+                (iteration << shift) | (offset + location)
+            }
+        }
+    }
+
+    /// CLB cost of the generator under `lib`: the multiplier variant pays an
+    /// `iter_bits × block-width` multiplier plus an adder; concatenation
+    /// pays only the final adder (offset + location) — wiring is free.
+    pub fn clbs(&self, lib: &ComponentLibrary) -> u64 {
+        let adder = lib.fu_clbs(OpKind::Add, self.addr_bits);
+        match self.style {
+            AddrGen::Multiplier => {
+                lib.fu_clbs(OpKind::Mul, self.iter_bits.max(2)) + 2 * adder
+            }
+            AddrGen::Concatenation => adder,
+        }
+    }
+
+    /// Combinational delay in ns under `lib`.
+    pub fn delay_ns(&self, lib: &ComponentLibrary) -> f64 {
+        let adder = lib.fu_delay_ns(OpKind::Add, self.addr_bits);
+        match self.style {
+            AddrGen::Multiplier => lib.fu_delay_ns(OpKind::Mul, self.iter_bits.max(2)) + adder,
+            AddrGen::Concatenation => adder,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> ComponentLibrary {
+        ComponentLibrary::xc4000()
+    }
+
+    #[test]
+    fn generators_agree_on_power_of_two_blocks() {
+        let k = 2_048;
+        let block = 32;
+        let mul = AddressGenerator::new(AddrGen::Multiplier, block, k).unwrap();
+        let cat = AddressGenerator::new(AddrGen::Concatenation, block, k).unwrap();
+        for &it in &[0u64, 1, 7, 2_047] {
+            for &off in &[0u64, 5, 16] {
+                for &loc in &[0u64, 3, 15] {
+                    if off + loc < block {
+                        assert_eq!(
+                            mul.address(it, off, loc),
+                            cat.address(it, off, loc),
+                            "it={it} off={off} loc={loc}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concatenation_requires_power_of_two() {
+        assert_eq!(
+            AddressGenerator::new(AddrGen::Concatenation, 33, 16).unwrap_err(),
+            AddrGenError::NotPowerOfTwo(33)
+        );
+        assert!(AddressGenerator::new(AddrGen::Multiplier, 33, 16).is_ok());
+    }
+
+    #[test]
+    fn concatenation_is_cheaper_and_faster() {
+        let mul = AddressGenerator::new(AddrGen::Multiplier, 32, 2_048).unwrap();
+        let cat = AddressGenerator::new(AddrGen::Concatenation, 32, 2_048).unwrap();
+        assert!(cat.clbs(&lib()) < mul.clbs(&lib()));
+        assert!(cat.delay_ns(&lib()) < mul.delay_ns(&lib()));
+    }
+
+    #[test]
+    fn widths_cover_the_address_space() {
+        // k = 2048 blocks of 32 words = 65536 words → 16-bit addresses.
+        let g = AddressGenerator::new(AddrGen::Concatenation, 32, 2_048).unwrap();
+        assert_eq!(g.addr_bits, 16);
+        assert_eq!(g.iter_bits, 11);
+        assert!(g.address(2_047, 16, 15) < 65_536);
+    }
+
+    #[test]
+    fn paper_dct_addressing() {
+        // Partition 1 of the DCT: 32-word blocks, k = 2048 — the address of
+        // iteration i, segment offset o, location l is i·32 + o + l.
+        let g = AddressGenerator::new(AddrGen::Concatenation, 32, 2_048).unwrap();
+        assert_eq!(g.address(1, 0, 0), 32);
+        assert_eq!(g.address(100, 16, 3), 100 * 32 + 19);
+    }
+
+    #[test]
+    fn zero_block_rejected() {
+        assert_eq!(
+            AddressGenerator::new(AddrGen::Multiplier, 0, 4).unwrap_err(),
+            AddrGenError::ZeroBlock
+        );
+    }
+}

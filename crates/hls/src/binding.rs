@@ -1,0 +1,273 @@
+//! Functional-unit and register binding.
+//!
+//! After scheduling, every operation must run on a concrete functional-unit
+//! *instance* and every value crossing a cycle boundary must live in a
+//! concrete register. Both problems are solved with the classic left-edge
+//! algorithm over lifetime intervals, which is optimal for interval graphs
+//! and deterministic.
+
+use sparcs_estimate::opgraph::{OpGraph, OpId, OpKind};
+use sparcs_estimate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// A bound functional-unit instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuInstance {
+    /// Operation class the instance executes.
+    pub kind: OpKind,
+    /// Instance index within its class.
+    pub index: u32,
+}
+
+/// A register instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegInstance(pub u32);
+
+/// The complete binding of a scheduled operation graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    /// Functional unit per op (dense by op index).
+    pub fu_of_op: Vec<FuInstance>,
+    /// Register holding each op's result (`None` when consumed in the same
+    /// cycle it completes, or never consumed).
+    pub reg_of_op: Vec<Option<RegInstance>>,
+    /// Number of FU instances per kind, in [`OpKind::ALL`] order.
+    pub fu_counts: [u32; 7],
+    /// Total registers allocated.
+    pub reg_count: u32,
+    /// Width of each register in bits.
+    pub reg_widths: Vec<u32>,
+}
+
+impl Binding {
+    /// Binds a scheduled graph.
+    ///
+    /// Memory reads and writes share port instances (one physical bank).
+    pub fn bind(g: &OpGraph, sched: &Schedule) -> Binding {
+        let n = g.op_count();
+
+        // ---- FU binding: left-edge per kind class -------------------------
+        let class_of = |k: OpKind| -> usize {
+            if k.uses_memory_port() {
+                5 // shared port class stored under MemRead's slot
+            } else {
+                match k {
+                    OpKind::Add => 0,
+                    OpKind::Sub => 1,
+                    OpKind::Mul => 2,
+                    OpKind::Cmp => 3,
+                    OpKind::Logic => 4,
+                    OpKind::MemRead | OpKind::MemWrite => 5,
+                }
+            }
+        };
+        let mut fu_of_op = vec![
+            FuInstance {
+                kind: OpKind::Add,
+                index: 0
+            };
+            n
+        ];
+        let mut class_counts = [0u32; 6];
+        for class in 0..6usize {
+            // Ops of this class sorted by start cycle (left edge).
+            let mut ops: Vec<OpId> = g
+                .ops()
+                .filter(|(_, o)| class_of(o.kind) == class)
+                .map(|(id, _)| id)
+                .collect();
+            ops.sort_by_key(|&o| (sched.start_cycle[o.index()], o));
+            // Greedy: assign to the first instance free at start time.
+            let mut instance_free_at: Vec<u32> = Vec::new();
+            for o in ops {
+                let start = sched.start_cycle[o.index()];
+                let finish = start + sched.op_cycles[o.index()];
+                let idx = instance_free_at
+                    .iter()
+                    .position(|&f| f <= start)
+                    .unwrap_or_else(|| {
+                        instance_free_at.push(0);
+                        instance_free_at.len() - 1
+                    });
+                instance_free_at[idx] = finish;
+                fu_of_op[o.index()] = FuInstance {
+                    kind: g.op(o).kind,
+                    index: idx as u32,
+                };
+            }
+            class_counts[class] = instance_free_at.len() as u32;
+        }
+        // Expose per-kind counts in OpKind::ALL order (reads and writes both
+        // report the shared port count).
+        let fu_counts = [
+            class_counts[0],
+            class_counts[1],
+            class_counts[2],
+            class_counts[3],
+            class_counts[4],
+            class_counts[5],
+            class_counts[5],
+        ];
+
+        // ---- Register binding: left-edge over value lifetimes -------------
+        // Value of op p lives from finish(p) to the latest start among its
+        // consumers; values consumed only in the finish cycle need no
+        // register (chained), matching the estimator's live-value analysis.
+        let mut intervals: Vec<(u32, u32, OpId)> = Vec::new();
+        for (p, _) in g.ops() {
+            let birth = sched.start_cycle[p.index()] + sched.op_cycles[p.index()];
+            let death = g
+                .succs(p)
+                .map(|c| sched.start_cycle[c.index()])
+                .max()
+                .unwrap_or(birth);
+            if death > birth || (g.succs(p).next().is_some() && death >= birth) {
+                intervals.push((birth, death, p));
+            }
+        }
+        intervals.sort_by_key(|&(b, _, p)| (b, p));
+        let mut reg_free_at: Vec<u32> = Vec::new();
+        let mut reg_widths: Vec<u32> = Vec::new();
+        let mut reg_of_op = vec![None; n];
+        for (birth, death, p) in intervals {
+            let idx = reg_free_at
+                .iter()
+                .position(|&f| f <= birth)
+                .unwrap_or_else(|| {
+                    reg_free_at.push(0);
+                    reg_widths.push(0);
+                    reg_free_at.len() - 1
+                });
+            reg_free_at[idx] = death.max(birth + 1);
+            reg_widths[idx] = reg_widths[idx].max(g.op(p).bits);
+            reg_of_op[p.index()] = Some(RegInstance(idx as u32));
+        }
+
+        Binding {
+            fu_of_op,
+            reg_of_op,
+            fu_counts,
+            reg_count: reg_widths.len() as u32,
+            reg_widths,
+        }
+    }
+
+    /// FU instances of a given kind.
+    pub fn fu_count(&self, kind: OpKind) -> u32 {
+        let idx = OpKind::ALL.iter().position(|&k| k == kind).expect("known");
+        self.fu_counts[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcs_estimate::library::ComponentLibrary;
+    use sparcs_estimate::schedule::{list_schedule, Allocation};
+
+    fn scheduled(
+        g: &OpGraph,
+        alloc: &Allocation,
+    ) -> Schedule {
+        list_schedule(g, alloc, &ComponentLibrary::xc4000(), 50).unwrap()
+    }
+
+    #[test]
+    fn fu_instances_respect_allocation() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        let alloc = Allocation::minimal_for(&g);
+        let s = scheduled(&g, &alloc);
+        let b = Binding::bind(&g, &s);
+        // One mult allocated → one mult instance bound.
+        assert_eq!(b.fu_count(OpKind::Mul), 1);
+        assert_eq!(b.fu_count(OpKind::MemRead), 1, "shared port");
+        // No two ops share an instance in overlapping cycles.
+        for (i, oi) in g.ops() {
+            for (j, oj) in g.ops() {
+                if i >= j || b.fu_of_op[i.index()] != b.fu_of_op[j.index()] {
+                    continue;
+                }
+                if oi.kind.uses_memory_port() != oj.kind.uses_memory_port() {
+                    continue;
+                }
+                let (si, fi) = (
+                    s.start_cycle[i.index()],
+                    s.start_cycle[i.index()] + s.op_cycles[i.index()],
+                );
+                let (sj, fj) = (
+                    s.start_cycle[j.index()],
+                    s.start_cycle[j.index()] + s.op_cycles[j.index()],
+                );
+                assert!(fi <= sj || fj <= si, "{i} and {j} overlap on one FU");
+            }
+        }
+    }
+
+    #[test]
+    fn registers_never_hold_two_live_values() {
+        let g = OpGraph::vector_product(8, 8, 9);
+        let alloc = Allocation::minimal_for(&g);
+        let s = scheduled(&g, &alloc);
+        let b = Binding::bind(&g, &s);
+        for (i, _) in g.ops() {
+            for (j, _) in g.ops() {
+                if i >= j {
+                    continue;
+                }
+                let (Some(ri), Some(rj)) = (b.reg_of_op[i.index()], b.reg_of_op[j.index()])
+                else {
+                    continue;
+                };
+                if ri != rj {
+                    continue;
+                }
+                let life = |p: OpId| {
+                    let birth = s.start_cycle[p.index()] + s.op_cycles[p.index()];
+                    let death = g
+                        .succs(p)
+                        .map(|c| s.start_cycle[c.index()])
+                        .max()
+                        .unwrap_or(birth)
+                        .max(birth + 1);
+                    (birth, death)
+                };
+                let (bi, di) = life(i);
+                let (bj, dj) = life(j);
+                assert!(di <= bj || dj <= bi, "{i} and {j} clash in register");
+            }
+        }
+    }
+
+    #[test]
+    fn register_count_is_close_to_schedule_live_bound() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        let alloc = Allocation::minimal_for(&g);
+        let s = scheduled(&g, &alloc);
+        let b = Binding::bind(&g, &s);
+        // Left-edge over intervals needs at least max_live registers, and
+        // with the extended lifetimes never more than op count.
+        assert!(b.reg_count >= s.max_live_values);
+        assert!(b.reg_count <= g.op_count() as u32);
+    }
+
+    #[test]
+    fn register_widths_cover_their_values() {
+        let g = OpGraph::vector_product(4, 12, 17);
+        let alloc = Allocation::minimal_for(&g);
+        let s = scheduled(&g, &alloc);
+        let b = Binding::bind(&g, &s);
+        for (p, op) in g.ops() {
+            if let Some(r) = b.reg_of_op[p.index()] {
+                assert!(b.reg_widths[r.0 as usize] >= op.bits);
+            }
+        }
+    }
+
+    #[test]
+    fn binding_is_deterministic() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        let alloc = Allocation::minimal_for(&g);
+        let s = scheduled(&g, &alloc);
+        assert_eq!(Binding::bind(&g, &s), Binding::bind(&g, &s));
+    }
+}

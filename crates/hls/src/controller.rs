@@ -1,0 +1,207 @@
+//! Controller synthesis, including the Figure-7 augmentation.
+//!
+//! A plain HLS controller steps one FSM state per schedule cycle. For a
+//! temporal partition of an RTR design, the paper augments it: *"An
+//! iteration counter and a register holding the total iteration value k is
+//! required. At the end of a single run of the data path … the controller
+//! would check if the current iteration index of the counter is less than k.
+//! If it is, then it increments the counter and goes back to the beginning
+//! of the controller states. If it is not, then it generates a 'finish'
+//! signal and goes to a start state to wait for a signal from the software
+//! to begin execution again."*
+//!
+//! [`AugmentedController`] is a cycle-steppable software model of that FSM,
+//! used both to verify the protocol and to emit the RTL.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Observable state of the augmented controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControllerState {
+    /// Waiting for the host's start signal.
+    Start,
+    /// Executing datapath state `cycle` of iteration `iteration`.
+    Running {
+        /// Current datapath FSM state (0-based schedule cycle).
+        cycle: u32,
+        /// Current loop iteration (0-based).
+        iteration: u64,
+    },
+    /// All `k` iterations done; `finish` is asserted until the host
+    /// acknowledges by sending the next start.
+    Finished,
+}
+
+impl fmt::Display for ControllerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerState::Start => write!(f, "START"),
+            ControllerState::Running { cycle, iteration } => {
+                write!(f, "RUN(cycle {cycle}, iter {iteration})")
+            }
+            ControllerState::Finished => write!(f, "FINISH"),
+        }
+    }
+}
+
+/// The augmented finite-state machine of Figure 7.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AugmentedController {
+    /// Datapath states per iteration (the schedule's cycle count).
+    pub datapath_states: u32,
+    /// Total iterations `k` (the fission batch size register).
+    pub k: u64,
+    state: ControllerState,
+}
+
+impl AugmentedController {
+    /// Creates the controller in its start state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `datapath_states` or `k` is zero.
+    pub fn new(datapath_states: u32, k: u64) -> Self {
+        assert!(datapath_states > 0, "datapath needs at least one state");
+        assert!(k > 0, "k must be positive");
+        AugmentedController {
+            datapath_states,
+            k,
+            state: ControllerState::Start,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ControllerState {
+        self.state
+    }
+
+    /// Whether the `finish` signal is asserted.
+    pub fn finish_asserted(&self) -> bool {
+        self.state == ControllerState::Finished
+    }
+
+    /// One clock edge. `start` is the host's start signal.
+    ///
+    /// Returns the new state.
+    pub fn step(&mut self, start: bool) -> ControllerState {
+        self.state = match self.state {
+            ControllerState::Start | ControllerState::Finished if start => {
+                ControllerState::Running {
+                    cycle: 0,
+                    iteration: 0,
+                }
+            }
+            ControllerState::Start => ControllerState::Start,
+            ControllerState::Finished => ControllerState::Finished,
+            ControllerState::Running { cycle, iteration } => {
+                if cycle + 1 < self.datapath_states {
+                    ControllerState::Running {
+                        cycle: cycle + 1,
+                        iteration,
+                    }
+                } else if iteration + 1 < self.k {
+                    // "increments the counter and goes back to the beginning"
+                    ControllerState::Running {
+                        cycle: 0,
+                        iteration: iteration + 1,
+                    }
+                } else {
+                    // "generates a 'finish' signal"
+                    ControllerState::Finished
+                }
+            }
+        };
+        self.state
+    }
+
+    /// Runs a full batch: pulses start, steps until `finish`, and returns the
+    /// number of clock cycles the batch took (excluding the start pulse).
+    pub fn run_batch(&mut self) -> u64 {
+        self.step(true);
+        let mut cycles = 0u64;
+        while !self.finish_asserted() {
+            self.step(false);
+            cycles += 1;
+            debug_assert!(
+                cycles <= self.k * u64::from(self.datapath_states) + 2,
+                "controller failed to finish"
+            );
+        }
+        cycles
+    }
+
+    /// FSM state count for area estimation: datapath states plus the start
+    /// and finish states.
+    pub fn state_count(&self) -> u32 {
+        self.datapath_states + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waits_in_start_until_signaled() {
+        let mut c = AugmentedController::new(3, 2);
+        assert_eq!(c.step(false), ControllerState::Start);
+        assert_eq!(c.step(false), ControllerState::Start);
+        assert!(matches!(c.step(true), ControllerState::Running { .. }));
+    }
+
+    #[test]
+    fn iterates_k_times_then_finishes() {
+        let mut c = AugmentedController::new(4, 3);
+        let cycles = c.run_batch();
+        // 3 iterations × 4 states, last edge lands on FINISH.
+        assert_eq!(cycles, 3 * 4);
+        assert!(c.finish_asserted());
+    }
+
+    #[test]
+    fn finish_holds_until_next_start() {
+        let mut c = AugmentedController::new(2, 1);
+        c.run_batch();
+        assert!(c.finish_asserted());
+        assert_eq!(c.step(false), ControllerState::Finished);
+        assert!(matches!(c.step(true), ControllerState::Running { .. }));
+    }
+
+    #[test]
+    fn paper_partition1_batch_length() {
+        // Partition 1: 68 datapath states, k = 2048 → one batch is
+        // 68 × 2048 cycles at 50 ns ≈ 7.0 ms of computation.
+        let mut c = AugmentedController::new(68, 2_048);
+        let cycles = c.run_batch();
+        assert_eq!(cycles, 68 * 2_048);
+        let ns = cycles * 50;
+        assert_eq!(ns, 6_963_200 * 1_000 / 1_000); // ≈ 7 ms
+    }
+
+    #[test]
+    fn restart_runs_another_full_batch() {
+        let mut c = AugmentedController::new(5, 4);
+        assert_eq!(c.run_batch(), 20);
+        assert_eq!(c.run_batch(), 20, "second batch identical");
+    }
+
+    #[test]
+    fn state_count_for_area() {
+        let c = AugmentedController::new(68, 2_048);
+        assert_eq!(c.state_count(), 70);
+    }
+
+    #[test]
+    fn iteration_counter_visible_midway() {
+        let mut c = AugmentedController::new(2, 3);
+        c.step(true); // cycle 0, iter 0
+        c.step(false); // cycle 1, iter 0
+        match c.step(false) {
+            ControllerState::Running { cycle, iteration } => {
+                assert_eq!((cycle, iteration), (0, 1));
+            }
+            s => panic!("unexpected {s}"),
+        }
+    }
+}

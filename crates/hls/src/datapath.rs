@@ -1,0 +1,218 @@
+//! Datapath assembly: the structural netlist implied by a schedule and
+//! binding.
+//!
+//! The datapath holds one component per bound FU instance and register, plus
+//! the multiplexers steering values between them. Mux sizing falls out of
+//! the binding: an FU input needs one mux leg per distinct source that ever
+//! feeds it; a register needs one leg per distinct producer.
+
+use crate::binding::{Binding, FuInstance, RegInstance};
+use serde::{Deserialize, Serialize};
+use sparcs_estimate::library::ComponentLibrary;
+use sparcs_estimate::opgraph::{OpGraph, OpKind};
+use sparcs_dfg::Resources;
+use std::collections::BTreeSet;
+
+/// One functional unit of the datapath.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuComponent {
+    /// Which instance this is.
+    pub instance: (OpKind, u32),
+    /// Operand width in bits (max over ops bound to it).
+    pub bits: u32,
+    /// Distinct sources feeding each input (mux legs).
+    pub input_sources: usize,
+}
+
+/// One register of the datapath.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegComponent {
+    /// Register index.
+    pub index: u32,
+    /// Width in bits.
+    pub bits: u32,
+    /// Distinct producers written into it (mux legs).
+    pub sources: usize,
+}
+
+/// The structural datapath.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Datapath {
+    /// Functional units.
+    pub fus: Vec<FuComponent>,
+    /// Registers.
+    pub regs: Vec<RegComponent>,
+    /// Whether a board-memory port is present.
+    pub has_memory_port: bool,
+}
+
+impl Datapath {
+    /// Builds the datapath for a scheduled, bound operation graph.
+    pub fn build(g: &OpGraph, binding: &Binding) -> Datapath {
+        // Functional units: group ops by instance.
+        let mut instances: BTreeSet<(OpKind, u32)> = BTreeSet::new();
+        for (id, op) in g.ops() {
+            let fu = binding.fu_of_op[id.index()];
+            let kind = if op.kind.uses_memory_port() {
+                OpKind::MemRead
+            } else {
+                fu.kind
+            };
+            instances.insert((kind, fu.index));
+        }
+        let mut fus = Vec::new();
+        for (kind, index) in instances {
+            if kind.uses_memory_port() {
+                continue; // the port is the memory interface, priced apart
+            }
+            let bound_ops: Vec<_> = g
+                .ops()
+                .filter(|(id, o)| {
+                    let fu = binding.fu_of_op[id.index()];
+                    fu.kind == kind && fu.index == index && !o.kind.uses_memory_port()
+                })
+                .collect();
+            let bits = bound_ops.iter().map(|(_, o)| o.bits).max().unwrap_or(0);
+            // Mux legs: distinct registers/FUs feeding this unit's inputs.
+            let mut sources: BTreeSet<Option<RegInstance>> = BTreeSet::new();
+            for (id, _) in &bound_ops {
+                for p in g.preds(*id) {
+                    sources.insert(binding.reg_of_op[p.index()]);
+                }
+            }
+            fus.push(FuComponent {
+                instance: (kind, index),
+                bits,
+                input_sources: sources.len().max(1),
+            });
+        }
+
+        // Registers.
+        let mut regs = Vec::new();
+        for r in 0..binding.reg_count {
+            let producers = binding
+                .reg_of_op
+                .iter()
+                .enumerate()
+                .filter(|(_, &reg)| reg == Some(RegInstance(r)))
+                .map(|(i, _)| binding.fu_of_op[i])
+                .collect::<BTreeSet<FuInstance>>();
+            regs.push(RegComponent {
+                index: r,
+                bits: binding.reg_widths[r as usize],
+                sources: producers.len().max(1),
+            });
+        }
+
+        let has_memory_port = g.ops().any(|(_, o)| o.kind.uses_memory_port());
+        Datapath {
+            fus,
+            regs,
+            has_memory_port,
+        }
+    }
+
+    /// Area of the datapath under `lib`: FUs + registers beyond the free
+    /// CLB flip-flops + one mux cost per extra source leg + the memory
+    /// interface.
+    pub fn resources(&self, lib: &ComponentLibrary) -> Resources {
+        let fu: u64 = self
+            .fus
+            .iter()
+            .map(|f| lib.fu_clbs(f.instance.0, f.bits))
+            .sum();
+        let mux: u64 = self
+            .fus
+            .iter()
+            .map(|f| (f.input_sources.saturating_sub(1) as u64) * u64::from(f.bits.div_ceil(4)))
+            .sum::<u64>()
+            + self
+                .regs
+                .iter()
+                .map(|r| (r.sources.saturating_sub(1) as u64) * u64::from(r.bits.div_ceil(4)))
+                .sum::<u64>();
+        let mem = if self.has_memory_port {
+            lib.mem_interface_clbs
+        } else {
+            0
+        };
+        let reg_bits: u64 = self.regs.iter().map(|r| u64::from(r.bits)).sum();
+        let free_ffs = 2 * (fu + mem + mux);
+        let regs = reg_bits.saturating_sub(free_ffs).div_ceil(2);
+        Resources::clbs(fu + mux + mem + regs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::Binding;
+    use sparcs_estimate::schedule::{list_schedule, Allocation};
+
+    fn built(g: &OpGraph) -> (Datapath, Binding) {
+        let alloc = Allocation::minimal_for(g);
+        let s = list_schedule(g, &alloc, &ComponentLibrary::xc4000(), 50).unwrap();
+        let b = Binding::bind(g, &s);
+        (Datapath::build(g, &b), b)
+    }
+
+    #[test]
+    fn vector_product_datapath_shape() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        let (dp, b) = built(&g);
+        // One mult + one adder (memory port handled separately).
+        assert_eq!(dp.fus.len(), 2);
+        assert!(dp.has_memory_port);
+        assert_eq!(dp.regs.len() as u32, b.reg_count);
+    }
+
+    #[test]
+    fn widths_taken_from_widest_bound_op() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        let (dp, _) = built(&g);
+        let add = dp
+            .fus
+            .iter()
+            .find(|f| f.instance.0 == OpKind::Add)
+            .unwrap();
+        // Adder tree widths 18 and 19 → unit sized at 19 bits.
+        assert_eq!(add.bits, 19);
+    }
+
+    #[test]
+    fn area_close_to_estimator_for_t1() {
+        let g = OpGraph::vector_product(4, 8, 9);
+        let (dp, _) = built(&g);
+        let lib = ComponentLibrary::xc4000();
+        let clbs = dp.resources(&lib).clbs;
+        // The datapath (without controller) should sit under the estimator's
+        // full-task figure (~70 CLBs) but within shouting distance.
+        assert!(clbs >= 45 && clbs <= 80, "datapath {clbs} CLBs");
+    }
+
+    #[test]
+    fn pure_compute_graph_has_no_port() {
+        let mut g = OpGraph::new();
+        let a = g.add_op(OpKind::Add, 8, "a");
+        let b = g.add_op(OpKind::Add, 8, "b");
+        g.add_dep(a, b);
+        let (dp, _) = built(&g);
+        assert!(!dp.has_memory_port);
+        assert_eq!(dp.fus.len(), 1, "shared adder instance");
+    }
+
+    #[test]
+    fn sharing_creates_muxes() {
+        // Eight mults on one multiplier: its input mux must have >1 leg.
+        let g = OpGraph::vector_product(8, 8, 9);
+        let (dp, _) = built(&g);
+        let mul = dp
+            .fus
+            .iter()
+            .find(|f| f.instance.0 == OpKind::Mul)
+            .unwrap();
+        assert!(mul.input_sources >= 1);
+        let lib = ComponentLibrary::xc4000();
+        assert!(dp.resources(&lib).clbs > 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # sparcs-hls — high-level synthesis for temporally partitioned designs
+//!
+//! The back half of the paper's design flow: each temporal partition's
+//! operation graph becomes an RTL design. Beyond classic HLS (scheduling is
+//! shared with `sparcs-estimate`; this crate adds functional-unit and
+//! register **binding**, **datapath** assembly and **controller** synthesis),
+//! the paper's §3 extensions for run-time reconfigured designs are
+//! implemented in full:
+//!
+//! * **Memory access synthesis** ([`memmap`], Figure 6): all memory segments
+//!   of a temporal partition group into one *memory block*; `k` such blocks
+//!   support the `k` loop iterations; per-iteration addresses are
+//!   `iteration·block_size + segment_offset + location`.
+//! * **Address generation** ([`addrgen`]): the multiplier-based generator
+//!   versus the paper's power-of-two trick that replaces the multiply by bit
+//!   concatenation at the price of wasted memory — with area/delay numbers
+//!   from the component library, and functional equivalence tests.
+//! * **Controller augmentation** ([`controller`], Figure 7): the FSM gains an
+//!   iteration counter and a `k` register; it loops the datapath `k` times,
+//!   raises `finish`, and waits in a start state for the host.
+//!
+//! Logic/layout synthesis (Synplify + Xilinx M1 in the paper) is simulated
+//! by estimation-backed area/delay numbers plus VHDL-like RTL emission
+//! ([`rtl`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addrgen;
+pub mod binding;
+pub mod controller;
+pub mod datapath;
+pub mod memmap;
+pub mod rtl;
+pub mod synth;
+
+pub use addrgen::{AddrGen, AddressGenerator};
+pub use binding::Binding;
+pub use controller::{AugmentedController, ControllerState};
+pub use datapath::Datapath;
+pub use memmap::{MemoryMap, Segment};
+pub use synth::{synthesize, SynthesisError, SynthesizedPartition};

@@ -1,0 +1,276 @@
+//! Memory-block mapping for temporal partitions (paper Figure 6).
+//!
+//! *"All memory segments that are placed in one temporal partition by the
+//! temporal partitioning tool … are grouped in one Memory Block. There will
+//! be k such memory blocks mapped to the physical memory to support the k
+//! iterations of the loop."* A [`MemoryMap`] lays the partition's segments
+//! (`M1, M2, M3` in the figure) out inside one block, replicates the block
+//! `k` times, and answers the per-iteration address question:
+//!
+//! ```text
+//! address = iteration · block_size + segment_offset + location
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One named memory segment inside a partition's block (a data flow such as
+/// the figure's `M1`, `M2`, `M3`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Name (e.g. `"Y row 0"`).
+    pub name: String,
+    /// Size in words.
+    pub words: u64,
+    /// Whether the partition reads (`true`) or writes (`false`) it.
+    pub is_input: bool,
+}
+
+/// A partition's memory layout: segment offsets within the block, the block
+/// size (exact or power-of-two), and the iteration count `k`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryMap {
+    segments: Vec<Segment>,
+    offsets: Vec<u64>,
+    /// Words of real data per block (`m_i_temp`).
+    pub data_words: u64,
+    /// Allocated block size (≥ `data_words`).
+    pub block_words: u64,
+    /// Iterations supported (`k`).
+    pub k: u64,
+}
+
+/// Errors from memory mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryMapError {
+    /// `k` blocks of this size exceed the physical memory.
+    DoesNotFit {
+        /// Required words (`k · block`).
+        needed: u64,
+        /// Available physical words.
+        available: u64,
+    },
+    /// A segment has zero words.
+    EmptySegment(String),
+}
+
+impl fmt::Display for MemoryMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryMapError::DoesNotFit { needed, available } => {
+                write!(f, "{needed} words needed but only {available} available")
+            }
+            MemoryMapError::EmptySegment(n) => write!(f, "segment `{n}` is empty"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryMapError {}
+
+impl MemoryMap {
+    /// Lays out `segments` consecutively (inputs first, preserving order),
+    /// sizing the block exactly or rounded to the next power of two, and
+    /// checks that `k` blocks fit `memory_words`.
+    ///
+    /// # Errors
+    ///
+    /// See [`MemoryMapError`].
+    pub fn layout(
+        segments: Vec<Segment>,
+        round_to_power_of_two: bool,
+        k: u64,
+        memory_words: u64,
+    ) -> Result<MemoryMap, MemoryMapError> {
+        for s in &segments {
+            if s.words == 0 {
+                return Err(MemoryMapError::EmptySegment(s.name.clone()));
+            }
+        }
+        // Inputs first, then outputs; stable within each group.
+        let mut ordered: Vec<&Segment> = segments.iter().filter(|s| s.is_input).collect();
+        ordered.extend(segments.iter().filter(|s| !s.is_input));
+        let mut offsets_by_name: Vec<(String, u64)> = Vec::with_capacity(segments.len());
+        let mut cursor = 0u64;
+        for s in ordered {
+            offsets_by_name.push((s.name.clone(), cursor));
+            cursor += s.words;
+        }
+        let data_words = cursor;
+        let block_words = if round_to_power_of_two {
+            data_words.max(1).next_power_of_two()
+        } else {
+            data_words
+        };
+        let needed = block_words * k;
+        if needed > memory_words {
+            return Err(MemoryMapError::DoesNotFit {
+                needed,
+                available: memory_words,
+            });
+        }
+        let offsets = segments
+            .iter()
+            .map(|s| {
+                offsets_by_name
+                    .iter()
+                    .find(|(n, _)| *n == s.name)
+                    .expect("every segment laid out")
+                    .1
+            })
+            .collect();
+        Ok(MemoryMap {
+            segments,
+            offsets,
+            data_words,
+            block_words,
+            k,
+        })
+    }
+
+    /// The segments in declaration order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Offset of segment `idx` within the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn offset_of(&self, idx: usize) -> u64 {
+        self.offsets[idx]
+    }
+
+    /// The physical address of `location` within segment `idx` on iteration
+    /// `iteration` — the paper's
+    /// `Block[i][offset of M in block + location]` access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range (the synthesized address
+    /// generator can never produce them).
+    pub fn address(&self, iteration: u64, idx: usize, location: u64) -> u64 {
+        assert!(iteration < self.k, "iteration {iteration} >= k {}", self.k);
+        assert!(
+            location < self.segments[idx].words,
+            "location beyond segment"
+        );
+        iteration * self.block_words + self.offsets[idx] + location
+    }
+
+    /// Words wasted across all `k` blocks by power-of-two rounding.
+    pub fn wasted_words(&self) -> u64 {
+        (self.block_words - self.data_words) * self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m123() -> Vec<Segment> {
+        vec![
+            Segment {
+                name: "M1".into(),
+                words: 5,
+                is_input: true,
+            },
+            Segment {
+                name: "M2".into(),
+                words: 7,
+                is_input: false,
+            },
+            Segment {
+                name: "M3".into(),
+                words: 4,
+                is_input: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn inputs_pack_before_outputs() {
+        let m = MemoryMap::layout(m123(), false, 4, 1000).unwrap();
+        // Inputs M1 (offset 0) and M3 (offset 5), then output M2 (offset 9).
+        assert_eq!(m.offset_of(0), 0);
+        assert_eq!(m.offset_of(2), 5);
+        assert_eq!(m.offset_of(1), 9);
+        assert_eq!(m.data_words, 16);
+        assert_eq!(m.block_words, 16);
+    }
+
+    #[test]
+    fn figure6_address_equation() {
+        let m = MemoryMap::layout(m123(), false, 4, 1000).unwrap();
+        // iteration 2, segment M2, location 3: 2·16 + 9 + 3 = 44.
+        assert_eq!(m.address(2, 1, 3), 44);
+        assert_eq!(m.address(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn power_of_two_rounds_and_wastes() {
+        let m = MemoryMap::layout(m123(), true, 4, 1000).unwrap();
+        // 16 is already a power of two → no waste.
+        assert_eq!(m.block_words, 16);
+        assert_eq!(m.wasted_words(), 0);
+
+        let mut segs = m123();
+        segs.push(Segment {
+            name: "pad".into(),
+            words: 1,
+            is_input: true,
+        });
+        let m = MemoryMap::layout(segs, true, 4, 1000).unwrap();
+        assert_eq!(m.data_words, 17);
+        assert_eq!(m.block_words, 32);
+        assert_eq!(m.wasted_words(), (32 - 17) * 4);
+    }
+
+    #[test]
+    fn capacity_checked() {
+        let err = MemoryMap::layout(m123(), false, 100, 1000).unwrap_err();
+        assert_eq!(
+            err,
+            MemoryMapError::DoesNotFit {
+                needed: 1600,
+                available: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn empty_segment_rejected() {
+        let segs = vec![Segment {
+            name: "nil".into(),
+            words: 0,
+            is_input: true,
+        }];
+        assert_eq!(
+            MemoryMap::layout(segs, false, 1, 10).unwrap_err(),
+            MemoryMapError::EmptySegment("nil".into())
+        );
+    }
+
+    #[test]
+    fn blocks_do_not_overlap() {
+        let m = MemoryMap::layout(m123(), false, 8, 1000).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for it in 0..m.k {
+            for (idx, s) in m.segments().iter().enumerate() {
+                for loc in 0..s.words {
+                    assert!(
+                        seen.insert(m.address(it, idx, loc)),
+                        "address reused at iter {it} seg {idx} loc {loc}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "iteration")]
+    fn iteration_beyond_k_panics() {
+        let m = MemoryMap::layout(m123(), false, 2, 1000).unwrap();
+        let _ = m.address(2, 0, 0);
+    }
+}

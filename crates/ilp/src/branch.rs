@@ -1,0 +1,439 @@
+//! Branch-and-bound for mixed 0/1-integer linear programs.
+//!
+//! Depth-first search over the LP relaxation: each node tightens the bounds
+//! of one fractional integer variable (`x ≤ ⌊v⌋` / `x ≥ ⌈v⌉`), the child
+//! closer to the LP value is explored first, and nodes whose relaxation bound
+//! cannot beat the incumbent are pruned. A caller-supplied warm incumbent
+//! (e.g. the list-based temporal partitioner's solution) tightens pruning
+//! from the first node.
+
+use crate::model::{Model, ModelError, VarKind};
+use crate::simplex::{self, LpOutcome};
+use std::fmt;
+
+/// Options controlling the branch-and-bound search.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Maximum number of explored nodes before giving up.
+    pub max_nodes: usize,
+    /// Simplex pivot budget per node relaxation.
+    pub max_simplex_iters: usize,
+    /// Integrality tolerance.
+    pub tolerance: f64,
+    /// Known-feasible assignment used as the initial incumbent (checked
+    /// against the model; an invalid warm start is an error).
+    pub warm_incumbent: Option<Vec<f64>>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            max_nodes: 1_000_000,
+            max_simplex_iters: 200_000,
+            tolerance: 1e-6,
+            warm_incumbent: None,
+        }
+    }
+}
+
+/// Final status of a successful solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The returned solution is proven optimal.
+    Optimal,
+    /// A feasible solution was found but the node limit stopped the proof of
+    /// optimality.
+    Feasible,
+}
+
+/// A feasible (and usually optimal) MILP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Assignment per variable; integer variables hold exact integral values.
+    pub x: Vec<f64>,
+    /// Objective value in the model's orientation.
+    pub objective: f64,
+    /// Nodes explored by the search.
+    pub nodes: usize,
+    /// Whether optimality was proven.
+    pub status: Status,
+}
+
+/// Failure modes of [`solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The model itself is malformed.
+    Model(ModelError),
+    /// No feasible integer assignment exists.
+    Infeasible,
+    /// The relaxation (and hence the MILP) is unbounded.
+    Unbounded,
+    /// The node limit was reached before any feasible solution was found.
+    NodeLimit(usize),
+    /// A node relaxation exhausted its simplex pivot budget.
+    SimplexLimit(usize),
+    /// A node relaxation failed numerically (see [`crate::simplex::LpError`]).
+    Numerical(String),
+    /// A supplied warm incumbent violates the model.
+    BadWarmStart(Vec<String>),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Model(e) => write!(f, "invalid model: {e}"),
+            SolveError::Infeasible => write!(f, "model is infeasible"),
+            SolveError::Unbounded => write!(f, "model is unbounded"),
+            SolveError::NodeLimit(n) => write!(f, "node limit {n} reached without a solution"),
+            SolveError::SimplexLimit(n) => write!(f, "simplex iteration limit {n} exceeded"),
+            SolveError::Numerical(c) => write!(f, "numerical failure on constraint `{c}`"),
+            SolveError::BadWarmStart(v) => {
+                write!(f, "warm incumbent violates: {}", v.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<ModelError> for SolveError {
+    fn from(e: ModelError) -> Self {
+        SolveError::Model(e)
+    }
+}
+
+struct Node {
+    bounds: Vec<(f64, f64)>,
+}
+
+/// Solves the mixed 0/1-integer program to proven optimality (or until the
+/// node limit, in which case the best incumbent is returned with
+/// [`Status::Feasible`]).
+///
+/// # Errors
+///
+/// See [`SolveError`]; in particular [`SolveError::Infeasible`] when no
+/// integral assignment satisfies the constraints.
+pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError> {
+    model.validate()?;
+    let n = model.var_count();
+    let int_vars: Vec<usize> = (0..n)
+        .filter(|&i| {
+            matches!(
+                model.var_kind(crate::model::Var(i as u32)),
+                VarKind::Binary | VarKind::Integer
+            )
+        })
+        .collect();
+    let maximize = model.objective().is_max();
+    // Internal comparisons are done on a minimization key.
+    let key = |obj: f64| if maximize { -obj } else { obj };
+
+    let root_bounds: Vec<(f64, f64)> = (0..n)
+        .map(|i| model.var_bounds(crate::model::Var(i as u32)))
+        .collect();
+
+    let mut best: Option<(Vec<f64>, f64)> = None; // (x, key)
+    if let Some(warm) = &opts.warm_incumbent {
+        let viol = model.violations(warm, opts.tolerance.max(1e-6));
+        if !viol.is_empty() {
+            return Err(SolveError::BadWarmStart(viol));
+        }
+        let mut x = warm.clone();
+        round_ints(&mut x, &int_vars);
+        let obj = model.objective().expr().eval(&x);
+        best = Some((x, key(obj)));
+    }
+
+    let mut stack = vec![Node {
+        bounds: root_bounds,
+    }];
+    let mut nodes = 0usize;
+    let mut hit_node_limit = false;
+
+    while let Some(node) = stack.pop() {
+        if nodes >= opts.max_nodes {
+            hit_node_limit = true;
+            break;
+        }
+        nodes += 1;
+
+        let lp = simplex::solve_lp_with_bounds(model, &node.bounds, opts.max_simplex_iters)
+            .map_err(|e| match e {
+                simplex::LpError::IterationLimit(_) => {
+                    SolveError::SimplexLimit(opts.max_simplex_iters)
+                }
+                simplex::LpError::Numerical { constraint } => SolveError::Numerical(constraint),
+            })?;
+        let sol = match lp {
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => return Err(SolveError::Unbounded),
+            LpOutcome::Optimal(s) => s,
+        };
+        let bound_key = key(sol.objective);
+        if let Some((_, inc_key)) = &best {
+            // Prune: cannot improve on incumbent (minimization key).
+            if bound_key >= inc_key - opts.tolerance {
+                continue;
+            }
+        }
+
+        // Most fractional integer variable.
+        let mut branch_var: Option<(usize, f64)> = None;
+        let mut best_frac = opts.tolerance;
+        for &i in &int_vars {
+            let v = sol.x[i];
+            let frac = (v - v.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some((i, v));
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integer feasible.
+                let mut x = sol.x.clone();
+                round_ints(&mut x, &int_vars);
+                let obj = model.objective().expr().eval(&x);
+                let k = key(obj);
+                if best.as_ref().is_none_or(|(_, bk)| k < bk - opts.tolerance) {
+                    best = Some((x, k));
+                }
+            }
+            Some((i, v)) => {
+                let floor = v.floor();
+                let ceil = v.ceil();
+                let mut down = node.bounds.clone();
+                down[i].1 = down[i].1.min(floor);
+                let mut up = node.bounds;
+                up[i].0 = up[i].0.max(ceil);
+                // Explore the child nearer the LP value first (pushed last).
+                if v - floor <= ceil - v {
+                    stack.push(Node { bounds: up });
+                    stack.push(Node { bounds: down });
+                } else {
+                    stack.push(Node { bounds: down });
+                    stack.push(Node { bounds: up });
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((x, k)) => {
+            let objective = if maximize { -k } else { k };
+            Ok(Solution {
+                x,
+                objective,
+                nodes,
+                status: if hit_node_limit {
+                    Status::Feasible
+                } else {
+                    Status::Optimal
+                },
+            })
+        }
+        None => {
+            if hit_node_limit {
+                Err(SolveError::NodeLimit(opts.max_nodes))
+            } else {
+                Err(SolveError::Infeasible)
+            }
+        }
+    }
+}
+
+fn round_ints(x: &mut [f64], int_vars: &[usize]) {
+    for &i in int_vars {
+        x[i] = x[i].round();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense, Var};
+
+    fn solve_default(m: &Model) -> Solution {
+        solve(m, &SolveOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut m = Model::new("lp");
+        let x = m.add_continuous("x", 0.0, 3.0);
+        m.set_objective_max([(x, 2.0)]);
+        let s = solve_default(&m);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsack_classic() {
+        // Items (weight, profit): LP relaxation is fractional, MILP = 220.
+        let mut m = Model::new("knap");
+        let items = [(10.0, 60.0), (20.0, 100.0), (30.0, 120.0)];
+        let vars: Vec<Var> = (0..3).map(|i| m.add_binary(format!("x{i}"))).collect();
+        m.add_constraint(
+            "cap",
+            vars.iter().zip(&items).map(|(&v, &(w, _))| (v, w)),
+            Sense::Le,
+            50.0,
+        );
+        m.set_objective_max(vars.iter().zip(&items).map(|(&v, &(_, p))| (v, p)));
+        let s = solve_default(&m);
+        assert!((s.objective - 220.0).abs() < 1e-6);
+        assert_eq!(s.x[0], 0.0);
+        assert_eq!(s.x[1], 1.0);
+        assert_eq!(s.x[2], 1.0);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y, 2x + 2y <= 5, integer → LP gives 2.5, MILP gives 2.
+        let mut m = Model::new("int");
+        let x = m.add_integer("x", 0.0, 10.0);
+        let y = m.add_integer("y", 0.0, 10.0);
+        m.add_constraint("c", [(x, 2.0), (y, 2.0)], Sense::Le, 5.0);
+        m.set_objective_max([(x, 1.0), (y, 1.0)]);
+        let s = solve_default(&m);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_binary_system() {
+        let mut m = Model::new("inf");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("a", [(x, 1.0), (y, 1.0)], Sense::Ge, 2.0);
+        m.add_constraint("b", [(x, 1.0)], Sense::Le, 0.0);
+        m.add_constraint("c", [(y, 1.0)], Sense::Le, 0.0);
+        assert_eq!(
+            solve(&m, &SolveOptions::default()).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn infeasible_by_integrality_gap() {
+        // 2x = 1 has the LP solution x = 0.5 but no integer solution.
+        let mut m = Model::new("gap");
+        let x = m.add_integer("x", 0.0, 10.0);
+        m.add_constraint("odd", [(x, 2.0)], Sense::Eq, 1.0);
+        assert_eq!(
+            solve(&m, &SolveOptions::default()).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn unbounded_reported() {
+        let mut m = Model::new("unb");
+        let x = m.add_integer("x", 0.0, f64::INFINITY);
+        m.set_objective_max([(x, 1.0)]);
+        assert_eq!(
+            solve(&m, &SolveOptions::default()).unwrap_err(),
+            SolveError::Unbounded
+        );
+    }
+
+    #[test]
+    fn warm_start_accepted_and_beaten() {
+        let mut m = Model::new("warm");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Le, 1.0);
+        m.set_objective_max([(x, 3.0), (y, 2.0)]);
+        // Warm incumbent: pick y (objective 2); optimum is x (3).
+        let mut warm = vec![0.0; 2];
+        warm[y.index()] = 1.0;
+        let s = solve(
+            &m,
+            &SolveOptions {
+                warm_incumbent: Some(warm),
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bad_warm_start_rejected() {
+        let mut m = Model::new("bad-warm");
+        let x = m.add_binary("x");
+        m.add_constraint("c", [(x, 1.0)], Sense::Le, 0.0);
+        let err = solve(
+            &m,
+            &SolveOptions {
+                warm_incumbent: Some(vec![1.0]),
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolveError::BadWarmStart(_)));
+    }
+
+    #[test]
+    fn node_limit_with_incumbent_returns_feasible() {
+        // A model where the root LP is fractional; with node limit 1 the
+        // warm incumbent must be returned as Feasible.
+        let mut m = Model::new("lim");
+        let vars: Vec<Var> = (0..6).map(|i| m.add_binary(format!("x{i}"))).collect();
+        m.add_constraint("c", vars.iter().map(|&v| (v, 2.0)), Sense::Le, 5.0);
+        m.set_objective_max(vars.iter().map(|&v| (v, 1.0)));
+        let warm = vec![0.0; 6];
+        let s = solve(
+            &m,
+            &SolveOptions {
+                max_nodes: 1,
+                warm_incumbent: Some(warm),
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.status, Status::Feasible);
+    }
+
+    #[test]
+    fn equality_selection_problem() {
+        // Choose exactly 2 of 4 items minimizing cost.
+        let mut m = Model::new("pick2");
+        let costs = [5.0, 1.0, 4.0, 2.0];
+        let vars: Vec<Var> = (0..4).map(|i| m.add_binary(format!("x{i}"))).collect();
+        m.add_constraint("count", vars.iter().map(|&v| (v, 1.0)), Sense::Eq, 2.0);
+        m.set_objective_min(vars.iter().zip(costs).map(|(&v, c)| (v, c)));
+        let s = solve_default(&m);
+        assert!((s.objective - 3.0).abs() < 1e-6);
+        assert_eq!(s.x[1], 1.0);
+        assert_eq!(s.x[3], 1.0);
+    }
+
+    #[test]
+    fn product_linearization_in_optimization() {
+        // max x + y − 2·(x AND y): optimum picks exactly one of x, y → 1.
+        let mut m = Model::new("and");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary_product("z", x, y);
+        m.set_objective_max([(x, 1.0), (y, 1.0), (z, -2.0)]);
+        let s = solve_default(&m);
+        assert!((s.objective - 1.0).abs() < 1e-6);
+        assert_eq!(s.x[z.index()], s.x[x.index()] * s.x[y.index()]);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min y s.t. y >= 1.5 x, x binary, x >= 1 → x = 1, y = 1.5.
+        let mut m = Model::new("mix");
+        let x = m.add_binary("x");
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("link", [(y, 1.0), (x, -1.5)], Sense::Ge, 0.0);
+        m.add_constraint("on", [(x, 1.0)], Sense::Ge, 1.0);
+        m.set_objective_min([(y, 1.0)]);
+        let s = solve_default(&m);
+        assert!((s.objective - 1.5).abs() < 1e-6);
+        assert_eq!(s.x[x.index()], 1.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # sparcs-ilp — a linear-programming and 0/1 mixed-integer solver
+//!
+//! The DAC'99 temporal-partitioning paper solves its model with CPLEX. No
+//! commercial solver is available to this reproduction, so this crate is a
+//! from-scratch exact solver sized for the paper's models (hundreds of
+//! variables and constraints):
+//!
+//! * [`Model`] — a mathematical-programming model builder: continuous,
+//!   integer and binary variables with bounds, linear constraints, a linear
+//!   objective, and the product-linearization helpers the paper relies on to
+//!   turn `w ≥ y·y` into linear rows.
+//! * [`simplex`] — a dense two-phase primal simplex LP solver with Bland's
+//!   anti-cycling rule.
+//! * [`branch`] — best-first branch-and-bound over the LP relaxation for the
+//!   mixed 0/1-integer models, with warm-start incumbents and node limits.
+//! * [`enumerate`] — an exponential 0/1 enumeration solver used as a test
+//!   oracle on tiny models.
+//!
+//! # Example: a 0/1 knapsack
+//!
+//! ```
+//! use sparcs_ilp::{Model, Sense, SolveOptions};
+//!
+//! # fn main() -> Result<(), sparcs_ilp::SolveError> {
+//! let mut m = Model::new("knapsack");
+//! let items = [(10.0, 60.0), (20.0, 100.0), (30.0, 120.0)];
+//! let vars: Vec<_> = items
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, _)| m.add_binary(format!("x{i}")))
+//!     .collect();
+//! // capacity 50
+//! m.add_constraint(
+//!     "cap",
+//!     vars.iter().zip(&items).map(|(&v, &(w, _))| (v, w)),
+//!     Sense::Le,
+//!     50.0,
+//! );
+//! m.set_objective_max(vars.iter().zip(&items).map(|(&v, &(_, p))| (v, p)));
+//! let sol = sparcs_ilp::solve(&m, &SolveOptions::default())?;
+//! assert!((sol.objective - 220.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod enumerate;
+pub mod model;
+pub mod simplex;
+
+pub use branch::{solve, Solution, SolveError, SolveOptions, Status};
+pub use model::{Constraint, LinExpr, Model, ModelError, Objective, Sense, Var, VarKind};
+pub use simplex::{LpOutcome, LpSolution};

@@ -1,0 +1,810 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves the continuous relaxation of a [`Model`] (optionally with
+//! per-variable bound overrides supplied by branch-and-bound). The
+//! implementation is a textbook full-tableau simplex:
+//!
+//! * variables are shifted to `x̃ = x − lo ≥ 0` (free variables are split
+//!   into a positive and a negative part);
+//! * finite upper bounds become explicit `x̃ ≤ hi − lo` rows;
+//! * phase 1 minimizes the sum of artificial variables to find a basic
+//!   feasible point, phase 2 optimizes the real objective;
+//! * pivoting uses Dantzig's rule and falls back to Bland's rule after a
+//!   stall so cycling cannot occur.
+//!
+//! Dense tableaus are quadratic in memory but entirely adequate for the
+//! DAC'99 partitioning models (≲10³ rows); see `sparcs-bench` for measured
+//! solve times.
+
+use crate::model::{Model, Objective, Sense};
+use std::fmt;
+
+/// Zero tolerance for reduced costs and coefficient cleanup.
+const EPS: f64 = 1e-9;
+/// Minimum acceptable pivot magnitude — pivoting on smaller elements
+/// amplifies roundoff catastrophically.
+const PIVOT_TOL: f64 = 1e-7;
+/// Feasibility tolerance used when classifying phase-1 results.
+const FEAS_TOL: f64 = 1e-7;
+
+/// A solved LP relaxation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal assignment in the *original* variable space.
+    pub x: Vec<f64>,
+    /// Objective value in the original orientation (max stays max).
+    pub objective: f64,
+    /// Simplex iterations spent (both phases).
+    pub iterations: usize,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal basic solution was found.
+    Optimal(LpSolution),
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+/// Hard failure of the simplex routine (distinct from model infeasibility).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The iteration budget was exhausted before convergence.
+    IterationLimit(usize),
+    /// The computed basic solution failed the post-solve feasibility check —
+    /// numerical corruption was detected rather than silently returned.
+    Numerical {
+        /// The first violated constraint's name.
+        constraint: String,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::IterationLimit(n) => write!(f, "simplex iteration limit {n} exceeded"),
+            LpError::Numerical { constraint } => {
+                write!(f, "numerical failure: solution violates `{constraint}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Solves the continuous relaxation of `model` with its declared bounds.
+///
+/// Integrality restrictions are ignored; binaries relax to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`LpError::IterationLimit`] if the pivot budget is exhausted.
+pub fn solve_lp(model: &Model, max_iters: usize) -> Result<LpOutcome, LpError> {
+    let bounds: Vec<(f64, f64)> = (0..model.var_count())
+        .map(|i| model.var_bounds(crate::model::Var(i as u32)))
+        .collect();
+    solve_lp_with_bounds(model, &bounds, max_iters)
+}
+
+/// Solves the continuous relaxation with per-variable bound overrides
+/// (`bounds.len()` must equal `model.var_count()`).
+///
+/// # Errors
+///
+/// Returns [`LpError::IterationLimit`] if the pivot budget is exhausted.
+///
+/// # Panics
+///
+/// Panics if `bounds.len() != model.var_count()`.
+pub fn solve_lp_with_bounds(
+    model: &Model,
+    bounds: &[(f64, f64)],
+    max_iters: usize,
+) -> Result<LpOutcome, LpError> {
+    assert_eq!(bounds.len(), model.var_count(), "one bound pair per var");
+    for &(lo, hi) in bounds {
+        if lo > hi + EPS {
+            return Ok(LpOutcome::Infeasible);
+        }
+    }
+    Tableau::build(model, bounds).solve(model, bounds, max_iters)
+}
+
+/// Column bookkeeping: how each original variable maps into tableau columns.
+#[derive(Debug, Clone, Copy)]
+enum ColMap {
+    /// `x = lo + col(j)`.
+    Shifted { col: usize, lo: f64 },
+    /// `x = col(pos) − col(neg)` (free variable split).
+    Split { pos: usize, neg: usize },
+}
+
+struct Tableau {
+    /// (rows + 1) × (cols + 1), row-major; last row is the cost row and the
+    /// last column is the RHS.
+    a: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    basis: Vec<usize>,
+    col_map: Vec<ColMap>,
+    /// First artificial column (artificials occupy `art_start..cols`).
+    art_start: usize,
+    /// Rows dropped as redundant after phase 1.
+    dead_rows: Vec<bool>,
+}
+
+/// One row of the intermediate (pre-slack) system.
+struct RawRow {
+    coeffs: Vec<(usize, f64)>,
+    sense: Sense,
+    rhs: f64,
+}
+
+impl Tableau {
+    fn build(model: &Model, bounds: &[(f64, f64)]) -> Tableau {
+        // --- 1. map variables to shifted / split columns -------------------
+        let mut col_map = Vec::with_capacity(model.var_count());
+        let mut ncols = 0usize;
+        for &(lo, _hi) in bounds {
+            if lo.is_finite() {
+                col_map.push(ColMap::Shifted { col: ncols, lo });
+                ncols += 1;
+            } else {
+                col_map.push(ColMap::Split {
+                    pos: ncols,
+                    neg: ncols + 1,
+                });
+                ncols += 2;
+            }
+        }
+        let struct_cols = ncols;
+
+        // --- 2. collect raw rows (constraints + finite upper bounds) -------
+        let mut raw: Vec<RawRow> = Vec::new();
+        for c in model.constraints() {
+            let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(c.expr.terms.len() + 1);
+            let mut shift = 0.0;
+            for &(v, coef) in &c.expr.terms {
+                match col_map[v.index()] {
+                    ColMap::Shifted { col, lo } => {
+                        coeffs.push((col, coef));
+                        shift += coef * lo;
+                    }
+                    ColMap::Split { pos, neg } => {
+                        coeffs.push((pos, coef));
+                        coeffs.push((neg, -coef));
+                    }
+                }
+            }
+            raw.push(RawRow {
+                coeffs,
+                sense: c.sense,
+                rhs: c.rhs - shift,
+            });
+        }
+        for (v, &(lo, hi)) in bounds.iter().enumerate() {
+            if hi.is_finite() {
+                match col_map[v] {
+                    ColMap::Shifted { col, lo } => raw.push(RawRow {
+                        coeffs: vec![(col, 1.0)],
+                        sense: Sense::Le,
+                        rhs: hi - lo,
+                    }),
+                    ColMap::Split { pos, neg } => raw.push(RawRow {
+                        coeffs: vec![(pos, 1.0), (neg, -1.0)],
+                        sense: Sense::Le,
+                        rhs: hi,
+                    }),
+                }
+            }
+            let _ = lo;
+        }
+
+        // Normalize: rhs ≥ 0 (flip row and sense when negative). Drop empty
+        // rows (their feasibility is checked by the caller via `violations`;
+        // an empty row that is trivially false makes the LP infeasible —
+        // encode it as 0 == rhs with an artificial that can never vanish).
+        for r in &mut raw {
+            r.coeffs.retain(|&(_, c)| c.abs() > EPS);
+            if r.rhs < 0.0 {
+                for (_, c) in &mut r.coeffs {
+                    *c = -*c;
+                }
+                r.rhs = -r.rhs;
+                r.sense = match r.sense {
+                    Sense::Le => Sense::Ge,
+                    Sense::Ge => Sense::Le,
+                    Sense::Eq => Sense::Eq,
+                };
+            }
+        }
+        // Trivially-true empty rows can be removed entirely.
+        raw.retain(|r| {
+            !(r.coeffs.is_empty()
+                && match r.sense {
+                    Sense::Le => r.rhs >= -FEAS_TOL, // 0 <= rhs (rhs >= 0 already)
+                    Sense::Ge => r.rhs <= FEAS_TOL,  // 0 >= rhs holds only if rhs == 0
+                    Sense::Eq => r.rhs.abs() <= FEAS_TOL,
+                })
+        });
+        // Row equilibration: scale each row by 1/max|coeff| so mixed-
+        // magnitude models (unit uniqueness rows next to nanosecond delay
+        // rows) stay numerically stable.
+        for r in &mut raw {
+            let maxc = r
+                .coeffs
+                .iter()
+                .map(|&(_, c)| c.abs())
+                .fold(0.0f64, f64::max);
+            if maxc > 0.0 {
+                let s = 1.0 / maxc;
+                for (_, c) in &mut r.coeffs {
+                    *c *= s;
+                }
+                r.rhs *= s;
+            }
+        }
+
+        // --- 3. slack / surplus / artificial columns -----------------------
+        let rows = raw.len();
+        let n_slack = raw
+            .iter()
+            .filter(|r| matches!(r.sense, Sense::Le | Sense::Ge))
+            .count();
+        let n_art = raw
+            .iter()
+            .filter(|r| matches!(r.sense, Sense::Ge | Sense::Eq))
+            .count();
+        let cols = struct_cols + n_slack + n_art;
+        let art_start = struct_cols + n_slack;
+        let width = cols + 1;
+        let mut a = vec![0.0; (rows + 1) * width];
+        let mut basis = vec![usize::MAX; rows];
+        let mut next_slack = struct_cols;
+        let mut next_art = art_start;
+        for (i, r) in raw.iter().enumerate() {
+            let row = &mut a[i * width..(i + 1) * width];
+            for &(j, c) in &r.coeffs {
+                row[j] += c;
+            }
+            row[cols] = r.rhs;
+            match r.sense {
+                Sense::Le => {
+                    row[next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Sense::Ge => {
+                    row[next_slack] = -1.0;
+                    next_slack += 1;
+                    row[next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Sense::Eq => {
+                    row[next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+
+        Tableau {
+            a,
+            rows,
+            cols,
+            basis,
+            col_map,
+            art_start,
+            dead_rows: vec![false; rows],
+        }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * (self.cols + 1) + c]
+    }
+
+    /// Loads the cost row for the given per-column costs, pricing out the
+    /// current basis.
+    fn load_costs(&mut self, cost: &[f64]) {
+        let width = self.cols + 1;
+        let crow = self.rows * width;
+        for j in 0..=self.cols {
+            self.a[crow + j] = if j < self.cols { cost[j] } else { 0.0 };
+        }
+        for i in 0..self.rows {
+            if self.dead_rows[i] {
+                continue;
+            }
+            let cb = cost[self.basis[i]];
+            if cb != 0.0 {
+                let (head, tail) = self.a.split_at_mut(crow);
+                let row = &head[i * width..(i + 1) * width];
+                for j in 0..=self.cols {
+                    tail[j] -= cb * row[j];
+                }
+            }
+        }
+    }
+
+    /// Runs simplex iterations until optimality/unboundedness with the loaded
+    /// cost row. `allow` masks which columns may enter the basis.
+    fn iterate(
+        &mut self,
+        allow: impl Fn(usize) -> bool,
+        iters_left: &mut usize,
+    ) -> Result<bool, LpError> {
+        let width = self.cols + 1;
+        let mut stall = 0usize;
+        let bland_after = 4 * (self.rows + self.cols) + 64;
+        let mut last_obj = f64::INFINITY;
+        loop {
+            if *iters_left == 0 {
+                return Err(LpError::IterationLimit(0));
+            }
+            *iters_left -= 1;
+            let crow = self.rows * width;
+
+            // entering column
+            let use_bland = stall > bland_after;
+            let mut enter: Option<usize> = None;
+            let mut best = -EPS;
+            for j in 0..self.cols {
+                if !allow(j) {
+                    continue;
+                }
+                let rc = self.a[crow + j];
+                if rc < -EPS {
+                    if use_bland {
+                        enter = Some(j);
+                        break;
+                    }
+                    if rc < best {
+                        best = rc;
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(enter) = enter else {
+                return Ok(true); // optimal for this phase
+            };
+
+            // Ratio test (Bland tie-break: smallest basis index). Pivots are
+            // preferred above PIVOT_TOL; entries in (EPS, PIVOT_TOL] only
+            // serve as a last resort so roundoff noise never becomes a pivot
+            // while genuine small coefficients cannot fake unboundedness.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            let mut fallback: Option<usize> = None;
+            let mut fallback_mag = 0.0f64;
+            for i in 0..self.rows {
+                if self.dead_rows[i] {
+                    continue;
+                }
+                let aij = self.at(i, enter);
+                if aij > PIVOT_TOL {
+                    let ratio = self.at(i, self.cols) / aij;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                } else if aij > EPS && aij > fallback_mag {
+                    fallback_mag = aij;
+                    fallback = Some(i);
+                }
+            }
+            let Some(leave) = leave.or(fallback) else {
+                return Ok(false); // unbounded in this phase
+            };
+
+            self.pivot(leave, enter);
+
+            let obj = -self.a[crow + self.cols];
+            if obj < last_obj - EPS {
+                stall = 0;
+                last_obj = obj;
+            } else {
+                stall += 1;
+            }
+        }
+    }
+
+    fn pivot(&mut self, leave: usize, enter: usize) {
+        let width = self.cols + 1;
+        let prow_start = leave * width;
+        let pval = self.a[prow_start + enter];
+        debug_assert!(pval.abs() > EPS, "pivot on (near-)zero element");
+        let inv = 1.0 / pval;
+        for j in 0..width {
+            self.a[prow_start + j] *= inv;
+        }
+        for r in 0..=self.rows {
+            if r == leave {
+                continue;
+            }
+            let factor = self.a[r * width + enter];
+            if factor.abs() > EPS {
+                for j in 0..width {
+                    let p = self.a[prow_start + j];
+                    self.a[r * width + j] -= factor * p;
+                }
+                self.a[r * width + enter] = 0.0; // exact
+            }
+        }
+        self.basis[leave] = enter;
+    }
+
+    fn solve(
+        mut self,
+        model: &Model,
+        bounds: &[(f64, f64)],
+        max_iters: usize,
+    ) -> Result<LpOutcome, LpError> {
+        let mut iters_left = max_iters;
+        let total = max_iters;
+
+        // ---- Phase 1 -------------------------------------------------------
+        if self.art_start < self.cols {
+            let mut cost1 = vec![0.0; self.cols];
+            for c in cost1.iter_mut().skip(self.art_start) {
+                *c = 1.0;
+            }
+            self.load_costs(&cost1);
+            let optimal = self
+                .iterate(|_| true, &mut iters_left)
+                .map_err(|_| LpError::IterationLimit(total))?;
+            debug_assert!(optimal, "phase-1 objective is bounded below by 0");
+            let width = self.cols + 1;
+            let phase1_obj = -self.a[self.rows * width + self.cols];
+            if phase1_obj > FEAS_TOL {
+                return Ok(LpOutcome::Infeasible);
+            }
+            // Drive leftover artificials out of the basis, pivoting on the
+            // largest-magnitude eligible element (tiny pivots would poison
+            // the tableau); rows with no usable element are redundant.
+            for i in 0..self.rows {
+                if self.dead_rows[i] || self.basis[i] < self.art_start {
+                    continue;
+                }
+                let mut pivot_col = None;
+                let mut pivot_mag = EPS;
+                for j in 0..self.art_start {
+                    let mag = self.at(i, j).abs();
+                    if mag > pivot_mag {
+                        pivot_mag = mag;
+                        pivot_col = Some(j);
+                    }
+                }
+                match pivot_col {
+                    Some(j) => self.pivot(i, j),
+                    None => self.dead_rows[i] = true, // redundant row
+                }
+            }
+        }
+
+        // ---- Phase 2 -------------------------------------------------------
+        let maximize = matches!(model.objective(), Objective::Maximize(_));
+        let mut cost2 = vec![0.0; self.cols];
+        for &(v, c) in &model.objective().expr().terms {
+            let c = if maximize { -c } else { c };
+            match self.col_map[v.index()] {
+                ColMap::Shifted { col, .. } => cost2[col] += c,
+                ColMap::Split { pos, neg } => {
+                    cost2[pos] += c;
+                    cost2[neg] -= c;
+                }
+            }
+        }
+        self.load_costs(&cost2);
+        let art_start = self.art_start;
+        let optimal = self
+            .iterate(|j| j < art_start, &mut iters_left)
+            .map_err(|_| LpError::IterationLimit(total))?;
+        if !optimal {
+            return Ok(LpOutcome::Unbounded);
+        }
+
+        // ---- extract -------------------------------------------------------
+        let mut cols_val = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            if !self.dead_rows[i] {
+                cols_val[self.basis[i]] = self.at(i, self.cols);
+            }
+        }
+        let mut x = vec![0.0; model.var_count()];
+        for (v, m) in self.col_map.iter().enumerate() {
+            x[v] = match *m {
+                ColMap::Shifted { col, lo } => lo + cols_val[col],
+                ColMap::Split { pos, neg } => cols_val[pos] - cols_val[neg],
+            };
+            // Clamp roundoff into the node bounds so downstream integrality
+            // tests see clean values.
+            let (lo, hi) = bounds[v];
+            x[v] = x[v].clamp(lo.max(f64::NEG_INFINITY), hi.min(f64::INFINITY));
+        }
+        // Post-solve verification: a claimed-optimal basic solution must
+        // satisfy every original row. Failure means numerical corruption and
+        // is reported as an error, never as a wrong answer.
+        let feas_scale = |c: &crate::model::Constraint| {
+            c.expr
+                .terms
+                .iter()
+                .map(|&(_, coef)| coef.abs())
+                .fold(1.0f64, f64::max)
+        };
+        for c in model.constraints() {
+            if !c.satisfied_by(&x, 1e-5 * feas_scale(c)) {
+                return Err(LpError::Numerical {
+                    constraint: c.name.clone(),
+                });
+            }
+        }
+
+        let objective = model.objective().expr().eval(&x);
+        Ok(LpOutcome::Optimal(LpSolution {
+            x,
+            objective,
+            iterations: total - iters_left,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    const ITERS: usize = 100_000;
+
+    fn opt(model: &Model) -> LpSolution {
+        match solve_lp(model, ITERS).unwrap() {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_max_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  → (2, 6), obj 36.
+        let mut m = Model::new("wyndor");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("c1", [(x, 1.0)], Sense::Le, 4.0);
+        m.add_constraint("c2", [(y, 2.0)], Sense::Le, 12.0);
+        m.add_constraint("c3", [(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+        m.set_objective_max([(x, 3.0), (y, 5.0)]);
+        let s = opt(&m);
+        assert!((s.objective - 36.0).abs() < 1e-6);
+        assert!((s.x[0] - 2.0).abs() < 1e-6);
+        assert!((s.x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimization_with_ge_rows_uses_phase1() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2 → x = 8? No: coefficient of x
+        // cheaper, so x = 10 − y ... min at y = 0, x = 10 → obj 20? But x >= 2
+        // is slack. Optimum: x = 10, y = 0, obj = 20.
+        let mut m = Model::new("ge");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("cover", [(x, 1.0), (y, 1.0)], Sense::Ge, 10.0);
+        m.add_constraint("xmin", [(x, 1.0)], Sense::Ge, 2.0);
+        m.set_objective_min([(x, 2.0), (y, 3.0)]);
+        let s = opt(&m);
+        assert!((s.objective - 20.0).abs() < 1e-6, "obj = {}", s.objective);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 6, x − y = 0 → x = y = 2, obj 4.
+        let mut m = Model::new("eq");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("a", [(x, 1.0), (y, 2.0)], Sense::Eq, 6.0);
+        m.add_constraint("b", [(x, 1.0), (y, -1.0)], Sense::Eq, 0.0);
+        m.set_objective_min([(x, 1.0), (y, 1.0)]);
+        let s = opt(&m);
+        assert!((s.x[0] - 2.0).abs() < 1e-6);
+        assert!((s.x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new("inf");
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.add_constraint("lo", [(x, 1.0)], Sense::Ge, 2.0);
+        assert_eq!(solve_lp(&m, ITERS).unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn contradictory_rows_infeasible() {
+        let mut m = Model::new("inf2");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("a", [(x, 1.0), (y, 1.0)], Sense::Eq, 1.0);
+        m.add_constraint("b", [(x, 1.0), (y, 1.0)], Sense::Eq, 3.0);
+        assert_eq!(solve_lp(&m, ITERS).unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new("unb");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.set_objective_max([(x, 1.0)]);
+        assert_eq!(solve_lp(&m, ITERS).unwrap(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn bounded_by_variable_upper_bound() {
+        let mut m = Model::new("ub");
+        let x = m.add_continuous("x", 0.0, 7.5);
+        m.set_objective_max([(x, 2.0)]);
+        let s = opt(&m);
+        assert!((s.objective - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_lower_bounds_shift_correctly() {
+        // min x s.t. x >= -5 → x = -5.
+        let mut m = Model::new("neg");
+        let x = m.add_continuous("x", -5.0, 5.0);
+        m.set_objective_min([(x, 1.0)]);
+        let s = opt(&m);
+        assert!((s.x[0] + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min |style|: min x + 2y s.t. x + y = 1, x free, y >= 0.
+        // Optimum pushes x up? min x + 2y with x = 1 − y → 1 + y → y = 0,
+        // x = 1, obj = 1. Now flip: min −x + 2y → −(1−y) + 2y = −1 + 3y → y=0,
+        // x=1, obj −1.
+        let mut m = Model::new("free");
+        let x = m.add_continuous("x", f64::NEG_INFINITY, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("sum", [(x, 1.0), (y, 1.0)], Sense::Eq, 1.0);
+        m.set_objective_min([(x, -1.0), (y, 2.0)]);
+        let s = opt(&m);
+        assert!((s.x[0] - 1.0).abs() < 1e-6);
+        assert!((s.objective + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variable_goes_negative() {
+        // min x s.t. x >= -inf, x + y = 0, y <= 3 → x = -3.
+        let mut m = Model::new("free2");
+        let x = m.add_continuous("x", f64::NEG_INFINITY, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, 3.0);
+        m.add_constraint("sum", [(x, 1.0), (y, 1.0)], Sense::Eq, 0.0);
+        m.set_objective_min([(x, 1.0)]);
+        let s = opt(&m);
+        assert!((s.x[0] + 3.0).abs() < 1e-6, "x = {}", s.x[0]);
+    }
+
+    #[test]
+    fn fixed_variable_via_equal_bounds() {
+        let mut m = Model::new("fix");
+        let x = m.add_continuous("x", 2.0, 2.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Le, 5.0);
+        m.set_objective_max([(y, 1.0)]);
+        let s = opt(&m);
+        assert!((s.x[0] - 2.0).abs() < 1e-9);
+        assert!((s.x[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beale_cycling_instance_terminates() {
+        // Beale's classic cycling example; Bland fallback must terminate it.
+        // min −0.75x4 + 150x5 − 0.02x6 + 6x7
+        // s.t. 0.25x4 − 60x5 − 0.04x6 + 9x7 <= 0
+        //      0.5x4 − 90x5 − 0.02x6 + 3x7 <= 0
+        //      x6 <= 1
+        let mut m = Model::new("beale");
+        let x4 = m.add_continuous("x4", 0.0, f64::INFINITY);
+        let x5 = m.add_continuous("x5", 0.0, f64::INFINITY);
+        let x6 = m.add_continuous("x6", 0.0, f64::INFINITY);
+        let x7 = m.add_continuous("x7", 0.0, f64::INFINITY);
+        m.add_constraint(
+            "r1",
+            [(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)],
+            Sense::Le,
+            0.0,
+        );
+        m.add_constraint(
+            "r2",
+            [(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)],
+            Sense::Le,
+            0.0,
+        );
+        m.add_constraint("r3", [(x6, 1.0)], Sense::Le, 1.0);
+        m.set_objective_min([(x4, -0.75), (x5, 150.0), (x6, -0.02), (x7, 6.0)]);
+        let s = opt(&m);
+        assert!((s.objective + 0.05).abs() < 1e-6, "obj = {}", s.objective);
+    }
+
+    #[test]
+    fn degenerate_assignment_lp_is_integral() {
+        // 2x2 assignment problem LP relaxation: naturally integral optimum.
+        let mut m = Model::new("assign");
+        let c = [[4.0, 1.0], [2.0, 3.0]];
+        let mut v = [[crate::model::Var(0); 2]; 2];
+        for i in 0..2 {
+            for j in 0..2 {
+                v[i][j] = m.add_continuous(format!("a{i}{j}"), 0.0, 1.0);
+            }
+        }
+        for i in 0..2 {
+            m.add_constraint(
+                format!("row{i}"),
+                (0..2).map(|j| (v[i][j], 1.0)),
+                Sense::Eq,
+                1.0,
+            );
+            m.add_constraint(
+                format!("col{i}"),
+                (0..2).map(|j| (v[j][i], 1.0)),
+                Sense::Eq,
+                1.0,
+            );
+        }
+        m.set_objective_min(
+            (0..2).flat_map(|i| (0..2).map(move |j| (v[i][j], c[i][j]))),
+        );
+        let s = opt(&m);
+        assert!((s.objective - 3.0).abs() < 1e-6); // a01 + a10 = 1 + 2
+    }
+
+    #[test]
+    fn bounds_override_tightens_solution() {
+        let mut m = Model::new("ovr");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        m.set_objective_max([(x, 1.0)]);
+        let out = solve_lp_with_bounds(&m, &[(0.0, 4.0)], ITERS).unwrap();
+        match out {
+            LpOutcome::Optimal(s) => assert!((s.x[0] - 4.0).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+        // Inverted override is infeasible.
+        let out = solve_lp_with_bounds(&m, &[(5.0, 4.0)], ITERS).unwrap();
+        assert_eq!(out, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn trivially_false_empty_row_is_infeasible() {
+        let mut m = Model::new("triv");
+        let _x = m.add_continuous("x", 0.0, 1.0);
+        m.add_constraint("nope", [], Sense::Ge, 3.0);
+        assert_eq!(solve_lp(&m, ITERS).unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn trivially_true_empty_row_is_ignored() {
+        let mut m = Model::new("triv2");
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.add_constraint("ok", [], Sense::Le, 3.0);
+        m.set_objective_max([(x, 1.0)]);
+        let s = opt(&m);
+        assert!((s.x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut m = Model::new("limit");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Le, 15.0);
+        m.set_objective_max([(x, 1.0), (y, 1.0)]);
+        assert!(matches!(
+            solve_lp(&m, 0),
+            Err(LpError::IterationLimit(0))
+        ));
+    }
+}

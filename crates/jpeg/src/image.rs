@@ -1,0 +1,227 @@
+//! Deterministic synthetic test images.
+//!
+//! The paper's experiment files (the "XV file" etc.) are unavailable, and
+//! its Tables 1–2 depend only on the *block count* of each image, so any
+//! deterministic pixel content of the right size reproduces them. These
+//! generators provide visually plausible grayscale content for the codec
+//! examples and exact block counts for the table harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    /// Width in pixels (multiple of 4 for clean 4×4 blocking).
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major samples.
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// A horizontal-plus-vertical gradient.
+    pub fn gradient(width: usize, height: usize) -> Self {
+        let pixels = (0..height)
+            .flat_map(|y| (0..width).map(move |x| ((x * 255 / width.max(1) + y * 255 / height.max(1)) / 2) as u8))
+            .collect();
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// An 8×8 checkerboard pattern (sharp edges, worst case for the DCT).
+    pub fn checkerboard(width: usize, height: usize) -> Self {
+        let pixels = (0..height)
+            .flat_map(|y| {
+                (0..width).map(move |x| if (x / 8 + y / 8) % 2 == 0 { 230u8 } else { 25u8 })
+            })
+            .collect();
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Seeded noise (incompressible content).
+    pub fn noise(width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pixels = (0..width * height).map(|_| rng.gen()).collect();
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Smooth low-frequency content (best case for the DCT) — a sum of two
+    /// slow cosines.
+    pub fn smooth(width: usize, height: usize) -> Self {
+        let pixels = (0..height)
+            .flat_map(|y| {
+                (0..width).map(move |x| {
+                    let v = 128.0
+                        + 60.0 * (x as f64 * 0.02).cos()
+                        + 50.0 * (y as f64 * 0.03).cos();
+                    v.clamp(0.0, 255.0) as u8
+                })
+            })
+            .collect();
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Builds the smallest ~square image containing at least `blocks` 4×4
+    /// blocks (used to reproduce the paper's table rows, which are given in
+    /// DCT block counts).
+    pub fn with_block_count(blocks: u64) -> Self {
+        let pixels_needed = blocks * 16;
+        let side = ((pixels_needed as f64).sqrt().ceil() as usize).div_ceil(4) * 4;
+        Image::gradient(side, side)
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn pixel(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height);
+        self.pixels[y * self.width + x]
+    }
+
+    /// Number of whole 4×4 blocks.
+    pub fn block_count(&self) -> u64 {
+        ((self.width / 4) * (self.height / 4)) as u64
+    }
+
+    /// Extracts 4×4 blocks in raster order, level-shifted to signed samples
+    /// (`pixel − 128`).
+    pub fn blocks(&self) -> Vec<[[i16; 4]; 4]> {
+        let bw = self.width / 4;
+        let bh = self.height / 4;
+        let mut out = Vec::with_capacity(bw * bh);
+        for by in 0..bh {
+            for bx in 0..bw {
+                let mut block = [[0i16; 4]; 4];
+                for (i, row) in block.iter_mut().enumerate() {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = i16::from(self.pixel(bx * 4 + j, by * 4 + i)) - 128;
+                    }
+                }
+                out.push(block);
+            }
+        }
+        out
+    }
+
+    /// Rebuilds an image from blocks (inverse of [`Image::blocks`] for
+    /// dimensions that are multiples of 4).
+    pub fn from_blocks(width: usize, height: usize, blocks: &[[[i16; 4]; 4]]) -> Self {
+        let bw = width / 4;
+        let mut pixels = vec![0u8; width * height];
+        for (bi, block) in blocks.iter().enumerate() {
+            let bx = bi % bw;
+            let by = bi / bw;
+            for (i, row) in block.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    pixels[(by * 4 + i) * width + bx * 4 + j] =
+                        (v + 128).clamp(0, 255) as u8;
+                }
+            }
+        }
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Peak signal-to-noise ratio against a reference image in dB
+    /// (`None` when images differ in size; infinity for identical images).
+    pub fn psnr(&self, reference: &Image) -> Option<f64> {
+        if self.width != reference.width || self.height != reference.height {
+            return None;
+        }
+        let mse: f64 = self
+            .pixels
+            .iter()
+            .zip(&reference.pixels)
+            .map(|(&a, &b)| {
+                let d = f64::from(a) - f64::from(b);
+                d * d
+            })
+            .sum::<f64>()
+            / self.pixels.len() as f64;
+        Some(if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_matches_dimensions() {
+        let img = Image::gradient(64, 32);
+        assert_eq!(img.block_count(), 16 * 8);
+        assert_eq!(img.blocks().len(), 128);
+    }
+
+    #[test]
+    fn with_block_count_is_at_least_requested() {
+        for &blocks in &[1u64, 100, 2_048, 16_384] {
+            let img = Image::with_block_count(blocks);
+            assert!(img.block_count() >= blocks, "{blocks}");
+            assert_eq!(img.width % 4, 0);
+        }
+    }
+
+    #[test]
+    fn blocks_round_trip() {
+        let img = Image::noise(32, 16, 42);
+        let blocks = img.blocks();
+        let back = Image::from_blocks(32, 16, &blocks);
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn level_shift_centers_samples() {
+        let img = Image::gradient(8, 8);
+        for block in img.blocks() {
+            for row in block {
+                for v in row {
+                    assert!((-128..=127).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite_and_differs_otherwise() {
+        let a = Image::smooth(16, 16);
+        assert_eq!(a.psnr(&a), Some(f64::INFINITY));
+        let b = Image::noise(16, 16, 1);
+        let p = a.psnr(&b).unwrap();
+        assert!(p.is_finite() && p < 30.0);
+        assert_eq!(a.psnr(&Image::smooth(20, 16)), None);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(Image::noise(16, 16, 9), Image::noise(16, 16, 9));
+        assert_ne!(Image::noise(16, 16, 9), Image::noise(16, 16, 10));
+    }
+}

@@ -1,0 +1,39 @@
+//! # sparcs-jpeg — the JPEG/DCT case study of the DAC'99 paper
+//!
+//! The paper's §4 models JPEG image compression as a hardware/software
+//! co-design: the Discrete Cosine Transform (the compute-intensive kernel)
+//! goes to the reconfigurable device, while quantization, zig-zag and Huffman
+//! encoding stay in software. This crate provides everything that experiment
+//! needs:
+//!
+//! * [`dct`] — the 4×4 DCT as *two consecutive 4×4 matrix multiplications*
+//!   (exactly how the paper models it), in `f64` reference form;
+//! * [`fixed`] — the fixed-point, vector-product-structured DCT matching the
+//!   hardware bit widths (9-bit first-stage multipliers, 17-bit second
+//!   stage), validated against the reference;
+//! * [`taskgraph`] — the Figure-8 behavior task graph: 32 vector-product
+//!   tasks (16 × `T1`, 16 × `T2`) in four row collections, with environment
+//!   ports sized so the memory analysis reproduces the paper's
+//!   `(32, 16, 16)` words;
+//! * [`quant`], [`zigzag`], [`huffman`], [`rle`] — the software half of the
+//!   co-design;
+//! * [`image`] — deterministic synthetic test images (the paper's image
+//!   files are unavailable; tables are parameterized by block count only);
+//! * [`pipeline`] — the end-to-end codec used by the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dct;
+pub mod fixed;
+pub mod huffman;
+pub mod image;
+pub mod pipeline;
+pub mod quant;
+pub mod rle;
+pub mod taskgraph;
+pub mod zigzag;
+
+pub use dct::Block4;
+pub use image::Image;
+pub use taskgraph::{dct_task_graph, DctTaskGraph, EstimateBackend};

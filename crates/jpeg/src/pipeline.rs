@@ -1,0 +1,254 @@
+//! The end-to-end JPEG-style codec (the software reference of the
+//! co-design).
+//!
+//! Encode: blocks → fixed-point DCT (the hardware kernel's bit-exact model)
+//! → quantize → zig-zag → RLE → Huffman. Decode inverts each stage. The RTR
+//! simulator replaces only the DCT stage; everything downstream consumes the
+//! same coefficients either way, which is how the case study isolates DCT
+//! time.
+
+use crate::huffman::{BitVec, HuffmanError, HuffmanTable};
+use crate::image::Image;
+use crate::quant::QuantTable;
+use crate::rle::{self, RleSymbol};
+use crate::zigzag;
+use crate::{dct, fixed};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A compressed image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Compressed {
+    /// Original width.
+    pub width: usize,
+    /// Original height.
+    pub height: usize,
+    /// Quality used at encode time.
+    pub quality: u8,
+    /// The Huffman table (stored with the stream, as a JPEG header would).
+    pub table: HuffmanTable,
+    /// Entropy-coded payload.
+    pub bits: BitVec,
+    /// Number of Huffman symbols in the payload.
+    pub symbol_count: usize,
+}
+
+impl Compressed {
+    /// Compressed size in bytes (payload only).
+    pub fn payload_bytes(&self) -> usize {
+        self.bits.as_bytes().len()
+    }
+}
+
+/// Errors from the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Entropy-coding failure.
+    Huffman(HuffmanError),
+    /// The symbol stream did not decode to whole blocks.
+    CorruptStream,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Huffman(e) => write!(f, "{e}"),
+            CodecError::CorruptStream => write!(f, "corrupt compressed stream"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<HuffmanError> for CodecError {
+    fn from(e: HuffmanError) -> Self {
+        CodecError::Huffman(e)
+    }
+}
+
+/// Maps an RLE symbol to a `u16` Huffman symbol.
+///
+/// Layout: `EndOfBlock` = 0; `Run{run, value}` packs the run in the high
+/// nibble region and the value (clamped to ±1023) in the low bits.
+fn symbolize(s: RleSymbol) -> u16 {
+    match s {
+        RleSymbol::EndOfBlock => 0,
+        RleSymbol::Run { run, value } => {
+            let v = value.clamp(-1023, 1023) + 1024; // 1..=2047
+            (u16::from(run) << 11) | v as u16
+        }
+    }
+}
+
+fn unsymbolize(s: u16) -> RleSymbol {
+    if s == 0 {
+        RleSymbol::EndOfBlock
+    } else {
+        RleSymbol::Run {
+            run: (s >> 11) as u8,
+            value: (s & 0x7FF) as i16 - 1024,
+        }
+    }
+}
+
+/// Compresses an image at the given quality (1..=100).
+///
+/// # Errors
+///
+/// Propagates entropy-coding failures (cannot occur for freshly built
+/// tables; the signature keeps the failure path honest).
+///
+/// # Panics
+///
+/// Panics if `quality` is outside `1..=100`.
+pub fn encode(img: &Image, quality: u8) -> Result<Compressed, CodecError> {
+    let qt = QuantTable::with_quality(quality);
+    let mut symbols: Vec<u16> = Vec::new();
+    for block in img.blocks() {
+        let z = fixed::forward_fixed(&block);
+        let zq = qt.quantize(&z);
+        for s in rle::encode(&zigzag::scan(&zq)) {
+            symbols.push(symbolize(s));
+        }
+        // Block separator guarantee: EndOfBlock is only implicit when the
+        // block is dense; rle::encode already handles that, and the decoder
+        // counts coefficients, so nothing extra is required.
+    }
+    let mut freqs: BTreeMap<u16, u64> = BTreeMap::new();
+    for &s in &symbols {
+        *freqs.entry(s).or_insert(0) += 1;
+    }
+    let table = HuffmanTable::from_frequencies(&freqs)?;
+    let bits = table.encode(&symbols)?;
+    Ok(Compressed {
+        width: img.width,
+        height: img.height,
+        quality,
+        table,
+        bits,
+        symbol_count: symbols.len(),
+    })
+}
+
+/// Decompresses back to an image.
+///
+/// # Errors
+///
+/// [`CodecError`] on corrupt streams.
+pub fn decode(c: &Compressed) -> Result<Image, CodecError> {
+    let symbols = c.table.decode(&c.bits, c.symbol_count)?;
+    let qt = QuantTable::with_quality(c.quality);
+    let n_blocks = (c.width / 4) * (c.height / 4);
+    let mut blocks = Vec::with_capacity(n_blocks);
+    let mut cursor = 0usize;
+    for _ in 0..n_blocks {
+        // Collect this block's RLE symbols: either 16 coefficients' worth of
+        // runs, or terminated by EndOfBlock.
+        let mut syms: Vec<RleSymbol> = Vec::new();
+        let mut coeffs = 0usize;
+        loop {
+            if cursor >= symbols.len() {
+                return Err(CodecError::CorruptStream);
+            }
+            let s = unsymbolize(symbols[cursor]);
+            cursor += 1;
+            match s {
+                RleSymbol::EndOfBlock => {
+                    syms.push(s);
+                    break;
+                }
+                RleSymbol::Run { run, .. } => {
+                    coeffs += run as usize + 1;
+                    syms.push(s);
+                    if coeffs >= 16 {
+                        break;
+                    }
+                }
+            }
+        }
+        let seq = rle::decode(&syms).ok_or(CodecError::CorruptStream)?;
+        let zq = zigzag::unscan(&seq);
+        let z = qt.dequantize(&zq);
+        // Inverse DCT in f64 (software side).
+        let mut zf = [[0.0f64; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                zf[i][j] = f64::from(z[i][j]);
+            }
+        }
+        let xf = dct::inverse(&zf);
+        let mut block = [[0i16; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                block[i][j] = xf[i][j].round().clamp(-128.0, 127.0) as i16;
+            }
+        }
+        blocks.push(block);
+    }
+    if cursor != symbols.len() {
+        return Err(CodecError::CorruptStream);
+    }
+    Ok(Image::from_blocks(c.width, c.height, &blocks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_image_round_trips_with_high_psnr() {
+        let img = Image::smooth(32, 32);
+        let c = encode(&img, 90).unwrap();
+        let back = decode(&c).unwrap();
+        let psnr = back.psnr(&img).unwrap();
+        assert!(psnr > 35.0, "psnr {psnr}");
+    }
+
+    #[test]
+    fn quality_trades_size_for_fidelity() {
+        // Noise has energy in every coefficient, so quantization strength
+        // directly controls the symbol stream size.
+        let img = Image::noise(64, 64, 7);
+        let hi = encode(&img, 95).unwrap();
+        let lo = encode(&img, 10).unwrap();
+        assert!(lo.bits.len() < hi.bits.len(), "lower quality → fewer bits");
+        let psnr_hi = decode(&hi).unwrap().psnr(&img).unwrap();
+        let psnr_lo = decode(&lo).unwrap().psnr(&img).unwrap();
+        assert!(psnr_hi >= psnr_lo, "{psnr_hi} vs {psnr_lo}");
+    }
+
+    #[test]
+    fn smooth_compresses_better_than_noise() {
+        let smooth = encode(&Image::smooth(64, 64), 50).unwrap();
+        let noise = encode(&Image::noise(64, 64, 3), 50).unwrap();
+        assert!(smooth.payload_bytes() < noise.payload_bytes());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_symbol_stream() {
+        let img = Image::gradient(16, 16);
+        let mut c = encode(&img, 50).unwrap();
+        c.symbol_count /= 2; // drop half the symbols
+        assert!(decode(&c).is_err());
+    }
+
+    #[test]
+    fn symbol_round_trip_covers_extremes() {
+        for s in [
+            RleSymbol::EndOfBlock,
+            RleSymbol::Run { run: 0, value: 1 },
+            RleSymbol::Run { run: 15, value: -1023 },
+            RleSymbol::Run { run: 7, value: 1023 },
+            RleSymbol::Run { run: 0, value: -1 },
+        ] {
+            assert_eq!(unsymbolize(symbolize(s)), s, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let img = Image::gradient(32, 32);
+        assert_eq!(encode(&img, 75).unwrap(), encode(&img, 75).unwrap());
+    }
+}

@@ -1,0 +1,140 @@
+//! Quantization — the first software subtask of the JPEG co-design.
+//!
+//! JPEG quantizes DCT coefficients by a perceptual table. The paper's case
+//! study works on 4×4 blocks, so we use a 4×4 table derived from the
+//! top-left quadrant shape of the standard JPEG luminance table, scaled by a
+//! quality factor exactly as libjpeg does.
+
+use serde::{Deserialize, Serialize};
+
+/// A 4×4 quantization table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantTable {
+    /// Divisors, row-major, all ≥ 1.
+    pub q: [[u16; 4]; 4],
+}
+
+/// Base luminance-style table for 4×4 blocks (DC gentle, high-frequency
+/// aggressive), shaped after the JPEG Annex-K table's quadrant.
+pub const BASE_LUMA: [[u16; 4]; 4] = [
+    [16, 11, 16, 24],
+    [12, 12, 19, 26],
+    [14, 16, 24, 40],
+    [18, 22, 37, 68],
+];
+
+impl QuantTable {
+    /// The base luminance table (quality 50).
+    pub fn luma() -> Self {
+        QuantTable { q: BASE_LUMA }
+    }
+
+    /// Scales the base table by a JPEG quality factor in `1..=100`
+    /// (50 = base, 100 = all ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` is outside `1..=100`.
+    pub fn with_quality(quality: u8) -> Self {
+        assert!((1..=100).contains(&quality), "quality must be 1..=100");
+        let scale: u32 = if quality < 50 {
+            5000 / u32::from(quality)
+        } else {
+            200 - 2 * u32::from(quality)
+        };
+        let mut q = [[0u16; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                let v = (u32::from(BASE_LUMA[i][j]) * scale + 50) / 100;
+                q[i][j] = v.clamp(1, 255) as u16;
+            }
+        }
+        QuantTable { q }
+    }
+
+    /// Quantizes a coefficient block (round-to-nearest division).
+    pub fn quantize(&self, z: &[[i32; 4]; 4]) -> [[i16; 4]; 4] {
+        let mut out = [[0i16; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                let q = i32::from(self.q[i][j]);
+                let v = z[i][j];
+                let r = if v >= 0 { (v + q / 2) / q } else { (v - q / 2) / q };
+                out[i][j] = r as i16;
+            }
+        }
+        out
+    }
+
+    /// Dequantizes back to coefficient scale.
+    pub fn dequantize(&self, zq: &[[i16; 4]; 4]) -> [[i32; 4]; 4] {
+        let mut out = [[0i32; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                out[i][j] = i32::from(zq[i][j]) * i32::from(self.q[i][j]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_100_is_all_ones_nearly() {
+        let t = QuantTable::with_quality(100);
+        assert!(t.q.iter().flatten().all(|&q| q == 1));
+    }
+
+    #[test]
+    fn quality_50_is_base() {
+        assert_eq!(QuantTable::with_quality(50).q, BASE_LUMA);
+    }
+
+    #[test]
+    fn lower_quality_quantizes_harder() {
+        let q10 = QuantTable::with_quality(10);
+        let q90 = QuantTable::with_quality(90);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(q10.q[i][j] >= q90.q[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded_by_half_step() {
+        let t = QuantTable::luma();
+        let mut z = [[0i32; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                z[i][j] = (i as i32 * 97 - j as i32 * 55) * 3;
+            }
+        }
+        let back = t.dequantize(&t.quantize(&z));
+        for i in 0..4 {
+            for j in 0..4 {
+                let err = (z[i][j] - back[i][j]).abs();
+                assert!(err <= i32::from(t.q[i][j]) / 2 + 1, "err {err} at [{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_values_round_symmetrically() {
+        let t = QuantTable::luma();
+        let mut z = [[0i32; 4]; 4];
+        z[0][0] = 40;
+        let mut zn = [[0i32; 4]; 4];
+        zn[0][0] = -40;
+        assert_eq!(t.quantize(&z)[0][0], -t.quantize(&zn)[0][0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quality must be 1..=100")]
+    fn zero_quality_panics() {
+        let _ = QuantTable::with_quality(0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Run-length encoding of zig-zag coefficient sequences.
+//!
+//! A simplified JPEG-style AC model: each nonzero coefficient becomes a
+//! `(zero_run, value)` pair; an end-of-block marker closes the sequence
+//! early when only zeros remain. These symbols feed the Huffman coder.
+
+use serde::{Deserialize, Serialize};
+
+/// One RLE symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RleSymbol {
+    /// `run` zeros followed by a nonzero `value`.
+    Run {
+        /// Number of zeros preceding the value.
+        run: u8,
+        /// The nonzero coefficient.
+        value: i16,
+    },
+    /// All remaining coefficients are zero.
+    EndOfBlock,
+}
+
+/// Encodes a zig-zag sequence into RLE symbols.
+pub fn encode(seq: &[i16; 16]) -> Vec<RleSymbol> {
+    let mut out = Vec::new();
+    let mut run = 0u8;
+    let last_nonzero = seq.iter().rposition(|&v| v != 0);
+    let Some(last) = last_nonzero else {
+        out.push(RleSymbol::EndOfBlock);
+        return out;
+    };
+    for &v in &seq[..=last] {
+        if v == 0 {
+            run += 1;
+        } else {
+            out.push(RleSymbol::Run { run, value: v });
+            run = 0;
+        }
+    }
+    if last < 15 {
+        out.push(RleSymbol::EndOfBlock);
+    }
+    out
+}
+
+/// Decodes RLE symbols back into a 16-entry sequence.
+///
+/// Returns `None` if the symbols overrun the block (corrupt stream).
+pub fn decode(symbols: &[RleSymbol]) -> Option<[i16; 16]> {
+    let mut out = [0i16; 16];
+    let mut pos = 0usize;
+    for s in symbols {
+        match *s {
+            RleSymbol::Run { run, value } => {
+                pos += run as usize;
+                if pos >= 16 {
+                    return None;
+                }
+                out[pos] = value;
+                pos += 1;
+            }
+            RleSymbol::EndOfBlock => break,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_zero_block_is_one_symbol() {
+        let seq = [0i16; 16];
+        let sym = encode(&seq);
+        assert_eq!(sym, vec![RleSymbol::EndOfBlock]);
+        assert_eq!(decode(&sym).unwrap(), seq);
+    }
+
+    #[test]
+    fn dense_block_has_no_eob() {
+        let mut seq = [1i16; 16];
+        seq[3] = -7;
+        let sym = encode(&seq);
+        assert!(!sym.contains(&RleSymbol::EndOfBlock));
+        assert_eq!(sym.len(), 16);
+        assert_eq!(decode(&sym).unwrap(), seq);
+    }
+
+    #[test]
+    fn typical_sparse_block() {
+        let mut seq = [0i16; 16];
+        seq[0] = 12;
+        seq[3] = -4;
+        seq[4] = 1;
+        let sym = encode(&seq);
+        assert_eq!(
+            sym,
+            vec![
+                RleSymbol::Run { run: 0, value: 12 },
+                RleSymbol::Run { run: 2, value: -4 },
+                RleSymbol::Run { run: 0, value: 1 },
+                RleSymbol::EndOfBlock,
+            ]
+        );
+        assert_eq!(decode(&sym).unwrap(), seq);
+    }
+
+    #[test]
+    fn round_trip_random_blocks() {
+        // Deterministic pseudo-random content.
+        let mut state = 0x1234_5678u32;
+        let mut next = move || {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            state
+        };
+        for _ in 0..200 {
+            let mut seq = [0i16; 16];
+            for v in &mut seq {
+                let r = next();
+                *v = if r % 3 == 0 { (r % 64) as i16 - 32 } else { 0 };
+            }
+            assert_eq!(decode(&encode(&seq)).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn corrupt_stream_detected() {
+        let sym = vec![RleSymbol::Run { run: 20, value: 1 }];
+        assert_eq!(decode(&sym), None);
+    }
+}

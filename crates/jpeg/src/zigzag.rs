@@ -1,0 +1,84 @@
+//! Zig-zag scan order for 4×4 blocks.
+//!
+//! Orders coefficients from low to high frequency so the run-length encoder
+//! sees long zero tails after quantization.
+
+/// The 4×4 zig-zag order as `(row, col)` pairs.
+pub const ZIGZAG_4X4: [(usize, usize); 16] = [
+    (0, 0),
+    (0, 1),
+    (1, 0),
+    (2, 0),
+    (1, 1),
+    (0, 2),
+    (0, 3),
+    (1, 2),
+    (2, 1),
+    (3, 0),
+    (3, 1),
+    (2, 2),
+    (1, 3),
+    (2, 3),
+    (3, 2),
+    (3, 3),
+];
+
+/// Scans a block into zig-zag order.
+pub fn scan(block: &[[i16; 4]; 4]) -> [i16; 16] {
+    let mut out = [0i16; 16];
+    for (k, &(i, j)) in ZIGZAG_4X4.iter().enumerate() {
+        out[k] = block[i][j];
+    }
+    out
+}
+
+/// Rebuilds a block from a zig-zag sequence (inverse of [`scan`]).
+pub fn unscan(seq: &[i16; 16]) -> [[i16; 4]; 4] {
+    let mut out = [[0i16; 4]; 4];
+    for (k, &(i, j)) in ZIGZAG_4X4.iter().enumerate() {
+        out[i][j] = seq[k];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_a_permutation() {
+        let mut seen = [[false; 4]; 4];
+        for &(i, j) in &ZIGZAG_4X4 {
+            assert!(!seen[i][j], "({i},{j}) repeated");
+            seen[i][j] = true;
+        }
+        assert!(seen.iter().flatten().all(|&b| b));
+    }
+
+    #[test]
+    fn starts_at_dc_ends_at_highest_frequency() {
+        assert_eq!(ZIGZAG_4X4[0], (0, 0));
+        assert_eq!(ZIGZAG_4X4[15], (3, 3));
+    }
+
+    #[test]
+    fn diagonal_frequency_is_nondecreasing_in_steps() {
+        // The sum i+j never jumps by more than 1 between consecutive entries.
+        for w in ZIGZAG_4X4.windows(2) {
+            let a = w[0].0 + w[0].1;
+            let b = w[1].0 + w[1].1;
+            assert!(b <= a + 1, "{:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn scan_unscan_round_trip() {
+        let mut block = [[0i16; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                block[i][j] = (i * 4 + j) as i16 - 8;
+            }
+        }
+        assert_eq!(unscan(&scan(&block)), block);
+    }
+}

@@ -1,0 +1,454 @@
+//! Host sequencers: static baseline, FDH and IDH (paper §2.2).
+//!
+//! All three sequencers are *functional* — they move real data through the
+//! board memory and run each configuration's kernel — and *timed* with one
+//! consistent transfer convention: host↔memory traffic moves whole
+//! per-computation blocks (`block_words` per direction), exactly the
+//! granularity of the paper's "Load block j / Read block j" listings and of
+//! its IDH overhead formula `2·k·I_sw·D_m·m_i`.
+//!
+//! Timing conventions (see EXPERIMENTS.md for the calibration discussion):
+//!
+//! * **Static**: one configuration load, then per computation
+//!   `max(delay, duplex transfer)` — input/output streaming is double
+//!   buffered behind computation, with one exposed prologue/epilogue.
+//! * **FDH**: fully serialized — the reconfiguration cascade dominates by
+//!   orders of magnitude, so overlap would change nothing visible.
+//! * **IDH**: double buffered per batch: steady-state batches cost
+//!   `max(k·d_i, 2·k·D_m·block_i)`; one half-transfer prologue and epilogue
+//!   per partition is exposed. This matches the loop-fission analysis'
+//!   `idh_total_time_overlapped_ns` exactly.
+//!
+//! Every run processes whole batches of `k` computations — the synthesized
+//! datapath always iterates `k` times, and when the real input count `I` is
+//! not a multiple of `k` the tail slots compute garbage that the host simply
+//! does not read back (*"only the first I computations from the output will
+//! have to be picked up"*).
+
+use crate::board::{BoardError, MemoryBank};
+use crate::design::{Configuration, RtrDesign, StaticDesign};
+use crate::report::TimeReport;
+use sparcs_estimate::Architecture;
+use std::fmt;
+
+/// Errors from the host sequencers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// A board-level failure (out-of-bounds access, …).
+    Board(BoardError),
+    /// The design's batched blocks do not fit the board memory.
+    MemoryBudget {
+        /// Words needed (`k · max block`).
+        needed: u64,
+        /// Words available (`M_max`).
+        available: u64,
+    },
+    /// The input length is not a multiple of the design's input width.
+    InputShape {
+        /// Required divisor.
+        expected_multiple: u64,
+    },
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::Board(e) => write!(f, "{e}"),
+            HostError::MemoryBudget { needed, available } => {
+                write!(f, "design needs {needed} words but the board has {available}")
+            }
+            HostError::InputShape { expected_multiple } => {
+                write!(f, "input length must be a multiple of {expected_multiple}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+impl From<BoardError> for HostError {
+    fn from(e: BoardError) -> Self {
+        HostError::Board(e)
+    }
+}
+
+/// Runs the static baseline over `inputs` (flattened computations of
+/// `design.input_words` each), returning the outputs and the time report.
+///
+/// # Errors
+///
+/// See [`HostError`].
+pub fn run_static(
+    arch: &Architecture,
+    design: &StaticDesign,
+    inputs: &[i32],
+) -> Result<(Vec<i32>, TimeReport), HostError> {
+    let in_w = design.input_words;
+    if in_w == 0 || inputs.len() as u64 % in_w != 0 {
+        return Err(HostError::InputShape {
+            expected_multiple: in_w.max(1),
+        });
+    }
+    if in_w + design.output_words > arch.memory_words {
+        return Err(HostError::MemoryBudget {
+            needed: in_w + design.output_words,
+            available: arch.memory_words,
+        });
+    }
+    let computations = inputs.len() as u64 / in_w;
+    let mut bank = MemoryBank::new(in_w + design.output_words);
+    let mut report = TimeReport {
+        reconfig_ns: u128::from(arch.reconfig_time_ns),
+        reconfigurations: 1,
+        computations,
+        ..TimeReport::default()
+    };
+    let duplex_words = in_w + design.output_words;
+    let transfer_ns = u128::from(arch.transfer_ns_per_word) * u128::from(duplex_words);
+    let delay = u128::from(design.delay_per_computation_ns);
+    let mut exposed = u128::from(arch.transfer_ns_per_word) * u128::from(in_w); // prologue
+    let mut outputs = Vec::with_capacity((computations * design.output_words) as usize);
+    for c in 0..computations {
+        let start = (c * in_w) as usize;
+        bank.write(0, &inputs[start..start + in_w as usize])?;
+        let out = (design.kernel)(bank.read(0, in_w)?);
+        debug_assert_eq!(out.len() as u64, design.output_words);
+        bank.write(in_w, &out)?;
+        outputs.extend_from_slice(bank.read(in_w, design.output_words)?);
+        // Double-buffered: streaming hides behind computation.
+        exposed += transfer_ns.saturating_sub(delay);
+        report.compute_ns += delay;
+        report.words_transferred += duplex_words;
+    }
+    exposed += u128::from(arch.transfer_ns_per_word) * u128::from(design.output_words); // epilogue
+    report.exposed_transfer_ns = exposed;
+    report.total_ns = report.reconfig_ns + report.compute_ns + report.exposed_transfer_ns;
+    Ok((outputs, report))
+}
+
+/// Validates shared preconditions and pads the inputs out to whole batches.
+fn prepare(
+    arch: &Architecture,
+    design: &RtrDesign,
+    inputs: &[i32],
+) -> Result<(u64, u64, Vec<i32>), HostError> {
+    let needed = design.k * design.max_block_words();
+    if needed > arch.memory_words {
+        return Err(HostError::MemoryBudget {
+            needed,
+            available: arch.memory_words,
+        });
+    }
+    let in_w = design.primary_input_words;
+    if in_w == 0 || inputs.len() as u64 % in_w != 0 {
+        return Err(HostError::InputShape {
+            expected_multiple: in_w.max(1),
+        });
+    }
+    let computations = inputs.len() as u64 / in_w;
+    let batches = computations.div_ceil(design.k).max(1);
+    let mut padded = inputs.to_vec();
+    padded.resize((batches * design.k * in_w) as usize, 0);
+    Ok((computations, batches, padded))
+}
+
+/// Runs one configuration over `k` slots: pulls each slot's selected inputs
+/// from its history, stages them through the bank blocks (bounds-checked),
+/// executes the kernel, and appends the outputs to the slot's history.
+fn execute_batch(
+    bank: &mut MemoryBank,
+    config: &Configuration,
+    histories: &mut [Vec<i32>],
+) -> Result<(), BoardError> {
+    let in_w = config.input_words();
+    for (slot, hist) in histories.iter_mut().enumerate() {
+        let base = slot as u64 * config.block_words;
+        let ins: Vec<i32> = config
+            .input_selector
+            .iter()
+            .map(|&i| hist[i as usize])
+            .collect();
+        bank.write(base, &ins)?;
+        let out = (config.kernel)(bank.read(base, in_w)?);
+        debug_assert_eq!(out.len() as u64, config.output_words, "{}", config.name);
+        bank.write(base + in_w, &out)?;
+        hist.extend_from_slice(bank.read(base + in_w, config.output_words)?);
+    }
+    Ok(())
+}
+
+fn batch_histories(design: &RtrDesign, padded: &[i32], batch: u64) -> Vec<Vec<i32>> {
+    let in_w = design.primary_input_words as usize;
+    let k = design.k as usize;
+    (0..k)
+        .map(|slot| {
+            let start = (batch as usize * k + slot) * in_w;
+            padded[start..start + in_w].to_vec()
+        })
+        .collect()
+}
+
+fn collect_outputs(design: &RtrDesign, histories: &[Vec<i32>]) -> Vec<i32> {
+    histories
+        .iter()
+        .flat_map(|hist| design.output_selector.iter().map(|&i| hist[i as usize]))
+        .collect()
+}
+
+/// Runs the **FDH** (Final Data to Host) sequencing: for every batch of `k`
+/// computations, reconfigure through all `N` partitions, then read the final
+/// outputs (the paper's first listing). Transfers are serialized — the
+/// reconfiguration cascade dominates this strategy by construction.
+///
+/// # Errors
+///
+/// See [`HostError`].
+pub fn run_fdh(
+    arch: &Architecture,
+    design: &RtrDesign,
+    inputs: &[i32],
+) -> Result<(Vec<i32>, TimeReport), HostError> {
+    let (computations, batches, padded) = prepare(arch, design, inputs)?;
+    let k = design.k;
+    let dm = u128::from(arch.transfer_ns_per_word);
+    let mut bank = MemoryBank::new(k * design.max_block_words());
+    let mut report = TimeReport {
+        computations,
+        ..TimeReport::default()
+    };
+    let mut outputs = Vec::new();
+    for b in 0..batches {
+        // "Load block j of input data for Configuration 1 into memory."
+        let in_words = k * design.configurations[0].block_words;
+        report.exposed_transfer_ns += dm * u128::from(in_words);
+        report.words_transferred += in_words;
+
+        let mut histories = batch_histories(design, &padded, b);
+        for config in &design.configurations {
+            // "Load Configuration i onto FPGA."
+            report.reconfig_ns += u128::from(arch.reconfig_time_ns);
+            report.reconfigurations += 1;
+            // "Send Start Signal … Wait for Finish Signal."
+            execute_batch(&mut bank, config, &mut histories)?;
+            report.compute_ns += u128::from(k * config.delay_per_computation_ns);
+        }
+        // "Read block j of output data from memory of Configuration N."
+        let out_words = k * design.output_words();
+        report.exposed_transfer_ns += dm * u128::from(out_words);
+        report.words_transferred += out_words;
+        outputs.extend(collect_outputs(design, &histories));
+    }
+    outputs.truncate((computations * design.output_words()) as usize);
+    report.total_ns = report.reconfig_ns + report.compute_ns + report.exposed_transfer_ns;
+    Ok((outputs, report))
+}
+
+/// Runs the **IDH** (Intermediate Data to Host) sequencing: each
+/// configuration is loaded once and *all* batches stream through it, with
+/// intermediate data saved to and restored from the host (the paper's second
+/// listing), double-buffered per batch.
+///
+/// # Errors
+///
+/// See [`HostError`].
+pub fn run_idh(
+    arch: &Architecture,
+    design: &RtrDesign,
+    inputs: &[i32],
+) -> Result<(Vec<i32>, TimeReport), HostError> {
+    let (computations, batches, padded) = prepare(arch, design, inputs)?;
+    let k = design.k;
+    let dm = u128::from(arch.transfer_ns_per_word);
+    let mut bank = MemoryBank::new(k * design.max_block_words());
+    let mut report = TimeReport {
+        computations,
+        ..TimeReport::default()
+    };
+    // Host-side value histories for every padded computation.
+    let mut histories: Vec<Vec<i32>> = (0..batches)
+        .flat_map(|b| batch_histories(design, &padded, b))
+        .collect();
+    for config in &design.configurations {
+        // "Load Configuration i onto FPGA." — once per partition.
+        report.reconfig_ns += u128::from(arch.reconfig_time_ns);
+        report.reconfigurations += 1;
+        let batch_compute = u128::from(k * config.delay_per_computation_ns);
+        let half_transfer = dm * u128::from(k * config.block_words);
+        let batch_transfer = 2 * half_transfer;
+
+        // Prologue: batch 0's input load is exposed.
+        report.exposed_transfer_ns += half_transfer;
+        for b in 0..batches {
+            let window = &mut histories[(b * k) as usize..((b + 1) * k) as usize];
+            execute_batch(&mut bank, config, window)?;
+            // Steady state: batch b's compute overlaps batch b±1's traffic.
+            report.compute_ns += batch_compute;
+            report.exposed_transfer_ns += batch_transfer.saturating_sub(batch_compute);
+            report.words_transferred += 2 * k * config.block_words;
+        }
+        // Epilogue: the last batch's output read is exposed.
+        report.exposed_transfer_ns += half_transfer;
+    }
+    let mut outputs = collect_outputs(design, &histories);
+    outputs.truncate((computations * design.output_words()) as usize);
+    report.total_ns = report.reconfig_ns + report.compute_ns + report.exposed_transfer_ns;
+    Ok((outputs, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Configuration;
+
+    fn arch() -> Architecture {
+        Architecture::xc4044_wildforce()
+    }
+
+    /// Two-stage pipeline: stage 1 doubles, stage 2 adds 1. 2 words in/out.
+    fn two_stage(k: u64) -> RtrDesign {
+        let c1 = Configuration::new("double", 1_000, vec![0, 1], 2, |x| {
+            x.iter().map(|v| v * 2).collect()
+        });
+        let c2 = Configuration::new("inc", 500, vec![0, 1], 2, |x| {
+            x.iter().map(|v| v + 1).collect()
+        });
+        RtrDesign::linear(vec![c1, c2], k)
+    }
+
+    fn static_equiv() -> StaticDesign {
+        StaticDesign::new(2_000, 2, 2, |x| x.iter().map(|v| v * 2 + 1).collect())
+    }
+
+    fn inputs(n: usize) -> Vec<i32> {
+        (0..n as i32 * 2).collect()
+    }
+
+    #[test]
+    fn fdh_and_idh_compute_the_same_answer_as_static() {
+        let d = two_stage(4);
+        let s = static_equiv();
+        let xs = inputs(10);
+        let (o_static, _) = run_static(&arch(), &s, &xs).unwrap();
+        let (o_fdh, _) = run_fdh(&arch(), &d, &xs).unwrap();
+        let (o_idh, _) = run_idh(&arch(), &d, &xs).unwrap();
+        assert_eq!(o_static, o_fdh);
+        assert_eq!(o_static, o_idh);
+        assert_eq!(o_static.len(), 20);
+        assert_eq!(o_static[0], 1); // 0·2+1
+        assert_eq!(o_static[3], 7); // 3·2+1
+        // And both match the pure functional reference.
+        assert_eq!(&o_fdh[0..2], d.compute_one(&xs[0..2]).as_slice());
+    }
+
+    #[test]
+    fn partial_batches_discard_garbage_slots() {
+        // 5 computations with k = 4 → 2 batches, 3 garbage slots dropped.
+        let d = two_stage(4);
+        let xs = inputs(5);
+        let (o, r) = run_fdh(&arch(), &d, &xs).unwrap();
+        assert_eq!(o.len(), 10);
+        assert_eq!(r.computations, 5);
+        let (o2, _) = run_idh(&arch(), &d, &xs).unwrap();
+        assert_eq!(o, o2);
+    }
+
+    #[test]
+    fn fdh_reconfigures_per_batch_idh_once_per_partition() {
+        let d = two_stage(2);
+        let xs = inputs(8); // 4 batches
+        let (_, fdh) = run_fdh(&arch(), &d, &xs).unwrap();
+        let (_, idh) = run_idh(&arch(), &d, &xs).unwrap();
+        assert_eq!(fdh.reconfigurations, 4 * 2);
+        assert_eq!(idh.reconfigurations, 2);
+        assert!(idh.total_ns < fdh.total_ns);
+    }
+
+    #[test]
+    fn fdh_timing_matches_paper_formula() {
+        let d = two_stage(4);
+        let xs = inputs(8); // 2 batches
+        let (_, r) = run_fdh(&arch(), &d, &xs).unwrap();
+        // N·CT·I_sw = 2 × 100 ms × 2.
+        assert_eq!(r.reconfig_ns, 2 * 2 * 100_000_000);
+        // Compute: k·I_sw per stage.
+        assert_eq!(r.compute_ns, u128::from(8 * (1_000 + 500) as u64));
+        // Transfer: k·block_1 in + k·out_sel out, per batch.
+        assert_eq!(r.words_transferred, 2 * (4 * 4 + 4 * 2));
+    }
+
+    #[test]
+    fn idh_timing_matches_overlapped_model() {
+        let d = two_stage(4);
+        let xs = inputs(8);
+        let (_, r) = run_idh(&arch(), &d, &xs).unwrap();
+        // Per partition: half + Σ_b max(C, T) + half, plus N·CT.
+        let dm = 25u128;
+        let mut expect = 2 * 100_000_000u128;
+        for (delay, block) in [(1_000u64, 4u64), (500, 4)] {
+            let c = u128::from(4 * delay);
+            let half = dm * u128::from(4 * block);
+            let t = 2 * half;
+            expect += half + 2 * c.max(t) + half;
+        }
+        assert_eq!(r.total_ns, expect);
+    }
+
+    #[test]
+    fn skip_stage_dataflow_works_under_both_sequencers() {
+        // DCT-like pattern: stage 2 ignores stage 1's output and reads the
+        // primary input; the design output interleaves both stages.
+        let s1 = Configuration::new("s1", 100, vec![0, 1], 2, |x| vec![x[0] * 2, x[1] * 2]);
+        let s2 = Configuration::new("s2", 100, vec![0, 1], 2, |x| vec![x[0] + 1, x[1] + 1]);
+        let d = RtrDesign::new(vec![s1, s2], 2, vec![2, 4, 3, 5], 2);
+        let xs = vec![10, 20, 30, 40];
+        let (o_fdh, _) = run_fdh(&arch(), &d, &xs).unwrap();
+        let (o_idh, _) = run_idh(&arch(), &d, &xs).unwrap();
+        assert_eq!(o_fdh, vec![20, 11, 40, 21, 60, 31, 80, 41]);
+        assert_eq!(o_fdh, o_idh);
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let d = two_stage(65_536); // 65536 × 4 words ≫ 64K
+        assert!(matches!(
+            run_fdh(&arch(), &d, &inputs(4)),
+            Err(HostError::MemoryBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn input_shape_enforced() {
+        let d = two_stage(4);
+        assert_eq!(
+            run_fdh(&arch(), &d, &[1, 2, 3]).unwrap_err(),
+            HostError::InputShape {
+                expected_multiple: 2
+            }
+        );
+        let s = static_equiv();
+        assert!(matches!(
+            run_static(&arch(), &s, &[1]),
+            Err(HostError::InputShape { .. })
+        ));
+    }
+
+    #[test]
+    fn static_hides_streaming_behind_compute() {
+        let s = static_equiv(); // 2000 ns ≫ 4 words × 25 ns
+        let xs = inputs(100);
+        let (_, r) = run_static(&arch(), &s, &xs).unwrap();
+        // total = CT + I·delay + prologue(2×25) + epilogue(2×25).
+        assert_eq!(r.total_ns, 100_000_000 + 100 * 2_000 + 50 + 50);
+    }
+
+    #[test]
+    fn static_exposes_streaming_when_bus_bound() {
+        let mut a = arch();
+        a.transfer_ns_per_word = 10_000; // 4 words × 10 µs ≫ 2 µs compute
+        let s = static_equiv();
+        let (_, r) = run_static(&a, &s, &inputs(10)).unwrap();
+        // Per computation the step is the transfer (40 µs), not compute.
+        let expected = 100_000_000u128 + 10 * 40_000 + 20_000 + 20_000;
+        assert_eq!(r.total_ns, expected);
+    }
+}

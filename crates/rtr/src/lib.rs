@@ -1,0 +1,34 @@
+//! # sparcs-rtr — a run-time-reconfigured board simulator
+//!
+//! The paper evaluates on a physical board: one Xilinx XC4044 on a
+//! WildForce-class PCI card with a 64K×32 SRAM, driven by a Pentium host.
+//! This crate is the simulated substitute (see DESIGN.md): a deterministic,
+//! integer-nanosecond model of
+//!
+//! * the **FPGA** (one loaded configuration at a time, `CT` per reload),
+//! * the **on-board memory** (bounds-checked word storage, `D_m` per
+//!   host-side word transfer),
+//! * the **host sequencers** implementing the paper's FDH and IDH loops and
+//!   the static (single-configuration) baseline,
+//!
+//! with the measurement probes the paper describes (*"we measured the
+//! execution times by inserting probes in the software code at points where
+//! the reconfigurable board was invoked"*).
+//!
+//! Configurations are *functional*: each partition carries a kernel closure
+//! that actually computes its outputs, so the simulator validates both the
+//! timing shape of Tables 1–2 and the bit-exactness of the partitioned DCT
+//! against the software reference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod design;
+pub mod host;
+pub mod report;
+
+pub use board::{Board, BoardError, MemoryBank};
+pub use design::{Configuration, RtrDesign, StaticDesign};
+pub use host::{run_fdh, run_idh, run_static, HostError};
+pub use report::TimeReport;

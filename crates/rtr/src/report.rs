@@ -1,0 +1,99 @@
+//! Timing reports — what the paper's software probes measured.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Breakdown of one sequencer run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TimeReport {
+    /// End-to-end wall time in ns.
+    pub total_ns: u128,
+    /// Time spent reconfiguring (`N·CT·…`).
+    pub reconfig_ns: u128,
+    /// Time the FPGA spent computing.
+    pub compute_ns: u128,
+    /// Host↔memory transfer time that actually extended the wall clock
+    /// (overlapped transfers hidden behind computation are excluded).
+    pub exposed_transfer_ns: u128,
+    /// Total words moved over the host link (hidden or not).
+    pub words_transferred: u64,
+    /// Number of configuration loads.
+    pub reconfigurations: u64,
+    /// Computations processed (the real `I`, not the padded batch total).
+    pub computations: u64,
+}
+
+impl TimeReport {
+    /// Total time in seconds (for table printing).
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Relative improvement of `self` over a `baseline`:
+    /// `(baseline − self) / baseline`, in percent. Negative when slower.
+    pub fn improvement_over_pct(&self, baseline: &TimeReport) -> f64 {
+        let b = baseline.total_ns as f64;
+        let s = self.total_ns as f64;
+        (b - s) / b * 100.0
+    }
+}
+
+impl fmt::Display for TimeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4} s total ({:.4} s reconfig x{}, {:.4} s compute, {:.4} s exposed transfer, {} words, {} computations)",
+            self.total_secs(),
+            self.reconfig_ns as f64 / 1e9,
+            self.reconfigurations,
+            self.compute_ns as f64 / 1e9,
+            self.exposed_transfer_ns as f64 / 1e9,
+            self.words_transferred,
+            self.computations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_is_signed() {
+        let fast = TimeReport {
+            total_ns: 50,
+            ..TimeReport::default()
+        };
+        let slow = TimeReport {
+            total_ns: 100,
+            ..TimeReport::default()
+        };
+        assert!((fast.improvement_over_pct(&slow) - 50.0).abs() < 1e-12);
+        assert!((slow.improvement_over_pct(&fast) + 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let r = TimeReport {
+            total_ns: 2_500_000_000,
+            ..TimeReport::default()
+        };
+        assert!((r.total_secs() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_all_parts() {
+        let r = TimeReport {
+            total_ns: 1_000,
+            reconfig_ns: 400,
+            compute_ns: 500,
+            exposed_transfer_ns: 100,
+            words_transferred: 7,
+            reconfigurations: 2,
+            computations: 3,
+        };
+        let s = r.to_string();
+        assert!(s.contains("7 words"));
+        assert!(s.contains("3 computations"));
+    }
+}

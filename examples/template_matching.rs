@@ -1,0 +1,117 @@
+//! Template matching — one of the DSP application classes the paper's
+//! introduction motivates ("Image processing, Template Matching, Encryption
+//! algorithms … an implicit outer loop … whose loop count can be known only
+//! at run-time").
+//!
+//! A sum-of-absolute-differences (SAD) matcher over 8×8 templates: per
+//! window, 4 quadrant-SAD tasks feed a comparator tree. Tasks are estimated
+//! from first principles with the component library, partitioned by the
+//! ILP, and the fission analyzer picks a sequencing strategy per workload.
+//! Run with `cargo run --release --example template_matching`.
+
+use sparcs::core::fission::{BlockRounding, FissionAnalysis};
+use sparcs::core::{IlpPartitioner, PartitionOptions};
+use sparcs::dfg::TaskGraph;
+use sparcs::estimate::estimator::Estimator;
+use sparcs::estimate::opgraph::{OpGraph, OpKind};
+use sparcs::estimate::{Architecture, ComponentLibrary};
+
+/// Operation graph of one 4×4-quadrant SAD: 16 reads, 16 subtracts,
+/// 16 abs (logic), adder tree, one write.
+fn sad_quadrant_ops() -> OpGraph {
+    let mut g = OpGraph::new();
+    let mut sums = Vec::new();
+    for i in 0..16 {
+        let rd = g.add_op(OpKind::MemRead, 8, format!("win{i}"));
+        let sub = g.add_op(OpKind::Sub, 9, format!("diff{i}"));
+        let abs = g.add_op(OpKind::Logic, 8, format!("abs{i}"));
+        g.add_dep(rd, sub);
+        g.add_dep(sub, abs);
+        sums.push(abs);
+    }
+    let mut width = 8;
+    while sums.len() > 1 {
+        width += 1;
+        let mut next = Vec::new();
+        for pair in sums.chunks(2) {
+            if pair.len() == 2 {
+                let add = g.add_op(OpKind::Add, width, format!("acc{width}"));
+                g.add_dep(pair[0], add);
+                g.add_dep(pair[1], add);
+                next.push(add);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        sums = next;
+    }
+    let wr = g.add_op(OpKind::MemWrite, width, "sad");
+    g.add_dep(sums[0], wr);
+    g
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Estimate the SAD task from the XC4000 component library.
+    let est = Estimator::new(ComponentLibrary::xc4000(), 100);
+    let sad = est.estimate(&sad_quadrant_ops())?;
+    println!("SAD quadrant task estimate: {sad}");
+
+    // Behavior graph: 4 quadrant SADs per window + compare/accumulate.
+    let mut g = TaskGraph::new("template-matching");
+    let quads: Vec<_> = (0..4)
+        .map(|i| {
+            g.add_task_kind(
+                format!("sad_q{i}"),
+                "SAD",
+                sad.resources,
+                sad.delay_ns,
+                1,
+            )
+        })
+        .collect();
+    let combine = g.add_task_kind(
+        "combine",
+        "CMP",
+        sparcs::dfg::Resources::clbs(120),
+        400,
+        1,
+    );
+    let best = g.add_task_kind("best", "CMP", sparcs::dfg::Resources::clbs(80), 300, 2);
+    for (i, &q) in quads.iter().enumerate() {
+        g.add_edge(q, combine, 1)?;
+        g.add_env_input(format!("window_q{i}"), 16, [q])?;
+    }
+    g.add_edge(combine, best, 1)?;
+    g.add_env_output("match", 2, [best])?;
+
+    // A smaller device so the matcher actually needs temporal partitioning.
+    let mut arch = Architecture::xc4044_wildforce();
+    arch.resources = sparcs::dfg::Resources::clbs(
+        (2 * sad.resources.clbs).max(300),
+    );
+    println!("device: {arch}");
+
+    let design = IlpPartitioner::new(arch.clone(), PartitionOptions::default()).partition(&g)?;
+    println!("\npartitioning: {}", design.partitioning);
+    println!("  delays {:?} ns", design.partition_delays_ns);
+
+    let fission = FissionAnalysis::analyze(
+        &g,
+        &design.partitioning,
+        &design.partition_delays_ns,
+        &arch,
+        BlockRounding::PowerOfTwo,
+    )?;
+    println!("  fission: {fission}");
+
+    // Workload: a VGA frame sweep = 640×480 windows (known only at run time,
+    // exactly the paper's implicit outer loop).
+    for &windows in &[10_000u64, 307_200, 5_000_000] {
+        let strategy = fission.choose_strategy(windows);
+        println!(
+            "  {windows:>8} windows -> {strategy}, total {:.3} s",
+            fission.total_time_ns(strategy, windows) as f64 / 1e9
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,216 @@
+//! `sparcs` — command-line driver for the temporal-partitioning flow.
+//!
+//! ```text
+//! sparcs partition <graph.tg> [--clbs N] [--memory N] [--ct NS] [--edge-memory]
+//! sparcs fission   <graph.tg> [--clbs N] [--memory N] [--ct NS] [--dm NS] [--pow2] [--inputs I]
+//! sparcs codegen   <graph.tg> [flow options] [--strategy fdh|idh]
+//! sparcs dot       <graph.tg>                 # Graphviz, partition-clustered
+//! sparcs example                              # print a sample graph file
+//! ```
+//!
+//! Graph files use the `sparcs_dfg::parse` text format (see `sparcs example`).
+
+use sparcs::core::codegen;
+use sparcs::core::fission::{BlockRounding, FissionAnalysis, SequencingStrategy};
+use sparcs::core::model::ModelConfig;
+use sparcs::core::partitioning::MemoryMode;
+use sparcs::core::{IlpPartitioner, PartitionOptions, PartitionedDesign};
+use sparcs::dfg::{dot, parse, Resources, TaskGraph};
+use sparcs::estimate::Architecture;
+use std::process::ExitCode;
+
+struct Flags {
+    path: Option<String>,
+    clbs: Option<u64>,
+    memory: Option<u64>,
+    ct_ns: Option<u64>,
+    dm_ns: Option<u64>,
+    pow2: bool,
+    edge_memory: bool,
+    inputs: u64,
+    strategy: Option<SequencingStrategy>,
+}
+
+fn usage() -> &'static str {
+    "usage: sparcs <partition|fission|codegen|dot|example> [graph.tg] [options]\n\
+     options: --clbs N  --memory WORDS  --ct NS  --dm NS  --pow2  --edge-memory\n\
+              --inputs I  --strategy fdh|idh\n\
+     run `sparcs example` for a sample graph file"
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        path: None,
+        clbs: None,
+        memory: None,
+        ct_ns: None,
+        dm_ns: None,
+        pow2: false,
+        edge_memory: false,
+        inputs: 1_000_000,
+        strategy: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .replace('_', "")
+                .parse()
+                .map_err(|_| format!("{name} needs a number"))
+        };
+        match a.as_str() {
+            "--clbs" => f.clbs = Some(grab("--clbs")?),
+            "--memory" => f.memory = Some(grab("--memory")?),
+            "--ct" => f.ct_ns = Some(grab("--ct")?),
+            "--dm" => f.dm_ns = Some(grab("--dm")?),
+            "--inputs" => f.inputs = grab("--inputs")?,
+            "--pow2" => f.pow2 = true,
+            "--edge-memory" => f.edge_memory = true,
+            "--strategy" => {
+                f.strategy = Some(match it.next().map(String::as_str) {
+                    Some("fdh") => SequencingStrategy::Fdh,
+                    Some("idh") => SequencingStrategy::Idh,
+                    other => return Err(format!("bad --strategy {other:?}")),
+                })
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => {
+                if f.path.replace(other.to_string()).is_some() {
+                    return Err("multiple graph files given".into());
+                }
+            }
+        }
+    }
+    Ok(f)
+}
+
+fn architecture(f: &Flags) -> Architecture {
+    let mut a = Architecture::xc4044_wildforce();
+    if let Some(c) = f.clbs {
+        a.resources = Resources::clbs(c);
+    }
+    if let Some(m) = f.memory {
+        a.memory_words = m;
+    }
+    if let Some(ct) = f.ct_ns {
+        a.reconfig_time_ns = ct;
+    }
+    if let Some(dm) = f.dm_ns {
+        a.transfer_ns_per_word = dm;
+    }
+    a
+}
+
+fn load(f: &Flags) -> Result<TaskGraph, String> {
+    let path = f.path.as_ref().ok_or("no graph file given")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run_partition(g: &TaskGraph, f: &Flags) -> Result<PartitionedDesign, String> {
+    let arch = architecture(f);
+    let opts = PartitionOptions {
+        model: ModelConfig {
+            memory_mode: if f.edge_memory {
+                MemoryMode::Edge
+            } else {
+                MemoryMode::Net
+            },
+            ..ModelConfig::default()
+        },
+        ..PartitionOptions::default()
+    };
+    IlpPartitioner::new(arch, opts)
+        .partition(g)
+        .map_err(|e| e.to_string())
+}
+
+fn fission_of(g: &TaskGraph, d: &PartitionedDesign, f: &Flags) -> Result<FissionAnalysis, String> {
+    FissionAnalysis::analyze(
+        g,
+        &d.partitioning,
+        &d.partition_delays_ns,
+        &architecture(f),
+        if f.pow2 {
+            BlockRounding::PowerOfTwo
+        } else {
+            BlockRounding::Exact
+        },
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage().into());
+    };
+    let f = parse_flags(rest)?;
+    match cmd.as_str() {
+        "example" => {
+            println!("{}", parse::to_text(&sparcs::dfg::gen::fig4_example()));
+        }
+        "dot" => {
+            let g = load(&f)?;
+            match run_partition(&g, &f) {
+                Ok(d) => println!(
+                    "{}",
+                    dot::to_dot_partitioned(&g, |t| Some(d.partitioning.partition_of(t).0))
+                ),
+                Err(_) => println!("{}", dot::to_dot(&g)),
+            }
+        }
+        "partition" => {
+            let g = load(&f)?;
+            let arch = architecture(&f);
+            println!("graph : {g}");
+            println!("target: {arch}");
+            let d = run_partition(&g, &f)?;
+            println!("result: {}", d.partitioning);
+            println!("delays: {:?} ns", d.partition_delays_ns);
+            println!(
+                "latency: {} ns ({} partitions x {} ns CT + {} ns), optimal = {}",
+                d.latency_ns,
+                d.partitioning.partition_count(),
+                arch.reconfig_time_ns,
+                d.sum_delay_ns,
+                d.stats.proven_optimal
+            );
+        }
+        "fission" => {
+            let g = load(&f)?;
+            let d = run_partition(&g, &f)?;
+            let fa = fission_of(&g, &d, &f)?;
+            println!("partitioning: {}", d.partitioning);
+            println!("fission     : {fa}");
+            println!("blocks      : {:?} words (wasted {}/run)", fa.block_words, fa.wasted_words);
+            let i = f.inputs;
+            println!(
+                "I = {i}: FDH {:.4} s | IDH {:.4} s (overlapped) -> {}",
+                fa.total_time_ns(SequencingStrategy::Fdh, i) as f64 / 1e9,
+                fa.idh_total_time_overlapped_ns(i) as f64 / 1e9,
+                fa.choose_strategy(i)
+            );
+        }
+        "codegen" => {
+            let g = load(&f)?;
+            let d = run_partition(&g, &f)?;
+            let fa = fission_of(&g, &d, &f)?;
+            let strategy = f.strategy.unwrap_or_else(|| fa.choose_strategy(f.inputs));
+            println!("{}", codegen::host_code(&fa, strategy));
+        }
+        other => return Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! The paper's §4 JPEG/DCT case study, wired end to end.
+//!
+//! [`DctExperiment`] runs the whole flow on the Figure-8 task graph: task
+//! estimation → exact ILP temporal partitioning → loop-fission analysis —
+//! and then *builds the executable design*: every temporal partition becomes
+//! a functional [`Configuration`] whose kernel evaluates exactly the vector
+//! products assigned to it, reading its inputs from the simulated board
+//! memory. Running the FDH/IDH sequencers on synthetic images therefore
+//! checks both the timing shape of Tables 1–2 and the bit-exactness of the
+//! partitioned DCT against the monolithic fixed-point reference.
+//!
+//! Among the many delay-optimal solutions (all T2 tasks are
+//! interchangeable), the experiment canonicalizes the T2 assignment to whole
+//! output rows in partition order — the memory-minimizing tie-break the
+//! paper's tool evidently applied, giving the quoted `(32, 16, 16)` words.
+
+use sparcs_core::fission::{BlockRounding, FissionAnalysis, FissionError};
+use sparcs_core::model::ModelConfig;
+use sparcs_core::partitioning::{MemoryMode, PartitionId, Partitioning};
+use sparcs_core::{IlpPartitioner, PartitionError, PartitionOptions, PartitionedDesign};
+use sparcs_dfg::TaskId;
+use sparcs_estimate::{paper, Architecture};
+use sparcs_jpeg::fixed::{coef_matrix, t1_vector_product, t2_vector_product};
+use sparcs_jpeg::{dct_task_graph, DctTaskGraph, EstimateBackend};
+use sparcs_rtr::{Configuration, RtrDesign, StaticDesign};
+use std::fmt;
+
+/// Errors from assembling the case study.
+#[derive(Debug)]
+pub enum CaseStudyError {
+    /// Estimation failed.
+    Estimate(sparcs_estimate::EstimateError),
+    /// Temporal partitioning failed.
+    Partition(PartitionError),
+    /// Loop fission failed.
+    Fission(FissionError),
+}
+
+impl fmt::Display for CaseStudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaseStudyError::Estimate(e) => write!(f, "{e}"),
+            CaseStudyError::Partition(e) => write!(f, "{e}"),
+            CaseStudyError::Fission(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CaseStudyError {}
+
+impl From<sparcs_estimate::EstimateError> for CaseStudyError {
+    fn from(e: sparcs_estimate::EstimateError) -> Self {
+        CaseStudyError::Estimate(e)
+    }
+}
+
+impl From<PartitionError> for CaseStudyError {
+    fn from(e: PartitionError) -> Self {
+        CaseStudyError::Partition(e)
+    }
+}
+
+impl From<FissionError> for CaseStudyError {
+    fn from(e: FissionError) -> Self {
+        CaseStudyError::Fission(e)
+    }
+}
+
+/// The assembled §4 experiment.
+#[derive(Debug, Clone)]
+pub struct DctExperiment {
+    /// The Figure-8 task graph and its bookkeeping.
+    pub dct: DctTaskGraph,
+    /// The target board.
+    pub arch: Architecture,
+    /// The ILP partitioning result (canonicalized — see module docs).
+    pub design: PartitionedDesign,
+    /// The loop-fission analysis (`k`, strategies, …).
+    pub fission: FissionAnalysis,
+}
+
+impl DctExperiment {
+    /// The experiment exactly as the paper ran it: paper-calibrated
+    /// estimates on the XC4044/WildForce board.
+    ///
+    /// # Errors
+    ///
+    /// See [`CaseStudyError`].
+    pub fn paper() -> Result<Self, CaseStudyError> {
+        Self::with(
+            EstimateBackend::PaperCalibrated,
+            Architecture::xc4044_wildforce(),
+        )
+    }
+
+    /// The experiment with a chosen estimation backend and board.
+    ///
+    /// # Errors
+    ///
+    /// See [`CaseStudyError`].
+    pub fn with(backend: EstimateBackend, arch: Architecture) -> Result<Self, CaseStudyError> {
+        let dct = dct_task_graph(backend)?;
+        let opts = PartitionOptions {
+            model: ModelConfig {
+                declared_symmetry: dct.symmetry_groups.clone(),
+                ..ModelConfig::default()
+            },
+            ..PartitionOptions::default()
+        };
+        let mut design = IlpPartitioner::new(arch.clone(), opts).partition(&dct.graph)?;
+        design.partitioning = canonicalize_rows(&dct, &design.partitioning);
+        design.partition_delays_ns =
+            sparcs_core::delay::partition_delays(&dct.graph, &design.partitioning)
+                .expect("canonicalized partitioning is still a DAG assignment");
+        let fission = FissionAnalysis::analyze(
+            &dct.graph,
+            &design.partitioning,
+            &design.partition_delays_ns,
+            &arch,
+            BlockRounding::Exact,
+        )?;
+        Ok(DctExperiment {
+            dct,
+            arch,
+            design,
+            fission,
+        })
+    }
+
+    /// Validates the partitioning against the architecture.
+    pub fn violations(&self) -> Vec<sparcs_core::partitioning::Violation> {
+        self.design
+            .partitioning
+            .validate(&self.dct.graph, &self.arch, MemoryMode::Net)
+    }
+
+    /// Builds the executable RTR design: one functional configuration per
+    /// temporal partition, with input selectors derived from the task graph
+    /// (partition 3 reads the partition-1 values that stay resident while
+    /// partition 2 runs — the paper's Figure 6 situation).
+    pub fn rtr_design(&self) -> RtrDesign {
+        let part = &self.design.partitioning;
+        let n = part.partition_count();
+        // Value → history-index map. History: 16 X words (column-major:
+        // X[k][c] at index c·4+k), then each partition's outputs in order.
+        // A T1/T2 task's output is keyed by its TaskId.
+        let mut value_index: Vec<Option<u32>> = vec![None; self.dct.graph.task_count()];
+        let mut history_len: u32 = 16;
+        let coef = coef_matrix();
+        let (t1_ids, t2_ids) = (self.dct.t1, self.dct.t2);
+        // Position helpers: for a task id, find its (r, c) and stage.
+        let locate = |t: TaskId| -> (bool, usize, usize) {
+            for r in 0..4 {
+                for c in 0..4 {
+                    if t1_ids[r][c] == t {
+                        return (true, r, c);
+                    }
+                    if t2_ids[r][c] == t {
+                        return (false, r, c);
+                    }
+                }
+            }
+            unreachable!("every task is a T1 or T2");
+        };
+
+        let mut configurations = Vec::with_capacity(n as usize);
+        for p in part.partitions() {
+            let tasks = part.tasks_in(p);
+            // Outputs of this partition: values consumed later (T1 outputs
+            // with a consumer outside p) plus every T2 output (environment).
+            let mut outputs: Vec<TaskId> = Vec::new();
+            for &t in &tasks {
+                let (is_t1, _, _) = locate(t);
+                let crosses = if is_t1 {
+                    self.dct
+                        .graph
+                        .successors(t)
+                        .any(|s| part.partition_of(s) != p)
+                } else {
+                    true // Z values leave through the environment
+                };
+                if crosses {
+                    outputs.push(t);
+                }
+            }
+            outputs.sort_unstable();
+
+            // External inputs: X columns for T1 tasks; Y values produced in
+            // earlier partitions for T2 tasks.
+            let mut selector: Vec<u32> = Vec::new();
+            let mut ext_of: Vec<(TaskId, Option<usize>)> = Vec::new(); // placeholder
+            let _ = &mut ext_of;
+            let push_unique = |sel: &mut Vec<u32>, idx: u32| -> usize {
+                match sel.iter().position(|&v| v == idx) {
+                    Some(pos) => pos,
+                    None => {
+                        sel.push(idx);
+                        sel.len() - 1
+                    }
+                }
+            };
+            // Plan the kernel: per task, where its operands come from.
+            enum Op {
+                /// T1: coefficient row r, X column c at `input positions`.
+                T1 {
+                    r: usize,
+                    ins: [usize; 4],
+                },
+                /// T2: coefficient row c, Y operands — each either an input
+                /// position (external) or a local index (internal).
+                T2 {
+                    c: usize,
+                    ins: [YSrc; 4],
+                },
+            }
+            #[derive(Clone, Copy)]
+            enum YSrc {
+                External(usize),
+                Internal(usize),
+            }
+            let mut plan: Vec<Op> = Vec::new();
+            let mut local_of: Vec<Option<usize>> = vec![None; self.dct.graph.task_count()];
+            for (li, &t) in tasks.iter().enumerate() {
+                local_of[t.index()] = Some(li);
+            }
+            for &t in &tasks {
+                let (is_t1, r, c) = locate(t);
+                if is_t1 {
+                    let mut ins = [0usize; 4];
+                    for (k, slot) in ins.iter_mut().enumerate() {
+                        // X[k][c] lives at history index c·4+k.
+                        *slot = push_unique(&mut selector, (c * 4 + k) as u32);
+                    }
+                    plan.push(Op::T1 { r, ins });
+                } else {
+                    let mut ins = [YSrc::Internal(0); 4];
+                    for (k, slot) in ins.iter_mut().enumerate() {
+                        let producer = t1_ids[r][k];
+                        *slot = if part.partition_of(producer) == p {
+                            YSrc::Internal(
+                                local_of[producer.index()].expect("producer in partition"),
+                            )
+                        } else {
+                            let hist = value_index[producer.index()]
+                                .expect("temporal order: producer already placed");
+                            YSrc::External(push_unique(&mut selector, hist))
+                        };
+                    }
+                    plan.push(Op::T2 { c, ins });
+                }
+            }
+            // Record this partition's outputs in the history map.
+            let mut out_pos: Vec<usize> = Vec::with_capacity(outputs.len());
+            for &t in &outputs {
+                value_index[t.index()] = Some(history_len);
+                history_len += 1;
+                out_pos.push(
+                    tasks
+                        .iter()
+                        .position(|&x| x == t)
+                        .expect("output belongs to partition"),
+                );
+            }
+
+            let delay = self.design.partition_delays_ns[p.index()];
+            let n_tasks = tasks.len();
+            let kernel = move |ins: &[i32]| -> Vec<i32> {
+                let mut locals: Vec<i32> = vec![0; n_tasks];
+                for (li, op) in plan.iter().enumerate() {
+                    locals[li] = match op {
+                        Op::T1 { r, ins: xs } => {
+                            let col = [
+                                ins[xs[0]] as i16,
+                                ins[xs[1]] as i16,
+                                ins[xs[2]] as i16,
+                                ins[xs[3]] as i16,
+                            ];
+                            t1_vector_product(&coef[*r], &col)
+                        }
+                        Op::T2 { c, ins: ys } => {
+                            let mut row = [0i32; 4];
+                            for (k, src) in ys.iter().enumerate() {
+                                row[k] = match src {
+                                    YSrc::External(pos) => ins[*pos],
+                                    YSrc::Internal(li) => locals[*li],
+                                };
+                            }
+                            t2_vector_product(&row, &coef[*c])
+                        }
+                    };
+                }
+                out_pos.iter().map(|&i| locals[i]).collect()
+            };
+            configurations.push(Configuration::new(
+                format!("{p}"),
+                delay,
+                selector,
+                outputs.len() as u64,
+                kernel,
+            ));
+        }
+        // Design output: Z row-major.
+        let mut out_sel = Vec::with_capacity(16);
+        for r in 0..4 {
+            for c in 0..4 {
+                out_sel.push(value_index[t2_ids[r][c].index()].expect("Z produced"));
+            }
+        }
+        RtrDesign::new(configurations, 16, out_sel, self.fission.k)
+    }
+
+    /// The static baseline: the whole DCT in one configuration
+    /// (160 cycles at 100 ns in the paper).
+    pub fn static_design(&self) -> StaticDesign {
+        StaticDesign::new(paper::STATIC_DELAY_NS, 16, 16, |ins| {
+            // Input is column-major X; the reference wants rows.
+            let mut x = [[0i16; 4]; 4];
+            for c in 0..4 {
+                for k in 0..4 {
+                    x[k][c] = ins[c * 4 + k] as i16;
+                }
+            }
+            let z = sparcs_jpeg::fixed::forward_fixed(&x);
+            z.iter().flatten().map(|&v| v).collect()
+        })
+    }
+
+    /// Flattens an image into the design's input stream (column-major 4×4
+    /// blocks).
+    pub fn input_stream(img: &sparcs_jpeg::Image) -> Vec<i32> {
+        img.blocks()
+            .iter()
+            .flat_map(|b| {
+                (0..4).flat_map(move |c| (0..4).map(move |k| i32::from(b[k][c])))
+            })
+            .collect()
+    }
+}
+
+/// Reassigns interchangeable T2 tasks so whole output rows group together in
+/// partition order, preserving per-partition T1/T2 counts (all constraints
+/// are symmetric under this permutation; memory shrinks or stays equal).
+fn canonicalize_rows(dct: &DctTaskGraph, part: &Partitioning) -> Partitioning {
+    let mut assignment: Vec<PartitionId> = part.assignment().to_vec();
+    // Count T2 slots per partition.
+    let mut slots: Vec<(PartitionId, usize)> = part
+        .partitions()
+        .map(|p| {
+            let count = part
+                .tasks_in(p)
+                .iter()
+                .filter(|&&t| dct.graph.task(t).kind == "T2")
+                .count();
+            (p, count)
+        })
+        .filter(|(_, c)| *c > 0)
+        .collect();
+    slots.sort_by_key(|&(p, _)| p);
+    // Hand out T2 tasks row-major into the slots.
+    let mut t2_row_major: Vec<TaskId> = Vec::with_capacity(16);
+    for r in 0..4 {
+        for c in 0..4 {
+            t2_row_major.push(dct.t2[r][c]);
+        }
+    }
+    let mut cursor = 0usize;
+    for (p, count) in slots {
+        for _ in 0..count {
+            assignment[t2_row_major[cursor].index()] = p;
+            cursor += 1;
+        }
+    }
+    Partitioning::new(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcs_jpeg::fixed;
+
+    #[test]
+    fn paper_experiment_reproduces_section4() {
+        let exp = DctExperiment::paper().unwrap();
+        assert_eq!(exp.design.partitioning.partition_count(), 3);
+        assert_eq!(exp.design.partition_delays_ns, vec![3_400, 2_520, 2_520]);
+        assert_eq!(exp.design.sum_delay_ns, 8_440);
+        assert_eq!(exp.fission.m_temp_words, vec![32, 16, 16]);
+        assert_eq!(exp.fission.k, 2_048);
+        assert!(exp.violations().is_empty());
+    }
+
+    #[test]
+    fn rtr_design_matches_monolithic_dct() {
+        let exp = DctExperiment::paper().unwrap();
+        let design = exp.rtr_design();
+        assert_eq!(design.partition_count(), 3);
+        assert_eq!(design.delay_per_computation_ns(), 8_440);
+        // Block geometry: the paper's (32, 16, 16).
+        let blocks: Vec<u64> = design
+            .configurations
+            .iter()
+            .map(|c| c.block_words)
+            .collect();
+        assert_eq!(blocks, vec![32, 16, 16]);
+
+        // Bit-exact equivalence on a nontrivial block.
+        let mut x = [[0i16; 4]; 4];
+        for (i, row) in x.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (i as i16 * 37 + j as i16 * 11) % 128 - 64;
+            }
+        }
+        let reference: Vec<i32> = fixed::forward_fixed(&x).iter().flatten().copied().collect();
+        let ins: Vec<i32> = (0..4)
+            .flat_map(|c| (0..4).map(move |k| i32::from(x[k][c])))
+            .collect();
+        assert_eq!(design.compute_one(&ins), reference);
+    }
+}

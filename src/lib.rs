@@ -1,0 +1,51 @@
+//! # SPARCS-RS — automated temporal partitioning and loop fission for FPGAs
+//!
+//! A from-scratch Rust reproduction of the DAC'99 paper *"An Automated
+//! Temporal Partitioning and Loop Fission Approach for FPGA Based
+//! Reconfigurable Synthesis of DSP Applications"* (Kaul, Vemuri,
+//! Govindarajan, Ouaiss — University of Cincinnati), named after the SPARCS
+//! design environment the paper's algorithms shipped in.
+//!
+//! This facade crate re-exports every subsystem and provides
+//! [`casestudy`] — the paper's complete §4 JPEG/DCT experiment wired
+//! end-to-end, used by the examples, integration tests and the table
+//! benchmarks.
+//!
+//! ## Subsystems
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`dfg`] | behavior task graphs and DAG algorithms |
+//! | [`ilp`] | the LP/MILP solver standing in for CPLEX |
+//! | [`estimate`] | device models, component library, task estimation |
+//! | [`core`] | temporal partitioning (exact ILP) + loop fission |
+//! | [`hls`] | binding, datapath, memory mapping, controllers, RTL |
+//! | [`rtr`] | the simulated reconfigurable board and host sequencers |
+//! | [`jpeg`] | the JPEG/DCT case study application |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sparcs::casestudy::DctExperiment;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let exp = DctExperiment::paper()?;
+//! // The paper's partitioning: 16×T1 | 8×T2 | 8×T2, k = 2048.
+//! assert_eq!(exp.design.partitioning.partition_count(), 3);
+//! assert_eq!(exp.fission.k, 2048);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sparcs_core as core;
+pub use sparcs_dfg as dfg;
+pub use sparcs_estimate as estimate;
+pub use sparcs_hls as hls;
+pub use sparcs_ilp as ilp;
+pub use sparcs_jpeg as jpeg;
+pub use sparcs_rtr as rtr;
+
+pub mod casestudy;

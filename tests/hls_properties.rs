@@ -1,0 +1,92 @@
+//! Property tests over the HLS extensions (§3 machinery).
+
+use proptest::prelude::*;
+use sparcs::estimate::ComponentLibrary;
+use sparcs::hls::addrgen::{AddrGen, AddressGenerator};
+use sparcs::hls::memmap::{MemoryMap, Segment};
+use sparcs::hls::AugmentedController;
+
+fn segments_strategy() -> impl Strategy<Value = Vec<Segment>> {
+    prop::collection::vec((1u64..40, any::<bool>()), 1..6).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (words, is_input))| Segment {
+                name: format!("M{i}"),
+                words,
+                is_input,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Every (iteration, segment, location) triple maps to a distinct
+    /// physical address, and all addresses stay within k·block.
+    #[test]
+    fn memory_map_addresses_are_injective(segs in segments_strategy(), k in 1u64..10) {
+        let m = MemoryMap::layout(segs, false, k, 1_000_000).expect("fits");
+        let mut seen = std::collections::BTreeSet::new();
+        for it in 0..m.k {
+            for (idx, s) in m.segments().iter().enumerate() {
+                for loc in 0..s.words {
+                    let a = m.address(it, idx, loc);
+                    prop_assert!(a < m.k * m.block_words);
+                    prop_assert!(seen.insert(a), "address {a} reused");
+                }
+            }
+        }
+    }
+
+    /// Power-of-two layout: block is a power of two, waste is exactly
+    /// k · (block − data), and addresses agree with the exact layout's
+    /// segment offsets modulo the block stride.
+    #[test]
+    fn power_of_two_layout_invariants(segs in segments_strategy(), k in 1u64..8) {
+        let exact = MemoryMap::layout(segs.clone(), false, k, 10_000_000).expect("fits");
+        let p2 = MemoryMap::layout(segs, true, k, 10_000_000).expect("fits");
+        prop_assert!(p2.block_words.is_power_of_two());
+        prop_assert!(p2.block_words >= exact.data_words);
+        prop_assert_eq!(p2.wasted_words(), (p2.block_words - p2.data_words) * k);
+        // Within a block the segment offsets are identical.
+        for idx in 0..p2.segments().len() {
+            prop_assert_eq!(p2.offset_of(idx), exact.offset_of(idx));
+        }
+    }
+
+    /// The two address generators agree wherever concatenation is legal.
+    #[test]
+    fn addrgen_equivalence(block_exp in 0u32..12, k in 1u64..5_000, it_frac in 0.0f64..1.0, off_frac in 0.0f64..1.0) {
+        let block = 1u64 << block_exp;
+        let mul = AddressGenerator::new(AddrGen::Multiplier, block, k).expect("valid");
+        let cat = AddressGenerator::new(AddrGen::Concatenation, block, k).expect("power of two");
+        let it = ((k - 1) as f64 * it_frac) as u64;
+        let within = ((block - 1) as f64 * off_frac) as u64;
+        prop_assert_eq!(mul.address(it, within, 0), cat.address(it, within, 0));
+    }
+
+    /// The augmented controller always runs exactly k·states cycles per
+    /// batch and ends asserting `finish`, from any fresh start.
+    #[test]
+    fn controller_batch_length(states in 1u32..50, k in 1u64..40) {
+        let mut ctrl = AugmentedController::new(states, k);
+        for _ in 0..2 {
+            let cycles = ctrl.run_batch();
+            prop_assert_eq!(cycles, k * u64::from(states));
+            prop_assert!(ctrl.finish_asserted());
+        }
+    }
+
+    /// Concatenation is never more expensive than the multiplier generator.
+    #[test]
+    fn concatenation_dominates_cost(block_exp in 1u32..12, k in 2u64..5_000) {
+        let lib = ComponentLibrary::xc4000();
+        let block = 1u64 << block_exp;
+        let mul = AddressGenerator::new(AddrGen::Multiplier, block, k).expect("valid");
+        let cat = AddressGenerator::new(AddrGen::Concatenation, block, k).expect("valid");
+        prop_assert!(cat.clbs(&lib) <= mul.clbs(&lib));
+        prop_assert!(cat.delay_ns(&lib) <= mul.delay_ns(&lib));
+    }
+}

@@ -1,0 +1,104 @@
+//! Every quotable number of the paper's §4, asserted against this
+//! reproduction in one place (the narrative version lives in
+//! EXPERIMENTS.md).
+
+use sparcs::casestudy::DctExperiment;
+use sparcs::estimate::paper;
+use std::sync::OnceLock;
+
+fn exp() -> &'static DctExperiment {
+    static EXP: OnceLock<DctExperiment> = OnceLock::new();
+    EXP.get_or_init(|| DctExperiment::paper().expect("experiment assembles"))
+}
+
+#[test]
+fn estimates_t1_70_clbs_t2_180_clbs() {
+    assert_eq!(exp().dct.t1_estimate.resources.clbs, 70);
+    assert_eq!(exp().dct.t2_estimate.resources.clbs, 180);
+}
+
+#[test]
+fn three_partitions_16t1_8t2_8t2() {
+    let part = &exp().design.partitioning;
+    assert_eq!(part.partition_count(), 3);
+    let kinds: Vec<(usize, usize)> = part
+        .partitions()
+        .map(|p| {
+            let tasks = part.tasks_in(p);
+            let t1 = tasks
+                .iter()
+                .filter(|t| exp().dct.graph.task(**t).kind == "T1")
+                .count();
+            (t1, tasks.len() - t1)
+        })
+        .collect();
+    assert_eq!(kinds, vec![(16, 0), (0, 8), (0, 8)]);
+}
+
+#[test]
+fn partition_delays_68c50_36c70_36c70() {
+    assert_eq!(exp().design.partition_delays_ns, vec![3_400, 2_520, 2_520]);
+}
+
+#[test]
+fn rtr_saves_7560_ns_per_computation() {
+    assert_eq!(paper::STATIC_DELAY_NS - exp().design.sum_delay_ns, 7_560);
+}
+
+#[test]
+fn memory_32_16_16_words_and_k_2048() {
+    assert_eq!(exp().fission.m_temp_words, vec![32, 16, 16]);
+    // "Therefore we can compute 64k/max(32,16,16) = 2048 blocks"
+    assert_eq!(exp().fission.k, 2_048);
+}
+
+#[test]
+fn software_loop_count_for_245760_blocks() {
+    // Table rows: I_sw = ceil(245760 / 2048) = 120.
+    assert_eq!(exp().fission.software_loop_count(245_760), 120);
+}
+
+#[test]
+fn break_even_is_tens_of_thousands_of_blocks() {
+    // Paper: "roughly 42,553"; our formula: 3·CT/(16µs − 8.44µs) = 39,683.
+    let be = exp()
+        .fission
+        .break_even_computations(paper::STATIC_DELAY_NS)
+        .expect("RTR is faster per computation");
+    assert_eq!(be, 39_683);
+    assert!(be > exp().fission.k, "memory caps k far below break-even");
+}
+
+#[test]
+fn fdh_never_improves_idh_wins_at_scale() {
+    use sparcs::core::SequencingStrategy;
+    let f = &exp().fission;
+    let static_ns = |i: u64| i as u128 * u128::from(paper::STATIC_DELAY_NS);
+    // FDH loses at every table size.
+    for &i in &[2_048u64, 16_384, 245_760] {
+        assert!(
+            u128::from(f.total_time_ns(SequencingStrategy::Fdh, i)) > static_ns(i),
+            "FDH at {i}"
+        );
+    }
+    // IDH (overlapped) wins at the paper's largest size by ~40 %.
+    let idh = f.idh_total_time_overlapped_ns(245_760) as f64;
+    let st = static_ns(245_760) as f64;
+    let improvement = (st - idh) / st * 100.0;
+    assert!(
+        improvement > 35.0 && improvement < 45.0,
+        "improvement {improvement}% (paper: 42%)"
+    );
+}
+
+#[test]
+fn partitioning_is_proven_optimal_and_feasible() {
+    assert!(exp().design.stats.proven_optimal);
+    assert!(exp().violations().is_empty());
+}
+
+#[test]
+fn ilp_relaxation_loop_started_at_lower_bound() {
+    // Preprocessing: ⌈4000/1600⌉ = 3, feasible on the first try.
+    assert_eq!(exp().design.stats.attempted_n, vec![3]);
+}
