@@ -51,7 +51,11 @@ fn bench(c: &mut Criterion) {
     }
     println!(
         "[A1] ILP strictly better on {wins}/{n} random graphs, mean gap {:.2}% when it wins",
-        if wins > 0 { total_gap / f64::from(wins) } else { 0.0 }
+        if wins > 0 {
+            total_gap / f64::from(wins)
+        } else {
+            0.0
+        }
     );
 
     let g = gen::layered(&cfg, 3);
@@ -59,8 +63,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("ilp_partition_random_graph", |b| {
         b.iter(|| {
-            IlpPartitioner::new(dev.clone(), PartitionOptions::default())
-                .partition(black_box(&g))
+            IlpPartitioner::new(dev.clone(), PartitionOptions::default()).partition(black_box(&g))
         })
     });
     group.bench_function("list_partition_random_graph", |b| {

@@ -19,7 +19,10 @@ fn bench(c: &mut Criterion) {
     let (g, part) = fig4_partitioning();
     let delays = partition_delays(&g, &part).expect("fig4 is a DAG");
     println!("[fig4] paper: d_1 = max(350, 400, 150) = 400 ns, d_2 = 300 ns");
-    println!("[fig4] ours : d_1 = {} ns, d_2 = {} ns", delays[0], delays[1]);
+    println!(
+        "[fig4] ours : d_1 = {} ns, d_2 = {} ns",
+        delays[0], delays[1]
+    );
     assert_eq!(delays, vec![400, 300]);
 
     c.bench_function("fig4/partition_delays", |b| {

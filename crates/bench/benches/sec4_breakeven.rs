@@ -20,7 +20,11 @@ fn bench(c: &mut Criterion) {
             "[breakeven] k = {:>6}: reconfig/comp {:>7} ns -> {}",
             p.k,
             p.reconfig_per_computation_ns,
-            if p.rtr_wins { "RTR wins" } else { "static wins" }
+            if p.rtr_wins {
+                "RTR wins"
+            } else {
+                "static wins"
+            }
         );
     }
     assert!(!points.iter().find(|p| p.k == 2_048).unwrap().rtr_wins);

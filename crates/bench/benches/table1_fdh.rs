@@ -5,8 +5,8 @@
 //! simulator on a small image.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sparcs_bench::{experiment, render_table, table1};
 use sparcs::casestudy::DctExperiment;
+use sparcs_bench::{experiment, render_table, table1};
 use sparcs_jpeg::Image;
 use sparcs_rtr::run_fdh;
 use std::hint::black_box;
@@ -16,7 +16,10 @@ fn bench(c: &mut Criterion) {
     let rows = table1(exp);
     print!(
         "{}",
-        render_table("[table1] FDH vs static (paper: no improvement at all):", &rows)
+        render_table(
+            "[table1] FDH vs static (paper: no improvement at all):",
+            &rows
+        )
     );
     assert!(rows.iter().all(|r| r.improvement_pct < 0.0));
 

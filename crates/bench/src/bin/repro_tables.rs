@@ -6,7 +6,8 @@
 
 use serde::Serialize;
 use sparcs_bench::{
-    break_even_sweep, dm_sensitivity, experiment, render_table, table1, table2, xc6000_table,
+    break_even_sweep, dct_exploration, dm_sensitivity, experiment, render_table, table1, table2,
+    xc6000_table,
 };
 use sparcs_estimate::paper;
 
@@ -64,7 +65,11 @@ fn main() {
             p.k,
             p.memory_words,
             p.reconfig_per_computation_ns,
-            if p.rtr_wins { "RTR wins" } else { "static wins" }
+            if p.rtr_wins {
+                "RTR wins"
+            } else {
+                "static wins"
+            }
         );
     }
 
@@ -82,6 +87,21 @@ fn main() {
     println!("\n== Section 4: XC6000 conjecture (CT = 500 us) ==");
     println!("paper : improvement \"calculated to be 47%\" for the largest file");
     print!("{}", render_table("ours  :", &x));
+
+    let exploration = dct_exploration(245_760);
+    println!("\n== Flow exploration: partitioner x rounding x sequencing at 245,760 blocks ==");
+    for (rank, c) in exploration.candidates.iter().enumerate() {
+        println!(
+            "        #{:<2} {:>4}/{:<5} + {} (N = {}, k = {:>5}): {:>8.4} s",
+            rank + 1,
+            c.strategy,
+            sparcs::flow::rounding_label(c.rounding),
+            c.sequencing,
+            c.partition_count,
+            c.k,
+            c.total_ns as f64 / 1e9
+        );
+    }
 
     let dm = dm_sensitivity(245_760);
     println!("\n== Calibration: D_m sensitivity of Table 2's headline number ==");

@@ -11,7 +11,10 @@
 
 use serde::Serialize;
 use sparcs::casestudy::DctExperiment;
+use sparcs::flow::{Exploration, ExploreSpace, FlowSession};
 use sparcs_core::fission::FissionAnalysis;
+use sparcs_core::model::ModelConfig;
+use sparcs_core::PartitionOptions;
 use sparcs_estimate::{paper, Architecture};
 use std::sync::OnceLock;
 
@@ -137,6 +140,26 @@ pub fn xc6000_table() -> Vec<TableRow> {
     table2(&exp)
 }
 
+/// Walks the Flow API's whole candidate space (partitioner × block
+/// rounding × sequencing) over the §4 DCT graph and returns the designs
+/// ranked by total time for `workload` blocks — the paper's Table-1/2
+/// comparison produced by exploration instead of hand-wiring.
+pub fn dct_exploration(workload: u64) -> Exploration {
+    let exp = experiment();
+    let session = FlowSession::new(exp.dct.graph.clone(), exp.arch.clone());
+    let mut space = ExploreSpace::for_workload(workload);
+    space.ilp_options = PartitionOptions {
+        model: ModelConfig {
+            declared_symmetry: exp.dct.symmetry_groups.clone(),
+            ..ModelConfig::default()
+        },
+        ..PartitionOptions::default()
+    };
+    session
+        .explore(&space)
+        .expect("the DCT graph always has feasible candidates")
+}
+
 /// One point of the break-even sweep: reconfiguration overhead versus
 /// compute saving as a function of the batch size `k` (memory capacity).
 #[derive(Debug, Clone, Serialize)]
@@ -184,11 +207,9 @@ pub fn dm_sensitivity(blocks: u64) -> Vec<(u64, f64)> {
         .map(|&dm| {
             let mut arch = Architecture::xc4044_wildforce();
             arch.transfer_ns_per_word = dm;
-            let exp = DctExperiment::with(
-                sparcs_jpeg::EstimateBackend::PaperCalibrated,
-                arch.clone(),
-            )
-            .expect("experiment assembles");
+            let exp =
+                DctExperiment::with(sparcs_jpeg::EstimateBackend::PaperCalibrated, arch.clone())
+                    .expect("experiment assembles");
             let rtr = idh_total_ns(&exp.fission, blocks) as f64;
             let st = static_total_ns(&arch, blocks) as f64;
             (dm, (st - rtr) / st * 100.0)
@@ -272,6 +293,21 @@ mod tests {
         // k = 2048 (the real memory) is far below break-even.
         let k2048 = points.iter().find(|p| p.k == 2_048).unwrap();
         assert!(!k2048.rtr_wins);
+    }
+
+    #[test]
+    fn exploration_best_matches_the_paper_design() {
+        let exploration = dct_exploration(245_760);
+        let best = exploration.best();
+        // The winner is the paper's flow: exact ILP partitioning, IDH
+        // sequencing, 3 partitions, k = 2048.
+        assert_eq!(best.strategy, "ilp");
+        assert_eq!(best.sequencing.to_string(), "IDH");
+        assert_eq!(best.partition_count, 3);
+        assert_eq!(best.k, 2_048);
+        for w in exploration.candidates.windows(2) {
+            assert!(w[0].total_ns <= w[1].total_ns);
+        }
     }
 
     #[test]

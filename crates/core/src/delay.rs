@@ -36,7 +36,11 @@ pub fn partition_delays(g: &TaskGraph, part: &Partitioning) -> Result<Vec<u64>, 
             } else {
                 0
             };
-            let from_preds = g.predecessors(t).map(|q| best[q.index()]).max().unwrap_or(0);
+            let from_preds = g
+                .predecessors(t)
+                .map(|q| best[q.index()])
+                .max()
+                .unwrap_or(0);
             best[t.index()] = w + from_preds;
             d_p = d_p.max(best[t.index()]);
         }
@@ -71,9 +75,7 @@ mod tests {
     #[test]
     fn fig4_partition_delays() {
         let g = gen::fig4_example();
-        let assign: Vec<PartitionId> = (0..7)
-            .map(|i| PartitionId(u32::from(i >= 5)))
-            .collect();
+        let assign: Vec<PartitionId> = (0..7).map(|i| PartitionId(u32::from(i >= 5))).collect();
         let part = Partitioning::new(assign);
         let d = partition_delays(&g, &part).unwrap();
         assert_eq!(d, vec![400, 300]);
@@ -82,9 +84,7 @@ mod tests {
     #[test]
     fn fig4_total_latency_includes_reconfig() {
         let g = gen::fig4_example();
-        let assign: Vec<PartitionId> = (0..7)
-            .map(|i| PartitionId(u32::from(i >= 5)))
-            .collect();
+        let assign: Vec<PartitionId> = (0..7).map(|i| PartitionId(u32::from(i >= 5))).collect();
         let part = Partitioning::new(assign);
         // 2 partitions × 1000 ns CT + 400 + 300.
         assert_eq!(total_latency_ns(&g, &part, 1000).unwrap(), 2700);

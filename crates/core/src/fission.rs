@@ -160,11 +160,10 @@ impl FissionAnalysis {
         // Eq. 9: k = ⌊M_max / max_i block_i⌋ (paper assumes m_i > 0; a
         // design with no memory traffic can batch arbitrarily — cap at
         // M_max so numbers stay meaningful).
-        let k = if max_block == 0 {
-            arch.memory_words.max(1)
-        } else {
-            arch.memory_words / max_block
-        };
+        let k = arch
+            .memory_words
+            .checked_div(max_block)
+            .unwrap_or(arch.memory_words.max(1));
         let wasted: u64 = block_words
             .iter()
             .zip(&m_temp_words)
@@ -265,9 +264,7 @@ impl FissionAnalysis {
         if saving == 0 {
             return None;
         }
-        Some(
-            (self.n_partitions as u64 * self.reconfig_time_ns).div_ceil(saving),
-        )
+        Some((self.n_partitions as u64 * self.reconfig_time_ns).div_ceil(saving))
     }
 }
 
@@ -333,10 +330,7 @@ mod tests {
     fn fission_reduces_overhead_by_factor_k() {
         let a = analysis();
         let total = 245_760;
-        assert_eq!(
-            a.unfissioned_overhead_ns(total),
-            total * 3 * 100_000_000
-        );
+        assert_eq!(a.unfissioned_overhead_ns(total), total * 3 * 100_000_000);
         assert_eq!(a.fdh_overhead_ns(total), 120 * 3 * 100_000_000);
         assert!(a.unfissioned_overhead_ns(total) / a.fdh_overhead_ns(total) == 2048);
     }
@@ -401,14 +395,9 @@ mod tests {
         assert_eq!(a2.block_words[0], 64);
         assert_eq!(a2.k, 1024);
         assert_eq!(a2.wasted_words, 31 * 1024);
-        let exact = FissionAnalysis::analyze(
-            &g2,
-            &p,
-            &[3_400, 2_520, 2_520],
-            &arch,
-            BlockRounding::Exact,
-        )
-        .unwrap();
+        let exact =
+            FissionAnalysis::analyze(&g2, &p, &[3_400, 2_520, 2_520], &arch, BlockRounding::Exact)
+                .unwrap();
         assert_eq!(exact.k, 65_536 / 33);
         assert!(exact.k > a2.k);
     }

@@ -95,7 +95,10 @@ impl fmt::Display for PartitionError {
                 write!(f, "task {t} exceeds the device capacity")
             }
             PartitionError::NoFeasibleSolution { tried_up_to } => {
-                write!(f, "no feasible partitioning with up to {tried_up_to} partitions")
+                write!(
+                    f,
+                    "no feasible partitioning with up to {tried_up_to} partitions"
+                )
             }
             PartitionError::Model(e) => write!(f, "{e}"),
             PartitionError::Solver(e) => write!(f, "{e}"),
@@ -270,10 +273,7 @@ mod tests {
         assert_eq!(d.latency_ns, 2 * a.reconfig_time_ns + 700);
         assert!(d.stats.proven_optimal);
         assert_eq!(d.stats.attempted_n, vec![2]);
-        assert!(d
-            .partitioning
-            .validate(&g, &a, MemoryMode::Net)
-            .is_empty());
+        assert!(d.partitioning.validate(&g, &a, MemoryMode::Net).is_empty());
     }
 
     #[test]
@@ -303,7 +303,10 @@ mod tests {
         let d = partition(&g, &dev);
         // Only feasible 2-split: {a,b} | {c} crossing the 1-word value.
         assert_eq!(d.partitioning.partition_count(), 2);
-        assert_eq!(d.partitioning.partition_of(a), d.partitioning.partition_of(b));
+        assert_eq!(
+            d.partitioning.partition_of(a),
+            d.partitioning.partition_of(b)
+        );
         assert!(d
             .partitioning
             .validate(&g, &dev, MemoryMode::Net)

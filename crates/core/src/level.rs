@@ -146,7 +146,10 @@ mod tests {
             let g = gen::layered(&gen::LayeredConfig::default(), seed);
             if let Ok(p) = partition_levels(&g, &arch(900)) {
                 for e in g.edges() {
-                    assert!(p.partition_of(e.src) <= p.partition_of(e.dst), "seed {seed}");
+                    assert!(
+                        p.partition_of(e.src) <= p.partition_of(e.dst),
+                        "seed {seed}"
+                    );
                 }
             }
         }

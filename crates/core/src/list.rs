@@ -96,11 +96,12 @@ mod tests {
         let g = gen::fig4_example();
         let p = partition_list(&g, &arch(1200)).unwrap();
         assert!(p.partition_count() >= 2);
-        assert!(p
-            .validate(&g, &arch(1200), MemoryMode::Net)
-            .iter()
-            .all(|v| matches!(v, crate::partitioning::Violation::Memory { .. })),
-            "only memory violations tolerated (heuristic is memory-blind)");
+        assert!(
+            p.validate(&g, &arch(1200), MemoryMode::Net)
+                .iter()
+                .all(|v| matches!(v, crate::partitioning::Violation::Memory { .. })),
+            "only memory violations tolerated (heuristic is memory-blind)"
+        );
     }
 
     #[test]

@@ -215,9 +215,7 @@ impl PartitionModel {
             x[row[assignment[ti] as usize].index()] = 1.0;
         }
         // Partition delays for the canonicalized assignment.
-        let canon = Partitioning::new(
-            assignment.iter().map(|&p| PartitionId(p)).collect(),
-        );
+        let canon = Partitioning::new(assignment.iter().map(|&p| PartitionId(p)).collect());
         let delays = crate::delay::partition_delays(g, &canon).ok()?;
         // `canon` is compacted; map its delays back onto raw labels.
         let mut used: Vec<u32> = assignment.clone();
@@ -235,8 +233,8 @@ impl PartitionModel {
                     dst,
                     boundary,
                 } => {
-                    let crossing = assignment[src.index()] <= boundary
-                        && assignment[dst.index()] > boundary;
+                    let crossing =
+                        assignment[src.index()] <= boundary && assignment[dst.index()] > boundary;
                     x[var.index()] = f64::from(u8::from(crossing));
                 }
                 CrossVar::Net {
@@ -249,8 +247,8 @@ impl PartitionModel {
                         .map(|s| assignment[s.index()])
                         .max()
                         .unwrap_or(assignment[producer.index()]);
-                    let crossing = assignment[producer.index()] <= boundary
-                        && max_consumer > boundary;
+                    let crossing =
+                        assignment[producer.index()] <= boundary && max_consumer > boundary;
                     x[var.index()] = f64::from(u8::from(crossing));
                 }
             }
@@ -308,9 +306,7 @@ pub fn build_model(
     for (ei, e) in g.edges().iter().enumerate() {
         for p2 in 0..n.saturating_sub(1) {
             let mut terms = vec![(y[e.dst.index()][p2 as usize], 1.0)];
-            terms.extend(
-                ((p2 + 1)..n).map(|p1| (y[e.src.index()][p1 as usize], 1.0)),
-            );
+            terms.extend(((p2 + 1)..n).map(|p1| (y[e.src.index()][p1 as usize], 1.0)));
             model.add_constraint(format!("order_e{ei}_p{p2}"), terms, Sense::Le, 1.0);
         }
     }
@@ -345,12 +341,7 @@ pub fn build_model(
                             terms.push((y[e.src.index()][q as usize], -1.0));
                             terms.push((y[e.dst.index()][q as usize], 1.0));
                         }
-                        model.add_constraint(
-                            format!("wdef_e{ei}_b{b}"),
-                            terms,
-                            Sense::Ge,
-                            0.0,
-                        );
+                        model.add_constraint(format!("wdef_e{ei}_b{b}"), terms, Sense::Ge, 0.0);
                         mem_terms.push((w, e.words as f64));
                     }
                     model.add_constraint(
@@ -592,7 +583,13 @@ fn validate_declared_symmetry(g: &TaskGraph, cfg: &ModelConfig) -> Result<(), Mo
             preds.sort_unstable();
             let mut succs: Vec<TaskId> = g.successors(t).collect();
             succs.sort_unstable();
-            (task.resources, task.delay_ns, task.output_words, preds, succs)
+            (
+                task.resources,
+                task.delay_ns,
+                task.output_words,
+                preds,
+                succs,
+            )
         };
         let first_key = key(first);
         for &t in rest {
@@ -630,7 +627,11 @@ mod tests {
         let sol = solve(&pm.model, &SolveOptions::default()).unwrap();
         // Optimal split: chains in partition 1 (delay 400), sink chain in
         // partition 2 (delay 300) → Σ d = 700.
-        assert!((sol.objective - 700.0).abs() < 1e-6, "obj {}", sol.objective);
+        assert!(
+            (sol.objective - 700.0).abs() < 1e-6,
+            "obj {}",
+            sol.objective
+        );
         let part = pm.decode(&sol);
         assert_eq!(part.partition_count(), 2);
         let delays = crate::delay::partition_delays(&g, &part).unwrap();
@@ -663,9 +664,7 @@ mod tests {
         let part = pm.decode(&sol);
         assert_eq!(part.partition_of(a), part.partition_of(b), "a,b together");
         assert_ne!(part.partition_of(b), part.partition_of(c));
-        assert!(part
-            .validate(&g, &arch, MemoryMode::Net)
-            .is_empty());
+        assert!(part.validate(&g, &arch, MemoryMode::Net).is_empty());
     }
 
     #[test]
@@ -833,8 +832,7 @@ mod tests {
             },
         )
         .unwrap();
-        let bound = |m: &sparcs_ilp::Model| match sparcs_ilp::simplex::solve_lp(m, 200_000)
-            .unwrap()
+        let bound = |m: &sparcs_ilp::Model| match sparcs_ilp::simplex::solve_lp(m, 200_000).unwrap()
         {
             sparcs_ilp::LpOutcome::Optimal(s) => s.objective,
             other => panic!("{other:?}"),
@@ -846,7 +844,9 @@ mod tests {
             "cuts must tighten: {b_with} vs {b_without}"
         );
         // And the integer optimum is identical under both models.
-        let o_with = solve(&with.model, &SolveOptions::default()).unwrap().objective;
+        let o_with = solve(&with.model, &SolveOptions::default())
+            .unwrap()
+            .objective;
         let o_without = solve(&without.model, &SolveOptions::default())
             .unwrap()
             .objective;
@@ -859,9 +859,7 @@ mod tests {
         let arch = arch_small(1200, 100);
         let cfg = ModelConfig::default();
         let pm = build_model(&g, &arch, 2, &cfg).unwrap();
-        let assign: Vec<PartitionId> = (0..7)
-            .map(|i| PartitionId(u32::from(i >= 5)))
-            .collect();
+        let assign: Vec<PartitionId> = (0..7).map(|i| PartitionId(u32::from(i >= 5))).collect();
         let part = Partitioning::new(assign);
         let warm = pm.encode_warm_start(&g, &part, &cfg).unwrap();
         assert!(

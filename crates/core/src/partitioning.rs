@@ -113,9 +113,8 @@ impl Partitioning {
         let mut used: Vec<u32> = assignment.iter().map(|p| p.0).collect();
         used.sort_unstable();
         used.dedup();
-        let remap = |p: PartitionId| {
-            PartitionId(used.binary_search(&p.0).expect("id present") as u32)
-        };
+        let remap =
+            |p: PartitionId| PartitionId(used.binary_search(&p.0).expect("id present") as u32);
         let assignment: Vec<PartitionId> = assignment.iter().map(|&p| remap(p)).collect();
         let n_partitions = used.len() as u32;
         Partitioning {
@@ -168,12 +167,7 @@ impl Partitioning {
 
     /// Checks all feasibility conditions against `arch`; an empty vector
     /// means the partitioning is feasible.
-    pub fn validate(
-        &self,
-        g: &TaskGraph,
-        arch: &Architecture,
-        mode: MemoryMode,
-    ) -> Vec<Violation> {
+    pub fn validate(&self, g: &TaskGraph, arch: &Architecture, mode: MemoryMode) -> Vec<Violation> {
         let mut out = Vec::new();
         assert_eq!(
             self.assignment.len(),
@@ -244,9 +238,7 @@ mod tests {
     fn tasks_in_and_resources() {
         let g = gen::fig4_example();
         // Tasks 0..5 (P1 tasks) in partition 0, tasks 5,6 in partition 1.
-        let assign: Vec<PartitionId> = (0..7)
-            .map(|i| PartitionId(u32::from(i >= 5)))
-            .collect();
+        let assign: Vec<PartitionId> = (0..7).map(|i| PartitionId(u32::from(i >= 5))).collect();
         let p = Partitioning::new(assign);
         assert_eq!(p.tasks_in(PartitionId(0)).len(), 5);
         assert_eq!(p.tasks_in(PartitionId(1)).len(), 2);
@@ -260,9 +252,7 @@ mod tests {
     fn validate_flags_backward_edges() {
         let g = gen::fig4_example();
         // Put the sink chain (tasks 5, 6) *before* their producers.
-        let assign: Vec<PartitionId> = (0..7)
-            .map(|i| PartitionId(u32::from(i < 5)))
-            .collect();
+        let assign: Vec<PartitionId> = (0..7).map(|i| PartitionId(u32::from(i < 5))).collect();
         let p = Partitioning::new(assign);
         let arch = sparcs_estimate::Architecture::xc4044_wildforce();
         let v = p.validate(&g, &arch, MemoryMode::Net);
@@ -283,9 +273,7 @@ mod tests {
     #[test]
     fn validate_flags_memory_overflow() {
         let g = gen::fig4_example();
-        let assign: Vec<PartitionId> = (0..7)
-            .map(|i| PartitionId(u32::from(i >= 5)))
-            .collect();
+        let assign: Vec<PartitionId> = (0..7).map(|i| PartitionId(u32::from(i >= 5))).collect();
         let p = Partitioning::new(assign);
         // 3 words cross the boundary; memory of 2 words must trip.
         let arch = sparcs_estimate::Architecture::xc4044_wildforce().with_memory_words(2);
@@ -296,9 +284,7 @@ mod tests {
     #[test]
     fn feasible_partitioning_validates_clean() {
         let g = gen::fig4_example();
-        let assign: Vec<PartitionId> = (0..7)
-            .map(|i| PartitionId(u32::from(i >= 5)))
-            .collect();
+        let assign: Vec<PartitionId> = (0..7).map(|i| PartitionId(u32::from(i >= 5))).collect();
         let p = Partitioning::new(assign);
         let arch = sparcs_estimate::Architecture::xc4044_wildforce();
         assert!(p.validate(&g, &arch, MemoryMode::Net).is_empty());

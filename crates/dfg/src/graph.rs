@@ -417,7 +417,9 @@ impl TaskGraph {
 
     /// Root tasks — the paper's `T_r`: tasks with no predecessors.
     pub fn roots(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.in_degree(t) == 0).collect()
+        self.task_ids()
+            .filter(|&t| self.in_degree(t) == 0)
+            .collect()
     }
 
     /// Leaf tasks — the paper's `T_l`: tasks with no successors.
@@ -451,10 +453,8 @@ impl TaskGraph {
         let n = self.tasks.len();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.pred[i].len()).collect();
         // BTreeSet keeps the frontier sorted so the order is deterministic.
-        let mut ready: BTreeSet<TaskId> = self
-            .task_ids()
-            .filter(|t| indeg[t.index()] == 0)
-            .collect();
+        let mut ready: BTreeSet<TaskId> =
+            self.task_ids().filter(|t| indeg[t.index()] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(&t) = ready.iter().next() {
             ready.remove(&t);

@@ -246,7 +246,11 @@ pub fn to_text(g: &TaskGraph) -> String {
             crate::graph::EnvDirection::Input => "input",
             crate::graph::EnvDirection::Output => "output",
         };
-        let tasks: Vec<&str> = port.tasks.iter().map(|&t| g.task(t).name.as_str()).collect();
+        let tasks: Vec<&str> = port
+            .tasks
+            .iter()
+            .map(|&t| g.task(t).name.as_str())
+            .collect();
         let _ = writeln!(
             s,
             "{dir} {} words={} tasks={}",
@@ -303,10 +307,8 @@ output packed words=4 tasks=b
 
     #[test]
     fn edge_words_default_to_producer_output() {
-        let g = parse(
-            "task a clbs=1 delay=1 out=6\ntask b clbs=1 delay=1 out=1\nedge a -> b",
-        )
-        .unwrap();
+        let g =
+            parse("task a clbs=1 delay=1 out=6\ntask b clbs=1 delay=1 out=1\nedge a -> b").unwrap();
         assert_eq!(g.edges()[0].words, 6);
     }
 

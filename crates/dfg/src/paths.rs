@@ -59,7 +59,11 @@ pub struct PathBudgetExceeded {
 
 impl fmt::Display for PathBudgetExceeded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "root-to-leaf path count exceeds budget of {}", self.budget)
+        write!(
+            f,
+            "root-to-leaf path count exceeds budget of {}",
+            self.budget
+        )
     }
 }
 
@@ -103,10 +107,7 @@ pub fn count_paths(g: &TaskGraph) -> Result<u128, GraphError> {
 /// * [`GraphError::Cycle`] (wrapped in `Ok(Err(..))`? No —) the graph must be
 ///   a DAG; cycles surface as `EnumerateError::Graph`.
 /// * `EnumerateError::Budget` when the path count exceeds `budget`.
-pub fn enumerate_paths(
-    g: &TaskGraph,
-    budget: usize,
-) -> Result<Vec<TaskPath>, EnumerateError> {
+pub fn enumerate_paths(g: &TaskGraph, budget: usize) -> Result<Vec<TaskPath>, EnumerateError> {
     g.validate().map_err(EnumerateError::Graph)?;
     if count_paths(g).map_err(EnumerateError::Graph)? > budget as u128 {
         return Err(EnumerateError::Budget(PathBudgetExceeded { budget }));

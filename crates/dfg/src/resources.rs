@@ -261,10 +261,7 @@ mod tests {
     #[test]
     fn display_hides_zero_components() {
         assert_eq!(Resources::clbs(1600).to_string(), "1600 CLBs");
-        assert_eq!(
-            Resources::new(10, 0, 2, 0).to_string(),
-            "10 CLBs, 2 MULTs"
-        );
+        assert_eq!(Resources::new(10, 0, 2, 0).to_string(), "10 CLBs, 2 MULTs");
     }
 
     #[test]

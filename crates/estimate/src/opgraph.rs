@@ -243,7 +243,12 @@ impl OpGraph {
 
 impl fmt::Display for OpGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "op graph: {} ops, {} deps", self.ops.len(), self.edges.len())
+        write!(
+            f,
+            "op graph: {} ops, {} deps",
+            self.ops.len(),
+            self.edges.len()
+        )
     }
 }
 

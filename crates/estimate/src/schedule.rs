@@ -80,8 +80,8 @@ impl Allocation {
         self.units
             .iter()
             .filter(|u| {
-                let kind_ok = u.kind == kind
-                    || (u.kind.uses_memory_port() && kind.uses_memory_port());
+                let kind_ok =
+                    u.kind == kind || (u.kind.uses_memory_port() && kind.uses_memory_port());
                 kind_ok && u.bits >= bits
             })
             .map(|u| u.count)
@@ -216,10 +216,7 @@ pub fn list_schedule(
         }
         unscheduled.retain(|&o| start[o.index()] == u32::MAX);
         cycle += 1;
-        debug_assert!(
-            cycle < 1_000_000,
-            "schedule failed to make progress (bug)"
-        );
+        debug_assert!(cycle < 1_000_000, "schedule failed to make progress (bug)");
     }
 
     let latency_cycles = (0..n).map(|i| finish[i]).max().unwrap_or(0);

@@ -113,9 +113,7 @@ impl AddressGenerator {
     pub fn clbs(&self, lib: &ComponentLibrary) -> u64 {
         let adder = lib.fu_clbs(OpKind::Add, self.addr_bits);
         match self.style {
-            AddrGen::Multiplier => {
-                lib.fu_clbs(OpKind::Mul, self.iter_bits.max(2)) + 2 * adder
-            }
+            AddrGen::Multiplier => lib.fu_clbs(OpKind::Mul, self.iter_bits.max(2)) + 2 * adder,
             AddrGen::Concatenation => adder,
         }
     }

@@ -6,9 +6,9 @@
 //! algorithm over lifetime intervals, which is optimal for interval graphs
 //! and deterministic.
 
+use serde::{Deserialize, Serialize};
 use sparcs_estimate::opgraph::{OpGraph, OpId, OpKind};
 use sparcs_estimate::schedule::Schedule;
-use serde::{Deserialize, Serialize};
 
 /// A bound functional-unit instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -165,10 +165,7 @@ mod tests {
     use sparcs_estimate::library::ComponentLibrary;
     use sparcs_estimate::schedule::{list_schedule, Allocation};
 
-    fn scheduled(
-        g: &OpGraph,
-        alloc: &Allocation,
-    ) -> Schedule {
+    fn scheduled(g: &OpGraph, alloc: &Allocation) -> Schedule {
         list_schedule(g, alloc, &ComponentLibrary::xc4000(), 50).unwrap()
     }
 
@@ -214,8 +211,7 @@ mod tests {
                 if i >= j {
                     continue;
                 }
-                let (Some(ri), Some(rj)) = (b.reg_of_op[i.index()], b.reg_of_op[j.index()])
-                else {
+                let (Some(ri), Some(rj)) = (b.reg_of_op[i.index()], b.reg_of_op[j.index()]) else {
                     continue;
                 };
                 if ri != rj {

@@ -8,9 +8,9 @@
 
 use crate::binding::{Binding, FuInstance, RegInstance};
 use serde::{Deserialize, Serialize};
+use sparcs_dfg::Resources;
 use sparcs_estimate::library::ComponentLibrary;
 use sparcs_estimate::opgraph::{OpGraph, OpKind};
-use sparcs_dfg::Resources;
 use std::collections::BTreeSet;
 
 /// One functional unit of the datapath.
@@ -170,11 +170,7 @@ mod tests {
     fn widths_taken_from_widest_bound_op() {
         let g = OpGraph::vector_product(4, 8, 9);
         let (dp, _) = built(&g);
-        let add = dp
-            .fus
-            .iter()
-            .find(|f| f.instance.0 == OpKind::Add)
-            .unwrap();
+        let add = dp.fus.iter().find(|f| f.instance.0 == OpKind::Add).unwrap();
         // Adder tree widths 18 and 19 → unit sized at 19 bits.
         assert_eq!(add.bits, 19);
     }
@@ -187,7 +183,7 @@ mod tests {
         let clbs = dp.resources(&lib).clbs;
         // The datapath (without controller) should sit under the estimator's
         // full-task figure (~70 CLBs) but within shouting distance.
-        assert!(clbs >= 45 && clbs <= 80, "datapath {clbs} CLBs");
+        assert!((45..=80).contains(&clbs), "datapath {clbs} CLBs");
     }
 
     #[test]
@@ -206,11 +202,7 @@ mod tests {
         // Eight mults on one multiplier: its input mux must have >1 leg.
         let g = OpGraph::vector_product(8, 8, 9);
         let (dp, _) = built(&g);
-        let mul = dp
-            .fus
-            .iter()
-            .find(|f| f.instance.0 == OpKind::Mul)
-            .unwrap();
+        let mul = dp.fus.iter().find(|f| f.instance.0 == OpKind::Mul).unwrap();
         assert!(mul.input_sources >= 1);
         let lib = ComponentLibrary::xc4000();
         assert!(dp.resources(&lib).clbs > 0);

@@ -135,9 +135,7 @@ pub fn synthesize(
     let dp_res = datapath.resources(lib);
     let ctrl_clbs = lib.controller_clbs(controller.state_count());
     let addr_clbs = addr_gen.clbs(lib);
-    let resources = Resources::clbs(lib.with_layout_overhead(
-        dp_res.clbs + ctrl_clbs + addr_clbs,
-    ));
+    let resources = Resources::clbs(lib.with_layout_overhead(dp_res.clbs + ctrl_clbs + addr_clbs));
 
     Ok(SynthesizedPartition {
         name,
@@ -185,8 +183,14 @@ mod tests {
     #[test]
     fn synthesize_t1_partition() {
         let g = OpGraph::vector_product(4, 8, 9);
-        let p = synthesize("tp1", &g, t1_segments(), &ComponentLibrary::xc4000(), &opts())
-            .unwrap();
+        let p = synthesize(
+            "tp1",
+            &g,
+            t1_segments(),
+            &ComponentLibrary::xc4000(),
+            &opts(),
+        )
+        .unwrap();
         assert_eq!(p.memory.block_words, 32);
         assert_eq!(p.memory.k, 2_048);
         assert_eq!(p.controller.k, 2_048);
@@ -207,8 +211,8 @@ mod tests {
         });
         // 33 rounds to a 64-word block: 64 × 2048 exceeds the 64K memory,
         // so the default k must fail …
-        let err = synthesize("tp", &g, segs.clone(), &ComponentLibrary::xc4000(), &opts())
-            .unwrap_err();
+        let err =
+            synthesize("tp", &g, segs.clone(), &ComponentLibrary::xc4000(), &opts()).unwrap_err();
         assert!(matches!(err, SynthesisError::Memory(_)));
         // … and with k = 1024 it fits, paying the rounding waste.
         let p2 = synthesize(
@@ -216,10 +220,7 @@ mod tests {
             &g,
             segs,
             &ComponentLibrary::xc4000(),
-            &SynthesisOptions {
-                k: 1_024,
-                ..opts()
-            },
+            &SynthesisOptions { k: 1_024, ..opts() },
         )
         .unwrap();
         assert_eq!(p2.memory.block_words, 64, "33 rounds to 64");
@@ -280,9 +281,6 @@ mod tests {
         )
         .unwrap();
         let cycles = p.controller.run_batch();
-        assert_eq!(
-            cycles,
-            3 * u64::from(p.schedule.latency_cycles)
-        );
+        assert_eq!(cycles, 3 * u64::from(p.schedule.latency_cycles));
     }
 }

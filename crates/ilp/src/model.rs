@@ -322,8 +322,18 @@ impl Model {
         debug_assert_eq!(self.var_kind(y), VarKind::Binary);
         let name = name.into();
         let z = self.add_binary(name.clone());
-        self.add_constraint(format!("{name}_le_x"), [(z, 1.0), (x, -1.0)], Sense::Le, 0.0);
-        self.add_constraint(format!("{name}_le_y"), [(z, 1.0), (y, -1.0)], Sense::Le, 0.0);
+        self.add_constraint(
+            format!("{name}_le_x"),
+            [(z, 1.0), (x, -1.0)],
+            Sense::Le,
+            0.0,
+        );
+        self.add_constraint(
+            format!("{name}_le_y"),
+            [(z, 1.0), (y, -1.0)],
+            Sense::Le,
+            0.0,
+        );
         self.add_constraint(
             format!("{name}_ge_sum"),
             [(z, 1.0), (x, -1.0), (y, -1.0)],
@@ -382,8 +392,7 @@ impl Model {
             if xi < d.lo - tol || xi > d.hi + tol {
                 out.push(format!("bounds of {}", d.name));
             }
-            if matches!(d.kind, VarKind::Binary | VarKind::Integer)
-                && (xi - xi.round()).abs() > tol
+            if matches!(d.kind, VarKind::Binary | VarKind::Integer) && (xi - xi.round()).abs() > tol
             {
                 out.push(format!("integrality of {}", d.name));
             }

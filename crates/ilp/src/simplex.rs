@@ -755,9 +755,7 @@ mod tests {
                 1.0,
             );
         }
-        m.set_objective_min(
-            (0..2).flat_map(|i| (0..2).map(move |j| (v[i][j], c[i][j]))),
-        );
+        m.set_objective_min((0..2).flat_map(|i| (0..2).map(move |j| (v[i][j], c[i][j]))));
         let s = opt(&m);
         assert!((s.objective - 3.0).abs() < 1e-6); // a01 + a10 = 1 + 2
     }
@@ -802,9 +800,6 @@ mod tests {
         let y = m.add_continuous("y", 0.0, 10.0);
         m.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Le, 15.0);
         m.set_objective_max([(x, 1.0), (y, 1.0)]);
-        assert!(matches!(
-            solve_lp(&m, 0),
-            Err(LpError::IterationLimit(0))
-        ));
+        assert!(matches!(solve_lp(&m, 0), Err(LpError::IterationLimit(0))));
     }
 }

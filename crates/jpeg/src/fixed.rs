@@ -125,7 +125,12 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 let err = (f64::from(zf[i][j]) - zr[i][j]).abs();
-                assert!(err <= 2.0, "z[{i}][{j}]: fixed {} vs ref {}", zf[i][j], zr[i][j]);
+                assert!(
+                    err <= 2.0,
+                    "z[{i}][{j}]: fixed {} vs ref {}",
+                    zf[i][j],
+                    zr[i][j]
+                );
             }
         }
     }
@@ -140,7 +145,10 @@ mod tests {
             .max()
             .unwrap();
         let worst = max_abs_row * 255;
-        assert!(worst < (1 << 17), "worst |y| = {worst} must fit 17 bits + sign");
+        assert!(
+            worst < (1 << 17),
+            "worst |y| = {worst} must fit 17 bits + sign"
+        );
     }
 
     #[test]

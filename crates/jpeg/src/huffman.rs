@@ -78,7 +78,11 @@ impl HuffmanTable {
             let b = nodes[ib].take().expect("node taken once");
             let idx = nodes.len();
             nodes.push(Some(Node::Internal(Box::new(a), Box::new(b))));
-            heap.push(std::cmp::Reverse((fa + fb, idx as u64 + alive.len() as u64, idx)));
+            heap.push(std::cmp::Reverse((
+                fa + fb,
+                idx as u64 + alive.len() as u64,
+                idx,
+            )));
         }
         let std::cmp::Reverse((_, _, root_idx)) = heap.pop().expect("one root");
         let root = nodes[root_idx].take().expect("root exists");
@@ -131,10 +135,7 @@ impl HuffmanTable {
     pub fn encode(&self, symbols: &[u16]) -> Result<BitVec, HuffmanError> {
         let mut bits = BitVec::new();
         for &s in symbols {
-            let len = *self
-                .lengths
-                .get(&s)
-                .ok_or(HuffmanError::UnknownSymbol(s))?;
+            let len = *self.lengths.get(&s).ok_or(HuffmanError::UnknownSymbol(s))?;
             let code = self.codes[&s];
             for i in (0..len).rev() {
                 bits.push(code >> i & 1 == 1);
@@ -248,8 +249,8 @@ mod tests {
 
     #[test]
     fn frequent_symbols_get_shorter_codes() {
-        let t = HuffmanTable::from_frequencies(&freqs(&[(0, 1000), (1, 10), (2, 10), (3, 1)]))
-            .unwrap();
+        let t =
+            HuffmanTable::from_frequencies(&freqs(&[(0, 1000), (1, 10), (2, 10), (3, 1)])).unwrap();
         assert!(t.length_of(0).unwrap() < t.length_of(3).unwrap());
     }
 
@@ -265,14 +266,9 @@ mod tests {
 
     #[test]
     fn kraft_inequality_holds() {
-        let t = HuffmanTable::from_frequencies(&freqs(&[
-            (0, 40),
-            (1, 30),
-            (2, 15),
-            (3, 10),
-            (4, 5),
-        ]))
-        .unwrap();
+        let t =
+            HuffmanTable::from_frequencies(&freqs(&[(0, 40), (1, 30), (2, 15), (3, 10), (4, 5)]))
+                .unwrap();
         let kraft: f64 = (0..5)
             .map(|s| 2f64.powi(-i32::from(t.length_of(s).unwrap())))
             .sum();

@@ -25,7 +25,10 @@ impl Image {
     /// A horizontal-plus-vertical gradient.
     pub fn gradient(width: usize, height: usize) -> Self {
         let pixels = (0..height)
-            .flat_map(|y| (0..width).map(move |x| ((x * 255 / width.max(1) + y * 255 / height.max(1)) / 2) as u8))
+            .flat_map(|y| {
+                (0..width)
+                    .map(move |x| ((x * 255 / width.max(1) + y * 255 / height.max(1)) / 2) as u8)
+            })
             .collect();
         Image {
             width,
@@ -38,7 +41,13 @@ impl Image {
     pub fn checkerboard(width: usize, height: usize) -> Self {
         let pixels = (0..height)
             .flat_map(|y| {
-                (0..width).map(move |x| if (x / 8 + y / 8) % 2 == 0 { 230u8 } else { 25u8 })
+                (0..width).map(move |x| {
+                    if (x / 8 + y / 8) % 2 == 0 {
+                        230u8
+                    } else {
+                        25u8
+                    }
+                })
             })
             .collect();
         Image {
@@ -65,9 +74,7 @@ impl Image {
         let pixels = (0..height)
             .flat_map(|y| {
                 (0..width).map(move |x| {
-                    let v = 128.0
-                        + 60.0 * (x as f64 * 0.02).cos()
-                        + 50.0 * (y as f64 * 0.03).cos();
+                    let v = 128.0 + 60.0 * (x as f64 * 0.02).cos() + 50.0 * (y as f64 * 0.03).cos();
                     v.clamp(0.0, 255.0) as u8
                 })
             })
@@ -133,8 +140,7 @@ impl Image {
             let by = bi / bw;
             for (i, row) in block.iter().enumerate() {
                 for (j, &v) in row.iter().enumerate() {
-                    pixels[(by * 4 + i) * width + bx * 4 + j] =
-                        (v + 128).clamp(0, 255) as u8;
+                    pixels[(by * 4 + i) * width + bx * 4 + j] = (v + 128).clamp(0, 255) as u8;
                 }
             }
         }

@@ -238,8 +238,14 @@ mod tests {
         for s in [
             RleSymbol::EndOfBlock,
             RleSymbol::Run { run: 0, value: 1 },
-            RleSymbol::Run { run: 15, value: -1023 },
-            RleSymbol::Run { run: 7, value: 1023 },
+            RleSymbol::Run {
+                run: 15,
+                value: -1023,
+            },
+            RleSymbol::Run {
+                run: 7,
+                value: 1023,
+            },
             RleSymbol::Run { run: 0, value: -1 },
         ] {
             assert_eq!(unsymbolize(symbolize(s)), s, "{s:?}");

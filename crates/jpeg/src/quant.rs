@@ -59,7 +59,11 @@ impl QuantTable {
             for j in 0..4 {
                 let q = i32::from(self.q[i][j]);
                 let v = z[i][j];
-                let r = if v >= 0 { (v + q / 2) / q } else { (v - q / 2) / q };
+                let r = if v >= 0 {
+                    (v + q / 2) / q
+                } else {
+                    (v - q / 2) / q
+                };
                 out[i][j] = r as i16;
             }
         }
@@ -117,7 +121,10 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 let err = (z[i][j] - back[i][j]).abs();
-                assert!(err <= i32::from(t.q[i][j]) / 2 + 1, "err {err} at [{i}][{j}]");
+                assert!(
+                    err <= i32::from(t.q[i][j]) / 2 + 1,
+                    "err {err} at [{i}][{j}]"
+                );
             }
         }
     }

@@ -187,7 +187,10 @@ mod tests {
                 let preds: Vec<TaskId> = d.graph.predecessors(d.t2[r][c]).collect();
                 assert_eq!(preds.len(), 4);
                 for k in 0..4 {
-                    assert!(preds.contains(&d.t1[r][k]), "T2[{r}][{c}] reads Y[{r}][{k}]");
+                    assert!(
+                        preds.contains(&d.t1[r][k]),
+                        "T2[{r}][{c}] reads Y[{r}][{k}]"
+                    );
                 }
             }
         }

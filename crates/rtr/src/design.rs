@@ -132,7 +132,10 @@ impl RtrDesign {
         output_selector: Vec<u32>,
         k: u64,
     ) -> Self {
-        assert!(!configurations.is_empty(), "need at least one configuration");
+        assert!(
+            !configurations.is_empty(),
+            "need at least one configuration"
+        );
         assert!(k >= 1, "k must be positive");
         let mut history = primary_input_words;
         for (i, c) in configurations.iter().enumerate() {
@@ -168,7 +171,10 @@ impl RtrDesign {
     /// Panics if consecutive interface widths disagree (see
     /// [`RtrDesign::new`] for the other conditions).
     pub fn linear(configurations: Vec<Configuration>, k: u64) -> Self {
-        assert!(!configurations.is_empty(), "need at least one configuration");
+        assert!(
+            !configurations.is_empty(),
+            "need at least one configuration"
+        );
         let primary = configurations[0].input_words();
         let mut base = 0u64;
         let mut prev_words = primary;

@@ -55,7 +55,10 @@ impl fmt::Display for HostError {
         match self {
             HostError::Board(e) => write!(f, "{e}"),
             HostError::MemoryBudget { needed, available } => {
-                write!(f, "design needs {needed} words but the board has {available}")
+                write!(
+                    f,
+                    "design needs {needed} words but the board has {available}"
+                )
             }
             HostError::InputShape { expected_multiple } => {
                 write!(f, "input length must be a multiple of {expected_multiple}")
@@ -84,7 +87,7 @@ pub fn run_static(
     inputs: &[i32],
 ) -> Result<(Vec<i32>, TimeReport), HostError> {
     let in_w = design.input_words;
-    if in_w == 0 || inputs.len() as u64 % in_w != 0 {
+    if in_w == 0 || !(inputs.len() as u64).is_multiple_of(in_w) {
         return Err(HostError::InputShape {
             expected_multiple: in_w.max(1),
         });
@@ -140,7 +143,7 @@ fn prepare(
         });
     }
     let in_w = design.primary_input_words;
-    if in_w == 0 || inputs.len() as u64 % in_w != 0 {
+    if in_w == 0 || !(inputs.len() as u64).is_multiple_of(in_w) {
         return Err(HostError::InputShape {
             expected_multiple: in_w.max(1),
         });
@@ -336,7 +339,7 @@ mod tests {
         assert_eq!(o_static.len(), 20);
         assert_eq!(o_static[0], 1); // 0·2+1
         assert_eq!(o_static[3], 7); // 3·2+1
-        // And both match the pure functional reference.
+                                    // And both match the pure functional reference.
         assert_eq!(&o_fdh[0..2], d.compute_one(&xs[0..2]).as_slice());
     }
 

@@ -9,12 +9,12 @@
 //! under both sequencing strategies. Run with
 //! `cargo run --release --example encryption`.
 
-use sparcs::core::fission::{BlockRounding, FissionAnalysis};
-use sparcs::core::{IlpPartitioner, PartitionOptions};
+use sparcs::core::fission::BlockRounding;
 use sparcs::dfg::{Resources, TaskGraph};
 use sparcs::estimate::estimator::Estimator;
 use sparcs::estimate::opgraph::{OpGraph, OpKind};
 use sparcs::estimate::{Architecture, ComponentLibrary};
+use sparcs::flow::FlowSession;
 use sparcs::rtr::{run_fdh, run_idh, Configuration, RtrDesign};
 
 const KEY: [u32; 4] = [0x0123_4567, 0x89AB_CDEF, 0xFEDC_BA98, 0x7654_3210];
@@ -26,7 +26,8 @@ fn xtea_rounds(mut v0: u32, mut v1: u32, r0: u32, rounds: u32) -> (u32, u32) {
     let mut sum = DELTA.wrapping_mul(r0);
     for _ in 0..rounds {
         v0 = v0.wrapping_add(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(KEY[(sum & 3) as usize])),
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(KEY[(sum & 3) as usize])),
         );
         sum = sum.wrapping_add(DELTA);
         v1 = v1.wrapping_add(
@@ -99,15 +100,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Device sized to hold one stage at a time → 4 temporal partitions.
     let mut arch = Architecture::xc4044_wildforce();
     arch.resources = Resources::clbs(stage.resources.clbs + 50);
-    let design = IlpPartitioner::new(arch.clone(), PartitionOptions::default()).partition(&g)?;
+    let session = FlowSession::new(g, arch.clone());
+    let analyzed = session
+        .partition()?
+        .analyze_with(BlockRounding::PowerOfTwo)?;
+    let (design, fission) = (&analyzed.design, &analyzed.fission);
     println!("partitioning: {}", design.partitioning);
-    let fission = FissionAnalysis::analyze(
-        &g,
-        &design.partitioning,
-        &design.partition_delays_ns,
-        &arch,
-        BlockRounding::PowerOfTwo,
-    )?;
     println!("fission     : {fission}");
 
     // Executable RTR design: each partition encrypts 8 rounds. Words are
@@ -130,7 +128,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rtr = RtrDesign::linear(configs, fission.k);
 
     // Encrypt a stream and verify against the monolithic software cipher.
-    let plaintext: Vec<i32> = (0..10_000i32).map(|v| v.wrapping_mul(2_654_435_761u32 as i32)).collect();
+    let plaintext: Vec<i32> = (0..10_000i32)
+        .map(|v| v.wrapping_mul(2_654_435_761u32 as i32))
+        .collect();
     let (ct_fdh, t_fdh) = run_fdh(&arch, &rtr, &plaintext)?;
     let (ct_idh, t_idh) = run_idh(&arch, &rtr, &plaintext)?;
     assert_eq!(ct_fdh, ct_idh);

@@ -6,12 +6,12 @@
 //! device), and how the break-even input count moves with `CT`. Run with
 //! `cargo run --release --example fir_filterbank`.
 
-use sparcs::core::fission::{BlockRounding, FissionAnalysis};
-use sparcs::core::{IlpPartitioner, PartitionOptions};
+use sparcs::core::fission::BlockRounding;
 use sparcs::dfg::{Resources, TaskGraph};
 use sparcs::estimate::estimator::Estimator;
 use sparcs::estimate::opgraph::OpGraph;
 use sparcs::estimate::{Architecture, ComponentLibrary};
+use sparcs::flow::FlowSession;
 
 /// One FIR stage as a 16-tap vector product (reads, coefficient multiplies,
 /// adder tree, write).
@@ -48,15 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Size the device to hold two FIR stages at a time.
         let mut arch = base.clone();
         arch.resources = Resources::clbs(2 * fir.resources.clbs + 250);
-        let design =
-            IlpPartitioner::new(arch.clone(), PartitionOptions::default()).partition(&g)?;
-        let fission = FissionAnalysis::analyze(
-            &g,
-            &design.partitioning,
-            &design.partition_delays_ns,
-            &arch,
-            BlockRounding::PowerOfTwo,
-        )?;
+        let session = FlowSession::new(g.clone(), arch);
+        let analyzed = session
+            .partition()?
+            .analyze_with(BlockRounding::PowerOfTwo)?;
+        let (design, fission) = (&analyzed.design, &analyzed.fission);
         println!("\n=== {} ===", base.name);
         println!("  {}", design.partitioning);
         println!(
@@ -66,10 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fission.k
         );
         for &samples in &[10_000u64, 1_000_000] {
-            let s = fission.choose_strategy(samples);
+            let s = analyzed.choose_sequencing(samples);
             println!(
                 "  {samples:>8} sample frames -> {s}, {:.4} s total",
-                fission.total_time_ns(s, samples) as f64 / 1e9
+                analyzed.total_time_ns(s, samples) as f64 / 1e9
             );
         }
     }

@@ -35,10 +35,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let p = synthesize("dct_tp1", &g, segments, &lib, &opts)?;
 
-    println!("schedule : {} cycles @ {} ns", p.schedule.latency_cycles, p.clock_ns);
-    println!("binding  : {} registers, FUs per kind: {:?}", p.binding.reg_count, p.binding.fu_counts);
-    println!("memory   : block {} words x k {} (wasted {})", p.memory.block_words, p.memory.k, p.memory.wasted_words());
-    println!("area     : {} (datapath + controller + addrgen)", p.resources);
+    println!(
+        "schedule : {} cycles @ {} ns",
+        p.schedule.latency_cycles, p.clock_ns
+    );
+    println!(
+        "binding  : {} registers, FUs per kind: {:?}",
+        p.binding.reg_count, p.binding.fu_counts
+    );
+    println!(
+        "memory   : block {} words x k {} (wasted {})",
+        p.memory.block_words,
+        p.memory.k,
+        p.memory.wasted_words()
+    );
+    println!(
+        "area     : {} (datapath + controller + addrgen)",
+        p.resources
+    );
     println!(
         "controller: {} states (datapath {} + start + finish)",
         p.controller.state_count(),

@@ -3,11 +3,11 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use sparcs::core::codegen;
-use sparcs::core::fission::{BlockRounding, FissionAnalysis};
-use sparcs::core::{IlpPartitioner, PartitionOptions, SequencingStrategy};
+use sparcs::core::fission::BlockRounding;
+use sparcs::core::SequencingStrategy;
 use sparcs::dfg::{Resources, TaskGraph};
 use sparcs::estimate::Architecture;
+use sparcs::flow::{ExploreSpace, FlowSession};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A five-task DSP pipeline: two parallel front-end filters feeding a
@@ -30,8 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arch = Architecture::xc4044_wildforce();
     println!("target: {arch}");
 
-    let design = IlpPartitioner::new(arch.clone(), PartitionOptions::default()).partition(&g)?;
-    println!("\npartitioning (proven optimal: {}):", design.stats.proven_optimal);
+    // The whole chain — exact ILP partitioning, then loop fission — is one
+    // flow session.
+    let session = FlowSession::new(g, arch);
+    let analyzed = session
+        .partition()?
+        .analyze_with(BlockRounding::PowerOfTwo)?;
+
+    let design = &analyzed.design;
+    println!(
+        "\npartitioning (via {}, proven optimal: {}):",
+        analyzed.strategy, design.stats.proven_optimal
+    );
     println!("  {}", design.partitioning);
     println!("  partition delays: {:?} ns", design.partition_delays_ns);
     println!(
@@ -40,27 +50,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Loop fission: how many stream iterations fit per configuration?
-    let fission = FissionAnalysis::analyze(
-        &g,
-        &design.partitioning,
-        &design.partition_delays_ns,
-        &arch,
-        BlockRounding::PowerOfTwo,
-    )?;
-    println!("\nloop fission: {fission}");
+    println!("\nloop fission: {}", analyzed.fission);
     for &i in &[1_000u64, 100_000, 10_000_000] {
-        let s = fission.choose_strategy(i);
+        let s = analyzed.choose_sequencing(i);
         println!(
             "  I = {i:>8}: FDH {:>8.3} s vs IDH {:>8.3} s -> {s}",
-            fission.total_time_ns(SequencingStrategy::Fdh, i) as f64 / 1e9,
-            fission.idh_total_time_overlapped_ns(i) as f64 / 1e9,
+            analyzed.total_time_ns(SequencingStrategy::Fdh, i) as f64 / 1e9,
+            analyzed.total_time_ns(SequencingStrategy::Idh, i) as f64 / 1e9,
         );
     }
+
+    // Or let the session search the candidate space itself.
+    let best = session
+        .explore(&ExploreSpace::for_workload(100_000))?
+        .best()
+        .clone();
+    println!(
+        "\nexplore: best = {} + {} ({} partitions, k = {})",
+        best.strategy, best.sequencing, best.partition_count, best.k
+    );
 
     println!("\ngenerated host sequencer:\n");
     println!(
         "{}",
-        codegen::host_code(&fission, fission.choose_strategy(100_000))
+        analyzed.host_code(analyzed.choose_sequencing(100_000))
     );
     Ok(())
 }

@@ -9,12 +9,12 @@
 //! ILP, and the fission analyzer picks a sequencing strategy per workload.
 //! Run with `cargo run --release --example template_matching`.
 
-use sparcs::core::fission::{BlockRounding, FissionAnalysis};
-use sparcs::core::{IlpPartitioner, PartitionOptions};
+use sparcs::core::fission::BlockRounding;
 use sparcs::dfg::TaskGraph;
 use sparcs::estimate::estimator::Estimator;
 use sparcs::estimate::opgraph::{OpGraph, OpKind};
 use sparcs::estimate::{Architecture, ComponentLibrary};
+use sparcs::flow::FlowSession;
 
 /// Operation graph of one 4×4-quadrant SAD: 16 reads, 16 subtracts,
 /// 16 abs (logic), adder tree, one write.
@@ -59,23 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Behavior graph: 4 quadrant SADs per window + compare/accumulate.
     let mut g = TaskGraph::new("template-matching");
     let quads: Vec<_> = (0..4)
-        .map(|i| {
-            g.add_task_kind(
-                format!("sad_q{i}"),
-                "SAD",
-                sad.resources,
-                sad.delay_ns,
-                1,
-            )
-        })
+        .map(|i| g.add_task_kind(format!("sad_q{i}"), "SAD", sad.resources, sad.delay_ns, 1))
         .collect();
-    let combine = g.add_task_kind(
-        "combine",
-        "CMP",
-        sparcs::dfg::Resources::clbs(120),
-        400,
-        1,
-    );
+    let combine = g.add_task_kind("combine", "CMP", sparcs::dfg::Resources::clbs(120), 400, 1);
     let best = g.add_task_kind("best", "CMP", sparcs::dfg::Resources::clbs(80), 300, 2);
     for (i, &q) in quads.iter().enumerate() {
         g.add_edge(q, combine, 1)?;
@@ -86,31 +72,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A smaller device so the matcher actually needs temporal partitioning.
     let mut arch = Architecture::xc4044_wildforce();
-    arch.resources = sparcs::dfg::Resources::clbs(
-        (2 * sad.resources.clbs).max(300),
-    );
+    arch.resources = sparcs::dfg::Resources::clbs((2 * sad.resources.clbs).max(300));
     println!("device: {arch}");
 
-    let design = IlpPartitioner::new(arch.clone(), PartitionOptions::default()).partition(&g)?;
-    println!("\npartitioning: {}", design.partitioning);
-    println!("  delays {:?} ns", design.partition_delays_ns);
-
-    let fission = FissionAnalysis::analyze(
-        &g,
-        &design.partitioning,
-        &design.partition_delays_ns,
-        &arch,
-        BlockRounding::PowerOfTwo,
-    )?;
-    println!("  fission: {fission}");
+    let session = FlowSession::new(g, arch);
+    let analyzed = session
+        .partition()?
+        .analyze_with(BlockRounding::PowerOfTwo)?;
+    println!("\npartitioning: {}", analyzed.design.partitioning);
+    println!("  delays {:?} ns", analyzed.design.partition_delays_ns);
+    println!("  fission: {}", analyzed.fission);
 
     // Workload: a VGA frame sweep = 640×480 windows (known only at run time,
     // exactly the paper's implicit outer loop).
     for &windows in &[10_000u64, 307_200, 5_000_000] {
-        let strategy = fission.choose_strategy(windows);
+        let strategy = analyzed.choose_sequencing(windows);
         println!(
             "  {windows:>8} windows -> {strategy}, total {:.3} s",
-            fission.total_time_ns(strategy, windows) as f64 / 1e9
+            analyzed.total_time_ns(strategy, windows) as f64 / 1e9
         );
     }
     Ok(())

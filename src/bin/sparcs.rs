@@ -1,22 +1,28 @@
 //! `sparcs` — command-line driver for the temporal-partitioning flow.
 //!
 //! ```text
-//! sparcs partition <graph.tg> [--clbs N] [--memory N] [--ct NS] [--edge-memory]
-//! sparcs fission   <graph.tg> [--clbs N] [--memory N] [--ct NS] [--dm NS] [--pow2] [--inputs I]
+//! sparcs partition <graph.tg> [flow options]
+//! sparcs fission   <graph.tg> [flow options] [--pow2] [--inputs I]
 //! sparcs codegen   <graph.tg> [flow options] [--strategy fdh|idh]
+//! sparcs explore   <graph.tg> [flow options] [--inputs I]
 //! sparcs dot       <graph.tg>                 # Graphviz, partition-clustered
 //! sparcs example                              # print a sample graph file
 //! ```
 //!
-//! Graph files use the `sparcs_dfg::parse` text format (see `sparcs example`).
+//! Graph files use the `sparcs_dfg::parse` text format (see `sparcs
+//! example`). Every subcommand drives the [`sparcs::flow`] pipeline; the
+//! temporal partitioner is selectable with `--partitioner ilp|list`.
 
-use sparcs::core::codegen;
-use sparcs::core::fission::{BlockRounding, FissionAnalysis, SequencingStrategy};
+use sparcs::core::fission::{BlockRounding, SequencingStrategy};
 use sparcs::core::model::ModelConfig;
 use sparcs::core::partitioning::MemoryMode;
-use sparcs::core::{IlpPartitioner, PartitionOptions, PartitionedDesign};
-use sparcs::dfg::{dot, parse, Resources, TaskGraph};
+use sparcs::core::PartitionOptions;
+use sparcs::dfg::{dot, parse, Resources};
 use sparcs::estimate::Architecture;
+use sparcs::flow::{
+    rounding_label, AnalyzedFlow, ExploreSpace, FlowSession, IlpStrategy, ListStrategy,
+    PartitionStrategy,
+};
 use std::process::ExitCode;
 
 struct Flags {
@@ -29,16 +35,36 @@ struct Flags {
     edge_memory: bool,
     inputs: u64,
     strategy: Option<SequencingStrategy>,
+    partitioner: Option<Partitioner>,
+}
+
+#[derive(Clone, Copy)]
+enum Partitioner {
+    Ilp,
+    List,
+}
+
+/// A CLI failure: usage-class errors re-print the usage text; runtime
+/// errors (bad file, infeasible graph) only report themselves.
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl CliError {
+    fn runtime(e: impl std::fmt::Display) -> Self {
+        CliError::Runtime(e.to_string())
+    }
 }
 
 fn usage() -> &'static str {
-    "usage: sparcs <partition|fission|codegen|dot|example> [graph.tg] [options]\n\
+    "usage: sparcs <partition|fission|codegen|explore|dot|example> [graph.tg] [options]\n\
      options: --clbs N  --memory WORDS  --ct NS  --dm NS  --pow2  --edge-memory\n\
-              --inputs I  --strategy fdh|idh\n\
+              --inputs I  --strategy fdh|idh  --partitioner ilp|list\n\
      run `sparcs example` for a sample graph file"
 }
 
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     let mut f = Flags {
         path: None,
         clbs: None,
@@ -49,15 +75,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         edge_memory: false,
         inputs: 1_000_000,
         strategy: None,
+        partitioner: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut grab = |name: &str| -> Result<u64, String> {
+        let mut grab = |name: &str| -> Result<u64, CliError> {
             it.next()
-                .ok_or_else(|| format!("{name} needs a value"))?
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))?
                 .replace('_', "")
                 .parse()
-                .map_err(|_| format!("{name} needs a number"))
+                .map_err(|_| CliError::Usage(format!("{name} needs a number")))
         };
         match a.as_str() {
             "--clbs" => f.clbs = Some(grab("--clbs")?),
@@ -71,13 +98,22 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.strategy = Some(match it.next().map(String::as_str) {
                     Some("fdh") => SequencingStrategy::Fdh,
                     Some("idh") => SequencingStrategy::Idh,
-                    other => return Err(format!("bad --strategy {other:?}")),
+                    other => return Err(CliError::Usage(format!("bad --strategy {other:?}"))),
                 })
             }
-            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            "--partitioner" => {
+                f.partitioner = Some(match it.next().map(String::as_str) {
+                    Some("ilp") => Partitioner::Ilp,
+                    Some("list") => Partitioner::List,
+                    other => return Err(CliError::Usage(format!("bad --partitioner {other:?}"))),
+                })
+            }
+            other if other.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag {other}")))
+            }
             other => {
                 if f.path.replace(other.to_string()).is_some() {
-                    return Err("multiple graph files given".into());
+                    return Err(CliError::Usage("multiple graph files given".into()));
                 }
             }
         }
@@ -102,15 +138,19 @@ fn architecture(f: &Flags) -> Architecture {
     a
 }
 
-fn load(f: &Flags) -> Result<TaskGraph, String> {
-    let path = f.path.as_ref().ok_or("no graph file given")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    parse::parse(&text).map_err(|e| format!("{path}: {e}"))
+fn session(f: &Flags) -> Result<FlowSession, CliError> {
+    let path = f
+        .path
+        .as_ref()
+        .ok_or_else(|| CliError::Usage("no graph file given".into()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+    FlowSession::from_text(&text, architecture(f))
+        .map_err(|e| CliError::Runtime(format!("{path}: {e}")))
 }
 
-fn run_partition(g: &TaskGraph, f: &Flags) -> Result<PartitionedDesign, String> {
-    let arch = architecture(f);
-    let opts = PartitionOptions {
+fn partition_options(f: &Flags) -> PartitionOptions {
+    PartitionOptions {
         model: ModelConfig {
             memory_mode: if f.edge_memory {
                 MemoryMode::Edge
@@ -120,31 +160,31 @@ fn run_partition(g: &TaskGraph, f: &Flags) -> Result<PartitionedDesign, String> 
             ..ModelConfig::default()
         },
         ..PartitionOptions::default()
-    };
-    IlpPartitioner::new(arch, opts)
-        .partition(g)
-        .map_err(|e| e.to_string())
+    }
 }
 
-fn fission_of(g: &TaskGraph, d: &PartitionedDesign, f: &Flags) -> Result<FissionAnalysis, String> {
-    FissionAnalysis::analyze(
-        g,
-        &d.partitioning,
-        &d.partition_delays_ns,
-        &architecture(f),
-        if f.pow2 {
+fn strategy_of(f: &Flags) -> Box<dyn PartitionStrategy> {
+    match f.partitioner.unwrap_or(Partitioner::Ilp) {
+        Partitioner::Ilp => Box::new(IlpStrategy::with_options(partition_options(f))),
+        Partitioner::List => Box::new(ListStrategy::new()),
+    }
+}
+
+fn analyze<'a>(s: &'a FlowSession, f: &Flags) -> Result<AnalyzedFlow<'a>, CliError> {
+    s.partition_with(strategy_of(f).as_ref())
+        .map_err(CliError::runtime)?
+        .analyze_with(if f.pow2 {
             BlockRounding::PowerOfTwo
         } else {
             BlockRounding::Exact
-        },
-    )
-    .map_err(|e| e.to_string())
+        })
+        .map_err(CliError::runtime)
 }
 
-fn real_main() -> Result<(), String> {
+fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        return Err(usage().into());
+        return Err(CliError::Usage("no command given".into()));
     };
     let f = parse_flags(rest)?;
     match cmd.as_str() {
@@ -152,55 +192,110 @@ fn real_main() -> Result<(), String> {
             println!("{}", parse::to_text(&sparcs::dfg::gen::fig4_example()));
         }
         "dot" => {
-            let g = load(&f)?;
-            match run_partition(&g, &f) {
-                Ok(d) => println!(
+            let s = session(&f)?;
+            match s.partition_with(strategy_of(&f).as_ref()) {
+                Ok(stage) => println!(
                     "{}",
-                    dot::to_dot_partitioned(&g, |t| Some(d.partitioning.partition_of(t).0))
+                    dot::to_dot_partitioned(s.graph(), |t| Some(
+                        stage.design.partitioning.partition_of(t).0
+                    ))
                 ),
-                Err(_) => println!("{}", dot::to_dot(&g)),
+                Err(_) => println!("{}", dot::to_dot(s.graph())),
             }
         }
         "partition" => {
-            let g = load(&f)?;
-            let arch = architecture(&f);
-            println!("graph : {g}");
-            println!("target: {arch}");
-            let d = run_partition(&g, &f)?;
-            println!("result: {}", d.partitioning);
+            let s = session(&f)?;
+            println!("graph : {}", s.graph());
+            println!("target: {}", s.arch());
+            let stage = s
+                .partition_with(strategy_of(&f).as_ref())
+                .map_err(CliError::runtime)?;
+            let d = &stage.design;
+            println!("result: {} (via {})", d.partitioning, stage.strategy);
             println!("delays: {:?} ns", d.partition_delays_ns);
             println!(
                 "latency: {} ns ({} partitions x {} ns CT + {} ns), optimal = {}",
                 d.latency_ns,
                 d.partitioning.partition_count(),
-                arch.reconfig_time_ns,
+                s.arch().reconfig_time_ns,
                 d.sum_delay_ns,
                 d.stats.proven_optimal
             );
         }
         "fission" => {
-            let g = load(&f)?;
-            let d = run_partition(&g, &f)?;
-            let fa = fission_of(&g, &d, &f)?;
-            println!("partitioning: {}", d.partitioning);
+            let s = session(&f)?;
+            let analyzed = analyze(&s, &f)?;
+            let fa = &analyzed.fission;
+            println!("partitioning: {}", analyzed.design.partitioning);
             println!("fission     : {fa}");
-            println!("blocks      : {:?} words (wasted {}/run)", fa.block_words, fa.wasted_words);
+            println!(
+                "blocks      : {:?} words (wasted {}/run)",
+                fa.block_words, fa.wasted_words
+            );
             let i = f.inputs;
             println!(
                 "I = {i}: FDH {:.4} s | IDH {:.4} s (overlapped) -> {}",
-                fa.total_time_ns(SequencingStrategy::Fdh, i) as f64 / 1e9,
-                fa.idh_total_time_overlapped_ns(i) as f64 / 1e9,
-                fa.choose_strategy(i)
+                analyzed.total_time_ns(SequencingStrategy::Fdh, i) as f64 / 1e9,
+                analyzed.total_time_ns(SequencingStrategy::Idh, i) as f64 / 1e9,
+                analyzed.choose_sequencing(i)
             );
         }
         "codegen" => {
-            let g = load(&f)?;
-            let d = run_partition(&g, &f)?;
-            let fa = fission_of(&g, &d, &f)?;
-            let strategy = f.strategy.unwrap_or_else(|| fa.choose_strategy(f.inputs));
-            println!("{}", codegen::host_code(&fa, strategy));
+            let s = session(&f)?;
+            let analyzed = analyze(&s, &f)?;
+            let strategy = f
+                .strategy
+                .unwrap_or_else(|| analyzed.choose_sequencing(f.inputs));
+            println!("{}", analyzed.host_code(strategy));
         }
-        other => return Err(format!("unknown command `{other}`\n{}", usage())),
+        "explore" => {
+            let s = session(&f)?;
+            let mut space = ExploreSpace::for_workload(f.inputs);
+            space.ilp_options = partition_options(&f);
+            if f.edge_memory {
+                space.memory_mode = MemoryMode::Edge;
+            }
+            // The flow flags narrow the candidate space instead of being
+            // ignored: --partitioner pins the strategy axis, --pow2 the
+            // rounding axis, --strategy the sequencing axis.
+            match f.partitioner {
+                Some(Partitioner::Ilp) => space.include_list = false,
+                Some(Partitioner::List) => space.include_ilp = false,
+                None => {}
+            }
+            if f.pow2 {
+                space.roundings = vec![BlockRounding::PowerOfTwo];
+            }
+            if let Some(seq) = f.strategy {
+                space.sequencings = vec![seq];
+            }
+            let exploration = s.explore(&space).map_err(CliError::runtime)?;
+            println!("graph : {}", s.graph());
+            println!("target: {}", s.arch());
+            println!(
+                "{:<5} {:>11} {:>6} {:>4} {:>4} {:>8} {:>13} {:>12}",
+                "rank", "partitioner", "round", "seq", "N", "k", "latency (ns)", "total (s)"
+            );
+            for (rank, c) in exploration.candidates.iter().enumerate() {
+                println!(
+                    "{:<5} {:>11} {:>6} {:>4} {:>4} {:>8} {:>13} {:>12.4}",
+                    rank + 1,
+                    c.strategy,
+                    rounding_label(c.rounding),
+                    c.sequencing.to_string(),
+                    c.partition_count,
+                    c.k,
+                    c.latency_ns,
+                    c.total_ns as f64 / 1e9,
+                );
+            }
+            let best = exploration.best();
+            println!(
+                "best: {} + {} ({} partitions, k = {}) for I = {}",
+                best.strategy, best.sequencing, best.partition_count, best.k, f.inputs
+            );
+        }
+        other => return Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
     Ok(())
 }
@@ -208,8 +303,12 @@ fn real_main() -> Result<(), String> {
 fn main() -> ExitCode {
     match real_main() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n{}", usage());
+            ExitCode::FAILURE
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }

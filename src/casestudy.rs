@@ -14,10 +14,11 @@
 //! output rows in partition order — the memory-minimizing tie-break the
 //! paper's tool evidently applied, giving the quoted `(32, 16, 16)` words.
 
-use sparcs_core::fission::{BlockRounding, FissionAnalysis, FissionError};
+use crate::flow::{FlowError, FlowSession, IlpStrategy};
+use sparcs_core::fission::FissionAnalysis;
 use sparcs_core::model::ModelConfig;
 use sparcs_core::partitioning::{MemoryMode, PartitionId, Partitioning};
-use sparcs_core::{IlpPartitioner, PartitionError, PartitionOptions, PartitionedDesign};
+use sparcs_core::{PartitionOptions, PartitionedDesign};
 use sparcs_dfg::TaskId;
 use sparcs_estimate::{paper, Architecture};
 use sparcs_jpeg::fixed::{coef_matrix, t1_vector_product, t2_vector_product};
@@ -30,18 +31,15 @@ use std::fmt;
 pub enum CaseStudyError {
     /// Estimation failed.
     Estimate(sparcs_estimate::EstimateError),
-    /// Temporal partitioning failed.
-    Partition(PartitionError),
-    /// Loop fission failed.
-    Fission(FissionError),
+    /// The synthesis flow (partitioning or fission) failed.
+    Flow(FlowError),
 }
 
 impl fmt::Display for CaseStudyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CaseStudyError::Estimate(e) => write!(f, "{e}"),
-            CaseStudyError::Partition(e) => write!(f, "{e}"),
-            CaseStudyError::Fission(e) => write!(f, "{e}"),
+            CaseStudyError::Flow(e) => write!(f, "{e}"),
         }
     }
 }
@@ -54,15 +52,9 @@ impl From<sparcs_estimate::EstimateError> for CaseStudyError {
     }
 }
 
-impl From<PartitionError> for CaseStudyError {
-    fn from(e: PartitionError) -> Self {
-        CaseStudyError::Partition(e)
-    }
-}
-
-impl From<FissionError> for CaseStudyError {
-    fn from(e: FissionError) -> Self {
-        CaseStudyError::Fission(e)
+impl From<FlowError> for CaseStudyError {
+    fn from(e: FlowError) -> Self {
+        CaseStudyError::Flow(e)
     }
 }
 
@@ -107,23 +99,18 @@ impl DctExperiment {
             },
             ..PartitionOptions::default()
         };
-        let mut design = IlpPartitioner::new(arch.clone(), opts).partition(&dct.graph)?;
-        design.partitioning = canonicalize_rows(&dct, &design.partitioning);
-        design.partition_delays_ns =
-            sparcs_core::delay::partition_delays(&dct.graph, &design.partitioning)
-                .expect("canonicalized partitioning is still a DAG assignment");
-        let fission = FissionAnalysis::analyze(
-            &dct.graph,
-            &design.partitioning,
-            &design.partition_delays_ns,
-            &arch,
-            BlockRounding::Exact,
-        )?;
+        let session = FlowSession::new(dct.graph.clone(), arch.clone());
+        let analyzed = session
+            .partition_with(&IlpStrategy::with_options(opts))?
+            // Canonicalization permutes tasks within declared symmetry
+            // groups only, so the ILP's optimality claim survives.
+            .map_partitioning(|_, p| canonicalize_rows(&dct, &p))?
+            .analyze()?;
         Ok(DctExperiment {
             dct,
             arch,
-            design,
-            fission,
+            design: analyzed.design,
+            fission: analyzed.fission,
         })
     }
 
@@ -202,16 +189,10 @@ impl DctExperiment {
             // Plan the kernel: per task, where its operands come from.
             enum Op {
                 /// T1: coefficient row r, X column c at `input positions`.
-                T1 {
-                    r: usize,
-                    ins: [usize; 4],
-                },
+                T1 { r: usize, ins: [usize; 4] },
                 /// T2: coefficient row c, Y operands — each either an input
                 /// position (external) or a local index (internal).
-                T2 {
-                    c: usize,
-                    ins: [YSrc; 4],
-                },
+                T2 { c: usize, ins: [YSrc; 4] },
             }
             #[derive(Clone, Copy)]
             enum YSrc {
@@ -321,7 +302,7 @@ impl DctExperiment {
                 }
             }
             let z = sparcs_jpeg::fixed::forward_fixed(&x);
-            z.iter().flatten().map(|&v| v).collect()
+            z.iter().flatten().copied().collect()
         })
     }
 
@@ -330,9 +311,7 @@ impl DctExperiment {
     pub fn input_stream(img: &sparcs_jpeg::Image) -> Vec<i32> {
         img.blocks()
             .iter()
-            .flat_map(|b| {
-                (0..4).flat_map(move |c| (0..4).map(move |k| i32::from(b[k][c])))
-            })
+            .flat_map(|b| (0..4).flat_map(move |c| (0..4).map(move |k| i32::from(b[k][c]))))
             .collect()
     }
 }

@@ -1,0 +1,648 @@
+//! The Flow pipeline API — one composable way to run the whole synthesis
+//! chain.
+//!
+//! Every entry point of this workspace (the `sparcs` CLI, the §4 case
+//! study, the examples, the bench harness) drives the same sequence: build
+//! or parse a task graph, pick a target [`Architecture`], temporally
+//! partition, analyze loop fission, and emit or simulate the result. This
+//! module makes that sequence a first-class object instead of hand-wired
+//! glue:
+//!
+//! * [`FlowSession`] owns the immutable inputs (a [`DesignContext`]) and
+//!   hands out typed stages — a session can be partitioned many times, with
+//!   different strategies, without rebuilding anything.
+//! * [`PartitionStrategy`] abstracts *how* the temporal partitioning is
+//!   produced: the paper's exact ILP ([`IlpStrategy`]) or the §4 list
+//!   strawman ([`ListStrategy`]) plug in behind one interface, and future
+//!   partitioners (simulated annealing, sharded solves, …) slot in the
+//!   same way.
+//! * [`PartitionedFlow`] → [`AnalyzedFlow`] carry the design through the
+//!   fission analysis to host-code generation, so a caller can stop at
+//!   whichever stage it needs.
+//! * [`FlowSession::explore`] evaluates a whole candidate space — every
+//!   strategy × block rounding × sequencing choice — against a workload
+//!   and returns the designs ranked by total execution time: the paper's
+//!   Table-1/Table-2 comparison as an API.
+//!
+//! ```
+//! use sparcs::flow::FlowSession;
+//! use sparcs::estimate::Architecture;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = sparcs::dfg::gen::fig4_example();
+//! let session = FlowSession::new(graph, Architecture::xc4044_wildforce());
+//! let analyzed = session.partition()?.analyze()?;
+//! println!("{} partitions, k = {}",
+//!          analyzed.design.partitioning.partition_count(), analyzed.fission.k);
+//! # Ok(())
+//! # }
+//! ```
+
+use sparcs_core::delay::partition_delays;
+use sparcs_core::fission::{BlockRounding, FissionAnalysis, FissionError};
+use sparcs_core::ilp::SolveStats;
+use sparcs_core::list::{partition_list, ListError};
+use sparcs_core::model::DelayMode;
+use sparcs_core::partitioning::{MemoryMode, Partitioning, Violation};
+use sparcs_core::{
+    codegen, IlpPartitioner, PartitionError, PartitionOptions, PartitionedDesign,
+    SequencingStrategy,
+};
+use sparcs_dfg::{parse, GraphError, TaskGraph};
+use sparcs_estimate::Architecture;
+use std::fmt;
+
+/// Errors from any stage of a flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// The graph text did not parse.
+    Parse(parse::ParseError),
+    /// The graph is invalid (cycle, unknown task, …).
+    Graph(GraphError),
+    /// The ILP partitioner failed.
+    Partition(PartitionError),
+    /// The list partitioner failed.
+    List(ListError),
+    /// The loop-fission analysis failed.
+    Fission(FissionError),
+    /// An exploration had no feasible candidate to return.
+    NoFeasibleCandidate,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Parse(e) => write!(f, "{e}"),
+            FlowError::Graph(e) => write!(f, "{e}"),
+            FlowError::Partition(e) => write!(f, "{e}"),
+            FlowError::List(e) => write!(f, "{e}"),
+            FlowError::Fission(e) => write!(f, "{e}"),
+            FlowError::NoFeasibleCandidate => {
+                write!(f, "no partitioning strategy produced a feasible design")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<parse::ParseError> for FlowError {
+    fn from(e: parse::ParseError) -> Self {
+        FlowError::Parse(e)
+    }
+}
+
+impl From<GraphError> for FlowError {
+    fn from(e: GraphError) -> Self {
+        FlowError::Graph(e)
+    }
+}
+
+impl From<PartitionError> for FlowError {
+    fn from(e: PartitionError) -> Self {
+        FlowError::Partition(e)
+    }
+}
+
+impl From<ListError> for FlowError {
+    fn from(e: ListError) -> Self {
+        FlowError::List(e)
+    }
+}
+
+impl From<FissionError> for FlowError {
+    fn from(e: FissionError) -> Self {
+        FlowError::Fission(e)
+    }
+}
+
+/// The immutable inputs every stage reads: the behavior task graph and the
+/// target board.
+#[derive(Debug, Clone)]
+pub struct DesignContext {
+    /// The behavior task graph under synthesis.
+    pub graph: TaskGraph,
+    /// The reconfigurable target.
+    pub arch: Architecture,
+}
+
+/// How a temporal partitioning is produced. Implementations must return a
+/// design whose partitioning respects precedence (every edge runs forward
+/// in time) and per-partition resource bounds.
+pub trait PartitionStrategy {
+    /// Short stable name (used in reports and exploration tables).
+    fn name(&self) -> &'static str;
+
+    /// Partitions the context's graph for its architecture.
+    ///
+    /// # Errors
+    ///
+    /// Strategy-specific; see [`FlowError`].
+    fn partition(&self, ctx: &DesignContext) -> Result<PartitionedDesign, FlowError>;
+}
+
+/// The paper's exact ILP temporal partitioner behind the strategy trait.
+#[derive(Debug, Clone, Default)]
+pub struct IlpStrategy {
+    /// Options forwarded to [`IlpPartitioner`].
+    pub options: PartitionOptions,
+}
+
+impl IlpStrategy {
+    /// The default exact partitioner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An exact partitioner with explicit options (memory mode, symmetry
+    /// groups, solver budgets, …).
+    pub fn with_options(options: PartitionOptions) -> Self {
+        IlpStrategy { options }
+    }
+}
+
+impl PartitionStrategy for IlpStrategy {
+    fn name(&self) -> &'static str {
+        "ilp"
+    }
+
+    fn partition(&self, ctx: &DesignContext) -> Result<PartitionedDesign, FlowError> {
+        Ok(IlpPartitioner::new(ctx.arch.clone(), self.options.clone()).partition(&ctx.graph)?)
+    }
+}
+
+/// The §4 list-scheduling strawman behind the strategy trait. Latency-blind
+/// and memory-blind, but fast — the baseline every exploration includes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ListStrategy;
+
+impl ListStrategy {
+    /// The list heuristic.
+    pub fn new() -> Self {
+        ListStrategy
+    }
+}
+
+impl PartitionStrategy for ListStrategy {
+    fn name(&self) -> &'static str {
+        "list"
+    }
+
+    fn partition(&self, ctx: &DesignContext) -> Result<PartitionedDesign, FlowError> {
+        let partitioning = partition_list(&ctx.graph, &ctx.arch)?;
+        design_from_partitioning(ctx, partitioning)
+    }
+}
+
+/// Assembles a [`PartitionedDesign`] (delays, latency, heuristic stats)
+/// from a bare assignment — shared by non-ILP strategies and
+/// [`PartitionedFlow::map_partitioning`].
+fn design_from_partitioning(
+    ctx: &DesignContext,
+    partitioning: Partitioning,
+) -> Result<PartitionedDesign, FlowError> {
+    let partition_delays_ns = partition_delays(&ctx.graph, &partitioning)?;
+    let sum_delay_ns = partition_delays_ns.iter().sum();
+    let latency_ns =
+        u64::from(partitioning.partition_count()) * ctx.arch.reconfig_time_ns + sum_delay_ns;
+    Ok(PartitionedDesign {
+        partitioning,
+        partition_delays_ns,
+        sum_delay_ns,
+        latency_ns,
+        stats: SolveStats {
+            attempted_n: Vec::new(),
+            nodes: 0,
+            proven_optimal: false,
+            delay_mode: DelayMode::PartitionSum,
+        },
+    })
+}
+
+/// A flow run: owns the [`DesignContext`] and hands out typed stages.
+#[derive(Debug, Clone)]
+pub struct FlowSession {
+    ctx: DesignContext,
+}
+
+impl FlowSession {
+    /// Starts a session over an in-memory graph.
+    pub fn new(graph: TaskGraph, arch: Architecture) -> Self {
+        FlowSession {
+            ctx: DesignContext { graph, arch },
+        }
+    }
+
+    /// Starts a session by parsing the `sparcs_dfg::parse` text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Parse`] on malformed graph text.
+    pub fn from_text(text: &str, arch: Architecture) -> Result<Self, FlowError> {
+        Ok(Self::new(parse::parse(text)?, arch))
+    }
+
+    /// The immutable inputs.
+    pub fn context(&self) -> &DesignContext {
+        &self.ctx
+    }
+
+    /// The task graph under synthesis.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.ctx.graph
+    }
+
+    /// The target board.
+    pub fn arch(&self) -> &Architecture {
+        &self.ctx.arch
+    }
+
+    /// Partitions with the default exact ILP strategy.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn partition(&self) -> Result<PartitionedFlow<'_>, FlowError> {
+        self.partition_with(&IlpStrategy::new())
+    }
+
+    /// Partitions with any [`PartitionStrategy`].
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn partition_with(
+        &self,
+        strategy: &dyn PartitionStrategy,
+    ) -> Result<PartitionedFlow<'_>, FlowError> {
+        let design = strategy.partition(&self.ctx)?;
+        Ok(PartitionedFlow {
+            ctx: &self.ctx,
+            design,
+            strategy: strategy.name(),
+        })
+    }
+
+    /// Evaluates the whole candidate space and returns the designs ranked
+    /// by total execution time for the given workload. See
+    /// [`ExploreSpace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::NoFeasibleCandidate`] when no strategy yields a
+    /// feasible design (individual candidate failures are skipped — an
+    /// exploration is exactly the place where a memory-blind heuristic may
+    /// produce an infeasible design).
+    pub fn explore(&self, space: &ExploreSpace) -> Result<Exploration, FlowError> {
+        let builtins = space.builtin_strategies();
+        let strategies = builtins
+            .iter()
+            .map(|b| b.as_ref())
+            .chain(space.extra_strategies.iter().map(|b| b.as_ref()));
+        let mut candidates = Vec::new();
+        for strategy in strategies {
+            let Ok(partitioned) = self.partition_with(strategy) else {
+                continue;
+            };
+            // A strategy may be memory- or precedence-blind; exploration
+            // only ranks designs that validate.
+            if !partitioned.validate(space.memory_mode).is_empty() {
+                continue;
+            }
+            for &rounding in &space.roundings {
+                let Ok(analyzed) = partitioned.clone().analyze_with(rounding) else {
+                    continue;
+                };
+                for &sequencing in &space.sequencings {
+                    let total_ns = analyzed.total_time_ns(sequencing, space.workload);
+                    candidates.push(ExploredCandidate {
+                        strategy: analyzed.strategy,
+                        rounding,
+                        sequencing,
+                        partition_count: analyzed.design.partitioning.partition_count(),
+                        k: analyzed.fission.k,
+                        latency_ns: analyzed.design.latency_ns,
+                        total_ns,
+                        design: analyzed.design.clone(),
+                        fission: analyzed.fission.clone(),
+                    });
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Err(FlowError::NoFeasibleCandidate);
+        }
+        candidates.sort_by_key(|c| (c.total_ns, c.partition_count, c.k));
+        Ok(Exploration { candidates })
+    }
+}
+
+/// Stage 2: a partitioned design, still attached to its context.
+#[derive(Debug, Clone)]
+pub struct PartitionedFlow<'a> {
+    ctx: &'a DesignContext,
+    /// The partitioning plus its latency numbers.
+    pub design: PartitionedDesign,
+    /// Name of the strategy that produced it.
+    pub strategy: &'static str,
+}
+
+impl<'a> PartitionedFlow<'a> {
+    /// Rewrites the assignment (e.g. to canonicalize symmetric solutions)
+    /// and recomputes delays and latency so the stage stays consistent.
+    /// Solver stats (including the optimality claim) carry over unchanged —
+    /// valid when the rewrite only permutes tasks within symmetry groups,
+    /// which is the intended use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Graph`] if the rewritten assignment breaks the
+    /// delay computation (not a DAG-shaped assignment).
+    pub fn map_partitioning(
+        self,
+        rewrite: impl FnOnce(&DesignContext, Partitioning) -> Partitioning,
+    ) -> Result<Self, FlowError> {
+        let partitioning = rewrite(self.ctx, self.design.partitioning);
+        let mut design = design_from_partitioning(self.ctx, partitioning)?;
+        design.stats = self.design.stats;
+        Ok(PartitionedFlow { design, ..self })
+    }
+
+    /// Checks the partitioning against the architecture.
+    pub fn validate(&self, mode: MemoryMode) -> Vec<Violation> {
+        self.design
+            .partitioning
+            .validate(&self.ctx.graph, &self.ctx.arch, mode)
+    }
+
+    /// Stage 3 with the default exact block rounding.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError::Fission`].
+    pub fn analyze(self) -> Result<AnalyzedFlow<'a>, FlowError> {
+        self.analyze_with(BlockRounding::Exact)
+    }
+
+    /// Stage 3: the loop-fission analysis (`k`, memory blocks, FDH/IDH
+    /// timing models).
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError::Fission`].
+    pub fn analyze_with(self, rounding: BlockRounding) -> Result<AnalyzedFlow<'a>, FlowError> {
+        let fission = FissionAnalysis::analyze(
+            &self.ctx.graph,
+            &self.design.partitioning,
+            &self.design.partition_delays_ns,
+            &self.ctx.arch,
+            rounding,
+        )?;
+        Ok(AnalyzedFlow {
+            ctx: self.ctx,
+            design: self.design,
+            fission,
+            strategy: self.strategy,
+        })
+    }
+}
+
+/// Stage 3: a partitioned design with its loop-fission analysis.
+#[derive(Debug, Clone)]
+pub struct AnalyzedFlow<'a> {
+    ctx: &'a DesignContext,
+    /// The partitioning plus its latency numbers.
+    pub design: PartitionedDesign,
+    /// The fission analysis (`k`, block geometry, strategies).
+    pub fission: FissionAnalysis,
+    /// Name of the strategy that produced the partitioning.
+    pub strategy: &'static str,
+}
+
+impl AnalyzedFlow<'_> {
+    /// The context this design was synthesized for.
+    pub fn context(&self) -> &DesignContext {
+        self.ctx
+    }
+
+    /// Total execution time for `workload` computations under a sequencing
+    /// strategy (IDH uses the overlapped-transfer model, as the paper's
+    /// Table 2 does).
+    pub fn total_time_ns(&self, sequencing: SequencingStrategy, workload: u64) -> u64 {
+        match sequencing {
+            SequencingStrategy::Fdh => self
+                .fission
+                .total_time_ns(SequencingStrategy::Fdh, workload),
+            SequencingStrategy::Idh => self.fission.idh_total_time_overlapped_ns(workload),
+        }
+    }
+
+    /// The cheaper sequencing strategy for `workload` computations, judged
+    /// by the same models [`Self::total_time_ns`] reports — so the
+    /// recommendation always agrees with the numbers printed next to it.
+    /// (The paper's §2.2 overhead criterion lives in
+    /// [`FissionAnalysis::choose_strategy`]; it compares *serialized* IDH
+    /// transfers and can disagree with the overlapped totals.)
+    pub fn choose_sequencing(&self, workload: u64) -> SequencingStrategy {
+        if self.total_time_ns(SequencingStrategy::Idh, workload)
+            <= self.total_time_ns(SequencingStrategy::Fdh, workload)
+        {
+            SequencingStrategy::Idh
+        } else {
+            SequencingStrategy::Fdh
+        }
+    }
+
+    /// Stage 4: the generated host sequencer code.
+    pub fn host_code(&self, sequencing: SequencingStrategy) -> String {
+        codegen::host_code(&self.fission, sequencing)
+    }
+}
+
+/// The candidate space [`FlowSession::explore`] walks.
+pub struct ExploreSpace {
+    /// Workload (total computations `I`) the candidates are ranked for.
+    pub workload: u64,
+    /// Block roundings to try (varies the fission `k`).
+    pub roundings: Vec<BlockRounding>,
+    /// Host sequencing strategies to evaluate.
+    pub sequencings: Vec<SequencingStrategy>,
+    /// Memory mode used to validate candidates.
+    pub memory_mode: MemoryMode,
+    /// Whether the built-in exact ILP partitioner is a candidate.
+    pub include_ilp: bool,
+    /// Whether the built-in list heuristic is a candidate.
+    pub include_list: bool,
+    /// Extra strategies beyond the built-in ILP + list pair.
+    pub extra_strategies: Vec<Box<dyn PartitionStrategy>>,
+    /// Partitioner options shared by the built-in ILP candidates.
+    pub ilp_options: PartitionOptions,
+}
+
+impl ExploreSpace {
+    /// The default space for a workload: ILP and list partitioners, both
+    /// block roundings, both sequencing strategies.
+    pub fn for_workload(workload: u64) -> Self {
+        ExploreSpace {
+            workload,
+            roundings: vec![BlockRounding::Exact, BlockRounding::PowerOfTwo],
+            sequencings: vec![SequencingStrategy::Fdh, SequencingStrategy::Idh],
+            memory_mode: MemoryMode::Net,
+            include_ilp: true,
+            include_list: true,
+            extra_strategies: Vec::new(),
+            ilp_options: PartitionOptions::default(),
+        }
+    }
+
+    /// The built-in strategies this space enables.
+    fn builtin_strategies(&self) -> Vec<Box<dyn PartitionStrategy>> {
+        let mut builtins: Vec<Box<dyn PartitionStrategy>> = Vec::new();
+        if self.include_ilp {
+            builtins.push(Box::new(IlpStrategy::with_options(
+                self.ilp_options.clone(),
+            )));
+        }
+        if self.include_list {
+            builtins.push(Box::new(ListStrategy::new()));
+        }
+        builtins
+    }
+}
+
+/// Short stable label for a block rounding (exploration tables).
+pub fn rounding_label(rounding: BlockRounding) -> &'static str {
+    match rounding {
+        BlockRounding::Exact => "exact",
+        BlockRounding::PowerOfTwo => "pow2",
+    }
+}
+
+/// One evaluated point of an exploration.
+#[derive(Debug, Clone)]
+pub struct ExploredCandidate {
+    /// Partitioning strategy name.
+    pub strategy: &'static str,
+    /// Block rounding used by the fission analysis.
+    pub rounding: BlockRounding,
+    /// Host sequencing strategy.
+    pub sequencing: SequencingStrategy,
+    /// Number of temporal partitions.
+    pub partition_count: u32,
+    /// Computations per configuration run.
+    pub k: u64,
+    /// Single-computation design latency `N·CT + Σd` in ns.
+    pub latency_ns: u64,
+    /// Total execution time for the explored workload in ns.
+    pub total_ns: u64,
+    /// The partitioned design.
+    pub design: PartitionedDesign,
+    /// The fission analysis.
+    pub fission: FissionAnalysis,
+}
+
+/// The ranked result of [`FlowSession::explore`].
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// All feasible candidates, best (lowest total time) first.
+    pub candidates: Vec<ExploredCandidate>,
+}
+
+impl Exploration {
+    /// The winning candidate.
+    ///
+    /// # Panics
+    ///
+    /// [`FlowSession::explore`] never returns an empty exploration, but
+    /// `candidates` is public — this panics if a caller has drained it.
+    pub fn best(&self) -> &ExploredCandidate {
+        &self.candidates[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcs_dfg::gen;
+
+    fn session() -> FlowSession {
+        FlowSession::new(gen::fig4_example(), Architecture::xc4044_wildforce())
+    }
+
+    #[test]
+    fn stages_compose_end_to_end() {
+        let s = session();
+        let analyzed = s.partition().unwrap().analyze().unwrap();
+        assert!(analyzed.design.partitioning.partition_count() >= 1);
+        assert!(analyzed.fission.k >= 1);
+        let code = analyzed.host_code(analyzed.choose_sequencing(10_000));
+        assert!(code.contains("N_CONFIGS"));
+    }
+
+    #[test]
+    fn both_builtin_strategies_run_through_the_trait() {
+        let s = session();
+        for strategy in [&IlpStrategy::new() as &dyn PartitionStrategy, &ListStrategy] {
+            let stage = s.partition_with(strategy).unwrap();
+            assert_eq!(stage.strategy, strategy.name());
+            assert!(stage.design.partitioning.partition_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn ilp_never_loses_to_list_on_latency() {
+        let s = session();
+        let ilp = s.partition().unwrap();
+        let list = s.partition_with(&ListStrategy).unwrap();
+        assert!(ilp.design.latency_ns <= list.design.latency_ns);
+    }
+
+    #[test]
+    fn map_partitioning_recomputes_delays() {
+        let s = session();
+        let stage = s.partition().unwrap();
+        let before = stage.design.partition_delays_ns.clone();
+        // The identity rewrite must be a fixpoint.
+        let same = stage.map_partitioning(|_, p| p).unwrap();
+        assert_eq!(same.design.partition_delays_ns, before);
+    }
+
+    #[test]
+    fn explore_ranks_by_total_time_and_prefers_idh_at_scale() {
+        let s = session();
+        let exploration = s.explore(&ExploreSpace::for_workload(1_000_000)).unwrap();
+        let best = exploration.best();
+        for w in exploration.candidates.windows(2) {
+            assert!(w[0].total_ns <= w[1].total_ns, "candidates are ranked");
+        }
+        assert_eq!(best.sequencing, SequencingStrategy::Idh);
+        // The winner is never beaten by any other evaluated candidate.
+        assert!(exploration
+            .candidates
+            .iter()
+            .all(|c| c.total_ns >= best.total_ns));
+    }
+
+    #[test]
+    fn explore_space_narrows_every_axis() {
+        let s = session();
+        let mut space = ExploreSpace::for_workload(10_000);
+        space.include_ilp = false;
+        space.roundings = vec![BlockRounding::PowerOfTwo];
+        space.sequencings = vec![SequencingStrategy::Fdh];
+        let exploration = s.explore(&space).unwrap();
+        assert!(!exploration.candidates.is_empty());
+        for c in &exploration.candidates {
+            assert_eq!(c.strategy, "list");
+            assert_eq!(c.rounding, BlockRounding::PowerOfTwo);
+            assert_eq!(c.sequencing, SequencingStrategy::Fdh);
+        }
+    }
+
+    #[test]
+    fn from_text_round_trips_the_example_graph() {
+        let text = parse::to_text(&gen::fig4_example());
+        let s = FlowSession::from_text(&text, Architecture::xc4044_wildforce()).unwrap();
+        assert_eq!(s.graph().task_count(), gen::fig4_example().task_count());
+    }
+}

@@ -49,3 +49,4 @@ pub use sparcs_jpeg as jpeg;
 pub use sparcs_rtr as rtr;
 
 pub mod casestudy;
+pub mod flow;

@@ -1,0 +1,141 @@
+//! Integration tests for the `sparcs` CLI binary: the example graph feeds
+//! back through the flow subcommands, and error paths exit non-zero with
+//! the usage text.
+
+use std::process::{Command, Output};
+
+fn sparcs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sparcs"))
+        .args(args)
+        .output()
+        .expect("sparcs binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Writes text to a fresh temp file and returns its path.
+fn temp_graph(name: &str, text: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("sparcs-cli-{}-{name}.tg", std::process::id()));
+    std::fs::write(&path, text).expect("temp graph writes");
+    path
+}
+
+#[test]
+fn example_output_feeds_back_through_dot() {
+    let example = sparcs(&["example"]);
+    assert!(example.status.success(), "sparcs example succeeds");
+    let text = stdout(&example);
+    assert!(text.contains("task"), "example emits the graph format");
+
+    let path = temp_graph("dot", &text);
+    let dot = sparcs(&["dot", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        dot.status.success(),
+        "sparcs dot succeeds: {}",
+        stderr(&dot)
+    );
+    let rendered = stdout(&dot);
+    assert!(rendered.contains("digraph"), "Graphviz output: {rendered}");
+    // The example graph partitions on the default device, so the dot output
+    // is partition-clustered.
+    assert!(
+        rendered.contains("cluster"),
+        "partition clusters: {rendered}"
+    );
+}
+
+#[test]
+fn example_output_feeds_back_through_partition_and_explore() {
+    let text = stdout(&sparcs(&["example"]));
+    let path = temp_graph("flow", &text);
+    let file = path.to_str().unwrap();
+
+    let partition = sparcs(&["partition", file]);
+    assert!(partition.status.success(), "{}", stderr(&partition));
+    assert!(stdout(&partition).contains("latency"));
+
+    let list = sparcs(&["partition", file, "--partitioner", "list"]);
+    assert!(list.status.success(), "{}", stderr(&list));
+    assert!(stdout(&list).contains("via list"));
+
+    let explore = sparcs(&["explore", file, "--inputs", "100000"]);
+    assert!(explore.status.success(), "{}", stderr(&explore));
+    let table = stdout(&explore);
+    assert!(table.contains("best:"), "{table}");
+    assert!(table.contains("ilp") && table.contains("list"), "{table}");
+
+    // The flow flags narrow the exploration axes instead of being ignored.
+    let narrowed = sparcs(&[
+        "explore",
+        file,
+        "--inputs",
+        "100000",
+        "--partitioner",
+        "list",
+        "--pow2",
+        "--strategy",
+        "idh",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(narrowed.status.success(), "{}", stderr(&narrowed));
+    let table = stdout(&narrowed);
+    assert!(!table.contains("ilp"), "ILP candidates excluded: {table}");
+    assert!(!table.contains("FDH"), "FDH candidates excluded: {table}");
+    assert!(!table.contains("exact"), "exact rounding excluded: {table}");
+    assert!(table.contains("best: list + IDH"), "{table}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = sparcs(&["frobnicate"]);
+    assert!(!out.status.success(), "unknown subcommand exits non-zero");
+    let err = stderr(&out);
+    assert!(err.contains("unknown command"), "{err}");
+    assert!(err.contains("usage:"), "usage text printed: {err}");
+}
+
+#[test]
+fn unknown_flag_fails_with_usage() {
+    let out = sparcs(&["partition", "--frobnicate"]);
+    assert!(!out.status.success(), "unknown flag exits non-zero");
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag --frobnicate"), "{err}");
+    assert!(err.contains("usage:"), "usage text printed: {err}");
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let out = sparcs(&[]);
+    assert!(!out.status.success(), "bare invocation exits non-zero");
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn missing_graph_file_fails_without_usage_noise() {
+    let out = sparcs(&["partition", "/nonexistent/graph.tg"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("error:"), "{err}");
+    // A runtime error is not a usage error; the usage text stays out.
+    assert!(!err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn bad_flag_values_fail_with_usage() {
+    for args in [
+        ["partition", "--clbs", "banana"].as_slice(),
+        ["codegen", "--strategy", "sideways"].as_slice(),
+        ["partition", "--partitioner", "quantum"].as_slice(),
+    ] {
+        let out = sparcs(args);
+        assert!(!out.status.success(), "{args:?} exits non-zero");
+        assert!(stderr(&out).contains("usage:"), "{args:?} prints usage");
+    }
+}

@@ -5,7 +5,9 @@ use sparcs::core::fission::{BlockRounding, FissionAnalysis, FissionError};
 use sparcs::core::{IlpPartitioner, PartitionError, PartitionOptions};
 use sparcs::dfg::{Resources, TaskGraph};
 use sparcs::estimate::Architecture;
-use sparcs::rtr::{run_fdh, run_idh, run_static, Configuration, HostError, RtrDesign, StaticDesign};
+use sparcs::rtr::{
+    run_fdh, run_idh, run_static, Configuration, HostError, RtrDesign, StaticDesign,
+};
 
 fn arch(clbs: u64, mem: u64) -> Architecture {
     let mut a = Architecture::xc4044_wildforce();
@@ -130,7 +132,8 @@ fn cyclic_graph_rejected_by_partitioner() {
 
 #[test]
 fn parse_errors_are_user_readable() {
-    let err = sparcs::dfg::parse::parse("task a clbs=1 delay=1 out=1\nedge a -> ghost").unwrap_err();
+    let err =
+        sparcs::dfg::parse::parse("task a clbs=1 delay=1 out=1\nedge a -> ghost").unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("line 2"), "{msg}");
     assert!(msg.contains("ghost"), "{msg}");

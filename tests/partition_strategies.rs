@@ -1,0 +1,131 @@
+//! Property tests over the [`PartitionStrategy`] trait: every strategy the
+//! flow exposes must produce *feasible* temporal partitionings on random
+//! layered graphs — per-partition resource demand within the device, and
+//! precedence-closed partitions (every edge runs forward in time, so each
+//! partition is a down-closed cut of the DAG prefix order).
+
+use proptest::prelude::*;
+use sparcs::dfg::gen::{layered, LayeredConfig};
+use sparcs::dfg::{Resources, TaskGraph};
+use sparcs::estimate::Architecture;
+use sparcs::flow::{DesignContext, FlowSession, IlpStrategy, ListStrategy, PartitionStrategy};
+
+fn graph_strategy() -> impl Strategy<Value = TaskGraph> {
+    (0u64..2_000, 2u32..5, 2u32..5).prop_map(|(seed, layers, width)| {
+        layered(
+            &LayeredConfig {
+                layers,
+                min_width: 1,
+                max_width: width.max(1),
+                clbs: (40, 400),
+                delay_ns: (100, 900),
+                words: (1, 8),
+                ..LayeredConfig::default()
+            },
+            seed,
+        )
+    })
+}
+
+fn device() -> Architecture {
+    let mut a = Architecture::xc4044_wildforce();
+    a.resources = Resources::clbs(800);
+    a.memory_words = 1_000_000;
+    a
+}
+
+/// Checks the two §2.1 invariants every strategy must honor.
+fn assert_feasible(name: &str, g: &TaskGraph, design: &sparcs::core::PartitionedDesign) {
+    let part = &design.partitioning;
+    // Resource bounds: each partition fits the device.
+    for p in part.partitions() {
+        let used = part.resources_of(g, p);
+        assert!(
+            used.fits_within(&device().resources),
+            "{name}: partition {p} uses {used} > device"
+        );
+    }
+    // Precedence closure: no edge runs backwards in time.
+    for e in g.edges() {
+        assert!(
+            part.partition_of(e.src) <= part.partition_of(e.dst),
+            "{name}: edge {} -> {} runs backwards",
+            e.src,
+            e.dst
+        );
+    }
+    // The delays stage stays consistent with the assignment.
+    assert_eq!(
+        design.partition_delays_ns.len(),
+        part.partition_count() as usize,
+        "{name}: one delay per partition"
+    );
+    assert_eq!(
+        design.sum_delay_ns,
+        design.partition_delays_ns.iter().sum::<u64>(),
+        "{name}: sum matches delays"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Both built-in strategies yield feasible designs through the trait.
+    #[test]
+    fn all_strategies_produce_feasible_partitions(g in graph_strategy()) {
+        let session = FlowSession::new(g, device());
+        let strategies: [&dyn PartitionStrategy; 2] = [&IlpStrategy::new(), &ListStrategy];
+        for strategy in strategies {
+            let Ok(stage) = session.partition_with(strategy) else {
+                // Some random graphs are legitimately unpartitionable
+                // (e.g. a memory dead-end for the ILP); skip those.
+                continue;
+            };
+            assert_feasible(strategy.name(), session.graph(), &stage.design);
+        }
+    }
+
+    /// The trait's contract is strategy-agnostic: partitioning directly
+    /// through the trait object equals partitioning through the session.
+    #[test]
+    fn trait_and_session_agree(g in graph_strategy()) {
+        let session = FlowSession::new(g, device());
+        let ctx = DesignContext {
+            graph: session.graph().clone(),
+            arch: session.arch().clone(),
+        };
+        let direct = ListStrategy.partition(&ctx);
+        let staged = session.partition_with(&ListStrategy);
+        match (direct, staged) {
+            (Ok(d), Ok(s)) => {
+                prop_assert_eq!(d.partitioning.assignment(), s.design.partitioning.assignment());
+                prop_assert_eq!(d.latency_ns, s.design.latency_ns);
+            }
+            (Err(_), Err(_)) => {}
+            (d, s) => {
+                return Err(TestCaseError::fail(format!(
+                    "trait and session disagree: direct = {:?}, staged = {:?}",
+                    d.map(|x| x.latency_ns),
+                    s.map(|x| x.design.latency_ns),
+                )));
+            }
+        }
+    }
+
+    /// When both strategies succeed, the exact ILP never has worse latency
+    /// than the list heuristic — the paper's §4 claim, as a property.
+    #[test]
+    fn ilp_dominates_list_on_latency(g in graph_strategy()) {
+        let session = FlowSession::new(g, device());
+        let ilp = session.partition_with(&IlpStrategy::new());
+        prop_assume!(ilp.is_ok());
+        if let (Ok(ilp), Ok(list)) = (ilp, session.partition_with(&ListStrategy)) {
+            prop_assert!(
+                ilp.design.latency_ns <= list.design.latency_ns,
+                "ilp {} ns > list {} ns",
+                ilp.design.latency_ns,
+                list.design.latency_ns,
+            );
+        }
+    }
+}

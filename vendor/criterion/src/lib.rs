@@ -1,0 +1,149 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! keeps the workspace's 14 bench targets compiling and usable: each
+//! `bench_function` runs its routine for a short, fixed measurement budget
+//! and prints the mean wall time. No statistics, no HTML reports — but
+//! `cargo bench` gives comparable relative numbers run to run.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many iterations the measurement loop aims for.
+const TARGET_ITERS: u32 = 20;
+/// Wall-clock budget per bench function.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+/// The bench driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Times `f` and prints its mean wall time under `id`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(id, None, f);
+        self
+    }
+
+    /// Opens a named group of related bench functions.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotations (printed next to the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benches sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's iteration count is
+    /// fixed by its time budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benches with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times `f` and prints its mean wall time under `group/id`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&format!("{}/{id}", self.name), self.throughput, f);
+        self
+    }
+
+    /// Ends the group (a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u32,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly within the measurement budget, timing
+    /// each call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warm-up call.
+        black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..TARGET_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench(id: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{id:<40} (no iterations recorded)");
+        return;
+    }
+    let mean = bencher.total / bencher.iters;
+    let rate = throughput.map_or(String::new(), |t| {
+        let per_sec = |count: u64| count as f64 / mean.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => format!("  {:.0} elem/s", per_sec(n)),
+            Throughput::Bytes(n) => format!("  {:.0} B/s", per_sec(n)),
+        }
+    });
+    println!(
+        "{id:<40} {mean:>12.2?}/iter  ({} iters){rate}",
+        bencher.iters
+    );
+}
+
+/// Collects bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Every generator in this workspace is explicitly seeded
+//! (`StdRng::seed_from_u64`) and no test asserts exact random values — only
+//! properties of whatever the generator emits — so a different (simpler)
+//! core than the real `StdRng` is fine. This one is SplitMix64: tiny,
+//! well-distributed, and deterministic across platforms.
+//!
+//! Provided surface: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the
+//! `Rng` methods `gen`, `gen_range` (over `a..b` / `a..=b` for the integer
+//! types and `f64`), and `gen_bool`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The user-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value of `T`'s full domain.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        to_unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// The raw 64-bit source.
+pub trait RngCore {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Maps a raw draw onto the unit interval `[0, 1)`.
+fn to_unit_f64(raw: u64) -> f64 {
+    (raw >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Types samplable from a single raw draw (the stand-in for rand's
+/// `Standard` distribution).
+pub trait Standard {
+    /// Derives a value from one raw 64-bit draw.
+    fn sample(raw: u64) -> Self;
+}
+
+macro_rules! standard_ints {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+
+standard_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(raw: u64) -> Self {
+        to_unit_f64(raw)
+    }
+}
+
+/// Ranges a value can be drawn from (the stand-in for rand's
+/// `SampleRange`/`UniformSampler` machinery).
+pub trait SampleRange {
+    /// The sampled type.
+    type Output;
+    /// Draws from the range using one raw 64-bit output.
+    fn sample(self, raw: u64) -> Self::Output;
+}
+
+macro_rules! range_ints {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, raw: u64) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (u128::from(raw) % span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, raw: u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (u128::from(raw) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, raw: u64) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + to_unit_f64(raw) * (self.end - self.start)
+    }
+}
+
+/// The standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's seeded generator — SplitMix64 underneath (see the
+    /// crate docs for why that substitution is sound here).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_pair(), b.next_u64_pair());
+        }
+    }
+
+    impl StdRng {
+        fn next_u64_pair(&mut self) -> (u64, u64) {
+            (self.gen(), self.gen())
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: usize = rng.gen_range(0..5usize);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,401 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The registry is unreachable in this build environment, so `syn`/`quote`
+//! are unavailable; the item is parsed with a small hand-rolled walker over
+//! `proc_macro::TokenStream`. Supported shapes — everything this workspace
+//! derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (single-field ones serialize transparently, like serde
+//!   newtypes),
+//! * enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, matching serde's default representation).
+//!
+//! Generics are not supported; no type in the workspace needs them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: `name` is `None` for tuple fields.
+struct Field {
+    name: Option<String>,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips one attribute (`#` followed by a bracket group) if present.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // Consume the `[...]` (or `![...]`) that follows.
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '!' {
+                        tokens.next();
+                    }
+                }
+                tokens.next();
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a `pub` / `pub(...)` visibility marker if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes tokens until a comma at angle-bracket depth zero (the end of a
+/// field's type). Groups hide their contents, so only `<`/`>` need tracking.
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+/// Parses `{ field: Ty, ... }` contents into field names.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut tokens = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        // The `:` then the type.
+        tokens.next();
+        skip_type(&mut tokens);
+        tokens.next(); // the comma, if any
+        fields.push(Field {
+            name: Some(name.to_string()),
+        });
+    }
+    fields
+}
+
+/// Counts the types in a tuple-struct/tuple-variant parenthesis group.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut tokens = group.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_type(&mut tokens);
+        tokens.next(); // the comma, if any
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut tokens = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                tokens.next();
+                Shape::Tuple(count_tuple_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                Shape::Named(parse_named_fields(inner))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        while let Some(tt) = tokens.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    tokens.next();
+                    break;
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Scan past attributes/visibility/misc until `struct` or `enum`.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => {}
+            None => panic!("derive input contains no struct or enum"),
+        }
+    };
+    let Some(TokenTree::Ident(name)) = tokens.next() else {
+        panic!("expected a type name after `{kind}`");
+    };
+    let name = name.to_string();
+    // Generics would start here; nothing in the workspace derives on them.
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("the vendored serde derive does not support generic type `{name}`");
+        }
+    }
+    if kind == "enum" {
+        let Some(TokenTree::Group(g)) = tokens.next() else {
+            panic!("expected enum body for `{name}`");
+        };
+        return Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        };
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+            shape: Shape::Named(parse_named_fields(g.stream())),
+            name,
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+            shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            name,
+        },
+        _ => Item::Struct {
+            shape: Shape::Unit,
+            name,
+        },
+    }
+}
+
+/// `("a".to_string(), ::serde::Serialize::to_value(&self.a)), ...`
+fn named_to_value(fields: &[Field], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let n = f.name.as_deref().expect("named field");
+            format!("({n:?}.to_string(), ::serde::Serialize::to_value(&{access}{n}))")
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn named_from_value(fields: &[Field], ctor: &str, source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let n = f.name.as_deref().expect("named field");
+            format!("{n}: ::serde::Deserialize::from_value({source}.get({n:?})?)?")
+        })
+        .collect();
+    format!("{ctor} {{ {} }}", inits.join(", "))
+}
+
+/// Which impl a derive invocation should emit.
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Ser,
+    De,
+}
+
+fn derive_struct(name: &str, shape: &Shape) -> (String, String) {
+    let (to_value, from_value) = match shape {
+        Shape::Named(fields) => (
+            named_to_value(fields, "self."),
+            format!(
+                "::std::option::Option::Some({})",
+                named_from_value(fields, name, "v")
+            ),
+        ),
+        Shape::Tuple(1) => (
+            "::serde::Serialize::to_value(&self.0)".to_string(),
+            format!("::std::option::Option::Some({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(v.seq_get({i})?)?"))
+                .collect();
+            (
+                format!("::serde::Value::Seq(vec![{}])", items.join(", ")),
+                format!("::std::option::Option::Some({name}({}))", gets.join(", ")),
+            )
+        }
+        Shape::Unit => (
+            "::serde::Value::Null".to_string(),
+            format!("::std::option::Option::Some({name})"),
+        ),
+    };
+    (to_value, from_value)
+}
+
+fn derive_enum(name: &str, variants: &[Variant]) -> (String, String) {
+    let mut to_arms = Vec::new();
+    let mut from_arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                to_arms.push(format!(
+                    "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                ));
+                from_arms.push(format!(
+                    "if v.as_str() == ::std::option::Option::Some({vn:?}) {{ \
+                     return ::std::option::Option::Some({name}::{vn}); }}"
+                ));
+            }
+            Shape::Tuple(1) => {
+                to_arms.push(format!(
+                    "{name}::{vn}(f0) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                     ::serde::Serialize::to_value(f0))]),"
+                ));
+                from_arms.push(format!(
+                    "if let ::std::option::Option::Some(inner) = v.get({vn:?}) {{ \
+                     return ::std::option::Option::Some({name}::{vn}(\
+                     ::serde::Deserialize::from_value(inner)?)); }}"
+                ));
+            }
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                let gets: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(inner.seq_get({i})?)?"))
+                    .collect();
+                to_arms.push(format!(
+                    "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                     ::serde::Value::Seq(vec![{}]))]),",
+                    binds.join(", "),
+                    items.join(", ")
+                ));
+                from_arms.push(format!(
+                    "if let ::std::option::Option::Some(inner) = v.get({vn:?}) {{ \
+                     return ::std::option::Option::Some({name}::{vn}({})); }}",
+                    gets.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let binds: Vec<String> = fields
+                    .iter()
+                    .map(|f| f.name.clone().expect("named field"))
+                    .collect();
+                let entries: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("({b:?}.to_string(), ::serde::Serialize::to_value({b}))"))
+                    .collect();
+                let inits: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("{b}: ::serde::Deserialize::from_value(inner.get({b:?})?)?"))
+                    .collect();
+                to_arms.push(format!(
+                    "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                     ::serde::Value::Map(vec![{}]))]),",
+                    binds.join(", "),
+                    entries.join(", ")
+                ));
+                from_arms.push(format!(
+                    "if let ::std::option::Option::Some(inner) = v.get({vn:?}) {{ \
+                     return ::std::option::Option::Some({name}::{vn} {{ {} }}); }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    let to_value = format!("match self {{ {} }}", to_arms.join(" "));
+    let from_value = format!("{} ::std::option::Option::None", from_arms.join(" "));
+    (to_value, from_value)
+}
+
+fn generate(input: TokenStream, which: Which) -> TokenStream {
+    let (name, to_value, from_value) = match parse_item(input) {
+        Item::Struct { name, shape } => {
+            let (t, f) = derive_struct(&name, &shape);
+            (name, t, f)
+        }
+        Item::Enum { name, variants } => {
+            let (t, f) = derive_enum(&name, &variants);
+            (name, t, f)
+        }
+    };
+    let code = match which {
+        Which::Ser => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {to_value} }}\n\
+             }}\n"
+        ),
+        Which::De => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 #[allow(unreachable_code, unused_variables)]\n\
+                 fn from_value(v: &::serde::Value) -> ::std::option::Option<Self> {{ {from_value} }}\n\
+             }}\n"
+        ),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    generate(input, Which::Ser)
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    generate(input, Which::De)
+}
