@@ -1,0 +1,85 @@
+//! Explore throughput: serial + uncached versus pooled + cached candidate
+//! search over the widened §4 space (strategy × board × partition cap ×
+//! rounding × sequencing).
+//!
+//! The exact ILP solve dominates an uncached exploration; the partition
+//! cache answers every repeat solve and the thread pool overlaps the
+//! independent candidates, so repeated explorations (the workload of any
+//! design-space sweep) run at a multiple of the serial-uncached rate. The
+//! wrapper asserts the ≥2× acceptance bar for the cache alone — that part
+//! is deterministic — and prints the combined speedup, which grows further
+//! with core count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparcs::cache::PartitionCache;
+use sparcs::flow::{ExploreSpace, FlowSession};
+use sparcs_bench::experiment;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn widened_space(workload: u64, jobs: u32, cache: Option<Arc<PartitionCache>>) -> ExploreSpace {
+    let mut space = ExploreSpace::widened(workload);
+    space.jobs = jobs;
+    space.cache = cache;
+    space
+}
+
+fn bench(c: &mut Criterion) {
+    let exp = experiment();
+    let session = FlowSession::new(exp.dct.graph.clone(), exp.arch.clone());
+    let workload = 245_760;
+    let jobs = std::thread::available_parallelism().map_or(2, |n| n.get() as u32);
+
+    // Warm a private cache (not the global one, so the serial-uncached
+    // baseline and the cached lane measure exactly what they claim).
+    let cache = Arc::new(PartitionCache::new());
+    let warm = session
+        .explore(&widened_space(workload, 1, Some(Arc::clone(&cache))))
+        .expect("widened space has feasible candidates");
+
+    let t0 = Instant::now();
+    let serial = session
+        .explore(&widened_space(workload, 1, None))
+        .expect("explores");
+    let serial_elapsed = t0.elapsed();
+
+    let t1 = Instant::now();
+    let cached = session
+        .explore(&widened_space(workload, jobs, Some(Arc::clone(&cache))))
+        .expect("explores");
+    let cached_elapsed = t1.elapsed();
+
+    assert_eq!(serial.candidates.len(), cached.candidates.len());
+    assert_eq!(warm.best().total_ns, cached.best().total_ns);
+    let speedup = serial_elapsed.as_secs_f64() / cached_elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "[explore] {} candidates over {} specs: serial+uncached {serial_elapsed:?}, \
+         {jobs}-job cached {cached_elapsed:?} -> {speedup:.1}x",
+        cached.candidates.len(),
+        cached.coverage.specs,
+    );
+    assert!(
+        speedup >= 2.0,
+        "cache + pool must beat the serial-uncached explore 2x (got {speedup:.2}x)"
+    );
+
+    let mut group = c.benchmark_group("explore");
+    group.sample_size(10);
+    group.bench_function("widened_serial_uncached", |b| {
+        b.iter(|| session.explore(black_box(&widened_space(workload, 1, None))))
+    });
+    group.bench_function("widened_pooled_cached", |b| {
+        b.iter(|| {
+            session.explore(black_box(&widened_space(
+                workload,
+                jobs,
+                Some(Arc::clone(&cache)),
+            )))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,7 +13,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let exp = experiment();
-    let (be, points) = break_even_sweep(exp);
+    let (be, points) = break_even_sweep(&exp);
     println!("[breakeven] paper: ~42,553 blocks; ours: {be} blocks");
     for p in &points {
         println!(

@@ -13,7 +13,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let exp = experiment();
-    let rows = table2(exp);
+    let rows = table2(&exp);
     print!(
         "{}",
         render_table(

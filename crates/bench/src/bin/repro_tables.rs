@@ -55,7 +55,7 @@ fn main() {
         exp.fission.m_temp_words, exp.fission.k
     );
 
-    let (be, sweep) = break_even_sweep(exp);
+    let (be, sweep) = break_even_sweep(&exp);
     println!("\n== Section 4: break-even analysis ==");
     println!("paper : roughly 42,553 blocks per partition");
     println!("ours  : {be} blocks (= 3 x CT / (16 us - 8.44 us))");
@@ -73,12 +73,12 @@ fn main() {
         );
     }
 
-    let t1 = table1(exp);
+    let t1 = table1(&exp);
     println!("\n== Table 1: DCT execution time, FDH strategy ==");
     println!("paper : \"we did not see any improvement at all\" (RTR slower everywhere)");
     print!("{}", render_table("ours  :", &t1));
 
-    let t2 = table2(exp);
+    let t2 = table2(&exp);
     println!("\n== Table 2: DCT execution time, IDH strategy ==");
     println!("paper : 42% improvement at 245,760 blocks, growing with image size");
     print!("{}", render_table("ours  :", &t2));

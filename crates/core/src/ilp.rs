@@ -180,11 +180,13 @@ impl IlpPartitioner {
                     .unwrap_or(TaskId(0));
                 PartitionError::TaskTooLarge(t)
             })? as u32;
-        let n_max = self
-            .opts
-            .max_partitions
-            .unwrap_or(g.task_count() as u32)
-            .max(n0);
+        let n_max = self.opts.max_partitions.unwrap_or(g.task_count() as u32);
+        if n_max < n0 {
+            // The cap is documented as hard: a bound below the resource
+            // lower bound admits no feasible model, and silently raising it
+            // would make capped exploration sweeps lie about their axis.
+            return Err(PartitionError::NoFeasibleSolution { tried_up_to: n_max });
+        }
 
         // Optional warm start from the list heuristic.
         let warm = if self.opts.no_warm_start {

@@ -14,6 +14,7 @@
 use crate::estimator::{EstimateError, Estimator, TaskEstimate};
 use crate::opgraph::{OpGraph, OpKind};
 use crate::schedule::Allocation;
+use scoped_threadpool::scoped_map;
 use serde::{Deserialize, Serialize};
 
 /// One Pareto-optimal implementation choice for a task.
@@ -26,12 +27,8 @@ pub struct ImplementationPoint {
 }
 
 /// Explores allocations for `g` and returns the Pareto frontier sorted by
-/// ascending CLB cost (and therefore descending delay).
-///
-/// The search space is the product of per-kind unit counts from 1 to the
-/// number of ops of that kind, capped at `max_units_per_kind` to keep
-/// enumeration tractable; memory stays single-ported throughout (one board
-/// bank).
+/// ascending CLB cost (and therefore descending delay). Serial shorthand
+/// for [`pareto_implementations_jobs`] with one worker.
 ///
 /// # Errors
 ///
@@ -40,6 +37,30 @@ pub fn pareto_implementations(
     est: &Estimator,
     g: &OpGraph,
     max_units_per_kind: u32,
+) -> Result<Vec<ImplementationPoint>, EstimateError> {
+    pareto_implementations_jobs(est, g, max_units_per_kind, 1)
+}
+
+/// Explores allocations for `g` across `jobs` worker threads and returns
+/// the Pareto frontier sorted by ascending CLB cost (and therefore
+/// descending delay).
+///
+/// The search space is the product of per-kind unit counts from 1 to the
+/// number of ops of that kind, capped at `max_units_per_kind` to keep
+/// enumeration tractable; memory stays single-ported throughout (one board
+/// bank). Allocations are enumerated up front and estimated independently
+/// (each estimate is a scheduling run — the expensive part), so the
+/// frontier is identical for every `jobs` value.
+///
+/// # Errors
+///
+/// Propagates [`EstimateError`] from the underlying estimator (cyclic
+/// graphs) — the first failing allocation in enumeration order.
+pub fn pareto_implementations_jobs(
+    est: &Estimator,
+    g: &OpGraph,
+    max_units_per_kind: u32,
+    jobs: u32,
 ) -> Result<Vec<ImplementationPoint>, EstimateError> {
     // Per-kind op counts (memory collapses onto one port).
     let mut kinds: Vec<(OpKind, u32)> = Vec::new();
@@ -59,7 +80,7 @@ pub fn pareto_implementations(
 
     // Enumerate the mixed-radix space of unit counts.
     let mut counts: Vec<u32> = vec![1; kinds.len()];
-    let mut points: Vec<ImplementationPoint> = Vec::new();
+    let mut allocations: Vec<Allocation> = Vec::new();
     loop {
         let mut alloc = Allocation::minimal_for(g);
         for u in &mut alloc.units {
@@ -67,11 +88,7 @@ pub fn pareto_implementations(
                 u.count = counts[pos];
             }
         }
-        let estimate = est.estimate_with(g, &alloc)?;
-        points.push(ImplementationPoint {
-            allocation: alloc,
-            estimate,
-        });
+        allocations.push(alloc);
 
         // Next combination.
         let mut carry = true;
@@ -89,6 +106,18 @@ pub fn pareto_implementations(
         if carry {
             break;
         }
+    }
+
+    // Estimate every allocation, each into its own result slot, so the
+    // result order (and the error reported, if any) follows enumeration
+    // order, not thread scheduling.
+    let estimates = scoped_map(jobs, &allocations, |alloc| est.estimate_with(g, alloc));
+    let mut points: Vec<ImplementationPoint> = Vec::with_capacity(allocations.len());
+    for (alloc, estimate) in allocations.into_iter().zip(estimates) {
+        points.push(ImplementationPoint {
+            allocation: alloc,
+            estimate: estimate?,
+        });
     }
 
     // Pareto filter on (clbs, delay).
@@ -181,6 +210,15 @@ mod tests {
         g.add_op(OpKind::Add, 16, "only");
         let frontier = pareto_implementations(&est(), &g, 4).unwrap();
         assert_eq!(frontier.len(), 1);
+    }
+
+    #[test]
+    fn parallel_frontier_equals_serial() {
+        for g in [OpGraph::vector_product(8, 8, 9), mac8()] {
+            let serial = pareto_implementations_jobs(&est(), &g, 8, 1).unwrap();
+            let parallel = pareto_implementations_jobs(&est(), &g, 8, 4).unwrap();
+            assert_eq!(serial, parallel, "jobs must not change the frontier");
+        }
     }
 
     #[test]

@@ -36,12 +36,33 @@ struct Flags {
     inputs: u64,
     strategy: Option<SequencingStrategy>,
     partitioner: Option<Partitioner>,
+    jobs: Option<u32>,
+    max_partitions: Vec<u32>,
+    archs: Vec<ArchPreset>,
 }
 
 #[derive(Clone, Copy)]
 enum Partitioner {
     Ilp,
     List,
+}
+
+/// The board presets `--arch` selects (repeatable for `explore`).
+#[derive(Clone, Copy)]
+enum ArchPreset {
+    Xc4044,
+    Xc6200,
+    TimeMultiplexed,
+}
+
+impl ArchPreset {
+    fn build(self) -> Architecture {
+        match self {
+            ArchPreset::Xc4044 => Architecture::xc4044_wildforce(),
+            ArchPreset::Xc6200 => Architecture::xc6200_fast_reconfig(),
+            ArchPreset::TimeMultiplexed => Architecture::time_multiplexed(),
+        }
+    }
 }
 
 /// A CLI failure: usage-class errors re-print the usage text; runtime
@@ -61,6 +82,9 @@ fn usage() -> &'static str {
     "usage: sparcs <partition|fission|codegen|explore|dot|example> [graph.tg] [options]\n\
      options: --clbs N  --memory WORDS  --ct NS  --dm NS  --pow2  --edge-memory\n\
               --inputs I  --strategy fdh|idh  --partitioner ilp|list\n\
+              --arch xc4044|xc6200|tm (repeatable: explore ranks across boards)\n\
+              --max-partitions N[,N...] (cap the ILP; a list sweeps explore)\n\
+              --jobs N (explore worker threads; rankings are identical for any N)\n\
      run `sparcs example` for a sample graph file"
 }
 
@@ -76,6 +100,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         inputs: 1_000_000,
         strategy: None,
         partitioner: None,
+        jobs: None,
+        max_partitions: Vec::new(),
+        archs: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -108,6 +135,35 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                     other => return Err(CliError::Usage(format!("bad --partitioner {other:?}"))),
                 })
             }
+            "--jobs" => {
+                let n = grab("--jobs")?;
+                if n == 0 {
+                    return Err(CliError::Usage("--jobs needs a positive number".into()));
+                }
+                f.jobs = Some(n.min(u64::from(u32::MAX)) as u32);
+            }
+            "--max-partitions" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--max-partitions needs a value".into()))?;
+                for part in raw.split(',') {
+                    let n: u32 = part.replace('_', "").parse().map_err(|_| {
+                        CliError::Usage(format!("bad --max-partitions entry {part:?}"))
+                    })?;
+                    if n == 0 {
+                        return Err(CliError::Usage(
+                            "--max-partitions entries must be positive".into(),
+                        ));
+                    }
+                    f.max_partitions.push(n);
+                }
+            }
+            "--arch" => f.archs.push(match it.next().map(String::as_str) {
+                Some("xc4044") => ArchPreset::Xc4044,
+                Some("xc6200") => ArchPreset::Xc6200,
+                Some("tm") => ArchPreset::TimeMultiplexed,
+                other => return Err(CliError::Usage(format!("bad --arch {other:?}"))),
+            }),
             other if other.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag {other}")))
             }
@@ -121,8 +177,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     Ok(f)
 }
 
-fn architecture(f: &Flags) -> Architecture {
-    let mut a = Architecture::xc4044_wildforce();
+/// Applies the numeric board overrides on top of a preset.
+fn with_overrides(mut a: Architecture, f: &Flags) -> Architecture {
     if let Some(c) = f.clbs {
         a.resources = Resources::clbs(c);
     }
@@ -136,6 +192,16 @@ fn architecture(f: &Flags) -> Architecture {
         a.transfer_ns_per_word = dm;
     }
     a
+}
+
+fn architecture(f: &Flags) -> Architecture {
+    let base = f
+        .archs
+        .first()
+        .copied()
+        .unwrap_or(ArchPreset::Xc4044)
+        .build();
+    with_overrides(base, f)
 }
 
 fn session(f: &Flags) -> Result<FlowSession, CliError> {
@@ -159,6 +225,8 @@ fn partition_options(f: &Flags) -> PartitionOptions {
             },
             ..ModelConfig::default()
         },
+        // Outside `explore` the first (usually only) cap applies directly.
+        max_partitions: f.max_partitions.first().copied(),
         ..PartitionOptions::default()
     }
 }
@@ -252,12 +320,16 @@ fn real_main() -> Result<(), CliError> {
             let s = session(&f)?;
             let mut space = ExploreSpace::for_workload(f.inputs);
             space.ilp_options = partition_options(&f);
+            // The options cap is the per-candidate axis below, not a shared
+            // floor for every candidate.
+            space.ilp_options.max_partitions = None;
             if f.edge_memory {
                 space.memory_mode = MemoryMode::Edge;
             }
-            // The flow flags narrow the candidate space instead of being
-            // ignored: --partitioner pins the strategy axis, --pow2 the
-            // rounding axis, --strategy the sequencing axis.
+            // The flow flags narrow or widen the candidate space instead of
+            // being ignored: --partitioner pins the strategy axis, --pow2
+            // the rounding axis, --strategy the sequencing axis;
+            // --max-partitions and --arch *add* axis points.
             match f.partitioner {
                 Some(Partitioner::Ilp) => space.include_list = false,
                 Some(Partitioner::List) => space.include_ilp = false,
@@ -269,30 +341,64 @@ fn real_main() -> Result<(), CliError> {
             if let Some(seq) = f.strategy {
                 space.sequencings = vec![seq];
             }
+            if !f.max_partitions.is_empty() {
+                space.max_partitions = f.max_partitions.iter().map(|&n| Some(n)).collect();
+            }
+            if !f.archs.is_empty() {
+                space.architectures = f
+                    .archs
+                    .iter()
+                    .map(|&preset| with_overrides(preset.build(), &f))
+                    .collect();
+            }
+            if let Some(jobs) = f.jobs {
+                space.jobs = jobs;
+            }
             let exploration = s.explore(&space).map_err(CliError::runtime)?;
             println!("graph : {}", s.graph());
             println!("target: {}", s.arch());
             println!(
-                "{:<5} {:>11} {:>6} {:>4} {:>4} {:>8} {:>13} {:>12}",
-                "rank", "partitioner", "round", "seq", "N", "k", "latency (ns)", "total (s)"
+                "{:<5} {:>11} {:<17} {:>6} {:>4} {:>4} {:>4} {:>8} {:>13} {:>12}",
+                "rank",
+                "partitioner",
+                "arch",
+                "round",
+                "seq",
+                "N",
+                "maxN",
+                "k",
+                "latency (ns)",
+                "total (s)"
             );
             for (rank, c) in exploration.candidates.iter().enumerate() {
                 println!(
-                    "{:<5} {:>11} {:>6} {:>4} {:>4} {:>8} {:>13} {:>12.4}",
+                    "{:<5} {:>11} {:<17.17} {:>6} {:>4} {:>4} {:>4} {:>8} {:>13} {:>12.4}",
                     rank + 1,
                     c.strategy,
+                    c.arch,
                     rounding_label(c.rounding),
                     c.sequencing.to_string(),
                     c.partition_count,
+                    c.max_partitions.map_or("-".to_string(), |n| n.to_string()),
                     c.k,
                     c.latency_ns,
                     c.total_ns as f64 / 1e9,
                 );
             }
+            let cov = exploration.coverage;
+            println!(
+                "coverage: {}/{} specs ranked ({} infeasible, {} invalid, {} fission-skipped), jobs = {}",
+                cov.ranked_specs,
+                cov.specs,
+                cov.skipped_infeasible,
+                cov.skipped_invalid,
+                cov.skipped_fission,
+                space.jobs,
+            );
             let best = exploration.best();
             println!(
-                "best: {} + {} ({} partitions, k = {}) for I = {}",
-                best.strategy, best.sequencing, best.partition_count, best.k, f.inputs
+                "best: {} + {} on {} ({} partitions, k = {}) for I = {}",
+                best.strategy, best.sequencing, best.arch, best.partition_count, best.k, f.inputs
             );
         }
         other => return Err(CliError::Usage(format!("unknown command `{other}`"))),

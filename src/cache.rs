@@ -1,0 +1,267 @@
+//! Content-keyed partition caching.
+//!
+//! Temporal partitioning is the expensive stage of the flow — the exact ILP
+//! re-solves a branch-and-bound model that can dwarf everything around it —
+//! yet [`FlowSession::explore`](crate::flow::FlowSession::explore), the §4
+//! [`DctExperiment`](crate::casestudy::DctExperiment) and the bench harness
+//! all pose *identical* partitioning problems over and over: same graph,
+//! same board, same options. [`PartitionCache`] memoizes those solves under
+//! the whole problem statement
+//! (`graph + architecture + strategy configuration → PartitionedDesign`),
+//! so each distinct problem is solved exactly once per process no matter
+//! how many sessions, explorations or tables ask for it.
+//!
+//! Keys are the *full* rendered problem statement — the stable `Debug`
+//! renderings of the inputs, concatenated with field separators — not a
+//! digest of it: every input type (`TaskGraph`, `Architecture`,
+//! `PartitionOptions`) derives `Debug` over plain data, so equal problems
+//! render equally, any field change (memory mode, solver budget, partition
+//! cap, an edge weight…) changes the key, and *distinct problems can never
+//! alias* — the map hashes internally, so a hash collision degrades to a
+//! bucket probe, never to handing back a design solved for a different
+//! graph. Strategies opt in by implementing
+//! [`PartitionStrategy::config_key`](crate::flow::PartitionStrategy::config_key);
+//! a strategy that cannot describe its configuration stays uncached rather
+//! than risking stale hits.
+//!
+//! The cache is safe to share across threads (exploration workers hit it
+//! concurrently) and stores designs behind [`Arc`], so a hit costs a clone
+//! of the solved design, not a re-solve.
+
+use sparcs_core::PartitionedDesign;
+use std::collections::HashMap;
+use std::fmt::{Debug, Write as _};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A cache key: the full rendered problem statement. Build one with
+/// [`CacheKey::builder`], feeding every input that influences the solve.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey(String);
+
+/// Accumulates the `Debug` renderings of a problem's inputs into a
+/// [`CacheKey`].
+#[derive(Debug, Default)]
+pub struct CacheKeyBuilder {
+    material: String,
+}
+
+impl CacheKey {
+    /// An empty builder.
+    pub fn builder() -> CacheKeyBuilder {
+        CacheKeyBuilder::default()
+    }
+}
+
+impl CacheKeyBuilder {
+    /// Feeds a value through its `Debug` rendering, followed by a field
+    /// separator so adjacent values cannot alias
+    /// (`("ab","c")` ≠ `("a","bc")`).
+    pub fn push(mut self, value: &impl Debug) -> Self {
+        let _ = write!(self.material, "{value:?}");
+        self.material.push('\u{1f}');
+        self
+    }
+
+    /// The finished key.
+    pub fn build(self) -> CacheKey {
+        CacheKey(self.material)
+    }
+}
+
+/// Hit/miss counters of a [`PartitionCache`] (monotonic per cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to solve and insert.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A thread-safe `problem statement → PartitionedDesign` memo table.
+#[derive(Debug, Default)]
+pub struct PartitionCache {
+    map: Mutex<HashMap<CacheKey, Arc<PartitionedDesign>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PartitionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide shared cache. [`crate::flow`] and
+    /// [`crate::casestudy`] route through this instance by default, so the
+    /// CLI, tests and benches all amortize one another's solves.
+    pub fn global() -> &'static PartitionCache {
+        Self::global_cell().get_or_init(|| Arc::new(PartitionCache::new()))
+    }
+
+    /// The global cache as a shareable handle (for
+    /// [`crate::flow::ExploreSpace::cache`]).
+    pub fn global_handle() -> Arc<PartitionCache> {
+        Arc::clone(Self::global_cell().get_or_init(|| Arc::new(PartitionCache::new())))
+    }
+
+    fn global_cell() -> &'static OnceLock<Arc<PartitionCache>> {
+        static GLOBAL: OnceLock<Arc<PartitionCache>> = OnceLock::new();
+        &GLOBAL
+    }
+
+    /// Returns the design under `key`, solving with `solve` and inserting
+    /// on a miss. Errors are returned to the caller and never cached — an
+    /// infeasible candidate re-asks the solver, a solved design never does.
+    ///
+    /// The solver runs *outside* the map lock, so concurrent explorers
+    /// never serialize on one another's solves. Two threads racing on the
+    /// same key may both solve; the first insert wins and both return the
+    /// same cached design, keeping results independent of scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `solve` returns on failure.
+    pub fn get_or_solve<E>(
+        &self,
+        key: CacheKey,
+        solve: impl FnOnce() -> Result<PartitionedDesign, E>,
+    ) -> Result<Arc<PartitionedDesign>, E> {
+        if let Some(hit) = self.lookup(&key) {
+            return Ok(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let design = Arc::new(solve()?);
+        let mut map = self.map.lock().expect("cache lock");
+        Ok(Arc::clone(map.entry(key).or_insert(design)))
+    }
+
+    fn lookup(&self, key: &CacheKey) -> Option<Arc<PartitionedDesign>> {
+        let map = self.map.lock().expect("cache lock");
+        let hit = map.get(key).cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Cached designs.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached design (counters keep running).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcs_core::ilp::SolveStats;
+    use sparcs_core::model::DelayMode;
+    use sparcs_core::partitioning::{PartitionId, Partitioning};
+
+    fn design(latency: u64) -> PartitionedDesign {
+        PartitionedDesign {
+            partitioning: Partitioning::new(vec![PartitionId(0)]),
+            partition_delays_ns: vec![latency],
+            sum_delay_ns: latency,
+            latency_ns: latency,
+            stats: SolveStats {
+                attempted_n: Vec::new(),
+                nodes: 0,
+                proven_optimal: false,
+                delay_mode: DelayMode::PartitionSum,
+            },
+        }
+    }
+
+    fn key(parts: &[&str]) -> CacheKey {
+        let mut b = CacheKey::builder();
+        for p in parts {
+            b = b.push(p);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn keys_separate_adjacent_fields() {
+        assert_ne!(key(&["ab", "c"]), key(&["a", "bc"]));
+        // And equal inputs key equally.
+        assert_eq!(key(&["a", "b"]), key(&["a", "b"]));
+    }
+
+    #[test]
+    fn second_lookup_skips_the_solver() {
+        let cache = PartitionCache::new();
+        let first = cache
+            .get_or_solve::<()>(key(&["p"]), || Ok(design(10)))
+            .expect("solves");
+        let second = cache
+            .get_or_solve::<()>(key(&["p"]), || panic!("must not re-solve"))
+            .expect("hits");
+        assert_eq!(first.latency_ns, second.latency_ns);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.stats().lookups(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_solve_separately() {
+        let cache = PartitionCache::new();
+        let a = cache
+            .get_or_solve::<()>(key(&["a"]), || Ok(design(1)))
+            .unwrap();
+        let b = cache
+            .get_or_solve::<()>(key(&["b"]), || Ok(design(2)))
+            .unwrap();
+        assert_ne!(a.latency_ns, b.latency_ns);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = PartitionCache::new();
+        let err: Result<_, &str> = cache.get_or_solve(key(&["k"]), || Err("infeasible"));
+        assert_eq!(err.unwrap_err(), "infeasible");
+        assert!(cache.is_empty());
+        // The key stays askable and a later success is cached.
+        let ok = cache.get_or_solve::<&str>(key(&["k"]), || Ok(design(3)));
+        assert_eq!(ok.expect("solves now").latency_ns, 3);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = PartitionCache::new();
+        cache
+            .get_or_solve::<()>(key(&["x"]), || Ok(design(5)))
+            .unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

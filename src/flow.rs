@@ -20,9 +20,13 @@
 //!   fission analysis to host-code generation, so a caller can stop at
 //!   whichever stage it needs.
 //! * [`FlowSession::explore`] evaluates a whole candidate space — every
-//!   strategy × block rounding × sequencing choice — against a workload
-//!   and returns the designs ranked by total execution time: the paper's
-//!   Table-1/Table-2 comparison as an API.
+//!   strategy × architecture × partition-cap × block rounding × sequencing
+//!   choice — against a workload and returns the designs ranked by total
+//!   execution time: the paper's Table-1/Table-2 comparison as an API.
+//!   Candidates are independent, so exploration fans them out across a
+//!   scoped thread pool ([`ExploreSpace::jobs`]) and memoizes the expensive
+//!   partitioning solves in a [`PartitionCache`]; the ranking is
+//!   deterministic — identical for any job count, cached or not.
 //!
 //! ```
 //! use sparcs::flow::FlowSession;
@@ -38,6 +42,8 @@
 //! # }
 //! ```
 
+use crate::cache::{CacheKey, PartitionCache};
+use scoped_threadpool::scoped_map;
 use sparcs_core::delay::partition_delays;
 use sparcs_core::fission::{BlockRounding, FissionAnalysis, FissionError};
 use sparcs_core::ilp::SolveStats;
@@ -50,7 +56,9 @@ use sparcs_core::{
 };
 use sparcs_dfg::{parse, GraphError, TaskGraph};
 use sparcs_estimate::Architecture;
+use sparcs_ilp::SolveError;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from any stage of a flow.
 #[derive(Debug)]
@@ -80,6 +88,37 @@ impl fmt::Display for FlowError {
             FlowError::NoFeasibleCandidate => {
                 write!(f, "no partitioning strategy produced a feasible design")
             }
+        }
+    }
+}
+
+impl FlowError {
+    /// Whether this error means *this candidate cannot be realized* (an
+    /// expected exploration outcome — a memory-blind heuristic produced an
+    /// oversized design, no partitioning exists under the cap, a solver
+    /// budget ran out) as opposed to an internal failure (malformed graph,
+    /// broken model, numerical trouble) that indicates a bug and must never
+    /// be silently skipped. [`FlowSession::explore`] skips infeasible
+    /// candidates and propagates everything else.
+    pub fn is_infeasible(&self) -> bool {
+        match self {
+            FlowError::Partition(e) => matches!(
+                e,
+                PartitionError::NoFeasibleSolution { .. }
+                    | PartitionError::TaskTooLarge(_)
+                    | PartitionError::Solver(
+                        SolveError::Infeasible
+                            | SolveError::NodeLimit(_)
+                            | SolveError::SimplexLimit(_)
+                    )
+            ),
+            FlowError::List(ListError::TaskTooLarge(_)) => true,
+            FlowError::Fission(FissionError::MemoryTooSmall { .. }) => true,
+            FlowError::Parse(_)
+            | FlowError::Graph(_)
+            | FlowError::List(ListError::Graph(_))
+            | FlowError::Fission(FissionError::EmptyDesign)
+            | FlowError::NoFeasibleCandidate => false,
         }
     }
 }
@@ -128,8 +167,9 @@ pub struct DesignContext {
 
 /// How a temporal partitioning is produced. Implementations must return a
 /// design whose partitioning respects precedence (every edge runs forward
-/// in time) and per-partition resource bounds.
-pub trait PartitionStrategy {
+/// in time) and per-partition resource bounds. Strategies are shared by
+/// reference across exploration worker threads, hence `Send + Sync`.
+pub trait PartitionStrategy: Send + Sync {
     /// Short stable name (used in reports and exploration tables).
     fn name(&self) -> &'static str;
 
@@ -139,6 +179,20 @@ pub trait PartitionStrategy {
     ///
     /// Strategy-specific; see [`FlowError`].
     fn partition(&self, ctx: &DesignContext) -> Result<PartitionedDesign, FlowError>;
+
+    /// The full rendering of this strategy's *configuration* (not of the
+    /// problem — the graph and architecture are keyed separately).
+    /// Together with [`Self::name`] it forms the strategy part of a
+    /// [`PartitionCache`] key, so two values with equal names and config
+    /// keys must produce identical designs on identical contexts — render
+    /// every field that influences the result (a `Debug` format of the
+    /// options struct is usually exactly right). The default `None` opts
+    /// the strategy out of caching entirely — correct (if slow) for
+    /// strategies that cannot describe their configuration or are not
+    /// deterministic.
+    fn config_key(&self) -> Option<String> {
+        None
+    }
 }
 
 /// The paper's exact ILP temporal partitioner behind the strategy trait.
@@ -169,6 +223,13 @@ impl PartitionStrategy for IlpStrategy {
     fn partition(&self, ctx: &DesignContext) -> Result<PartitionedDesign, FlowError> {
         Ok(IlpPartitioner::new(ctx.arch.clone(), self.options.clone()).partition(&ctx.graph)?)
     }
+
+    fn config_key(&self) -> Option<String> {
+        // `PartitionOptions` is plain data with a stable `Debug` rendering;
+        // any change (memory mode, budgets, symmetry, partition cap, warm
+        // start) changes the key.
+        Some(format!("{:?}", self.options))
+    }
 }
 
 /// The §4 list-scheduling strawman behind the strategy trait. Latency-blind
@@ -191,6 +252,31 @@ impl PartitionStrategy for ListStrategy {
     fn partition(&self, ctx: &DesignContext) -> Result<PartitionedDesign, FlowError> {
         let partitioning = partition_list(&ctx.graph, &ctx.arch)?;
         design_from_partitioning(ctx, partitioning)
+    }
+
+    fn config_key(&self) -> Option<String> {
+        Some(String::new()) // the list heuristic has no configuration
+    }
+}
+
+/// Solves `ctx` with `strategy`, going through `cache` when both a cache is
+/// given and the strategy can render its configuration.
+fn partition_cached(
+    ctx: &DesignContext,
+    strategy: &dyn PartitionStrategy,
+    cache: Option<&PartitionCache>,
+) -> Result<Arc<PartitionedDesign>, FlowError> {
+    match (cache, strategy.config_key()) {
+        (Some(cache), Some(config)) => {
+            let key = CacheKey::builder()
+                .push(&ctx.graph)
+                .push(&ctx.arch)
+                .push(&strategy.name())
+                .push(&config)
+                .build();
+            cache.get_or_solve(key, || strategy.partition(ctx))
+        }
+        _ => Ok(Arc::new(strategy.partition(ctx)?)),
     }
 }
 
@@ -283,57 +369,202 @@ impl FlowSession {
         })
     }
 
-    /// Evaluates the whole candidate space and returns the designs ranked
-    /// by total execution time for the given workload. See
-    /// [`ExploreSpace`].
+    /// Like [`Self::partition_with`], but memoized: the solve is answered
+    /// from `cache` when the same graph + architecture + strategy
+    /// configuration was solved before (in this or any other session
+    /// sharing the cache).
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError::NoFeasibleCandidate`] when no strategy yields a
-    /// feasible design (individual candidate failures are skipped — an
-    /// exploration is exactly the place where a memory-blind heuristic may
-    /// produce an infeasible design).
+    /// See [`FlowError`]. Errors are never cached; a failing problem is
+    /// re-attempted on the next call.
+    pub fn partition_with_cache(
+        &self,
+        strategy: &dyn PartitionStrategy,
+        cache: &PartitionCache,
+    ) -> Result<PartitionedFlow<'_>, FlowError> {
+        let design = partition_cached(&self.ctx, strategy, Some(cache))?;
+        Ok(PartitionedFlow {
+            ctx: &self.ctx,
+            design: (*design).clone(),
+            strategy: strategy.name(),
+        })
+    }
+
+    /// Evaluates the whole candidate space — strategy × architecture ×
+    /// partition cap × rounding × sequencing — and returns the designs
+    /// ranked by total execution time for the given workload. See
+    /// [`ExploreSpace`].
+    ///
+    /// Candidates are independent; with [`ExploreSpace::jobs`] > 1 they are
+    /// evaluated on a scoped thread pool, and with a cache attached
+    /// ([`ExploreSpace::cache`], on by default) identical partitioning
+    /// problems are solved once. Neither changes the result: outcomes are
+    /// collected per candidate slot and ranked by a stable sort, so the
+    /// ranking is identical for every job count and cache state.
+    ///
+    /// # Errors
+    ///
+    /// *Infeasible* candidates (no partitioning under the cap, memory too
+    /// small, solver budget exhausted — see [`FlowError::is_infeasible`])
+    /// are skipped and counted in [`Exploration::coverage`]. *Hard* errors
+    /// (malformed graph, broken model, numerical failure) indicate bugs,
+    /// not infeasibility, and are propagated — the first one in candidate
+    /// order. Returns [`FlowError::NoFeasibleCandidate`] when every
+    /// candidate was skipped.
     pub fn explore(&self, space: &ExploreSpace) -> Result<Exploration, FlowError> {
+        // One immutable context per target board (the session's own when
+        // the space names none); workers share them by reference.
+        let contexts: Vec<DesignContext> = if space.architectures.is_empty() {
+            vec![self.ctx.clone()]
+        } else {
+            space
+                .architectures
+                .iter()
+                .map(|arch| DesignContext {
+                    graph: self.ctx.graph.clone(),
+                    arch: arch.clone(),
+                })
+                .collect()
+        };
         let builtins = space.builtin_strategies();
-        let strategies = builtins
+        let strategies: Vec<(&dyn PartitionStrategy, Option<u32>)> = builtins
             .iter()
-            .map(|b| b.as_ref())
-            .chain(space.extra_strategies.iter().map(|b| b.as_ref()));
+            .map(|(boxed, cap)| (boxed.as_ref(), *cap))
+            .chain(
+                space
+                    .extra_strategies
+                    .iter()
+                    .map(|boxed| (boxed.as_ref(), None)),
+            )
+            .collect();
+        let specs: Vec<(&DesignContext, &dyn PartitionStrategy, Option<u32>)> = contexts
+            .iter()
+            .flat_map(|ctx| strategies.iter().map(move |&(s, cap)| (ctx, s, cap)))
+            .collect();
+
+        // `scoped_map` hands every spec its own result slot, so outcomes
+        // are ordered by spec position, never by thread scheduling.
+        let outcomes = scoped_map(space.jobs, &specs, |&(ctx, strategy, cap)| {
+            evaluate_spec(ctx, strategy, cap, space)
+        });
+
+        let mut coverage = ExploreCoverage {
+            specs: specs.len(),
+            ..ExploreCoverage::default()
+        };
         let mut candidates = Vec::new();
-        for strategy in strategies {
-            let Ok(partitioned) = self.partition_with(strategy) else {
-                continue;
-            };
-            // A strategy may be memory- or precedence-blind; exploration
-            // only ranks designs that validate.
-            if !partitioned.validate(space.memory_mode).is_empty() {
-                continue;
-            }
-            for &rounding in &space.roundings {
-                let Ok(analyzed) = partitioned.clone().analyze_with(rounding) else {
-                    continue;
-                };
-                for &sequencing in &space.sequencings {
-                    let total_ns = analyzed.total_time_ns(sequencing, space.workload);
-                    candidates.push(ExploredCandidate {
-                        strategy: analyzed.strategy,
-                        rounding,
-                        sequencing,
-                        partition_count: analyzed.design.partitioning.partition_count(),
-                        k: analyzed.fission.k,
-                        latency_ns: analyzed.design.latency_ns,
-                        total_ns,
-                        design: analyzed.design.clone(),
-                        fission: analyzed.fission.clone(),
-                    });
-                }
-            }
+        for outcome in outcomes {
+            let outcome = outcome?;
+            coverage.skipped_infeasible += usize::from(outcome.skipped_infeasible);
+            coverage.skipped_invalid += usize::from(outcome.skipped_invalid);
+            coverage.skipped_fission += outcome.skipped_fission;
+            coverage.ranked_specs += usize::from(!outcome.candidates.is_empty());
+            candidates.extend(outcome.candidates);
         }
         if candidates.is_empty() {
             return Err(FlowError::NoFeasibleCandidate);
         }
+        // Stable sort over deterministic input order ⇒ deterministic
+        // ranking, ties resolved by spec position.
         candidates.sort_by_key(|c| (c.total_ns, c.partition_count, c.k));
-        Ok(Exploration { candidates })
+        Ok(Exploration {
+            candidates,
+            coverage,
+        })
+    }
+}
+
+/// What one candidate spec (strategy × architecture × cap) contributed.
+#[derive(Default)]
+struct SpecOutcome {
+    candidates: Vec<ExploredCandidate>,
+    /// The partitioner reported the spec infeasible.
+    skipped_infeasible: bool,
+    /// The partitioning failed architecture validation.
+    skipped_invalid: bool,
+    /// Roundings whose fission analysis found the memory too small.
+    skipped_fission: usize,
+}
+
+/// Evaluates one spec: partition (through the cache), validate, then fan
+/// the rounding × sequencing grid out over the one analyzed design —
+/// everything downstream shares it through [`Arc`] instead of cloning.
+fn evaluate_spec(
+    ctx: &DesignContext,
+    strategy: &dyn PartitionStrategy,
+    max_partitions: Option<u32>,
+    space: &ExploreSpace,
+) -> Result<SpecOutcome, FlowError> {
+    let mut outcome = SpecOutcome::default();
+    let design = match partition_cached(ctx, strategy, space.cache.as_deref()) {
+        Ok(design) => design,
+        Err(e) if e.is_infeasible() => {
+            outcome.skipped_infeasible = true;
+            return Ok(outcome);
+        }
+        Err(e) => return Err(e),
+    };
+    // A strategy may be memory- or precedence-blind; exploration only
+    // ranks designs that validate.
+    if !design
+        .partitioning
+        .validate(&ctx.graph, &ctx.arch, space.memory_mode)
+        .is_empty()
+    {
+        outcome.skipped_invalid = true;
+        return Ok(outcome);
+    }
+    for &rounding in &space.roundings {
+        let fission = match FissionAnalysis::analyze(
+            &ctx.graph,
+            &design.partitioning,
+            &design.partition_delays_ns,
+            &ctx.arch,
+            rounding,
+        ) {
+            Ok(fission) => Arc::new(fission),
+            Err(e) => {
+                let e = FlowError::from(e);
+                if e.is_infeasible() {
+                    outcome.skipped_fission += 1;
+                    continue;
+                }
+                return Err(e);
+            }
+        };
+        for &sequencing in &space.sequencings {
+            let total_ns = candidate_total_ns(&fission, sequencing, space.workload);
+            outcome.candidates.push(ExploredCandidate {
+                strategy: strategy.name(),
+                arch: ctx.arch.name.clone(),
+                max_partitions,
+                rounding,
+                sequencing,
+                partition_count: design.partitioning.partition_count(),
+                k: fission.k,
+                latency_ns: design.latency_ns,
+                total_ns,
+                design: Arc::clone(&design),
+                fission: Arc::clone(&fission),
+            });
+        }
+    }
+    Ok(outcome)
+}
+
+/// Total execution time of a fissioned design for `workload` computations
+/// under a sequencing strategy — IDH uses the overlapped-transfer model, as
+/// the paper's Table 2 does. The single cost model behind both
+/// [`AnalyzedFlow::total_time_ns`] and exploration ranking.
+fn candidate_total_ns(
+    fission: &FissionAnalysis,
+    sequencing: SequencingStrategy,
+    workload: u64,
+) -> u64 {
+    match sequencing {
+        SequencingStrategy::Fdh => fission.total_time_ns(SequencingStrategy::Fdh, workload),
+        SequencingStrategy::Idh => fission.idh_total_time_overlapped_ns(workload),
     }
 }
 
@@ -429,12 +660,7 @@ impl AnalyzedFlow<'_> {
     /// strategy (IDH uses the overlapped-transfer model, as the paper's
     /// Table 2 does).
     pub fn total_time_ns(&self, sequencing: SequencingStrategy, workload: u64) -> u64 {
-        match sequencing {
-            SequencingStrategy::Fdh => self
-                .fission
-                .total_time_ns(SequencingStrategy::Fdh, workload),
-            SequencingStrategy::Idh => self.fission.idh_total_time_overlapped_ns(workload),
-        }
+        candidate_total_ns(&self.fission, sequencing, workload)
     }
 
     /// The cheaper sequencing strategy for `workload` computations, judged
@@ -477,11 +703,29 @@ pub struct ExploreSpace {
     pub extra_strategies: Vec<Box<dyn PartitionStrategy>>,
     /// Partitioner options shared by the built-in ILP candidates.
     pub ilp_options: PartitionOptions,
+    /// Partition-bound caps swept for the built-in ILP candidates: one ILP
+    /// candidate per entry, with `None` meaning "no explicit cap" (the
+    /// [`ExploreSpace::ilp_options`] cap, usually the task count). An empty
+    /// list behaves like `vec![None]`. The cap trades solution quality
+    /// against reconfiguration count — a first-class exploration axis.
+    pub max_partitions: Vec<Option<u32>>,
+    /// Target boards to rank across — one full candidate grid per entry, so
+    /// a single exploration answers "which board wins for this workload"
+    /// (the paper's §4 XC6000 conjecture as an axis). Empty means the
+    /// session's own architecture.
+    pub architectures: Vec<Architecture>,
+    /// Worker threads evaluating candidates (≤ 1 = serial). The ranking is
+    /// identical for every value. Defaults to [`default_explore_jobs`].
+    pub jobs: u32,
+    /// Partition cache consulted per candidate; `None` disables caching.
+    /// Defaults to the process-wide [`PartitionCache::global_handle`].
+    pub cache: Option<Arc<PartitionCache>>,
 }
 
 impl ExploreSpace {
     /// The default space for a workload: ILP and list partitioners, both
-    /// block roundings, both sequencing strategies.
+    /// block roundings, both sequencing strategies, on the session's own
+    /// architecture, cached, with [`default_explore_jobs`] workers.
     pub fn for_workload(workload: u64) -> Self {
         ExploreSpace {
             workload,
@@ -492,22 +736,67 @@ impl ExploreSpace {
             include_list: true,
             extra_strategies: Vec::new(),
             ilp_options: PartitionOptions::default(),
+            max_partitions: vec![None],
+            architectures: Vec::new(),
+            jobs: default_explore_jobs(),
+            cache: Some(PartitionCache::global_handle()),
         }
     }
 
-    /// The built-in strategies this space enables.
-    fn builtin_strategies(&self) -> Vec<Box<dyn PartitionStrategy>> {
-        let mut builtins: Vec<Box<dyn PartitionStrategy>> = Vec::new();
+    /// The widened space the ROADMAP asks for: everything
+    /// [`Self::for_workload`] enables *plus* a partition-cap sweep and the
+    /// three preset boards (XC4044/WildForce, the §4 XC6000 conjecture, a
+    /// time-multiplexed device), ranked in one exploration.
+    pub fn widened(workload: u64) -> Self {
+        ExploreSpace {
+            max_partitions: vec![None, Some(2), Some(4)],
+            architectures: vec![
+                Architecture::xc4044_wildforce(),
+                Architecture::xc6200_fast_reconfig(),
+                Architecture::time_multiplexed(),
+            ],
+            ..Self::for_workload(workload)
+        }
+    }
+
+    /// The built-in strategies this space enables, each with the partition
+    /// cap it reports under.
+    fn builtin_strategies(&self) -> Vec<(Box<dyn PartitionStrategy>, Option<u32>)> {
+        let mut builtins: Vec<(Box<dyn PartitionStrategy>, Option<u32>)> = Vec::new();
         if self.include_ilp {
-            builtins.push(Box::new(IlpStrategy::with_options(
-                self.ilp_options.clone(),
-            )));
+            let caps: &[Option<u32>] = if self.max_partitions.is_empty() {
+                &[None]
+            } else {
+                &self.max_partitions
+            };
+            for &cap in caps {
+                let mut options = self.ilp_options.clone();
+                // Report the *effective* cap (axis value, else the shared
+                // options cap) so candidates never look uncapped when the
+                // solver was in fact bounded.
+                let effective = cap.or(options.max_partitions);
+                options.max_partitions = effective;
+                builtins.push((Box::new(IlpStrategy::with_options(options)), effective));
+            }
         }
         if self.include_list {
-            builtins.push(Box::new(ListStrategy::new()));
+            // The heuristic ignores the cap axis: one candidate.
+            builtins.push((Box::new(ListStrategy::new()), None));
         }
         builtins
     }
+}
+
+/// The default exploration worker count: the `SPARCS_EXPLORE_JOBS`
+/// environment variable when set to a positive integer (the CI matrix uses
+/// this to exercise the parallel path across the whole test suite),
+/// otherwise 1.
+pub fn default_explore_jobs() -> u32 {
+    std::env::var("SPARCS_EXPLORE_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 /// Short stable label for a block rounding (exploration tables).
@@ -523,6 +812,12 @@ pub fn rounding_label(rounding: BlockRounding) -> &'static str {
 pub struct ExploredCandidate {
     /// Partitioning strategy name.
     pub strategy: &'static str,
+    /// Name of the architecture this candidate targets.
+    pub arch: String,
+    /// The effective partition-bound cap this candidate was solved under
+    /// (the sweep-axis value, else the space's shared options cap; `None`
+    /// = genuinely uncapped).
+    pub max_partitions: Option<u32>,
     /// Block rounding used by the fission analysis.
     pub rounding: BlockRounding,
     /// Host sequencing strategy.
@@ -535,10 +830,29 @@ pub struct ExploredCandidate {
     pub latency_ns: u64,
     /// Total execution time for the explored workload in ns.
     pub total_ns: u64,
-    /// The partitioned design.
-    pub design: PartitionedDesign,
-    /// The fission analysis.
-    pub fission: FissionAnalysis,
+    /// The partitioned design (shared with every candidate of its spec).
+    pub design: Arc<PartitionedDesign>,
+    /// The fission analysis (shared with the sequencing siblings).
+    pub fission: Arc<FissionAnalysis>,
+}
+
+/// How much of the candidate space an exploration actually ranked — the
+/// coverage record [`FlowSession::explore`] attaches to its result so a
+/// caller can tell "best of everything" from "best of what survived".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExploreCoverage {
+    /// Partitioning specs attempted (strategy × architecture × cap).
+    pub specs: usize,
+    /// Specs that contributed at least one ranked candidate.
+    pub ranked_specs: usize,
+    /// Specs skipped because the partitioner reported them infeasible.
+    pub skipped_infeasible: usize,
+    /// Specs skipped because the partitioning failed validation against
+    /// the architecture.
+    pub skipped_invalid: usize,
+    /// Per-rounding analyses skipped because the fission analysis found
+    /// the board memory too small.
+    pub skipped_fission: usize,
 }
 
 /// The ranked result of [`FlowSession::explore`].
@@ -546,6 +860,8 @@ pub struct ExploredCandidate {
 pub struct Exploration {
     /// All feasible candidates, best (lowest total time) first.
     pub candidates: Vec<ExploredCandidate>,
+    /// How much of the space was ranked versus skipped.
+    pub coverage: ExploreCoverage,
 }
 
 impl Exploration {
@@ -644,5 +960,156 @@ mod tests {
         let text = parse::to_text(&gen::fig4_example());
         let s = FlowSession::from_text(&text, Architecture::xc4044_wildforce()).unwrap();
         assert_eq!(s.graph().task_count(), gen::fig4_example().task_count());
+    }
+
+    /// The comparable identity of a candidate (everything but the shared
+    /// design/fission payloads).
+    fn ranking(e: &Exploration) -> Vec<(String, String, String, String, u32, u64, u64)> {
+        e.candidates
+            .iter()
+            .map(|c| {
+                (
+                    c.strategy.to_string(),
+                    c.arch.clone(),
+                    format!("{:?}", c.rounding),
+                    c.sequencing.to_string(),
+                    c.partition_count,
+                    c.k,
+                    c.total_ns,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn widened_ranking_is_identical_for_any_jobs_and_cache_state() {
+        let s = session();
+        let space = |jobs: u32, cache: Option<Arc<PartitionCache>>| {
+            let mut space = ExploreSpace::widened(100_000);
+            space.jobs = jobs;
+            space.cache = cache;
+            space
+        };
+        let baseline = s.explore(&space(1, None)).unwrap();
+        assert!(
+            baseline.coverage.specs >= 8,
+            "widened space: ≥2 caps × ≥2 archs × 2 strategies"
+        );
+        let cache = Arc::new(PartitionCache::new());
+        for jobs in [1, 2, 4] {
+            let cached = s.explore(&space(jobs, Some(Arc::clone(&cache)))).unwrap();
+            assert_eq!(ranking(&baseline), ranking(&cached), "jobs = {jobs}");
+            assert_eq!(baseline.coverage, cached.coverage, "jobs = {jobs}");
+        }
+        // The cache answered every repeat solve: distinct problems are
+        // solved once no matter how many explorations asked.
+        let stats = cache.stats();
+        assert_eq!(stats.misses as usize, cache.len());
+        assert!(stats.hits >= 2 * stats.misses, "2 of 3 runs fully cached");
+    }
+
+    #[test]
+    fn infeasible_partition_cap_is_skipped_and_counted() {
+        let s = session();
+        let mut space = ExploreSpace::for_workload(10_000);
+        // fig4's resource lower bound is 2 partitions; a hard cap of 1 is
+        // infeasible and must be counted, not fatal and not silent.
+        space.max_partitions = vec![Some(1), None];
+        let exploration = s.explore(&space).unwrap();
+        assert_eq!(exploration.coverage.skipped_infeasible, 1);
+        assert_eq!(
+            exploration.coverage.ranked_specs,
+            exploration.coverage.specs - 1
+        );
+        assert!(exploration
+            .candidates
+            .iter()
+            .all(|c| c.max_partitions != Some(1)));
+    }
+
+    struct BrokenStrategy;
+    impl PartitionStrategy for BrokenStrategy {
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+        fn partition(&self, _ctx: &DesignContext) -> Result<PartitionedDesign, FlowError> {
+            // A cycle report from a validated DAG can only mean a bug.
+            Err(FlowError::Graph(GraphError::Cycle(sparcs_dfg::TaskId(0))))
+        }
+    }
+
+    #[test]
+    fn hard_errors_propagate_instead_of_being_swallowed() {
+        let s = session();
+        let mut space = ExploreSpace::for_workload(10_000);
+        space.extra_strategies = vec![Box::new(BrokenStrategy)];
+        let err = s.explore(&space).unwrap_err();
+        assert!(matches!(err, FlowError::Graph(GraphError::Cycle(_))));
+        assert!(!err.is_infeasible());
+    }
+
+    /// Piles every task into partition 0 — resource-infeasible on fig4's
+    /// board, so exploration must reject it at validation.
+    struct OnePartitionStrategy;
+    impl PartitionStrategy for OnePartitionStrategy {
+        fn name(&self) -> &'static str {
+            "one-partition"
+        }
+        fn partition(&self, ctx: &DesignContext) -> Result<PartitionedDesign, FlowError> {
+            let n = ctx.graph.task_count();
+            let partitioning =
+                Partitioning::new(vec![sparcs_core::partitioning::PartitionId(0); n]);
+            design_from_partitioning(ctx, partitioning)
+        }
+    }
+
+    #[test]
+    fn invalid_designs_are_counted_not_ranked() {
+        let s = session();
+        let mut space = ExploreSpace::for_workload(10_000);
+        space.include_ilp = false;
+        space.include_list = false;
+        space.extra_strategies = vec![Box::new(OnePartitionStrategy)];
+        let err = s.explore(&space).unwrap_err();
+        assert!(matches!(err, FlowError::NoFeasibleCandidate));
+        // With a feasible sibling the invalid spec is recorded in coverage.
+        let mut space = ExploreSpace::for_workload(10_000);
+        space.include_list = false;
+        space.extra_strategies = vec![Box::new(OnePartitionStrategy)];
+        let exploration = s.explore(&space).unwrap();
+        assert_eq!(exploration.coverage.skipped_invalid, 1);
+        assert!(exploration.candidates.iter().all(|c| c.strategy == "ilp"));
+    }
+
+    #[test]
+    fn partition_with_cache_matches_uncached() {
+        let s = session();
+        let cache = PartitionCache::new();
+        let strategy = IlpStrategy::new();
+        let uncached = s.partition_with(&strategy).unwrap();
+        let first = s.partition_with_cache(&strategy, &cache).unwrap();
+        let second = s.partition_with_cache(&strategy, &cache).unwrap();
+        assert_eq!(
+            uncached.design.partitioning.assignment(),
+            first.design.partitioning.assignment()
+        );
+        assert_eq!(first.design.latency_ns, second.design.latency_ns);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn cache_keys_differ_across_architectures_and_options() {
+        let g = gen::fig4_example();
+        let cache = PartitionCache::new();
+        let strategy = IlpStrategy::new();
+        FlowSession::new(g.clone(), Architecture::xc4044_wildforce())
+            .partition_with_cache(&strategy, &cache)
+            .unwrap();
+        FlowSession::new(g, Architecture::xc6200_fast_reconfig())
+            .partition_with_cache(&strategy, &cache)
+            .unwrap();
+        assert_eq!(cache.len(), 2, "distinct boards, distinct keys");
+        assert_eq!(cache.stats().hits, 0);
     }
 }

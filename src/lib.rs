@@ -48,5 +48,6 @@ pub use sparcs_ilp as ilp;
 pub use sparcs_jpeg as jpeg;
 pub use sparcs_rtr as rtr;
 
+pub mod cache;
 pub mod casestudy;
 pub mod flow;

@@ -93,6 +93,62 @@ fn example_output_feeds_back_through_partition_and_explore() {
 }
 
 #[test]
+fn explore_widens_across_jobs_caps_and_boards() {
+    let text = stdout(&sparcs(&["example"]));
+    let path = temp_graph("widened", &text);
+    let file = path.to_str().unwrap();
+
+    let widened = sparcs(&[
+        "explore",
+        file,
+        "--inputs",
+        "100000",
+        "--jobs",
+        "2",
+        "--max-partitions",
+        "2,4",
+        "--arch",
+        "xc4044",
+        "--arch",
+        "xc6200",
+    ]);
+    assert!(widened.status.success(), "{}", stderr(&widened));
+    let table = stdout(&widened);
+    assert!(table.contains("XC4044/WildForce"), "{table}");
+    assert!(table.contains("XC6000"), "both boards ranked: {table}");
+    assert!(table.contains("coverage:"), "{table}");
+    assert!(table.contains("jobs = 2"), "{table}");
+
+    // A cap below the resource lower bound is reported as skipped
+    // coverage, not silently raised and not fatal.
+    let capped = sparcs(&["explore", file, "--max-partitions", "1,4"]);
+    let _ = std::fs::remove_file(&path);
+    assert!(capped.status.success(), "{}", stderr(&capped));
+    let table = stdout(&capped);
+    assert!(table.contains("1 infeasible"), "{table}");
+
+    // Identical rankings regardless of --jobs (determinism guarantee).
+    let strip = |out: &str| {
+        out.lines()
+            .skip_while(|l| !l.starts_with("rank"))
+            .take_while(|l| !l.starts_with("coverage"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let path = temp_graph("jobs", &text);
+    let file = path.to_str().unwrap();
+    let serial = sparcs(&[
+        "explore", file, "--jobs", "1", "--arch", "xc4044", "--arch", "tm",
+    ]);
+    let parallel = sparcs(&[
+        "explore", file, "--jobs", "4", "--arch", "xc4044", "--arch", "tm",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(serial.status.success() && parallel.status.success());
+    assert_eq!(strip(&stdout(&serial)), strip(&stdout(&parallel)));
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = sparcs(&["frobnicate"]);
     assert!(!out.status.success(), "unknown subcommand exits non-zero");
@@ -133,6 +189,9 @@ fn bad_flag_values_fail_with_usage() {
         ["partition", "--clbs", "banana"].as_slice(),
         ["codegen", "--strategy", "sideways"].as_slice(),
         ["partition", "--partitioner", "quantum"].as_slice(),
+        ["explore", "--arch", "virtex9000"].as_slice(),
+        ["explore", "--jobs", "0"].as_slice(),
+        ["explore", "--max-partitions", "2,zero"].as_slice(),
     ] {
         let out = sparcs(args);
         assert!(!out.status.success(), "{args:?} exits non-zero");

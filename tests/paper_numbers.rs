@@ -91,6 +91,32 @@ fn fdh_never_improves_idh_wins_at_scale() {
     );
 }
 
+/// The §4 FDH/IDH break-even, re-derived with the corrected overlapped
+/// transfer model (boundary half-transfers exposed once, not double
+/// counted). On the XC4044 design every batch is compute-bound, so
+///
+/// ```text
+/// IDH(B batches) = 3·CT + Σ_i 2·H_i + B·Σ_i C_i
+/// FDH(B batches) = B·3·CT + B·Σ_i C_i        (at I = B·k exactly)
+/// FDH − IDH      = (B − 1)·3·CT − Σ_i 2·H_i
+/// ```
+///
+/// with `Σ_i 2·H_i = 2·2048·25·(32+16+16) = 6_553_600 ns`: FDH wins a
+/// single batch by exactly the exposed boundary transfers, and IDH wins
+/// from the second batch on — the break-even sits at `I = k = 2048`.
+#[test]
+fn idh_fdh_break_even_with_fixed_transfer_model() {
+    use sparcs::core::SequencingStrategy;
+    let f = &exp().fission;
+    let fdh = |i: u64| f.total_time_ns(SequencingStrategy::Fdh, i);
+    let idh = |i: u64| f.idh_total_time_overlapped_ns(i);
+    // One batch: FDH cheaper by exactly Σ 2·H_i.
+    assert_eq!(fdh(2_048) + 6_553_600, idh(2_048));
+    // A second batch brings another 3·CT of FDH reconfiguration: IDH wins.
+    assert!(idh(2_049) < fdh(2_049));
+    assert!(idh(245_760) < fdh(245_760));
+}
+
 #[test]
 fn partitioning_is_proven_optimal_and_feasible() {
     assert!(exp().design.stats.proven_optimal);

@@ -9,7 +9,7 @@ use sparcs::core::{IlpPartitioner, PartitionOptions};
 use sparcs::dfg::gen::{layered, LayeredConfig};
 use sparcs::dfg::{paths, Resources};
 use sparcs::estimate::Architecture;
-use sparcs::rtr::{run_fdh, run_idh, Configuration, RtrDesign};
+use sparcs::rtr::{run_fdh, run_idh, run_static, Configuration, RtrDesign, StaticDesign};
 
 fn small_graph_strategy() -> impl Strategy<Value = sparcs::dfg::TaskGraph> {
     (0u64..1_000, 2u32..4, 2u32..4).prop_map(|(seed, layers, width)| {
@@ -110,8 +110,8 @@ proptest! {
         }
     }
 
-    /// FDH and IDH sequencers agree with each other and with the functional
-    /// reference on random linear pipelines.
+    /// FDH, IDH and the static sequencer produce identical output vectors
+    /// on random feasible designs — only the timing models may differ.
     #[test]
     fn sequencers_agree_on_random_pipelines(
         seed in 0u64..500,
@@ -141,6 +141,18 @@ proptest! {
         let (o_fdh, t_fdh) = run_fdh(&dev, &design, &inputs).expect("fdh runs");
         let (o_idh, t_idh) = run_idh(&dev, &design, &inputs).expect("idh runs");
         prop_assert_eq!(&o_fdh, &o_idh);
+        // The static single-configuration equivalent: the whole pipeline as
+        // one kernel, same per-computation interface.
+        let pipeline = design.clone();
+        let monolith = StaticDesign::new(
+            design.delay_per_computation_ns(),
+            words,
+            design.output_words(),
+            move |x: &[i32]| pipeline.compute_one(x),
+        );
+        let (o_static, t_static) = run_static(&dev, &monolith, &inputs).expect("static runs");
+        prop_assert_eq!(&o_fdh, &o_static);
+        prop_assert_eq!(t_static.reconfigurations, 1);
         // Functional reference, computation by computation.
         for ci in 0..comps {
             let s = ci * words as usize;

@@ -1,0 +1,266 @@
+//! Offline stand-in for the `scoped_threadpool` crate.
+//!
+//! Provides the `Pool::new(n)` / `pool.scoped(|scope| scope.execute(job))`
+//! surface the workspace uses to fan independent work items (exploration
+//! candidates, allocation estimates) across OS threads while borrowing
+//! stack data.
+//!
+//! ## Substitutions
+//!
+//! The real crate keeps `n` worker threads alive between `scoped` calls and
+//! starts jobs the moment `execute` is called. This stand-in instead
+//! *collects* jobs while the scheduler closure runs and executes them on
+//! `std::thread::scope` workers when it returns — a deferred fork-join. For
+//! the fork-join pattern every consumer here follows (enqueue everything,
+//! then wait), the two are observably equivalent: jobs run concurrently on
+//! at most `n` threads, pulled from a shared queue (dynamic load
+//! balancing), and `scoped` returns only after every job finished. Building
+//! on `std::thread::scope` keeps the crate free of `unsafe` (the real crate
+//! erases job lifetimes by hand) and inherits its panic behaviour: a
+//! panicking job stops further queued jobs from starting (jobs already
+//! running on other workers finish) and re-panics in the caller.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A scoped work pool: at most `n` jobs run concurrently.
+#[derive(Debug)]
+pub struct Pool {
+    threads: u32,
+}
+
+impl Pool {
+    /// Creates a pool that runs jobs on up to `threads` OS threads. A
+    /// thread count of zero is treated as one (run everything serially).
+    pub fn new(threads: u32) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured thread count.
+    pub fn thread_count(&self) -> u32 {
+        self.threads
+    }
+
+    /// Runs a scheduler closure that may [`Scope::execute`] jobs borrowing
+    /// data outside the pool, then executes every collected job and returns
+    /// the scheduler's result once all of them finished.
+    ///
+    /// # Panics
+    ///
+    /// Re-panics in the caller if any job panicked. Queued jobs that have
+    /// not started by then are abandoned; jobs already running on other
+    /// workers finish first.
+    pub fn scoped<'scope, F, R>(&mut self, scheduler: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R,
+    {
+        let scope = Scope {
+            jobs: Mutex::new(VecDeque::new()),
+        };
+        let result = scheduler(&scope);
+        let jobs = scope.jobs.into_inner().expect("no job enqueue panicked");
+        run_jobs(self.threads, jobs);
+        result
+    }
+}
+
+/// Handed to the scheduler closure to enqueue jobs.
+pub struct Scope<'scope> {
+    jobs: Mutex<VecDeque<Job<'scope>>>,
+}
+
+type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+impl<'scope> Scope<'scope> {
+    /// Enqueues a job; it starts once the scheduler closure returns.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.jobs
+            .lock()
+            .expect("no job enqueue panicked")
+            .push_back(Box::new(job));
+    }
+}
+
+/// Extension beyond the real crate's surface: the indexed fork-join map
+/// every parallel loop in this workspace needs. Applies `f` to each item
+/// on up to `threads` workers and returns the results *in item order* —
+/// each job writes a disjoint slot, so the output is deterministic for
+/// every thread count. `threads <= 1` (or a single item) runs inline.
+pub fn scoped_map<I, T, F>(threads: u32, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let mut slots: Vec<Option<T>> = items.iter().map(|_| None).collect();
+    if threads <= 1 || items.len() <= 1 {
+        for (slot, item) in slots.iter_mut().zip(items) {
+            *slot = Some(f(item));
+        }
+    } else {
+        let f = &f;
+        Pool::new(threads).scoped(|scope| {
+            for (slot, item) in slots.iter_mut().zip(items) {
+                scope.execute(move || *slot = Some(f(item)));
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot is filled"))
+        .collect()
+}
+
+fn run_jobs(threads: u32, jobs: VecDeque<Job<'_>>) {
+    if jobs.is_empty() {
+        return;
+    }
+    // Nothing to coordinate with one worker (or one job): run inline.
+    let workers = (threads as usize).min(jobs.len());
+    if workers == 1 {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+    let queue = Mutex::new(jobs);
+    let abort = AtomicBool::new(false);
+    // Raises `abort` if dropped while its job is unwinding, so a panic
+    // stops the other workers from *starting* further jobs (in-flight
+    // jobs still finish; `thread::scope` then re-panics on join).
+    struct AbortOnPanic<'a>(&'a AtomicBool);
+    impl Drop for AbortOnPanic<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                // The lock is held only to pop, never while running a job;
+                // the `else` arm is pure defensiveness against poisoning.
+                let Ok(mut guard) = queue.lock() else { break };
+                let Some(job) = guard.pop_front() else { break };
+                drop(guard);
+                let sentinel = AbortOnPanic(&abort);
+                job();
+                drop(sentinel);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_and_returns_scheduler_result() {
+        let counter = AtomicUsize::new(0);
+        let r = Pool::new(4).scoped(|scope| {
+            for _ in 0..100 {
+                scope.execute(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            "done"
+        });
+        assert_eq!(r, "done");
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn jobs_can_write_disjoint_borrowed_slots() {
+        let mut results = vec![0u64; 32];
+        Pool::new(3).scoped(|scope| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                scope.execute(move || *slot = (i as u64) * 2);
+            }
+        });
+        for (i, &v) in results.iter().enumerate() {
+            assert_eq!(v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn zero_threads_still_runs() {
+        let done = AtomicUsize::new(0);
+        Pool::new(0).scoped(|scope| {
+            scope.execute(|| {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_scope_is_fine() {
+        let r = Pool::new(8).scoped(|_| 7);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn scoped_map_is_ordered_for_any_thread_count() {
+        let items: Vec<u64> = (0..40).collect();
+        let expect: Vec<u64> = items.iter().map(|i| i * i).collect();
+        for threads in [0, 1, 2, 8] {
+            assert_eq!(scoped_map(threads, &items, |&i| i * i), expect);
+        }
+        assert!(scoped_map(4, &[] as &[u64], |&i| i).is_empty());
+    }
+
+    #[test]
+    fn job_panic_propagates() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Pool::new(2).scoped(|scope| {
+                for i in 0..8 {
+                    scope.execute(move || {
+                        if i == 3 {
+                            panic!("job 3 failed");
+                        }
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "a panicking job re-panics in the caller");
+    }
+
+    #[test]
+    fn job_panic_stops_unstarted_jobs() {
+        let executed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Pool::new(2).scoped(|scope| {
+                // Job 0 panics immediately; the 49 others each sleep long
+                // enough that the abort flag is seen well before the queue
+                // could drain.
+                scope.execute(|| panic!("first job fails"));
+                for _ in 0..49 {
+                    scope.execute(|| {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        executed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert!(
+            executed.load(Ordering::Relaxed) < 49,
+            "queued jobs after a panic are abandoned, not all executed"
+        );
+    }
+}
