@@ -55,16 +55,46 @@ pub fn boundary_words(g: &TaskGraph, part: &Partitioning, mode: MemoryMode) -> V
     out
 }
 
-/// The paper's per-partition intermediate memory `m_i_temp`: for each
-/// partition, words read in (environment inputs consumed there plus
-/// values crossing in from earlier partitions) plus words written out
-/// (values crossing to later partitions plus environment outputs).
-///
-/// For the DCT case study this reproduces the paper's `(32, 16, 16)`.
-pub fn per_partition_words(g: &TaskGraph, part: &Partitioning) -> Vec<u64> {
+/// One partition's per-computation word traffic, split by direction and
+/// origin. `env_in + cross_in + cross_out + env_out` is the paper's
+/// `m_i_temp` ([`per_partition_words`]); the directional split is what an
+/// executable host interface needs (how many words the host stages in, how
+/// many it reads back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartitionIo {
+    /// Environment-input words consumed by this partition.
+    pub env_in: u64,
+    /// Words crossing in from other partitions.
+    pub cross_in: u64,
+    /// Words this partition produces for other partitions.
+    pub cross_out: u64,
+    /// Environment-output words this partition produces.
+    pub env_out: u64,
+}
+
+impl PartitionIo {
+    /// Words the host stages into this partition per computation.
+    pub fn input_words(&self) -> u64 {
+        self.env_in + self.cross_in
+    }
+
+    /// Words this partition writes back per computation.
+    pub fn output_words(&self) -> u64 {
+        self.cross_out + self.env_out
+    }
+
+    /// The paper's `m_i_temp` contribution: everything moved.
+    pub fn total_words(&self) -> u64 {
+        self.input_words() + self.output_words()
+    }
+}
+
+/// Per-partition word traffic split by direction and origin — the
+/// directional refinement of [`per_partition_words`] (which sums each
+/// entry's four fields).
+pub fn partition_io(g: &TaskGraph, part: &Partitioning) -> Vec<PartitionIo> {
     let n = part.partition_count() as usize;
-    let mut input = vec![0u64; n];
-    let mut output = vec![0u64; n];
+    let mut io = vec![PartitionIo::default(); n];
 
     // Environment inputs: counted in every partition that consumes the port.
     for (_, port) in g.env_inputs() {
@@ -72,7 +102,7 @@ pub fn per_partition_words(g: &TaskGraph, part: &Partitioning) -> Vec<u64> {
         parts.sort_unstable();
         parts.dedup();
         for p in parts {
-            input[p as usize] += port.words;
+            io[p as usize].env_in += port.words;
         }
     }
     // Environment outputs: counted in every partition that produces the port.
@@ -81,7 +111,7 @@ pub fn per_partition_words(g: &TaskGraph, part: &Partitioning) -> Vec<u64> {
         parts.sort_unstable();
         parts.dedup();
         for p in parts {
-            output[p as usize] += port.words;
+            io[p as usize].env_out += port.words;
         }
     }
     // Inter-task values (net semantics: one stored copy per producer). A
@@ -101,13 +131,26 @@ pub fn per_partition_words(g: &TaskGraph, part: &Partitioning) -> Vec<u64> {
             }
         }
         if !words_into.is_empty() {
-            output[ps] += task.output_words;
+            io[ps].cross_out += task.output_words;
             for (p, w) in words_into {
-                input[p as usize] += w.min(task.output_words);
+                io[p as usize].cross_in += w.min(task.output_words);
             }
         }
     }
-    (0..n).map(|i| input[i] + output[i]).collect()
+    io
+}
+
+/// The paper's per-partition intermediate memory `m_i_temp`: for each
+/// partition, words read in (environment inputs consumed there plus
+/// values crossing in from earlier partitions) plus words written out
+/// (values crossing to later partitions plus environment outputs).
+///
+/// For the DCT case study this reproduces the paper's `(32, 16, 16)`.
+pub fn per_partition_words(g: &TaskGraph, part: &Partitioning) -> Vec<u64> {
+    partition_io(g, part)
+        .iter()
+        .map(PartitionIo::total_words)
+        .collect()
 }
 
 /// Maximum words live *during* each partition's execution, tracking full
@@ -220,6 +263,36 @@ mod tests {
         let g = fanout_graph();
         let p = Partitioning::new(vec![PartitionId(0); 3]);
         assert!(boundary_words(&g, &p, MemoryMode::Net).is_empty());
+    }
+
+    #[test]
+    fn partition_io_splits_directions_and_sums_to_m_temp() {
+        let g = fanout_graph();
+        let p = Partitioning::new(vec![PartitionId(0), PartitionId(1), PartitionId(1)]);
+        let io = partition_io(&g, &p);
+        // P1: env in 4, crossing out 4; P2: crossing in 4, env out 1+1.
+        assert_eq!(
+            io,
+            vec![
+                PartitionIo {
+                    env_in: 4,
+                    cross_in: 0,
+                    cross_out: 4,
+                    env_out: 0
+                },
+                PartitionIo {
+                    env_in: 0,
+                    cross_in: 4,
+                    cross_out: 0,
+                    env_out: 2
+                },
+            ]
+        );
+        assert_eq!(
+            io.iter().map(PartitionIo::total_words).collect::<Vec<_>>(),
+            per_partition_words(&g, &p)
+        );
+        assert_eq!((io[0].input_words(), io[0].output_words()), (4, 4));
     }
 
     #[test]

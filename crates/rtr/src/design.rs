@@ -246,6 +246,20 @@ impl RtrDesign {
             .map(|&i| history[i as usize])
             .collect()
     }
+
+    /// Collapses the pipeline into its single-configuration equivalent:
+    /// one kernel computing the whole design per computation, with the
+    /// summed per-partition delay — the baseline row of every paper table.
+    /// (Kernels are shared via `Arc`, so the embedded clone is cheap.)
+    pub fn to_static(&self) -> StaticDesign {
+        let pipeline = self.clone();
+        StaticDesign::new(
+            self.delay_per_computation_ns(),
+            self.primary_input_words,
+            self.output_words(),
+            move |x| pipeline.compute_one(x),
+        )
+    }
 }
 
 /// The static (single-configuration) baseline design.
@@ -350,6 +364,15 @@ mod tests {
     #[should_panic(expected = "at least one configuration")]
     fn empty_design_panics() {
         let _ = RtrDesign::linear(vec![], 4);
+    }
+
+    #[test]
+    fn to_static_collapses_the_pipeline() {
+        let design = RtrDesign::linear(vec![double_kernel(2), double_kernel(2)], 4);
+        let stat = design.to_static();
+        assert_eq!(stat.delay_per_computation_ns, 200);
+        assert_eq!((stat.input_words, stat.output_words), (2, 2));
+        assert_eq!((stat.kernel)(&[1, 5]), design.compute_one(&[1, 5]));
     }
 
     #[test]

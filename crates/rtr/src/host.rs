@@ -7,30 +7,57 @@
 //! granularity of the paper's "Load block j / Read block j" listings and of
 //! its IDH overhead formula `2·k·I_sw·D_m·m_i`.
 //!
-//! Timing conventions (see EXPERIMENTS.md for the calibration discussion):
+//! ## The streaming drivers
 //!
-//! * **Static**: one configuration load, then per computation
+//! Execution is a *batch-pull* loop: a [`Sequencer`] pulls one batch of
+//! `k` computations' input words from an [`InputSource`], stages it through
+//! the board memory, runs every slot's kernel, and pushes the batch's real
+//! outputs into an [`OutputSink`] before touching the next batch. Host
+//! buffers are therefore bounded by the batch geometry (`k · block_words`
+//! per partition, plus the per-slot value histories whose length is fixed
+//! by the design) — never by the workload size `I`, so a synthetic
+//! multi-gigabyte stream runs at constant memory. The [`TimeReport`]
+//! accumulates incrementally alongside the data.
+//!
+//! The classic slice-in/vector-out entry points ([`run_static`],
+//! [`run_fdh`], [`run_idh`]) are thin wrappers over these drivers
+//! ([`SliceSource`] in, [`VecSink`] out) and report bit-identical outputs
+//! and timings.
+//!
+//! ## Timing conventions
+//!
+//! (See EXPERIMENTS.md for the calibration discussion.)
+//!
+//! * **Static**: one configuration load, then per pulled computation
 //!   `max(delay, duplex transfer)` — input/output streaming is double
 //!   buffered behind computation, with one exposed prologue/epilogue.
-//! * **FDH**: fully serialized — the reconfiguration cascade dominates by
-//!   orders of magnitude, so overlap would change nothing visible.
+//! * **FDH**: fully serialized — per pulled batch the driver charges the
+//!   batch input load, the full reconfiguration cascade, the kernels, and
+//!   the batch output read; the cascade dominates by orders of magnitude,
+//!   so overlap would change nothing visible.
 //! * **IDH**: double buffered per batch: each batch costs
 //!   `max(k·d_i, in-flight traffic)`, where the in-flight traffic is the
 //!   next batch's input load plus the previous batch's output read (so the
 //!   first and last batch overlap only one half-transfer, and a single
 //!   batch overlaps none); one half-transfer prologue and epilogue per
 //!   partition is exposed. This matches the loop-fission analysis'
-//!   `idh_total_time_overlapped_ns` exactly.
+//!   `idh_total_time_overlapped_ns` exactly. The *timing* walks
+//!   configurations in the paper's order (each loaded once, all batches
+//!   streamed through it); the *data* loop is batch-major so no
+//!   whole-workload intermediate store is ever held — per-slot computations
+//!   are independent, so the outputs and the accumulated report are
+//!   identical either way.
 //!
 //! Every run processes whole batches of `k` computations — the synthesized
 //! datapath always iterates `k` times, and when the real input count `I` is
 //! not a multiple of `k` the tail slots compute garbage that the host simply
-//! does not read back (*"only the first I computations from the output will
-//! have to be picked up"*).
+//! does not push downstream (*"only the first I computations from the output
+//! will have to be picked up"*).
 
 use crate::board::{BoardError, MemoryBank};
 use crate::design::{Configuration, RtrDesign, StaticDesign};
 use crate::report::TimeReport;
+use crate::stream::{InputSource, OutputSink, SliceSource, VecSink};
 use sparcs_estimate::Architecture;
 use std::fmt;
 
@@ -70,7 +97,14 @@ impl fmt::Display for HostError {
     }
 }
 
-impl std::error::Error for HostError {}
+impl std::error::Error for HostError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HostError::Board(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<BoardError> for HostError {
     fn from(e: BoardError) -> Self {
@@ -78,66 +112,194 @@ impl From<BoardError> for HostError {
     }
 }
 
-/// Runs the static baseline over `inputs` (flattened computations of
-/// `design.input_words` each), returning the outputs and the time report.
-///
-/// # Errors
-///
-/// See [`HostError`].
-pub fn run_static(
-    arch: &Architecture,
-    design: &StaticDesign,
-    inputs: &[i32],
-) -> Result<(Vec<i32>, TimeReport), HostError> {
-    let in_w = design.input_words;
-    if in_w == 0 || !(inputs.len() as u64).is_multiple_of(in_w) {
+/// A timed host-execution driver: pulls whole batches from an
+/// [`InputSource`], runs them through the simulated board, and pushes the
+/// results into an [`OutputSink`] — constant host memory in the workload
+/// size. Implemented by [`StaticSequencer`], [`FdhSequencer`] and
+/// [`IdhSequencer`].
+pub trait Sequencer {
+    /// Short name for reports ("static", "FDH", "IDH").
+    fn name(&self) -> &'static str;
+
+    /// Input words pulled per computation.
+    fn input_words(&self) -> u64;
+
+    /// Output words pushed per computation.
+    fn output_words(&self) -> u64;
+
+    /// Streams the whole source through the board into the sink, returning
+    /// the incremental time report.
+    ///
+    /// # Errors
+    ///
+    /// See [`HostError`].
+    fn run(
+        &self,
+        source: &mut dyn InputSource,
+        sink: &mut dyn OutputSink,
+    ) -> Result<TimeReport, HostError>;
+
+    /// Convenience: runs a materialized slice and collects the outputs —
+    /// the classic `run_*` signature, as a provided method over the
+    /// streaming driver.
+    ///
+    /// # Errors
+    ///
+    /// See [`HostError`].
+    fn run_slice(&self, inputs: &[i32]) -> Result<(Vec<i32>, TimeReport), HostError> {
+        let mut source = SliceSource::new(inputs);
+        let mut sink = VecSink::new();
+        let report = self.run(&mut source, &mut sink)?;
+        Ok((sink.into_vec(), report))
+    }
+}
+
+/// Validates the per-computation input width against the source length and
+/// returns the computation count.
+fn computation_count(in_w: u64, source: &dyn InputSource) -> Result<u64, HostError> {
+    let len = source.len_words();
+    if in_w == 0 || !len.is_multiple_of(in_w) {
         return Err(HostError::InputShape {
             expected_multiple: in_w.max(1),
         });
     }
-    if in_w + design.output_words > arch.memory_words {
-        return Err(HostError::MemoryBudget {
-            needed: in_w + design.output_words,
-            available: arch.memory_words,
-        });
-    }
-    let computations = inputs.len() as u64 / in_w;
-    let mut bank = MemoryBank::new(in_w + design.output_words);
-    let mut report = TimeReport {
-        reconfig_ns: u128::from(arch.reconfig_time_ns),
-        reconfigurations: 1,
-        computations,
-        ..TimeReport::default()
-    };
-    let duplex_words = in_w + design.output_words;
-    let transfer_ns = u128::from(arch.transfer_ns_per_word) * u128::from(duplex_words);
-    let delay = u128::from(design.delay_per_computation_ns);
-    let mut exposed = u128::from(arch.transfer_ns_per_word) * u128::from(in_w); // prologue
-    let mut outputs = Vec::with_capacity((computations * design.output_words) as usize);
-    for c in 0..computations {
-        let start = (c * in_w) as usize;
-        bank.write(0, &inputs[start..start + in_w as usize])?;
-        let out = (design.kernel)(bank.read(0, in_w)?);
-        debug_assert_eq!(out.len() as u64, design.output_words);
-        bank.write(in_w, &out)?;
-        outputs.extend_from_slice(bank.read(in_w, design.output_words)?);
-        // Double-buffered: streaming hides behind computation.
-        exposed += transfer_ns.saturating_sub(delay);
-        report.compute_ns += delay;
-        report.words_transferred += duplex_words;
-    }
-    exposed += u128::from(arch.transfer_ns_per_word) * u128::from(design.output_words); // epilogue
-    report.exposed_transfer_ns = exposed;
-    report.total_ns = report.reconfig_ns + report.compute_ns + report.exposed_transfer_ns;
-    Ok((outputs, report))
+    Ok(len / in_w)
 }
 
-/// Validates shared preconditions and pads the inputs out to whole batches.
-fn prepare(
+/// The static (single-configuration) baseline behind the [`Sequencer`] API.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticSequencer<'a> {
+    arch: &'a Architecture,
+    design: &'a StaticDesign,
+}
+
+impl<'a> StaticSequencer<'a> {
+    /// A driver for `design` on `arch`.
+    pub fn new(arch: &'a Architecture, design: &'a StaticDesign) -> Self {
+        StaticSequencer { arch, design }
+    }
+}
+
+impl Sequencer for StaticSequencer<'_> {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn input_words(&self) -> u64 {
+        self.design.input_words
+    }
+
+    fn output_words(&self) -> u64 {
+        self.design.output_words
+    }
+
+    fn run(
+        &self,
+        source: &mut dyn InputSource,
+        sink: &mut dyn OutputSink,
+    ) -> Result<TimeReport, HostError> {
+        let (arch, design) = (self.arch, self.design);
+        let in_w = design.input_words;
+        let computations = computation_count(in_w, source)?;
+        if in_w + design.output_words > arch.memory_words {
+            return Err(HostError::MemoryBudget {
+                needed: in_w + design.output_words,
+                available: arch.memory_words,
+            });
+        }
+        let mut bank = MemoryBank::new(in_w + design.output_words);
+        let mut report = TimeReport {
+            reconfig_ns: u128::from(arch.reconfig_time_ns),
+            reconfigurations: 1,
+            computations,
+            ..TimeReport::default()
+        };
+        let duplex_words = in_w + design.output_words;
+        let transfer_ns = u128::from(arch.transfer_ns_per_word) * u128::from(duplex_words);
+        let delay = u128::from(design.delay_per_computation_ns);
+        let mut exposed = u128::from(arch.transfer_ns_per_word) * u128::from(in_w); // prologue
+        let mut buf = vec![0i32; in_w as usize];
+        for _ in 0..computations {
+            source.read(&mut buf);
+            bank.write(0, &buf)?;
+            let out = (design.kernel)(bank.read(0, in_w)?);
+            debug_assert_eq!(out.len() as u64, design.output_words);
+            bank.write(in_w, &out)?;
+            sink.write(bank.read(in_w, design.output_words)?);
+            // Double-buffered: streaming hides behind computation.
+            exposed += transfer_ns.saturating_sub(delay);
+            report.compute_ns += delay;
+            report.words_transferred += duplex_words;
+        }
+        exposed += u128::from(arch.transfer_ns_per_word) * u128::from(design.output_words); // epilogue
+        report.exposed_transfer_ns = exposed;
+        report.total_ns = report.reconfig_ns + report.compute_ns + report.exposed_transfer_ns;
+        Ok(report)
+    }
+}
+
+/// Reusable per-batch state for the RTR drivers: the staged input buffer,
+/// the `k` per-slot value histories, and the output scratch — all bounded
+/// by the design geometry, never by the workload.
+struct BatchBuffers {
+    /// Staged input words for one batch (`k · in_w`).
+    input: Vec<i32>,
+    /// Per-slot value histories (primary inputs + every stage's outputs).
+    histories: Vec<Vec<i32>>,
+    /// One batch's selected output words.
+    output: Vec<i32>,
+}
+
+impl BatchBuffers {
+    fn new(design: &RtrDesign) -> Self {
+        let k = design.k as usize;
+        let history_len = design.primary_input_words as usize
+            + design
+                .configurations
+                .iter()
+                .map(|c| c.output_words as usize)
+                .sum::<usize>();
+        BatchBuffers {
+            input: vec![0; k * design.primary_input_words as usize],
+            histories: (0..k).map(|_| Vec::with_capacity(history_len)).collect(),
+            output: Vec::with_capacity(k * design.output_selector.len()),
+        }
+    }
+
+    /// Pulls the next `real` computations from `source` into the staged
+    /// buffer (zero-padding the garbage tail slots) and resets every slot's
+    /// history to its primary input words.
+    fn stage(&mut self, design: &RtrDesign, source: &mut dyn InputSource, real: u64) {
+        let in_w = design.primary_input_words as usize;
+        let real_words = real as usize * in_w;
+        source.read(&mut self.input[..real_words]);
+        self.input[real_words..].fill(0);
+        for (slot, hist) in self.histories.iter_mut().enumerate() {
+            hist.clear();
+            hist.extend_from_slice(&self.input[slot * in_w..(slot + 1) * in_w]);
+        }
+    }
+
+    /// Pushes the first `real` slots' selected outputs into `sink`.
+    fn drain(&mut self, design: &RtrDesign, sink: &mut dyn OutputSink, real: u64) {
+        self.output.clear();
+        for hist in &self.histories[..real as usize] {
+            self.output
+                .extend(design.output_selector.iter().map(|&i| hist[i as usize]));
+        }
+        sink.write(&self.output);
+    }
+}
+
+/// Validates the memory budget and source shape shared by the RTR drivers,
+/// returning `(computations, batches)`. A zero-computation stream still
+/// occupies one (all-padding) batch — the hardware loop always runs `k`
+/// slots.
+fn rtr_shape(
     arch: &Architecture,
     design: &RtrDesign,
-    inputs: &[i32],
-) -> Result<(u64, u64, Vec<i32>), HostError> {
+    source: &dyn InputSource,
+) -> Result<(u64, u64), HostError> {
     let needed = design.k * design.max_block_words();
     if needed > arch.memory_words {
         return Err(HostError::MemoryBudget {
@@ -145,17 +307,9 @@ fn prepare(
             available: arch.memory_words,
         });
     }
-    let in_w = design.primary_input_words;
-    if in_w == 0 || !(inputs.len() as u64).is_multiple_of(in_w) {
-        return Err(HostError::InputShape {
-            expected_multiple: in_w.max(1),
-        });
-    }
-    let computations = inputs.len() as u64 / in_w;
+    let computations = computation_count(design.primary_input_words, source)?;
     let batches = computations.div_ceil(design.k).max(1);
-    let mut padded = inputs.to_vec();
-    padded.resize((batches * design.k * in_w) as usize, 0);
-    Ok((computations, batches, padded))
+    Ok((computations, batches))
 }
 
 /// Runs one configuration over `k` slots: pulls each slot's selected inputs
@@ -183,28 +337,182 @@ fn execute_batch(
     Ok(())
 }
 
-fn batch_histories(design: &RtrDesign, padded: &[i32], batch: u64) -> Vec<Vec<i32>> {
-    let in_w = design.primary_input_words as usize;
-    let k = design.k as usize;
-    (0..k)
-        .map(|slot| {
-            let start = (batch as usize * k + slot) * in_w;
-            padded[start..start + in_w].to_vec()
-        })
-        .collect()
-}
-
-fn collect_outputs(design: &RtrDesign, histories: &[Vec<i32>]) -> Vec<i32> {
-    histories
-        .iter()
-        .flat_map(|hist| design.output_selector.iter().map(|&i| hist[i as usize]))
-        .collect()
-}
-
-/// Runs the **FDH** (Final Data to Host) sequencing: for every batch of `k`
-/// computations, reconfigure through all `N` partitions, then read the final
+/// The **FDH** (Final Data to Host) driver: for every pulled batch of `k`
+/// computations, reconfigure through all `N` partitions, then push the final
 /// outputs (the paper's first listing). Transfers are serialized — the
 /// reconfiguration cascade dominates this strategy by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct FdhSequencer<'a> {
+    arch: &'a Architecture,
+    design: &'a RtrDesign,
+}
+
+impl<'a> FdhSequencer<'a> {
+    /// A driver for `design` on `arch`.
+    pub fn new(arch: &'a Architecture, design: &'a RtrDesign) -> Self {
+        FdhSequencer { arch, design }
+    }
+}
+
+impl Sequencer for FdhSequencer<'_> {
+    fn name(&self) -> &'static str {
+        "FDH"
+    }
+
+    fn input_words(&self) -> u64 {
+        self.design.primary_input_words
+    }
+
+    fn output_words(&self) -> u64 {
+        self.design.output_words()
+    }
+
+    fn run(
+        &self,
+        source: &mut dyn InputSource,
+        sink: &mut dyn OutputSink,
+    ) -> Result<TimeReport, HostError> {
+        let (arch, design) = (self.arch, self.design);
+        let (computations, batches) = rtr_shape(arch, design, source)?;
+        let k = design.k;
+        let dm = u128::from(arch.transfer_ns_per_word);
+        let mut bank = MemoryBank::new(k * design.max_block_words());
+        let mut buffers = BatchBuffers::new(design);
+        let mut report = TimeReport {
+            computations,
+            ..TimeReport::default()
+        };
+        for b in 0..batches {
+            let real = k.min(computations - (b * k).min(computations));
+            // "Load block j of input data for Configuration 1 into memory."
+            let in_words = k * design.configurations[0].block_words;
+            report.exposed_transfer_ns += dm * u128::from(in_words);
+            report.words_transferred += in_words;
+
+            buffers.stage(design, source, real);
+            for config in &design.configurations {
+                // "Load Configuration i onto FPGA."
+                report.reconfig_ns += u128::from(arch.reconfig_time_ns);
+                report.reconfigurations += 1;
+                // "Send Start Signal … Wait for Finish Signal."
+                execute_batch(&mut bank, config, &mut buffers.histories)?;
+                report.compute_ns += u128::from(k * config.delay_per_computation_ns);
+            }
+            // "Read block j of output data from memory of Configuration N."
+            let out_words = k * design.output_words();
+            report.exposed_transfer_ns += dm * u128::from(out_words);
+            report.words_transferred += out_words;
+            buffers.drain(design, sink, real);
+        }
+        report.total_ns = report.reconfig_ns + report.compute_ns + report.exposed_transfer_ns;
+        Ok(report)
+    }
+}
+
+/// The **IDH** (Intermediate Data to Host) driver: each configuration is
+/// loaded once and *all* batches stream through it, with intermediate data
+/// saved to and restored from the host (the paper's second listing), double
+/// buffered per batch.
+///
+/// The timing model is exactly that configuration-major loop. The *data*
+/// loop, however, runs batch-major (every batch passes through all `N`
+/// kernels before the next batch is pulled): per-slot computations are
+/// independent, so outputs and the accumulated [`TimeReport`] are identical
+/// to the configuration-major order while the host holds only one batch of
+/// intermediate state instead of the whole workload's.
+#[derive(Debug, Clone, Copy)]
+pub struct IdhSequencer<'a> {
+    arch: &'a Architecture,
+    design: &'a RtrDesign,
+}
+
+impl<'a> IdhSequencer<'a> {
+    /// A driver for `design` on `arch`.
+    pub fn new(arch: &'a Architecture, design: &'a RtrDesign) -> Self {
+        IdhSequencer { arch, design }
+    }
+}
+
+impl Sequencer for IdhSequencer<'_> {
+    fn name(&self) -> &'static str {
+        "IDH"
+    }
+
+    fn input_words(&self) -> u64 {
+        self.design.primary_input_words
+    }
+
+    fn output_words(&self) -> u64 {
+        self.design.output_words()
+    }
+
+    fn run(
+        &self,
+        source: &mut dyn InputSource,
+        sink: &mut dyn OutputSink,
+    ) -> Result<TimeReport, HostError> {
+        let (arch, design) = (self.arch, self.design);
+        let (computations, batches) = rtr_shape(arch, design, source)?;
+        let k = design.k;
+        let dm = u128::from(arch.transfer_ns_per_word);
+        let mut bank = MemoryBank::new(k * design.max_block_words());
+        let mut buffers = BatchBuffers::new(design);
+        let mut report = TimeReport {
+            computations,
+            ..TimeReport::default()
+        };
+        for config in &design.configurations {
+            // "Load Configuration i onto FPGA." — once per partition.
+            report.reconfig_ns += u128::from(arch.reconfig_time_ns);
+            report.reconfigurations += 1;
+            // Prologue (batch 0's input load) and epilogue (the last
+            // batch's output read) are exposed, once per partition.
+            report.exposed_transfer_ns += 2 * dm * u128::from(k * config.block_words);
+        }
+        for b in 0..batches {
+            let real = k.min(computations - (b * k).min(computations));
+            buffers.stage(design, source, real);
+            for config in &design.configurations {
+                execute_batch(&mut bank, config, &mut buffers.histories)?;
+                let batch_compute = u128::from(k * config.delay_per_computation_ns);
+                let half_transfer = dm * u128::from(k * config.block_words);
+                // Steady state: while batch b computes on this
+                // configuration, the host streams the traffic actually in
+                // flight — batch b+1's input load and batch b−1's output
+                // read. The boundary halves (batch 0's load, the last
+                // batch's read) are the exposed prologue and epilogue
+                // charged above; charging every batch the full two halves
+                // would double-count them.
+                let in_flight_halves = u128::from(b + 1 < batches) + u128::from(b > 0);
+                report.compute_ns += batch_compute;
+                report.exposed_transfer_ns +=
+                    (in_flight_halves * half_transfer).saturating_sub(batch_compute);
+                report.words_transferred += 2 * k * config.block_words;
+            }
+            buffers.drain(design, sink, real);
+        }
+        report.total_ns = report.reconfig_ns + report.compute_ns + report.exposed_transfer_ns;
+        Ok(report)
+    }
+}
+
+/// Runs the static baseline over `inputs` (flattened computations of
+/// `design.input_words` each), returning the outputs and the time report —
+/// a thin slice-to-slice wrapper over [`StaticSequencer`].
+///
+/// # Errors
+///
+/// See [`HostError`].
+pub fn run_static(
+    arch: &Architecture,
+    design: &StaticDesign,
+    inputs: &[i32],
+) -> Result<(Vec<i32>, TimeReport), HostError> {
+    StaticSequencer::new(arch, design).run_slice(inputs)
+}
+
+/// Runs the **FDH** sequencing over `inputs` — a thin slice-to-slice
+/// wrapper over [`FdhSequencer`].
 ///
 /// # Errors
 ///
@@ -214,45 +522,11 @@ pub fn run_fdh(
     design: &RtrDesign,
     inputs: &[i32],
 ) -> Result<(Vec<i32>, TimeReport), HostError> {
-    let (computations, batches, padded) = prepare(arch, design, inputs)?;
-    let k = design.k;
-    let dm = u128::from(arch.transfer_ns_per_word);
-    let mut bank = MemoryBank::new(k * design.max_block_words());
-    let mut report = TimeReport {
-        computations,
-        ..TimeReport::default()
-    };
-    let mut outputs = Vec::new();
-    for b in 0..batches {
-        // "Load block j of input data for Configuration 1 into memory."
-        let in_words = k * design.configurations[0].block_words;
-        report.exposed_transfer_ns += dm * u128::from(in_words);
-        report.words_transferred += in_words;
-
-        let mut histories = batch_histories(design, &padded, b);
-        for config in &design.configurations {
-            // "Load Configuration i onto FPGA."
-            report.reconfig_ns += u128::from(arch.reconfig_time_ns);
-            report.reconfigurations += 1;
-            // "Send Start Signal … Wait for Finish Signal."
-            execute_batch(&mut bank, config, &mut histories)?;
-            report.compute_ns += u128::from(k * config.delay_per_computation_ns);
-        }
-        // "Read block j of output data from memory of Configuration N."
-        let out_words = k * design.output_words();
-        report.exposed_transfer_ns += dm * u128::from(out_words);
-        report.words_transferred += out_words;
-        outputs.extend(collect_outputs(design, &histories));
-    }
-    outputs.truncate((computations * design.output_words()) as usize);
-    report.total_ns = report.reconfig_ns + report.compute_ns + report.exposed_transfer_ns;
-    Ok((outputs, report))
+    FdhSequencer::new(arch, design).run_slice(inputs)
 }
 
-/// Runs the **IDH** (Intermediate Data to Host) sequencing: each
-/// configuration is loaded once and *all* batches stream through it, with
-/// intermediate data saved to and restored from the host (the paper's second
-/// listing), double-buffered per batch.
+/// Runs the **IDH** sequencing over `inputs` — a thin slice-to-slice
+/// wrapper over [`IdhSequencer`].
 ///
 /// # Errors
 ///
@@ -262,55 +536,14 @@ pub fn run_idh(
     design: &RtrDesign,
     inputs: &[i32],
 ) -> Result<(Vec<i32>, TimeReport), HostError> {
-    let (computations, batches, padded) = prepare(arch, design, inputs)?;
-    let k = design.k;
-    let dm = u128::from(arch.transfer_ns_per_word);
-    let mut bank = MemoryBank::new(k * design.max_block_words());
-    let mut report = TimeReport {
-        computations,
-        ..TimeReport::default()
-    };
-    // Host-side value histories for every padded computation.
-    let mut histories: Vec<Vec<i32>> = (0..batches)
-        .flat_map(|b| batch_histories(design, &padded, b))
-        .collect();
-    for config in &design.configurations {
-        // "Load Configuration i onto FPGA." — once per partition.
-        report.reconfig_ns += u128::from(arch.reconfig_time_ns);
-        report.reconfigurations += 1;
-        let batch_compute = u128::from(k * config.delay_per_computation_ns);
-        let half_transfer = dm * u128::from(k * config.block_words);
-
-        // Prologue: batch 0's input load is exposed.
-        report.exposed_transfer_ns += half_transfer;
-        for b in 0..batches {
-            let window = &mut histories[(b * k) as usize..((b + 1) * k) as usize];
-            execute_batch(&mut bank, config, window)?;
-            // Steady state: while batch b computes, the host streams the
-            // traffic actually in flight — batch b+1's input load and
-            // batch b−1's output read. The boundary halves (batch 0's
-            // load, the last batch's read) are the exposed prologue and
-            // epilogue; charging every batch the full two halves would
-            // double-count them.
-            let in_flight_halves = u128::from(b + 1 < batches) + u128::from(b > 0);
-            report.compute_ns += batch_compute;
-            report.exposed_transfer_ns +=
-                (in_flight_halves * half_transfer).saturating_sub(batch_compute);
-            report.words_transferred += 2 * k * config.block_words;
-        }
-        // Epilogue: the last batch's output read is exposed.
-        report.exposed_transfer_ns += half_transfer;
-    }
-    let mut outputs = collect_outputs(design, &histories);
-    outputs.truncate((computations * design.output_words()) as usize);
-    report.total_ns = report.reconfig_ns + report.compute_ns + report.exposed_transfer_ns;
-    Ok((outputs, report))
+    IdhSequencer::new(arch, design).run_slice(inputs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::design::Configuration;
+    use crate::stream::{CountingSink, SyntheticSource};
 
     fn arch() -> Architecture {
         Architecture::xc4044_wildforce()
@@ -491,5 +724,43 @@ mod tests {
         // Per computation the step is the transfer (40 µs), not compute.
         let expected = 100_000_000u128 + 10 * 40_000 + 20_000 + 20_000;
         assert_eq!(r.total_ns, expected);
+    }
+
+    #[test]
+    fn streamed_synthetic_run_matches_materialized_wrapper() {
+        // The same synthetic workload, once pulled batch-by-batch into a
+        // counting sink and once materialized through the wrapper: byte
+        // identical outputs (by digest) and identical reports.
+        let d = two_stage(4);
+        let a = arch();
+        for seq in [
+            &FdhSequencer::new(&a, &d) as &dyn Sequencer,
+            &IdhSequencer::new(&a, &d),
+        ] {
+            let mut materialized = vec![0i32; 2 * 13];
+            SyntheticSource::new(13, 2).read(&mut materialized);
+            let (expect_out, expect_report) = seq.run_slice(&materialized).unwrap();
+
+            let mut source = SyntheticSource::new(13, 2);
+            let mut sink = CountingSink::new();
+            let report = seq.run(&mut source, &mut sink).unwrap();
+            assert_eq!(report, expect_report, "{}", seq.name());
+            assert_eq!(sink.words(), expect_out.len() as u64);
+            assert_eq!(sink.digest(), CountingSink::digest_of(&expect_out));
+        }
+    }
+
+    #[test]
+    fn sequencer_trait_reports_design_geometry() {
+        let d = two_stage(4);
+        let s = static_equiv();
+        let a = arch();
+        let fdh = FdhSequencer::new(&a, &d);
+        assert_eq!(fdh.name(), "FDH");
+        assert_eq!((fdh.input_words(), fdh.output_words()), (2, 2));
+        let stat = StaticSequencer::new(&a, &s);
+        assert_eq!(stat.name(), "static");
+        assert_eq!((stat.input_words(), stat.output_words()), (2, 2));
+        assert_eq!(IdhSequencer::new(&a, &d).name(), "IDH");
     }
 }

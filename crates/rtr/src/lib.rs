@@ -19,6 +19,13 @@
 //! that actually computes its outputs, so the simulator validates both the
 //! timing shape of Tables 1–2 and the bit-exactness of the partitioned DCT
 //! against the software reference.
+//!
+//! Host execution is *streaming*: the [`host::Sequencer`] drivers pull one
+//! batch of `k` computations at a time from an [`stream::InputSource`] and
+//! push results into an [`stream::OutputSink`], so host memory is bounded
+//! by the batch geometry instead of the workload size. The classic
+//! [`run_static`]/[`run_fdh`]/[`run_idh`] functions are thin slice-to-slice
+//! wrappers over those drivers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,8 +34,12 @@ pub mod board;
 pub mod design;
 pub mod host;
 pub mod report;
+pub mod stream;
 
 pub use board::{Board, BoardError, MemoryBank};
 pub use design::{Configuration, RtrDesign, StaticDesign};
-pub use host::{run_fdh, run_idh, run_static, HostError};
+pub use host::{
+    run_fdh, run_idh, run_static, FdhSequencer, HostError, IdhSequencer, Sequencer, StaticSequencer,
+};
 pub use report::TimeReport;
+pub use stream::{CountingSink, InputSource, OutputSink, SliceSource, SyntheticSource, VecSink};

@@ -4,7 +4,9 @@
 //! sparcs partition <graph.tg> [flow options]
 //! sparcs fission   <graph.tg> [flow options] [--pow2] [--inputs I]
 //! sparcs codegen   <graph.tg> [flow options] [--strategy fdh|idh]
-//! sparcs explore   <graph.tg> [flow options] [--inputs I]
+//! sparcs explore   <graph.tg> [flow options] [--workload N[,N...]]
+//! sparcs run       <graph.tg> [flow options] [--seq static|fdh|idh]
+//!                             [--workload I] [--synthetic]
 //! sparcs dot       <graph.tg>                 # Graphviz, partition-clustered
 //! sparcs example                              # print a sample graph file
 //! ```
@@ -12,6 +14,12 @@
 //! Graph files use the `sparcs_dfg::parse` text format (see `sparcs
 //! example`). Every subcommand drives the [`sparcs::flow`] pipeline; the
 //! temporal partitioner is selectable with `--partitioner ilp|list`.
+//!
+//! `run` executes the synthesized design on the simulated board as a
+//! *stream*: with `--synthetic` the workload is generated on the fly and
+//! only counted/digested on the way out, so host memory stays bounded by
+//! the batch geometry no matter how large `I` is; without it, input words
+//! are read from stdin and output words stream to stdout.
 
 use sparcs::core::fission::{BlockRounding, SequencingStrategy};
 use sparcs::core::model::ModelConfig;
@@ -33,12 +41,47 @@ struct Flags {
     dm_ns: Option<u64>,
     pow2: bool,
     edge_memory: bool,
-    inputs: u64,
+    inputs: Option<u64>,
+    workloads: Vec<u64>,
     strategy: Option<SequencingStrategy>,
+    seq: Option<SeqChoice>,
+    synthetic: bool,
     partitioner: Option<Partitioner>,
     jobs: Option<u32>,
     max_partitions: Vec<u32>,
     archs: Vec<ArchPreset>,
+}
+
+impl Flags {
+    /// The workload grid: `--workload` entries, else the `--inputs` value,
+    /// else the default single workload.
+    fn workload_grid(&self) -> Vec<u64> {
+        if !self.workloads.is_empty() {
+            self.workloads.clone()
+        } else {
+            vec![self.inputs.unwrap_or(1_000_000)]
+        }
+    }
+
+    /// The single workload for commands that take exactly one (`fission`,
+    /// `codegen`, `run`).
+    fn single_workload(&self) -> Result<u64, CliError> {
+        let grid = self.workload_grid();
+        if grid.len() > 1 {
+            return Err(CliError::Usage(
+                "this command takes a single workload (one --workload value)".into(),
+            ));
+        }
+        Ok(grid[0])
+    }
+}
+
+/// What `run` executes: the RTR design under one sequencing, or the static
+/// baseline.
+#[derive(Clone, Copy)]
+enum SeqChoice {
+    Static,
+    Rtr(SequencingStrategy),
 }
 
 #[derive(Clone, Copy)]
@@ -79,9 +122,11 @@ impl CliError {
 }
 
 fn usage() -> &'static str {
-    "usage: sparcs <partition|fission|codegen|explore|dot|example> [graph.tg] [options]\n\
+    "usage: sparcs <partition|fission|codegen|explore|run|dot|example> [graph.tg] [options]\n\
      options: --clbs N  --memory WORDS  --ct NS  --dm NS  --pow2  --edge-memory\n\
-              --inputs I  --strategy fdh|idh  --partitioner ilp|list\n\
+              --inputs I  --workload N[,N...] (explore ranks every entry)\n\
+              --strategy fdh|idh  --partitioner ilp|list\n\
+              --seq static|fdh|idh  --synthetic (run: generated stream, counted sink)\n\
               --arch xc4044|xc6200|tm (repeatable: explore ranks across boards)\n\
               --max-partitions N[,N...] (cap the ILP; a list sweeps explore)\n\
               --jobs N (explore worker threads; rankings are identical for any N)\n\
@@ -97,8 +142,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         dm_ns: None,
         pow2: false,
         edge_memory: false,
-        inputs: 1_000_000,
+        inputs: None,
+        workloads: Vec::new(),
         strategy: None,
+        seq: None,
+        synthetic: false,
         partitioner: None,
         jobs: None,
         max_partitions: Vec::new(),
@@ -118,9 +166,30 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             "--memory" => f.memory = Some(grab("--memory")?),
             "--ct" => f.ct_ns = Some(grab("--ct")?),
             "--dm" => f.dm_ns = Some(grab("--dm")?),
-            "--inputs" => f.inputs = grab("--inputs")?,
+            "--inputs" => f.inputs = Some(grab("--inputs")?),
+            "--workload" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--workload needs a value".into()))?;
+                for part in raw.split(',') {
+                    let n: u64 = part
+                        .replace('_', "")
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("bad --workload entry {part:?}")))?;
+                    f.workloads.push(n);
+                }
+            }
             "--pow2" => f.pow2 = true,
             "--edge-memory" => f.edge_memory = true,
+            "--synthetic" => f.synthetic = true,
+            "--seq" => {
+                f.seq = Some(match it.next().map(String::as_str) {
+                    Some("static") => SeqChoice::Static,
+                    Some("fdh") => SeqChoice::Rtr(SequencingStrategy::Fdh),
+                    Some("idh") => SeqChoice::Rtr(SequencingStrategy::Idh),
+                    other => return Err(CliError::Usage(format!("bad --seq {other:?}"))),
+                })
+            }
             "--strategy" => {
                 f.strategy = Some(match it.next().map(String::as_str) {
                     Some("fdh") => SequencingStrategy::Fdh,
@@ -249,6 +318,110 @@ fn analyze<'a>(s: &'a FlowSession, f: &Flags) -> Result<AnalyzedFlow<'a>, CliErr
         .map_err(CliError::runtime)
 }
 
+/// The `run` subcommand: streams a workload through the synthesized design
+/// on the simulated board. With `--synthetic` the input is generated on the
+/// fly and the output only counted/digested — constant host memory for any
+/// `I`; otherwise input words come from stdin and output words go to
+/// stdout (one computation per line), with the report on stderr.
+fn run_command(f: &Flags) -> Result<(), CliError> {
+    use sparcs::rtr::{
+        CountingSink, FdhSequencer, IdhSequencer, Sequencer, SliceSource, StaticSequencer,
+        SyntheticSource, VecSink,
+    };
+    let s = session(f)?;
+    let analyzed = analyze(&s, f)?;
+    let workload = f.single_workload()?;
+    if !f.synthetic && (f.inputs.is_some() || !f.workloads.is_empty()) {
+        return Err(CliError::Usage(
+            "run reads its workload from stdin; --workload/--inputs only apply with --synthetic"
+                .into(),
+        ));
+    }
+    // Built once; every lane below (and the static collapse) reuses it.
+    let design = analyzed.executable_design().map_err(CliError::runtime)?;
+    let (in_w, out_w) = (design.primary_input_words, design.output_words());
+    // `--seq` wins, then `--strategy`; otherwise the flow picks the cheaper
+    // sequencing for the computations actually streamed.
+    let choose = |computations: u64| match f.seq {
+        Some(c) => c,
+        None => SeqChoice::Rtr(
+            f.strategy
+                .unwrap_or_else(|| analyzed.choose_sequencing(computations)),
+        ),
+    };
+    let execute = |choice: SeqChoice,
+                   source: &mut dyn sparcs::rtr::InputSource,
+                   sink: &mut dyn sparcs::rtr::OutputSink| {
+        match choice {
+            SeqChoice::Static => {
+                StaticSequencer::new(s.arch(), &design.to_static()).run(source, sink)
+            }
+            SeqChoice::Rtr(SequencingStrategy::Fdh) => {
+                FdhSequencer::new(s.arch(), &design).run(source, sink)
+            }
+            SeqChoice::Rtr(SequencingStrategy::Idh) => {
+                IdhSequencer::new(s.arch(), &design).run(source, sink)
+            }
+        }
+        .map_err(CliError::runtime)
+    };
+    let seq_name = |choice: SeqChoice| match choice {
+        SeqChoice::Static => "static".to_string(),
+        SeqChoice::Rtr(st) => st.to_string(),
+    };
+    if f.synthetic {
+        let words_in = workload.checked_mul(in_w).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--workload {workload} x {in_w} input words overflows the stream"
+            ))
+        })?;
+        let choice = choose(workload);
+        let seq_name = seq_name(choice);
+        let mut source = SyntheticSource::new(workload, in_w);
+        let mut sink = CountingSink::new();
+        let report = execute(choice, &mut source, &mut sink)?;
+        println!("graph : {}", s.graph());
+        println!("target: {}", s.arch());
+        println!(
+            "design: {} partitions, k = {}, {in_w} words in / {out_w} words out per computation",
+            design.partition_count(),
+            design.k,
+        );
+        println!(
+            "stream: synthetic, I = {workload} ({words_in} words in, {} words out, nothing materialized)",
+            sink.words(),
+        );
+        println!("seq   : {seq_name}");
+        println!("report: {report}");
+        println!("digest: {:016x}", sink.digest());
+    } else {
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+            .map_err(CliError::runtime)?;
+        let words: Vec<i32> = text
+            .split_whitespace()
+            .map(|w| {
+                w.parse::<i32>()
+                    .map_err(|_| CliError::Runtime(format!("bad input word {w:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        // Sequencing defaults to what is cheapest for the stream that
+        // actually arrived, not for a nominal workload.
+        let choice = choose(words.len() as u64 / in_w.max(1));
+        let seq_name = seq_name(choice);
+        let mut source = SliceSource::new(&words);
+        let mut sink = VecSink::new();
+        let report = execute(choice, &mut source, &mut sink)?;
+        for computation in sink.data().chunks(out_w.max(1) as usize) {
+            let line: Vec<String> = computation.iter().map(i32::to_string).collect();
+            println!("{}", line.join(" "));
+        }
+        eprintln!("seq   : {seq_name}");
+        eprintln!("report: {report}");
+    }
+    Ok(())
+}
+
 fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -291,6 +464,7 @@ fn real_main() -> Result<(), CliError> {
             );
         }
         "fission" => {
+            let i = f.single_workload()?;
             let s = session(&f)?;
             let analyzed = analyze(&s, &f)?;
             let fa = &analyzed.fission;
@@ -300,7 +474,6 @@ fn real_main() -> Result<(), CliError> {
                 "blocks      : {:?} words (wasted {}/run)",
                 fa.block_words, fa.wasted_words
             );
-            let i = f.inputs;
             println!(
                 "I = {i}: FDH {:.4} s | IDH {:.4} s (overlapped) -> {}",
                 analyzed.total_time_ns(SequencingStrategy::Fdh, i) as f64 / 1e9,
@@ -311,14 +484,16 @@ fn real_main() -> Result<(), CliError> {
         "codegen" => {
             let s = session(&f)?;
             let analyzed = analyze(&s, &f)?;
+            let workload = f.single_workload()?;
             let strategy = f
                 .strategy
-                .unwrap_or_else(|| analyzed.choose_sequencing(f.inputs));
+                .unwrap_or_else(|| analyzed.choose_sequencing(workload));
             println!("{}", analyzed.host_code(strategy));
         }
+        "run" => run_command(&f)?,
         "explore" => {
             let s = session(&f)?;
-            let mut space = ExploreSpace::for_workload(f.inputs);
+            let mut space = ExploreSpace::for_workloads(f.workload_grid());
             space.ilp_options = partition_options(&f);
             // The options cap is the per-candidate axis below, not a shared
             // floor for every candidate.
@@ -358,8 +533,9 @@ fn real_main() -> Result<(), CliError> {
             println!("graph : {}", s.graph());
             println!("target: {}", s.arch());
             println!(
-                "{:<5} {:>11} {:<17} {:>6} {:>4} {:>4} {:>4} {:>8} {:>13} {:>12}",
+                "{:<5} {:>9} {:>11} {:<17} {:>6} {:>4} {:>4} {:>4} {:>8} {:>13} {:>12}",
                 "rank",
+                "I",
                 "partitioner",
                 "arch",
                 "round",
@@ -370,10 +546,20 @@ fn real_main() -> Result<(), CliError> {
                 "latency (ns)",
                 "total (s)"
             );
-            for (rank, c) in exploration.candidates.iter().enumerate() {
+            let mut rank = 0;
+            let mut current_workload = None;
+            for c in &exploration.candidates {
+                // Ranks restart per workload group: totals across
+                // different `I` values are not comparable.
+                if current_workload != Some(c.workload) {
+                    current_workload = Some(c.workload);
+                    rank = 0;
+                }
+                rank += 1;
                 println!(
-                    "{:<5} {:>11} {:<17.17} {:>6} {:>4} {:>4} {:>4} {:>8} {:>13} {:>12.4}",
-                    rank + 1,
+                    "{:<5} {:>9} {:>11} {:<17.17} {:>6} {:>4} {:>4} {:>4} {:>8} {:>13} {:>12.4}",
+                    rank,
+                    c.workload,
                     c.strategy,
                     c.arch,
                     rounding_label(c.rounding),
@@ -395,11 +581,13 @@ fn real_main() -> Result<(), CliError> {
                 cov.skipped_fission,
                 space.jobs,
             );
-            let best = exploration.best();
-            println!(
-                "best: {} + {} on {} ({} partitions, k = {}) for I = {}",
-                best.strategy, best.sequencing, best.arch, best.partition_count, best.k, f.inputs
-            );
+            for w in exploration.workloads() {
+                let best = exploration.best_for(w).expect("workload was explored");
+                println!(
+                    "best: {} + {} on {} ({} partitions, k = {}) for I = {}",
+                    best.strategy, best.sequencing, best.arch, best.partition_count, best.k, w
+                );
+            }
         }
         other => return Err(CliError::Usage(format!("unknown command `{other}`"))),
     }

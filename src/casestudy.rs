@@ -24,7 +24,7 @@ use sparcs_dfg::TaskId;
 use sparcs_estimate::{paper, Architecture};
 use sparcs_jpeg::fixed::{coef_matrix, t1_vector_product, t2_vector_product};
 use sparcs_jpeg::{dct_task_graph, DctTaskGraph, EstimateBackend};
-use sparcs_rtr::{Configuration, RtrDesign, StaticDesign};
+use sparcs_rtr::{Configuration, InputSource, RtrDesign, StaticDesign};
 use std::fmt;
 
 /// Errors from assembling the case study.
@@ -319,6 +319,44 @@ impl DctExperiment {
             .flat_map(|b| (0..4).flat_map(move |c| (0..4).map(move |k| i32::from(b[k][c]))))
             .collect()
     }
+
+    /// An [`InputSource`] over the same stream as
+    /// [`DctExperiment::input_stream`], computed word by word from the
+    /// image's pixels — nothing is flattened up front, so streaming an
+    /// image through a sequencer holds only the batch buffers.
+    pub fn image_source(img: &sparcs_jpeg::Image) -> ImageBlockSource<'_> {
+        ImageBlockSource { img, cursor: 0 }
+    }
+}
+
+/// Streams an image's DCT input words (column-major 4×4 blocks, raster
+/// block order) directly from the pixel store. See
+/// [`DctExperiment::image_source`].
+#[derive(Debug, Clone)]
+pub struct ImageBlockSource<'a> {
+    img: &'a sparcs_jpeg::Image,
+    cursor: u64,
+}
+
+impl InputSource for ImageBlockSource<'_> {
+    fn len_words(&self) -> u64 {
+        self.img.block_count() * 16
+    }
+
+    fn read(&mut self, buf: &mut [i32]) {
+        let blocks_per_row = (self.img.width / 4) as u64;
+        for (off, slot) in buf.iter_mut().enumerate() {
+            let word = self.cursor + off as u64;
+            let (block, within) = (word / 16, word % 16);
+            let (bx, by) = (block % blocks_per_row, block / blocks_per_row);
+            // Column-major within the block: word c·4+k is X[k][c], i.e.
+            // the level-shifted pixel at (bx·4 + c, by·4 + k).
+            let (c, k) = (within / 4, within % 4);
+            let pixel = self.img.pixel((bx * 4 + c) as usize, (by * 4 + k) as usize);
+            *slot = i32::from(pixel) - 128;
+        }
+        self.cursor += buf.len() as u64;
+    }
 }
 
 /// Reassigns interchangeable T2 tasks so whole output rows group together in
@@ -371,6 +409,28 @@ mod tests {
         assert_eq!(exp.fission.m_temp_words, vec![32, 16, 16]);
         assert_eq!(exp.fission.k, 2_048);
         assert!(exp.violations().is_empty());
+    }
+
+    #[test]
+    fn image_source_streams_the_exact_input_stream() {
+        let img = sparcs_jpeg::Image::noise(16, 12, 7); // 12 blocks
+        let materialized = DctExperiment::input_stream(&img);
+        let mut source = DctExperiment::image_source(&img);
+        assert_eq!(source.len_words(), materialized.len() as u64);
+        // Pull in deliberately awkward chunk sizes.
+        let mut streamed = Vec::new();
+        let mut remaining = materialized.len();
+        for len in std::iter::repeat([7usize, 16, 1, 40]).flatten() {
+            let n = len.min(remaining);
+            let mut buf = vec![0i32; n];
+            source.read(&mut buf);
+            streamed.extend_from_slice(&buf);
+            remaining -= n;
+            if remaining == 0 {
+                break;
+            }
+        }
+        assert_eq!(streamed, materialized);
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! * [`PartitionedFlow`] → [`AnalyzedFlow`] carry the design through the
 //!   fission analysis to host-code generation, so a caller can stop at
 //!   whichever stage it needs.
+//! * [`AnalyzedFlow::run`] executes the design on the simulated board as a
+//!   *stream*: batches of `k` computations are pulled from an
+//!   [`InputSource`] and pushed into an [`OutputSink`], so a multi-gigabyte
+//!   workload runs at constant host memory while the [`TimeReport`]
+//!   accumulates incrementally.
 //! * [`FlowSession::explore`] evaluates a whole candidate space — every
 //!   strategy × architecture × partition-cap × block rounding × sequencing
 //!   choice — against a workload and returns the designs ranked by total
@@ -48,6 +53,7 @@ use sparcs_core::delay::partition_delays;
 use sparcs_core::fission::{BlockRounding, FissionAnalysis, FissionError};
 use sparcs_core::ilp::SolveStats;
 use sparcs_core::list::{partition_list, ListError};
+use sparcs_core::memory::partition_io;
 use sparcs_core::model::DelayMode;
 use sparcs_core::partitioning::{MemoryMode, Partitioning, Violation};
 use sparcs_core::{
@@ -57,6 +63,11 @@ use sparcs_core::{
 use sparcs_dfg::{parse, GraphError, TaskGraph};
 use sparcs_estimate::Architecture;
 use sparcs_ilp::SolveError;
+use sparcs_rtr::stream::splitmix64;
+use sparcs_rtr::{
+    Configuration, FdhSequencer, HostError, IdhSequencer, InputSource, OutputSink, RtrDesign,
+    Sequencer, StaticDesign, StaticSequencer, TimeReport,
+};
 use std::fmt;
 use std::sync::Arc;
 
@@ -73,6 +84,13 @@ pub enum FlowError {
     List(ListError),
     /// The loop-fission analysis failed.
     Fission(FissionError),
+    /// A streaming host execution failed (board fault, memory budget,
+    /// input shape — see [`HostError`]).
+    Host(HostError),
+    /// The analyzed design cannot be lifted to an executable streaming
+    /// design (no environment inputs/outputs to stream, or a partition
+    /// that moves no data).
+    NotExecutable(String),
     /// An exploration had no feasible candidate to return.
     NoFeasibleCandidate,
 }
@@ -85,6 +103,10 @@ impl fmt::Display for FlowError {
             FlowError::Partition(e) => write!(f, "{e}"),
             FlowError::List(e) => write!(f, "{e}"),
             FlowError::Fission(e) => write!(f, "{e}"),
+            FlowError::Host(e) => write!(f, "{e}"),
+            FlowError::NotExecutable(reason) => {
+                write!(f, "design is not executable as a stream: {reason}")
+            }
             FlowError::NoFeasibleCandidate => {
                 write!(f, "no partitioning strategy produced a feasible design")
             }
@@ -118,12 +140,26 @@ impl FlowError {
             | FlowError::Graph(_)
             | FlowError::List(ListError::Graph(_))
             | FlowError::Fission(FissionError::EmptyDesign)
+            | FlowError::Host(_)
+            | FlowError::NotExecutable(_)
             | FlowError::NoFeasibleCandidate => false,
         }
     }
 }
 
-impl std::error::Error for FlowError {}
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Parse(e) => Some(e),
+            FlowError::Graph(e) => Some(e),
+            FlowError::Partition(e) => Some(e),
+            FlowError::List(e) => Some(e),
+            FlowError::Fission(e) => Some(e),
+            FlowError::Host(e) => Some(e),
+            FlowError::NotExecutable(_) | FlowError::NoFeasibleCandidate => None,
+        }
+    }
+}
 
 impl From<parse::ParseError> for FlowError {
     fn from(e: parse::ParseError) -> Self {
@@ -152,6 +188,12 @@ impl From<ListError> for FlowError {
 impl From<FissionError> for FlowError {
     fn from(e: FissionError) -> Self {
         FlowError::Fission(e)
+    }
+}
+
+impl From<HostError> for FlowError {
+    fn from(e: HostError) -> Self {
+        FlowError::Host(e)
     }
 }
 
@@ -466,8 +508,9 @@ impl FlowSession {
             return Err(FlowError::NoFeasibleCandidate);
         }
         // Stable sort over deterministic input order ⇒ deterministic
-        // ranking, ties resolved by spec position.
-        candidates.sort_by_key(|c| (c.total_ns, c.partition_count, c.k));
+        // ranking, ties resolved by spec position. Grouped by workload
+        // first: totals for different `I` values are not comparable.
+        candidates.sort_by_key(|c| (c.workload, c.total_ns, c.partition_count, c.k));
         Ok(Exploration {
             candidates,
             coverage,
@@ -534,20 +577,23 @@ fn evaluate_spec(
             }
         };
         for &sequencing in &space.sequencings {
-            let total_ns = candidate_total_ns(&fission, sequencing, space.workload);
-            outcome.candidates.push(ExploredCandidate {
-                strategy: strategy.name(),
-                arch: ctx.arch.name.clone(),
-                max_partitions,
-                rounding,
-                sequencing,
-                partition_count: design.partitioning.partition_count(),
-                k: fission.k,
-                latency_ns: design.latency_ns,
-                total_ns,
-                design: Arc::clone(&design),
-                fission: Arc::clone(&fission),
-            });
+            for &workload in &space.workloads {
+                let total_ns = candidate_total_ns(&fission, sequencing, workload);
+                outcome.candidates.push(ExploredCandidate {
+                    strategy: strategy.name(),
+                    arch: ctx.arch.name.clone(),
+                    max_partitions,
+                    rounding,
+                    sequencing,
+                    workload,
+                    partition_count: design.partitioning.partition_count(),
+                    k: fission.k,
+                    latency_ns: design.latency_ns,
+                    total_ns,
+                    design: Arc::clone(&design),
+                    fission: Arc::clone(&fission),
+                });
+            }
         }
     }
     Ok(outcome)
@@ -683,12 +729,156 @@ impl AnalyzedFlow<'_> {
     pub fn host_code(&self, sequencing: SequencingStrategy) -> String {
         codegen::host_code(&self.fission, sequencing)
     }
+
+    /// Lifts the analyzed design to an *executable* [`RtrDesign`] for the
+    /// simulated board: one configuration per temporal partition, with the
+    /// fission analysis' exact block geometry (so simulated timings agree
+    /// with the analytic models) and the graph's per-partition I/O widths
+    /// from [`partition_io`]. Task graphs carry no behaviour, so each
+    /// partition gets a deterministic *mixing* kernel — a pure function of
+    /// its input words — which keeps streamed and materialized executions
+    /// bit-comparable without pretending to know the application's math.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::NotExecutable`] when the graph has no environment
+    /// inputs or outputs to stream, or a partition moves no data.
+    pub fn executable_design(&self) -> Result<RtrDesign, FlowError> {
+        let g = &self.ctx.graph;
+        let io = partition_io(g, &self.design.partitioning);
+        let primary: u64 = g.env_inputs().map(|(_, port)| port.words).sum();
+        if primary == 0 {
+            return Err(FlowError::NotExecutable(
+                "graph has no environment inputs to stream".into(),
+            ));
+        }
+        if io.iter().map(|p| p.env_out).sum::<u64>() == 0 {
+            return Err(FlowError::NotExecutable(
+                "graph has no environment outputs to stream".into(),
+            ));
+        }
+        let mut configurations = Vec::with_capacity(io.len());
+        let mut history_len = primary;
+        for (i, pio) in io.iter().enumerate() {
+            let (in_w, out_w) = (pio.input_words(), pio.output_words());
+            if in_w + out_w == 0 {
+                return Err(FlowError::NotExecutable(format!(
+                    "partition {} moves no data",
+                    i + 1
+                )));
+            }
+            // Input selector: environment words come from the primary
+            // region, crossing words from earlier partitions' output
+            // regions (cycling — word-level provenance is below the task
+            // graph's resolution, and only the *counts* carry timing).
+            let prior_out = history_len - primary;
+            let mut selector = Vec::with_capacity(in_w as usize);
+            selector.extend((0..pio.env_in).map(|j| (j % primary) as u32));
+            selector.extend((0..pio.cross_in).map(|j| {
+                if prior_out > 0 {
+                    (primary + (j % prior_out)) as u32
+                } else {
+                    (j % primary) as u32
+                }
+            }));
+            let kernel = move |ins: &[i32]| -> Vec<i32> {
+                let mut acc = 0xD6E8_FEB8_6659_FD93u64 ^ ins.len() as u64;
+                for &v in ins {
+                    acc = splitmix64(acc ^ u64::from(v as u32));
+                }
+                (0..out_w).map(|j| splitmix64(acc ^ j) as i32).collect()
+            };
+            configurations.push(
+                Configuration::new(
+                    format!("P{}", i + 1),
+                    self.design.partition_delays_ns[i],
+                    selector,
+                    out_w,
+                    kernel,
+                )
+                .with_block_words(self.fission.block_words[i]),
+            );
+            history_len += out_w;
+        }
+        // Design outputs: each partition's environment-output words, taken
+        // from the head of its output region.
+        let mut output_selector = Vec::new();
+        let mut region = primary;
+        for pio in &io {
+            output_selector.extend((0..pio.env_out).map(|j| (region + j) as u32));
+            region += pio.output_words();
+        }
+        Ok(RtrDesign::new(
+            configurations,
+            primary,
+            output_selector,
+            self.fission.k,
+        ))
+    }
+
+    /// The single-configuration baseline equivalent of
+    /// [`Self::executable_design`]: the whole pipeline as one kernel with
+    /// the design's summed per-computation delay.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::executable_design`].
+    pub fn static_equivalent(&self) -> Result<StaticDesign, FlowError> {
+        Ok(self.executable_design()?.to_static())
+    }
+
+    /// Streams a workload through the executable design on the simulated
+    /// board under `sequencing`, pulling whole `k`-computation batches from
+    /// `source` and pushing results into `sink` — host memory stays bounded
+    /// by `k · block_words` per partition, never by the workload size.
+    /// Returns the incrementally accumulated [`TimeReport`], identical to
+    /// what the materializing `sparcs_rtr::run_*` wrappers report for the
+    /// same workload.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::NotExecutable`] when the design cannot be lifted (see
+    /// [`Self::executable_design`]); [`FlowError::Host`] on board-level
+    /// failures (memory budget, input shape).
+    pub fn run(
+        &self,
+        sequencing: SequencingStrategy,
+        source: &mut dyn InputSource,
+        sink: &mut dyn OutputSink,
+    ) -> Result<TimeReport, FlowError> {
+        let design = self.executable_design()?;
+        let report = match sequencing {
+            SequencingStrategy::Fdh => FdhSequencer::new(&self.ctx.arch, &design).run(source, sink),
+            SequencingStrategy::Idh => IdhSequencer::new(&self.ctx.arch, &design).run(source, sink),
+        }?;
+        Ok(report)
+    }
+
+    /// Streams a workload through the *static* baseline equivalent — the
+    /// comparison row every paper table carries, behind the same
+    /// source/sink interface as [`Self::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_static_baseline(
+        &self,
+        source: &mut dyn InputSource,
+        sink: &mut dyn OutputSink,
+    ) -> Result<TimeReport, FlowError> {
+        let design = self.static_equivalent()?;
+        Ok(StaticSequencer::new(&self.ctx.arch, &design).run(source, sink)?)
+    }
 }
 
 /// The candidate space [`FlowSession::explore`] walks.
 pub struct ExploreSpace {
-    /// Workload (total computations `I`) the candidates are ranked for.
-    pub workload: u64,
+    /// Workloads (total computations `I`) the candidates are ranked for —
+    /// one candidate per entry per design point, so a single exploration
+    /// answers "which design wins at every scale" (the ROADMAP's workload
+    /// grid). Candidates are grouped by workload in the ranking; see
+    /// [`Exploration::best_for`].
+    pub workloads: Vec<u64>,
     /// Block roundings to try (varies the fission `k`).
     pub roundings: Vec<BlockRounding>,
     /// Host sequencing strategies to evaluate.
@@ -727,8 +917,14 @@ impl ExploreSpace {
     /// block roundings, both sequencing strategies, on the session's own
     /// architecture, cached, with [`default_explore_jobs`] workers.
     pub fn for_workload(workload: u64) -> Self {
+        Self::for_workloads(vec![workload])
+    }
+
+    /// The default space ranked across a whole workload grid — one
+    /// candidate per `I` value per design point, in a single exploration.
+    pub fn for_workloads(workloads: Vec<u64>) -> Self {
         ExploreSpace {
-            workload,
+            workloads,
             roundings: vec![BlockRounding::Exact, BlockRounding::PowerOfTwo],
             sequencings: vec![SequencingStrategy::Fdh, SequencingStrategy::Idh],
             memory_mode: MemoryMode::Net,
@@ -822,6 +1018,8 @@ pub struct ExploredCandidate {
     pub rounding: BlockRounding,
     /// Host sequencing strategy.
     pub sequencing: SequencingStrategy,
+    /// The workload (total computations `I`) this candidate was ranked for.
+    pub workload: u64,
     /// Number of temporal partitions.
     pub partition_count: u32,
     /// Computations per configuration run.
@@ -865,7 +1063,8 @@ pub struct Exploration {
 }
 
 impl Exploration {
-    /// The winning candidate.
+    /// The winning candidate (of the smallest explored workload, when the
+    /// space carried a grid — candidates are grouped by workload).
     ///
     /// # Panics
     ///
@@ -873,6 +1072,19 @@ impl Exploration {
     /// `candidates` is public — this panics if a caller has drained it.
     pub fn best(&self) -> &ExploredCandidate {
         &self.candidates[0]
+    }
+
+    /// The winning candidate for one workload of the grid, or `None` when
+    /// that `I` value was not part of the explored space.
+    pub fn best_for(&self, workload: u64) -> Option<&ExploredCandidate> {
+        self.candidates.iter().find(|c| c.workload == workload)
+    }
+
+    /// The distinct workloads present in the ranking, in ranked order.
+    pub fn workloads(&self) -> Vec<u64> {
+        let mut ws: Vec<u64> = self.candidates.iter().map(|c| c.workload).collect();
+        ws.dedup();
+        ws
     }
 }
 
@@ -953,6 +1165,66 @@ mod tests {
             assert_eq!(c.rounding, BlockRounding::PowerOfTwo);
             assert_eq!(c.sequencing, SequencingStrategy::Fdh);
         }
+    }
+
+    #[test]
+    fn workload_grid_ranks_each_workload_separately() {
+        let s = session();
+        let exploration = s
+            .explore(&ExploreSpace::for_workloads(vec![10_000, 1_000_000]))
+            .unwrap();
+        assert_eq!(exploration.workloads(), vec![10_000, 1_000_000]);
+        for w in exploration.workloads() {
+            let best = exploration.best_for(w).unwrap();
+            assert_eq!(best.workload, w);
+            assert!(exploration
+                .candidates
+                .iter()
+                .filter(|c| c.workload == w)
+                .all(|c| c.total_ns >= best.total_ns));
+        }
+        assert!(exploration.best_for(42).is_none());
+        // Candidates are grouped by workload and ranked within each group.
+        for pair in exploration.candidates.windows(2) {
+            assert!(pair[0].workload <= pair[1].workload);
+            if pair[0].workload == pair[1].workload {
+                assert!(pair[0].total_ns <= pair[1].total_ns);
+            }
+        }
+        assert_eq!(exploration.best().workload, 10_000);
+    }
+
+    #[test]
+    fn executable_design_matches_fission_geometry() {
+        let s = session();
+        let analyzed = s.partition().unwrap().analyze().unwrap();
+        let d = analyzed.executable_design().unwrap();
+        let blocks: Vec<u64> = d.configurations.iter().map(|c| c.block_words).collect();
+        assert_eq!(blocks, analyzed.fission.block_words);
+        assert_eq!(d.k, analyzed.fission.k);
+        assert_eq!(d.delay_per_computation_ns(), analyzed.fission.rtr_delay_ns);
+        // The synthetic kernels are pure: one computation is reproducible.
+        let ins: Vec<i32> = (0..d.primary_input_words as i32).collect();
+        assert_eq!(d.compute_one(&ins), d.compute_one(&ins));
+        // And the static equivalent composes the same pipeline.
+        let stat = analyzed.static_equivalent().unwrap();
+        assert_eq!(stat.input_words, d.primary_input_words);
+        assert_eq!(stat.output_words, d.output_words());
+        assert_eq!((stat.kernel)(&ins), d.compute_one(&ins));
+    }
+
+    #[test]
+    fn graphs_without_environment_io_are_not_executable() {
+        use sparcs_dfg::Resources;
+        let mut g = sparcs_dfg::TaskGraph::new("no-env");
+        let a = g.add_task("a", Resources::clbs(10), 100, 1);
+        let b = g.add_task("b", Resources::clbs(10), 100, 1);
+        g.add_edge(a, b, 1).unwrap();
+        let s = FlowSession::new(g, Architecture::xc4044_wildforce());
+        let analyzed = s.partition().unwrap().analyze().unwrap();
+        let err = analyzed.executable_design().unwrap_err();
+        assert!(matches!(err, FlowError::NotExecutable(_)));
+        assert!(!err.is_infeasible());
     }
 
     #[test]

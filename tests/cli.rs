@@ -149,6 +149,130 @@ fn explore_widens_across_jobs_caps_and_boards() {
 }
 
 #[test]
+fn run_streams_synthetic_workloads_without_materializing() {
+    let text = stdout(&sparcs(&["example"]));
+    let path = temp_graph("run", &text);
+    let file = path.to_str().unwrap();
+
+    let run = sparcs(&[
+        "run",
+        file,
+        "--seq",
+        "idh",
+        "--workload",
+        "50000",
+        "--synthetic",
+    ]);
+    assert!(run.status.success(), "{}", stderr(&run));
+    let out = stdout(&run);
+    assert!(out.contains("stream: synthetic, I = 50000"), "{out}");
+    assert!(out.contains("seq   : IDH"), "{out}");
+    assert!(out.contains("50000 computations"), "report present: {out}");
+    assert!(out.contains("digest:"), "{out}");
+
+    // Identical workloads produce identical digests (deterministic stream).
+    let again = sparcs(&[
+        "run",
+        file,
+        "--seq",
+        "idh",
+        "--workload",
+        "50000",
+        "--synthetic",
+    ]);
+    assert_eq!(out, stdout(&again));
+
+    // The static baseline runs behind the same flag.
+    let stat = sparcs(&[
+        "run",
+        file,
+        "--seq",
+        "static",
+        "--workload",
+        "100",
+        "--synthetic",
+    ]);
+    assert!(stat.status.success(), "{}", stderr(&stat));
+    assert!(
+        stdout(&stat).contains("seq   : static"),
+        "{}",
+        stdout(&stat)
+    );
+
+    // A workload grid is an explore feature; run takes exactly one.
+    let grid = sparcs(&["run", file, "--workload", "10,20", "--synthetic"]);
+    assert!(!grid.status.success());
+    assert!(
+        stderr(&grid).contains("single workload"),
+        "{}",
+        stderr(&grid)
+    );
+
+    // Without --synthetic the workload comes from stdin; a --workload
+    // flag there would be silently dropped, so it is rejected instead.
+    let dropped = sparcs(&["run", file, "--workload", "10"]);
+    let _ = std::fs::remove_file(&path);
+    assert!(!dropped.status.success());
+    assert!(
+        stderr(&dropped).contains("--synthetic"),
+        "{}",
+        stderr(&dropped)
+    );
+}
+
+#[test]
+fn run_reads_stdin_and_streams_stdout() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let text = stdout(&sparcs(&["example"]));
+    let path = temp_graph("run-stdin", &text);
+    let file = path.to_str().unwrap();
+
+    // The example graph consumes 3 input words per computation.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sparcs"))
+        .args(["run", file, "--seq", "fdh"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("sparcs spawns");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"1 2 3 4 5 6")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().map(str::trim).collect();
+    assert_eq!(lines.len(), 2, "one line per computation: {lines:?}");
+    let err = stderr(&out);
+    assert!(err.contains("2 computations"), "report on stderr: {err}");
+}
+
+#[test]
+fn explore_ranks_a_workload_grid_in_one_call() {
+    let text = stdout(&sparcs(&["example"]));
+    let path = temp_graph("grid", &text);
+    let file = path.to_str().unwrap();
+    let out = sparcs(&["explore", file, "--workload", "10000,1000000"]);
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let table = stdout(&out);
+    assert!(table.contains("for I = 10000"), "{table}");
+    assert!(table.contains("for I = 1000000"), "{table}");
+    // Small workloads cannot amortize the reconfiguration cascade; huge
+    // ones can — the grid surfaces the crossover in one invocation.
+    assert_eq!(
+        table.matches("best:").count(),
+        2,
+        "one best line per workload: {table}"
+    );
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = sparcs(&["frobnicate"]);
     assert!(!out.status.success(), "unknown subcommand exits non-zero");
