@@ -23,12 +23,14 @@ fn bench(c: &mut Criterion) {
     let pm = build_model(&dct.graph, &arch, 3, &cfg).expect("model builds");
     let sol = solve(&pm.model, &SolveOptions::default()).expect("model is feasible");
     println!(
-        "[sec4] ILP solve: {:?} for {} vars / {} rows, {} B&B nodes, obj {} ns \
-         (paper: CPLEX, 3.5 s in 1999)",
+        "[sec4] ILP solve: {:?} for {} vars / {} rows, {} B&B nodes, {} pivots, \
+         {} cold solves, obj {} ns (paper: CPLEX, 3.5 s in 1999; seed solver: ~4 s)",
         t0.elapsed(),
         pm.model.var_count(),
         pm.model.constraint_count(),
         sol.nodes,
+        sol.pivots,
+        sol.cold_solves,
         sol.objective
     );
     assert!((sol.objective - 8_440.0).abs() < 1e-6);

@@ -1,0 +1,133 @@
+//! `bench-ilp` — the machine-readable ILP perf trajectory.
+//!
+//! Solves the §4 DCT temporal-partitioning model cold (no cache, no warm
+//! incumbent) for partition bounds `N = 3..=6` and writes `BENCH_ilp.json`
+//! at the workspace root: wall time, node count, pivot count and cold-solve
+//! count per bound, next to the *seed* solver's measured baseline (the
+//! dense-tableau branch-and-bound this PR replaced), so future PRs have a
+//! pinned starting point to improve on.
+//!
+//! ```text
+//! cargo run --release -p sparcs_bench --bin bench-ilp [lo [hi]]
+//! ```
+
+use serde::Serialize;
+use sparcs_core::model::{build_model, ModelConfig};
+use sparcs_ilp::{solve, SolveOptions, Status};
+use sparcs_jpeg::{dct_task_graph, EstimateBackend};
+use std::time::Instant;
+
+/// One measured cold solve of the DCT model at partition bound `n`.
+#[derive(Debug, Serialize)]
+struct SolveRecord {
+    n: u32,
+    vars: usize,
+    rows: usize,
+    wall_ms: f64,
+    nodes: usize,
+    pivots: usize,
+    cold_solves: usize,
+    objective: f64,
+    proven_optimal: bool,
+}
+
+/// The seed solver's measured behaviour at the same bounds (dense
+/// full-tableau simplex, full phase-1/phase-2 per node, commit 3583ecd,
+/// same container class as CI).
+#[derive(Debug, Serialize)]
+struct SeedBaseline {
+    n: u32,
+    wall_ms: f64,
+    nodes: Option<usize>,
+    objective: Option<f64>,
+    outcome: &'static str,
+}
+
+#[derive(Debug, Serialize)]
+struct Trajectory {
+    generated_by: &'static str,
+    model: &'static str,
+    seed_baseline: Vec<SeedBaseline>,
+    runs: Vec<SolveRecord>,
+}
+
+fn seed_baseline() -> Vec<SeedBaseline> {
+    vec![
+        SeedBaseline {
+            n: 3,
+            wall_ms: 3963.2,
+            nodes: Some(409),
+            objective: Some(8440.0),
+            outcome: "optimal",
+        },
+        SeedBaseline {
+            n: 4,
+            wall_ms: 80715.5,
+            nodes: Some(3381),
+            objective: Some(8440.0),
+            outcome: "optimal",
+        },
+        SeedBaseline {
+            n: 5,
+            wall_ms: 231716.1,
+            nodes: None,
+            objective: None,
+            outcome: "error: simplex iteration limit 200000 exceeded",
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let lo: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let hi: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    let dct = dct_task_graph(EstimateBackend::PaperCalibrated).expect("graph builds");
+    let arch = sparcs_estimate::Architecture::xc4044_wildforce();
+    let cfg = ModelConfig {
+        declared_symmetry: dct.symmetry_groups.clone(),
+        ..ModelConfig::default()
+    };
+    let mut records = Vec::new();
+    for n in lo..=hi {
+        let pm = build_model(&dct.graph, &arch, n, &cfg).expect("model builds");
+        let t0 = Instant::now();
+        match solve(&pm.model, &SolveOptions::default()) {
+            Ok(sol) => {
+                let wall = t0.elapsed();
+                println!(
+                    "N={n}: {wall:?}, {} nodes, {} pivots, {} cold solves, obj {}",
+                    sol.nodes, sol.pivots, sol.cold_solves, sol.objective
+                );
+                records.push(SolveRecord {
+                    n,
+                    vars: pm.model.var_count(),
+                    rows: pm.model.constraint_count(),
+                    wall_ms: wall.as_secs_f64() * 1e3,
+                    nodes: sol.nodes,
+                    pivots: sol.pivots,
+                    cold_solves: sol.cold_solves,
+                    objective: sol.objective,
+                    proven_optimal: sol.status == Status::Optimal,
+                });
+            }
+            Err(e) => println!("N={n}: {:?}, error {e}", t0.elapsed()),
+        }
+    }
+
+    let trajectory = Trajectory {
+        generated_by: "cargo run --release -p sparcs_bench --bin bench-ilp",
+        model: "DCT 4x4 task graph (paper-calibrated), XC4044/WildForce, ModelConfig::default + declared symmetry",
+        seed_baseline: seed_baseline(),
+        runs: records,
+    };
+    let json = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ilp.json");
+    match std::fs::write(path, format!("{json}\n")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            println!("{json}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Deterministic solver regression guards on the pinned §4 DCT model.
+//!
+//! Wall time is too noisy for CI, but the *serial* branch-and-bound is
+//! deterministic node-for-node, so node counts make a stable regression
+//! axis: the warm-started solver must never explore more nodes than the
+//! seed dense-tableau solver did on the same model (409 at N = 3), must
+//! run phase 1 exactly once (the dual warm start's whole point), and must
+//! keep the §4 optimum bit-stable.
+
+use sparcs_core::model::{build_model, ModelConfig};
+use sparcs_ilp::{solve, SolveOptions, Status};
+use sparcs_jpeg::{dct_task_graph, EstimateBackend};
+
+/// The seed solver's node count on the DCT model at N = 3 (measured at the
+/// parent commit; recorded in `BENCH_ilp.json` as `seed_baseline`).
+const SEED_NODES_N3: usize = 409;
+
+fn solve_dct_n3() -> sparcs_ilp::Solution {
+    let dct = dct_task_graph(EstimateBackend::PaperCalibrated).expect("graph builds");
+    let arch = sparcs_estimate::Architecture::xc4044_wildforce();
+    let cfg = ModelConfig {
+        declared_symmetry: dct.symmetry_groups.clone(),
+        ..ModelConfig::default()
+    };
+    let pm = build_model(&dct.graph, &arch, 3, &cfg).expect("model builds");
+    solve(&pm.model, &SolveOptions::default()).expect("model is feasible")
+}
+
+#[test]
+fn warm_started_solver_explores_no_more_nodes_than_the_seed() {
+    let sol = solve_dct_n3();
+    assert!((sol.objective - 8_440.0).abs() < 1e-6, "§4 optimum moved");
+    assert_eq!(sol.status, Status::Optimal);
+    assert!(
+        sol.nodes <= SEED_NODES_N3,
+        "node regression: {} explored, seed needed {SEED_NODES_N3}",
+        sol.nodes
+    );
+    assert_eq!(
+        sol.cold_solves, 1,
+        "phase 1 must run once at the root, never per node"
+    );
+    assert!(sol.pivots > 0);
+}
+
+#[test]
+fn serial_dct_solve_is_deterministic() {
+    let a = solve_dct_n3();
+    let b = solve_dct_n3();
+    assert_eq!(a.nodes, b.nodes);
+    assert_eq!(a.pivots, b.pivots);
+    assert_eq!(a.x, b.x);
+}
+
+#[test]
+fn parallel_dct_solve_proves_the_same_objective() {
+    let serial = solve_dct_n3();
+    let dct = dct_task_graph(EstimateBackend::PaperCalibrated).expect("graph builds");
+    let arch = sparcs_estimate::Architecture::xc4044_wildforce();
+    let cfg = ModelConfig {
+        declared_symmetry: dct.symmetry_groups.clone(),
+        ..ModelConfig::default()
+    };
+    let pm = build_model(&dct.graph, &arch, 3, &cfg).expect("model builds");
+    let par = solve(
+        &pm.model,
+        &SolveOptions {
+            jobs: 2,
+            ..SolveOptions::default()
+        },
+    )
+    .expect("model is feasible");
+    assert_eq!(par.status, Status::Optimal);
+    assert!((par.objective - serial.objective).abs() < 1e-6);
+}

@@ -16,6 +16,7 @@ use sparcs_dfg::{GraphError, TaskGraph, TaskId};
 use sparcs_estimate::Architecture;
 use sparcs_ilp::{SolveError, SolveOptions, Status};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Options for [`IlpPartitioner`].
 #[derive(Debug, Clone, Default)]
@@ -38,10 +39,36 @@ pub struct SolveStats {
     pub attempted_n: Vec<u32>,
     /// Branch-and-bound nodes over all attempts.
     pub nodes: usize,
+    /// Simplex iterations (pivots + bound flips) over all attempts.
+    pub pivots: usize,
+    /// Cold (phase-1 capable) LP solves; the warm-started search keeps
+    /// this at one per attempted bound unless a basis had to be rebuilt.
+    pub cold_solves: usize,
+    /// Wall-clock time spent building and solving the models.
+    pub wall: Duration,
     /// Whether the final solve proved optimality.
     pub proven_optimal: bool,
     /// How delay rows were generated in the final model.
     pub delay_mode: DelayMode,
+}
+
+impl fmt::Display for SolveStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N tried {:?}: {} nodes, {} pivots, {} cold solves, {:.3} ms, {}",
+            self.attempted_n,
+            self.nodes,
+            self.pivots,
+            self.cold_solves,
+            self.wall.as_secs_f64() * 1e3,
+            if self.proven_optimal {
+                "proven optimal"
+            } else {
+                "feasible (budget hit)"
+            }
+        )
+    }
 }
 
 /// A temporally partitioned design: the assignment plus its latency numbers.
@@ -161,6 +188,9 @@ impl IlpPartitioner {
                 stats: SolveStats {
                     attempted_n: Vec::new(),
                     nodes: 0,
+                    pivots: 0,
+                    cold_solves: 0,
+                    wall: Duration::ZERO,
                     proven_optimal: true,
                     delay_mode: DelayMode::ExactPaths { path_count: 0 },
                 },
@@ -200,6 +230,9 @@ impl IlpPartitioner {
 
         let mut attempted = Vec::new();
         let mut total_nodes = 0usize;
+        let mut total_pivots = 0usize;
+        let mut total_cold = 0usize;
+        let t0 = Instant::now();
         for n in n0..=n_max {
             attempted.push(n);
             let pm = model::build_model(g, &self.arch, n, &self.opts.model)?;
@@ -213,6 +246,8 @@ impl IlpPartitioner {
             match sparcs_ilp::solve(&pm.model, &solve_opts) {
                 Ok(sol) => {
                     total_nodes += sol.nodes;
+                    total_pivots += sol.pivots;
+                    total_cold += sol.cold_solves;
                     let partitioning = pm.decode(&sol);
                     let partition_delays_ns = delay::partition_delays(g, &partitioning)?;
                     let sum_delay_ns: u64 = partition_delays_ns.iter().sum();
@@ -227,6 +262,9 @@ impl IlpPartitioner {
                         stats: SolveStats {
                             attempted_n: attempted,
                             nodes: total_nodes,
+                            pivots: total_pivots,
+                            cold_solves: total_cold,
+                            wall: t0.elapsed(),
                             proven_optimal: sol.status == Status::Optimal,
                             delay_mode: pm.delay_mode,
                         },

@@ -1,0 +1,226 @@
+//! Content-keyed task-estimation caching.
+//!
+//! Estimation is a full resource-constrained scheduling run per (operation
+//! graph, allocation) pair, and the DSS-style allocation exploration in
+//! [`crate::explore`] poses the *same* pairs over and over — every
+//! exploration sweep, every task-graph rebuild, every bench iteration.
+//! [`EstimateCache`] memoizes those runs under the whole problem statement
+//! (`operation graph + allocation + component library + clock constraint →
+//! TaskEstimate`), mirroring the partition cache one crate up: keys are the
+//! full `Debug` renderings of the inputs concatenated with field
+//! separators, so equal problems render equally, any input change (an op's
+//! bit width, a unit count, a library delay, the clock cap) changes the
+//! key, and distinct problems can never alias — a hash collision degrades
+//! to a bucket probe, never to a wrong estimate.
+//!
+//! The cache is thread-safe (the parallel frontier exploration hits it
+//! concurrently); [`TaskEstimate`] is `Copy`, so a hit costs a map lookup.
+//! Errors are never cached — a failing graph re-asks the estimator.
+
+use crate::estimator::TaskEstimate;
+use std::collections::HashMap;
+use std::fmt::{Debug, Write as _};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A cache key: the full rendered problem statement. Build with
+/// [`EstimateKey::builder`], feeding every input that influences the
+/// estimate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EstimateKey(String);
+
+/// Accumulates `Debug` renderings into an [`EstimateKey`].
+#[derive(Debug, Default)]
+pub struct EstimateKeyBuilder {
+    material: String,
+}
+
+impl EstimateKey {
+    /// An empty builder.
+    pub fn builder() -> EstimateKeyBuilder {
+        EstimateKeyBuilder::default()
+    }
+}
+
+impl EstimateKeyBuilder {
+    /// Feeds a value through its `Debug` rendering plus a field separator
+    /// so adjacent values cannot alias.
+    pub fn push(mut self, value: &impl Debug) -> Self {
+        let _ = write!(self.material, "{value:?}");
+        self.material.push('\u{1f}');
+        self
+    }
+
+    /// The finished key.
+    pub fn build(self) -> EstimateKey {
+        EstimateKey(self.material)
+    }
+}
+
+/// Hit/miss counters of an [`EstimateCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EstimateCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to estimate and insert.
+    pub misses: u64,
+}
+
+impl EstimateCacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A thread-safe `problem statement → TaskEstimate` memo table.
+#[derive(Debug, Default)]
+pub struct EstimateCache {
+    map: Mutex<HashMap<EstimateKey, TaskEstimate>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EstimateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide shared cache;
+    /// [`Estimator::estimate_with_cached`](crate::Estimator::estimate_with_cached)
+    /// and the allocation exploration route through it by default.
+    pub fn global() -> &'static EstimateCache {
+        static GLOBAL: OnceLock<EstimateCache> = OnceLock::new();
+        GLOBAL.get_or_init(EstimateCache::new)
+    }
+
+    /// Returns the estimate under `key`, running `estimate` and inserting
+    /// on a miss. The estimator runs outside the map lock, so concurrent
+    /// explorers never serialize on one another's scheduling runs; two
+    /// threads racing on one key both estimate, the first insert wins, and
+    /// both return the same value (estimation is deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Whatever `estimate` returns on failure (never cached).
+    pub fn get_or_estimate<E>(
+        &self,
+        key: EstimateKey,
+        estimate: impl FnOnce() -> Result<TaskEstimate, E>,
+    ) -> Result<TaskEstimate, E> {
+        if let Some(hit) = self.lookup(&key) {
+            return Ok(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = estimate()?;
+        let mut map = self.map.lock().expect("estimate cache lock");
+        Ok(*map.entry(key).or_insert(value))
+    }
+
+    fn lookup(&self, key: &EstimateKey) -> Option<TaskEstimate> {
+        let map = self.map.lock().expect("estimate cache lock");
+        let hit = map.get(key).copied();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Cached estimates.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("estimate cache lock").len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> EstimateCacheStats {
+        EstimateCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached estimate (counters keep running).
+    pub fn clear(&self) {
+        self.map.lock().expect("estimate cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcs_dfg::Resources;
+
+    fn estimate(clbs: u64) -> TaskEstimate {
+        TaskEstimate::from_cycles(Resources::clbs(clbs), 10, 50)
+    }
+
+    fn key(parts: &[&str]) -> EstimateKey {
+        let mut b = EstimateKey::builder();
+        for p in parts {
+            b = b.push(p);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn keys_separate_adjacent_fields() {
+        assert_ne!(key(&["ab", "c"]), key(&["a", "bc"]));
+        assert_eq!(key(&["a", "b"]), key(&["a", "b"]));
+    }
+
+    #[test]
+    fn second_lookup_skips_the_estimator() {
+        let cache = EstimateCache::new();
+        let first = cache
+            .get_or_estimate::<()>(key(&["t"]), || Ok(estimate(70)))
+            .expect("estimates");
+        let second = cache
+            .get_or_estimate::<()>(key(&["t"]), || panic!("must not re-estimate"))
+            .expect("hits");
+        assert_eq!(first, second);
+        assert_eq!(cache.stats(), EstimateCacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.stats().lookups(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_estimate_separately() {
+        let cache = EstimateCache::new();
+        let a = cache
+            .get_or_estimate::<()>(key(&["a"]), || Ok(estimate(1)))
+            .unwrap();
+        let b = cache
+            .get_or_estimate::<()>(key(&["b"]), || Ok(estimate(2)))
+            .unwrap();
+        assert_ne!(a.resources, b.resources);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = EstimateCache::new();
+        let err: Result<_, &str> = cache.get_or_estimate(key(&["k"]), || Err("cyclic"));
+        assert_eq!(err.unwrap_err(), "cyclic");
+        assert!(cache.is_empty());
+        let ok = cache.get_or_estimate::<&str>(key(&["k"]), || Ok(estimate(3)));
+        assert_eq!(ok.expect("estimates now").resources.clbs, 3);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = EstimateCache::new();
+        cache
+            .get_or_estimate::<()>(key(&["x"]), || Ok(estimate(5)))
+            .unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

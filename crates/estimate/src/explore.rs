@@ -110,8 +110,13 @@ pub fn pareto_implementations_jobs(
 
     // Estimate every allocation, each into its own result slot, so the
     // result order (and the error reported, if any) follows enumeration
-    // order, not thread scheduling.
-    let estimates = scoped_map(jobs, &allocations, |alloc| est.estimate_with(g, alloc));
+    // order, not thread scheduling. Estimates go through the global
+    // [`crate::cache::EstimateCache`]: repeated sweeps over the same task
+    // (every exploration grid point, every bench iteration) schedule each
+    // allocation once per process.
+    let estimates = scoped_map(jobs, &allocations, |alloc| {
+        est.estimate_with_cached(g, alloc)
+    });
     let mut points: Vec<ImplementationPoint> = Vec::with_capacity(allocations.len());
     for (alloc, estimate) in allocations.into_iter().zip(estimates) {
         points.push(ImplementationPoint {
@@ -219,6 +224,23 @@ mod tests {
             let parallel = pareto_implementations_jobs(&est(), &g, 8, 4).unwrap();
             assert_eq!(serial, parallel, "jobs must not change the frontier");
         }
+    }
+
+    #[test]
+    fn repeated_exploration_hits_the_estimate_cache() {
+        use crate::cache::EstimateCache;
+        let g = mac8();
+        let first = pareto_implementations(&est(), &g, 4).unwrap();
+        let mid = EstimateCache::global().stats();
+        let second = pareto_implementations(&est(), &g, 4).unwrap();
+        let after = EstimateCache::global().stats();
+        assert_eq!(first, second, "cached sweep returns identical frontier");
+        // Counters are global and other tests run concurrently, so only
+        // monotone claims are safe: our second sweep answered from cache.
+        assert!(
+            after.hits >= mid.hits + 2,
+            "second sweep must hit: {mid:?} -> {after:?}"
+        );
     }
 
     #[test]

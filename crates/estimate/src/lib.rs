@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod cache;
 pub mod estimator;
 pub mod explore;
 pub mod library;
@@ -47,6 +48,7 @@ pub mod paper;
 pub mod schedule;
 
 pub use arch::Architecture;
+pub use cache::{EstimateCache, EstimateCacheStats};
 pub use estimator::{EstimateError, Estimator, TaskEstimate};
 pub use library::ComponentLibrary;
 pub use opgraph::{OpGraph, OpId, OpKind};

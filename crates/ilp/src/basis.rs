@@ -1,0 +1,319 @@
+//! Product-form basis factorization for the revised simplex.
+//!
+//! The basis inverse is kept as an *eta file*: a sequence of elementary
+//! column transformations such that `B⁻¹ = E_k · … · E_1`. Every simplex
+//! pivot appends one eta (built from the entering column's `B⁻¹·a_q`);
+//! [`Basis::reinvert`] rebuilds a short file from scratch for an arbitrary
+//! basic column set, assigning each column a pivot row as it goes.
+//!
+//! Reinversion processes columns in ascending nonzero count, so the
+//! identity-like slack columns (the bulk of any LP basis here) claim their
+//! own rows with *no* eta at all and only the structural basic columns
+//! contribute fill — the sparse analogue of the classic
+//! triangularize-then-bump ordering, with the bump handled by the same
+//! greedy pivot search.
+
+use crate::sparse::SparseMat;
+
+/// One elementary transformation: column `r` of the identity replaced by
+/// the eta vector (stored sparse, including the `1/pivot` diagonal entry).
+#[derive(Debug, Clone)]
+struct Eta {
+    r: u32,
+    entries: Vec<(u32, f64)>,
+}
+
+/// The factorized basis `B⁻¹ = E_k · … · E_1` (positions are row indices).
+#[derive(Debug, Clone)]
+pub struct Basis {
+    m: usize,
+    etas: Vec<Eta>,
+    /// Total eta entries — the actual cost driver for ftran/btran, used by
+    /// the refactorization policy.
+    nnz: usize,
+}
+
+/// Reinversion failure: the proposed column set does not span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularBasis;
+
+/// Pivot magnitudes below this are never accepted during reinversion.
+const REINVERT_TOL: f64 = 1e-9;
+
+impl Basis {
+    /// The identity basis (no etas).
+    pub fn identity(m: usize) -> Self {
+        Basis {
+            m,
+            etas: Vec::new(),
+            nnz: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// Number of etas accumulated since the last reinversion.
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Total stored eta entries (ftran/btran cost proxy).
+    pub fn eta_nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Solves `B·x = v` in place (`x` overwrites `v`).
+    pub fn ftran(&self, v: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.m);
+        for eta in &self.etas {
+            let t = v[eta.r as usize];
+            if t == 0.0 {
+                continue;
+            }
+            for &(i, e) in &eta.entries {
+                if i == eta.r {
+                    v[i as usize] = e * t;
+                } else {
+                    v[i as usize] += e * t;
+                }
+            }
+        }
+    }
+
+    /// Solves `Bᵀ·y = v` in place (`y` overwrites `v`).
+    pub fn btran(&self, v: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.m);
+        for eta in self.etas.iter().rev() {
+            let mut acc = 0.0;
+            for &(i, e) in &eta.entries {
+                acc += e * v[i as usize];
+            }
+            v[eta.r as usize] = acc;
+        }
+    }
+
+    /// Appends the eta for a pivot at position `r` with direction
+    /// `w = B⁻¹·a_q` (the entering column in the current basis).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics on a (near-)zero pivot element.
+    pub fn push_pivot(&mut self, r: usize, w: &[f64]) {
+        let pivot = w[r];
+        debug_assert!(pivot.abs() > 1e-12, "pivot on (near-)zero element");
+        let inv = 1.0 / pivot;
+        let mut entries = Vec::with_capacity(8);
+        for (i, &wi) in w.iter().enumerate() {
+            if i == r {
+                entries.push((i as u32, inv));
+            } else if wi != 0.0 {
+                entries.push((i as u32, -wi * inv));
+            }
+        }
+        self.nnz += entries.len();
+        self.etas.push(Eta {
+            r: r as u32,
+            entries,
+        });
+    }
+
+    /// Rebuilds a fresh eta file for the basic column set `basic_cols` of
+    /// `mat`, assigning pivot rows greedily (sparsest column first, largest
+    /// eligible pivot element). On success returns the basis and the
+    /// row-position assignment `assign[r] = column`.
+    ///
+    /// Columns that cannot claim a row (numerically dependent set) are
+    /// *repaired*: the row's own unit column from `units` (the slack of
+    /// that row) is pivoted in instead, and the dropped columns are
+    /// reported so the caller can mark those variables nonbasic.
+    ///
+    /// # Errors
+    ///
+    /// [`SingularBasis`] when even the repair columns cannot complete the
+    /// basis (cannot happen for a matrix carrying a full slack identity,
+    /// but checked rather than assumed).
+    pub fn reinvert(
+        mat: &SparseMat,
+        basic_cols: &[usize],
+        unit_col_of_row: impl Fn(usize) -> usize,
+    ) -> Result<Reinverted, SingularBasis> {
+        let m = mat.rows();
+        assert_eq!(basic_cols.len(), m, "one basic column per row");
+        let mut basis = Basis::identity(m);
+        let mut assign: Vec<usize> = vec![usize::MAX; m];
+        let mut claimed = vec![false; m];
+        let mut dropped: Vec<usize> = Vec::new();
+
+        let mut order: Vec<usize> = basic_cols.to_vec();
+        order.sort_unstable_by_key(|&c| mat.col_nnz(c));
+
+        let mut w = vec![0.0; m];
+        let place = |basis: &mut Basis,
+                     claimed: &mut Vec<bool>,
+                     assign: &mut Vec<usize>,
+                     w: &mut Vec<f64>,
+                     col: usize|
+         -> bool {
+            w.iter_mut().for_each(|x| *x = 0.0);
+            mat.col_axpy(col, 1.0, w);
+            basis.ftran(w);
+            let mut best = REINVERT_TOL;
+            let mut best_r = None;
+            for (r, &wr) in w.iter().enumerate() {
+                if !claimed[r] && wr.abs() > best {
+                    best = wr.abs();
+                    best_r = Some(r);
+                }
+            }
+            let Some(r) = best_r else { return false };
+            // A unit column claiming its own untouched row needs no eta.
+            let trivial = (w[r] - 1.0).abs() < 1e-14
+                && w.iter().enumerate().all(|(i, &x)| i == r || x == 0.0);
+            if !trivial {
+                basis.push_pivot(r, w);
+            }
+            claimed[r] = true;
+            assign[r] = col;
+            true
+        };
+
+        for &col in &order {
+            if !place(&mut basis, &mut claimed, &mut assign, &mut w, col) {
+                dropped.push(col);
+            }
+        }
+        // Repair: claim leftover rows with their own unit (slack) columns.
+        if !dropped.is_empty() {
+            while let Some(r0) = claimed.iter().position(|&c| !c) {
+                let mut progressed = false;
+                for r in r0..m {
+                    if claimed[r] {
+                        continue;
+                    }
+                    progressed |= place(
+                        &mut basis,
+                        &mut claimed,
+                        &mut assign,
+                        &mut w,
+                        unit_col_of_row(r),
+                    );
+                }
+                if !progressed {
+                    return Err(SingularBasis);
+                }
+            }
+        }
+        Ok(Reinverted {
+            basis,
+            assign,
+            dropped,
+        })
+    }
+}
+
+/// The result of [`Basis::reinvert`].
+#[derive(Debug, Clone)]
+pub struct Reinverted {
+    /// The fresh factorization.
+    pub basis: Basis,
+    /// `assign[r]` = the column basic at row position `r`.
+    pub assign: Vec<usize>,
+    /// Columns from the requested set that were replaced by repair slacks.
+    pub dropped: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_mat() -> SparseMat {
+        // 3x5: [I | two structural columns]
+        SparseMat::from_columns(
+            3,
+            vec![
+                vec![(0, 1.0)],
+                vec![(1, 1.0)],
+                vec![(2, 1.0)],
+                vec![(0, 2.0), (1, 1.0)],
+                vec![(1, -1.0), (2, 3.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let b = Basis::identity(3);
+        let mut v = vec![1.0, 2.0, 3.0];
+        b.ftran(&mut v);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        b.btran(&mut v);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reinvert_and_solve_round_trip() {
+        let mat = dense_mat();
+        // Basis {slack0, col3, col4}: B = [[1,2,0],[0,1,-1],[0,0,3]] (up to
+        // row assignment).
+        let r = Basis::reinvert(&mat, &[0, 3, 4], |i| i).unwrap();
+        assert!(r.dropped.is_empty());
+        // ftran must invert B: check B · (B⁻¹ e_k) = e_k for each k.
+        for k in 0..3 {
+            let mut v = vec![0.0; 3];
+            v[k] = 1.0;
+            r.basis.ftran(&mut v);
+            // x is in position space: column assign[p] has weight x[p].
+            let mut recomposed = vec![0.0; 3];
+            for (p, &x) in v.iter().enumerate() {
+                mat.col_axpy(r.assign[p], x, &mut recomposed);
+            }
+            for (i, &val) in recomposed.iter().enumerate() {
+                let want = if i == k { 1.0 } else { 0.0 };
+                assert!((val - want).abs() < 1e-12, "k={k} i={i} got {val}");
+            }
+        }
+    }
+
+    #[test]
+    fn btran_is_transpose_of_ftran() {
+        let mat = dense_mat();
+        let mut r = Basis::reinvert(&mat, &[2, 3, 4], |i| i).unwrap();
+        // Add a pivot on top to exercise the eta path in both solves.
+        let mut w = vec![0.0; 3];
+        mat.col_axpy(0, 1.0, &mut w);
+        r.basis.ftran(&mut w);
+        if w[0].abs() > 1e-9 {
+            r.basis.push_pivot(0, &w);
+        }
+        // <B⁻¹u, v> == <u, B⁻ᵀv> for random-ish u, v.
+        let u = [1.0, -2.0, 0.5];
+        let v = [3.0, 0.25, -1.0];
+        let mut fu = u.to_vec();
+        r.basis.ftran(&mut fu);
+        let mut bv = v.to_vec();
+        r.basis.btran(&mut bv);
+        let lhs: f64 = fu.iter().zip(&v).map(|(a, b)| a * b).sum();
+        let rhs: f64 = u.iter().zip(&bv).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-10, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn slack_heavy_basis_needs_no_etas() {
+        let mat = dense_mat();
+        let r = Basis::reinvert(&mat, &[0, 1, 2], |i| i).unwrap();
+        assert_eq!(r.basis.eta_count(), 0, "identity basis is eta-free");
+        assert_eq!(r.assign, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dependent_set_is_repaired_with_unit_columns() {
+        // col3 twice: dependent; repair must fall back to a slack.
+        let mat = dense_mat();
+        let r = Basis::reinvert(&mat, &[3, 3, 4], |i| i).unwrap();
+        assert_eq!(r.dropped, vec![3]);
+        assert!(r.assign.iter().all(|&c| c != usize::MAX));
+    }
+}

@@ -3,16 +3,24 @@
 //! The DAC'99 temporal-partitioning paper solves its model with CPLEX. No
 //! commercial solver is available to this reproduction, so this crate is a
 //! from-scratch exact solver sized for the paper's models (hundreds of
-//! variables and constraints):
+//! variables and constraints), built the way production MILP codes are:
 //!
 //! * [`Model`] — a mathematical-programming model builder: continuous,
 //!   integer and binary variables with bounds, linear constraints, a linear
 //!   objective, and the product-linearization helpers the paper relies on to
 //!   turn `w ≥ y·y` into linear rows.
-//! * [`simplex`] — a dense two-phase primal simplex LP solver with Bland's
-//!   anti-cycling rule.
-//! * [`branch`] — best-first branch-and-bound over the LP relaxation for the
-//!   mixed 0/1-integer models, with warm-start incumbents and node limits.
+//! * [`sparse`] — compressed-column storage for the constraint matrix.
+//! * [`basis`] — the product-form basis factorization (eta file +
+//!   sparsity-ordered reinversion) behind every `B⁻¹` application.
+//! * [`simplex`] — a sparse revised simplex over implicit variable bounds:
+//!   a bounded primal (phase 1/2 fallback) and a dual simplex with
+//!   steepest-edge pricing and a bound-flipping ratio test, able to
+//!   re-optimize from a warm basis after bound changes in a handful of
+//!   pivots.
+//! * [`branch`] — warm-started branch-and-bound: best-bound/dive hybrid
+//!   search, parent-pointer bound deltas, reduced-cost fixing, optional
+//!   subtree-parallel workers sharing one incumbent. Phase 1 runs once at
+//!   the root, never per node.
 //! * [`enumerate`] — an exponential 0/1 enumeration solver used as a test
 //!   oracle on tiny models.
 //!
@@ -46,10 +54,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod basis;
 pub mod branch;
 pub mod enumerate;
 pub mod model;
 pub mod simplex;
+pub mod sparse;
 
 pub use branch::{solve, Solution, SolveError, SolveOptions, Status};
 pub use model::{Constraint, LinExpr, Model, ModelError, Objective, Sense, Var, VarKind};

@@ -343,6 +343,26 @@ impl Model {
         z
     }
 
+    /// The constraint matrix in column-major nonzero form: entry `j` lists
+    /// the `(row, coefficient)` pairs of variable `j`'s column, with
+    /// `scale_row(i)` applied to row `i` (pass `|_| 1.0` for the raw
+    /// matrix). This is the hand-off to the sparse revised simplex
+    /// ([`crate::sparse::SparseMat::from_columns`]); building it here keeps
+    /// the row-major builder representation a [`Model`] implementation
+    /// detail.
+    pub fn columns(&self, scale_row: impl Fn(usize) -> f64) -> Vec<Vec<(usize, f64)>> {
+        let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.vars.len()];
+        for (i, c) in self.constraints.iter().enumerate() {
+            let s = scale_row(i);
+            for &(v, coef) in &c.expr.terms {
+                if coef != 0.0 {
+                    columns[v.index()].push((i, coef * s));
+                }
+            }
+        }
+        columns
+    }
+
     /// Validates variable bounds, coefficient finiteness and variable
     /// references.
     ///

@@ -1,31 +1,45 @@
-//! Dense two-phase primal simplex.
+//! Sparse revised simplex with warm-started dual re-optimization.
 //!
-//! Solves the continuous relaxation of a [`Model`] (optionally with
-//! per-variable bound overrides supplied by branch-and-bound). The
-//! implementation is a textbook full-tableau simplex:
+//! Replaces the original dense full-tableau implementation. The LP is held
+//! in *computational standard form*: every constraint row gets a slack
+//! (`A·x + s = b`, the row's sense encoded in the slack's bounds), variable
+//! bounds are handled implicitly (nonbasic variables sit at a bound, never
+//! as extra rows), and the basis inverse is a product-form eta file over
+//! the sparse column-major matrix ([`crate::basis`], [`crate::sparse`]).
 //!
-//! * variables are shifted to `x̃ = x − lo ≥ 0` (free variables are split
-//!   into a positive and a negative part);
-//! * finite upper bounds become explicit `x̃ ≤ hi − lo` rows;
-//! * phase 1 minimizes the sum of artificial variables to find a basic
-//!   feasible point, phase 2 optimizes the real objective;
-//! * pivoting uses Dantzig's rule and falls back to Bland's rule after a
-//!   stall so cycling cannot occur.
+//! Two iteration engines share the factorization:
 //!
-//! Dense tableaus are quadratic in memory but entirely adequate for the
-//! DAC'99 partitioning models (≲10³ rows); see `sparcs-bench` for measured
-//! solve times.
+//! * a **bounded primal simplex** (Dantzig pricing, bound-flip ratio test,
+//!   Bland fallback after a degeneracy stall) used for the classic
+//!   phase-1/phase-2 sequence when no dual-feasible start exists;
+//! * a **dual simplex** (Forrest–Goldfarb steepest-edge pricing, a
+//!   bound-flipping "long step" ratio test, incremental reduced-cost
+//!   updates) used whenever a dual-feasible basis is at hand — which is the common case: the cost structure of the
+//!   partitioning models admits a dual-feasible slack basis, so the root
+//!   solves without any phase 1, and branch-and-bound re-optimizes each
+//!   node from its parent's basis in a handful of dual pivots instead of a
+//!   cold two-phase solve.
+//!
+//! The public [`solve_lp`]/[`solve_lp_with_bounds`] entry points keep their
+//! original signatures; [`Workspace`] is the crate-internal warm-start
+//! surface consumed by [`crate::branch`].
 
-use crate::model::{Model, Objective, Sense};
+use crate::basis::Basis;
+use crate::model::{Model, Sense, Var};
+use crate::sparse::SparseMat;
 use std::fmt;
 
 /// Zero tolerance for reduced costs and coefficient cleanup.
 const EPS: f64 = 1e-9;
-/// Minimum acceptable pivot magnitude — pivoting on smaller elements
-/// amplifies roundoff catastrophically.
+/// Preferred minimum pivot magnitude; entries in `(EPS, PIVOT_TOL]` are
+/// last-resort pivots only.
 const PIVOT_TOL: f64 = 1e-7;
-/// Feasibility tolerance used when classifying phase-1 results.
+/// Primal feasibility tolerance (on scaled rows).
 const FEAS_TOL: f64 = 1e-7;
+/// Dual feasibility tolerance for reduced costs.
+const DUAL_TOL: f64 = 1e-7;
+/// Degenerate steps tolerated before switching to Bland-style selection.
+const STALL_LIMIT: usize = 256;
 
 /// A solved LP relaxation.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +48,7 @@ pub struct LpSolution {
     pub x: Vec<f64>,
     /// Objective value in the original orientation (max stays max).
     pub objective: f64,
-    /// Simplex iterations spent (both phases).
+    /// Simplex iterations spent (all phases, pivots plus bound flips).
     pub iterations: usize,
 }
 
@@ -84,7 +98,7 @@ impl std::error::Error for LpError {}
 /// Returns [`LpError::IterationLimit`] if the pivot budget is exhausted.
 pub fn solve_lp(model: &Model, max_iters: usize) -> Result<LpOutcome, LpError> {
     let bounds: Vec<(f64, f64)> = (0..model.var_count())
-        .map(|i| model.var_bounds(crate::model::Var(i as u32)))
+        .map(|i| model.var_bounds(Var(i as u32)))
         .collect();
     solve_lp_with_bounds(model, &bounds, max_iters)
 }
@@ -105,455 +119,1056 @@ pub fn solve_lp_with_bounds(
     max_iters: usize,
 ) -> Result<LpOutcome, LpError> {
     assert_eq!(bounds.len(), model.var_count(), "one bound pair per var");
-    for &(lo, hi) in bounds {
-        if lo > hi + EPS {
-            return Ok(LpOutcome::Infeasible);
+    let mut ws = Workspace::new(model);
+    ws.set_bounds_full(bounds);
+    let outcome = ws.solve_root(max_iters)?;
+    Ok(match outcome {
+        RelaxOutcome::Infeasible => LpOutcome::Infeasible,
+        RelaxOutcome::Unbounded => LpOutcome::Unbounded,
+        RelaxOutcome::Optimal => {
+            let x = ws.extract_x();
+            // Post-solve verification against the original named rows: a
+            // claimed-optimal solution violating a constraint means
+            // numerical corruption, reported as an error rather than a
+            // wrong answer.
+            for c in model.constraints() {
+                let scale = c
+                    .expr
+                    .terms
+                    .iter()
+                    .map(|&(_, coef)| coef.abs())
+                    .fold(1.0f64, f64::max);
+                if !c.satisfied_by(&x, 1e-5 * scale) {
+                    return Err(LpError::Numerical {
+                        constraint: c.name.clone(),
+                    });
+                }
+            }
+            let objective = model.objective().expr().eval(&x);
+            LpOutcome::Optimal(LpSolution {
+                x,
+                objective,
+                iterations: ws.iterations(),
+            })
+        }
+    })
+}
+
+/// Where a nonbasic variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum VStat {
+    /// In the basis.
+    Basic = 0,
+    /// Nonbasic at its lower bound.
+    AtLower = 1,
+    /// Nonbasic at its upper bound.
+    AtUpper = 2,
+    /// Free nonbasic, resting at zero.
+    Free = 3,
+}
+
+impl VStat {
+    fn from_u8(v: u8) -> VStat {
+        match v {
+            0 => VStat::Basic,
+            1 => VStat::AtLower,
+            2 => VStat::AtUpper,
+            _ => VStat::Free,
         }
     }
-    Tableau::build(model, bounds).solve(model, bounds, max_iters)
 }
 
-/// Column bookkeeping: how each original variable maps into tableau columns.
-#[derive(Debug, Clone, Copy)]
-enum ColMap {
-    /// `x = lo + col(j)`.
-    Shifted { col: usize, lo: f64 },
-    /// `x = col(pos) − col(neg)` (free variable split).
-    Split { pos: usize, neg: usize },
+/// Result of one relaxation solve (bound/solution read back separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RelaxOutcome {
+    /// The workspace holds an optimal basic solution.
+    Optimal,
+    /// No feasible point under the current bounds.
+    Infeasible,
+    /// The objective is unbounded (only reachable from a cold start).
+    Unbounded,
 }
 
-struct Tableau {
-    /// (rows + 1) × (cols + 1), row-major; last row is the cost row and the
-    /// last column is the RHS.
-    a: Vec<f64>,
-    rows: usize,
-    cols: usize,
-    basis: Vec<usize>,
-    col_map: Vec<ColMap>,
-    /// First artificial column (artificials occupy `art_start..cols`).
-    art_start: usize,
-    /// Rows dropped as redundant after phase 1.
-    dead_rows: Vec<bool>,
+enum StepOutcome {
+    Optimal,
+    /// Primal: no blocking ratio. Dual: no entering column.
+    Ray,
 }
 
-/// One row of the intermediate (pre-slack) system.
-struct RawRow {
-    coeffs: Vec<(usize, f64)>,
-    sense: Sense,
-    rhs: f64,
+/// The warm-startable solver state for one model: sparse standard form,
+/// factorized basis, current bounds/values/duals. One workspace serves many
+/// solves — branch-and-bound workers reuse it across nodes, changing only
+/// bounds (and the basis snapshot when jumping subtrees).
+pub(crate) struct Workspace {
+    m: usize,
+    /// Structural variable count (columns `0..n` mirror the model's vars).
+    n: usize,
+    /// Total columns: structural, slack (`n..n+m`), artificial
+    /// (`n+m..n+2m`; fixed at zero outside phase 1).
+    n_total: usize,
+    mat: SparseMat,
+    /// Internal minimization costs (objective negated for maximization).
+    cost: Vec<f64>,
+    /// Scaled right-hand side.
+    rhs: Vec<f64>,
+
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    vstat: Vec<VStat>,
+    /// `basic[r]` = column basic at row position `r`.
+    basic: Vec<usize>,
+    basis: Basis,
+    /// Basic values by position.
+    xb: Vec<f64>,
+    /// Reduced costs (valid for nonbasic columns after a solve).
+    d: Vec<f64>,
+    iterations: usize,
+    cold_starts: usize,
+    /// Eta count/nnz right after the last reinversion — the refactor
+    /// policy triggers on *growth* since then, not on the absolute size
+    /// (reinversion itself legitimately produces one eta per structural
+    /// basic column).
+    eta_base: (usize, usize),
+    /// Dual steepest-edge weights per row position (`||B^{-T}e_r||^2`,
+    /// maintained by the Forrest-Goldfarb update; reset to 1 whenever the
+    /// basis is replaced wholesale rather than pivoted).
+    dse: Vec<f64>,
+    /// Scratch vectors (kept to avoid per-iteration allocation).
+    w: Vec<f64>,
+    rho: Vec<f64>,
+    alpha: Vec<f64>,
+    tau: Vec<f64>,
 }
 
-impl Tableau {
-    fn build(model: &Model, bounds: &[(f64, f64)]) -> Tableau {
-        // --- 1. map variables to shifted / split columns -------------------
-        let mut col_map = Vec::with_capacity(model.var_count());
-        let mut ncols = 0usize;
-        for &(lo, _hi) in bounds {
-            if lo.is_finite() {
-                col_map.push(ColMap::Shifted { col: ncols, lo });
-                ncols += 1;
-            } else {
-                col_map.push(ColMap::Split {
-                    pos: ncols,
-                    neg: ncols + 1,
-                });
-                ncols += 2;
-            }
-        }
-        let struct_cols = ncols;
-
-        // --- 2. collect raw rows (constraints + finite upper bounds) -------
-        let mut raw: Vec<RawRow> = Vec::new();
-        for c in model.constraints() {
-            let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(c.expr.terms.len() + 1);
-            let mut shift = 0.0;
-            for &(v, coef) in &c.expr.terms {
-                match col_map[v.index()] {
-                    ColMap::Shifted { col, lo } => {
-                        coeffs.push((col, coef));
-                        shift += coef * lo;
-                    }
-                    ColMap::Split { pos, neg } => {
-                        coeffs.push((pos, coef));
-                        coeffs.push((neg, -coef));
-                    }
-                }
-            }
-            raw.push(RawRow {
-                coeffs,
-                sense: c.sense,
-                rhs: c.rhs - shift,
-            });
-        }
-        for (v, &(lo, hi)) in bounds.iter().enumerate() {
-            if hi.is_finite() {
-                match col_map[v] {
-                    ColMap::Shifted { col, lo } => raw.push(RawRow {
-                        coeffs: vec![(col, 1.0)],
-                        sense: Sense::Le,
-                        rhs: hi - lo,
-                    }),
-                    ColMap::Split { pos, neg } => raw.push(RawRow {
-                        coeffs: vec![(pos, 1.0), (neg, -1.0)],
-                        sense: Sense::Le,
-                        rhs: hi,
-                    }),
-                }
-            }
-            let _ = lo;
-        }
-
-        // Normalize: rhs ≥ 0 (flip row and sense when negative). Drop empty
-        // rows (their feasibility is checked by the caller via `violations`;
-        // an empty row that is trivially false makes the LP infeasible —
-        // encode it as 0 == rhs with an artificial that can never vanish).
-        for r in &mut raw {
-            r.coeffs.retain(|&(_, c)| c.abs() > EPS);
-            if r.rhs < 0.0 {
-                for (_, c) in &mut r.coeffs {
-                    *c = -*c;
-                }
-                r.rhs = -r.rhs;
-                r.sense = match r.sense {
-                    Sense::Le => Sense::Ge,
-                    Sense::Ge => Sense::Le,
-                    Sense::Eq => Sense::Eq,
-                };
-            }
-        }
-        // Trivially-true empty rows can be removed entirely.
-        raw.retain(|r| {
-            !(r.coeffs.is_empty()
-                && match r.sense {
-                    Sense::Le => r.rhs >= -FEAS_TOL, // 0 <= rhs (rhs >= 0 already)
-                    Sense::Ge => r.rhs <= FEAS_TOL,  // 0 >= rhs holds only if rhs == 0
-                    Sense::Eq => r.rhs.abs() <= FEAS_TOL,
-                })
-        });
-        // Row equilibration: scale each row by 1/max|coeff| so mixed-
-        // magnitude models (unit uniqueness rows next to nanosecond delay
-        // rows) stay numerically stable.
-        for r in &mut raw {
-            let maxc = r
-                .coeffs
-                .iter()
-                .map(|&(_, c)| c.abs())
-                .fold(0.0f64, f64::max);
-            if maxc > 0.0 {
-                let s = 1.0 / maxc;
-                for (_, c) in &mut r.coeffs {
-                    *c *= s;
-                }
-                r.rhs *= s;
-            }
-        }
-
-        // --- 3. slack / surplus / artificial columns -----------------------
-        let rows = raw.len();
-        let n_slack = raw
+impl Workspace {
+    /// Builds the standard form: row-equilibrated sparse matrix with slack
+    /// and artificial columns. Bounds start unset; call
+    /// [`Self::set_bounds_full`] before solving.
+    pub(crate) fn new(model: &Model) -> Workspace {
+        let m = model.constraint_count();
+        let n = model.var_count();
+        let n_total = n + 2 * m;
+        // Row equilibration: scale each row to max |coefficient| 1 so the
+        // unit-magnitude assignment rows and the nanosecond-magnitude delay
+        // rows meet the same tolerances.
+        let scales: Vec<f64> = model
+            .constraints()
             .iter()
-            .filter(|r| matches!(r.sense, Sense::Le | Sense::Ge))
-            .count();
-        let n_art = raw
-            .iter()
-            .filter(|r| matches!(r.sense, Sense::Ge | Sense::Eq))
-            .count();
-        let cols = struct_cols + n_slack + n_art;
-        let art_start = struct_cols + n_slack;
-        let width = cols + 1;
-        let mut a = vec![0.0; (rows + 1) * width];
-        let mut basis = vec![usize::MAX; rows];
-        let mut next_slack = struct_cols;
-        let mut next_art = art_start;
-        for (i, r) in raw.iter().enumerate() {
-            let row = &mut a[i * width..(i + 1) * width];
-            for &(j, c) in &r.coeffs {
-                row[j] += c;
-            }
-            row[cols] = r.rhs;
-            match r.sense {
-                Sense::Le => {
-                    row[next_slack] = 1.0;
-                    basis[i] = next_slack;
-                    next_slack += 1;
+            .map(|c| {
+                let maxc = c
+                    .expr
+                    .terms
+                    .iter()
+                    .map(|&(_, v)| v.abs())
+                    .fold(0.0f64, f64::max);
+                if maxc > 0.0 {
+                    1.0 / maxc
+                } else {
+                    1.0
                 }
-                Sense::Ge => {
-                    row[next_slack] = -1.0;
-                    next_slack += 1;
-                    row[next_art] = 1.0;
-                    basis[i] = next_art;
-                    next_art += 1;
-                }
-                Sense::Eq => {
-                    row[next_art] = 1.0;
-                    basis[i] = next_art;
-                    next_art += 1;
+            })
+            .collect();
+        let mut columns = model.columns(|i| scales[i]);
+        columns.resize(n_total, Vec::new());
+        let mut rhs = vec![0.0; m];
+        for (i, c) in model.constraints().iter().enumerate() {
+            rhs[i] = c.rhs * scales[i];
+            columns[n + i].push((i, 1.0)); // slack
+            columns[n + m + i].push((i, 1.0)); // artificial
+        }
+        let mat = SparseMat::from_columns(m, columns);
+        let maximize = model.objective().is_max();
+        let mut cost = vec![0.0; n_total];
+        for &(v, c) in &model.objective().expr().terms {
+            cost[v.index()] += if maximize { -c } else { c };
+        }
+        // Deterministic cost perturbation on zero-cost bounded columns.
+        // Assignment-style models leave most binaries costless, making the
+        // dual simplex wander a fully degenerate polytope (every ratio 0);
+        // distinct tiny costs make the min-ratio selection act nearly
+        // lexicographically. Each term contributes at most
+        // `2e-7·range⁻¹·max(|lo|,|hi|) ≤ 2e-7` to the objective, so the
+        // whole perturbation shifts it by under `2e-7·n`. Branch-and-bound
+        // runs entirely in this perturbed space (bounds and incumbent keys
+        // alike — see `crate::branch`), which keeps tie nodes pruning
+        // exactly; reported objectives are always re-evaluated on the
+        // original expression, never on the perturbed costs.
+        for (j, c) in cost.iter_mut().enumerate().take(n) {
+            if *c == 0.0 {
+                let (l, h) = model.var_bounds(Var(j as u32));
+                if l.is_finite() && h.is_finite() {
+                    let range = (h - l).max(1.0);
+                    *c = 1e-7 * hash_unit(j as u64) / range;
                 }
             }
         }
-
-        Tableau {
-            a,
-            rows,
-            cols,
-            basis,
-            col_map,
-            art_start,
-            dead_rows: vec![false; rows],
+        let mut lo = vec![0.0; n_total];
+        let mut hi = vec![0.0; n_total];
+        for (i, c) in model.constraints().iter().enumerate() {
+            let (slo, shi) = match c.sense {
+                Sense::Le => (0.0, f64::INFINITY),
+                Sense::Ge => (f64::NEG_INFINITY, 0.0),
+                Sense::Eq => (0.0, 0.0),
+            };
+            lo[n + i] = slo;
+            hi[n + i] = shi;
+            // Artificials are fixed at zero outside phase 1.
+            lo[n + m + i] = 0.0;
+            hi[n + m + i] = 0.0;
+        }
+        Workspace {
+            m,
+            n,
+            n_total,
+            mat,
+            cost,
+            rhs,
+            lo,
+            hi,
+            vstat: vec![VStat::AtLower; n_total],
+            basic: Vec::new(),
+            basis: Basis::identity(m),
+            xb: vec![0.0; m],
+            d: vec![0.0; n_total],
+            iterations: 0,
+            cold_starts: 0,
+            eta_base: (0, 0),
+            dse: vec![1.0; m],
+            w: vec![0.0; m],
+            rho: vec![0.0; m],
+            alpha: vec![0.0; n_total],
+            tau: vec![0.0; m],
         }
     }
 
+    /// Cumulative simplex iterations over the workspace's lifetime.
+    pub(crate) fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Cold (from-scratch, phase-1 capable) solves performed.
+    pub(crate) fn cold_starts(&self) -> usize {
+        self.cold_starts
+    }
+
+    /// The perturbed internal (minimization-oriented) objective of an
+    /// arbitrary structural assignment — the branch-and-bound incumbent
+    /// key, kept in the same space as the relaxation bounds so tie nodes
+    /// prune exactly.
+    pub(crate) fn perturbed_objective_of(&self, x: &[f64]) -> f64 {
+        x.iter().zip(&self.cost).map(|(&xj, &cj)| cj * xj).sum()
+    }
+
+    /// Replaces the structural bounds wholesale (slack/artificial bounds
+    /// are fixed by construction).
+    pub(crate) fn set_bounds_full(&mut self, bounds: &[(f64, f64)]) {
+        assert_eq!(bounds.len(), self.n);
+        for (j, &(l, h)) in bounds.iter().enumerate() {
+            self.lo[j] = l;
+            self.hi[j] = h;
+        }
+    }
+
+    /// Tightens one structural variable's bounds.
+    pub(crate) fn set_bound(&mut self, var: usize, lo: f64, hi: f64) {
+        debug_assert!(var < self.n);
+        self.lo[var] = lo;
+        self.hi[var] = hi;
+    }
+
+    /// Current bounds of a structural variable.
+    pub(crate) fn bound_of(&self, var: usize) -> (f64, f64) {
+        (self.lo[var], self.hi[var])
+    }
+
+    /// Reduced cost of a structural variable in the internal minimization
+    /// orientation (valid after an optimal solve).
+    pub(crate) fn reduced_cost(&self, var: usize) -> f64 {
+        self.d[var]
+    }
+
+    /// Basis status of a structural variable.
+    pub(crate) fn status_of(&self, var: usize) -> VStat {
+        self.vstat[var]
+    }
+
+    /// Serializes the basis as one status byte per column.
+    pub(crate) fn snapshot(&self) -> Vec<u8> {
+        self.vstat.iter().map(|&s| s as u8).collect()
+    }
+
+    /// Objective of the current solution in the internal minimization
+    /// orientation (the branch-and-bound pruning key). One pass over the
+    /// basis positions plus one over the nonbasic structural columns —
+    /// called once per node, so no `basic` scans per variable.
+    pub(crate) fn objective_internal(&self) -> f64 {
+        let mut obj = 0.0;
+        for (r, &col) in self.basic.iter().enumerate() {
+            if self.cost[col] != 0.0 {
+                obj += self.cost[col] * self.xb[r];
+            }
+        }
+        for j in 0..self.n {
+            if self.vstat[j] != VStat::Basic && self.cost[j] != 0.0 {
+                obj += self.cost[j] * self.nonbasic_value(j);
+            }
+        }
+        obj
+    }
+
+    /// Resting value of a *nonbasic* column.
     #[inline]
-    fn at(&self, r: usize, c: usize) -> f64 {
-        self.a[r * (self.cols + 1) + c]
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.vstat[j] {
+            VStat::AtLower => self.lo[j],
+            VStat::AtUpper => self.hi[j],
+            VStat::Free => 0.0,
+            VStat::Basic => unreachable!("nonbasic value of a basic column"),
+        }
     }
 
-    /// Loads the cost row for the given per-column costs, pricing out the
-    /// current basis.
-    fn load_costs(&mut self, cost: &[f64]) {
-        let width = self.cols + 1;
-        let crow = self.rows * width;
-        for j in 0..=self.cols {
-            self.a[crow + j] = if j < self.cols { cost[j] } else { 0.0 };
-        }
-        for i in 0..self.rows {
-            if self.dead_rows[i] {
-                continue;
+    /// Extracts the structural solution, clamped into the current bounds.
+    pub(crate) fn extract_x(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        for j in 0..self.n {
+            if self.vstat[j] != VStat::Basic {
+                x[j] = self.nonbasic_value(j);
             }
-            let cb = cost[self.basis[i]];
-            if cb != 0.0 {
-                let (head, tail) = self.a.split_at_mut(crow);
-                let row = &head[i * width..(i + 1) * width];
-                for j in 0..=self.cols {
-                    tail[j] -= cb * row[j];
+        }
+        for (r, &col) in self.basic.iter().enumerate() {
+            if col < self.n {
+                x[col] = self.xb[r].clamp(self.lo[col], self.hi[col]);
+            }
+        }
+        x
+    }
+
+    // --- basis/value bookkeeping -------------------------------------------
+
+    /// Recomputes the basic values `x_B = B⁻¹(b − N·x_N)` from scratch.
+    fn compute_xb(&mut self) {
+        let mut v = self.rhs.clone();
+        for j in 0..self.n_total {
+            if self.vstat[j] != VStat::Basic {
+                let xj = self.nonbasic_value(j);
+                if xj != 0.0 {
+                    self.mat.col_axpy(j, -xj, &mut v);
                 }
             }
         }
+        self.basis.ftran(&mut v);
+        self.xb = v;
     }
 
-    /// Runs simplex iterations until optimality/unboundedness with the loaded
-    /// cost row. `allow` masks which columns may enter the basis.
-    fn iterate(
+    /// Recomputes every reduced cost from the given cost vector.
+    fn compute_duals(&mut self, cost: &[f64]) {
+        let mut y = vec![0.0; self.m];
+        for (r, &col) in self.basic.iter().enumerate() {
+            y[r] = cost[col];
+        }
+        self.basis.btran(&mut y);
+        for j in 0..self.n_total {
+            self.d[j] = if self.vstat[j] == VStat::Basic {
+                0.0
+            } else {
+                cost[j] - self.mat.col_dot(j, &y)
+            };
+        }
+    }
+
+    /// Refactorizes the basis from its column set and refreshes values.
+    fn refactor(&mut self) -> Result<(), LpError> {
+        let n = self.n;
+        let re =
+            Basis::reinvert(&self.mat, &self.basic, |r| n + r).map_err(|_| LpError::Numerical {
+                constraint: "singular basis".into(),
+            })?;
+        // Columns the repair dropped become nonbasic at their nearest
+        // bound; the repair slacks become basic.
+        for col in &re.dropped {
+            self.vstat[*col] = nearest_status(self.lo[*col], self.hi[*col]);
+        }
+        for &col in &re.assign {
+            self.vstat[col] = VStat::Basic;
+        }
+        self.basic = re.assign;
+        self.basis = re.basis;
+        self.eta_base = (self.basis.eta_count(), self.basis.eta_nnz());
+        self.compute_xb();
+        Ok(())
+    }
+
+    fn maybe_refactor(&mut self) -> Result<bool, LpError> {
+        let grown_count = self.basis.eta_count() - self.eta_base.0;
+        let grown_nnz = self.basis.eta_nnz() - self.eta_base.1;
+        if grown_count > 64 || grown_nnz > 8 * self.m + 512 {
+            self.refactor()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    // --- cold start ---------------------------------------------------------
+
+    /// Solves from scratch under the current bounds: a dual-feasible slack
+    /// basis when the costs admit one (no phase 1 at all), otherwise the
+    /// classic primal phase-1/phase-2 sequence with artificials.
+    pub(crate) fn solve_root(&mut self, budget: usize) -> Result<RelaxOutcome, LpError> {
+        self.cold_starts += 1;
+        for j in 0..self.n {
+            if self.lo[j] > self.hi[j] + EPS {
+                return Ok(RelaxOutcome::Infeasible);
+            }
+        }
+        let mut left = budget;
+        if self.try_dual_feasible_start() {
+            let out = self
+                .dual_simplex(&mut left)
+                .map_err(|_| budget_err(budget))?;
+            return Ok(out);
+        }
+
+        // ---- phase 1: minimize artificial infeasibility -------------------
+        // Structural and slack columns rest at their nearest bound; each
+        // row's artificial absorbs the residual, with one-sided bounds and
+        // a ±1 cost pushing it to zero.
+        for j in 0..self.n + self.m {
+            self.vstat[j] = nearest_status(self.lo[j], self.hi[j]);
+        }
+        let mut resid = self.rhs.clone();
+        for j in 0..self.n + self.m {
+            let xj = self.nonbasic_value(j);
+            if xj != 0.0 {
+                self.mat.col_axpy(j, -xj, &mut resid);
+            }
+        }
+        let mut phase1_cost = vec![0.0; self.n_total];
+        self.basic = Vec::with_capacity(self.m);
+        for (i, &r) in resid.iter().enumerate() {
+            let a = self.n + self.m + i;
+            if r >= 0.0 {
+                self.lo[a] = 0.0;
+                self.hi[a] = r;
+                phase1_cost[a] = 1.0;
+            } else {
+                self.lo[a] = r;
+                self.hi[a] = 0.0;
+                phase1_cost[a] = -1.0;
+            }
+            self.vstat[a] = VStat::Basic;
+            self.basic.push(a);
+        }
+        self.basis = Basis::identity(self.m);
+        self.eta_base = (0, 0);
+        self.dse.iter_mut().for_each(|g| *g = 1.0);
+        self.xb = resid;
+        match self.primal_simplex(&phase1_cost, &mut left) {
+            Ok(StepOutcome::Optimal) => {}
+            Ok(StepOutcome::Ray) => {
+                // Phase 1 is bounded below by zero; an unbounded ray can
+                // only mean numerical corruption.
+                return Err(LpError::Numerical {
+                    constraint: "phase-1 objective".into(),
+                });
+            }
+            Err(_) => return Err(budget_err(budget)),
+        }
+        let infeas: f64 = self
+            .basic
+            .iter()
+            .zip(&self.xb)
+            .map(|(&col, &v)| phase1_cost[col] * v)
+            .sum::<f64>()
+            + (0..self.n_total)
+                .filter(|&j| self.vstat[j] != VStat::Basic && phase1_cost[j] != 0.0)
+                .map(|j| phase1_cost[j] * self.nonbasic_value(j))
+                .sum::<f64>();
+        if infeas > 1e-6 {
+            return Ok(RelaxOutcome::Infeasible);
+        }
+        // Re-fix the artificials at zero; basic ones sit degenerate at 0.
+        for i in 0..self.m {
+            let a = self.n + self.m + i;
+            self.lo[a] = 0.0;
+            self.hi[a] = 0.0;
+            if self.vstat[a] != VStat::Basic {
+                self.vstat[a] = VStat::AtLower;
+            }
+        }
+
+        // ---- phase 2: the real objective ----------------------------------
+        let cost = self.cost.clone();
+        match self.primal_simplex(&cost, &mut left) {
+            Ok(StepOutcome::Optimal) => Ok(RelaxOutcome::Optimal),
+            Ok(StepOutcome::Ray) => Ok(RelaxOutcome::Unbounded),
+            Err(_) => Err(budget_err(budget)),
+        }
+    }
+
+    /// Tries to set up a dual-feasible all-slack basis: every cost-bearing
+    /// column must own the bound its cost sign demands. Returns `false`
+    /// (workspace untouched) when some column cannot comply.
+    fn try_dual_feasible_start(&mut self) -> bool {
+        let mut stat = Vec::with_capacity(self.n_total);
+        for j in 0..self.n_total {
+            let c = self.cost[j];
+            let (l, h) = (self.lo[j], self.hi[j]);
+            let s = if c > DUAL_TOL {
+                if !l.is_finite() {
+                    return false;
+                }
+                VStat::AtLower
+            } else if c < -DUAL_TOL {
+                if !h.is_finite() {
+                    return false;
+                }
+                VStat::AtUpper
+            } else {
+                nearest_status(l, h)
+            };
+            stat.push(s);
+        }
+        self.vstat = stat;
+        self.basic = (0..self.m).map(|i| self.n + i).collect();
+        for i in 0..self.m {
+            self.vstat[self.n + i] = VStat::Basic;
+        }
+        self.basis = Basis::identity(self.m);
+        self.eta_base = (0, 0);
+        self.dse.iter_mut().for_each(|g| *g = 1.0);
+        self.compute_xb();
+        let cost = self.cost.clone();
+        self.compute_duals(&cost);
+        true
+    }
+
+    // --- warm start ---------------------------------------------------------
+
+    /// Restores a basis snapshot (from [`Self::snapshot`]) under the
+    /// current bounds and dual-re-optimizes. Falls back to a cold solve if
+    /// the snapshot's basis turns out numerically unusable or dual
+    /// infeasible (repairs can perturb the duals).
+    pub(crate) fn warm_solve(
         &mut self,
-        allow: impl Fn(usize) -> bool,
-        iters_left: &mut usize,
-    ) -> Result<bool, LpError> {
-        let width = self.cols + 1;
+        snapshot: &[u8],
+        budget: usize,
+    ) -> Result<RelaxOutcome, LpError> {
+        debug_assert_eq!(snapshot.len(), self.n_total);
+        for j in 0..self.n {
+            if self.lo[j] > self.hi[j] + EPS {
+                return Ok(RelaxOutcome::Infeasible);
+            }
+        }
+        for (j, &s) in snapshot.iter().enumerate() {
+            self.vstat[j] = VStat::from_u8(s);
+        }
+        self.basic = (0..self.n_total)
+            .filter(|&j| self.vstat[j] == VStat::Basic)
+            .collect();
+        if self.basic.len() != self.m || self.refactor().is_err() {
+            return self.solve_root(budget);
+        }
+        // The snapshot's basis has nothing in common with whatever this
+        // workspace held before: restart the steepest-edge reference.
+        self.dse.iter_mut().for_each(|g| *g = 1.0);
+        let cost = self.cost.clone();
+        self.compute_duals(&cost);
+        if !self.dual_feasible() {
+            return self.solve_root(budget);
+        }
+        let mut left = budget;
+        self.dual_simplex(&mut left).map_err(|_| budget_err(budget))
+    }
+
+    /// Re-optimizes in place after bound changes (the dive fast path: the
+    /// factorization, values and duals carry over; only `x_B` is refreshed).
+    pub(crate) fn reoptimize(&mut self, budget: usize) -> Result<RelaxOutcome, LpError> {
+        for j in 0..self.n {
+            if self.lo[j] > self.hi[j] + EPS {
+                return Ok(RelaxOutcome::Infeasible);
+            }
+        }
+        self.compute_xb();
+        let mut left = budget;
+        self.dual_simplex(&mut left).map_err(|_| budget_err(budget))
+    }
+
+    fn dual_feasible(&self) -> bool {
+        (0..self.n_total).all(|j| match self.vstat[j] {
+            VStat::Basic => true,
+            VStat::AtLower => self.lo[j] >= self.hi[j] || self.d[j] >= -DUAL_TOL,
+            VStat::AtUpper => self.lo[j] >= self.hi[j] || self.d[j] <= DUAL_TOL,
+            VStat::Free => self.d[j].abs() <= DUAL_TOL,
+        })
+    }
+
+    // --- primal simplex -----------------------------------------------------
+
+    fn primal_simplex(&mut self, cost: &[f64], left: &mut usize) -> Result<StepOutcome, LpError> {
         let mut stall = 0usize;
-        let bland_after = 4 * (self.rows + self.cols) + 64;
-        let mut last_obj = f64::INFINITY;
         loop {
-            if *iters_left == 0 {
+            if *left == 0 {
                 return Err(LpError::IterationLimit(0));
             }
-            *iters_left -= 1;
-            let crow = self.rows * width;
+            self.compute_duals(cost);
+            let bland = stall > STALL_LIMIT;
 
-            // entering column
-            let use_bland = stall > bland_after;
-            let mut enter: Option<usize> = None;
-            let mut best = -EPS;
-            for j in 0..self.cols {
-                if !allow(j) {
+            // Entering column.
+            let mut enter: Option<(usize, f64)> = None; // (col, score)
+            for j in 0..self.n_total {
+                if self.vstat[j] == VStat::Basic || self.lo[j] >= self.hi[j] {
                     continue;
                 }
-                let rc = self.a[crow + j];
-                if rc < -EPS {
-                    if use_bland {
-                        enter = Some(j);
-                        break;
-                    }
-                    if rc < best {
-                        best = rc;
-                        enter = Some(j);
-                    }
+                let dj = self.d[j];
+                let score = match self.vstat[j] {
+                    VStat::AtLower if dj < -EPS => -dj,
+                    VStat::AtUpper if dj > EPS => dj,
+                    VStat::Free if dj.abs() > EPS => dj.abs(),
+                    _ => continue,
+                };
+                if bland {
+                    enter = Some((j, score));
+                    break;
+                }
+                if enter.is_none_or(|(_, s)| score > s) {
+                    enter = Some((j, score));
                 }
             }
-            let Some(enter) = enter else {
-                return Ok(true); // optimal for this phase
+            let Some((q, _)) = enter else {
+                return Ok(StepOutcome::Optimal);
             };
+            *left -= 1;
+            self.iterations += 1;
 
-            // Ratio test (Bland tie-break: smallest basis index). Pivots are
-            // preferred above PIVOT_TOL; entries in (EPS, PIVOT_TOL] only
-            // serve as a last resort so roundoff noise never becomes a pivot
-            // while genuine small coefficients cannot fake unboundedness.
-            let mut leave: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            let mut fallback: Option<usize> = None;
-            let mut fallback_mag = 0.0f64;
-            for i in 0..self.rows {
-                if self.dead_rows[i] {
-                    continue;
-                }
-                let aij = self.at(i, enter);
-                if aij > PIVOT_TOL {
-                    let ratio = self.at(i, self.cols) / aij;
-                    let better = ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
-                    if better {
-                        best_ratio = ratio;
-                        leave = Some(i);
+            // Direction: +1 when x_q increases.
+            let sigma = match self.vstat[q] {
+                VStat::AtLower => 1.0,
+                VStat::AtUpper => -1.0,
+                VStat::Free => {
+                    if self.d[q] < 0.0 {
+                        1.0
+                    } else {
+                        -1.0
                     }
-                } else if aij > EPS && aij > fallback_mag {
-                    fallback_mag = aij;
-                    fallback = Some(i);
                 }
-            }
-            let Some(leave) = leave.or(fallback) else {
-                return Ok(false); // unbounded in this phase
+                VStat::Basic => unreachable!(),
             };
+            self.w.iter_mut().for_each(|x| *x = 0.0);
+            self.mat.col_axpy(q, 1.0, &mut self.w);
+            self.basis.ftran(&mut self.w);
 
-            self.pivot(leave, enter);
-
-            let obj = -self.a[crow + self.cols];
-            if obj < last_obj - EPS {
-                stall = 0;
-                last_obj = obj;
+            // Ratio test with bound flips; two-tier pivot tolerance.
+            let range = self.hi[q] - self.lo[q];
+            let mut t_best = if range.is_finite() {
+                range
             } else {
-                stall += 1;
+                f64::INFINITY
+            };
+            let mut leave: Option<usize> = None; // position
+            let mut leave_mag = 0.0f64;
+            let mut fallback: Option<(usize, f64, f64)> = None; // (pos, t, mag)
+            for (r, &wr) in self.w.iter().enumerate() {
+                let step = sigma * wr;
+                let (xbr, col) = (self.xb[r], self.basic[r]);
+                let (t, mag) = if step > EPS {
+                    if !self.lo[col].is_finite() {
+                        continue;
+                    }
+                    (((xbr - self.lo[col]) / step).max(0.0), step)
+                } else if step < -EPS {
+                    if !self.hi[col].is_finite() {
+                        continue;
+                    }
+                    (((xbr - self.hi[col]) / step).max(0.0), -step)
+                } else {
+                    continue;
+                };
+                if mag > PIVOT_TOL {
+                    if t < t_best - EPS || (t < t_best + EPS && mag > leave_mag) {
+                        t_best = t.min(t_best);
+                        leave = Some(r);
+                        leave_mag = mag;
+                    }
+                } else if fallback
+                    .as_ref()
+                    .is_none_or(|&(_, ft, fm)| t < ft - EPS || (t < ft + EPS && mag > fm))
+                {
+                    fallback = Some((r, t, mag));
+                }
+            }
+            // Use a tiny pivot only if nothing better blocks earlier.
+            if leave.is_none() {
+                if let Some((r, t, _)) = fallback {
+                    if t < t_best - EPS || !t_best.is_finite() {
+                        t_best = t;
+                        leave = Some(r);
+                    }
+                }
+            }
+
+            if leave.is_none() && !t_best.is_finite() {
+                return Ok(StepOutcome::Ray);
+            }
+            match leave {
+                None => {
+                    // Bound flip: x_q runs to its opposite bound.
+                    let t = t_best;
+                    if t > 0.0 {
+                        for (r, &wr) in self.w.iter().enumerate() {
+                            if wr != 0.0 {
+                                self.xb[r] -= sigma * t * wr;
+                            }
+                        }
+                    }
+                    self.vstat[q] = match self.vstat[q] {
+                        VStat::AtLower => VStat::AtUpper,
+                        VStat::AtUpper => VStat::AtLower,
+                        other => other,
+                    };
+                    if t <= EPS {
+                        stall += 1;
+                    } else {
+                        stall = 0;
+                    }
+                }
+                Some(r) => {
+                    let t = t_best.max(0.0);
+                    let xq_new = match self.vstat[q] {
+                        VStat::Free => sigma * t,
+                        _ => self.nonbasic_value(q) + sigma * t,
+                    };
+                    for (i, &wi) in self.w.iter().enumerate() {
+                        if wi != 0.0 {
+                            self.xb[i] -= sigma * t * wi;
+                        }
+                    }
+                    let lcol = self.basic[r];
+                    self.vstat[lcol] = if sigma * self.w[r] > 0.0 {
+                        VStat::AtLower
+                    } else {
+                        VStat::AtUpper
+                    };
+                    self.basic[r] = q;
+                    self.vstat[q] = VStat::Basic;
+                    self.xb[r] = xq_new;
+                    let w = std::mem::take(&mut self.w);
+                    self.basis.push_pivot(r, &w);
+                    self.w = w;
+                    if t <= EPS {
+                        stall += 1;
+                    } else {
+                        stall = 0;
+                    }
+                    if self.maybe_refactor()? {
+                        // Values were refreshed from the new factorization.
+                    }
+                }
             }
         }
     }
 
-    fn pivot(&mut self, leave: usize, enter: usize) {
-        let width = self.cols + 1;
-        let prow_start = leave * width;
-        let pval = self.a[prow_start + enter];
-        debug_assert!(pval.abs() > EPS, "pivot on (near-)zero element");
-        let inv = 1.0 / pval;
-        for j in 0..width {
-            self.a[prow_start + j] *= inv;
-        }
-        for r in 0..=self.rows {
-            if r == leave {
+    // --- dual simplex -------------------------------------------------------
+
+    fn dual_simplex(&mut self, left: &mut usize) -> Result<RelaxOutcome, LpError> {
+        let mut stall = 0usize;
+        let mut bland = false;
+        let mut retried_infeasible = false;
+        loop {
+            if *left == 0 {
+                return Err(LpError::IterationLimit(0));
+            }
+            // Once degeneracy trips the Bland rule, keep it for the rest of
+            // the solve — alternating selection modes can itself cycle.
+            bland = bland || stall > STALL_LIMIT;
+
+            // Leaving row: dual steepest-edge pricing - the worst
+            // infeasibility normalized by the row norm `viol^2 / gamma_r`
+            // (Bland: the violated basic variable with the smallest
+            // *variable* index).
+            let mut leave: Option<(usize, f64, bool)> = None; // (pos, score, below)
+            for r in 0..self.m {
+                let col = self.basic[r];
+                let v = self.xb[r];
+                let (below, viol) = if v < self.lo[col] - FEAS_TOL {
+                    (true, self.lo[col] - v)
+                } else if v > self.hi[col] + FEAS_TOL {
+                    (false, v - self.hi[col])
+                } else {
+                    continue;
+                };
+                let score = viol * viol / self.dse[r].max(1e-10);
+                let better = match leave {
+                    None => true,
+                    Some((lr, best, _)) => {
+                        if bland {
+                            col < self.basic[lr]
+                        } else {
+                            score > best
+                        }
+                    }
+                };
+                if better {
+                    leave = Some((r, score, below));
+                }
+            }
+            let Some((r, _, below)) = leave else {
+                return Ok(RelaxOutcome::Optimal);
+            };
+            *left -= 1;
+            self.iterations += 1;
+
+            // Row r of B⁻¹·A.
+            self.rho.iter_mut().for_each(|x| *x = 0.0);
+            self.rho[r] = 1.0;
+            self.basis.btran(&mut self.rho);
+            for j in 0..self.n_total {
+                self.alpha[j] = if self.vstat[j] == VStat::Basic {
+                    0.0
+                } else {
+                    self.mat.col_dot(j, &self.rho)
+                };
+            }
+
+            // Bound-flipping dual ratio test ("long step"): walk the
+            // sign-eligible columns in ascending |d|/|α| order. A candidate
+            // whose whole range cannot absorb the remaining infeasibility
+            // is *flipped* bound-to-bound (no basis change — its reduced
+            // cost crosses zero once the final θ is applied); the first
+            // candidate that can absorb the rest enters the basis. Without
+            // this, a 0/1-heavy model makes the entering variable overshoot
+            // its own range and the violation migrates instead of
+            // shrinking. Pivots above PIVOT_TOL are preferred; a knife-edge
+            // floor of 1e-8 is the last resort. Bland mode uses the plain
+            // single-candidate rule with exact comparisons (finiteness over
+            // speed).
+            let col_l = self.basic[r];
+            let target = if below {
+                self.lo[col_l]
+            } else {
+                self.hi[col_l]
+            };
+            let viol_abs = (self.xb[r] - target).abs();
+            let mut cands: Vec<(f64, u32)> = Vec::new(); // (ratio, column)
+            let mut enter: Option<usize> = None;
+            let mut flips: Vec<usize> = Vec::new();
+            for pass in 0..2 {
+                let floor = if pass == 0 { PIVOT_TOL } else { 1e-8 };
+                cands.clear();
+                for j in 0..self.n_total {
+                    if self.vstat[j] == VStat::Basic || self.lo[j] >= self.hi[j] {
+                        continue;
+                    }
+                    let a = self.alpha[j];
+                    let eligible = match (self.vstat[j], below) {
+                        (VStat::AtLower, true) => a < -floor,
+                        (VStat::AtLower, false) => a > floor,
+                        (VStat::AtUpper, true) => a > floor,
+                        (VStat::AtUpper, false) => a < -floor,
+                        (VStat::Free, _) => a.abs() > floor,
+                        (VStat::Basic, _) => false,
+                    };
+                    if !eligible {
+                        continue;
+                    }
+                    let dj = match self.vstat[j] {
+                        VStat::AtLower => self.d[j].max(0.0),
+                        VStat::AtUpper => (-self.d[j]).max(0.0),
+                        _ => self.d[j].abs(),
+                    };
+                    cands.push((dj / a.abs(), j as u32));
+                }
+                if cands.is_empty() {
+                    continue;
+                }
+                if bland {
+                    // Exact min ratio, ties to the smallest column index
+                    // (the pair sorts exactly that way).
+                    enter = cands
+                        .iter()
+                        .copied()
+                        .min_by(|a, b| a.partial_cmp(b).expect("ratios are finite"))
+                        .map(|(_, j)| j as usize);
+                } else {
+                    cands.sort_unstable_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+                    let mut remaining = viol_abs;
+                    let slack = FEAS_TOL * (1.0 + viol_abs);
+                    for &(_, j) in &cands {
+                        let j = j as usize;
+                        let range = self.hi[j] - self.lo[j];
+                        let capacity = range * self.alpha[j].abs(); // ∞ stays ∞
+                        if capacity < remaining - slack {
+                            flips.push(j);
+                            remaining -= capacity;
+                        } else {
+                            enter = Some(j);
+                            break;
+                        }
+                    }
+                    if enter.is_none() {
+                        if remaining <= slack {
+                            // The capacities summed to the violation up to
+                            // roundoff: the last flip candidate is really
+                            // the (degenerate) entering variable.
+                            enter = flips.pop();
+                        } else {
+                            // Even flipping every candidate cannot absorb
+                            // the infeasibility on this pass.
+                            flips.clear();
+                        }
+                    }
+                }
+                if enter.is_some() {
+                    break;
+                }
+            }
+            let Some(q) = enter else {
+                // No entering column certifies infeasibility — but verify
+                // against a fresh factorization once, so stale alphas never
+                // fabricate the certificate.
+                if retried_infeasible {
+                    return Ok(RelaxOutcome::Infeasible);
+                }
+                retried_infeasible = true;
+                self.refactor()?;
+                let cost = self.cost.clone();
+                self.compute_duals(&cost);
+                continue;
+            };
+            retried_infeasible = false;
+
+            self.w.iter_mut().for_each(|x| *x = 0.0);
+            self.mat.col_axpy(q, 1.0, &mut self.w);
+            self.basis.ftran(&mut self.w);
+            let wr = self.w[r];
+            if wr.abs() <= 1e-8 || (wr - self.alpha[q]).abs() > 1e-6 * (1.0 + wr.abs()) {
+                // The row and column views of the pivot disagree: the
+                // factorization has drifted. Refactor and retry the
+                // iteration (the counter already advanced, so this cannot
+                // loop forever within the budget).
+                self.refactor()?;
+                let cost = self.cost.clone();
+                self.compute_duals(&cost);
+                stall += 1;
                 continue;
             }
-            let factor = self.a[r * width + enter];
-            if factor.abs() > EPS {
-                for j in 0..width {
-                    let p = self.a[prow_start + j];
-                    self.a[r * width + j] -= factor * p;
-                }
-                self.a[r * width + enter] = 0.0; // exact
-            }
-        }
-        self.basis[leave] = enter;
-    }
 
-    fn solve(
-        mut self,
-        model: &Model,
-        bounds: &[(f64, f64)],
-        max_iters: usize,
-    ) -> Result<LpOutcome, LpError> {
-        let mut iters_left = max_iters;
-        let total = max_iters;
-
-        // ---- Phase 1 -------------------------------------------------------
-        if self.art_start < self.cols {
-            let mut cost1 = vec![0.0; self.cols];
-            for c in cost1.iter_mut().skip(self.art_start) {
-                *c = 1.0;
-            }
-            self.load_costs(&cost1);
-            let optimal = self
-                .iterate(|_| true, &mut iters_left)
-                .map_err(|_| LpError::IterationLimit(total))?;
-            debug_assert!(optimal, "phase-1 objective is bounded below by 0");
-            let width = self.cols + 1;
-            let phase1_obj = -self.a[self.rows * width + self.cols];
-            if phase1_obj > FEAS_TOL {
-                return Ok(LpOutcome::Infeasible);
-            }
-            // Drive leftover artificials out of the basis, pivoting on the
-            // largest-magnitude eligible element (tiny pivots would poison
-            // the tableau); rows with no usable element are redundant.
-            for i in 0..self.rows {
-                if self.dead_rows[i] || self.basis[i] < self.art_start {
-                    continue;
+            // Commit the bound flips in one combined update:
+            // x_B -= B⁻¹·Σ (a_j · signed range_j).
+            if !flips.is_empty() {
+                self.rho.iter_mut().for_each(|x| *x = 0.0);
+                for &j in &flips {
+                    let range = self.hi[j] - self.lo[j];
+                    let (step, to) = match self.vstat[j] {
+                        VStat::AtLower => (range, VStat::AtUpper),
+                        VStat::AtUpper => (-range, VStat::AtLower),
+                        _ => unreachable!("only bounded columns are flipped"),
+                    };
+                    self.mat.col_axpy(j, step, &mut self.rho);
+                    self.vstat[j] = to;
                 }
-                let mut pivot_col = None;
-                let mut pivot_mag = EPS;
-                for j in 0..self.art_start {
-                    let mag = self.at(i, j).abs();
-                    if mag > pivot_mag {
-                        pivot_mag = mag;
-                        pivot_col = Some(j);
+                self.basis.ftran(&mut self.rho);
+                for (i, &ui) in self.rho.iter().enumerate() {
+                    if ui != 0.0 {
+                        self.xb[i] -= ui;
                     }
                 }
-                match pivot_col {
-                    Some(j) => self.pivot(i, j),
-                    None => self.dead_rows[i] = true, // redundant row
+            }
+
+            let delta = self.xb[r] - target;
+            let dx = delta / wr;
+            for (i, &wi) in self.w.iter().enumerate() {
+                if wi != 0.0 {
+                    self.xb[i] -= dx * wi;
                 }
             }
-        }
-
-        // ---- Phase 2 -------------------------------------------------------
-        let maximize = matches!(model.objective(), Objective::Maximize(_));
-        let mut cost2 = vec![0.0; self.cols];
-        for &(v, c) in &model.objective().expr().terms {
-            let c = if maximize { -c } else { c };
-            match self.col_map[v.index()] {
-                ColMap::Shifted { col, .. } => cost2[col] += c,
-                ColMap::Split { pos, neg } => {
-                    cost2[pos] += c;
-                    cost2[neg] -= c;
-                }
-            }
-        }
-        self.load_costs(&cost2);
-        let art_start = self.art_start;
-        let optimal = self
-            .iterate(|j| j < art_start, &mut iters_left)
-            .map_err(|_| LpError::IterationLimit(total))?;
-        if !optimal {
-            return Ok(LpOutcome::Unbounded);
-        }
-
-        // ---- extract -------------------------------------------------------
-        let mut cols_val = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            if !self.dead_rows[i] {
-                cols_val[self.basis[i]] = self.at(i, self.cols);
-            }
-        }
-        let mut x = vec![0.0; model.var_count()];
-        for (v, m) in self.col_map.iter().enumerate() {
-            x[v] = match *m {
-                ColMap::Shifted { col, lo } => lo + cols_val[col],
-                ColMap::Split { pos, neg } => cols_val[pos] - cols_val[neg],
+            let xq_new = match self.vstat[q] {
+                VStat::Free => dx,
+                _ => self.nonbasic_value(q) + dx,
             };
-            // Clamp roundoff into the node bounds so downstream integrality
-            // tests see clean values.
-            let (lo, hi) = bounds[v];
-            x[v] = x[v].clamp(lo.max(f64::NEG_INFINITY), hi.min(f64::INFINITY));
-        }
-        // Post-solve verification: a claimed-optimal basic solution must
-        // satisfy every original row. Failure means numerical corruption and
-        // is reported as an error, never as a wrong answer.
-        let feas_scale = |c: &crate::model::Constraint| {
-            c.expr
-                .terms
-                .iter()
-                .map(|&(_, coef)| coef.abs())
-                .fold(1.0f64, f64::max)
-        };
-        for c in model.constraints() {
-            if !c.satisfied_by(&x, 1e-5 * feas_scale(c)) {
-                return Err(LpError::Numerical {
-                    constraint: c.name.clone(),
-                });
+            self.vstat[col_l] = if below {
+                VStat::AtLower
+            } else {
+                VStat::AtUpper
+            };
+            self.basic[r] = q;
+            self.vstat[q] = VStat::Basic;
+            self.xb[r] = xq_new;
+
+            // Incremental dual update: d_j ← d_j − θ·α_j, θ = d_q/α_q.
+            let theta = self.d[q] / self.alpha[q];
+            if theta != 0.0 {
+                for j in 0..self.n_total {
+                    if self.vstat[j] != VStat::Basic && self.alpha[j] != 0.0 {
+                        self.d[j] -= theta * self.alpha[j];
+                    }
+                }
+            }
+            self.d[col_l] = -theta;
+            self.d[q] = 0.0;
+
+            // Forrest-Goldfarb steepest-edge update: with tau = B^{-T}w,
+            //   gamma_r' = gamma_r / w_r^2,
+            //   gamma_i' = gamma_i - 2(w_i/w_r)tau_i + (w_i/w_r)^2 gamma_r.
+            self.tau.copy_from_slice(&self.w);
+            self.basis.btran(&mut self.tau);
+            let gamma_r = self.dse[r].max(1e-10);
+            for i in 0..self.m {
+                let wi = self.w[i];
+                if i == r || wi == 0.0 {
+                    continue;
+                }
+                let ratio_i = wi / wr;
+                let g = self.dse[i] - 2.0 * ratio_i * self.tau[i] + ratio_i * ratio_i * gamma_r;
+                self.dse[i] = g.max(1e-4);
+            }
+            self.dse[r] = (gamma_r / (wr * wr)).max(1e-4);
+
+            let w = std::mem::take(&mut self.w);
+            self.basis.push_pivot(r, &w);
+            self.w = w;
+
+            // Progress = the dual objective gain θ·Δ (a long step's bound
+            // flips are progress in themselves); steps that move nothing
+            // count toward the stall.
+            if (theta * delta).abs() <= 1e-9 && flips.is_empty() {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+            if self.maybe_refactor()? {
+                let cost = self.cost.clone();
+                self.compute_duals(&cost);
             }
         }
-
-        let objective = model.objective().expr().eval(&x);
-        Ok(LpOutcome::Optimal(LpSolution {
-            x,
-            objective,
-            iterations: total - iters_left,
-        }))
     }
+}
+
+/// A deterministic pseudo-random value in `[1, 2)` per column index
+/// (splitmix64 finalizer), used to size the degeneracy-breaking cost
+/// perturbation.
+fn hash_unit(j: u64) -> f64 {
+    let mut z = j.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    1.0 + (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The nonbasic resting status nearest to feasibility for given bounds.
+fn nearest_status(lo: f64, hi: f64) -> VStat {
+    if lo.is_finite() {
+        VStat::AtLower
+    } else if hi.is_finite() {
+        VStat::AtUpper
+    } else {
+        VStat::Free
+    }
+}
+
+fn budget_err(budget: usize) -> LpError {
+    LpError::IterationLimit(budget)
 }
 
 #[cfg(test)]
@@ -588,9 +1203,7 @@ mod tests {
 
     #[test]
     fn minimization_with_ge_rows_uses_phase1() {
-        // min 2x + 3y s.t. x + y >= 10, x >= 2 → x = 8? No: coefficient of x
-        // cheaper, so x = 10 − y ... min at y = 0, x = 10 → obj 20? But x >= 2
-        // is slack. Optimum: x = 10, y = 0, obj = 20.
+        // min 2x + 3y s.t. x + y >= 10, x >= 2 → x = 10, y = 0, obj = 20.
         let mut m = Model::new("ge");
         let x = m.add_continuous("x", 0.0, f64::INFINITY);
         let y = m.add_continuous("y", 0.0, f64::INFINITY);
@@ -662,10 +1275,7 @@ mod tests {
 
     #[test]
     fn free_variable_split() {
-        // min |style|: min x + 2y s.t. x + y = 1, x free, y >= 0.
-        // Optimum pushes x up? min x + 2y with x = 1 − y → 1 + y → y = 0,
-        // x = 1, obj = 1. Now flip: min −x + 2y → −(1−y) + 2y = −1 + 3y → y=0,
-        // x=1, obj −1.
+        // min −x + 2y s.t. x + y = 1, x free, y >= 0 → x = 1, obj −1.
         let mut m = Model::new("free");
         let x = m.add_continuous("x", f64::NEG_INFINITY, f64::INFINITY);
         let y = m.add_continuous("y", 0.0, f64::INFINITY);
@@ -678,7 +1288,7 @@ mod tests {
 
     #[test]
     fn free_variable_goes_negative() {
-        // min x s.t. x >= -inf, x + y = 0, y <= 3 → x = -3.
+        // min x s.t. x free, x + y = 0, 0 <= y <= 3 → x = -3.
         let mut m = Model::new("free2");
         let x = m.add_continuous("x", f64::NEG_INFINITY, f64::INFINITY);
         let y = m.add_continuous("y", 0.0, 3.0);
@@ -702,11 +1312,7 @@ mod tests {
 
     #[test]
     fn beale_cycling_instance_terminates() {
-        // Beale's classic cycling example; Bland fallback must terminate it.
-        // min −0.75x4 + 150x5 − 0.02x6 + 6x7
-        // s.t. 0.25x4 − 60x5 − 0.04x6 + 9x7 <= 0
-        //      0.5x4 − 90x5 − 0.02x6 + 3x7 <= 0
-        //      x6 <= 1
+        // Beale's classic cycling example; the stall fallback must end it.
         let mut m = Model::new("beale");
         let x4 = m.add_continuous("x4", 0.0, f64::INFINITY);
         let x5 = m.add_continuous("x5", 0.0, f64::INFINITY);
@@ -735,7 +1341,7 @@ mod tests {
         // 2x2 assignment problem LP relaxation: naturally integral optimum.
         let mut m = Model::new("assign");
         let c = [[4.0, 1.0], [2.0, 3.0]];
-        let mut v = [[crate::model::Var(0); 2]; 2];
+        let mut v = [[Var(0); 2]; 2];
         for i in 0..2 {
             for j in 0..2 {
                 v[i][j] = m.add_continuous(format!("a{i}{j}"), 0.0, 1.0);
@@ -801,5 +1407,69 @@ mod tests {
         m.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Le, 15.0);
         m.set_objective_max([(x, 1.0), (y, 1.0)]);
         assert!(matches!(solve_lp(&m, 0), Err(LpError::IterationLimit(0))));
+    }
+
+    #[test]
+    fn warm_solve_reuses_the_parent_basis() {
+        // Knapsack LP: solve, tighten one variable, dual re-optimize from
+        // the snapshot; the result must match a cold solve of the child.
+        let mut m = Model::new("warm");
+        let items = [(10.0, 60.0), (20.0, 100.0), (30.0, 120.0)];
+        let vars: Vec<Var> = (0..3).map(|i| m.add_binary(format!("x{i}"))).collect();
+        m.add_constraint(
+            "cap",
+            vars.iter().zip(&items).map(|(&v, &(w, _))| (v, w)),
+            Sense::Le,
+            50.0,
+        );
+        m.set_objective_max(vars.iter().zip(&items).map(|(&v, &(_, p))| (v, p)));
+        let mut ws = Workspace::new(&m);
+        ws.set_bounds_full(&[(0.0, 1.0); 3]);
+        assert_eq!(ws.solve_root(ITERS).unwrap(), RelaxOutcome::Optimal);
+        let root_obj = ws.objective_internal();
+        let snap = ws.snapshot();
+        let root_iters = ws.iterations();
+
+        // Child: x2 <= 0.
+        ws.set_bound(2, 0.0, 0.0);
+        assert_eq!(ws.warm_solve(&snap, ITERS).unwrap(), RelaxOutcome::Optimal);
+        let warm_obj = ws.objective_internal();
+        let warm_pivots = ws.iterations() - root_iters;
+
+        let cold = solve_lp_with_bounds(&m, &[(0.0, 1.0), (0.0, 1.0), (0.0, 0.0)], ITERS).unwrap();
+        let LpOutcome::Optimal(cold) = cold else {
+            panic!("{cold:?}");
+        };
+        // Internal orientation is minimization of the negated objective.
+        assert!(
+            (warm_obj - -cold.objective).abs() < 1e-6,
+            "warm {warm_obj} vs cold {}",
+            -cold.objective
+        );
+        // Root LP relaxation: x0 = x1 = 1, x2 = 2/3 → 240.
+        assert!((root_obj + 240.0).abs() < 1e-4, "root {root_obj}");
+        assert!(
+            warm_pivots <= 3,
+            "a one-bound change must cost a handful of dual pivots, took {warm_pivots}"
+        );
+    }
+
+    #[test]
+    fn reoptimize_after_in_place_bound_change() {
+        let mut m = Model::new("dive");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint("c", [(x, 1.0), (y, 1.0)], Sense::Le, 12.0);
+        m.set_objective_max([(x, 2.0), (y, 1.0)]);
+        let mut ws = Workspace::new(&m);
+        ws.set_bounds_full(&[(0.0, 10.0), (0.0, 10.0)]);
+        assert_eq!(ws.solve_root(ITERS).unwrap(), RelaxOutcome::Optimal);
+        assert!((ws.objective_internal() - -22.0).abs() < 1e-6); // x=10,y=2
+        ws.set_bound(0, 0.0, 4.0);
+        assert_eq!(ws.reoptimize(ITERS).unwrap(), RelaxOutcome::Optimal);
+        assert!((ws.objective_internal() - -16.0).abs() < 1e-6); // x=4,y=8
+        let x_now = ws.extract_x();
+        assert!((x_now[0] - 4.0).abs() < 1e-6);
+        assert!((x_now[1] - 8.0).abs() < 1e-6);
     }
 }

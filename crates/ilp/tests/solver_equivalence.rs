@@ -1,0 +1,140 @@
+//! Property tests: the warm-started sparse branch-and-bound must agree
+//! with the exhaustive 0/1 oracle on feasibility and objective, and the
+//! parallel tree search must prove the same objective as the serial one.
+
+use proptest::prelude::*;
+use sparcs_ilp::enumerate::{brute_force, EnumOutcome};
+use sparcs_ilp::{solve, Model, Sense, SolveError, SolveOptions, Var};
+
+/// A randomly generated small 0/1 model: up to 7 binaries, up to 5 rows of
+/// small integer coefficients (integral data keeps objective gaps >= 1, so
+/// "agree within tolerance" means "agree exactly" for these).
+#[derive(Debug, Clone)]
+struct RandomModel {
+    n: usize,
+    rows: Vec<(Vec<i64>, u8, i64)>,
+    objective: Vec<i64>,
+    maximize: bool,
+}
+
+fn build(spec: &RandomModel) -> Model {
+    let mut m = Model::new("prop");
+    let vars: Vec<Var> = (0..spec.n).map(|i| m.add_binary(format!("x{i}"))).collect();
+    for (ri, (coeffs, sense, rhs)) in spec.rows.iter().enumerate() {
+        let sense = match sense % 3 {
+            0 => Sense::Le,
+            1 => Sense::Ge,
+            _ => Sense::Eq,
+        };
+        m.add_constraint(
+            format!("r{ri}"),
+            vars.iter().zip(coeffs).map(|(&v, &c)| (v, c as f64)),
+            sense,
+            *rhs as f64,
+        );
+    }
+    let obj = vars
+        .iter()
+        .zip(&spec.objective)
+        .map(|(&v, &c)| (v, c as f64));
+    if spec.maximize {
+        m.set_objective_max(obj);
+    } else {
+        m.set_objective_min(obj);
+    }
+    m
+}
+
+fn model_strategy() -> impl Strategy<Value = RandomModel> {
+    (
+        2usize..=7,
+        prop::collection::vec(
+            (prop::collection::vec(-5i64..=5, 7), any::<u8>(), -6i64..=6),
+            1..=5,
+        ),
+        prop::collection::vec(-9i64..=9, 7),
+        any::<bool>(),
+    )
+        .prop_map(|(n, raw_rows, raw_obj, maximize)| RandomModel {
+            n,
+            rows: raw_rows
+                .into_iter()
+                .map(|(mut coeffs, sense, rhs)| {
+                    coeffs.truncate(n);
+                    (coeffs, sense, rhs)
+                })
+                .collect(),
+            objective: {
+                let mut o = raw_obj;
+                o.truncate(n);
+                o
+            },
+            maximize,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Branch-and-bound agrees with the exhaustive oracle on feasibility
+    /// and (for feasible models) on the objective, and its witness is
+    /// model-feasible.
+    #[test]
+    fn matches_brute_force_oracle(spec in model_strategy()) {
+        let m = build(&spec);
+        let oracle = brute_force(&m, 1e-7).expect("pure binary by construction");
+        let bb = solve(&m, &SolveOptions::default());
+        match (oracle, bb) {
+            (EnumOutcome::Infeasible, Err(SolveError::Infeasible)) => {}
+            (EnumOutcome::Optimal { objective, .. }, Ok(sol)) => {
+                prop_assert!(
+                    (objective - sol.objective).abs() < 1e-6,
+                    "oracle {} vs solver {}\nmodel: {}",
+                    objective,
+                    sol.objective,
+                    m.to_lp_format()
+                );
+                prop_assert!(
+                    m.violations(&sol.x, 1e-6).is_empty(),
+                    "witness violates: {:?}",
+                    m.violations(&sol.x, 1e-6)
+                );
+            }
+            (o, b) => prop_assert!(
+                false,
+                "disagree: oracle {o:?} vs solver {b:?}\nmodel: {}",
+                m.to_lp_format()
+            ),
+        }
+    }
+
+    /// The subtree-parallel search proves the same objective as the serial
+    /// search for every job count (node counts may differ; the optimum may
+    /// not).
+    #[test]
+    fn parallel_jobs_prove_the_serial_objective(spec in model_strategy()) {
+        let m = build(&spec);
+        let serial = solve(&m, &SolveOptions::default());
+        for jobs in [2u32, 4] {
+            let par = solve(&m, &SolveOptions { jobs, ..SolveOptions::default() });
+            match (&serial, &par) {
+                (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+                (Ok(a), Ok(b)) => {
+                    prop_assert!(
+                        (a.objective - b.objective).abs() < 1e-6,
+                        "jobs {jobs}: serial {} vs parallel {}\nmodel: {}",
+                        a.objective,
+                        b.objective,
+                        m.to_lp_format()
+                    );
+                    prop_assert!(m.violations(&b.x, 1e-6).is_empty());
+                }
+                (a, b) => prop_assert!(
+                    false,
+                    "jobs {jobs}: serial {a:?} vs parallel {b:?}\nmodel: {}",
+                    m.to_lp_format()
+                ),
+            }
+        }
+    }
+}

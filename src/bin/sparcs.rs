@@ -50,6 +50,7 @@ struct Flags {
     jobs: Option<u32>,
     max_partitions: Vec<u32>,
     archs: Vec<ArchPreset>,
+    ilp_stats: bool,
 }
 
 impl Flags {
@@ -129,7 +130,9 @@ fn usage() -> &'static str {
               --seq static|fdh|idh  --synthetic (run: generated stream, counted sink)\n\
               --arch xc4044|xc6200|tm (repeatable: explore ranks across boards)\n\
               --max-partitions N[,N...] (cap the ILP; a list sweeps explore)\n\
-              --jobs N (explore worker threads; rankings are identical for any N)\n\
+              --jobs N (explore workers / partition tree-search threads;\n\
+                        rankings and proven optima are identical for any N)\n\
+              --ilp-stats (print solver nodes/pivots/cold-solves/wall time)\n\
      run `sparcs example` for a sample graph file"
 }
 
@@ -151,6 +154,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         jobs: None,
         max_partitions: Vec::new(),
         archs: Vec::new(),
+        ilp_stats: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -180,6 +184,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                 }
             }
             "--pow2" => f.pow2 = true,
+            "--ilp-stats" => f.ilp_stats = true,
             "--edge-memory" => f.edge_memory = true,
             "--synthetic" => f.synthetic = true,
             "--seq" => {
@@ -300,15 +305,29 @@ fn partition_options(f: &Flags) -> PartitionOptions {
     }
 }
 
-fn strategy_of(f: &Flags) -> Box<dyn PartitionStrategy> {
+/// The partitioner behind `--partitioner`. `solver_jobs` opts the exact
+/// solver into `--jobs`-way parallel tree search — only the `partition`
+/// subcommand does: the proven latency is identical for every job count
+/// but the optimal *witness* may differ between runs, and every other
+/// consumer (explore's bit-identical rankings, fission/codegen/run
+/// outputs) promises run-to-run determinism.
+fn strategy_of(f: &Flags, solver_jobs: bool) -> Box<dyn PartitionStrategy> {
     match f.partitioner.unwrap_or(Partitioner::Ilp) {
-        Partitioner::Ilp => Box::new(IlpStrategy::with_options(partition_options(f))),
+        Partitioner::Ilp => {
+            let mut options = partition_options(f);
+            if solver_jobs {
+                if let Some(jobs) = f.jobs {
+                    options.solve.jobs = jobs;
+                }
+            }
+            Box::new(IlpStrategy::with_options(options))
+        }
         Partitioner::List => Box::new(ListStrategy::new()),
     }
 }
 
 fn analyze<'a>(s: &'a FlowSession, f: &Flags) -> Result<AnalyzedFlow<'a>, CliError> {
-    s.partition_with(strategy_of(f).as_ref())
+    s.partition_with(strategy_of(f, false).as_ref())
         .map_err(CliError::runtime)?
         .analyze_with(if f.pow2 {
             BlockRounding::PowerOfTwo
@@ -434,7 +453,7 @@ fn real_main() -> Result<(), CliError> {
         }
         "dot" => {
             let s = session(&f)?;
-            match s.partition_with(strategy_of(&f).as_ref()) {
+            match s.partition_with(strategy_of(&f, false).as_ref()) {
                 Ok(stage) => println!(
                     "{}",
                     dot::to_dot_partitioned(s.graph(), |t| Some(
@@ -449,7 +468,7 @@ fn real_main() -> Result<(), CliError> {
             println!("graph : {}", s.graph());
             println!("target: {}", s.arch());
             let stage = s
-                .partition_with(strategy_of(&f).as_ref())
+                .partition_with(strategy_of(&f, true).as_ref())
                 .map_err(CliError::runtime)?;
             let d = &stage.design;
             println!("result: {} (via {})", d.partitioning, stage.strategy);
@@ -462,6 +481,9 @@ fn real_main() -> Result<(), CliError> {
                 d.sum_delay_ns,
                 d.stats.proven_optimal
             );
+            if f.ilp_stats {
+                println!("solver : {}", d.stats);
+            }
         }
         "fission" => {
             let i = f.single_workload()?;
@@ -581,6 +603,17 @@ fn real_main() -> Result<(), CliError> {
                 cov.skipped_fission,
                 space.jobs,
             );
+            if f.ilp_stats {
+                let t = exploration.solver_totals();
+                println!(
+                    "solver: {} designs, {} B&B nodes, {} pivots, {} cold solves, {:.3} ms summed solve time",
+                    t.designs,
+                    t.nodes,
+                    t.pivots,
+                    t.cold_solves,
+                    t.wall.as_secs_f64() * 1e3,
+                );
+            }
             for w in exploration.workloads() {
                 let best = exploration.best_for(w).expect("workload was explored");
                 println!(

@@ -192,6 +192,9 @@ mod tests {
             stats: SolveStats {
                 attempted_n: Vec::new(),
                 nodes: 0,
+                pivots: 0,
+                cold_solves: 0,
+                wall: std::time::Duration::ZERO,
                 proven_optimal: false,
                 delay_mode: DelayMode::PartitionSum,
             },

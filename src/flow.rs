@@ -341,6 +341,9 @@ fn design_from_partitioning(
         stats: SolveStats {
             attempted_n: Vec::new(),
             nodes: 0,
+            pivots: 0,
+            cold_solves: 0,
+            wall: std::time::Duration::ZERO,
             proven_optimal: false,
             delay_mode: DelayMode::PartitionSum,
         },
@@ -1053,6 +1056,23 @@ pub struct ExploreCoverage {
     pub skipped_fission: usize,
 }
 
+/// Summed [`SolveStats`] over an exploration's distinct designs
+/// (see [`Exploration::solver_totals`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverTotals {
+    /// Distinct partitioned designs behind the ranking.
+    pub designs: usize,
+    /// Branch-and-bound nodes across them.
+    pub nodes: usize,
+    /// Simplex iterations across them.
+    pub pivots: usize,
+    /// Cold LP solves across them.
+    pub cold_solves: usize,
+    /// Summed solver wall time (not elapsed exploration time: candidates
+    /// run in parallel and cached designs carry their original solve).
+    pub wall: std::time::Duration,
+}
+
 /// The ranked result of [`FlowSession::explore`].
 #[derive(Debug, Clone)]
 pub struct Exploration {
@@ -1078,6 +1098,29 @@ impl Exploration {
     /// that `I` value was not part of the explored space.
     pub fn best_for(&self, workload: u64) -> Option<&ExploredCandidate> {
         self.candidates.iter().find(|c| c.workload == workload)
+    }
+
+    /// Aggregate solver statistics across the exploration's *distinct*
+    /// partitioning solves (candidates share their design via [`Arc`], so
+    /// summing per candidate would overcount each solve once per rounding
+    /// x sequencing x workload tuple). Cached designs report the stats of
+    /// the run that originally solved them.
+    pub fn solver_totals(&self) -> SolverTotals {
+        let mut seen: Vec<*const PartitionedDesign> = Vec::new();
+        let mut totals = SolverTotals::default();
+        for c in &self.candidates {
+            let ptr = Arc::as_ptr(&c.design);
+            if seen.contains(&ptr) {
+                continue;
+            }
+            seen.push(ptr);
+            totals.designs += 1;
+            totals.nodes += c.design.stats.nodes;
+            totals.pivots += c.design.stats.pivots;
+            totals.cold_solves += c.design.stats.cold_solves;
+            totals.wall += c.design.stats.wall;
+        }
+        totals
     }
 
     /// The distinct workloads present in the ranking, in ranked order.
