@@ -1,0 +1,156 @@
+//! S1 — strategy-algebra quality: list vs `list+kl` vs `list+anneal` vs
+//! exact ILP, on the paper DCT model and a family of random layered
+//! graphs.
+//!
+//! Prints the cost table, times one refinement chain, and writes
+//! `BENCH_strategies.json` at the workspace root so future PRs have a
+//! pinned quality trajectory: per problem, the design latency of each
+//! strategy and the refinement gap it closed (list → optimum).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use sparcs::core::model::ModelConfig;
+use sparcs::core::PartitionOptions;
+use sparcs::estimate::Architecture;
+use sparcs::flow::FlowSession;
+use sparcs::jpeg::{dct_task_graph, EstimateBackend};
+use sparcs::strategy::parse_spec;
+use sparcs_dfg::gen::{self, LayeredConfig};
+use sparcs_dfg::Resources;
+use std::hint::black_box;
+
+const SPECS: [&str; 4] = ["list", "list+kl", "list+anneal", "ilp"];
+
+/// One strategy's result on one problem.
+#[derive(Debug, Serialize)]
+struct StrategyCost {
+    spec: &'static str,
+    latency_ns: u64,
+    partitions: u32,
+    proven_optimal: bool,
+}
+
+/// One problem's cost row.
+#[derive(Debug, Serialize)]
+struct ProblemRow {
+    problem: String,
+    costs: Vec<StrategyCost>,
+    /// Fraction of the list→optimum gap closed by `list+kl` (1.0 = all).
+    kl_gap_closed: Option<f64>,
+}
+
+#[derive(Debug, Serialize)]
+struct QualityTable {
+    generated_by: &'static str,
+    rows: Vec<ProblemRow>,
+}
+
+fn measure(session: &FlowSession, options: &PartitionOptions, problem: &str) -> ProblemRow {
+    let mut costs = Vec::new();
+    for spec in SPECS {
+        let strategy = parse_spec(spec, options).expect("spec parses");
+        match session.partition_with(strategy.as_ref()) {
+            Ok(stage) => costs.push(StrategyCost {
+                spec,
+                latency_ns: stage.design.latency_ns,
+                partitions: stage.design.partitioning.partition_count(),
+                proven_optimal: stage.design.stats.proven_optimal,
+            }),
+            Err(e) => println!("[S1] {problem}: {spec} infeasible ({e})"),
+        }
+    }
+    let cost_of = |spec: &str| costs.iter().find(|c| c.spec == spec).map(|c| c.latency_ns);
+    let kl_gap_closed = match (cost_of("list"), cost_of("list+kl"), cost_of("ilp")) {
+        (Some(list), Some(kl), Some(ilp)) if list > ilp => {
+            Some((list - kl) as f64 / (list - ilp) as f64)
+        }
+        _ => None,
+    };
+    for c in &costs {
+        println!(
+            "[S1] {problem:<24} {:<12} {:>10} ns over {} partitions{}",
+            c.spec,
+            c.latency_ns,
+            c.partitions,
+            if c.proven_optimal { " (optimal)" } else { "" }
+        );
+    }
+    ProblemRow {
+        problem: problem.to_string(),
+        costs,
+        kl_gap_closed,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rows = Vec::new();
+
+    // The paper's §4 DCT model.
+    let dct = dct_task_graph(EstimateBackend::PaperCalibrated).expect("graph builds");
+    let dct_session = FlowSession::new(dct.graph.clone(), Architecture::xc4044_wildforce());
+    let dct_options = PartitionOptions {
+        model: ModelConfig {
+            declared_symmetry: dct.symmetry_groups.clone(),
+            ..ModelConfig::default()
+        },
+        ..PartitionOptions::default()
+    };
+    let dct_row = measure(&dct_session, &dct_options, "dct-paper");
+    let cost = |row: &ProblemRow, spec: &str| {
+        row.costs
+            .iter()
+            .find(|c| c.spec == spec)
+            .map(|c| c.latency_ns)
+            .expect("measured")
+    };
+    // The CI quality gate: refinement must never rank behind its seed.
+    assert!(
+        cost(&dct_row, "list+kl") <= cost(&dct_row, "list"),
+        "list+kl ranks behind list on the pinned DCT model"
+    );
+    assert!(cost(&dct_row, "ilp") <= cost(&dct_row, "list+kl"));
+    rows.push(dct_row);
+
+    // Random layered families (the ablation graphs).
+    let cfg = LayeredConfig {
+        layers: 3,
+        min_width: 2,
+        max_width: 3,
+        ..LayeredConfig::default()
+    };
+    let mut dev = Architecture::xc4044_wildforce();
+    dev.resources = Resources::clbs(700);
+    for seed in 0..6 {
+        let g = gen::layered(&cfg, seed);
+        let session = FlowSession::new(g, dev.clone());
+        rows.push(measure(
+            &session,
+            &PartitionOptions::default(),
+            &format!("layered-{seed}"),
+        ));
+    }
+
+    let table = QualityTable {
+        generated_by: "cargo bench --bench strategy_quality",
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&table).expect("table serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_strategies.json");
+    match std::fs::write(path, format!("{json}\n")) {
+        Ok(()) => println!("[S1] wrote {path}"),
+        Err(e) => println!("[S1] cannot write {path}: {e}"),
+    }
+
+    // Wall-clock of the refinement chain itself (the seed is cached by the
+    // partitioner's own list call, so this times kl on a warm problem).
+    let mut group = c.benchmark_group("strategy_quality");
+    group.sample_size(10);
+    let kl = parse_spec("list+kl", &dct_options).expect("spec parses");
+    group.bench_function("list_kl_on_dct", |b| {
+        b.iter(|| dct_session.partition_with(black_box(kl.as_ref())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

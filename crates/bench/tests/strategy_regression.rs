@@ -1,0 +1,83 @@
+//! Strategy-quality regression guards on the pinned §4 DCT model.
+//!
+//! The strategy algebra's contract is *monotone refinement*: a seeded
+//! chain never costs more than its seed. These guards pin that on the
+//! paper's own case study — `list+kl` (and `list+anneal`) must never rank
+//! behind the plain list heuristic, and the racing portfolio must keep
+//! returning the proven exact optimum. Both refiners are deterministic
+//! (steepest descent / seeded RNG), so the asserted costs are bit-stable
+//! and safe for CI.
+
+use sparcs::core::model::ModelConfig;
+use sparcs::core::partitioning::MemoryMode;
+use sparcs::core::PartitionOptions;
+use sparcs::estimate::Architecture;
+use sparcs::flow::{FlowSession, PartitionedFlow};
+use sparcs::jpeg::{dct_task_graph, EstimateBackend};
+use sparcs::strategy::parse_spec;
+
+fn dct_problem() -> (FlowSession, PartitionOptions) {
+    let dct = dct_task_graph(EstimateBackend::PaperCalibrated).expect("graph builds");
+    let session = FlowSession::new(dct.graph.clone(), Architecture::xc4044_wildforce());
+    let options = PartitionOptions {
+        model: ModelConfig {
+            declared_symmetry: dct.symmetry_groups.clone(),
+            ..ModelConfig::default()
+        },
+        ..PartitionOptions::default()
+    };
+    (session, options)
+}
+
+fn run<'a>(
+    session: &'a FlowSession,
+    options: &PartitionOptions,
+    spec: &str,
+) -> PartitionedFlow<'a> {
+    session
+        .partition_with(parse_spec(spec, options).expect("spec parses").as_ref())
+        .expect(spec)
+}
+
+#[test]
+fn refined_list_never_ranks_behind_plain_list_on_the_pinned_dct() {
+    let (session, options) = dct_problem();
+    let list = run(&session, &options, "list");
+    for spec in ["list+kl", "list+anneal", "list+kl+anneal"] {
+        let refined = run(&session, &options, spec);
+        assert!(
+            refined.design.latency_ns <= list.design.latency_ns,
+            "{spec} regressed: {} ns > list {} ns",
+            refined.design.latency_ns,
+            list.design.latency_ns
+        );
+        assert!(
+            refined.validate(MemoryMode::Net).is_empty(),
+            "{spec} produced an invalid design"
+        );
+    }
+}
+
+#[test]
+fn refinement_chains_are_deterministic_on_the_pinned_dct() {
+    let (session, options) = dct_problem();
+    for spec in ["list+kl", "list+anneal"] {
+        let a = run(&session, &options, spec);
+        let b = run(&session, &options, spec);
+        assert_eq!(
+            a.design.partitioning.assignment(),
+            b.design.partitioning.assignment(),
+            "{spec} is not run-to-run deterministic"
+        );
+    }
+}
+
+#[test]
+fn portfolio_matches_the_exact_optimum_on_the_pinned_dct() {
+    let (session, options) = dct_problem();
+    let exact = run(&session, &options, "ilp");
+    assert!(exact.design.stats.proven_optimal);
+    let portfolio = run(&session, &options, "portfolio");
+    assert_eq!(portfolio.design.latency_ns, exact.design.latency_ns);
+    assert!(portfolio.design.stats.proven_optimal);
+}

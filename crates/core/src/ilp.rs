@@ -12,6 +12,7 @@ use crate::delay;
 use crate::list;
 use crate::model::{self, DelayMode, ModelBuildError, ModelConfig};
 use crate::partitioning::Partitioning;
+use crate::search::SearchCtx;
 use sparcs_dfg::{GraphError, TaskGraph, TaskId};
 use sparcs_estimate::Architecture;
 use sparcs_ilp::{SolveError, SolveOptions, Status};
@@ -30,6 +31,19 @@ pub struct PartitionOptions {
     /// Seed the solver with the list-based heuristic when feasible
     /// (defaults on via `Default`).
     pub no_warm_start: bool,
+    /// Pin the relaxation loop to the single partition bound `N₀ + offset`
+    /// (where `N₀` is the resource lower bound) instead of walking
+    /// `N₀..=max`. A portfolio shards the exact solve across candidate
+    /// bounds by racing one pinned partitioner per offset — the solution at
+    /// offset 0 is the paper's first-feasible (hence optimal) answer
+    /// whenever it exists, and offset 1 covers the relaxation concurrently.
+    pub bound_offset: Option<u32>,
+    /// Start the relaxation loop at `N₀ + offset` instead of `N₀`, still
+    /// walking up to the cap (ignored when [`Self::bound_offset`] pins a
+    /// single bound). The portfolio's second shard uses 1: the pinned
+    /// first shard proves `N₀` while this one covers `N₀+1..=max`, so the
+    /// pair still solves every bound the classic loop would.
+    pub min_bound_offset: u32,
 }
 
 /// Statistics of a successful partitioning run.
@@ -48,6 +62,10 @@ pub struct SolveStats {
     pub wall: Duration,
     /// Whether the final solve proved optimality.
     pub proven_optimal: bool,
+    /// Whether the search was cancelled cooperatively (deadline or
+    /// [`crate::search::CancelToken`]) and returned its incumbent instead
+    /// of a proven optimum.
+    pub cancelled: bool,
     /// How delay rows were generated in the final model.
     pub delay_mode: DelayMode,
 }
@@ -64,6 +82,8 @@ impl fmt::Display for SolveStats {
             self.wall.as_secs_f64() * 1e3,
             if self.proven_optimal {
                 "proven optimal"
+            } else if self.cancelled {
+                "feasible (search cancelled)"
             } else {
                 "feasible (budget hit)"
             }
@@ -171,6 +191,26 @@ impl IlpPartitioner {
     ///
     /// See [`PartitionError`].
     pub fn partition(&self, g: &TaskGraph) -> Result<PartitionedDesign, PartitionError> {
+        self.partition_with_search(g, &SearchCtx::unbounded())
+    }
+
+    /// Partitions `g` under a [`SearchCtx`]: the deadline and cancellation
+    /// token (when present — they take precedence over any token already in
+    /// [`SolveOptions`]) are threaded into every branch-and-bound solve of
+    /// the relaxation loop, and checked between bound attempts. A stopped
+    /// search returns the best incumbent found so far (with
+    /// [`SolveStats::cancelled`] set and `proven_optimal` false), or
+    /// [`SolveError::Cancelled`] when it was stopped before finding any
+    /// feasible design.
+    ///
+    /// # Errors
+    ///
+    /// See [`PartitionError`].
+    pub fn partition_with_search(
+        &self,
+        g: &TaskGraph,
+        search: &SearchCtx,
+    ) -> Result<PartitionedDesign, PartitionError> {
         g.validate()?;
         // Every task must individually fit the device.
         for (t, task) in g.tasks() {
@@ -192,6 +232,7 @@ impl IlpPartitioner {
                     cold_solves: 0,
                     wall: Duration::ZERO,
                     proven_optimal: true,
+                    cancelled: false,
                     delay_mode: DelayMode::ExactPaths { path_count: 0 },
                 },
             });
@@ -228,15 +269,83 @@ impl IlpPartitioner {
             })
         };
 
+        // Bound sharding: a pinned offset solves exactly one bound of the
+        // relaxation loop; a floor offset walks the rest of the loop from
+        // there (racing portfolios pair the two so every bound is covered
+        // concurrently).
+        let (n_lo, n_hi) = match self.opts.bound_offset {
+            Some(offset) => {
+                let n = n0.saturating_add(offset);
+                if n > n_max {
+                    return Err(PartitionError::NoFeasibleSolution { tried_up_to: n_max });
+                }
+                (n, n)
+            }
+            None => {
+                let lo = n0.saturating_add(self.opts.min_bound_offset);
+                if lo > n_max {
+                    return Err(PartitionError::NoFeasibleSolution { tried_up_to: n_max });
+                }
+                (lo, n_max)
+            }
+        };
+
         let mut attempted = Vec::new();
         let mut total_nodes = 0usize;
         let mut total_pivots = 0usize;
         let mut total_cold = 0usize;
         let t0 = Instant::now();
-        for n in n0..=n_max {
+        // A stopped search with nothing from the solver still has the
+        // validated list seed in hand whenever warm-starting was possible —
+        // hand that back (flagged cancelled) instead of dying; the seed may
+        // use more partitions than the bound being solved (it then never
+        // reached the solver as an incumbent), but it is a feasible design.
+        let cancelled_fallback = |attempted: Vec<u32>,
+                                  nodes: usize,
+                                  pivots: usize,
+                                  cold: usize|
+         -> Result<PartitionedDesign, PartitionError> {
+            let Some(partitioning) = warm.clone() else {
+                return Err(PartitionError::Solver(SolveError::Cancelled));
+            };
+            let partition_delays_ns = delay::partition_delays(g, &partitioning)?;
+            let sum_delay_ns: u64 = partition_delays_ns.iter().sum();
+            let latency_ns =
+                partitioning.partition_count() as u64 * self.arch.reconfig_time_ns + sum_delay_ns;
+            Ok(PartitionedDesign {
+                partitioning,
+                partition_delays_ns,
+                sum_delay_ns,
+                latency_ns,
+                stats: SolveStats {
+                    attempted_n: attempted,
+                    nodes,
+                    pivots,
+                    cold_solves: cold,
+                    wall: t0.elapsed(),
+                    proven_optimal: false,
+                    cancelled: true,
+                    delay_mode: DelayMode::PartitionSum,
+                },
+            })
+        };
+        for n in n_lo..=n_hi {
+            // Between attempts the loop is a cooperative check point. The
+            // first attempt always reaches the solver — it degrades to the
+            // warm incumbent on its own when the search is already stopped.
+            if n > n_lo && search.stop_requested() {
+                return cancelled_fallback(attempted, total_nodes, total_pivots, total_cold);
+            }
             attempted.push(n);
             let pm = model::build_model(g, &self.arch, n, &self.opts.model)?;
             let mut solve_opts = self.opts.solve.clone();
+            if let Some(deadline) = search.deadline() {
+                solve_opts.deadline =
+                    Some(solve_opts.deadline.map_or(deadline, |d| d.min(deadline)));
+            }
+            if let Some(token) = search.cancel_token() {
+                solve_opts.cancel = Some(token.clone());
+            }
             if let Some(w) = warm
                 .as_ref()
                 .and_then(|p| pm.encode_warm_start(g, p, &self.opts.model))
@@ -266,6 +375,7 @@ impl IlpPartitioner {
                             cold_solves: total_cold,
                             wall: t0.elapsed(),
                             proven_optimal: sol.status == Status::Optimal,
+                            cancelled: sol.status == Status::Cancelled,
                             delay_mode: pm.delay_mode,
                         },
                     });
@@ -274,10 +384,15 @@ impl IlpPartitioner {
                     // Paper: relax the partition bound by 1 and rebuild.
                     continue;
                 }
+                Err(SolveError::Cancelled) => {
+                    // Stopped without a solver incumbent (the list seed may
+                    // not encode at this bound); fall back to the seed.
+                    return cancelled_fallback(attempted, total_nodes, total_pivots, total_cold);
+                }
                 Err(e) => return Err(PartitionError::Solver(e)),
             }
         }
-        Err(PartitionError::NoFeasibleSolution { tried_up_to: n_max })
+        Err(PartitionError::NoFeasibleSolution { tried_up_to: n_hi })
     }
 }
 
@@ -416,6 +531,131 @@ mod tests {
             }
         }
         assert!(ilp_strictly_better > 0, "ILP should win at least once");
+    }
+
+    #[test]
+    fn pinned_bound_offset_solves_exactly_one_bound() {
+        let g = gen::fig4_example();
+        let a = arch(1200, 100); // resource lower bound: 2 partitions
+        let pinned = |offset: u32| {
+            IlpPartitioner::new(
+                a.clone(),
+                PartitionOptions {
+                    bound_offset: Some(offset),
+                    ..PartitionOptions::default()
+                },
+            )
+            .partition(&g)
+        };
+        let d0 = pinned(0).unwrap();
+        assert_eq!(d0.stats.attempted_n, vec![2]);
+        assert_eq!(d0.sum_delay_ns, 700);
+        let d1 = pinned(1).unwrap();
+        assert_eq!(d1.stats.attempted_n, vec![3]);
+        assert!(d1.stats.proven_optimal);
+        // An offset beyond the hard cap has nothing to solve.
+        let err = IlpPartitioner::new(
+            a,
+            PartitionOptions {
+                bound_offset: Some(1),
+                max_partitions: Some(2),
+                ..PartitionOptions::default()
+            },
+        )
+        .partition(&g)
+        .unwrap_err();
+        assert_eq!(err, PartitionError::NoFeasibleSolution { tried_up_to: 2 });
+    }
+
+    #[test]
+    fn floor_bound_offset_walks_the_rest_of_the_relaxation_loop() {
+        let g = gen::fig4_example();
+        let a = arch(1200, 100); // resource lower bound: 2 partitions
+        let d = IlpPartitioner::new(
+            a,
+            PartitionOptions {
+                min_bound_offset: 1,
+                ..PartitionOptions::default()
+            },
+        )
+        .partition(&g)
+        .unwrap();
+        // The shard starts at N₀+1 = 3 and keeps relaxing like the classic
+        // loop would.
+        assert_eq!(d.stats.attempted_n[0], 3);
+        assert!(d.stats.proven_optimal);
+        // A floor beyond the cap has nothing to solve.
+        let g2 = gen::fig4_example();
+        let err = IlpPartitioner::new(
+            arch(1200, 100),
+            PartitionOptions {
+                min_bound_offset: 2,
+                max_partitions: Some(2),
+                ..PartitionOptions::default()
+            },
+        )
+        .partition(&g2)
+        .unwrap_err();
+        assert_eq!(err, PartitionError::NoFeasibleSolution { tried_up_to: 2 });
+    }
+
+    #[test]
+    fn cancelled_search_returns_the_warm_incumbent() {
+        use crate::search::CancelToken;
+        let g = gen::fig4_example();
+        let a = arch(1200, 100);
+        let token = CancelToken::new();
+        token.cancel();
+        // The warm-started solver holds the list incumbent before the first
+        // node; a pre-cancelled search must hand it back, flagged.
+        let d = IlpPartitioner::new(a.clone(), PartitionOptions::default())
+            .partition_with_search(&g, &SearchCtx::unbounded().and_cancel(token))
+            .unwrap();
+        assert!(d.stats.cancelled);
+        assert!(!d.stats.proven_optimal);
+        assert!(d.partitioning.validate(&g, &a, MemoryMode::Net).is_empty());
+        // Without a warm start there is no incumbent to return.
+        let token = CancelToken::new();
+        token.cancel();
+        let err = IlpPartitioner::new(
+            a,
+            PartitionOptions {
+                no_warm_start: true,
+                ..PartitionOptions::default()
+            },
+        )
+        .partition_with_search(&g, &SearchCtx::unbounded().and_cancel(token))
+        .unwrap_err();
+        assert_eq!(err, PartitionError::Solver(SolveError::Cancelled));
+    }
+
+    #[test]
+    fn cancelled_search_falls_back_to_an_unencodable_list_seed() {
+        use crate::search::CancelToken;
+        // Independent tasks sized 100/60/70/30 on a 130-CLB device: the
+        // resource lower bound is 2 (260/130), but the greedy list packs
+        // {100},{60,70},{30} — three partitions, so the seed cannot encode
+        // into the N = 2 model and the solver starts with no incumbent. A
+        // cancelled solve must still return the (feasible) list design.
+        let mut g = TaskGraph::new("wasteful-greedy");
+        for (name, clbs) in [("a", 100u64), ("b", 60), ("c", 70), ("d", 30)] {
+            g.add_task(name, Resources::clbs(clbs), 10, 1);
+        }
+        let dev = arch(130, 1_000_000);
+        let seed = crate::list::partition_list(&g, &dev).unwrap();
+        assert_eq!(seed.partition_count(), 3, "greedy wastes a partition");
+        let token = CancelToken::new();
+        token.cancel();
+        let d = IlpPartitioner::new(dev.clone(), PartitionOptions::default())
+            .partition_with_search(&g, &SearchCtx::unbounded().and_cancel(token))
+            .expect("the list seed is a feasible fallback");
+        assert!(d.stats.cancelled);
+        assert!(!d.stats.proven_optimal);
+        assert_eq!(d.partitioning.assignment(), seed.assignment());
+        assert!(d
+            .partitioning
+            .validate(&g, &dev, MemoryMode::Net)
+            .is_empty());
     }
 
     #[test]

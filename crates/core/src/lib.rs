@@ -17,8 +17,11 @@
 //!    ([`codegen`]).
 //!
 //! Supporting modules: [`partitioning`] (the result type and its validator),
-//! [`delay`] (the Figure-4 path-max partition delay measure) and [`memory`]
-//! (boundary-crossing and per-partition memory accounting).
+//! [`delay`] (the Figure-4 path-max partition delay measure), [`memory`]
+//! (boundary-crossing and per-partition memory accounting), [`refine`]
+//! (KL-style and simulated-annealing improvement of any seed partitioning)
+//! and [`search`] (wall-clock budgets and cooperative cancellation threaded
+//! through every partitioner).
 //!
 //! # Quick example
 //!
@@ -48,7 +51,10 @@ pub mod list;
 pub mod memory;
 pub mod model;
 pub mod partitioning;
+pub mod refine;
+pub mod search;
 
 pub use fission::{FissionAnalysis, SequencingStrategy};
 pub use ilp::{IlpPartitioner, PartitionError, PartitionOptions, PartitionedDesign};
 pub use partitioning::{PartitionId, Partitioning};
+pub use search::{CancelToken, SearchBudget, SearchCtx};

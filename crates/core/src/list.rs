@@ -10,9 +10,10 @@
 //! doing this would have increased the delay of temporal partition 1, thus
 //! increasing the latency of the whole design."*
 
-use crate::partitioning::{PartitionId, Partitioning};
+use crate::partitioning::{MemoryMode, PartitionId, Partitioning};
 use sparcs_dfg::{GraphError, Resources, TaskGraph, TaskId};
 use sparcs_estimate::Architecture;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Errors from the list partitioner.
@@ -22,6 +23,17 @@ pub enum ListError {
     Graph(GraphError),
     /// A single task exceeds the device capacity and can never be placed.
     TaskTooLarge(TaskId),
+    /// The memory-aware packer found a boundary whose crossing data exceeds
+    /// the on-board memory no matter which tasks it defers — the constraint
+    /// that broke, with its measured load, so infeasibility reports can say
+    /// *why* (`M_max` is simply too small for any cut near this point).
+    MemoryInfeasible {
+        /// The boundary (between partitions `b` and `b+1`) that cannot be
+        /// made feasible.
+        boundary: u32,
+        /// The smallest crossing load the packer could reach, in words.
+        words: u64,
+    },
 }
 
 impl fmt::Display for ListError {
@@ -29,6 +41,10 @@ impl fmt::Display for ListError {
         match self {
             ListError::Graph(e) => write!(f, "{e}"),
             ListError::TaskTooLarge(t) => write!(f, "task {t} exceeds the device capacity"),
+            ListError::MemoryInfeasible { boundary, words } => write!(
+                f,
+                "boundary {boundary} needs {words} words > M_max for every packing"
+            ),
         }
     }
 }
@@ -70,6 +86,114 @@ pub fn partition_list(g: &TaskGraph, arch: &Architecture) -> Result<Partitioning
         assignment[t.index()] = PartitionId(current);
     }
     Ok(Partitioning::new(assignment))
+}
+
+/// Memory-aware greedy list partitioning: the [`partition_list`] walk, but
+/// every partition boundary is validated against the on-board memory
+/// *while packing*. A boundary's crossing load is fully determined the
+/// moment its partition closes (every producer is assigned, every
+/// still-unassigned consumer necessarily lands later), so the packer checks
+/// it exactly then; an infeasible cut is rescued by *deferring* the most
+/// recently placed tasks into the next partition (always precedence-safe:
+/// a task's successors are placed after it, so they defer first) until the
+/// cut fits. A boundary that cannot be made feasible even with the whole
+/// partition deferred reports [`ListError::MemoryInfeasible`] — naming the
+/// constraint that broke rather than producing a design that fails
+/// validation downstream.
+///
+/// The result always passes [`Partitioning::validate`] under `mode` —
+/// unlike [`partition_list`], which is memory-blind by construction.
+///
+/// # Errors
+///
+/// See [`ListError`].
+pub fn partition_list_memory_aware(
+    g: &TaskGraph,
+    arch: &Architecture,
+    mode: MemoryMode,
+) -> Result<Partitioning, ListError> {
+    // Crossing load of the boundary that closing the current partition
+    // would create: assigned producers whose value reaches an unassigned
+    // (hence later) consumer.
+    let cut_words = |assignment: &[Option<PartitionId>]| -> u64 {
+        match mode {
+            MemoryMode::Net => g
+                .tasks()
+                .filter(|(t, _)| assignment[t.index()].is_some())
+                .filter(|(t, _)| g.successors(*t).any(|s| assignment[s.index()].is_none()))
+                .map(|(_, task)| task.output_words)
+                .sum(),
+            MemoryMode::Edge => g
+                .edges()
+                .iter()
+                .filter(|e| {
+                    assignment[e.src.index()].is_some() && assignment[e.dst.index()].is_none()
+                })
+                .map(|e| e.words)
+                .sum(),
+        }
+    };
+
+    let mut queue: VecDeque<TaskId> = g.topological_order()?.into();
+    let mut assignment: Vec<Option<PartitionId>> = vec![None; g.task_count()];
+    let mut current = 0u32;
+    let mut used = Resources::ZERO;
+    let mut placed: Vec<TaskId> = Vec::new(); // current partition, placement order
+    while let Some(t) = queue.pop_front() {
+        let need = g.task(t).resources;
+        if !need.fits_within(&arch.resources) {
+            return Err(ListError::TaskTooLarge(t));
+        }
+        if (used + need).fits_within(&arch.resources) {
+            assignment[t.index()] = Some(PartitionId(current));
+            placed.push(t);
+            used += need;
+            continue;
+        }
+        // Close the current partition: make its boundary memory-feasible,
+        // deferring the latest-placed tasks when it is not.
+        let mut deferred: Vec<TaskId> = Vec::new();
+        // Deferring is not monotone (moving a consumer later can re-expose
+        // its producers' values across the cut), so track the smallest
+        // load actually reached for the error report.
+        let mut min_words: Option<u64> = None;
+        loop {
+            let words = cut_words(&assignment);
+            if words <= arch.memory_words {
+                break;
+            }
+            let tracked = min_words.get_or_insert(words);
+            *tracked = (*tracked).min(words);
+            if placed.len() <= 1 {
+                // Deferring the whole partition would re-create the same
+                // state one slot later, forever: no feasible cut exists
+                // near this point.
+                return Err(ListError::MemoryInfeasible {
+                    boundary: current,
+                    words: *tracked,
+                });
+            }
+            let d = placed.pop().expect("len > 1");
+            assignment[d.index()] = None;
+            deferred.push(d);
+        }
+        current += 1;
+        used = Resources::ZERO;
+        placed.clear();
+        // Deferred tasks re-enter ahead of `t` in their original placement
+        // order (pushing front in pop order — latest first — restores it);
+        // topological order is preserved since all were placed before `t`.
+        queue.push_front(t);
+        for &d in &deferred {
+            queue.push_front(d);
+        }
+    }
+    Ok(Partitioning::new(
+        assignment
+            .into_iter()
+            .map(|p| p.expect("every task was placed"))
+            .collect(),
+    ))
 }
 
 #[cfg(test)]
@@ -125,6 +249,78 @@ mod tests {
                         "seed {seed}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_aware_list_matches_plain_list_when_memory_is_ample() {
+        let g = gen::fig4_example();
+        for clbs in [1200, 1600, 2000] {
+            let a = arch(clbs);
+            let plain = partition_list(&g, &a).unwrap();
+            let aware = partition_list_memory_aware(&g, &a, MemoryMode::Net).unwrap();
+            assert_eq!(
+                plain.assignment(),
+                aware.assignment(),
+                "no memory pressure at {clbs} CLBs — identical packing"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_aware_list_defers_a_fat_producer_across_the_cut() {
+        // x(out 1) and p(out 50) fill the device; q consumes p's fat value.
+        // The blind packer splits {x,p}|{q}, storing 50 words > M_max = 3;
+        // the memory-aware packer defers p so the value never crosses.
+        let mut g = sparcs_dfg::TaskGraph::new("defer");
+        let x = g.add_task("x", Resources::clbs(60), 10, 1);
+        let p = g.add_task("p", Resources::clbs(60), 10, 50);
+        let q = g.add_task("q", Resources::clbs(60), 10, 1);
+        g.add_edge(p, q, 50).unwrap();
+        let a = arch(130).with_memory_words(3);
+        let blind = partition_list(&g, &a).unwrap();
+        assert!(
+            !blind.validate(&g, &a, MemoryMode::Net).is_empty(),
+            "the blind packer must actually trip the memory bound here"
+        );
+        let aware = partition_list_memory_aware(&g, &a, MemoryMode::Net).unwrap();
+        assert!(aware.validate(&g, &a, MemoryMode::Net).is_empty());
+        assert_eq!(aware.partition_of(x), PartitionId(0));
+        assert_eq!(aware.partition_of(p), aware.partition_of(q));
+    }
+
+    #[test]
+    fn memory_aware_list_names_the_unfixable_boundary() {
+        // Every cut between a and b stores a's 50-word value; M_max = 3 can
+        // never hold it, and the device (100 CLBs) cannot co-locate them.
+        let mut g = sparcs_dfg::TaskGraph::new("stuck");
+        let a_t = g.add_task("a", Resources::clbs(60), 10, 50);
+        let b_t = g.add_task("b", Resources::clbs(60), 10, 1);
+        g.add_edge(a_t, b_t, 50).unwrap();
+        let dev = arch(100).with_memory_words(3);
+        let err = partition_list_memory_aware(&g, &dev, MemoryMode::Net).unwrap_err();
+        assert_eq!(
+            err,
+            ListError::MemoryInfeasible {
+                boundary: 0,
+                words: 50
+            }
+        );
+        assert!(err.to_string().contains("boundary 0"));
+        assert!(err.to_string().contains("50 words"));
+    }
+
+    #[test]
+    fn memory_aware_list_is_feasible_on_random_graphs() {
+        for seed in 0..20 {
+            let g = gen::layered(&gen::LayeredConfig::default(), seed);
+            let dev = arch(800).with_memory_words(64);
+            if let Ok(p) = partition_list_memory_aware(&g, &dev, MemoryMode::Net) {
+                assert!(
+                    p.validate(&g, &dev, MemoryMode::Net).is_empty(),
+                    "seed {seed}: the aware packer always validates clean"
+                );
             }
         }
     }

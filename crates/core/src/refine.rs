@@ -1,0 +1,352 @@
+//! Iterative refinement of temporal partitionings.
+//!
+//! The paper's flow picks one partitioner and stops; hybrid-partitioning
+//! practice (Galanis et al., Chen et al.) instead *seeds* with a cheap
+//! constructive heuristic and improves it with local search. This module
+//! implements the two classic passes behind that shape, both operating on a
+//! [`Partitioning`] under the full §2.1 feasibility conditions (precedence,
+//! per-partition resources, boundary memory — whatever
+//! [`Partitioning::validate`] checks):
+//!
+//! * [`kl_refine`] — a Kernighan–Lin-style steepest-descent pass over
+//!   single-task *moves* and pairwise *swaps*; deterministic, monotone.
+//! * [`anneal_refine`] — seeded simulated annealing over the same move
+//!   neighbourhood with a geometric temperature schedule
+//!   ([`AnnealSchedule`]); deterministic for a fixed seed, and never worse
+//!   than its input because the best-ever design is returned.
+//!
+//! Both passes are *cooperative*: they poll the [`SearchCtx`] between
+//! rounds (and inside long scans) and return the best design found so far
+//! when stopped. Partition ids order execution in time, so refinement
+//! moves tasks across the seed's *existing* temporal slots — it never
+//! opens a new partition, but a move may empty one, which
+//! [`Partitioning::new`] compacts away: the result can have *fewer*
+//! partitions than the seed (that is how refinement can also win back the
+//! `N·CT` reconfiguration term).
+
+use crate::delay::total_latency_ns;
+use crate::partitioning::{MemoryMode, PartitionId, Partitioning};
+use crate::search::SearchCtx;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sparcs_dfg::{GraphError, TaskGraph};
+use sparcs_estimate::Architecture;
+
+/// Evaluates an assignment: its compacted partitioning and design latency,
+/// or `None` when it violates any feasibility condition.
+fn evaluate(
+    g: &TaskGraph,
+    arch: &Architecture,
+    mode: MemoryMode,
+    assignment: &[PartitionId],
+) -> Option<(u64, Partitioning)> {
+    let p = Partitioning::new(assignment.to_vec());
+    if !p.validate(g, arch, mode).is_empty() {
+        return None;
+    }
+    let cost = total_latency_ns(g, &p, arch.reconfig_time_ns).ok()?;
+    Some((cost, p))
+}
+
+/// Kernighan–Lin-style refinement: repeatedly applies the single best
+/// strictly improving feasible change — moving one task to another
+/// partition, or swapping two tasks across partitions — until no change
+/// improves the latency, `max_rounds` rounds ran, or the search was
+/// stopped. The scan order (tasks ascending, targets ascending, swap pairs
+/// lexicographic) and the strict-improvement rule make the result
+/// deterministic, and the returned partitioning never has higher latency
+/// than the seed.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if `g` is not a DAG.
+pub fn kl_refine(
+    g: &TaskGraph,
+    arch: &Architecture,
+    mode: MemoryMode,
+    seed: &Partitioning,
+    max_rounds: usize,
+    search: &SearchCtx,
+) -> Result<Partitioning, GraphError> {
+    let n = seed.partition_count();
+    let tasks = g.task_count();
+    if n <= 1 || tasks == 0 {
+        return Ok(seed.clone());
+    }
+    let mut best = seed.clone();
+    let mut best_cost = total_latency_ns(g, seed, arch.reconfig_time_ns)?;
+    let mut assignment = seed.assignment().to_vec();
+    // A round scans O(V·N + V²) candidates, each costing a full validate +
+    // delay evaluation — far too long between stop checks on big graphs.
+    // Poll inside the scan too, every 64 evaluations (same cadence as the
+    // annealer); a mid-scan stop abandons the round and returns the best
+    // applied state.
+    let mut evals = 0u32;
+    let mut scan_stopped = |search: &SearchCtx| {
+        evals += 1;
+        evals.is_multiple_of(64) && search.stop_requested()
+    };
+    'rounds: for _round in 0..max_rounds {
+        if search.stop_requested() {
+            break;
+        }
+        let mut round_best: Option<(u64, Vec<PartitionId>)> = None;
+        let mut consider = |candidate: &[PartitionId]| {
+            if let Some((cost, _)) = evaluate(g, arch, mode, candidate) {
+                let improves = cost < round_best.as_ref().map_or(best_cost, |(c, _)| *c);
+                if improves {
+                    round_best = Some((cost, candidate.to_vec()));
+                }
+            }
+        };
+        // Single-task moves.
+        let mut candidate = assignment.clone();
+        for t in 0..tasks {
+            let home = assignment[t];
+            for q in 0..n {
+                if PartitionId(q) == home {
+                    continue;
+                }
+                if scan_stopped(search) {
+                    break 'rounds;
+                }
+                candidate[t] = PartitionId(q);
+                consider(&candidate);
+            }
+            candidate[t] = home;
+        }
+        // Pairwise swaps across partitions.
+        for a in 0..tasks {
+            for b in (a + 1)..tasks {
+                if assignment[a] == assignment[b] {
+                    continue;
+                }
+                if scan_stopped(search) {
+                    break 'rounds;
+                }
+                candidate.swap(a, b);
+                consider(&candidate);
+                candidate.swap(a, b);
+            }
+        }
+        let Some((cost, chosen)) = round_best else {
+            break; // local optimum
+        };
+        assignment = chosen;
+        best_cost = cost;
+        best = Partitioning::new(assignment.clone());
+    }
+    Ok(best)
+}
+
+/// The temperature schedule (and RNG seed) of [`anneal_refine`]. Rendered
+/// into strategy cache keys, so every field that influences the result is
+/// here and the run is a pure function of `(problem, schedule)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealSchedule {
+    /// Seed of the deterministic `StdRng` driving proposals/acceptance.
+    pub seed: u64,
+    /// Proposal iterations.
+    pub iterations: u32,
+    /// Initial temperature as a *fraction of the seed design's latency* —
+    /// an absolute temperature in ns would not transfer across problems.
+    pub initial_temp: f64,
+    /// Geometric cooling factor applied per iteration.
+    pub cooling: f64,
+}
+
+impl Default for AnnealSchedule {
+    fn default() -> Self {
+        AnnealSchedule {
+            seed: 0x5bac5,
+            iterations: 3_000,
+            initial_temp: 0.05,
+            cooling: 0.998,
+        }
+    }
+}
+
+/// Simulated-annealing refinement over the same move/swap neighbourhood as
+/// [`kl_refine`]: proposals are drawn from a seeded [`StdRng`], worsening
+/// feasible moves are accepted with probability `exp(-Δ/T)` under the
+/// geometric [`AnnealSchedule`], and the best feasible design ever visited
+/// is returned — so the result is deterministic for a fixed schedule and
+/// never has higher latency than the seed.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if `g` is not a DAG.
+pub fn anneal_refine(
+    g: &TaskGraph,
+    arch: &Architecture,
+    mode: MemoryMode,
+    seed: &Partitioning,
+    schedule: &AnnealSchedule,
+    search: &SearchCtx,
+) -> Result<Partitioning, GraphError> {
+    let n = seed.partition_count();
+    let tasks = g.task_count();
+    if n <= 1 || tasks == 0 {
+        return Ok(seed.clone());
+    }
+    let seed_cost = total_latency_ns(g, seed, arch.reconfig_time_ns)?;
+    let mut rng = StdRng::seed_from_u64(schedule.seed);
+    let mut current = seed.assignment().to_vec();
+    let mut current_cost = seed_cost;
+    let mut best = seed.clone();
+    let mut best_cost = seed_cost;
+    let mut temp = schedule.initial_temp * seed_cost as f64;
+    for i in 0..schedule.iterations {
+        // Poll coarsely: one proposal costs microseconds, the check is an
+        // atomic load plus (rarely) a clock read.
+        if i.is_multiple_of(64) && search.stop_requested() {
+            break;
+        }
+        let mut candidate = current.clone();
+        let t = rng.gen_range(0..tasks);
+        if rng.gen_bool(0.5) {
+            let q = rng.gen_range(0..n);
+            candidate[t] = PartitionId(q);
+        } else {
+            let u = rng.gen_range(0..tasks);
+            candidate.swap(t, u);
+        }
+        temp *= schedule.cooling;
+        if candidate == current {
+            continue;
+        }
+        let Some((cost, partitioning)) = evaluate(g, arch, mode, &candidate) else {
+            continue; // infeasible neighbour: reject
+        };
+        let delta = cost as f64 - current_cost as f64;
+        let accept = delta <= 0.0 || rng.gen_bool((-delta / temp.max(1e-9)).exp().min(1.0));
+        if accept {
+            current = candidate;
+            current_cost = cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best = partitioning;
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::partition_list;
+    use sparcs_dfg::{gen, Resources};
+
+    fn device(clbs: u64) -> Architecture {
+        let mut a = Architecture::xc4044_wildforce();
+        a.resources = Resources::clbs(clbs);
+        a
+    }
+
+    fn latency(g: &TaskGraph, p: &Partitioning, a: &Architecture) -> u64 {
+        total_latency_ns(g, p, a.reconfig_time_ns).unwrap()
+    }
+
+    /// The paper's list-partitioner pathology in miniature: the greedy pass
+    /// fills partition 1's leftover CLBs with a *dependent* task `t`
+    /// (stretching partition 1's critical path) while the long independent
+    /// task `u` gets pushed to partition 2, where nothing overlaps it. The
+    /// optimum swaps them: `{h, u} | {t}` runs `u` in parallel with `h`.
+    fn eager_trap() -> (TaskGraph, Architecture) {
+        let mut g = TaskGraph::new("eager-trap");
+        let h = g.add_task("h", Resources::clbs(800), 500, 1);
+        let t = g.add_task("t", Resources::clbs(400), 200, 1);
+        let _u = g.add_task("u", Resources::clbs(800), 600, 1);
+        g.add_edge(h, t, 1).unwrap();
+        (g, device(1600))
+    }
+
+    use sparcs_dfg::TaskGraph;
+
+    #[test]
+    fn kl_fixes_the_eager_list_seed_by_swapping() {
+        let (g, a) = eager_trap();
+        let seed = partition_list(&g, &a).unwrap();
+        // Greedy packs {h, t} (1200 CLBs) and exiles u: Σd = 700 + 600.
+        assert_eq!(latency(&g, &seed, &a), 2 * a.reconfig_time_ns + 1300);
+        let refined =
+            kl_refine(&g, &a, MemoryMode::Net, &seed, 32, &SearchCtx::unbounded()).unwrap();
+        assert!(refined.validate(&g, &a, MemoryMode::Net).is_empty());
+        // The t/u swap reaches the optimum: max(500, 600) + 200.
+        assert_eq!(latency(&g, &refined, &a), 2 * a.reconfig_time_ns + 800);
+    }
+
+    #[test]
+    fn kl_never_worsens_the_fig4_seed() {
+        let g = gen::fig4_example();
+        let a = device(1200);
+        let seed = partition_list(&g, &a).unwrap();
+        let refined =
+            kl_refine(&g, &a, MemoryMode::Net, &seed, 32, &SearchCtx::unbounded()).unwrap();
+        assert!(refined.validate(&g, &a, MemoryMode::Net).is_empty());
+        assert!(latency(&g, &refined, &a) <= latency(&g, &seed, &a));
+    }
+
+    #[test]
+    fn anneal_never_worsens_and_is_deterministic() {
+        let g = gen::fig4_example();
+        let a = device(1200);
+        let seed = partition_list(&g, &a).unwrap();
+        let sched = AnnealSchedule::default();
+        let once = anneal_refine(
+            &g,
+            &a,
+            MemoryMode::Net,
+            &seed,
+            &sched,
+            &SearchCtx::unbounded(),
+        )
+        .unwrap();
+        let twice = anneal_refine(
+            &g,
+            &a,
+            MemoryMode::Net,
+            &seed,
+            &sched,
+            &SearchCtx::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(once.assignment(), twice.assignment(), "seeded = repeatable");
+        assert!(once.validate(&g, &a, MemoryMode::Net).is_empty());
+        assert!(latency(&g, &once, &a) <= latency(&g, &seed, &a));
+    }
+
+    #[test]
+    fn cancelled_refinement_returns_the_seed_unchanged() {
+        use crate::search::CancelToken;
+        let g = gen::fig4_example();
+        let a = device(1200);
+        let seed = partition_list(&g, &a).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = SearchCtx::unbounded().and_cancel(token);
+        let kl = kl_refine(&g, &a, MemoryMode::Net, &seed, 32, &ctx).unwrap();
+        assert_eq!(kl.assignment(), seed.assignment());
+        let sa = anneal_refine(
+            &g,
+            &a,
+            MemoryMode::Net,
+            &seed,
+            &AnnealSchedule::default(),
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(sa.assignment(), seed.assignment());
+    }
+
+    #[test]
+    fn single_partition_seeds_pass_through() {
+        let g = gen::fig4_example();
+        let a = device(2000);
+        let seed = partition_list(&g, &a).unwrap();
+        assert_eq!(seed.partition_count(), 1);
+        let refined =
+            kl_refine(&g, &a, MemoryMode::Net, &seed, 8, &SearchCtx::unbounded()).unwrap();
+        assert_eq!(refined.assignment(), seed.assignment());
+    }
+}

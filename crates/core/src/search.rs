@@ -1,0 +1,214 @@
+//! Search budgets and cooperative cancellation for partitioners.
+//!
+//! Every search-aware partitioner entrypoint takes a [`SearchCtx`]: a
+//! wall-clock [`SearchBudget`] plus an optional [`CancelToken`]. The
+//! context is *cooperative* — strategies check it between units of work (a
+//! branch-and-bound node, a refinement pass) and, when stopped, return the
+//! best design found so far instead of dying. [`SearchCtx::unbounded`]
+//! recovers the classic run-to-completion behaviour and is the default
+//! everywhere a caller does not thread a context explicitly.
+//!
+//! Budgeted searches are *not deterministic* — how far a solve gets before
+//! the deadline depends on machine load — so results produced under a
+//! bounded context must never be memoized. [`SearchCtx::is_unbounded`] is
+//! the test caches use.
+
+pub use sparcs_ilp::CancelToken;
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget for a partitioning search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchBudget {
+    deadline: Option<Instant>,
+}
+
+impl SearchBudget {
+    /// No budget: the search runs to completion.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Stop at a fixed instant.
+    pub fn until(deadline: Instant) -> Self {
+        SearchBudget {
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Stop `timeout` from now.
+    pub fn timeout(timeout: Duration) -> Self {
+        Self::until(Instant::now() + timeout)
+    }
+
+    /// The absolute deadline, when one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the deadline (if any) has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether no deadline is set at all.
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline.is_none()
+    }
+
+    /// The tighter of two budgets (earlier deadline wins).
+    pub fn min(self, other: SearchBudget) -> SearchBudget {
+        SearchBudget {
+            deadline: match (self.deadline, other.deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+}
+
+/// The search context threaded through every search-aware
+/// `partition(&ctx, &SearchCtx)` entrypoint: a budget plus an optional
+/// cancellation token.
+#[derive(Debug, Clone, Default)]
+pub struct SearchCtx {
+    budget: SearchBudget,
+    cancel: Option<CancelToken>,
+}
+
+impl SearchCtx {
+    /// No budget, no cancellation: classic run-to-completion semantics.
+    /// This is what the legacy one-shot strategy surface implicitly uses.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A context with the given budget.
+    pub fn with_budget(budget: SearchBudget) -> Self {
+        SearchCtx {
+            budget,
+            cancel: None,
+        }
+    }
+
+    /// A context that stops `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_budget(SearchBudget::timeout(timeout))
+    }
+
+    /// A context that stops at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self::with_budget(SearchBudget::until(deadline))
+    }
+
+    /// Attaches (or replaces) the cancellation token.
+    pub fn and_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The wall-clock budget.
+    pub fn budget(&self) -> &SearchBudget {
+        &self.budget
+    }
+
+    /// The absolute deadline, when one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.budget.deadline()
+    }
+
+    /// The cancellation token, when one is attached.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Whether the search should stop now (token cancelled or deadline
+    /// passed). Cooperative strategies poll this between units of work.
+    pub fn stop_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) || self.budget.expired()
+    }
+
+    /// Whether this context can never stop a search: no deadline and no
+    /// cancellation token. Only unbounded searches are deterministic, so
+    /// only their results may be memoized.
+    pub fn is_unbounded(&self) -> bool {
+        self.budget.is_unbounded() && self.cancel.is_none()
+    }
+
+    /// A derived context for one racer of a portfolio: same budget, plus a
+    /// fresh shared token that is a child of this context's own token (so
+    /// cancelling the parent still stops every racer). Returns the shared
+    /// token too — the racer that proves a winner cancels the whole race
+    /// with it.
+    pub fn race_child(&self) -> (SearchCtx, CancelToken) {
+        let token = self
+            .cancel
+            .as_ref()
+            .map_or_else(CancelToken::new, CancelToken::child);
+        (
+            SearchCtx {
+                budget: self.budget,
+                cancel: Some(token.clone()),
+            },
+            token,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_stops() {
+        let ctx = SearchCtx::unbounded();
+        assert!(ctx.is_unbounded());
+        assert!(!ctx.stop_requested());
+        assert!(ctx.deadline().is_none());
+    }
+
+    #[test]
+    fn expired_budget_requests_stop() {
+        let ctx = SearchCtx::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(!ctx.is_unbounded());
+        assert!(ctx.stop_requested());
+        let live = SearchCtx::with_timeout(Duration::from_secs(3600));
+        assert!(!live.is_unbounded());
+        assert!(!live.stop_requested());
+    }
+
+    #[test]
+    fn cancellation_flows_into_race_children() {
+        let root = CancelToken::new();
+        let ctx = SearchCtx::unbounded().and_cancel(root.clone());
+        assert!(!ctx.is_unbounded(), "a token forbids caching");
+        let (child_ctx, race) = ctx.race_child();
+        assert!(!child_ctx.stop_requested());
+        root.cancel();
+        assert!(child_ctx.stop_requested(), "parent cancels the race");
+        assert!(race.is_cancelled());
+    }
+
+    #[test]
+    fn race_winner_cancels_only_the_race() {
+        let parent = CancelToken::new();
+        let ctx = SearchCtx::unbounded().and_cancel(parent.clone());
+        let (child_ctx, race) = ctx.race_child();
+        race.cancel();
+        assert!(child_ctx.stop_requested());
+        assert!(!parent.is_cancelled());
+        assert!(!ctx.stop_requested());
+    }
+
+    #[test]
+    fn budget_min_takes_the_earlier_deadline() {
+        let now = Instant::now();
+        let a = SearchBudget::until(now + Duration::from_secs(1));
+        let b = SearchBudget::until(now + Duration::from_secs(2));
+        assert_eq!(a.min(b).deadline(), a.deadline());
+        assert_eq!(b.min(a).deadline(), a.deadline());
+        assert_eq!(a.min(SearchBudget::unbounded()).deadline(), a.deadline());
+        assert!(SearchBudget::unbounded()
+            .min(SearchBudget::unbounded())
+            .is_unbounded());
+    }
+}

@@ -22,6 +22,13 @@
 //! objective is identical for every job count* (node counts and the
 //! witness assignment may differ between runs — only the serial default is
 //! deterministic node-for-node).
+//!
+//! The search also stops *cooperatively*: a [`SolveOptions::deadline`] or a
+//! flipped [`CancelToken`] is observed between node relaxations, and a
+//! stopped solve returns its best incumbent with [`Status::Cancelled`] plus
+//! the tightest still-open relaxation bound ([`Solution::bound`]) instead
+//! of dying — the contract portfolio racing and budgeted exploration build
+//! on.
 
 use crate::model::{Model, ModelError, VarKind};
 use crate::simplex::{LpError, RelaxOutcome, VStat, Workspace};
@@ -30,6 +37,75 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// A shareable cooperative-cancellation flag, checked by the
+/// branch-and-bound workers between node relaxations.
+///
+/// Tokens form parent chains: [`CancelToken::child`] yields a token that
+/// reports cancelled as soon as *either* itself or any ancestor is
+/// cancelled, so a caller can revoke a whole family of racing solves with
+/// one [`CancelToken::cancel`] while each racer keeps a private flag for
+/// first-winner cancellation.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+#[derive(Default)]
+struct TokenInner {
+    flag: AtomicBool,
+    parent: Option<CancelToken>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that is cancelled whenever `self` (or any of `self`'s
+    /// ancestors) is — plus whenever the child itself is cancelled.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                flag: AtomicBool::new(false),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Requests cancellation of this token (and every child derived from
+    /// it). Irrevocable.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether this token or any ancestor has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        let mut cur = Some(self);
+        while let Some(token) = cur {
+            if token.inner.flag.load(Ordering::Relaxed) {
+                return true;
+            }
+            cur = token.inner.parent.as_ref();
+        }
+        false
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    /// Renders the token's *identity* (the shared allocation address), not
+    /// just its state: options carrying distinct live tokens must never
+    /// alias in `Debug`-rendered cache keys, because their solves can stop
+    /// at different points.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CancelToken@{:p}", Arc::as_ptr(&self.inner))?;
+        if self.is_cancelled() {
+            write!(f, "(cancelled)")?;
+        }
+        Ok(())
+    }
+}
 
 /// Options controlling the branch-and-bound search.
 #[derive(Debug, Clone)]
@@ -48,6 +124,16 @@ pub struct SolveOptions {
     /// optimal objective is the same for every value; node/pivot counts
     /// are only deterministic for the serial default.
     pub jobs: u32,
+    /// Wall-clock deadline. When it passes mid-search the solve stops
+    /// cooperatively (checked between node relaxations) and returns its
+    /// best incumbent with [`Status::Cancelled`] plus the tightest
+    /// still-open relaxation bound — or [`SolveError::Cancelled`] when no
+    /// incumbent exists yet.
+    pub deadline: Option<Instant>,
+    /// External cancellation flag, same cooperative semantics as
+    /// [`Self::deadline`]. Lets a portfolio of racing solves stop the
+    /// losers the moment a winner is proven.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SolveOptions {
@@ -58,6 +144,8 @@ impl Default for SolveOptions {
             tolerance: 1e-6,
             warm_incumbent: None,
             jobs: 1,
+            deadline: None,
+            cancel: None,
         }
     }
 }
@@ -70,6 +158,11 @@ pub enum Status {
     /// A feasible solution was found but the node limit stopped the proof of
     /// optimality.
     Feasible,
+    /// A feasible solution was found but the search was cancelled (deadline
+    /// or [`CancelToken`]) before the proof of optimality; the returned
+    /// [`Solution::bound`] tells how far the incumbent could still be from
+    /// the optimum.
+    Cancelled,
 }
 
 /// A feasible (and usually optimal) MILP solution.
@@ -79,6 +172,13 @@ pub struct Solution {
     pub x: Vec<f64>,
     /// Objective value in the model's orientation.
     pub objective: f64,
+    /// Best proven bound on the optimum, in the model's orientation (a
+    /// lower bound for minimization, an upper bound for maximization).
+    /// Equals [`Self::objective`] (up to the anti-degeneracy perturbation,
+    /// ~1e-7 per variable) when optimality was proven; for a stopped search
+    /// it is the tightest relaxation bound still open when the search
+    /// aborted, so `|objective - bound|` bounds the remaining gap.
+    pub bound: f64,
     /// Nodes explored by the search (LP relaxations solved).
     pub nodes: usize,
     /// Simplex iterations across every relaxation (pivots + bound flips).
@@ -109,6 +209,9 @@ pub enum SolveError {
     Numerical(String),
     /// A supplied warm incumbent violates the model.
     BadWarmStart(Vec<String>),
+    /// The search was cancelled (deadline or [`CancelToken`]) before any
+    /// feasible solution was found.
+    Cancelled,
 }
 
 impl fmt::Display for SolveError {
@@ -122,6 +225,9 @@ impl fmt::Display for SolveError {
             SolveError::Numerical(c) => write!(f, "numerical failure on constraint `{c}`"),
             SolveError::BadWarmStart(v) => {
                 write!(f, "warm incumbent violates: {}", v.join(", "))
+            }
+            SolveError::Cancelled => {
+                write!(f, "search cancelled before any feasible solution")
             }
         }
     }
@@ -186,6 +292,10 @@ struct Queue {
     active: usize,
     aborted: bool,
     seq: u64,
+    /// Relaxation bounds of popped-but-unfinished nodes. A worker's dive
+    /// only tightens its node's bound, so the pop-time value is a valid
+    /// (conservative) member of the frontier minimum computed at abort.
+    in_flight: Vec<f64>,
 }
 
 struct Shared<'a> {
@@ -201,6 +311,10 @@ struct Shared<'a> {
     incumbent_key: AtomicF64,
     nodes: AtomicUsize,
     node_limit_hit: AtomicBool,
+    cancel_hit: AtomicBool,
+    /// Tightest still-open relaxation bound (minimization key) captured
+    /// when the search aborted; `None` for searches that ran to completion.
+    stop_bound: Mutex<Option<f64>>,
     error: Mutex<Option<SolveError>>,
 }
 
@@ -246,18 +360,54 @@ impl<'a> Shared<'a> {
         self.cv.notify_all();
     }
 
-    /// Claims one node budget slot; flips the limit flag (and drains the
-    /// queue) when exhausted.
+    /// Whether the caller asked the search to stop (cancel token flipped or
+    /// the wall-clock deadline passed). Checked between node relaxations —
+    /// the cooperative-cancellation granularity is one LP re-optimization.
+    fn stop_requested(&self) -> bool {
+        if self
+            .opts
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+        {
+            return true;
+        }
+        self.opts.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Aborts the search, recording the tightest still-open relaxation
+    /// bound (heap frontier plus in-flight nodes) before draining the
+    /// queue, so the caller can report the proven optimality gap. `flag`
+    /// names the reason (node budget vs. cancellation).
+    fn abort_search(&self, flag: &AtomicBool) {
+        if !flag.swap(true, Ordering::Relaxed) {
+            let mut q = self.queue.lock().expect("queue lock");
+            if !q.aborted {
+                let frontier = q
+                    .heap
+                    .iter()
+                    .map(|hn| hn.node.bound)
+                    .chain(q.in_flight.iter().copied())
+                    .fold(f64::INFINITY, f64::min);
+                *self.stop_bound.lock().expect("bound lock") = Some(frontier);
+                q.aborted = true;
+                q.heap.clear();
+            }
+            self.cv.notify_all();
+        }
+    }
+
+    /// Claims one node budget slot; aborts the search when the caller
+    /// requested a stop or the node budget is exhausted.
     fn claim_node(&self) -> bool {
+        if self.stop_requested() {
+            self.abort_search(&self.cancel_hit);
+            return false;
+        }
         let n = self.nodes.fetch_add(1, Ordering::Relaxed);
         if n >= self.opts.max_nodes {
             self.nodes.fetch_sub(1, Ordering::Relaxed);
-            if !self.node_limit_hit.swap(true, Ordering::Relaxed) {
-                let mut q = self.queue.lock().expect("queue lock");
-                q.aborted = true;
-                q.heap.clear();
-                self.cv.notify_all();
-            }
+            self.abort_search(&self.node_limit_hit);
             false
         } else {
             true
@@ -285,6 +435,7 @@ impl<'a> Shared<'a> {
             }
             if let Some(hn) = q.heap.pop() {
                 q.active += 1;
+                q.in_flight.push(hn.node.bound);
                 return Some(hn.node);
             }
             if q.active == 0 {
@@ -295,9 +446,12 @@ impl<'a> Shared<'a> {
         }
     }
 
-    fn finish_node(&self) {
+    fn finish_node(&self, bound: f64) {
         let mut q = self.queue.lock().expect("queue lock");
         q.active -= 1;
+        if let Some(pos) = q.in_flight.iter().position(|&b| b == bound) {
+            q.in_flight.swap_remove(pos);
+        }
         if q.active == 0 && q.heap.is_empty() {
             self.cv.notify_all();
         }
@@ -380,12 +534,15 @@ pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError>
             active: 0,
             aborted: false,
             seq: 0,
+            in_flight: Vec::new(),
         }),
         cv: Condvar::new(),
         incumbent_key: AtomicF64::new(warm_best.as_ref().map_or(f64::INFINITY, |(k, _)| *k)),
         incumbent: Mutex::new(warm_best),
         nodes: AtomicUsize::new(0),
         node_limit_hit: AtomicBool::new(false),
+        cancel_hit: AtomicBool::new(false),
+        stop_bound: Mutex::new(None),
         error: Mutex::new(None),
     };
     shared.push_node(Node {
@@ -418,23 +575,41 @@ pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError>
     }
     let nodes = shared.nodes.load(Ordering::Relaxed);
     let hit_limit = shared.node_limit_hit.load(Ordering::Relaxed);
+    let hit_cancel = shared.cancel_hit.load(Ordering::Relaxed);
+    let stop_bound = shared.stop_bound.lock().expect("bound lock").take();
     let best = shared.incumbent.lock().expect("incumbent lock").take();
     match best {
-        Some((_, x)) => Ok(Solution {
-            objective: model.objective().expr().eval(&x),
-            x,
-            nodes,
-            pivots: stats.pivots,
-            cold_solves: stats.cold_solves,
-            wall: t0.elapsed(),
-            status: if hit_limit {
-                Status::Feasible
-            } else {
-                Status::Optimal
-            },
-        }),
+        Some((key, x)) => {
+            // The proven bound is the tightest still-open frontier bound at
+            // abort time, clipped by the incumbent itself (an exhausted
+            // search proves the incumbent optimal). Keys live in the
+            // internal minimization orientation; flip for max models.
+            let key_bound = stop_bound.unwrap_or(f64::INFINITY).min(key);
+            Ok(Solution {
+                objective: model.objective().expr().eval(&x),
+                bound: if model.objective().is_max() {
+                    -key_bound
+                } else {
+                    key_bound
+                },
+                x,
+                nodes,
+                pivots: stats.pivots,
+                cold_solves: stats.cold_solves,
+                wall: t0.elapsed(),
+                status: if hit_cancel {
+                    Status::Cancelled
+                } else if hit_limit {
+                    Status::Feasible
+                } else {
+                    Status::Optimal
+                },
+            })
+        }
         None => {
-            if hit_limit {
+            if hit_cancel {
+                Err(SolveError::Cancelled)
+            } else if hit_limit {
                 Err(SolveError::NodeLimit(opts.max_nodes))
             } else {
                 Err(SolveError::Infeasible)
@@ -453,8 +628,9 @@ struct WorkerStats {
 fn worker(shared: &Shared<'_>) -> WorkerStats {
     let mut ws = Workspace::new(shared.model);
     while let Some(node) = shared.pop_node() {
+        let bound = node.bound;
         process_subtree(shared, &mut ws, node);
-        shared.finish_node();
+        shared.finish_node(bound);
     }
     WorkerStats {
         pivots: ws.iterations(),
@@ -861,6 +1037,76 @@ mod tests {
         assert_eq!(a.nodes, b.nodes);
         assert_eq!(a.pivots, b.pivots);
         assert_eq!(a.x, b.x);
+    }
+
+    #[test]
+    fn cancelled_solve_returns_the_warm_incumbent_and_a_bound() {
+        let m = chunky_knapsack();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        // All-zero is feasible for the knapsack: the pre-cancelled search
+        // must hand it back untouched instead of erroring out.
+        let s = solve(
+            &m,
+            &SolveOptions {
+                warm_incumbent: Some(vec![0.0; 12]),
+                cancel: Some(cancel),
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.status, Status::Cancelled);
+        assert_eq!(s.objective, 0.0);
+        // Max model: the bound is an upper bound on the optimum, and the
+        // root was never explored, so it is trivially +inf.
+        assert!(s.bound >= s.objective);
+        assert_eq!(s.nodes, 0);
+    }
+
+    #[test]
+    fn cancelled_solve_without_incumbent_errors() {
+        let m = chunky_knapsack();
+        let s = solve(
+            &m,
+            &SolveOptions {
+                deadline: Some(Instant::now() - Duration::from_millis(1)),
+                ..SolveOptions::default()
+            },
+        );
+        assert_eq!(s.unwrap_err(), SolveError::Cancelled);
+    }
+
+    #[test]
+    fn uncancelled_token_does_not_perturb_the_search() {
+        let m = chunky_knapsack();
+        let baseline = solve_default(&m);
+        let s = solve(
+            &m,
+            &SolveOptions {
+                cancel: Some(CancelToken::new()),
+                deadline: Some(Instant::now() + Duration::from_secs(3600)),
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.objective, baseline.objective);
+        assert_eq!(s.nodes, baseline.nodes);
+        assert!((s.bound - s.objective).abs() < 1e-5, "optimal proves bound");
+    }
+
+    #[test]
+    fn cancel_tokens_chain_through_children() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        let sibling = parent.child();
+        assert!(!child.is_cancelled());
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "children never cancel upward");
+        assert!(!sibling.is_cancelled());
+        parent.cancel();
+        assert!(sibling.is_cancelled(), "parents cancel every child");
     }
 
     #[test]

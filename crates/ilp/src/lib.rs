@@ -61,6 +61,6 @@ pub mod model;
 pub mod simplex;
 pub mod sparse;
 
-pub use branch::{solve, Solution, SolveError, SolveOptions, Status};
+pub use branch::{solve, CancelToken, Solution, SolveError, SolveOptions, Status};
 pub use model::{Constraint, LinExpr, Model, ModelError, Objective, Sense, Var, VarKind};
 pub use simplex::{LpOutcome, LpSolution};

@@ -13,7 +13,12 @@
 //!
 //! Graph files use the `sparcs_dfg::parse` text format (see `sparcs
 //! example`). Every subcommand drives the [`sparcs::flow`] pipeline; the
-//! temporal partitioner is selectable with `--partitioner ilp|list`.
+//! temporal partitioner is selectable with `--partitioner <spec>` using
+//! the [`sparcs::strategy`] grammar — `ilp`, `list`, `memlist`, refinement
+//! chains like `list+kl` / `list+anneal`, and `portfolio` (race them all,
+//! first proven optimum wins). `--budget-ms N` bounds the search: a
+//! cooperative partitioner returns its best design when the deadline
+//! passes.
 //!
 //! `run` executes the synthesized design on the simulated board as a
 //! *stream*: with `--synthetic` the workload is generated on the fly and
@@ -24,14 +29,14 @@
 use sparcs::core::fission::{BlockRounding, SequencingStrategy};
 use sparcs::core::model::ModelConfig;
 use sparcs::core::partitioning::MemoryMode;
+use sparcs::core::search::SearchCtx;
 use sparcs::core::PartitionOptions;
 use sparcs::dfg::{dot, parse, Resources};
 use sparcs::estimate::Architecture;
-use sparcs::flow::{
-    rounding_label, AnalyzedFlow, ExploreSpace, FlowSession, IlpStrategy, ListStrategy,
-    PartitionStrategy,
-};
+use sparcs::flow::{rounding_label, AnalyzedFlow, ExploreSpace, FlowSession, PartitionStrategy};
+use sparcs::strategy::{parse_spec, SPEC_GRAMMAR};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Flags {
     path: Option<String>,
@@ -46,7 +51,8 @@ struct Flags {
     strategy: Option<SequencingStrategy>,
     seq: Option<SeqChoice>,
     synthetic: bool,
-    partitioner: Option<Partitioner>,
+    partitioner: Option<String>,
+    budget_ms: Option<u64>,
     jobs: Option<u32>,
     max_partitions: Vec<u32>,
     archs: Vec<ArchPreset>,
@@ -85,12 +91,6 @@ enum SeqChoice {
     Rtr(SequencingStrategy),
 }
 
-#[derive(Clone, Copy)]
-enum Partitioner {
-    Ilp,
-    List,
-}
-
 /// The board presets `--arch` selects (repeatable for `explore`).
 #[derive(Clone, Copy)]
 enum ArchPreset {
@@ -126,7 +126,10 @@ fn usage() -> &'static str {
     "usage: sparcs <partition|fission|codegen|explore|run|dot|example> [graph.tg] [options]\n\
      options: --clbs N  --memory WORDS  --ct NS  --dm NS  --pow2  --edge-memory\n\
               --inputs I  --workload N[,N...] (explore ranks every entry)\n\
-              --strategy fdh|idh  --partitioner ilp|list\n\
+              --strategy fdh|idh\n\
+              --partitioner SPEC (ilp | list | memlist [+kl|+anneal ...] | portfolio)\n\
+              --budget-ms N (search deadline; cooperative partitioners return\n\
+                             their best feasible design when it passes)\n\
               --seq static|fdh|idh  --synthetic (run: generated stream, counted sink)\n\
               --arch xc4044|xc6200|tm (repeatable: explore ranks across boards)\n\
               --max-partitions N[,N...] (cap the ILP; a list sweeps explore)\n\
@@ -151,6 +154,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         seq: None,
         synthetic: false,
         partitioner: None,
+        budget_ms: None,
         jobs: None,
         max_partitions: Vec::new(),
         archs: Vec::new(),
@@ -203,11 +207,24 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                 })
             }
             "--partitioner" => {
-                f.partitioner = Some(match it.next().map(String::as_str) {
-                    Some("ilp") => Partitioner::Ilp,
-                    Some("list") => Partitioner::List,
-                    other => return Err(CliError::Usage(format!("bad --partitioner {other:?}"))),
-                })
+                let spec = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--partitioner needs a spec".into()))?;
+                // Validate the grammar up front (with throwaway options) so
+                // typos fail as usage errors, not mid-flow.
+                parse_spec(spec, &PartitionOptions::default()).map_err(|e| {
+                    CliError::Usage(format!("bad --partitioner: {e} (grammar: {SPEC_GRAMMAR})"))
+                })?;
+                f.partitioner = Some(spec.clone());
+            }
+            "--budget-ms" => {
+                let ms = grab("--budget-ms")?;
+                if ms == 0 {
+                    return Err(CliError::Usage(
+                        "--budget-ms needs a positive number".into(),
+                    ));
+                }
+                f.budget_ms = Some(ms);
             }
             "--jobs" => {
                 let n = grab("--jobs")?;
@@ -305,29 +322,36 @@ fn partition_options(f: &Flags) -> PartitionOptions {
     }
 }
 
-/// The partitioner behind `--partitioner`. `solver_jobs` opts the exact
-/// solver into `--jobs`-way parallel tree search — only the `partition`
-/// subcommand does: the proven latency is identical for every job count
-/// but the optimal *witness* may differ between runs, and every other
-/// consumer (explore's bit-identical rankings, fission/codegen/run
-/// outputs) promises run-to-run determinism.
-fn strategy_of(f: &Flags, solver_jobs: bool) -> Box<dyn PartitionStrategy> {
-    match f.partitioner.unwrap_or(Partitioner::Ilp) {
-        Partitioner::Ilp => {
-            let mut options = partition_options(f);
-            if solver_jobs {
-                if let Some(jobs) = f.jobs {
-                    options.solve.jobs = jobs;
-                }
-            }
-            Box::new(IlpStrategy::with_options(options))
+/// The partitioner behind `--partitioner` (a [`sparcs::strategy`] spec;
+/// defaults to the exact ILP). `solver_jobs` opts the exact solver into
+/// `--jobs`-way parallel tree search — only the `partition` subcommand
+/// does: the proven latency is identical for every job count but the
+/// optimal *witness* may differ between runs, and every other consumer
+/// (explore's bit-identical rankings, fission/codegen/run outputs)
+/// promises run-to-run determinism.
+fn strategy_of(f: &Flags, solver_jobs: bool) -> Result<Box<dyn PartitionStrategy>, CliError> {
+    let mut options = partition_options(f);
+    if solver_jobs {
+        if let Some(jobs) = f.jobs {
+            options.solve.jobs = jobs;
         }
-        Partitioner::List => Box::new(ListStrategy::new()),
+    }
+    let spec = f.partitioner.as_deref().unwrap_or("ilp");
+    parse_spec(spec, &options)
+        .map_err(|e| CliError::Usage(format!("bad --partitioner: {e} (grammar: {SPEC_GRAMMAR})")))
+}
+
+/// The search context for one command: a deadline `--budget-ms` from now,
+/// or unbounded.
+fn search_ctx(f: &Flags) -> SearchCtx {
+    match f.budget_ms {
+        Some(ms) => SearchCtx::with_timeout(Duration::from_millis(ms)),
+        None => SearchCtx::unbounded(),
     }
 }
 
 fn analyze<'a>(s: &'a FlowSession, f: &Flags) -> Result<AnalyzedFlow<'a>, CliError> {
-    s.partition_with(strategy_of(f, false).as_ref())
+    s.partition_with_search(strategy_of(f, false)?.as_ref(), &search_ctx(f))
         .map_err(CliError::runtime)?
         .analyze_with(if f.pow2 {
             BlockRounding::PowerOfTwo
@@ -453,7 +477,7 @@ fn real_main() -> Result<(), CliError> {
         }
         "dot" => {
             let s = session(&f)?;
-            match s.partition_with(strategy_of(&f, false).as_ref()) {
+            match s.partition_with_search(strategy_of(&f, false)?.as_ref(), &search_ctx(&f)) {
                 Ok(stage) => println!(
                     "{}",
                     dot::to_dot_partitioned(s.graph(), |t| Some(
@@ -468,18 +492,23 @@ fn real_main() -> Result<(), CliError> {
             println!("graph : {}", s.graph());
             println!("target: {}", s.arch());
             let stage = s
-                .partition_with(strategy_of(&f, true).as_ref())
+                .partition_with_search(strategy_of(&f, true)?.as_ref(), &search_ctx(&f))
                 .map_err(CliError::runtime)?;
             let d = &stage.design;
             println!("result: {} (via {})", d.partitioning, stage.strategy);
             println!("delays: {:?} ns", d.partition_delays_ns);
             println!(
-                "latency: {} ns ({} partitions x {} ns CT + {} ns), optimal = {}",
+                "latency: {} ns ({} partitions x {} ns CT + {} ns), optimal = {}{}",
                 d.latency_ns,
                 d.partitioning.partition_count(),
                 s.arch().reconfig_time_ns,
                 d.sum_delay_ns,
-                d.stats.proven_optimal
+                d.stats.proven_optimal,
+                if d.stats.cancelled {
+                    " (search cancelled at the budget; best incumbent shown)"
+                } else {
+                    ""
+                }
             );
             if f.ilp_stats {
                 println!("solver : {}", d.stats);
@@ -527,10 +556,31 @@ fn real_main() -> Result<(), CliError> {
             // being ignored: --partitioner pins the strategy axis, --pow2
             // the rounding axis, --strategy the sequencing axis;
             // --max-partitions and --arch *add* axis points.
-            match f.partitioner {
-                Some(Partitioner::Ilp) => space.include_list = false,
-                Some(Partitioner::List) => space.include_ilp = false,
+            match f.partitioner.as_deref() {
+                Some("ilp") => space.include_list = false,
+                Some("list") => space.include_ilp = false,
+                Some(spec) => {
+                    // A composed spec pins the strategy axis to itself. The
+                    // cap axis below only feeds the built-in ILP candidates,
+                    // so a requested cap must reach the spec through its
+                    // options instead of being silently dropped — and a
+                    // *sweep* has no spec to fan over.
+                    space.include_ilp = false;
+                    space.include_list = false;
+                    space.specs = vec![spec.to_string()];
+                    if f.max_partitions.len() > 1 {
+                        return Err(CliError::Usage(
+                            "--max-partitions sweeps apply to the built-in ilp candidates; \
+                             a composed --partitioner spec takes a single cap"
+                                .into(),
+                        ));
+                    }
+                    space.ilp_options.max_partitions = f.max_partitions.first().copied();
+                }
                 None => {}
+            }
+            if let Some(ms) = f.budget_ms {
+                space.budget = Some(Duration::from_millis(ms));
             }
             if f.pow2 {
                 space.roundings = vec![BlockRounding::PowerOfTwo];
@@ -593,7 +643,7 @@ fn real_main() -> Result<(), CliError> {
                     c.total_ns as f64 / 1e9,
                 );
             }
-            let cov = exploration.coverage;
+            let cov = &exploration.coverage;
             println!(
                 "coverage: {}/{} specs ranked ({} infeasible, {} invalid, {} fission-skipped), jobs = {}",
                 cov.ranked_specs,
@@ -603,6 +653,9 @@ fn real_main() -> Result<(), CliError> {
                 cov.skipped_fission,
                 space.jobs,
             );
+            for skip in &cov.skips {
+                println!("  skipped: {skip}");
+            }
             if f.ilp_stats {
                 let t = exploration.solver_totals();
                 println!(

@@ -196,6 +196,7 @@ mod tests {
                 cold_solves: 0,
                 wall: std::time::Duration::ZERO,
                 proven_optimal: false,
+                cancelled: false,
                 delay_mode: DelayMode::PartitionSum,
             },
         }

@@ -12,10 +12,15 @@
 //!   hands out typed stages — a session can be partitioned many times, with
 //!   different strategies, without rebuilding anything.
 //! * [`PartitionStrategy`] abstracts *how* the temporal partitioning is
-//!   produced: the paper's exact ILP ([`IlpStrategy`]) or the §4 list
-//!   strawman ([`ListStrategy`]) plug in behind one interface, and future
-//!   partitioners (simulated annealing, sharded solves, …) slot in the
-//!   same way.
+//!   produced. It is the unit of the *strategy algebra*
+//!   ([`crate::strategy`]): every strategy takes a [`SearchCtx`] — a
+//!   wall-clock budget plus a cancellation token — and composes: the
+//!   paper's exact ILP ([`IlpStrategy`]), the §4 list strawman
+//!   ([`ListStrategy`]), seeded refinement chains (`list+kl`,
+//!   `list+anneal`) and racing portfolios all plug in behind one
+//!   interface. Strategies that neither budget nor cancel implement the
+//!   one-shot [`SimpleStrategy`] surface instead and are shimmed in
+//!   automatically.
 //! * [`PartitionedFlow`] → [`AnalyzedFlow`] carry the design through the
 //!   fission analysis to host-code generation, so a caller can stop at
 //!   whichever stage it needs.
@@ -56,6 +61,7 @@ use sparcs_core::list::{partition_list, ListError};
 use sparcs_core::memory::partition_io;
 use sparcs_core::model::DelayMode;
 use sparcs_core::partitioning::{MemoryMode, Partitioning, Violation};
+use sparcs_core::search::SearchCtx;
 use sparcs_core::{
     codegen, IlpPartitioner, PartitionError, PartitionOptions, PartitionedDesign,
     SequencingStrategy,
@@ -70,6 +76,7 @@ use sparcs_rtr::{
 };
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Errors from any stage of a flow.
 #[derive(Debug)]
@@ -91,7 +98,15 @@ pub enum FlowError {
     /// design (no environment inputs/outputs to stream, or a partition
     /// that moves no data).
     NotExecutable(String),
-    /// An exploration had no feasible candidate to return.
+    /// A strategy produced a partitioning that violates the architecture's
+    /// feasibility conditions — with the violation list kept, so coverage
+    /// reports can say *which* constraint broke (backwards edge, resource
+    /// overflow, boundary memory).
+    Infeasible(Vec<Violation>),
+    /// A strategy spec (see [`crate::strategy::parse_spec`]) did not parse.
+    Spec(String),
+    /// An exploration (or a strategy portfolio) had no feasible candidate
+    /// to return.
     NoFeasibleCandidate,
 }
 
@@ -107,6 +122,17 @@ impl fmt::Display for FlowError {
             FlowError::NotExecutable(reason) => {
                 write!(f, "design is not executable as a stream: {reason}")
             }
+            FlowError::Infeasible(violations) => {
+                write!(f, "partitioning violates the architecture: ")?;
+                for (i, v) in violations.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            FlowError::Spec(spec) => write!(f, "{spec}"),
             FlowError::NoFeasibleCandidate => {
                 write!(f, "no partitioning strategy produced a feasible design")
             }
@@ -132,17 +158,23 @@ impl FlowError {
                         SolveError::Infeasible
                             | SolveError::NodeLimit(_)
                             | SolveError::SimplexLimit(_)
+                            | SolveError::Cancelled
                     )
             ),
-            FlowError::List(ListError::TaskTooLarge(_)) => true,
+            FlowError::List(ListError::TaskTooLarge(_) | ListError::MemoryInfeasible { .. }) => {
+                true
+            }
             FlowError::Fission(FissionError::MemoryTooSmall { .. }) => true,
+            // A produced-but-invalid partitioning, and a portfolio whose
+            // every racer came up empty, are candidate outcomes too.
+            FlowError::Infeasible(_) | FlowError::NoFeasibleCandidate => true,
             FlowError::Parse(_)
             | FlowError::Graph(_)
             | FlowError::List(ListError::Graph(_))
             | FlowError::Fission(FissionError::EmptyDesign)
             | FlowError::Host(_)
             | FlowError::NotExecutable(_)
-            | FlowError::NoFeasibleCandidate => false,
+            | FlowError::Spec(_) => false,
         }
     }
 }
@@ -156,7 +188,10 @@ impl std::error::Error for FlowError {
             FlowError::List(e) => Some(e),
             FlowError::Fission(e) => Some(e),
             FlowError::Host(e) => Some(e),
-            FlowError::NotExecutable(_) | FlowError::NoFeasibleCandidate => None,
+            FlowError::NotExecutable(_)
+            | FlowError::Infeasible(_)
+            | FlowError::Spec(_)
+            | FlowError::NoFeasibleCandidate => None,
         }
     }
 }
@@ -207,11 +242,70 @@ pub struct DesignContext {
     pub arch: Architecture,
 }
 
-/// How a temporal partitioning is produced. Implementations must return a
-/// design whose partitioning respects precedence (every edge runs forward
-/// in time) and per-partition resource bounds. Strategies are shared by
-/// reference across exploration worker threads, hence `Send + Sync`.
+/// A built-in candidate of an [`ExploreSpace`]: the boxed strategy plus
+/// the partition cap it reports under.
+type BuiltinStrategy = (Box<dyn PartitionStrategy>, Option<u32>);
+
+/// How a temporal partitioning is produced — the unit of the strategy
+/// algebra. Implementations must return a design whose partitioning
+/// respects precedence (every edge runs forward in time) and per-partition
+/// resource bounds. Strategies are shared by reference across exploration
+/// and portfolio worker threads, hence `Send + Sync`.
+///
+/// Strategies are *search-aware*: [`Self::partition`] takes a [`SearchCtx`]
+/// carrying a wall-clock budget and a cancellation token, and cooperative
+/// implementations (the ILP's branch-and-bound, the refinement passes)
+/// return their best design so far when stopped instead of dying. A
+/// strategy with nothing to interrupt should implement the one-shot
+/// [`SimpleStrategy`] surface instead — a blanket shim lifts it into this
+/// trait with [`SearchCtx::unbounded`] semantics.
 pub trait PartitionStrategy: Send + Sync {
+    /// The strategy's *spec*: the full rendering of its compose chain
+    /// (`"ilp"`, `"list+kl"`, `"portfolio"`, …), used in reports,
+    /// exploration tables and cache keys.
+    fn name(&self) -> String;
+
+    /// Partitions the context's graph for its architecture, under the
+    /// given search context. Cooperative strategies poll
+    /// [`SearchCtx::stop_requested`] between units of work and return the
+    /// best feasible design found so far when stopped (erring only when
+    /// they have nothing at all to return).
+    ///
+    /// # Errors
+    ///
+    /// Strategy-specific; see [`FlowError`].
+    fn partition(
+        &self,
+        ctx: &DesignContext,
+        search: &SearchCtx,
+    ) -> Result<PartitionedDesign, FlowError>;
+
+    /// The full rendering of this strategy's *configuration* (not of the
+    /// problem — the graph and architecture are keyed separately).
+    /// Together with [`Self::name`] it forms the strategy part of a
+    /// [`PartitionCache`] key, so two values with equal names and config
+    /// keys must produce identical designs on identical contexts — render
+    /// every field that influences the result (a `Debug` format of the
+    /// options struct is usually exactly right; composed strategies append
+    /// every pass's configuration). The default `None` opts the strategy
+    /// out of caching entirely — correct (if slow) for strategies that
+    /// cannot describe their configuration or are not deterministic (a
+    /// racing portfolio). Results computed under a *bounded* [`SearchCtx`]
+    /// are never cached regardless, since how far a budgeted search gets
+    /// is not a function of the key.
+    fn config_key(&self) -> Option<String> {
+        None
+    }
+}
+
+/// The legacy one-shot strategy surface: `partition(&ctx)` with no search
+/// context, exactly the pre-algebra `PartitionStrategy` shape. Existing
+/// implementations keep working by implementing this trait — a blanket
+/// shim lifts every `SimpleStrategy` into [`PartitionStrategy`], ignoring
+/// the search context (the strategy behaves as if it were always handed
+/// [`SearchCtx::unbounded`], which is sound for strategies that finish in
+/// one shot and have nothing to interrupt).
+pub trait SimpleStrategy: Send + Sync {
     /// Short stable name (used in reports and exploration tables).
     fn name(&self) -> &'static str;
 
@@ -222,18 +316,27 @@ pub trait PartitionStrategy: Send + Sync {
     /// Strategy-specific; see [`FlowError`].
     fn partition(&self, ctx: &DesignContext) -> Result<PartitionedDesign, FlowError>;
 
-    /// The full rendering of this strategy's *configuration* (not of the
-    /// problem — the graph and architecture are keyed separately).
-    /// Together with [`Self::name`] it forms the strategy part of a
-    /// [`PartitionCache`] key, so two values with equal names and config
-    /// keys must produce identical designs on identical contexts — render
-    /// every field that influences the result (a `Debug` format of the
-    /// options struct is usually exactly right). The default `None` opts
-    /// the strategy out of caching entirely — correct (if slow) for
-    /// strategies that cannot describe their configuration or are not
-    /// deterministic.
+    /// See [`PartitionStrategy::config_key`].
     fn config_key(&self) -> Option<String> {
         None
+    }
+}
+
+impl<T: SimpleStrategy + ?Sized> PartitionStrategy for T {
+    fn name(&self) -> String {
+        SimpleStrategy::name(self).into()
+    }
+
+    fn partition(
+        &self,
+        ctx: &DesignContext,
+        _search: &SearchCtx,
+    ) -> Result<PartitionedDesign, FlowError> {
+        SimpleStrategy::partition(self, ctx)
+    }
+
+    fn config_key(&self) -> Option<String> {
+        SimpleStrategy::config_key(self)
     }
 }
 
@@ -257,19 +360,63 @@ impl IlpStrategy {
     }
 }
 
-impl PartitionStrategy for IlpStrategy {
-    fn name(&self) -> &'static str {
-        "ilp"
+impl IlpStrategy {
+    /// An exact partitioner pinned to the single bound `N₀ + offset` of
+    /// the relaxation loop — the shard a portfolio races per candidate
+    /// bound (`N`, `N+1`) instead of walking them sequentially.
+    pub fn at_bound_offset(options: PartitionOptions, offset: u32) -> Self {
+        IlpStrategy {
+            options: PartitionOptions {
+                bound_offset: Some(offset),
+                ..options
+            },
+        }
     }
 
-    fn partition(&self, ctx: &DesignContext) -> Result<PartitionedDesign, FlowError> {
-        Ok(IlpPartitioner::new(ctx.arch.clone(), self.options.clone()).partition(&ctx.graph)?)
+    /// An exact partitioner walking the relaxation loop from `N₀ + offset`
+    /// up to the cap — the portfolio shard that covers every bound its
+    /// pinned siblings do not, so racing shards never lose exactness.
+    pub fn from_bound_offset(options: PartitionOptions, offset: u32) -> Self {
+        IlpStrategy {
+            options: PartitionOptions {
+                bound_offset: None,
+                min_bound_offset: offset,
+                ..options
+            },
+        }
+    }
+}
+
+impl PartitionStrategy for IlpStrategy {
+    fn name(&self) -> String {
+        match (self.options.bound_offset, self.options.min_bound_offset) {
+            (Some(offset), _) => format!("ilp@n0+{offset}"),
+            (None, 0) => "ilp".into(),
+            (None, offset) => format!("ilp@n0+{offset}.."),
+        }
+    }
+
+    fn partition(
+        &self,
+        ctx: &DesignContext,
+        search: &SearchCtx,
+    ) -> Result<PartitionedDesign, FlowError> {
+        Ok(IlpPartitioner::new(ctx.arch.clone(), self.options.clone())
+            .partition_with_search(&ctx.graph, search)?)
     }
 
     fn config_key(&self) -> Option<String> {
-        // `PartitionOptions` is plain data with a stable `Debug` rendering;
-        // any change (memory mode, budgets, symmetry, partition cap, warm
-        // start) changes the key.
+        // A deadline or cancellation token embedded directly in the solver
+        // options makes the result depend on wall clock and token state,
+        // not just the rendered key — such a solve must never be memoized
+        // (the `SearchCtx`-level bypass in `partition_cached` cannot see
+        // these fields).
+        if self.options.solve.deadline.is_some() || self.options.solve.cancel.is_some() {
+            return None;
+        }
+        // `PartitionOptions` is otherwise plain data with a stable `Debug`
+        // rendering; any change (memory mode, budgets, symmetry, partition
+        // cap, warm start, bound pinning) changes the key.
         Some(format!("{:?}", self.options))
     }
 }
@@ -286,7 +433,10 @@ impl ListStrategy {
     }
 }
 
-impl PartitionStrategy for ListStrategy {
+// The heuristic finishes in one shot with nothing to interrupt: it
+// implements the legacy surface and rides the blanket shim — the in-tree
+// proof that pre-algebra strategies keep working unchanged.
+impl SimpleStrategy for ListStrategy {
     fn name(&self) -> &'static str {
         "list"
     }
@@ -301,13 +451,17 @@ impl PartitionStrategy for ListStrategy {
     }
 }
 
-/// Solves `ctx` with `strategy`, going through `cache` when both a cache is
-/// given and the strategy can render its configuration.
+/// Solves `ctx` with `strategy`, going through `cache` when a cache is
+/// given, the strategy can render its configuration, *and* the search is
+/// unbounded — a budgeted or cancellable solve is not a pure function of
+/// the problem statement, so its result must never be memoized.
 fn partition_cached(
     ctx: &DesignContext,
     strategy: &dyn PartitionStrategy,
     cache: Option<&PartitionCache>,
+    search: &SearchCtx,
 ) -> Result<Arc<PartitionedDesign>, FlowError> {
+    let cache = cache.filter(|_| search.is_unbounded());
     match (cache, strategy.config_key()) {
         (Some(cache), Some(config)) => {
             let key = CacheKey::builder()
@@ -316,16 +470,17 @@ fn partition_cached(
                 .push(&strategy.name())
                 .push(&config)
                 .build();
-            cache.get_or_solve(key, || strategy.partition(ctx))
+            cache.get_or_solve(key, || strategy.partition(ctx, search))
         }
-        _ => Ok(Arc::new(strategy.partition(ctx)?)),
+        _ => Ok(Arc::new(strategy.partition(ctx, search)?)),
     }
 }
 
 /// Assembles a [`PartitionedDesign`] (delays, latency, heuristic stats)
-/// from a bare assignment — shared by non-ILP strategies and
+/// from a bare assignment — shared by non-ILP strategies, the refinement
+/// combinators in [`crate::strategy`], and
 /// [`PartitionedFlow::map_partitioning`].
-fn design_from_partitioning(
+pub(crate) fn design_from_partitioning(
     ctx: &DesignContext,
     partitioning: Partitioning,
 ) -> Result<PartitionedDesign, FlowError> {
@@ -345,6 +500,7 @@ fn design_from_partitioning(
             cold_solves: 0,
             wall: std::time::Duration::ZERO,
             proven_optimal: false,
+            cancelled: false,
             delay_mode: DelayMode::PartitionSum,
         },
     })
@@ -397,7 +553,8 @@ impl FlowSession {
         self.partition_with(&IlpStrategy::new())
     }
 
-    /// Partitions with any [`PartitionStrategy`].
+    /// Partitions with any [`PartitionStrategy`], unbounded (the strategy
+    /// runs to completion).
     ///
     /// # Errors
     ///
@@ -406,7 +563,25 @@ impl FlowSession {
         &self,
         strategy: &dyn PartitionStrategy,
     ) -> Result<PartitionedFlow<'_>, FlowError> {
-        let design = strategy.partition(&self.ctx)?;
+        self.partition_with_search(strategy, &SearchCtx::unbounded())
+    }
+
+    /// Partitions with any [`PartitionStrategy`] under a [`SearchCtx`]:
+    /// the budget and cancellation token are threaded into the strategy
+    /// (and, for the exact ILP, all the way into the branch-and-bound
+    /// loop). A stopped cooperative strategy returns its best design so
+    /// far — check [`sparcs_core::ilp::SolveStats::cancelled`] on the
+    /// result to see whether the search ran to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn partition_with_search(
+        &self,
+        strategy: &dyn PartitionStrategy,
+        search: &SearchCtx,
+    ) -> Result<PartitionedFlow<'_>, FlowError> {
+        let design = strategy.partition(&self.ctx, search)?;
         Ok(PartitionedFlow {
             ctx: &self.ctx,
             design,
@@ -428,7 +603,7 @@ impl FlowSession {
         strategy: &dyn PartitionStrategy,
         cache: &PartitionCache,
     ) -> Result<PartitionedFlow<'_>, FlowError> {
-        let design = partition_cached(&self.ctx, strategy, Some(cache))?;
+        let design = partition_cached(&self.ctx, strategy, Some(cache), &SearchCtx::unbounded())?;
         Ok(PartitionedFlow {
             ctx: &self.ctx,
             design: (*design).clone(),
@@ -472,7 +647,7 @@ impl FlowSession {
                 })
                 .collect()
         };
-        let builtins = space.builtin_strategies();
+        let builtins = space.builtin_strategies()?;
         let strategies: Vec<(&dyn PartitionStrategy, Option<u32>)> = builtins
             .iter()
             .map(|(boxed, cap)| (boxed.as_ref(), *cap))
@@ -488,10 +663,18 @@ impl FlowSession {
             .flat_map(|ctx| strategies.iter().map(move |&(s, cap)| (ctx, s, cap)))
             .collect();
 
+        // One deadline for the whole exploration, fixed up front so every
+        // worker races the same clock. `partition_cached` bypasses the
+        // cache automatically for bounded searches.
+        let search = match space.budget {
+            Some(budget) => SearchCtx::with_timeout(budget),
+            None => SearchCtx::unbounded(),
+        };
+
         // `scoped_map` hands every spec its own result slot, so outcomes
         // are ordered by spec position, never by thread scheduling.
         let outcomes = scoped_map(space.jobs, &specs, |&(ctx, strategy, cap)| {
-            evaluate_spec(ctx, strategy, cap, space)
+            evaluate_spec(ctx, strategy, cap, space, &search)
         });
 
         let mut coverage = ExploreCoverage {
@@ -505,6 +688,7 @@ impl FlowSession {
             coverage.skipped_invalid += usize::from(outcome.skipped_invalid);
             coverage.skipped_fission += outcome.skipped_fission;
             coverage.ranked_specs += usize::from(!outcome.candidates.is_empty());
+            coverage.skips.extend(outcome.skips);
             candidates.extend(outcome.candidates);
         }
         if candidates.is_empty() {
@@ -531,6 +715,25 @@ struct SpecOutcome {
     skipped_invalid: bool,
     /// Roundings whose fission analysis found the memory too small.
     skipped_fission: usize,
+    /// Human-readable reasons for everything skipped above, labelled with
+    /// the spec (for [`ExploreCoverage::skips`]).
+    skips: Vec<String>,
+}
+
+impl SpecOutcome {
+    /// Labels a skip reason with the spec's identity.
+    fn record_skip(
+        &mut self,
+        ctx: &DesignContext,
+        strategy: &dyn PartitionStrategy,
+        reason: &dyn fmt::Display,
+    ) {
+        self.skips.push(format!(
+            "{} on {}: {reason}",
+            strategy.name(),
+            ctx.arch.name
+        ));
+    }
 }
 
 /// Evaluates one spec: partition (through the cache), validate, then fan
@@ -541,24 +744,27 @@ fn evaluate_spec(
     strategy: &dyn PartitionStrategy,
     max_partitions: Option<u32>,
     space: &ExploreSpace,
+    search: &SearchCtx,
 ) -> Result<SpecOutcome, FlowError> {
     let mut outcome = SpecOutcome::default();
-    let design = match partition_cached(ctx, strategy, space.cache.as_deref()) {
+    let design = match partition_cached(ctx, strategy, space.cache.as_deref(), search) {
         Ok(design) => design,
         Err(e) if e.is_infeasible() => {
             outcome.skipped_infeasible = true;
+            outcome.record_skip(ctx, strategy, &e);
             return Ok(outcome);
         }
         Err(e) => return Err(e),
     };
     // A strategy may be memory- or precedence-blind; exploration only
-    // ranks designs that validate.
-    if !design
+    // ranks designs that validate — and the violation list names which
+    // feasibility condition broke.
+    let violations = design
         .partitioning
-        .validate(&ctx.graph, &ctx.arch, space.memory_mode)
-        .is_empty()
-    {
+        .validate(&ctx.graph, &ctx.arch, space.memory_mode);
+    if !violations.is_empty() {
         outcome.skipped_invalid = true;
+        outcome.record_skip(ctx, strategy, &FlowError::Infeasible(violations));
         return Ok(outcome);
     }
     for &rounding in &space.roundings {
@@ -574,6 +780,7 @@ fn evaluate_spec(
                 let e = FlowError::from(e);
                 if e.is_infeasible() {
                     outcome.skipped_fission += 1;
+                    outcome.record_skip(ctx, strategy, &e);
                     continue;
                 }
                 return Err(e);
@@ -623,8 +830,8 @@ pub struct PartitionedFlow<'a> {
     ctx: &'a DesignContext,
     /// The partitioning plus its latency numbers.
     pub design: PartitionedDesign,
-    /// Name of the strategy that produced it.
-    pub strategy: &'static str,
+    /// Spec of the strategy that produced it (e.g. `"list+kl"`).
+    pub strategy: String,
 }
 
 impl<'a> PartitionedFlow<'a> {
@@ -653,6 +860,23 @@ impl<'a> PartitionedFlow<'a> {
         self.design
             .partitioning
             .validate(&self.ctx.graph, &self.ctx.arch, mode)
+    }
+
+    /// Like [`Self::validate`], but errors with the kept violation list
+    /// ([`FlowError::Infeasible`], an infeasible-class error) when any
+    /// feasibility condition breaks — so callers can both gate on validity
+    /// and report *which* constraint was broken.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Infeasible`] carrying every violation found.
+    pub fn require_valid(self, mode: MemoryMode) -> Result<Self, FlowError> {
+        let violations = self.validate(mode);
+        if violations.is_empty() {
+            Ok(self)
+        } else {
+            Err(FlowError::Infeasible(violations))
+        }
     }
 
     /// Stage 3 with the default exact block rounding.
@@ -695,8 +919,8 @@ pub struct AnalyzedFlow<'a> {
     pub design: PartitionedDesign,
     /// The fission analysis (`k`, block geometry, strategies).
     pub fission: FissionAnalysis,
-    /// Name of the strategy that produced the partitioning.
-    pub strategy: &'static str,
+    /// Spec of the strategy that produced the partitioning.
+    pub strategy: String,
 }
 
 impl AnalyzedFlow<'_> {
@@ -892,6 +1116,20 @@ pub struct ExploreSpace {
     pub include_ilp: bool,
     /// Whether the built-in list heuristic is a candidate.
     pub include_list: bool,
+    /// Additional built-in candidates named by strategy *spec* (the
+    /// [`crate::strategy::parse_spec`] grammar: `"list+kl"`,
+    /// `"memlist+anneal"`, `"portfolio"`, …), each resolved against
+    /// [`Self::ilp_options`]. Empty by default.
+    pub specs: Vec<String>,
+    /// Wall-clock budget for the whole exploration: every candidate's
+    /// search shares one deadline fixed when [`FlowSession::explore`]
+    /// starts. Cooperative strategies return their best design so far at
+    /// the deadline; candidates stopped before finding anything are
+    /// skipped (and counted) like any other infeasible candidate. Budgeted
+    /// explorations bypass the partition cache — how far a bounded search
+    /// gets is not a pure function of the problem — and are *not*
+    /// run-to-run deterministic.
+    pub budget: Option<Duration>,
     /// Extra strategies beyond the built-in ILP + list pair.
     pub extra_strategies: Vec<Box<dyn PartitionStrategy>>,
     /// Partitioner options shared by the built-in ILP candidates.
@@ -933,6 +1171,8 @@ impl ExploreSpace {
             memory_mode: MemoryMode::Net,
             include_ilp: true,
             include_list: true,
+            specs: Vec::new(),
+            budget: None,
             extra_strategies: Vec::new(),
             ilp_options: PartitionOptions::default(),
             max_partitions: vec![None],
@@ -960,8 +1200,12 @@ impl ExploreSpace {
 
     /// The built-in strategies this space enables, each with the partition
     /// cap it reports under.
-    fn builtin_strategies(&self) -> Vec<(Box<dyn PartitionStrategy>, Option<u32>)> {
-        let mut builtins: Vec<(Box<dyn PartitionStrategy>, Option<u32>)> = Vec::new();
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Spec`] when an entry of [`Self::specs`] does not parse.
+    fn builtin_strategies(&self) -> Result<Vec<BuiltinStrategy>, FlowError> {
+        let mut builtins: Vec<BuiltinStrategy> = Vec::new();
         if self.include_ilp {
             let caps: &[Option<u32>] = if self.max_partitions.is_empty() {
                 &[None]
@@ -982,7 +1226,10 @@ impl ExploreSpace {
             // The heuristic ignores the cap axis: one candidate.
             builtins.push((Box::new(ListStrategy::new()), None));
         }
-        builtins
+        for spec in &self.specs {
+            builtins.push((crate::strategy::parse_spec(spec, &self.ilp_options)?, None));
+        }
+        Ok(builtins)
     }
 }
 
@@ -1009,8 +1256,9 @@ pub fn rounding_label(rounding: BlockRounding) -> &'static str {
 /// One evaluated point of an exploration.
 #[derive(Debug, Clone)]
 pub struct ExploredCandidate {
-    /// Partitioning strategy name.
-    pub strategy: &'static str,
+    /// Partitioning strategy spec (the full compose chain, e.g.
+    /// `"list+kl"`).
+    pub strategy: String,
     /// Name of the architecture this candidate targets.
     pub arch: String,
     /// The effective partition-bound cap this candidate was solved under
@@ -1040,7 +1288,7 @@ pub struct ExploredCandidate {
 /// How much of the candidate space an exploration actually ranked — the
 /// coverage record [`FlowSession::explore`] attaches to its result so a
 /// caller can tell "best of everything" from "best of what survived".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ExploreCoverage {
     /// Partitioning specs attempted (strategy × architecture × cap).
     pub specs: usize,
@@ -1054,6 +1302,11 @@ pub struct ExploreCoverage {
     /// Per-rounding analyses skipped because the fission analysis found
     /// the board memory too small.
     pub skipped_fission: usize,
+    /// Why each skip happened, labelled `"<strategy> on <arch>: <reason>"`
+    /// and ordered by candidate-spec position (deterministic for any job
+    /// count) — the violation or error that disqualified the candidate,
+    /// e.g. `"boundary 0 stores 51 words > M_max"`.
+    pub skips: Vec<String>,
 }
 
 /// Summed [`SolveStats`] over an exploration's distinct designs
@@ -1340,10 +1593,20 @@ mod tests {
             .candidates
             .iter()
             .all(|c| c.max_partitions != Some(1)));
+        // Coverage says *why* the capped spec was skipped.
+        assert_eq!(exploration.coverage.skips.len(), 1);
+        assert!(
+            exploration.coverage.skips[0].contains("no feasible partitioning"),
+            "skip reason: {}",
+            exploration.coverage.skips[0]
+        );
     }
 
+    // The legacy one-shot surface: these two compile unchanged against
+    // `SimpleStrategy` and ride the blanket shim into every search-aware
+    // consumer (`partition_with`, `extra_strategies`, …).
     struct BrokenStrategy;
-    impl PartitionStrategy for BrokenStrategy {
+    impl SimpleStrategy for BrokenStrategy {
         fn name(&self) -> &'static str {
             "broken"
         }
@@ -1366,7 +1629,7 @@ mod tests {
     /// Piles every task into partition 0 — resource-infeasible on fig4's
     /// board, so exploration must reject it at validation.
     struct OnePartitionStrategy;
-    impl PartitionStrategy for OnePartitionStrategy {
+    impl SimpleStrategy for OnePartitionStrategy {
         fn name(&self) -> &'static str {
             "one-partition"
         }
@@ -1394,6 +1657,26 @@ mod tests {
         let exploration = s.explore(&space).unwrap();
         assert_eq!(exploration.coverage.skipped_invalid, 1);
         assert!(exploration.candidates.iter().all(|c| c.strategy == "ilp"));
+        // The skip names the strategy and the violated constraint.
+        assert_eq!(exploration.coverage.skips.len(), 1);
+        let skip = &exploration.coverage.skips[0];
+        assert!(skip.contains("one-partition"), "skip reason: {skip}");
+        assert!(skip.contains("exceeds device resources"), "{skip}");
+    }
+
+    #[test]
+    fn bounded_solver_options_never_produce_a_cache_key() {
+        use sparcs_core::search::CancelToken;
+        // A deadline or token inside `SolveOptions` makes the result
+        // timing-dependent; the strategy must opt out of caching itself —
+        // the SearchCtx-level bypass cannot see these fields.
+        let mut options = PartitionOptions::default();
+        options.solve.deadline = Some(std::time::Instant::now() + Duration::from_secs(3600));
+        assert!(IlpStrategy::with_options(options).config_key().is_none());
+        let mut options = PartitionOptions::default();
+        options.solve.cancel = Some(CancelToken::new());
+        assert!(IlpStrategy::with_options(options).config_key().is_none());
+        assert!(IlpStrategy::new().config_key().is_some());
     }
 
     #[test]

@@ -51,3 +51,4 @@ pub use sparcs_rtr as rtr;
 pub mod cache;
 pub mod casestudy;
 pub mod flow;
+pub mod strategy;

@@ -1,14 +1,18 @@
 //! Property tests over the [`PartitionStrategy`] trait: every strategy the
-//! flow exposes must produce *feasible* temporal partitionings on random
-//! layered graphs — per-partition resource demand within the device, and
+//! flow exposes — including the composed refinement chains of the strategy
+//! algebra — must produce *feasible* temporal partitionings on random
+//! layered graphs: per-partition resource demand within the device, and
 //! precedence-closed partitions (every edge runs forward in time, so each
 //! partition is a down-closed cut of the DAG prefix order).
 
 use proptest::prelude::*;
+use sparcs::core::search::SearchCtx;
+use sparcs::core::PartitionOptions;
 use sparcs::dfg::gen::{layered, LayeredConfig};
 use sparcs::dfg::{Resources, TaskGraph};
 use sparcs::estimate::Architecture;
 use sparcs::flow::{DesignContext, FlowSession, IlpStrategy, ListStrategy, PartitionStrategy};
+use sparcs::strategy::parse_spec;
 
 fn graph_strategy() -> impl Strategy<Value = TaskGraph> {
     (0u64..2_000, 2u32..5, 2u32..5).prop_map(|(seed, layers, width)| {
@@ -70,18 +74,40 @@ fn assert_feasible(name: &str, g: &TaskGraph, design: &sparcs::core::Partitioned
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
-    /// Both built-in strategies yield feasible designs through the trait.
+    /// Every strategy spec of the algebra — seeds and refinement chains —
+    /// yields feasible designs through the trait.
     #[test]
     fn all_strategies_produce_feasible_partitions(g in graph_strategy()) {
         let session = FlowSession::new(g, device());
-        let strategies: [&dyn PartitionStrategy; 2] = [&IlpStrategy::new(), &ListStrategy];
-        for strategy in strategies {
-            let Ok(stage) = session.partition_with(strategy) else {
+        let options = PartitionOptions::default();
+        for spec in ["ilp", "list", "memlist", "list+kl", "list+anneal", "memlist+kl"] {
+            let strategy = parse_spec(spec, &options).expect("spec parses");
+            let Ok(stage) = session.partition_with(strategy.as_ref()) else {
                 // Some random graphs are legitimately unpartitionable
                 // (e.g. a memory dead-end for the ILP); skip those.
                 continue;
             };
-            assert_feasible(strategy.name(), session.graph(), &stage.design);
+            assert_feasible(&strategy.name(), session.graph(), &stage.design);
+        }
+    }
+
+    /// Refinement passes never worsen their seed's latency (and the seeded
+    /// chain stays feasible) — the algebra's central quality contract.
+    #[test]
+    fn refinement_never_worsens_the_seed(g in graph_strategy()) {
+        let session = FlowSession::new(g, device());
+        let options = PartitionOptions::default();
+        let Ok(seed) = session.partition_with(&ListStrategy) else { return Ok(()); };
+        for spec in ["list+kl", "list+anneal", "list+kl+anneal"] {
+            let strategy = parse_spec(spec, &options).expect("spec parses");
+            let refined = session.partition_with(strategy.as_ref()).expect("seed succeeded");
+            prop_assert!(
+                refined.design.latency_ns <= seed.design.latency_ns,
+                "{spec}: {} ns > seed {} ns",
+                refined.design.latency_ns,
+                seed.design.latency_ns,
+            );
+            assert_feasible(&strategy.name(), session.graph(), &refined.design);
         }
     }
 
@@ -94,7 +120,7 @@ proptest! {
             graph: session.graph().clone(),
             arch: session.arch().clone(),
         };
-        let direct = ListStrategy.partition(&ctx);
+        let direct = ListStrategy.partition(&ctx, &SearchCtx::unbounded());
         let staged = session.partition_with(&ListStrategy);
         match (direct, staged) {
             (Ok(d), Ok(s)) => {
