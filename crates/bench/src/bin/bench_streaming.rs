@@ -1,0 +1,180 @@
+//! `bench-streaming` — the machine-readable streaming-throughput trajectory.
+//!
+//! Drives the §4 DCT design over a synthetic ≥10⁶-computation stream with
+//! both RTR sequencers and writes `BENCH_streaming.json` at the workspace
+//! root: host wall time, `words_per_sec` (primary input + output words per
+//! second of host wall time), the streamed-vs-materialized ratio, and the
+//! FNV-1a output digest proving the streamed lane bit-identical to the
+//! materialized baseline.
+//!
+//! ```text
+//! cargo run --release -p sparcs_bench --bin bench-streaming [computations]
+//! ```
+
+use serde::Serialize;
+use sparcs_bench::experiment;
+use sparcs_rtr::{
+    CountingSink, FdhSequencer, IdhSequencer, InputSource, PhaseProfile, Sequencer,
+    SyntheticSource, VecSink,
+};
+use std::time::Instant;
+
+/// One timed lane: a sequencer over the synthetic workload.
+#[derive(Debug, Serialize)]
+struct LaneRecord {
+    sequencer: &'static str,
+    lane: &'static str,
+    wall_ms: f64,
+    words_per_sec: f64,
+    digest: String,
+    /// Host wall time per fissioned batch phase, milliseconds.
+    load_ms: f64,
+    compute_ms: f64,
+    store_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct StreamingTrajectory {
+    generated_by: &'static str,
+    design: String,
+    computations: u64,
+    stream_words: u64,
+    /// words/sec of the pre-fission host path (commit 73e4ca1 rebuilt and
+    /// rerun on this machine, best of 15 runs interleaved with the
+    /// post-fission binary) — the pinned improvement baseline. The pre-PR
+    /// binary's FNV digest of this exact workload, 50701ebebfd81114,
+    /// matched the post-fission output word-for-word.
+    baseline_words_per_sec: f64,
+    lanes: Vec<LaneRecord>,
+    streamed_vs_materialized: f64,
+    digests_match: bool,
+}
+
+fn time_streamed(seq: &dyn Sequencer, computations: u64, in_w: u64) -> (f64, u64, PhaseProfile) {
+    let mut source = SyntheticSource::new(computations, in_w);
+    let mut sink = CountingSink::new();
+    let t0 = Instant::now();
+    let (_, profile) = seq
+        .run_profiled(&mut source, &mut sink)
+        .expect("streamed run");
+    (t0.elapsed().as_secs_f64(), sink.digest(), profile)
+}
+
+fn main() {
+    let computations: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 20); // 1,048,576 ≥ 10⁶, 512 batches of k = 2048
+    let exp = experiment();
+    let design = exp.rtr_design();
+    let in_w = design.primary_input_words;
+    let stream_words = computations * (in_w + design.output_words());
+
+    let idh = IdhSequencer::new(&exp.arch, &design);
+    let fdh = FdhSequencer::new(&exp.arch, &design);
+
+    let mut lanes = Vec::new();
+    let mut best = f64::INFINITY;
+    let mut idh_digest = 0u64;
+    let mut idh_profile = PhaseProfile::default();
+    for _ in 0..3 {
+        let (wall, digest, profile) = time_streamed(&idh, computations, in_w);
+        println!(
+            "IDH streamed: {:.1} ms, {:.3e} words/sec (load {:.1} / compute {:.1} / store {:.1} ms)",
+            wall * 1e3,
+            stream_words as f64 / wall,
+            profile.load_ns as f64 / 1e6,
+            profile.compute_ns as f64 / 1e6,
+            profile.store_ns as f64 / 1e6,
+        );
+        if wall < best {
+            best = wall;
+            idh_profile = profile;
+        }
+        idh_digest = digest;
+    }
+    lanes.push(LaneRecord {
+        sequencer: "IDH",
+        lane: "streamed",
+        wall_ms: best * 1e3,
+        words_per_sec: stream_words as f64 / best,
+        digest: format!("{idh_digest:016x}"),
+        load_ms: idh_profile.load_ns as f64 / 1e6,
+        compute_ms: idh_profile.compute_ns as f64 / 1e6,
+        store_ms: idh_profile.store_ns as f64 / 1e6,
+    });
+    let idh_best = best;
+
+    let (fdh_wall, fdh_digest, fdh_profile) = time_streamed(&fdh, computations, in_w);
+    println!(
+        "FDH streamed: {:.1} ms, {:.3e} words/sec",
+        fdh_wall * 1e3,
+        stream_words as f64 / fdh_wall
+    );
+    lanes.push(LaneRecord {
+        sequencer: "FDH",
+        lane: "streamed",
+        wall_ms: fdh_wall * 1e3,
+        words_per_sec: stream_words as f64 / fdh_wall,
+        digest: format!("{fdh_digest:016x}"),
+        load_ms: fdh_profile.load_ns as f64 / 1e6,
+        compute_ms: fdh_profile.compute_ns as f64 / 1e6,
+        store_ms: fdh_profile.store_ns as f64 / 1e6,
+    });
+
+    // Materialized lane: same workload through the classic slice wrapper.
+    let mut materialized = vec![0i32; (computations * in_w) as usize];
+    SyntheticSource::new(computations, in_w).read(&mut materialized);
+    let t0 = Instant::now();
+    let mut source = sparcs_rtr::SliceSource::new(&materialized);
+    let mut sink = VecSink::new();
+    let (_, mat_profile) = idh
+        .run_profiled(&mut source, &mut sink)
+        .expect("materialized run");
+    let mat_wall = t0.elapsed().as_secs_f64();
+    let mat_digest = CountingSink::digest_of(sink.data());
+    println!(
+        "IDH materialized: {:.1} ms, {:.3e} words/sec",
+        mat_wall * 1e3,
+        stream_words as f64 / mat_wall
+    );
+    lanes.push(LaneRecord {
+        sequencer: "IDH",
+        lane: "materialized",
+        wall_ms: mat_wall * 1e3,
+        words_per_sec: stream_words as f64 / mat_wall,
+        digest: format!("{mat_digest:016x}"),
+        load_ms: mat_profile.load_ns as f64 / 1e6,
+        compute_ms: mat_profile.compute_ns as f64 / 1e6,
+        store_ms: mat_profile.store_ns as f64 / 1e6,
+    });
+
+    let digests_match = idh_digest == mat_digest && fdh_digest == mat_digest;
+    assert!(digests_match, "streamed and materialized outputs diverge");
+
+    let trajectory = StreamingTrajectory {
+        generated_by: "cargo run --release -p sparcs_bench --bin bench-streaming",
+        design: format!(
+            "DCT 4x4 RTR design (paper-calibrated): N={}, k={}, {} in / {} out words per computation",
+            design.partition_count(),
+            design.k,
+            in_w,
+            design.output_words()
+        ),
+        computations,
+        stream_words,
+        baseline_words_per_sec: 6.916e7, // 485.2 ms wall, fastest pre-PR run observed
+        lanes,
+        streamed_vs_materialized: mat_wall / idh_best,
+        digests_match,
+    };
+    let json = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+    match std::fs::write(path, format!("{json}\n")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            println!("{json}");
+        }
+    }
+}

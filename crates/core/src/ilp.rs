@@ -70,14 +70,29 @@ pub struct SolveStats {
     pub delay_mode: DelayMode,
 }
 
+impl SolveStats {
+    /// Simplex throughput over the whole run: pivots (plus bound flips)
+    /// per wall-clock second of model building and solving. Zero for an
+    /// instantaneous run rather than a division by zero.
+    pub fn pivots_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.pivots as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 impl fmt::Display for SolveStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "N tried {:?}: {} nodes, {} pivots, {} cold solves, {:.3} ms, {}",
+            "N tried {:?}: {} nodes, {} pivots ({:.0}/s), {} cold solves, {:.3} ms, {}",
             self.attempted_n,
             self.nodes,
             self.pivots,
+            self.pivots_per_sec(),
             self.cold_solves,
             self.wall.as_secs_f64() * 1e3,
             if self.proven_optimal {

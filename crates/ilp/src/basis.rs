@@ -12,25 +12,33 @@
 //! contribute fill — the sparse analogue of the classic
 //! triangularize-then-bump ordering, with the bump handled by the same
 //! greedy pivot search.
+//!
+//! The eta file itself is stored structure-of-arrays: one flat `(row,
+//! value)` entry pool shared by every eta, with a per-eta start offset.
+//! ftran/btran — four of them per dual pivot — then walk two contiguous
+//! arrays instead of chasing one heap allocation per eta, and
+//! [`Basis::push_pivot`] appends entries in place instead of allocating.
 
 use crate::sparse::SparseMat;
-
-/// One elementary transformation: column `r` of the identity replaced by
-/// the eta vector (stored sparse, including the `1/pivot` diagonal entry).
-#[derive(Debug, Clone)]
-struct Eta {
-    r: u32,
-    entries: Vec<(u32, f64)>,
-}
-
 /// The factorized basis `B⁻¹ = E_k · … · E_1` (positions are row indices).
+///
+/// Etas are stored structure-of-arrays: eta `e` pivots on row
+/// `pivot_row[e]` and owns the entry range `starts[e]..starts[e + 1]` of
+/// the flat `idx`/`val` pools (the `1/pivot` diagonal entry included).
 #[derive(Debug, Clone)]
 pub struct Basis {
     m: usize,
-    etas: Vec<Eta>,
-    /// Total eta entries — the actual cost driver for ftran/btran, used by
-    /// the refactorization policy.
-    nnz: usize,
+    /// Pivot row of each eta.
+    pivot_row: Vec<u32>,
+    /// Entry-pool start of each eta, plus one trailing end offset.
+    starts: Vec<u32>,
+    /// Row indices of all eta entries, eta-major.
+    idx: Vec<u32>,
+    /// Values of all eta entries, parallel to `idx`.
+    val: Vec<f64>,
+    /// Pool position of each eta's diagonal (`1/pivot`) entry, so the
+    /// FTRAN inner loops run branch-free around it.
+    diag: Vec<u32>,
 }
 
 /// Reinversion failure: the proposed column set does not span.
@@ -45,8 +53,11 @@ impl Basis {
     pub fn identity(m: usize) -> Self {
         Basis {
             m,
-            etas: Vec::new(),
-            nnz: 0,
+            pivot_row: Vec::new(),
+            starts: vec![0],
+            idx: Vec::new(),
+            val: Vec::new(),
+            diag: Vec::new(),
         }
     }
 
@@ -57,46 +68,52 @@ impl Basis {
 
     /// Number of etas accumulated since the last reinversion.
     pub fn eta_count(&self) -> usize {
-        self.etas.len()
+        self.pivot_row.len()
     }
 
     /// Total stored eta entries (ftran/btran cost proxy).
     pub fn eta_nnz(&self) -> usize {
-        self.nnz
+        self.idx.len()
     }
 
     /// Solves `B·x = v` in place (`x` overwrites `v`).
     pub fn ftran(&self, v: &mut [f64]) {
         debug_assert_eq!(v.len(), self.m);
-        for eta in &self.etas {
-            let t = v[eta.r as usize];
+        for (e, &r) in self.pivot_row.iter().enumerate() {
+            let t = v[r as usize];
             if t == 0.0 {
                 continue;
             }
-            for &(i, e) in &eta.entries {
-                if i == eta.r {
-                    v[i as usize] = e * t;
-                } else {
-                    v[i as usize] += e * t;
-                }
+            let (lo, hi) = (self.starts[e] as usize, self.starts[e + 1] as usize);
+            // Rows within one eta are distinct, so the split around the
+            // diagonal entry computes exactly what the branchy walk did.
+            let d = self.diag[e] as usize;
+            for (&i, &ev) in self.idx[lo..d].iter().zip(&self.val[lo..d]) {
+                v[i as usize] += ev * t;
             }
+            for (&i, &ev) in self.idx[d + 1..hi].iter().zip(&self.val[d + 1..hi]) {
+                v[i as usize] += ev * t;
+            }
+            v[r as usize] = self.val[d] * t;
         }
     }
 
     /// Solves `Bᵀ·y = v` in place (`y` overwrites `v`).
     pub fn btran(&self, v: &mut [f64]) {
         debug_assert_eq!(v.len(), self.m);
-        for eta in self.etas.iter().rev() {
+        for (e, &r) in self.pivot_row.iter().enumerate().rev() {
+            let (lo, hi) = (self.starts[e] as usize, self.starts[e + 1] as usize);
             let mut acc = 0.0;
-            for &(i, e) in &eta.entries {
-                acc += e * v[i as usize];
+            for (&i, &ev) in self.idx[lo..hi].iter().zip(&self.val[lo..hi]) {
+                acc += ev * v[i as usize];
             }
-            v[eta.r as usize] = acc;
+            v[r as usize] = acc;
         }
     }
 
     /// Appends the eta for a pivot at position `r` with direction
-    /// `w = B⁻¹·a_q` (the entering column in the current basis).
+    /// `w = B⁻¹·a_q` (the entering column in the current basis). Entries go
+    /// straight into the flat pools — no per-pivot allocation.
     ///
     /// # Panics
     ///
@@ -105,19 +122,156 @@ impl Basis {
         let pivot = w[r];
         debug_assert!(pivot.abs() > 1e-12, "pivot on (near-)zero element");
         let inv = 1.0 / pivot;
-        let mut entries = Vec::with_capacity(8);
         for (i, &wi) in w.iter().enumerate() {
             if i == r {
-                entries.push((i as u32, inv));
+                self.diag.push(self.idx.len() as u32);
+                self.idx.push(i as u32);
+                self.val.push(inv);
             } else if wi != 0.0 {
-                entries.push((i as u32, -wi * inv));
+                self.idx.push(i as u32);
+                self.val.push(-wi * inv);
             }
         }
-        self.nnz += entries.len();
-        self.etas.push(Eta {
-            r: r as u32,
-            entries,
-        });
+        self.pivot_row.push(r as u32);
+        self.starts.push(self.idx.len() as u32);
+    }
+
+    /// [`Self::push_pivot`] that also hands every stored off-diagonal row
+    /// `(i, w[i])` to `visit` as it goes: callers fold their own
+    /// per-row update (e.g. the steepest-edge weight refresh) into the
+    /// same sweep of `w` instead of scanning it twice. The stored eta and
+    /// the visit set are exactly [`Self::push_pivot`]'s.
+    pub fn push_pivot_visit(&mut self, r: usize, w: &[f64], mut visit: impl FnMut(usize, f64)) {
+        let pivot = w[r];
+        debug_assert!(pivot.abs() > 1e-12, "pivot on (near-)zero element");
+        let inv = 1.0 / pivot;
+        for (i, &wi) in w.iter().enumerate() {
+            if i == r {
+                self.diag.push(self.idx.len() as u32);
+                self.idx.push(i as u32);
+                self.val.push(inv);
+            } else if wi != 0.0 {
+                self.idx.push(i as u32);
+                self.val.push(-wi * inv);
+                visit(i, wi);
+            }
+        }
+        self.pivot_row.push(r as u32);
+        self.starts.push(self.idx.len() as u32);
+    }
+
+    /// [`Self::push_pivot`] from pre-gathered `(row, value)` nonzeros in
+    /// ascending row order (`stage` must include the diagonal row `r`).
+    /// The stored eta is identical to the dense walk's: same rows, same
+    /// `-w_i / pivot` arithmetic, same order.
+    fn push_pivot_staged(&mut self, r: usize, stage: &[(u32, f64)]) {
+        let pivot = stage
+            .iter()
+            .find(|&&(i, _)| i as usize == r)
+            .expect("diagonal row present in stage")
+            .1;
+        debug_assert!(pivot.abs() > 1e-12, "pivot on (near-)zero element");
+        let inv = 1.0 / pivot;
+        for &(i, wi) in stage {
+            if i as usize == r {
+                self.diag.push(self.idx.len() as u32);
+                self.idx.push(i);
+                self.val.push(inv);
+            } else {
+                self.idx.push(i);
+                self.val.push(-wi * inv);
+            }
+        }
+        self.pivot_row.push(r as u32);
+        self.starts.push(self.idx.len() as u32);
+    }
+
+    /// [`Self::push_pivot`] for a direction held as dense values plus an
+    /// ascending nonzero pattern: only the listed rows are inspected, and
+    /// the stored eta is identical to the dense walk's (the pattern covers
+    /// every nonzero, explicit zeros are skipped either way).
+    pub(crate) fn push_pivot_sparse(&mut self, r: usize, w: &[f64], pattern: &[u32]) {
+        let pivot = w[r];
+        debug_assert!(pivot.abs() > 1e-12, "pivot on (near-)zero element");
+        let inv = 1.0 / pivot;
+        for &i in pattern {
+            let wi = w[i as usize];
+            if i as usize == r {
+                self.diag.push(self.idx.len() as u32);
+                self.idx.push(i);
+                self.val.push(inv);
+            } else if wi != 0.0 {
+                self.idx.push(i);
+                self.val.push(-wi * inv);
+            }
+        }
+        self.pivot_row.push(r as u32);
+        self.starts.push(self.idx.len() as u32);
+    }
+
+    /// [`Self::ftran`] for a right-hand side that is zero outside
+    /// `pattern`: etas whose pivot row is unmarked are skipped (their
+    /// multiplier is exactly `0.0`, the same skip the dense walk takes),
+    /// and rows that gain fill are appended to the pattern. The arithmetic
+    /// — operations, operands, order — is exactly the dense walk's.
+    ///
+    /// Once the pattern covers more than a quarter of the rows, the
+    /// bookkeeping costs more than it saves: tracking stops, the remaining
+    /// etas run the plain dense walk (its `t == 0.0` skip is the same
+    /// skip), and the return value is `true` to tell the caller the
+    /// pattern is no longer a complete nonzero cover.
+    pub(crate) fn ftran_tracked(
+        &self,
+        v: &mut [f64],
+        marked: &mut [bool],
+        pattern: &mut Vec<u32>,
+    ) -> bool {
+        let wide = self.m / 4;
+        let mut dense = false;
+        for (e, &r) in self.pivot_row.iter().enumerate() {
+            dense = dense || pattern.len() > wide;
+            if dense {
+                let t = v[r as usize];
+                if t == 0.0 {
+                    continue;
+                }
+                let (lo, hi) = (self.starts[e] as usize, self.starts[e + 1] as usize);
+                let d = self.diag[e] as usize;
+                for (&i, &ev) in self.idx[lo..d].iter().zip(&self.val[lo..d]) {
+                    v[i as usize] += ev * t;
+                }
+                for (&i, &ev) in self.idx[d + 1..hi].iter().zip(&self.val[d + 1..hi]) {
+                    v[i as usize] += ev * t;
+                }
+                v[r as usize] = self.val[d] * t;
+                continue;
+            }
+            if !marked[r as usize] {
+                continue;
+            }
+            let t = v[r as usize];
+            if t == 0.0 {
+                continue;
+            }
+            let (lo, hi) = (self.starts[e] as usize, self.starts[e + 1] as usize);
+            let d = self.diag[e] as usize;
+            for (&i, &ev) in self.idx[lo..d].iter().zip(&self.val[lo..d]) {
+                if !marked[i as usize] {
+                    marked[i as usize] = true;
+                    pattern.push(i);
+                }
+                v[i as usize] += ev * t;
+            }
+            for (&i, &ev) in self.idx[d + 1..hi].iter().zip(&self.val[d + 1..hi]) {
+                if !marked[i as usize] {
+                    marked[i as usize] = true;
+                    pattern.push(i);
+                }
+                v[i as usize] += ev * t;
+            }
+            v[r as usize] = self.val[d] * t;
+        }
+        dense
     }
 
     /// Rebuilds a fresh eta file for the basic column set `basic_cols` of
@@ -140,48 +294,169 @@ impl Basis {
         basic_cols: &[usize],
         unit_col_of_row: impl Fn(usize) -> usize,
     ) -> Result<Reinverted, SingularBasis> {
+        Self::reinvert_with(
+            mat,
+            basic_cols,
+            unit_col_of_row,
+            &mut ReinvertScratch::default(),
+        )
+    }
+
+    /// [`Self::reinvert`] with caller-owned scratch: the working vectors
+    /// and the retired factorization's entry pools are reused across
+    /// calls, so a solver refactorizing every few dozen pivots stops
+    /// paying allocator churn per reinversion.
+    pub fn reinvert_with(
+        mat: &SparseMat,
+        basic_cols: &[usize],
+        unit_col_of_row: impl Fn(usize) -> usize,
+        scratch: &mut ReinvertScratch,
+    ) -> Result<Reinverted, SingularBasis> {
         let m = mat.rows();
         assert_eq!(basic_cols.len(), m, "one basic column per row");
-        let mut basis = Basis::identity(m);
+        let mut basis = scratch.take_pool(m);
         let mut assign: Vec<usize> = vec![usize::MAX; m];
-        let mut claimed = vec![false; m];
+        let mut claimed = std::mem::take(&mut scratch.claimed);
+        claimed.clear();
+        claimed.resize(m, false);
         let mut dropped: Vec<usize> = Vec::new();
 
-        let mut order: Vec<usize> = basic_cols.to_vec();
+        let mut order = std::mem::take(&mut scratch.order);
+        order.clear();
+        order.extend_from_slice(basic_cols);
         order.sort_unstable_by_key(|&c| mat.col_nnz(c));
 
-        let mut w = vec![0.0; m];
+        // The working vector is dense values plus an explicit nonzero
+        // pattern (marker array + index list): every pass below walks the
+        // pattern instead of all `m` rows. Slack-heavy bases — the common
+        // case here — then place most columns in O(1) instead of O(m),
+        // while the arithmetic stays operation-for-operation identical to
+        // a dense walk (unmarked rows are exactly zero).
+        let mut w = std::mem::take(&mut scratch.w);
+        w.clear();
+        w.resize(m, 0.0);
+        let mut marked = std::mem::take(&mut scratch.marked);
+        marked.clear();
+        marked.resize(m, false);
+        let mut pattern = std::mem::take(&mut scratch.pattern);
+        pattern.clear();
+        let mut stage = std::mem::take(&mut scratch.stage);
+        // One full-width staging buffer for the whole reinversion: the
+        // branchless compaction below writes slots unconditionally, so the
+        // buffer must always hold `m` entries (stale slots past the cursor
+        // are never read).
+        stage.resize(m, (0, 0.0));
         let place = |basis: &mut Basis,
                      claimed: &mut Vec<bool>,
                      assign: &mut Vec<usize>,
                      w: &mut Vec<f64>,
+                     marked: &mut Vec<bool>,
+                     pattern: &mut Vec<u32>,
+                     stage: &mut Vec<(u32, f64)>,
                      col: usize|
          -> bool {
-            w.iter_mut().for_each(|x| *x = 0.0);
-            mat.col_axpy(col, 1.0, w);
-            basis.ftran(w);
+            for (i, v) in mat.col(col) {
+                if !marked[i] {
+                    marked[i] = true;
+                    pattern.push(i as u32);
+                }
+                w[i] += v;
+            }
+            let went_dense = basis.ftran_tracked(w, marked, pattern);
+            // Two equivalent walks over the result: a dense row sweep when
+            // the fill is wide (no sort, ascending by construction), a
+            // sorted-pattern sweep when it is narrow. Both visit the
+            // nonzeros in ascending row order, so the strict-max pivot
+            // scan and the stored eta are identical either way.
+            let dense_walk = went_dense || pattern.len() * 4 > m;
             let mut best = REINVERT_TOL;
             let mut best_r = None;
-            for (r, &wr) in w.iter().enumerate() {
-                if !claimed[r] && wr.abs() > best {
-                    best = wr.abs();
-                    best_r = Some(r);
+            let mut stage_len = 0usize;
+            if dense_walk {
+                // Gather the nonzeros (ascending — exactly the rows a
+                // dense eta push would store) by branchless compaction:
+                // every row writes its slot, only nonzero rows advance
+                // the cursor, so the sweep carries no data-dependent
+                // branch where the old fused gather-and-scan mispredicted
+                // on roughly every other row of a half-dense column. The
+                // strict-max pivot scan then walks the compact list —
+                // same candidates, same order, same strict `>`, so the
+                // chosen pivot and the stored eta are unchanged (zeros
+                // can never beat the REINVERT_TOL floor).
+                for (r, &wr) in w.iter().enumerate() {
+                    stage[stage_len] = (r as u32, wr);
+                    stage_len += (wr != 0.0) as usize;
+                }
+                for &(r32, wr) in &stage[..stage_len] {
+                    let r = r32 as usize;
+                    if !claimed[r] && wr.abs() > best {
+                        best = wr.abs();
+                        best_r = Some(r);
+                    }
+                }
+            } else {
+                pattern.sort_unstable();
+                for &i in pattern.iter() {
+                    let r = i as usize;
+                    if !claimed[r] && w[r].abs() > best {
+                        best = w[r].abs();
+                        best_r = Some(r);
+                    }
                 }
             }
-            let Some(r) = best_r else { return false };
-            // A unit column claiming its own untouched row needs no eta.
-            let trivial = (w[r] - 1.0).abs() < 1e-14
-                && w.iter().enumerate().all(|(i, &x)| i == r || x == 0.0);
-            if !trivial {
-                basis.push_pivot(r, w);
+            let placed = match best_r {
+                None => false,
+                Some(r) => {
+                    // A unit column claiming its own untouched row needs no
+                    // eta.
+                    if dense_walk {
+                        let trivial = (w[r] - 1.0).abs() < 1e-14 && stage_len == 1;
+                        if !trivial {
+                            basis.push_pivot_staged(r, &stage[..stage_len]);
+                        }
+                    } else {
+                        let trivial = (w[r] - 1.0).abs() < 1e-14
+                            && pattern
+                                .iter()
+                                .all(|&i| i as usize == r || w[i as usize] == 0.0);
+                        if !trivial {
+                            basis.push_pivot_sparse(r, w, pattern);
+                        }
+                    }
+                    claimed[r] = true;
+                    assign[r] = col;
+                    true
+                }
+            };
+            // Restore the all-zero/unmarked invariant. Once tracking was
+            // abandoned the pattern no longer covers every nonzero of `w`
+            // (it still covers every *marked* row), so the values need a
+            // dense wipe.
+            if went_dense {
+                w.iter_mut().for_each(|x| *x = 0.0);
+            } else {
+                for &i in pattern.iter() {
+                    w[i as usize] = 0.0;
+                }
             }
-            claimed[r] = true;
-            assign[r] = col;
-            true
+            for &i in pattern.iter() {
+                marked[i as usize] = false;
+            }
+            pattern.clear();
+            placed
         };
 
         for &col in &order {
-            if !place(&mut basis, &mut claimed, &mut assign, &mut w, col) {
+            if !place(
+                &mut basis,
+                &mut claimed,
+                &mut assign,
+                &mut w,
+                &mut marked,
+                &mut pattern,
+                &mut stage,
+                col,
+            ) {
                 dropped.push(col);
             }
         }
@@ -198,6 +473,9 @@ impl Basis {
                         &mut claimed,
                         &mut assign,
                         &mut w,
+                        &mut marked,
+                        &mut pattern,
+                        &mut stage,
                         unit_col_of_row(r),
                     );
                 }
@@ -206,11 +484,62 @@ impl Basis {
                 }
             }
         }
+        scratch.w = w;
+        scratch.marked = marked;
+        scratch.claimed = claimed;
+        scratch.pattern = pattern;
+        scratch.stage = stage;
+        scratch.order = order;
         Ok(Reinverted {
             basis,
             assign,
             dropped,
         })
+    }
+}
+
+/// Reusable buffers for [`Basis::reinvert_with`]: the reinversion working
+/// vectors plus (optionally) a retired [`Basis`] whose flat entry pools
+/// seed the next factorization's capacity.
+#[derive(Debug, Clone, Default)]
+pub struct ReinvertScratch {
+    w: Vec<f64>,
+    marked: Vec<bool>,
+    claimed: Vec<bool>,
+    pattern: Vec<u32>,
+    stage: Vec<(u32, f64)>,
+    order: Vec<usize>,
+    pool: Option<Basis>,
+}
+
+impl ReinvertScratch {
+    /// Hands back a retired factorization so its entry-pool capacity is
+    /// reused by the next [`Basis::reinvert_with`] call.
+    pub fn recycle(&mut self, b: Basis) {
+        if self
+            .pool
+            .as_ref()
+            .is_none_or(|p| p.val.capacity() < b.val.capacity())
+        {
+            self.pool = Some(b);
+        }
+    }
+
+    /// An empty basis shell of dimension `m`, reusing pooled capacity.
+    fn take_pool(&mut self, m: usize) -> Basis {
+        match self.pool.take() {
+            Some(mut b) => {
+                b.m = m;
+                b.pivot_row.clear();
+                b.starts.clear();
+                b.starts.push(0);
+                b.idx.clear();
+                b.val.clear();
+                b.diag.clear();
+                b
+            }
+            None => Basis::identity(m),
+        }
     }
 }
 

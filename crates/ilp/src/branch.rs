@@ -192,6 +192,21 @@ pub struct Solution {
     pub status: Status,
 }
 
+impl Solution {
+    /// Simplex throughput of the search: pivots (plus bound flips) per
+    /// wall-clock second — the headline number the fissioned kernel layer
+    /// is benchmarked on (see `BENCH_ilp.json`). Zero for an instantaneous
+    /// solve rather than a division by zero.
+    pub fn pivots_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.pivots as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Failure modes of [`solve`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum SolveError {
@@ -254,7 +269,7 @@ struct Delta {
 struct Node {
     chain: Option<Arc<Delta>>,
     /// Basis snapshot of the parent's optimal solve; `None` = cold root.
-    basis: Option<Arc<Vec<u8>>>,
+    basis: Option<Arc<[u8]>>,
     /// Parent LP objective in the minimization key (pruning bound).
     bound: f64,
 }
@@ -457,22 +472,24 @@ impl<'a> Shared<'a> {
         }
     }
 
-    /// Materializes a node's bound vector: root bounds + delta chain
-    /// applied root-first (later links overwrite, i.e. tighten).
-    fn bounds_of(&self, chain: &Option<Arc<Delta>>) -> Vec<(f64, f64)> {
-        let mut bounds = self.root_bounds.clone();
-        let mut links = Vec::new();
+    /// Materializes a node's bound vector into `scratch`: root bounds +
+    /// delta chain applied root-first (later links overwrite, i.e.
+    /// tighten). The two buffers belong to the worker so the per-node
+    /// materialization reuses their capacity instead of allocating.
+    fn bounds_into(&self, chain: &Option<Arc<Delta>>, scratch: &mut NodeScratch) {
+        scratch.bounds.clear();
+        scratch.bounds.extend_from_slice(&self.root_bounds);
+        scratch.links.clear();
         let mut cur = chain.as_ref();
         while let Some(d) = cur {
-            links.push(d);
+            scratch.links.push(Arc::clone(d));
             cur = d.parent.as_ref();
         }
-        for d in links.into_iter().rev() {
+        for d in scratch.links.drain(..).rev() {
             for &(v, lo, hi) in &d.changes {
-                bounds[v as usize] = (lo, hi);
+                scratch.bounds[v as usize] = (lo, hi);
             }
         }
-        bounds
     }
 }
 
@@ -627,9 +644,10 @@ struct WorkerStats {
 /// One worker: pop best-bound nodes, dive each subtree in place.
 fn worker(shared: &Shared<'_>) -> WorkerStats {
     let mut ws = Workspace::new(shared.model);
+    let mut scratch = NodeScratch::default();
     while let Some(node) = shared.pop_node() {
         let bound = node.bound;
-        process_subtree(shared, &mut ws, node);
+        process_subtree(shared, &mut ws, &mut scratch, node);
         shared.finish_node(bound);
     }
     WorkerStats {
@@ -638,9 +656,19 @@ fn worker(shared: &Shared<'_>) -> WorkerStats {
     }
 }
 
+/// Per-worker reusable staging for node materialization: the bound vector,
+/// the chain-walk stack, and the basis-snapshot bytes. Cleared per node,
+/// never reallocated once warm.
+#[derive(Default)]
+struct NodeScratch {
+    bounds: Vec<(f64, f64)>,
+    links: Vec<Arc<Delta>>,
+    snap: Vec<u8>,
+}
+
 /// Solves `node` and dives: branch, re-optimize the nearer child in place,
 /// push the sibling. Errors are recorded in the shared state.
-fn process_subtree(shared: &Shared<'_>, ws: &mut Workspace, node: Node) {
+fn process_subtree(shared: &Shared<'_>, ws: &mut Workspace, scratch: &mut NodeScratch, node: Node) {
     let tol = shared.opts.tolerance;
     // Bound-prune at pop time: the incumbent may have improved since push.
     if node.bound >= shared.incumbent_key() - tol {
@@ -649,8 +677,8 @@ fn process_subtree(shared: &Shared<'_>, ws: &mut Workspace, node: Node) {
     if !shared.claim_node() {
         return;
     }
-    let bounds = shared.bounds_of(&node.chain);
-    ws.set_bounds_full(&bounds);
+    shared.bounds_into(&node.chain, scratch);
+    ws.set_bounds_full(&scratch.bounds);
     let mut outcome = match &node.basis {
         Some(snap) => ws.warm_solve(snap, shared.opts.max_simplex_iters),
         None => ws.solve_root(shared.opts.max_simplex_iters),
@@ -760,7 +788,8 @@ fn process_subtree(shared: &Shared<'_>, ws: &mut Workspace, node: Node) {
         } else {
             (up, down)
         };
-        let snapshot = Arc::new(ws.snapshot());
+        ws.snapshot_into(&mut scratch.snap);
+        let snapshot: Arc<[u8]> = Arc::from(&scratch.snap[..]);
         let mut push_changes = fixes.clone();
         push_changes.push(push);
         shared.push_node(Node {

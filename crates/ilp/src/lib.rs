@@ -12,6 +12,10 @@
 //! * [`sparse`] — compressed-column storage for the constraint matrix.
 //! * [`basis`] — the product-form basis factorization (eta file +
 //!   sparsity-ordered reinversion) behind every `B⁻¹` application.
+//! * [`kernels`] — the loop-fissioned hot-path kernels of the dual simplex
+//!   (pure candidate scans split from the recurrence-carrying selection
+//!   passes, the paper's own transformation applied to the solver), with
+//!   the fused scalar originals kept as the reference specification.
 //! * [`simplex`] — a sparse revised simplex over implicit variable bounds:
 //!   a bounded primal (phase 1/2 fallback) and a dual simplex with
 //!   steepest-edge pricing and a bound-flipping ratio test, able to
@@ -57,6 +61,7 @@
 pub mod basis;
 pub mod branch;
 pub mod enumerate;
+pub mod kernels;
 pub mod model;
 pub mod simplex;
 pub mod sparse;

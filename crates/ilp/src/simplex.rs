@@ -20,6 +20,17 @@
 //!   node from its parent's basis in a handful of dual pivots instead of a
 //!   cold two-phase solve.
 //!
+//! The dual engine's hot loops run as *fissioned SoA kernels*
+//! ([`crate::kernels`]): steepest-edge pricing is a vectorizable
+//! violation scan over row-indexed parallel slices (`xb`/`lo_b`/`hi_b`)
+//! plus a scalar score-and-argmax pass, and the ratio test is a
+//! candidate-gather over the maintained nonbasic index list plus the
+//! sequential bound-flip selection that carries the recurrence. The
+//! fissioned forms are arithmetic-preserving — same operations, order and
+//! tie-breaks as the fused scalar references kept in
+//! [`crate::kernels::reference`] — so the pivot trajectory is
+//! bit-identical; only the rate changes (see `BENCH_ilp.json`).
+//!
 //! The public [`solve_lp`]/[`solve_lp_with_bounds`] entry points keep their
 //! original signatures; [`Workspace`] is the crate-internal warm-start
 //! surface consumed by [`crate::branch`].
@@ -154,28 +165,17 @@ pub fn solve_lp_with_bounds(
     })
 }
 
-/// Where a nonbasic variable currently rests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[repr(u8)]
-pub(crate) enum VStat {
-    /// In the basis.
-    Basic = 0,
-    /// Nonbasic at its lower bound.
-    AtLower = 1,
-    /// Nonbasic at its upper bound.
-    AtUpper = 2,
-    /// Free nonbasic, resting at zero.
-    Free = 3,
-}
+/// Where a nonbasic variable currently rests — the kernel layer's
+/// [`ColStatus`](crate::kernels::ColStatus), shared so the workspace's
+/// status array feeds the fissioned scans without conversion.
+pub(crate) type VStat = crate::kernels::ColStatus;
 
-impl VStat {
-    fn from_u8(v: u8) -> VStat {
-        match v {
-            0 => VStat::Basic,
-            1 => VStat::AtLower,
-            2 => VStat::AtUpper,
-            _ => VStat::Free,
-        }
+fn vstat_from_u8(v: u8) -> VStat {
+    match v {
+        0 => VStat::Basic,
+        1 => VStat::AtLower,
+        2 => VStat::AtUpper,
+        _ => VStat::Free,
     }
 }
 
@@ -194,6 +194,17 @@ enum StepOutcome {
     Optimal,
     /// Primal: no blocking ratio. Dual: no entering column.
     Ray,
+}
+
+/// Which cost vector [`Workspace::compute_duals`] reads — selecting a
+/// workspace-owned vector instead of passing a slice kills the
+/// `cost.clone()` that every refactor/warm-start path used to pay.
+#[derive(Clone, Copy)]
+enum CostKind {
+    /// The real (perturbed, minimization-oriented) objective.
+    Phase2,
+    /// The artificial-infeasibility objective built by `solve_root`.
+    Phase1,
 }
 
 /// The warm-startable solver state for one model: sparse standard form,
@@ -239,6 +250,29 @@ pub(crate) struct Workspace {
     rho: Vec<f64>,
     alpha: Vec<f64>,
     tau: Vec<f64>,
+    /// Ascending nonbasic column list (fixed *structural* columns
+    /// included; fixed slacks/artificials dropped at rebuild — see
+    /// [`Self::rebuild_nonbasic`]), maintained incrementally across
+    /// pivots. The fissioned scans and every recomputation pass iterate
+    /// this instead of dense `0..n_total`.
+    nonbasic: Vec<u32>,
+    /// Bounds of the basic column at each row position — SoA mirrors of
+    /// `lo[basic[r]]`/`hi[basic[r]]` so pricing reads flat slices.
+    lo_b: Vec<f64>,
+    hi_b: Vec<f64>,
+    /// Pricing scratch, one violation magnitude per row (`-1.0` = feasible).
+    viols: Vec<f64>,
+    /// Dual-value scratch for `compute_duals`.
+    y: Vec<f64>,
+    /// Ratio-test candidate scratch `(ratio, column)`.
+    cands: Vec<(f64, u32)>,
+    /// Bound-flip scratch for the long-step ratio test.
+    flips: Vec<usize>,
+    /// Phase-1 cost vector, built on demand by `solve_root`.
+    phase1_cost: Vec<f64>,
+    /// Reinversion scratch: working vectors plus the retired eta pools,
+    /// recycled so per-node refactorization stops hitting the allocator.
+    reinvert_scratch: crate::basis::ReinvertScratch,
 }
 
 impl Workspace {
@@ -317,7 +351,7 @@ impl Workspace {
             lo[n + m + i] = 0.0;
             hi[n + m + i] = 0.0;
         }
-        Workspace {
+        let mut ws = Workspace {
             m,
             n,
             n_total,
@@ -339,7 +373,18 @@ impl Workspace {
             rho: vec![0.0; m],
             alpha: vec![0.0; n_total],
             tau: vec![0.0; m],
-        }
+            nonbasic: Vec::with_capacity(n_total),
+            lo_b: vec![0.0; m],
+            hi_b: vec![0.0; m],
+            viols: vec![0.0; m],
+            y: vec![0.0; m],
+            cands: Vec::new(),
+            flips: Vec::new(),
+            phase1_cost: Vec::new(),
+            reinvert_scratch: crate::basis::ReinvertScratch::default(),
+        };
+        ws.rebuild_nonbasic();
+        ws
     }
 
     /// Cumulative simplex iterations over the workspace's lifetime.
@@ -393,9 +438,12 @@ impl Workspace {
         self.vstat[var]
     }
 
-    /// Serializes the basis as one status byte per column.
-    pub(crate) fn snapshot(&self) -> Vec<u8> {
-        self.vstat.iter().map(|&s| s as u8).collect()
+    /// Serializes the basis into a reusable buffer (cleared first) —
+    /// branch-and-bound snapshots every node, so the staging buffer lives
+    /// with the worker, not with the call.
+    pub(crate) fn snapshot_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend(self.vstat.iter().map(|&s| s as u8));
     }
 
     /// Objective of the current solution in the internal minimization
@@ -409,8 +457,12 @@ impl Workspace {
                 obj += self.cost[col] * self.xb[r];
             }
         }
-        for j in 0..self.n {
-            if self.vstat[j] != VStat::Basic && self.cost[j] != 0.0 {
+        for &j32 in &self.nonbasic {
+            let j = j32 as usize;
+            if j >= self.n {
+                break;
+            }
+            if self.cost[j] != 0.0 {
                 obj += self.cost[j] * self.nonbasic_value(j);
             }
         }
@@ -431,10 +483,12 @@ impl Workspace {
     /// Extracts the structural solution, clamped into the current bounds.
     pub(crate) fn extract_x(&self) -> Vec<f64> {
         let mut x = vec![0.0; self.n];
-        for j in 0..self.n {
-            if self.vstat[j] != VStat::Basic {
-                x[j] = self.nonbasic_value(j);
+        for &j32 in &self.nonbasic {
+            let j = j32 as usize;
+            if j >= self.n {
+                break;
             }
+            x[j] = self.nonbasic_value(j);
         }
         for (r, &col) in self.basic.iter().enumerate() {
             if col < self.n {
@@ -446,44 +500,111 @@ impl Workspace {
 
     // --- basis/value bookkeeping -------------------------------------------
 
-    /// Recomputes the basic values `x_B = B⁻¹(b − N·x_N)` from scratch.
-    fn compute_xb(&mut self) {
-        let mut v = self.rhs.clone();
+    /// Rebuilds the ascending nonbasic column list from the status array
+    /// (called whenever the basis is replaced wholesale; pivots maintain
+    /// the list incrementally via [`Self::nonbasic_pivot_swap`]).
+    ///
+    /// Fixed *non-structural* columns are left out: they are skipped by
+    /// every consumer anyway (`lo ≥ hi` guards, zero resting value, zero
+    /// contribution to `x_B` and the objective) and the artificials plus
+    /// equality-row slacks outnumber the live columns several times over,
+    /// so carrying them would make each per-pivot pass mostly skip work.
+    /// Structural columns stay: a branching fix (`lo == hi ≠ 0`) still
+    /// contributes its resting value to `compute_xb`/`extract_x`, and
+    /// structural bounds can widen between rebuilds (`set_bounds_full` per
+    /// node). Slack bounds never change after construction, and artificial
+    /// bounds only widen inside `solve_root`'s phase 1, which starts them
+    /// *basic* and maintains the list incrementally from there — a rebuild
+    /// never has to re-admit either.
+    fn rebuild_nonbasic(&mut self) {
+        self.nonbasic.clear();
         for j in 0..self.n_total {
-            if self.vstat[j] != VStat::Basic {
-                let xj = self.nonbasic_value(j);
-                if xj != 0.0 {
-                    self.mat.col_axpy(j, -xj, &mut v);
-                }
+            if self.vstat[j] != VStat::Basic && !(j >= self.n && self.lo[j] >= self.hi[j]) {
+                self.nonbasic.push(j as u32);
+            }
+        }
+    }
+
+    /// Refreshes the by-row-position bound mirrors `lo_b`/`hi_b`.
+    fn sync_basic_bounds(&mut self) {
+        for (r, &col) in self.basic.iter().enumerate() {
+            self.lo_b[r] = self.lo[col];
+            self.hi_b[r] = self.hi[col];
+        }
+    }
+
+    /// Maintains the nonbasic list across one pivot: `enter` became basic,
+    /// `leave` became nonbasic. Keeps the list sorted so iteration order
+    /// (and hence floating-point summation order) matches a dense scan.
+    fn nonbasic_pivot_swap(&mut self, enter: usize, leave: usize) {
+        let e = self
+            .nonbasic
+            .binary_search(&(enter as u32))
+            .expect("entering column was nonbasic");
+        self.nonbasic.remove(e);
+        let l = self
+            .nonbasic
+            .binary_search(&(leave as u32))
+            .expect_err("leaving column was basic");
+        self.nonbasic.insert(l, leave as u32);
+    }
+
+    /// Recomputes the basic values `x_B = B⁻¹(b − N·x_N)` from scratch.
+    /// Walks the nonbasic list (ascending, so the accumulation order is
+    /// identical to the dense scan it replaced), reuses `xb`'s buffer, and
+    /// refreshes the basic-bound mirrors.
+    fn compute_xb(&mut self) {
+        let mut v = std::mem::take(&mut self.xb);
+        v.clear();
+        v.extend_from_slice(&self.rhs);
+        for &j32 in &self.nonbasic {
+            let j = j32 as usize;
+            let xj = self.nonbasic_value(j);
+            if xj != 0.0 {
+                self.mat.col_axpy(j, -xj, &mut v);
             }
         }
         self.basis.ftran(&mut v);
         self.xb = v;
+        self.sync_basic_bounds();
     }
 
-    /// Recomputes every reduced cost from the given cost vector.
-    fn compute_duals(&mut self, cost: &[f64]) {
-        let mut y = vec![0.0; self.m];
+    /// Recomputes every reduced cost of the selected cost vector, walking
+    /// the nonbasic list. Fixed columns keep `d = 0` — their reduced costs
+    /// are never read (dual feasibility short-circuits on `lo ≥ hi`, the
+    /// ratio test skips fixed columns, and reduced-cost fixing only looks
+    /// at unit-range columns).
+    fn compute_duals(&mut self, kind: CostKind) {
+        let cost: &[f64] = match kind {
+            CostKind::Phase2 => &self.cost,
+            CostKind::Phase1 => &self.phase1_cost,
+        };
         for (r, &col) in self.basic.iter().enumerate() {
-            y[r] = cost[col];
+            self.y[r] = cost[col];
         }
-        self.basis.btran(&mut y);
-        for j in 0..self.n_total {
-            self.d[j] = if self.vstat[j] == VStat::Basic {
-                0.0
-            } else {
-                cost[j] - self.mat.col_dot(j, &y)
-            };
+        self.basis.btran(&mut self.y);
+        self.d.fill(0.0);
+        for &j32 in &self.nonbasic {
+            let j = j32 as usize;
+            if self.lo[j] >= self.hi[j] {
+                continue;
+            }
+            self.d[j] = cost[j] - self.mat.col_dot(j, &self.y);
         }
     }
 
     /// Refactorizes the basis from its column set and refreshes values.
     fn refactor(&mut self) -> Result<(), LpError> {
         let n = self.n;
-        let re =
-            Basis::reinvert(&self.mat, &self.basic, |r| n + r).map_err(|_| LpError::Numerical {
-                constraint: "singular basis".into(),
-            })?;
+        let re = Basis::reinvert_with(
+            &self.mat,
+            &self.basic,
+            |r| n + r,
+            &mut self.reinvert_scratch,
+        )
+        .map_err(|_| LpError::Numerical {
+            constraint: "singular basis".into(),
+        })?;
         // Columns the repair dropped become nonbasic at their nearest
         // bound; the repair slacks become basic.
         for col in &re.dropped {
@@ -493,8 +614,10 @@ impl Workspace {
             self.vstat[col] = VStat::Basic;
         }
         self.basic = re.assign;
-        self.basis = re.basis;
+        let old = std::mem::replace(&mut self.basis, re.basis);
+        self.reinvert_scratch.recycle(old);
         self.eta_base = (self.basis.eta_count(), self.basis.eta_nnz());
+        self.rebuild_nonbasic();
         self.compute_xb();
         Ok(())
     }
@@ -537,25 +660,28 @@ impl Workspace {
         for j in 0..self.n + self.m {
             self.vstat[j] = nearest_status(self.lo[j], self.hi[j]);
         }
-        let mut resid = self.rhs.clone();
+        let mut resid = std::mem::take(&mut self.xb);
+        resid.clear();
+        resid.extend_from_slice(&self.rhs);
         for j in 0..self.n + self.m {
             let xj = self.nonbasic_value(j);
             if xj != 0.0 {
                 self.mat.col_axpy(j, -xj, &mut resid);
             }
         }
-        let mut phase1_cost = vec![0.0; self.n_total];
-        self.basic = Vec::with_capacity(self.m);
+        self.phase1_cost.clear();
+        self.phase1_cost.resize(self.n_total, 0.0);
+        self.basic.clear();
         for (i, &r) in resid.iter().enumerate() {
             let a = self.n + self.m + i;
             if r >= 0.0 {
                 self.lo[a] = 0.0;
                 self.hi[a] = r;
-                phase1_cost[a] = 1.0;
+                self.phase1_cost[a] = 1.0;
             } else {
                 self.lo[a] = r;
                 self.hi[a] = 0.0;
-                phase1_cost[a] = -1.0;
+                self.phase1_cost[a] = -1.0;
             }
             self.vstat[a] = VStat::Basic;
             self.basic.push(a);
@@ -564,7 +690,9 @@ impl Workspace {
         self.eta_base = (0, 0);
         self.dse.iter_mut().for_each(|g| *g = 1.0);
         self.xb = resid;
-        match self.primal_simplex(&phase1_cost, &mut left) {
+        self.rebuild_nonbasic();
+        self.sync_basic_bounds();
+        match self.primal_simplex(CostKind::Phase1, &mut left) {
             Ok(StepOutcome::Optimal) => {}
             Ok(StepOutcome::Ray) => {
                 // Phase 1 is bounded below by zero; an unbounded ray can
@@ -579,11 +707,11 @@ impl Workspace {
             .basic
             .iter()
             .zip(&self.xb)
-            .map(|(&col, &v)| phase1_cost[col] * v)
+            .map(|(&col, &v)| self.phase1_cost[col] * v)
             .sum::<f64>()
             + (0..self.n_total)
-                .filter(|&j| self.vstat[j] != VStat::Basic && phase1_cost[j] != 0.0)
-                .map(|j| phase1_cost[j] * self.nonbasic_value(j))
+                .filter(|&j| self.vstat[j] != VStat::Basic && self.phase1_cost[j] != 0.0)
+                .map(|j| self.phase1_cost[j] * self.nonbasic_value(j))
                 .sum::<f64>();
         if infeas > 1e-6 {
             return Ok(RelaxOutcome::Infeasible);
@@ -599,8 +727,7 @@ impl Workspace {
         }
 
         // ---- phase 2: the real objective ----------------------------------
-        let cost = self.cost.clone();
-        match self.primal_simplex(&cost, &mut left) {
+        match self.primal_simplex(CostKind::Phase2, &mut left) {
             Ok(StepOutcome::Optimal) => Ok(RelaxOutcome::Optimal),
             Ok(StepOutcome::Ray) => Ok(RelaxOutcome::Unbounded),
             Err(_) => Err(budget_err(budget)),
@@ -638,9 +765,9 @@ impl Workspace {
         self.basis = Basis::identity(self.m);
         self.eta_base = (0, 0);
         self.dse.iter_mut().for_each(|g| *g = 1.0);
+        self.rebuild_nonbasic();
         self.compute_xb();
-        let cost = self.cost.clone();
-        self.compute_duals(&cost);
+        self.compute_duals(CostKind::Phase2);
         true
     }
 
@@ -662,19 +789,21 @@ impl Workspace {
             }
         }
         for (j, &s) in snapshot.iter().enumerate() {
-            self.vstat[j] = VStat::from_u8(s);
+            self.vstat[j] = vstat_from_u8(s);
         }
-        self.basic = (0..self.n_total)
-            .filter(|&j| self.vstat[j] == VStat::Basic)
-            .collect();
+        self.basic.clear();
+        for j in 0..self.n_total {
+            if self.vstat[j] == VStat::Basic {
+                self.basic.push(j);
+            }
+        }
         if self.basic.len() != self.m || self.refactor().is_err() {
             return self.solve_root(budget);
         }
         // The snapshot's basis has nothing in common with whatever this
         // workspace held before: restart the steepest-edge reference.
         self.dse.iter_mut().for_each(|g| *g = 1.0);
-        let cost = self.cost.clone();
-        self.compute_duals(&cost);
+        self.compute_duals(CostKind::Phase2);
         if !self.dual_feasible() {
             return self.solve_root(budget);
         }
@@ -696,29 +825,33 @@ impl Workspace {
     }
 
     fn dual_feasible(&self) -> bool {
-        (0..self.n_total).all(|j| match self.vstat[j] {
-            VStat::Basic => true,
-            VStat::AtLower => self.lo[j] >= self.hi[j] || self.d[j] >= -DUAL_TOL,
-            VStat::AtUpper => self.lo[j] >= self.hi[j] || self.d[j] <= DUAL_TOL,
-            VStat::Free => self.d[j].abs() <= DUAL_TOL,
+        self.nonbasic.iter().all(|&j32| {
+            let j = j32 as usize;
+            match self.vstat[j] {
+                VStat::Basic => true,
+                VStat::AtLower => self.lo[j] >= self.hi[j] || self.d[j] >= -DUAL_TOL,
+                VStat::AtUpper => self.lo[j] >= self.hi[j] || self.d[j] <= DUAL_TOL,
+                VStat::Free => self.d[j].abs() <= DUAL_TOL,
+            }
         })
     }
 
     // --- primal simplex -----------------------------------------------------
 
-    fn primal_simplex(&mut self, cost: &[f64], left: &mut usize) -> Result<StepOutcome, LpError> {
+    fn primal_simplex(&mut self, kind: CostKind, left: &mut usize) -> Result<StepOutcome, LpError> {
         let mut stall = 0usize;
         loop {
             if *left == 0 {
                 return Err(LpError::IterationLimit(0));
             }
-            self.compute_duals(cost);
+            self.compute_duals(kind);
             let bland = stall > STALL_LIMIT;
 
             // Entering column.
             let mut enter: Option<(usize, f64)> = None; // (col, score)
-            for j in 0..self.n_total {
-                if self.vstat[j] == VStat::Basic || self.lo[j] >= self.hi[j] {
+            for &j32 in &self.nonbasic {
+                let j = j32 as usize;
+                if self.lo[j] >= self.hi[j] {
                     continue;
                 }
                 let dj = self.d[j];
@@ -853,6 +986,9 @@ impl Workspace {
                     self.basic[r] = q;
                     self.vstat[q] = VStat::Basic;
                     self.xb[r] = xq_new;
+                    self.nonbasic_pivot_swap(q, lcol);
+                    self.lo_b[r] = self.lo[q];
+                    self.hi_b[r] = self.hi[q];
                     let w = std::mem::take(&mut self.w);
                     self.basis.push_pivot(r, &w);
                     self.w = w;
@@ -883,49 +1019,65 @@ impl Workspace {
             // the solve — alternating selection modes can itself cycle.
             bland = bland || stall > STALL_LIMIT;
 
-            // Leaving row: dual steepest-edge pricing - the worst
-            // infeasibility normalized by the row norm `viol^2 / gamma_r`
-            // (Bland: the violated basic variable with the smallest
-            // *variable* index).
-            let mut leave: Option<(usize, f64, bool)> = None; // (pos, score, below)
-            for r in 0..self.m {
-                let col = self.basic[r];
-                let v = self.xb[r];
-                let (below, viol) = if v < self.lo[col] - FEAS_TOL {
-                    (true, self.lo[col] - v)
-                } else if v > self.hi[col] + FEAS_TOL {
-                    (false, v - self.hi[col])
-                } else {
-                    continue;
-                };
-                let score = viol * viol / self.dse[r].max(1e-10);
-                let better = match leave {
-                    None => true,
-                    Some((lr, best, _)) => {
-                        if bland {
-                            col < self.basic[lr]
-                        } else {
-                            score > best
-                        }
+            // Leaving row: dual steepest-edge pricing — the worst
+            // infeasibility normalized by the row norm `viol^2 / gamma_r`.
+            // The hot path is fissioned: a pure score scan over the SoA row
+            // arrays, then the argmax recurrence. Bland mode (the violated
+            // basic variable with the smallest *variable* index) needs
+            // `basic[r]` for its tie-break, so it keeps the fused loop.
+            let leave: Option<(usize, bool)> = if bland {
+                let mut best: Option<(usize, bool)> = None;
+                for r in 0..self.m {
+                    let v = self.xb[r];
+                    let below = if v < self.lo_b[r] - FEAS_TOL {
+                        true
+                    } else if v > self.hi_b[r] + FEAS_TOL {
+                        false
+                    } else {
+                        continue;
+                    };
+                    if best.is_none_or(|(lr, _)| self.basic[r] < self.basic[lr]) {
+                        best = Some((r, below));
                     }
-                };
-                if better {
-                    leave = Some((r, score, below));
                 }
-            }
-            let Some((r, _, below)) = leave else {
+                best
+            } else {
+                crate::kernels::dual_price_scan(
+                    &self.xb,
+                    &self.lo_b,
+                    &self.hi_b,
+                    FEAS_TOL,
+                    &mut self.viols,
+                );
+                crate::kernels::dual_price_argmax(&self.viols, &self.dse)
+                    .map(|r| (r, self.xb[r] < self.lo_b[r] - FEAS_TOL))
+            };
+            let Some((r, below)) = leave else {
                 return Ok(RelaxOutcome::Optimal);
             };
             *left -= 1;
             self.iterations += 1;
 
-            // Row r of B⁻¹·A.
+            // Row r of B⁻¹·A, gathered for the live nonbasic columns only.
+            // Entries for basic and fixed columns go stale rather than
+            // being zeroed — nothing downstream reads them: the ratio scan
+            // walks the same list with the same fixed skip, and the dual
+            // update below runs over the pre-pivot list.
             self.rho.iter_mut().for_each(|x| *x = 0.0);
             self.rho[r] = 1.0;
             self.basis.btran(&mut self.rho);
-            for j in 0..self.n_total {
-                self.alpha[j] = if self.vstat[j] == VStat::Basic {
-                    0.0
+            for &j32 in &self.nonbasic {
+                let j = j32 as usize;
+                if self.lo[j] >= self.hi[j] {
+                    continue;
+                }
+                // Slack and artificial columns are unit columns; spelling
+                // the dot out (`0.0 + 1.0·ρ_i`) keeps the result
+                // bit-identical to `col_dot` while skipping its indexing.
+                self.alpha[j] = if j >= self.n + self.m {
+                    0.0 + 1.0 * self.rho[j - self.n - self.m]
+                } else if j >= self.n {
+                    0.0 + 1.0 * self.rho[j - self.n]
                 } else {
                     self.mat.col_dot(j, &self.rho)
                 };
@@ -950,56 +1102,48 @@ impl Workspace {
                 self.hi[col_l]
             };
             let viol_abs = (self.xb[r] - target).abs();
-            let mut cands: Vec<(f64, u32)> = Vec::new(); // (ratio, column)
             let mut enter: Option<usize> = None;
-            let mut flips: Vec<usize> = Vec::new();
+            self.flips.clear();
             for pass in 0..2 {
                 let floor = if pass == 0 { PIVOT_TOL } else { 1e-8 };
-                cands.clear();
-                for j in 0..self.n_total {
-                    if self.vstat[j] == VStat::Basic || self.lo[j] >= self.hi[j] {
-                        continue;
-                    }
-                    let a = self.alpha[j];
-                    let eligible = match (self.vstat[j], below) {
-                        (VStat::AtLower, true) => a < -floor,
-                        (VStat::AtLower, false) => a > floor,
-                        (VStat::AtUpper, true) => a > floor,
-                        (VStat::AtUpper, false) => a < -floor,
-                        (VStat::Free, _) => a.abs() > floor,
-                        (VStat::Basic, _) => false,
-                    };
-                    if !eligible {
-                        continue;
-                    }
-                    let dj = match self.vstat[j] {
-                        VStat::AtLower => self.d[j].max(0.0),
-                        VStat::AtUpper => (-self.d[j]).max(0.0),
-                        _ => self.d[j].abs(),
-                    };
-                    cands.push((dj / a.abs(), j as u32));
-                }
-                if cands.is_empty() {
+                // Fissioned candidate collection: the pure
+                // eligibility/ratio gather lives in the kernel layer; the
+                // flip/enter walk below carries the remaining-violation
+                // recurrence and stays here.
+                crate::kernels::dual_ratio_scan(
+                    &self.nonbasic,
+                    &self.vstat,
+                    &self.lo,
+                    &self.hi,
+                    &self.d,
+                    &self.alpha,
+                    below,
+                    floor,
+                    &mut self.cands,
+                );
+                if self.cands.is_empty() {
                     continue;
                 }
                 if bland {
                     // Exact min ratio, ties to the smallest column index
                     // (the pair sorts exactly that way).
-                    enter = cands
+                    enter = self
+                        .cands
                         .iter()
                         .copied()
                         .min_by(|a, b| a.partial_cmp(b).expect("ratios are finite"))
                         .map(|(_, j)| j as usize);
                 } else {
-                    cands.sort_unstable_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+                    self.cands
+                        .sort_unstable_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
                     let mut remaining = viol_abs;
                     let slack = FEAS_TOL * (1.0 + viol_abs);
-                    for &(_, j) in &cands {
+                    for &(_, j) in &self.cands {
                         let j = j as usize;
                         let range = self.hi[j] - self.lo[j];
                         let capacity = range * self.alpha[j].abs(); // ∞ stays ∞
                         if capacity < remaining - slack {
-                            flips.push(j);
+                            self.flips.push(j);
                             remaining -= capacity;
                         } else {
                             enter = Some(j);
@@ -1011,11 +1155,11 @@ impl Workspace {
                             // The capacities summed to the violation up to
                             // roundoff: the last flip candidate is really
                             // the (degenerate) entering variable.
-                            enter = flips.pop();
+                            enter = self.flips.pop();
                         } else {
                             // Even flipping every candidate cannot absorb
                             // the infeasibility on this pass.
-                            flips.clear();
+                            self.flips.clear();
                         }
                     }
                 }
@@ -1032,8 +1176,7 @@ impl Workspace {
                 }
                 retried_infeasible = true;
                 self.refactor()?;
-                let cost = self.cost.clone();
-                self.compute_duals(&cost);
+                self.compute_duals(CostKind::Phase2);
                 continue;
             };
             retried_infeasible = false;
@@ -1048,17 +1191,16 @@ impl Workspace {
                 // iteration (the counter already advanced, so this cannot
                 // loop forever within the budget).
                 self.refactor()?;
-                let cost = self.cost.clone();
-                self.compute_duals(&cost);
+                self.compute_duals(CostKind::Phase2);
                 stall += 1;
                 continue;
             }
 
             // Commit the bound flips in one combined update:
             // x_B -= B⁻¹·Σ (a_j · signed range_j).
-            if !flips.is_empty() {
+            if !self.flips.is_empty() {
                 self.rho.iter_mut().for_each(|x| *x = 0.0);
-                for &j in &flips {
+                for &j in &self.flips {
                     let range = self.hi[j] - self.lo[j];
                     let (step, to) = match self.vstat[j] {
                         VStat::AtLower => (range, VStat::AtUpper),
@@ -1087,6 +1229,28 @@ impl Workspace {
                 VStat::Free => dx,
                 _ => self.nonbasic_value(q) + dx,
             };
+
+            // Incremental dual update: d_j ← d_j − θ·α_j, θ = d_q/α_q. Runs
+            // over the *pre-pivot* nonbasic list: q's entry is overwritten
+            // by `d[q] = 0` just below, the leaving column is excluded (its
+            // α was zero in the fused original, so it never moved), and
+            // fixed columns keep their `d = 0` placeholder.
+            let theta = self.d[q] / self.alpha[q];
+            if theta != 0.0 {
+                for &j32 in &self.nonbasic {
+                    let j = j32 as usize;
+                    if self.lo[j] >= self.hi[j] {
+                        continue;
+                    }
+                    let a = self.alpha[j];
+                    if a != 0.0 {
+                        self.d[j] -= theta * a;
+                    }
+                }
+            }
+            self.d[col_l] = -theta;
+            self.d[q] = 0.0;
+
             self.vstat[col_l] = if below {
                 VStat::AtLower
             } else {
@@ -1095,51 +1259,37 @@ impl Workspace {
             self.basic[r] = q;
             self.vstat[q] = VStat::Basic;
             self.xb[r] = xq_new;
-
-            // Incremental dual update: d_j ← d_j − θ·α_j, θ = d_q/α_q.
-            let theta = self.d[q] / self.alpha[q];
-            if theta != 0.0 {
-                for j in 0..self.n_total {
-                    if self.vstat[j] != VStat::Basic && self.alpha[j] != 0.0 {
-                        self.d[j] -= theta * self.alpha[j];
-                    }
-                }
-            }
-            self.d[col_l] = -theta;
-            self.d[q] = 0.0;
+            self.nonbasic_pivot_swap(q, col_l);
+            self.lo_b[r] = self.lo[q];
+            self.hi_b[r] = self.hi[q];
 
             // Forrest-Goldfarb steepest-edge update: with tau = B^{-T}w,
             //   gamma_r' = gamma_r / w_r^2,
             //   gamma_i' = gamma_i - 2(w_i/w_r)tau_i + (w_i/w_r)^2 gamma_r.
             self.tau.copy_from_slice(&self.w);
             self.basis.btran(&mut self.tau);
+            // The weight refresh and the eta push walk the same nonzeros
+            // of `w`, so they share one sweep; per-row updates are
+            // independent, making the fused pass bit-identical to two.
             let gamma_r = self.dse[r].max(1e-10);
-            for i in 0..self.m {
-                let wi = self.w[i];
-                if i == r || wi == 0.0 {
-                    continue;
-                }
+            let (dse, tau) = (&mut self.dse, &self.tau);
+            self.basis.push_pivot_visit(r, &self.w, |i, wi| {
                 let ratio_i = wi / wr;
-                let g = self.dse[i] - 2.0 * ratio_i * self.tau[i] + ratio_i * ratio_i * gamma_r;
-                self.dse[i] = g.max(1e-4);
-            }
+                let g = dse[i] - 2.0 * ratio_i * tau[i] + ratio_i * ratio_i * gamma_r;
+                dse[i] = g.max(1e-4);
+            });
             self.dse[r] = (gamma_r / (wr * wr)).max(1e-4);
-
-            let w = std::mem::take(&mut self.w);
-            self.basis.push_pivot(r, &w);
-            self.w = w;
 
             // Progress = the dual objective gain θ·Δ (a long step's bound
             // flips are progress in themselves); steps that move nothing
             // count toward the stall.
-            if (theta * delta).abs() <= 1e-9 && flips.is_empty() {
+            if (theta * delta).abs() <= 1e-9 && self.flips.is_empty() {
                 stall += 1;
             } else {
                 stall = 0;
             }
             if self.maybe_refactor()? {
-                let cost = self.cost.clone();
-                self.compute_duals(&cost);
+                self.compute_duals(CostKind::Phase2);
             }
         }
     }
@@ -1427,7 +1577,8 @@ mod tests {
         ws.set_bounds_full(&[(0.0, 1.0); 3]);
         assert_eq!(ws.solve_root(ITERS).unwrap(), RelaxOutcome::Optimal);
         let root_obj = ws.objective_internal();
-        let snap = ws.snapshot();
+        let mut snap = Vec::new();
+        ws.snapshot_into(&mut snap);
         let root_iters = ws.iterations();
 
         // Child: x2 <= 0.

@@ -20,9 +20,35 @@
 use std::fmt;
 use std::sync::Arc;
 
-/// The functional behaviour of one configuration: maps one computation's
-/// selected input words to its output words.
-pub type Kernel = Arc<dyn Fn(&[i32]) -> Vec<i32> + Send + Sync>;
+/// The functional behaviour of one configuration: reads one computation's
+/// selected input words and writes its output words into the caller's
+/// slice (exactly `output_words` long). The out-parameter form lets the
+/// batch drivers run a whole batch of kernels over one contiguous output
+/// buffer with zero per-call allocation — and makes a wrong-width result
+/// unrepresentable.
+pub type Kernel = Arc<dyn Fn(&[i32], &mut [i32]) + Send + Sync>;
+
+/// A lane-parallel (structure-of-arrays) variant of [`Kernel`].
+///
+/// Called as `batch_kernel(lanes, ins, outs, scratch)` where `ins` holds
+/// the configuration's input words transposed into `input_words` rows of
+/// `lanes` values each (row *r* at `ins[r*lanes..(r+1)*lanes]`, one value
+/// per computation lane) and `outs` likewise holds `output_words` rows of
+/// `lanes` values to fill. Hosts never pass more than
+/// [`MAX_BATCH_LANES`] lanes per call, so kernels may size fixed scratch
+/// against that bound. `scratch` is a host-owned buffer reused across
+/// calls: kernels may grow it and must not assume it arrives zeroed.
+///
+/// A batch kernel is an *optimization*, not a semantic extension: for
+/// every lane it must produce exactly what the configuration's scalar
+/// [`Kernel`] produces for the same inputs — the host drivers treat the
+/// two as interchangeable and the equivalence proptests hold them to it.
+pub type BatchKernel = Arc<dyn Fn(usize, &[i32], &mut [i32], &mut Vec<i32>) + Send + Sync>;
+
+/// Upper bound on the `lanes` argument of a [`BatchKernel`] call. Chosen
+/// so one lane chunk's transposed inputs, outputs and kernel scratch all
+/// stay L1/L2-resident.
+pub const MAX_BATCH_LANES: usize = 64;
 
 /// One temporal partition as a loadable FPGA configuration.
 #[derive(Clone)]
@@ -39,8 +65,11 @@ pub struct Configuration {
     /// Memory-block size per computation (defaults to inputs + outputs —
     /// the paper's `m_i_temp`; larger under power-of-two rounding).
     pub block_words: u64,
-    /// The computation itself.
+    /// The computation itself (per-computation reference form).
     pub kernel: Kernel,
+    /// Optional lane-parallel form of [`Self::kernel`]; when present the
+    /// fissioned batch drivers use it for the compute-all phase.
+    pub batch_kernel: Option<BatchKernel>,
 }
 
 impl fmt::Debug for Configuration {
@@ -67,7 +96,7 @@ impl Configuration {
         delay_per_computation_ns: u64,
         input_selector: Vec<u32>,
         output_words: u64,
-        kernel: impl Fn(&[i32]) -> Vec<i32> + Send + Sync + 'static,
+        kernel: impl Fn(&[i32], &mut [i32]) + Send + Sync + 'static,
     ) -> Self {
         assert!(
             !input_selector.is_empty() || output_words > 0,
@@ -81,7 +110,19 @@ impl Configuration {
             output_words,
             block_words,
             kernel: Arc::new(kernel),
+            batch_kernel: None,
         }
+    }
+
+    /// Attaches a lane-parallel (SoA) variant of the kernel — see
+    /// [`BatchKernel`] for the layout contract. The scalar kernel stays
+    /// authoritative; the batch form must match it lane for lane.
+    pub fn with_batch_kernel(
+        mut self,
+        batch_kernel: impl Fn(usize, &[i32], &mut [i32], &mut Vec<i32>) + Send + Sync + 'static,
+    ) -> Self {
+        self.batch_kernel = Some(Arc::new(batch_kernel));
+        self
     }
 
     /// Input words consumed per computation.
@@ -222,12 +263,13 @@ impl RtrDesign {
     }
 
     /// Runs one computation through every kernel (no timing, no memory
-    /// model) — the functional reference for the sequencers.
+    /// model), slot-at-a-time with per-stage temporaries — the scalar
+    /// *reference specification* the fissioned batch drivers in
+    /// [`crate::host`] are checked against.
     ///
     /// # Panics
     ///
-    /// Panics if `input` length differs from `primary_input_words` or a
-    /// kernel returns the wrong number of words.
+    /// Panics if `input` length differs from `primary_input_words`.
     pub fn compute_one(&self, input: &[i32]) -> Vec<i32> {
         assert_eq!(input.len() as u64, self.primary_input_words);
         let mut history = input.to_vec();
@@ -237,9 +279,9 @@ impl RtrDesign {
                 .iter()
                 .map(|&i| history[i as usize])
                 .collect();
-            let outs = (c.kernel)(&ins);
-            assert_eq!(outs.len() as u64, c.output_words, "{} kernel width", c.name);
-            history.extend(outs);
+            let base = history.len();
+            history.resize(base + c.output_words as usize, 0);
+            (c.kernel)(&ins, &mut history[base..]);
         }
         self.output_selector
             .iter()
@@ -257,7 +299,7 @@ impl RtrDesign {
             self.delay_per_computation_ns(),
             self.primary_input_words,
             self.output_words(),
-            move |x| pipeline.compute_one(x),
+            move |x, out| out.copy_from_slice(&pipeline.compute_one(x)),
         )
     }
 }
@@ -291,7 +333,7 @@ impl StaticDesign {
         delay_per_computation_ns: u64,
         input_words: u64,
         output_words: u64,
-        kernel: impl Fn(&[i32]) -> Vec<i32> + Send + Sync + 'static,
+        kernel: impl Fn(&[i32], &mut [i32]) + Send + Sync + 'static,
     ) -> Self {
         StaticDesign {
             delay_per_computation_ns,
@@ -307,9 +349,17 @@ mod tests {
     use super::*;
 
     fn double_kernel(words: u64) -> Configuration {
-        Configuration::new("double", 100, (0..words as u32).collect(), words, |x| {
-            x.iter().map(|v| v * 2).collect()
-        })
+        Configuration::new(
+            "double",
+            100,
+            (0..words as u32).collect(),
+            words,
+            |x, out| {
+                for (o, v) in out.iter_mut().zip(x) {
+                    *o = v * 2;
+                }
+            },
+        )
     }
 
     #[test]
@@ -327,8 +377,12 @@ mod tests {
         // Stage 1: in 2 → out 2 (doubles). Stage 2 reads the ORIGINAL
         // inputs (history 0..2), not stage 1's outputs; design outputs
         // stage1 ++ stage2.
-        let s1 = Configuration::new("s1", 10, vec![0, 1], 2, |x| vec![x[0] * 2, x[1] * 2]);
-        let s2 = Configuration::new("s2", 10, vec![0, 1], 2, |x| vec![x[0] + 1, x[1] + 1]);
+        let s1 = Configuration::new("s1", 10, vec![0, 1], 2, |x, o| {
+            o.copy_from_slice(&[x[0] * 2, x[1] * 2]);
+        });
+        let s2 = Configuration::new("s2", 10, vec![0, 1], 2, |x, o| {
+            o.copy_from_slice(&[x[0] + 1, x[1] + 1]);
+        });
         let d = RtrDesign::new(vec![s1, s2], 2, vec![2, 3, 4, 5], 1);
         assert_eq!(d.compute_one(&[10, 20]), vec![20, 40, 11, 21]);
     }
@@ -336,15 +390,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "selects history word")]
     fn out_of_range_selector_panics() {
-        let s1 = Configuration::new("s1", 10, vec![5], 1, |x| x.to_vec());
+        let s1 = Configuration::new("s1", 10, vec![5], 1, |x, o| o.copy_from_slice(x));
         let _ = RtrDesign::new(vec![s1], 2, vec![0], 1);
     }
 
     #[test]
     #[should_panic(expected = "input width mismatches")]
     fn linear_mismatch_panics() {
-        let s1 = Configuration::new("s1", 10, vec![0, 1], 3, |x| vec![x[0], x[1], 0]);
-        let s2 = Configuration::new("s2", 10, vec![0, 1], 2, |x| x.to_vec());
+        let s1 = Configuration::new("s1", 10, vec![0, 1], 3, |x, o| {
+            o.copy_from_slice(&[x[0], x[1], 0]);
+        });
+        let s2 = Configuration::new("s2", 10, vec![0, 1], 2, |x, o| o.copy_from_slice(x));
         let _ = RtrDesign::linear(vec![s1, s2], 1);
     }
 
@@ -372,14 +428,16 @@ mod tests {
         let stat = design.to_static();
         assert_eq!(stat.delay_per_computation_ns, 200);
         assert_eq!((stat.input_words, stat.output_words), (2, 2));
-        assert_eq!((stat.kernel)(&[1, 5]), design.compute_one(&[1, 5]));
+        let mut out = [0i32; 2];
+        (stat.kernel)(&[1, 5], &mut out);
+        assert_eq!(out.to_vec(), design.compute_one(&[1, 5]));
     }
 
     #[test]
     fn debug_impls_do_not_expose_kernels() {
         let s = format!("{:?}", double_kernel(2));
         assert!(s.contains("delay_per_computation_ns"));
-        let st = StaticDesign::new(16_000, 16, 16, |x| x.to_vec());
+        let st = StaticDesign::new(16_000, 16, 16, |x, o| o.copy_from_slice(x));
         assert!(format!("{st:?}").contains("16000"));
     }
 }

@@ -19,6 +19,18 @@
 //! multi-gigabyte stream runs at constant memory. The [`TimeReport`]
 //! accumulates incrementally alongside the data.
 //!
+//! Within a batch the RTR drivers are *loop-fissioned* like the designs
+//! they simulate: `execute_batch` runs a load-all pass (stage every
+//! slot's inputs into one contiguous word-major buffer), a compute-all
+//! pass (the configuration's lane-parallel [`crate::design::BatchKernel`]
+//! over flat
+//! slices when it has one, else the scalar [`Configuration::kernel`] per
+//! slot), and a store-all pass (scatter the batch's outputs back through
+//! one strided write). The scalar kernel stays authoritative — streaming
+//! digests pin both forms bit-identical — and [`PhaseProfile`] reports
+//! the host nanoseconds of each pass (surfaced per sequencer in
+//! `BENCH_streaming.json`, with `words_per_sec`).
+//!
 //! The classic slice-in/vector-out entry points ([`run_static`],
 //! [`run_fdh`], [`run_idh`]) are thin wrappers over these drivers
 //! ([`SliceSource`] in, [`VecSink`] out) and report bit-identical outputs
@@ -55,11 +67,36 @@
 //! will have to be picked up"*).
 
 use crate::board::{BoardError, MemoryBank};
-use crate::design::{Configuration, RtrDesign, StaticDesign};
+use crate::design::{Configuration, RtrDesign, StaticDesign, MAX_BATCH_LANES};
 use crate::report::TimeReport;
 use crate::stream::{InputSource, OutputSink, SliceSource, VecSink};
 use sparcs_estimate::Architecture;
 use std::fmt;
+use std::time::Instant;
+
+/// Host wall-clock nanoseconds spent in each phase of the fissioned batch
+/// loop — *measured* time on the simulating host, not simulated board time
+/// (that is [`TimeReport`]'s job). The RTR drivers process every batch as
+/// load-all / compute-all / store-all passes over contiguous buffers;
+/// this records where the host actually spends its cycles.
+///
+/// [`StaticSequencer`] is not fissioned (its board block holds a single
+/// computation); it reports its whole per-computation loop under
+/// [`PhaseProfile::compute_ns`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Input staging: source pulls, history seeding, board input writes.
+    pub load_ns: u64,
+    /// Kernel execution over whole batches.
+    pub compute_ns: u64,
+    /// Output stores: board readback, history appends, sink pushes.
+    pub store_ns: u64,
+}
+
+/// Elapsed nanoseconds since `t0`, saturated into `u64`.
+fn ns_since(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Errors from the host sequencers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,7 +174,21 @@ pub trait Sequencer {
         &self,
         source: &mut dyn InputSource,
         sink: &mut dyn OutputSink,
-    ) -> Result<TimeReport, HostError>;
+    ) -> Result<TimeReport, HostError> {
+        self.run_profiled(source, sink).map(|(report, _)| report)
+    }
+
+    /// Streams like [`Sequencer::run`], additionally returning the host's
+    /// measured wall-clock [`PhaseProfile`] over the batch phases.
+    ///
+    /// # Errors
+    ///
+    /// See [`HostError`].
+    fn run_profiled(
+        &self,
+        source: &mut dyn InputSource,
+        sink: &mut dyn OutputSink,
+    ) -> Result<(TimeReport, PhaseProfile), HostError>;
 
     /// Convenience: runs a materialized slice and collects the outputs —
     /// the classic `run_*` signature, as a provided method over the
@@ -193,11 +244,11 @@ impl Sequencer for StaticSequencer<'_> {
         self.design.output_words
     }
 
-    fn run(
+    fn run_profiled(
         &self,
         source: &mut dyn InputSource,
         sink: &mut dyn OutputSink,
-    ) -> Result<TimeReport, HostError> {
+    ) -> Result<(TimeReport, PhaseProfile), HostError> {
         let (arch, design) = (self.arch, self.design);
         let in_w = design.input_words;
         let computations = computation_count(in_w, source)?;
@@ -219,11 +270,12 @@ impl Sequencer for StaticSequencer<'_> {
         let delay = u128::from(design.delay_per_computation_ns);
         let mut exposed = u128::from(arch.transfer_ns_per_word) * u128::from(in_w); // prologue
         let mut buf = vec![0i32; in_w as usize];
+        let mut out = vec![0i32; design.output_words as usize];
+        let t0 = Instant::now();
         for _ in 0..computations {
             source.read(&mut buf);
             bank.write(0, &buf)?;
-            let out = (design.kernel)(bank.read(0, in_w)?);
-            debug_assert_eq!(out.len() as u64, design.output_words);
+            (design.kernel)(bank.read(0, in_w)?, &mut out);
             bank.write(in_w, &out)?;
             sink.write(bank.read(in_w, design.output_words)?);
             // Double-buffered: streaming hides behind computation.
@@ -231,21 +283,43 @@ impl Sequencer for StaticSequencer<'_> {
             report.compute_ns += delay;
             report.words_transferred += duplex_words;
         }
+        let profile = PhaseProfile {
+            compute_ns: ns_since(t0),
+            ..PhaseProfile::default()
+        };
         exposed += u128::from(arch.transfer_ns_per_word) * u128::from(design.output_words); // epilogue
         report.exposed_transfer_ns = exposed;
         report.total_ns = report.reconfig_ns + report.compute_ns + report.exposed_transfer_ns;
-        Ok(report)
+        Ok((report, profile))
     }
 }
 
-/// Reusable per-batch state for the RTR drivers: the staged input buffer,
-/// the `k` per-slot value histories, and the output scratch — all bounded
-/// by the design geometry, never by the workload.
+/// Reusable per-batch staging for the fissioned RTR drivers, laid out as
+/// flat structure-of-arrays buffers: all `k` slots' value histories live in
+/// one contiguous slot-major vector of fixed stride (the history length is
+/// a design constant), and each phase gathers into or computes over one
+/// contiguous scratch vector reused across batches. Capacity is bounded by
+/// the design geometry, never by the workload — and after warm-up no batch
+/// allocates at all.
 struct BatchBuffers {
-    /// Staged input words for one batch (`k · in_w`).
+    /// Staged primary input words for one batch (`k · in_w`).
     input: Vec<i32>,
-    /// Per-slot value histories (primary inputs + every stage's outputs).
-    histories: Vec<Vec<i32>>,
+    /// All slots' value histories, flattened slot-major (`k × stride`).
+    histories: Vec<i32>,
+    /// History words per slot (primary inputs + every stage's outputs).
+    stride: usize,
+    /// History words currently valid — identical for every slot, because
+    /// the fissioned loop advances each stage for the whole batch at once.
+    filled: usize,
+    /// Load-phase gather target: every slot's selected inputs, contiguous.
+    gathered: Vec<i32>,
+    /// Compute-phase SoA staging: one lane chunk's inputs, transposed to
+    /// `input_words` rows of up to [`MAX_BATCH_LANES`] lanes.
+    soa_in: Vec<i32>,
+    /// Compute-phase SoA staging: one lane chunk's outputs, row-major.
+    soa_out: Vec<i32>,
+    /// Reusable scratch handed to batch kernels (never assumed zeroed).
+    kernel_scratch: Vec<i32>,
     /// One batch's selected output words.
     output: Vec<i32>,
 }
@@ -253,41 +327,56 @@ struct BatchBuffers {
 impl BatchBuffers {
     fn new(design: &RtrDesign) -> Self {
         let k = design.k as usize;
-        let history_len = design.primary_input_words as usize
+        let stride = design.primary_input_words as usize
             + design
                 .configurations
                 .iter()
                 .map(|c| c.output_words as usize)
                 .sum::<usize>();
+        let max_in = design
+            .configurations
+            .iter()
+            .map(|c| c.input_selector.len())
+            .max()
+            .unwrap_or(0);
+        let max_out = design
+            .configurations
+            .iter()
+            .map(|c| c.output_words as usize)
+            .max()
+            .unwrap_or(0);
         BatchBuffers {
             input: vec![0; k * design.primary_input_words as usize],
-            histories: (0..k).map(|_| Vec::with_capacity(history_len)).collect(),
+            histories: vec![0; k * stride],
+            stride,
+            filled: 0,
+            gathered: Vec::with_capacity(k * max_in),
+            soa_in: Vec::with_capacity(max_in * MAX_BATCH_LANES),
+            soa_out: Vec::with_capacity(max_out * MAX_BATCH_LANES),
+            kernel_scratch: Vec::new(),
             output: Vec::with_capacity(k * design.output_selector.len()),
         }
     }
 
-    /// Pulls the next `real` computations from `source` into the staged
-    /// buffer (zero-padding the garbage tail slots) and resets every slot's
-    /// history to its primary input words.
+    /// Load phase, batch level: pulls the next `real` computations from
+    /// `source` into the staged buffer (zero-padding the garbage tail
+    /// slots) and seeds every slot's history with its primary input words.
     fn stage(&mut self, design: &RtrDesign, source: &mut dyn InputSource, real: u64) {
         let in_w = design.primary_input_words as usize;
         let real_words = real as usize * in_w;
         source.read(&mut self.input[..real_words]);
         self.input[real_words..].fill(0);
-        for (slot, hist) in self.histories.iter_mut().enumerate() {
-            hist.clear();
-            hist.extend_from_slice(&self.input[slot * in_w..(slot + 1) * in_w]);
+        for (slot, hist) in self.histories.chunks_exact_mut(self.stride).enumerate() {
+            hist[..in_w].copy_from_slice(&self.input[slot * in_w..(slot + 1) * in_w]);
         }
+        self.filled = in_w;
     }
 
-    /// Pushes the first `real` slots' selected outputs into `sink`.
+    /// Store phase, batch level: pushes the first `real` slots' output
+    /// words — gathered by the last configuration's store pass in
+    /// [`execute_batch`] — into `sink`.
     fn drain(&mut self, design: &RtrDesign, sink: &mut dyn OutputSink, real: u64) {
-        self.output.clear();
-        for hist in &self.histories[..real as usize] {
-            self.output
-                .extend(design.output_selector.iter().map(|&i| hist[i as usize]));
-        }
-        sink.write(&self.output);
+        sink.write(&self.output[..real as usize * design.output_selector.len()]);
     }
 }
 
@@ -312,28 +401,198 @@ fn rtr_shape(
     Ok((computations, batches))
 }
 
-/// Runs one configuration over `k` slots: pulls each slot's selected inputs
-/// from its history, stages them through the bank blocks (bounds-checked),
-/// executes the kernel, and appends the outputs to the slot's history.
+/// Runs one configuration over all `k` slots as three fissioned passes
+/// over the contiguous batch buffers:
+///
+/// 1. **Load**: gather every slot's selected input words from the flat
+///    history into one contiguous staging vector, then blit each slot's
+///    block through the board memory in one strided write.
+/// 2. **Compute**: run the kernel over the staged input image (bit-identical
+///    to what the load phase just wrote to the bank), writing straight into
+///    the history rows — one pure pass with no board traffic interleaved.
+/// 3. **Store**: mirror each slot's fresh outputs into its board block.
+///
+/// Slot blocks are disjoint and per-slot computations independent, so the
+/// phase-major order is bit-identical to the old fused slot-major walk —
+/// while each pass runs over flat slices with zero per-slot allocation,
+/// exactly the scan/recurrence split the paper's loop fission prescribes.
+///
+/// Configurations that provide a lane-parallel [`BatchKernel`] run the
+/// three phases per chunk of [`MAX_BATCH_LANES`] lanes instead of per
+/// batch: gather the chunk slot-major (for the bank blit), transpose it to
+/// SoA rows, compute every lane at once, then scatter the outputs to the
+/// history rows and the bank. The chunk size is chosen so the whole
+/// working set — staged inputs, SoA rows, history rows and bank blocks —
+/// stays cache-resident across all three phases.
 fn execute_batch(
     bank: &mut MemoryBank,
     config: &Configuration,
-    histories: &mut [Vec<i32>],
+    bufs: &mut BatchBuffers,
+    profile: &mut PhaseProfile,
+    drain_selector: Option<&[u32]>,
 ) -> Result<(), BoardError> {
     let in_w = config.input_words();
-    for (slot, hist) in histories.iter_mut().enumerate() {
-        let base = slot as u64 * config.block_words;
-        let ins: Vec<i32> = config
+    let (iw, ow) = (in_w as usize, config.output_words as usize);
+    let (stride, filled) = (bufs.stride, bufs.filled);
+    let k = bufs.histories.len() / stride;
+    if let Some(osel) = drain_selector {
+        bufs.output.clear();
+        bufs.output.resize(k * osel.len(), 0);
+    }
+
+    if let Some(batch_kernel) = &config.batch_kernel {
+        let BatchBuffers {
+            input,
+            histories,
+            gathered,
+            soa_in,
+            soa_out,
+            kernel_scratch,
+            output,
+            ..
+        } = bufs;
+        // The primary-input region of every history row is written once by
+        // `stage` and never overwritten, so a configuration whose selector
+        // reads only primary words can gather from the denser staged input
+        // image instead of striding across the full history rows.
+        let p_iw = input.len() / k;
+        let from_primary = config
             .input_selector
             .iter()
-            .map(|&i| hist[i as usize])
-            .collect();
-        bank.write(base, &ins)?;
-        let out = (config.kernel)(bank.read(base, in_w)?);
-        debug_assert_eq!(out.len() as u64, config.output_words, "{}", config.name);
-        bank.write(base + in_w, &out)?;
-        hist.extend_from_slice(bank.read(base + in_w, config.output_words)?);
+            .all(|&sel| (sel as usize) < p_iw);
+        let mut chunk = 0usize;
+        while chunk < k {
+            let lanes = MAX_BATCH_LANES.min(k - chunk);
+
+            // Load: slot-major gather for the bank blit, then the SoA
+            // transpose the batch kernel consumes.
+            let t0 = Instant::now();
+            gathered.clear();
+            gathered.resize(lanes * iw, 0);
+            let (src, src_stride) = if from_primary {
+                (&input[chunk * p_iw..(chunk + lanes) * p_iw], p_iw)
+            } else {
+                (&histories[chunk * stride..(chunk + lanes) * stride], stride)
+            };
+            let bw = config.block_words as usize;
+            let bank_region =
+                bank.region_mut(chunk as u64 * config.block_words, (lanes * bw) as u64)?;
+            let rows = gathered
+                .chunks_exact_mut(iw)
+                .zip(bank_region.chunks_exact_mut(bw))
+                .zip(src.chunks_exact(src_stride));
+            for ((dst, block), row) in rows {
+                let mirror = &mut block[..iw];
+                let cells = dst.iter_mut().zip(mirror).zip(&config.input_selector);
+                for ((d, m), &sel) in cells {
+                    let v = row[sel as usize];
+                    *d = v;
+                    *m = v;
+                }
+            }
+            soa_in.clear();
+            soa_in.resize(iw * lanes, 0);
+            for (r, row) in soa_in.chunks_exact_mut(lanes).enumerate() {
+                for (dst, ins) in row.iter_mut().zip(gathered.chunks_exact(iw)) {
+                    *dst = ins[r];
+                }
+            }
+            profile.load_ns += ns_since(t0);
+
+            // Compute: one kernel call covers every lane in the chunk.
+            let t1 = Instant::now();
+            soa_out.clear();
+            soa_out.resize(ow * lanes, 0);
+            batch_kernel(lanes, soa_in, soa_out, kernel_scratch);
+            profile.compute_ns += ns_since(t1);
+
+            // Store: scatter the SoA outputs to the history rows and
+            // mirror them into the bank while still cache-hot.
+            let t2 = Instant::now();
+            let window = &mut histories[chunk * stride..(chunk + lanes) * stride];
+            let bank_region =
+                bank.region_mut(chunk as u64 * config.block_words, (lanes * bw) as u64)?;
+            for ((l, hist), block) in window
+                .chunks_exact_mut(stride)
+                .enumerate()
+                .zip(bank_region.chunks_exact_mut(bw))
+            {
+                let dst = &mut hist[filled..filled + ow];
+                let mirror = &mut block[iw..iw + ow];
+                let cells = dst.iter_mut().zip(mirror).zip(soa_out.chunks_exact(lanes));
+                for ((d, m), src_row) in cells {
+                    let v = src_row[l];
+                    *d = v;
+                    *m = v;
+                }
+            }
+            // This is the last configuration: gather the design's output
+            // words for the whole chunk while its rows are still hot,
+            // instead of re-streaming the histories in a separate pass.
+            if let Some(osel) = drain_selector {
+                let rows = output[chunk * osel.len()..(chunk + lanes) * osel.len()]
+                    .chunks_exact_mut(osel.len())
+                    .zip(window.chunks_exact(stride));
+                for (dst, hist) in rows {
+                    for (d, &sel) in dst.iter_mut().zip(osel) {
+                        *d = hist[sel as usize];
+                    }
+                }
+            }
+            profile.store_ns += ns_since(t2);
+            chunk += lanes;
+        }
+        bufs.filled += ow;
+        return Ok(());
     }
+
+    let t0 = Instant::now();
+    bufs.gathered.clear();
+    bufs.gathered.resize(k * iw, 0);
+    let (gathered, histories) = (&mut bufs.gathered, &bufs.histories);
+    let rows = gathered
+        .chunks_exact_mut(iw)
+        .zip(histories.chunks_exact(stride));
+    for (dst, hist) in rows {
+        for (d, &sel) in dst.iter_mut().zip(&config.input_selector) {
+            *d = hist[sel as usize];
+        }
+    }
+    bank.write_strided(0, config.block_words, iw, &bufs.gathered)?;
+    profile.load_ns += ns_since(t0);
+
+    let t1 = Instant::now();
+    let (gathered, histories) = (&bufs.gathered, &mut bufs.histories);
+    for (slot, hist) in histories.chunks_exact_mut(stride).enumerate() {
+        let ins = &gathered[slot * iw..(slot + 1) * iw];
+        (config.kernel)(ins, &mut hist[filled..filled + ow]);
+    }
+    profile.compute_ns += ns_since(t1);
+
+    // Store-all: mirror every slot's fresh outputs into its block's output
+    // region so the bank holds exactly what the board would.
+    let t2 = Instant::now();
+    bank.write_strided_from(
+        in_w,
+        config.block_words,
+        ow,
+        &bufs.histories,
+        stride,
+        filled,
+    )?;
+    if let Some(osel) = drain_selector {
+        let rows = bufs
+            .output
+            .chunks_exact_mut(osel.len())
+            .zip(bufs.histories.chunks_exact(stride));
+        for (dst, hist) in rows {
+            for (d, &sel) in dst.iter_mut().zip(osel) {
+                *d = hist[sel as usize];
+            }
+        }
+    }
+    bufs.filled += ow;
+    profile.store_ns += ns_since(t2);
     Ok(())
 }
 
@@ -367,17 +626,18 @@ impl Sequencer for FdhSequencer<'_> {
         self.design.output_words()
     }
 
-    fn run(
+    fn run_profiled(
         &self,
         source: &mut dyn InputSource,
         sink: &mut dyn OutputSink,
-    ) -> Result<TimeReport, HostError> {
+    ) -> Result<(TimeReport, PhaseProfile), HostError> {
         let (arch, design) = (self.arch, self.design);
         let (computations, batches) = rtr_shape(arch, design, source)?;
         let k = design.k;
         let dm = u128::from(arch.transfer_ns_per_word);
         let mut bank = MemoryBank::new(k * design.max_block_words());
         let mut buffers = BatchBuffers::new(design);
+        let mut profile = PhaseProfile::default();
         let mut report = TimeReport {
             computations,
             ..TimeReport::default()
@@ -389,23 +649,29 @@ impl Sequencer for FdhSequencer<'_> {
             report.exposed_transfer_ns += dm * u128::from(in_words);
             report.words_transferred += in_words;
 
+            let t0 = Instant::now();
             buffers.stage(design, source, real);
-            for config in &design.configurations {
+            profile.load_ns += ns_since(t0);
+            for (ci, config) in design.configurations.iter().enumerate() {
                 // "Load Configuration i onto FPGA."
                 report.reconfig_ns += u128::from(arch.reconfig_time_ns);
                 report.reconfigurations += 1;
                 // "Send Start Signal … Wait for Finish Signal."
-                execute_batch(&mut bank, config, &mut buffers.histories)?;
+                let drain = (ci + 1 == design.configurations.len())
+                    .then_some(design.output_selector.as_slice());
+                execute_batch(&mut bank, config, &mut buffers, &mut profile, drain)?;
                 report.compute_ns += u128::from(k * config.delay_per_computation_ns);
             }
             // "Read block j of output data from memory of Configuration N."
             let out_words = k * design.output_words();
             report.exposed_transfer_ns += dm * u128::from(out_words);
             report.words_transferred += out_words;
+            let t1 = Instant::now();
             buffers.drain(design, sink, real);
+            profile.store_ns += ns_since(t1);
         }
         report.total_ns = report.reconfig_ns + report.compute_ns + report.exposed_transfer_ns;
-        Ok(report)
+        Ok((report, profile))
     }
 }
 
@@ -446,17 +712,18 @@ impl Sequencer for IdhSequencer<'_> {
         self.design.output_words()
     }
 
-    fn run(
+    fn run_profiled(
         &self,
         source: &mut dyn InputSource,
         sink: &mut dyn OutputSink,
-    ) -> Result<TimeReport, HostError> {
+    ) -> Result<(TimeReport, PhaseProfile), HostError> {
         let (arch, design) = (self.arch, self.design);
         let (computations, batches) = rtr_shape(arch, design, source)?;
         let k = design.k;
         let dm = u128::from(arch.transfer_ns_per_word);
         let mut bank = MemoryBank::new(k * design.max_block_words());
         let mut buffers = BatchBuffers::new(design);
+        let mut profile = PhaseProfile::default();
         let mut report = TimeReport {
             computations,
             ..TimeReport::default()
@@ -471,9 +738,13 @@ impl Sequencer for IdhSequencer<'_> {
         }
         for b in 0..batches {
             let real = k.min(computations - (b * k).min(computations));
+            let t0 = Instant::now();
             buffers.stage(design, source, real);
-            for config in &design.configurations {
-                execute_batch(&mut bank, config, &mut buffers.histories)?;
+            profile.load_ns += ns_since(t0);
+            for (ci, config) in design.configurations.iter().enumerate() {
+                let drain = (ci + 1 == design.configurations.len())
+                    .then_some(design.output_selector.as_slice());
+                execute_batch(&mut bank, config, &mut buffers, &mut profile, drain)?;
                 let batch_compute = u128::from(k * config.delay_per_computation_ns);
                 let half_transfer = dm * u128::from(k * config.block_words);
                 // Steady state: while batch b computes on this
@@ -489,10 +760,12 @@ impl Sequencer for IdhSequencer<'_> {
                     (in_flight_halves * half_transfer).saturating_sub(batch_compute);
                 report.words_transferred += 2 * k * config.block_words;
             }
+            let t1 = Instant::now();
             buffers.drain(design, sink, real);
+            profile.store_ns += ns_since(t1);
         }
         report.total_ns = report.reconfig_ns + report.compute_ns + report.exposed_transfer_ns;
-        Ok(report)
+        Ok((report, profile))
     }
 }
 
@@ -551,17 +824,25 @@ mod tests {
 
     /// Two-stage pipeline: stage 1 doubles, stage 2 adds 1. 2 words in/out.
     fn two_stage(k: u64) -> RtrDesign {
-        let c1 = Configuration::new("double", 1_000, vec![0, 1], 2, |x| {
-            x.iter().map(|v| v * 2).collect()
+        let c1 = Configuration::new("double", 1_000, vec![0, 1], 2, |x, out| {
+            for (o, v) in out.iter_mut().zip(x) {
+                *o = v * 2;
+            }
         });
-        let c2 = Configuration::new("inc", 500, vec![0, 1], 2, |x| {
-            x.iter().map(|v| v + 1).collect()
+        let c2 = Configuration::new("inc", 500, vec![0, 1], 2, |x, out| {
+            for (o, v) in out.iter_mut().zip(x) {
+                *o = v + 1;
+            }
         });
         RtrDesign::linear(vec![c1, c2], k)
     }
 
     fn static_equiv() -> StaticDesign {
-        StaticDesign::new(2_000, 2, 2, |x| x.iter().map(|v| v * 2 + 1).collect())
+        StaticDesign::new(2_000, 2, 2, |x, out| {
+            for (o, v) in out.iter_mut().zip(x) {
+                *o = v * 2 + 1;
+            }
+        })
     }
 
     fn inputs(n: usize) -> Vec<i32> {
@@ -671,8 +952,12 @@ mod tests {
     fn skip_stage_dataflow_works_under_both_sequencers() {
         // DCT-like pattern: stage 2 ignores stage 1's output and reads the
         // primary input; the design output interleaves both stages.
-        let s1 = Configuration::new("s1", 100, vec![0, 1], 2, |x| vec![x[0] * 2, x[1] * 2]);
-        let s2 = Configuration::new("s2", 100, vec![0, 1], 2, |x| vec![x[0] + 1, x[1] + 1]);
+        let s1 = Configuration::new("s1", 100, vec![0, 1], 2, |x, o| {
+            o.copy_from_slice(&[x[0] * 2, x[1] * 2]);
+        });
+        let s2 = Configuration::new("s2", 100, vec![0, 1], 2, |x, o| {
+            o.copy_from_slice(&[x[0] + 1, x[1] + 1]);
+        });
         let d = RtrDesign::new(vec![s1, s2], 2, vec![2, 4, 3, 5], 2);
         let xs = vec![10, 20, 30, 40];
         let (o_fdh, _) = run_fdh(&arch(), &d, &xs).unwrap();

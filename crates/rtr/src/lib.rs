@@ -37,9 +37,10 @@ pub mod report;
 pub mod stream;
 
 pub use board::{Board, BoardError, MemoryBank};
-pub use design::{Configuration, RtrDesign, StaticDesign};
+pub use design::{BatchKernel, Configuration, Kernel, RtrDesign, StaticDesign, MAX_BATCH_LANES};
 pub use host::{
-    run_fdh, run_idh, run_static, FdhSequencer, HostError, IdhSequencer, Sequencer, StaticSequencer,
+    run_fdh, run_idh, run_static, FdhSequencer, HostError, IdhSequencer, PhaseProfile, Sequencer,
+    StaticSequencer,
 };
 pub use report::TimeReport;
 pub use stream::{CountingSink, InputSource, OutputSink, SliceSource, SyntheticSource, VecSink};

@@ -15,9 +15,9 @@
 //!   `run_*` wrapper functions are built from;
 //! * [`SyntheticSource`] — a deterministic generator for arbitrarily large
 //!   workloads (multi-GB streams at constant memory);
-//! * [`CountingSink`] — discards data but keeps a word count and an FNV-1a
-//!   digest, so huge runs can still be checked for bit-exactness against a
-//!   materialized reference.
+//! * [`CountingSink`] — discards data but keeps a word count and a
+//!   lane-fissioned FNV-1a digest, so huge runs can still be checked for
+//!   bit-exactness against a materialized reference.
 
 /// A supplier of input words for one sequencer run.
 ///
@@ -188,24 +188,39 @@ impl InputSource for SyntheticSource {
 }
 
 /// An [`OutputSink`] that stores nothing: it counts words and folds them
-/// into an FNV-1a digest, so a constant-memory run over a huge workload can
-/// still be compared bit for bit against a materialized reference
+/// into a digest, so a constant-memory run over a huge workload can still
+/// be compared bit for bit against a materialized reference
 /// ([`CountingSink::digest_of`] computes the same digest from a slice).
+///
+/// The digest is a *lane-fissioned* FNV-1a: word `i` of the stream is
+/// hashed (as its little-endian `u32` bytes) into accumulator `i mod 8`,
+/// and the eight accumulators are folded together on read. Plain FNV-1a is
+/// a single xor-multiply dependency chain — at four serial multiplies per
+/// word the sink would cap streaming throughput no matter how fast the
+/// host path got. Dealing words round-robin across eight independent
+/// chains is the same loop-fission discipline as the host's batch phases,
+/// and keeps every guarantee the tests rely on: the digest is a pure
+/// function of the word *stream* (chunking into `write` calls doesn't
+/// matter), and order still matters.
 #[derive(Debug, Clone)]
 pub struct CountingSink {
     words: u64,
-    digest: u64,
+    lanes: [u64; DIGEST_LANES],
 }
 
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// Independent FNV-1a accumulators in a [`CountingSink`] — enough to cover
+/// the four-multiply serial latency of one word's hash with independent
+/// work.
+const DIGEST_LANES: usize = 8;
 
 impl CountingSink {
     /// An empty sink.
     pub fn new() -> Self {
         CountingSink {
             words: 0,
-            digest: FNV_OFFSET,
+            lanes: [FNV_OFFSET; DIGEST_LANES],
         }
     }
 
@@ -214,10 +229,17 @@ impl CountingSink {
         self.words
     }
 
-    /// FNV-1a digest over every word accepted so far (each word hashed as
-    /// its little-endian `u32` bytes).
+    /// The lane-fissioned FNV-1a digest over every word accepted so far:
+    /// the eight per-lane accumulators, folded in lane order through one
+    /// more FNV-1a pass over their bytes.
     pub fn digest(&self) -> u64 {
-        self.digest
+        let mut d = FNV_OFFSET;
+        for lane in self.lanes {
+            for byte in lane.to_le_bytes() {
+                d = (d ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            }
+        }
+        d
     }
 
     /// The digest a [`CountingSink`] would report after accepting exactly
@@ -237,12 +259,22 @@ impl Default for CountingSink {
 
 impl OutputSink for CountingSink {
     fn write(&mut self, words: &[i32]) {
+        // Lane assignment follows the absolute word index, not the write
+        // call, so any chunking of the same stream yields the same digest.
+        let mut l = (self.words % DIGEST_LANES as u64) as usize;
         self.words += words.len() as u64;
+        let mut lanes = self.lanes;
         for &w in words {
-            for b in (w as u32).to_le_bytes() {
-                self.digest = (self.digest ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-            }
+            let w = w as u32;
+            let mut d = lanes[l];
+            d = (d ^ u64::from(w & 0xff)).wrapping_mul(FNV_PRIME);
+            d = (d ^ u64::from((w >> 8) & 0xff)).wrapping_mul(FNV_PRIME);
+            d = (d ^ u64::from((w >> 16) & 0xff)).wrapping_mul(FNV_PRIME);
+            d = (d ^ u64::from(w >> 24)).wrapping_mul(FNV_PRIME);
+            lanes[l] = d;
+            l = (l + 1) % DIGEST_LANES;
         }
+        self.lanes = lanes;
     }
 }
 

@@ -117,10 +117,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 design.partition_delays_ns[i as usize],
                 vec![0, 1],
                 2,
-                move |x: &[i32]| {
+                move |x: &[i32], out: &mut [i32]| {
                     // Stage i resumes the key schedule at round 8·i.
                     let (v0, v1) = xtea_rounds(x[0] as u32, x[1] as u32, i * 8, 8);
-                    vec![v0 as i32, v1 as i32]
+                    out.copy_from_slice(&[v0 as i32, v1 as i32]);
                 },
             )
         })

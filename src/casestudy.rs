@@ -191,49 +191,102 @@ impl DctExperiment {
                     }
                 }
             };
-            // Plan the kernel: per task, where its operands come from.
-            enum Op {
-                /// T1: coefficient row r, X column c at `input positions`.
-                T1 { r: usize, ins: [usize; 4] },
-                /// T2: coefficient row c, Y operands — each either an input
-                /// position (external) or a local index (internal).
-                T2 { c: usize, ins: [YSrc; 4] },
-            }
+            // Plan the kernel as two fissioned passes over one flat value
+            // scratch: `vals[0..in_w]` holds the selected inputs and
+            // `vals[in_w..]` the partition's local results, so every
+            // operand is a single absolute index — no per-operand source
+            // dispatch in the hot loop. T1 results never depend on other
+            // locals and T2 reads only inputs and T1 locals, so running
+            // all T1 products before all T2 products preserves dataflow.
+            /// One T1 product: `vals[dst] = coef[r] · vals[xs]`.
             #[derive(Clone, Copy)]
-            enum YSrc {
-                External(usize),
-                Internal(usize),
+            struct T1Op {
+                r: u8,
+                xs: [u8; 4],
+                dst: u8,
             }
-            let mut plan: Vec<Op> = Vec::new();
+            /// One T2 product: `vals[dst] = vals[ys] · coef[c]` (rounded).
+            #[derive(Clone, Copy)]
+            struct T2Op {
+                c: u8,
+                ys: [u8; 4],
+                dst: u8,
+            }
+            let mut t1_ops: Vec<T1Op> = Vec::new();
+            let mut t2_ops: Vec<T2Op> = Vec::new();
             let mut local_of: Vec<Option<usize>> = vec![None; self.dct.graph.task_count()];
             for (li, &t) in tasks.iter().enumerate() {
                 local_of[t.index()] = Some(li);
             }
+            // Local scratch rows, T1 results strictly before T2 results:
+            // with that ordering every op's operand rows sit strictly below
+            // its destination row, which is what lets the lane-parallel
+            // batch kernel split-borrow its scratch per op.
+            let nt1 = tasks.iter().filter(|&&t| locate(t).0).count();
+            let mut row_of: Vec<usize> = Vec::with_capacity(tasks.len());
+            let (mut t1_rank, mut t2_rank) = (0usize, 0usize);
+            for &t in &tasks {
+                if locate(t).0 {
+                    row_of.push(t1_rank);
+                    t1_rank += 1;
+                } else {
+                    row_of.push(nt1 + t2_rank);
+                    t2_rank += 1;
+                }
+            }
+            // Operand indices are planned relative to a moving `in_w`
+            // boundary; they are rebased once the selector is final.
+            /// A T2 product before rebasing: column `c`, four operands
+            /// (`Ok` = selector slot, `Err` = local T1 row), local index.
+            type PendingT2 = (usize, [Result<usize, usize>; 4], usize);
+            let mut pending_t2: Vec<PendingT2> = Vec::new();
             for &t in &tasks {
                 let (is_t1, r, c) = locate(t);
+                let li = local_of[t.index()].expect("task in partition");
                 if is_t1 {
-                    let mut ins = [0usize; 4];
-                    for (k, slot) in ins.iter_mut().enumerate() {
+                    let mut xs = [0u8; 4];
+                    for (k, slot) in xs.iter_mut().enumerate() {
                         // X[k][c] lives at history index c·4+k.
-                        *slot = push_unique(&mut selector, (c * 4 + k) as u32);
+                        *slot = push_unique(&mut selector, (c * 4 + k) as u32) as u8;
                     }
-                    plan.push(Op::T1 { r, ins });
+                    t1_ops.push(T1Op {
+                        r: r as u8,
+                        xs,
+                        dst: row_of[li] as u8,
+                    });
                 } else {
-                    let mut ins = [YSrc::Internal(0); 4];
-                    for (k, slot) in ins.iter_mut().enumerate() {
+                    let mut ys = [Ok(0usize); 4];
+                    for (k, slot) in ys.iter_mut().enumerate() {
                         let producer = t1_ids[r][k];
                         *slot = if part.partition_of(producer) == p {
-                            YSrc::Internal(
-                                local_of[producer.index()].expect("producer in partition"),
-                            )
+                            // Local: index past the input region (rebased).
+                            Err(row_of[local_of[producer.index()].expect("producer in partition")])
                         } else {
                             let hist = value_index[producer.index()]
                                 .expect("temporal order: producer already placed");
-                            YSrc::External(push_unique(&mut selector, hist))
+                            Ok(push_unique(&mut selector, hist))
                         };
                     }
-                    plan.push(Op::T2 { c, ins });
+                    pending_t2.push((c, ys, li));
                 }
+            }
+            let in_w = selector.len();
+            for op in &mut t1_ops {
+                op.dst += in_w as u8;
+            }
+            for (c, ys, li) in pending_t2 {
+                let mut abs = [0u8; 4];
+                for (k, slot) in abs.iter_mut().enumerate() {
+                    *slot = match ys[k] {
+                        Ok(ext) => ext as u8,
+                        Err(li) => (in_w + li) as u8,
+                    };
+                }
+                t2_ops.push(T2Op {
+                    c: c as u8,
+                    ys: abs,
+                    dst: (in_w + row_of[li]) as u8,
+                });
             }
             // Record this partition's outputs in the history map.
             let mut out_pos: Vec<usize> = Vec::with_capacity(outputs.len());
@@ -249,41 +302,94 @@ impl DctExperiment {
             }
 
             let delay = self.design.partition_delays_ns[p.index()];
-            let n_tasks = tasks.len();
-            let kernel = move |ins: &[i32]| -> Vec<i32> {
-                let mut locals: Vec<i32> = vec![0; n_tasks];
-                for (li, op) in plan.iter().enumerate() {
-                    locals[li] = match op {
-                        Op::T1 { r, ins: xs } => {
-                            let col = [
-                                ins[xs[0]] as i16,
-                                ins[xs[1]] as i16,
-                                ins[xs[2]] as i16,
-                                ins[xs[3]] as i16,
-                            ];
-                            t1_vector_product(&coef[*r], &col)
-                        }
-                        Op::T2 { c, ins: ys } => {
-                            let mut row = [0i32; 4];
-                            for (k, src) in ys.iter().enumerate() {
-                                row[k] = match src {
-                                    YSrc::External(pos) => ins[*pos],
-                                    YSrc::Internal(li) => locals[*li],
-                                };
-                            }
-                            t2_vector_product(&row, &coef[*c])
-                        }
-                    };
+            // ≤ 32 selected inputs plus ≤ 32 task locals fit the fixed
+            // scratch; a stack array keeps the kernel allocation-free.
+            assert!(
+                in_w + tasks.len() <= 64,
+                "DCT partition scratch exceeds 64 values"
+            );
+            let out_idx: Vec<u8> = out_pos.iter().map(|&i| (in_w + row_of[i]) as u8).collect();
+            let (t1_b, t2_b, out_b) = (t1_ops.clone(), t2_ops.clone(), out_idx.clone());
+            let kernel = move |ins: &[i32], out: &mut [i32]| {
+                let mut vals = [0i32; 64];
+                vals[..ins.len()].copy_from_slice(ins);
+                for op in &t1_ops {
+                    let col = [
+                        vals[op.xs[0] as usize] as i16,
+                        vals[op.xs[1] as usize] as i16,
+                        vals[op.xs[2] as usize] as i16,
+                        vals[op.xs[3] as usize] as i16,
+                    ];
+                    vals[op.dst as usize] = t1_vector_product(&coef[op.r as usize], &col);
                 }
-                out_pos.iter().map(|&i| locals[i]).collect()
+                for op in &t2_ops {
+                    let row = [
+                        vals[op.ys[0] as usize],
+                        vals[op.ys[1] as usize],
+                        vals[op.ys[2] as usize],
+                        vals[op.ys[3] as usize],
+                    ];
+                    vals[op.dst as usize] = t2_vector_product(&row, &coef[op.c as usize]);
+                }
+                for (o, &i) in out.iter_mut().zip(&out_idx) {
+                    *o = vals[i as usize];
+                }
             };
-            configurations.push(Configuration::new(
-                format!("{p}"),
-                delay,
-                selector,
-                outputs.len() as u64,
-                kernel,
-            ));
+            // The lane-parallel form of the same plan: each fissioned pass
+            // becomes a per-op loop over all lanes, so the four operand
+            // streams are unit-stride rows and the products autovectorize.
+            // Operand rows always sit below the destination row (see the
+            // local-row numbering above), so each op split-borrows scratch.
+            let n_rows = in_w + tasks.len();
+            let batch_kernel =
+                move |lanes: usize, ins: &[i32], outs: &mut [i32], scratch: &mut Vec<i32>| {
+                    let need = n_rows * lanes;
+                    if scratch.len() < need {
+                        scratch.resize(need, 0);
+                    }
+                    // Stale scratch contents are harmless: every row is
+                    // written (inputs copied, locals computed) before read.
+                    let vals = &mut scratch[..need];
+                    vals[..in_w * lanes].copy_from_slice(&ins[..in_w * lanes]);
+                    for op in &t1_b {
+                        let (lo, hi) = vals.split_at_mut(op.dst as usize * lanes);
+                        let x0 = &lo[op.xs[0] as usize * lanes..][..lanes];
+                        let x1 = &lo[op.xs[1] as usize * lanes..][..lanes];
+                        let x2 = &lo[op.xs[2] as usize * lanes..][..lanes];
+                        let x3 = &lo[op.xs[3] as usize * lanes..][..lanes];
+                        let row = &coef[op.r as usize];
+                        for (l, y) in hi[..lanes].iter_mut().enumerate() {
+                            let col = [x0[l] as i16, x1[l] as i16, x2[l] as i16, x3[l] as i16];
+                            *y = t1_vector_product(row, &col);
+                        }
+                    }
+                    for op in &t2_b {
+                        let (lo, hi) = vals.split_at_mut(op.dst as usize * lanes);
+                        let y0 = &lo[op.ys[0] as usize * lanes..][..lanes];
+                        let y1 = &lo[op.ys[1] as usize * lanes..][..lanes];
+                        let y2 = &lo[op.ys[2] as usize * lanes..][..lanes];
+                        let y3 = &lo[op.ys[3] as usize * lanes..][..lanes];
+                        let col = &coef[op.c as usize];
+                        for (l, z) in hi[..lanes].iter_mut().enumerate() {
+                            let row = [y0[l], y1[l], y2[l], y3[l]];
+                            *z = t2_vector_product(&row, col);
+                        }
+                    }
+                    for (o, &row) in out_b.iter().enumerate() {
+                        outs[o * lanes..(o + 1) * lanes]
+                            .copy_from_slice(&vals[row as usize * lanes..][..lanes]);
+                    }
+                };
+            configurations.push(
+                Configuration::new(
+                    format!("{p}"),
+                    delay,
+                    selector,
+                    outputs.len() as u64,
+                    kernel,
+                )
+                .with_batch_kernel(batch_kernel),
+            );
         }
         // Design output: Z row-major.
         let mut out_sel = Vec::with_capacity(16);
@@ -298,7 +404,7 @@ impl DctExperiment {
     /// The static baseline: the whole DCT in one configuration
     /// (160 cycles at 100 ns in the paper).
     pub fn static_design(&self) -> StaticDesign {
-        StaticDesign::new(paper::STATIC_DELAY_NS, 16, 16, |ins| {
+        StaticDesign::new(paper::STATIC_DELAY_NS, 16, 16, |ins, out| {
             // Input is column-major X; the reference wants rows.
             let mut x = [[0i16; 4]; 4];
             for c in 0..4 {
@@ -307,7 +413,9 @@ impl DctExperiment {
                 }
             }
             let z = sparcs_jpeg::fixed::forward_fixed(&x);
-            z.iter().flatten().copied().collect()
+            for (o, v) in out.iter_mut().zip(z.iter().flatten()) {
+                *o = *v;
+            }
         })
     }
 

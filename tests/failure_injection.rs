@@ -72,7 +72,7 @@ fn fission_rejects_blocks_larger_than_memory() {
 
 #[test]
 fn sequencers_reject_bad_input_shapes_and_budgets() {
-    let c = Configuration::new("id", 100, vec![0, 1, 2], 3, |x| x.to_vec());
+    let c = Configuration::new("id", 100, vec![0, 1, 2], 3, |x, o| o.copy_from_slice(x));
     let d = RtrDesign::linear(vec![c], 8);
     let dev = arch(1_600, 10); // 8 × 6-word blocks > 10 words
     assert!(matches!(
@@ -89,7 +89,7 @@ fn sequencers_reject_bad_input_shapes_and_budgets() {
             expected_multiple: 3
         }
     );
-    let s = StaticDesign::new(100, 4, 4, |x| x.to_vec());
+    let s = StaticDesign::new(100, 4, 4, |x, o| o.copy_from_slice(x));
     assert!(matches!(
         run_static(&arch(1_600, 6), &s, &[0; 8]),
         Err(HostError::MemoryBudget { .. })
@@ -98,7 +98,7 @@ fn sequencers_reject_bad_input_shapes_and_budgets() {
 
 #[test]
 fn empty_input_streams_are_ok() {
-    let c = Configuration::new("id", 100, vec![0], 1, |x| x.to_vec());
+    let c = Configuration::new("id", 100, vec![0], 1, |x, o| o.copy_from_slice(x));
     let d = RtrDesign::linear(vec![c], 4);
     let dev = arch(1_600, 1_000);
     // Zero computations still execute one (padded) batch — the hardware
@@ -109,12 +109,16 @@ fn empty_input_streams_are_ok() {
 }
 
 #[test]
-#[cfg(debug_assertions)]
-#[should_panic(expected = "kernel width")]
-fn kernels_with_wrong_output_width_are_caught() {
-    let c = Configuration::new("bad", 100, vec![0], 2, |x| x.to_vec()); // 1 word out, claims 2
+fn kernel_width_is_enforced_by_construction() {
+    // The out-parameter kernel contract makes a wrong-width result
+    // unrepresentable: the kernel always receives exactly `output_words`
+    // slots, no matter what it would have "returned" under the old API.
+    let c = Configuration::new("w", 100, vec![0], 2, |x, out| {
+        assert_eq!(out.len(), 2, "kernel sees its declared width");
+        out.fill(x[0]);
+    });
     let d = RtrDesign::linear(vec![c], 1);
-    let _ = d.compute_one(&[1]);
+    assert_eq!(d.compute_one(&[7]), vec![7, 7]);
 }
 
 #[test]

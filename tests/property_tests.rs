@@ -131,7 +131,11 @@ proptest! {
                     rng.gen_range(100u64..2_000),
                     (0..words as u32).collect(),
                     words,
-                    move |x: &[i32]| x.iter().map(|v| v * mul + add).collect(),
+                    move |x: &[i32], out: &mut [i32]| {
+                        for (o, v) in out.iter_mut().zip(x) {
+                            *o = v * mul + add;
+                        }
+                    },
                 )
             })
             .collect();
@@ -148,7 +152,7 @@ proptest! {
             design.delay_per_computation_ns(),
             words,
             design.output_words(),
-            move |x: &[i32]| pipeline.compute_one(x),
+            move |x: &[i32], out: &mut [i32]| out.copy_from_slice(&pipeline.compute_one(x)),
         );
         let (o_static, t_static) = run_static(&dev, &monolith, &inputs).expect("static runs");
         prop_assert_eq!(&o_fdh, &o_static);

@@ -80,7 +80,11 @@ proptest! {
                     rng.gen_range(100u64..2_000),
                     (0..words as u32).collect(),
                     words,
-                    move |x: &[i32]| x.iter().map(|v| v * mul + add).collect(),
+                    move |x: &[i32], out: &mut [i32]| {
+                        for (o, v) in out.iter_mut().zip(x) {
+                            *o = v * mul + add;
+                        }
+                    },
                 )
             })
             .collect();
@@ -92,17 +96,105 @@ proptest! {
         let monolith = design.to_static();
         assert_streamed_equals_materialized(&StaticSequencer::new(&dev, &monolith), comps)?;
     }
+
+    /// A design whose configurations carry lane-parallel batch kernels is
+    /// output- and digest-identical to the same design running its scalar
+    /// kernels slot-at-a-time — the fissioned compute-all phase must be
+    /// invisible to the sink on random pipelines and random batch shapes.
+    #[test]
+    fn batch_kernels_are_digest_identical_to_scalar(
+        seed in 0u64..500,
+        stages in 1usize..4,
+        words in 1u64..4,
+        k in 1u64..70, // past MAX_BATCH_LANES so multi-chunk batches occur
+        comps in 0u64..150,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut scalar_cfgs = Vec::new();
+        let mut batch_cfgs = Vec::new();
+        for i in 0..stages {
+            let mul = rng.gen_range(-3i32..=3);
+            let add = rng.gen_range(-5i32..=5);
+            let delay = rng.gen_range(100u64..2_000);
+            let make_scalar = move || {
+                move |x: &[i32], out: &mut [i32]| {
+                    for (o, v) in out.iter_mut().zip(x) {
+                        *o = v * mul + add;
+                    }
+                }
+            };
+            scalar_cfgs.push(Configuration::new(
+                format!("s{i}"),
+                delay,
+                (0..words as u32).collect(),
+                words,
+                make_scalar(),
+            ));
+            batch_cfgs.push(
+                Configuration::new(
+                    format!("s{i}"),
+                    delay,
+                    (0..words as u32).collect(),
+                    words,
+                    make_scalar(),
+                )
+                // Word-major SoA: row r of `ins`/`outs` holds word r for
+                // every lane of the chunk.
+                .with_batch_kernel(move |lanes, ins: &[i32], outs: &mut [i32], _scratch| {
+                    for r in 0..words as usize {
+                        for l in 0..lanes {
+                            outs[r * lanes + l] = ins[r * lanes + l] * mul + add;
+                        }
+                    }
+                }),
+            );
+        }
+        let scalar_design = RtrDesign::linear(scalar_cfgs, k);
+        let batch_design = RtrDesign::linear(batch_cfgs, k);
+        let dev = Architecture::xc4044_wildforce();
+        for (mk_scalar, mk_batch) in [
+            (
+                &FdhSequencer::new(&dev, &scalar_design) as &dyn Sequencer,
+                &FdhSequencer::new(&dev, &batch_design) as &dyn Sequencer,
+            ),
+            (
+                &IdhSequencer::new(&dev, &scalar_design),
+                &IdhSequencer::new(&dev, &batch_design),
+            ),
+        ] {
+            let mut scalar_sink = VecSink::new();
+            let scalar_report = mk_scalar
+                .run(&mut SyntheticSource::new(comps, words), &mut scalar_sink)
+                .expect("scalar run succeeds");
+            let mut batch_sink = VecSink::new();
+            let batch_report = mk_batch
+                .run(&mut SyntheticSource::new(comps, words), &mut batch_sink)
+                .expect("batch run succeeds");
+            prop_assert_eq!(&batch_report, &scalar_report, "{} report", mk_batch.name());
+            prop_assert_eq!(batch_sink.data(), scalar_sink.data(), "{} output", mk_batch.name());
+            let mut counted = CountingSink::new();
+            mk_batch
+                .run(&mut SyntheticSource::new(comps, words), &mut counted)
+                .expect("batch counted run succeeds");
+            prop_assert_eq!(counted.digest(), CountingSink::digest_of(scalar_sink.data()));
+        }
+    }
 }
 
 /// The non-multiple-of-`k` tail: one full batch plus a partial one whose
 /// garbage slots must never reach the sink, under both RTR sequencers.
 #[test]
 fn tail_slots_are_dropped_by_the_streamed_drivers() {
-    let c1 = Configuration::new("x3", 700, vec![0, 1], 2, |x| {
-        x.iter().map(|v| v * 3).collect()
+    let c1 = Configuration::new("x3", 700, vec![0, 1], 2, |x, out| {
+        for (o, v) in out.iter_mut().zip(x) {
+            *o = v * 3;
+        }
     });
-    let c2 = Configuration::new("minus1", 300, vec![0, 1], 2, |x| {
-        x.iter().map(|v| v - 1).collect()
+    let c2 = Configuration::new("minus1", 300, vec![0, 1], 2, |x, out| {
+        for (o, v) in out.iter_mut().zip(x) {
+            *o = v - 1;
+        }
     });
     let design = RtrDesign::linear(vec![c1, c2], 4);
     let dev = Architecture::xc4044_wildforce();
