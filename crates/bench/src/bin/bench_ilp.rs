@@ -152,6 +152,18 @@ fn main() {
             match solve(&pm.model, &SolveOptions::default()) {
                 Ok(sol) => {
                     let wall = t0.elapsed().as_secs_f64();
+                    // Certify before recording: a benchmark number for a
+                    // solution that violates its own model is worthless.
+                    let diags = sparcs_audit::audit_solution(&pm.model, &sol);
+                    assert!(
+                        diags.is_empty(),
+                        "N={n}: solver output failed independent certification:\n{}",
+                        diags
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    );
                     let record = SolveRecord {
                         n,
                         vars: pm.model.var_count(),

@@ -13,9 +13,11 @@
 
 use serde::Serialize;
 use sparcs_bench::experiment;
+use sparcs_core::partitioning::MemoryMode;
+use sparcs_core::SequencingStrategy;
 use sparcs_rtr::{
     CountingSink, FdhSequencer, IdhSequencer, InputSource, PhaseProfile, Sequencer,
-    SyntheticSource, VecSink,
+    SyntheticSource, TimeReport, VecSink,
 };
 use std::time::Instant;
 
@@ -50,14 +52,46 @@ struct StreamingTrajectory {
     digests_match: bool,
 }
 
-fn time_streamed(seq: &dyn Sequencer, computations: u64, in_w: u64) -> (f64, u64, PhaseProfile) {
+fn time_streamed(
+    seq: &dyn Sequencer,
+    computations: u64,
+    in_w: u64,
+) -> (f64, u64, PhaseProfile, TimeReport) {
     let mut source = SyntheticSource::new(computations, in_w);
     let mut sink = CountingSink::new();
     let t0 = Instant::now();
-    let (_, profile) = seq
+    let (report, profile) = seq
         .run_profiled(&mut source, &mut sink)
         .expect("streamed run");
-    (t0.elapsed().as_secs_f64(), sink.digest(), profile)
+    (t0.elapsed().as_secs_f64(), sink.digest(), profile, report)
+}
+
+/// Certifies one lane's [`TimeReport`] against the §4 FDH/IDH formulas;
+/// a benchmark row whose report the auditor rejects is worthless.
+fn certify_report(
+    exp: &sparcs::casestudy::DctExperiment,
+    strategy: SequencingStrategy,
+    computations: u64,
+    report: &TimeReport,
+    lane: &str,
+) {
+    let diags = sparcs::audit::audit_time_report(
+        &exp.dct.graph,
+        &exp.design.partitioning,
+        &exp.fission,
+        strategy,
+        computations,
+        report,
+    );
+    assert!(
+        diags.is_empty(),
+        "{lane}: time report failed independent certification:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
 
 fn main() {
@@ -66,6 +100,27 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1 << 20); // 1,048,576 ≥ 10⁶, 512 batches of k = 2048
     let exp = experiment();
+
+    // Certify the partitioned design and its fission analysis before any
+    // timing: every number this binary reports derives from them.
+    let mut diags =
+        sparcs::audit::audit_design(&exp.dct.graph, &exp.arch, &exp.design, MemoryMode::Net);
+    diags.extend(sparcs::audit::audit_fission(
+        &exp.dct.graph,
+        &exp.design.partitioning,
+        &exp.fission,
+        &exp.arch,
+    ));
+    assert!(
+        diags.is_empty(),
+        "DCT design failed independent certification:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
     let design = exp.rtr_design();
     let in_w = design.primary_input_words;
     let stream_words = computations * (in_w + design.output_words());
@@ -78,7 +133,14 @@ fn main() {
     let mut idh_digest = 0u64;
     let mut idh_profile = PhaseProfile::default();
     for _ in 0..3 {
-        let (wall, digest, profile) = time_streamed(&idh, computations, in_w);
+        let (wall, digest, profile, report) = time_streamed(&idh, computations, in_w);
+        certify_report(
+            &exp,
+            SequencingStrategy::Idh,
+            computations,
+            &report,
+            "IDH streamed",
+        );
         println!(
             "IDH streamed: {:.1} ms, {:.3e} words/sec (load {:.1} / compute {:.1} / store {:.1} ms)",
             wall * 1e3,
@@ -105,7 +167,14 @@ fn main() {
     });
     let idh_best = best;
 
-    let (fdh_wall, fdh_digest, fdh_profile) = time_streamed(&fdh, computations, in_w);
+    let (fdh_wall, fdh_digest, fdh_profile, fdh_report) = time_streamed(&fdh, computations, in_w);
+    certify_report(
+        &exp,
+        SequencingStrategy::Fdh,
+        computations,
+        &fdh_report,
+        "FDH streamed",
+    );
     println!(
         "FDH streamed: {:.1} ms, {:.3e} words/sec",
         fdh_wall * 1e3,
@@ -128,10 +197,17 @@ fn main() {
     let t0 = Instant::now();
     let mut source = sparcs_rtr::SliceSource::new(&materialized);
     let mut sink = VecSink::new();
-    let (_, mat_profile) = idh
+    let (mat_report, mat_profile) = idh
         .run_profiled(&mut source, &mut sink)
         .expect("materialized run");
     let mat_wall = t0.elapsed().as_secs_f64();
+    certify_report(
+        &exp,
+        SequencingStrategy::Idh,
+        computations,
+        &mat_report,
+        "IDH materialized",
+    );
     let mat_digest = CountingSink::digest_of(sink.data());
     println!(
         "IDH materialized: {:.1} ms, {:.3e} words/sec",

@@ -112,6 +112,8 @@ impl EstimateCache {
         if let Some(hit) = self.lookup(&key) {
             return Ok(hit);
         }
+        // relaxed-ok: standalone statistics counter — nothing reads it to
+        // make a decision, and fetch_add keeps the count itself exact.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = estimate()?;
         let mut map = self.map.lock().expect("estimate cache lock");
@@ -122,6 +124,7 @@ impl EstimateCache {
         let map = self.map.lock().expect("estimate cache lock");
         let hit = map.get(key).copied();
         if hit.is_some() {
+            // relaxed-ok: statistics counter, no ordering dependency.
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         hit
@@ -140,8 +143,11 @@ impl EstimateCache {
     /// Hit/miss counters so far.
     pub fn stats(&self) -> EstimateCacheStats {
         EstimateCacheStats {
+            // relaxed-ok: advisory snapshot of statistics counters; the two
+            // loads need no mutual ordering — a momentarily torn hit/miss
+            // pair is fine for reporting.
             hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed), // relaxed-ok: see above
         }
     }
 

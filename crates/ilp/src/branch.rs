@@ -77,6 +77,11 @@ impl CancelToken {
     /// Requests cancellation of this token (and every child derived from
     /// it). Irrevocable.
     pub fn cancel(&self) {
+        // relaxed-ok: the flag is monotonic (false→true, never back) and
+        // carries no payload — no other memory is published with it, so
+        // observers need only *eventually* see the store, which every
+        // ordering guarantees. Checked exhaustively by the interleaving
+        // models in crates/ilp/tests/interleavings.rs.
         self.inner.flag.store(true, Ordering::Relaxed);
     }
 
@@ -84,6 +89,8 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         let mut cur = Some(self);
         while let Some(token) = cur {
+            // relaxed-ok: polling a monotonic flag; a stale `false` only
+            // delays a cooperative stop by one more poll, never loses it.
             if token.inner.flag.load(Ordering::Relaxed) {
                 return true;
             }
@@ -341,9 +348,17 @@ impl AtomicF64 {
         AtomicF64(std::sync::atomic::AtomicU64::new(v.to_bits()))
     }
     fn get(&self) -> f64 {
+        // relaxed-ok: advisory pruning bound. The true incumbent lives
+        // under `Shared::incumbent`'s mutex; this mirror is only ever set
+        // *while holding that lock* (offer_incumbent), so it can lag worse
+        // than the truth but never advertise better — a stale read merely
+        // prunes less. Checked exhaustively by the interleaving models in
+        // crates/ilp/tests/interleavings.rs.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
     fn set(&self, v: f64) {
+        // relaxed-ok: see `get` — writes are serialized by the incumbent
+        // mutex, and readers tolerate staleness by construction.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 }
@@ -395,6 +410,10 @@ impl<'a> Shared<'a> {
     /// queue, so the caller can report the proven optimality gap. `flag`
     /// names the reason (node budget vs. cancellation).
     fn abort_search(&self, flag: &AtomicBool) {
+        // relaxed-ok: the swap only elects *one* caller to record the stop
+        // bound (atomicity does that alone); the state it publishes —
+        // frontier bound, aborted flag, drained heap — travels under the
+        // queue mutex acquired right after, not through this flag.
         if !flag.swap(true, Ordering::Relaxed) {
             let mut q = self.queue.lock().expect("queue lock");
             if !q.aborted {
@@ -419,8 +438,11 @@ impl<'a> Shared<'a> {
             self.abort_search(&self.cancel_hit);
             return false;
         }
+        // relaxed-ok: budget counter — fetch_add's atomicity alone makes
+        // slot claims exact; no other memory is published through it.
         let n = self.nodes.fetch_add(1, Ordering::Relaxed);
         if n >= self.opts.max_nodes {
+            // relaxed-ok: undoing this thread's own over-claim above.
             self.nodes.fetch_sub(1, Ordering::Relaxed);
             self.abort_search(&self.node_limit_hit);
             false
@@ -590,9 +612,12 @@ pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError>
     if let Some(e) = shared.error.lock().expect("error lock").take() {
         return Err(e);
     }
+    // relaxed-ok: read after every worker has been joined by the scoped
+    // pool above — the join is a synchronization point, so this and the two
+    // loads below see the final values regardless of the load ordering.
     let nodes = shared.nodes.load(Ordering::Relaxed);
-    let hit_limit = shared.node_limit_hit.load(Ordering::Relaxed);
-    let hit_cancel = shared.cancel_hit.load(Ordering::Relaxed);
+    let hit_limit = shared.node_limit_hit.load(Ordering::Relaxed); // relaxed-ok: post-join
+    let hit_cancel = shared.cancel_hit.load(Ordering::Relaxed); // relaxed-ok: post-join
     let stop_bound = shared.stop_bound.lock().expect("bound lock").take();
     let best = shared.incumbent.lock().expect("incumbent lock").take();
     match best {

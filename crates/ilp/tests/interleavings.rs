@@ -1,0 +1,292 @@
+//! Exhaustive interleaving checks for the three lock-free protocols the
+//! workspace's concurrency rests on, modeled over the `interleave`
+//! deterministic explorer (every schedule up to the preemption bound is
+//! executed, so a passing test is a proof over that space, not a lucky
+//! run):
+//!
+//! 1. **Cancellation chaining** (`branch.rs` `CancelToken`): a relaxed
+//!    store into a parent flag must be observed by every child checking
+//!    the ancestor chain after joining the canceller, and cancellation is
+//!    monotonic — once observed, never unobserved.
+//! 2. **Incumbent publication** (`branch.rs` `Shared::offer_incumbent`):
+//!    the mutex-guarded best solution and its atomically mirrored pruning
+//!    key can never end in a state where the mirror advertises a better
+//!    key than the actual incumbent (a stale mirror may only be *worse*,
+//!    which merely prunes less).
+//! 3. **Portfolio first-winner** (`strategy.rs` `Portfolio::partition`):
+//!    slot-per-entry collection makes the winner a pure function of the
+//!    outcome slots, so it is identical across all schedules, and the
+//!    decisive racer's cancel is visible to every loser that checks after
+//!    the winner published.
+//!
+//! The models rebuild each protocol skeleton from `interleave` shims —
+//! same operations, same orderings (`Relaxed` everywhere, as in
+//! production) — rather than linking the production types, because the
+//! production atomics are real `std` atomics the explorer cannot
+//! schedule. Each model is annotated with the production lines it
+//! mirrors.
+
+use interleave::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+use interleave::sync::Mutex;
+use interleave::{thread, Builder, Ordering};
+use std::sync::Arc;
+
+/// Model of `CancelToken`: a parent flag plus per-child flags, with
+/// `is_cancelled` walking the ancestor chain exactly like
+/// `branch.rs::CancelToken::is_cancelled`.
+struct TokenModel {
+    flag: AtomicBool,
+    parent: Option<Arc<TokenModel>>,
+}
+
+impl TokenModel {
+    fn root() -> Arc<Self> {
+        Arc::new(TokenModel {
+            flag: AtomicBool::new(false),
+            parent: None,
+        })
+    }
+
+    fn child(self: &Arc<Self>) -> Arc<Self> {
+        Arc::new(TokenModel {
+            flag: AtomicBool::new(false),
+            parent: Some(Arc::clone(self)),
+        })
+    }
+
+    fn cancel(&self) {
+        // branch.rs:80 — a single relaxed store.
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    fn is_cancelled(&self) -> bool {
+        // branch.rs:84-93 — walk the ancestor chain.
+        let mut cur = Some(self);
+        while let Some(t) = cur {
+            if t.flag.load(Ordering::Relaxed) {
+                return true;
+            }
+            cur = t.parent.as_deref();
+        }
+        false
+    }
+}
+
+/// No lost cancellation: after joining the thread that cancelled the
+/// *parent*, both children must observe cancellation through the chain —
+/// in every interleaving of the canceller with two concurrently polling
+/// workers.
+#[test]
+fn cancel_token_chain_never_loses_a_cancellation() {
+    let report = Builder::new().max_preemptions(2).check(|| {
+        let root = TokenModel::root();
+        let (a, b) = (root.child(), root.child());
+
+        // Two workers poll their own tokens (as B&B workers do between
+        // node relaxations) and remember the last thing they saw.
+        let wa = {
+            let a = Arc::clone(&a);
+            thread::spawn(move || a.is_cancelled())
+        };
+        let canceller = {
+            let root = Arc::clone(&root);
+            thread::spawn(move || root.cancel())
+        };
+        let wb = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || b.is_cancelled())
+        };
+
+        let seen_a = wa.join();
+        let seen_b = wb.join();
+        canceller.join();
+
+        // Concurrent polls may legitimately race the cancel either way…
+        let _ = (seen_a, seen_b);
+        // …but after the canceller is joined, the chain MUST report
+        // cancelled — this is the lost-cancellation case the relaxed
+        // store must not permit.
+        assert!(a.is_cancelled(), "child A lost the parent cancellation");
+        assert!(b.is_cancelled(), "child B lost the parent cancellation");
+        assert!(root.is_cancelled());
+    });
+    assert!(report.exhaustive, "exploration hit a cap");
+}
+
+/// Cancellation is monotonic: once any poll of a token observes
+/// cancelled, every later poll of the same token observes it too, in
+/// every schedule.
+#[test]
+fn cancel_token_is_monotonic() {
+    let report = Builder::new().max_preemptions(2).check(|| {
+        let root = TokenModel::root();
+        let child = root.child();
+
+        let canceller = {
+            let root = Arc::clone(&root);
+            thread::spawn(move || root.cancel())
+        };
+        let poller = {
+            let child = Arc::clone(&child);
+            thread::spawn(move || {
+                let first = child.is_cancelled();
+                let second = child.is_cancelled();
+                (first, second)
+            })
+        };
+
+        let (first, second) = poller.join();
+        canceller.join();
+        assert!(
+            !first || second,
+            "cancellation went backwards: observed then unobserved"
+        );
+    });
+    assert!(report.exhaustive, "exploration hit a cap");
+}
+
+/// Model of `Shared::offer_incumbent` (branch.rs:357-367): the true
+/// incumbent lives under a mutex; `incumbent_key` is a relaxed-mirrored
+/// copy used for cheap pruning. Keys are modeled as `u64` (the production
+/// key is an `f64` through `AtomicF64` bit transmutation; the ordering
+/// argument is identical). Smaller = better, matching minimization.
+struct IncumbentModel {
+    incumbent: Mutex<Option<u64>>,
+    mirror: AtomicU64,
+}
+
+impl IncumbentModel {
+    fn new() -> Self {
+        IncumbentModel {
+            incumbent: Mutex::new(None),
+            mirror: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// branch.rs:357-367 — improvement test and mirror store both happen
+    /// under the incumbent lock.
+    fn offer(&self, key: u64) -> bool {
+        let mut guard = self.incumbent.lock();
+        let improves = guard.is_none_or(|cur| key < cur);
+        if improves {
+            *guard = Some(key);
+            self.mirror.store(key, Ordering::Relaxed);
+        }
+        improves
+    }
+}
+
+/// No stale-incumbent publication: whatever interleaving the offering
+/// workers run in, the search can never end with the mirror advertising a
+/// *better* (smaller) key than the true incumbent — that would prune
+/// nodes that could still improve the real solution. (The mirror may
+/// transiently lag worse; that is safe, it only prunes less.) Also pins
+/// the end state: with all offers in, the incumbent must be the best
+/// offer and the mirror must agree exactly.
+#[test]
+fn incumbent_mirror_never_advertises_better_than_truth() {
+    let report = Builder::new().max_preemptions(2).check(|| {
+        let shared = Arc::new(IncumbentModel::new());
+        let offers = [30u64, 10, 20];
+        let handles: Vec<_> = offers
+            .iter()
+            .map(|&key| {
+                let s = Arc::clone(&shared);
+                thread::spawn(move || s.offer(key))
+            })
+            .collect();
+        let improved: Vec<bool> = handles.into_iter().map(|h| h.join()).collect();
+
+        let truth = (*shared.incumbent.lock()).expect("incumbent present after offers");
+        let mirror = shared.mirror.load(Ordering::Relaxed);
+        assert_eq!(truth, 10, "incumbent must end at the best offer");
+        assert_eq!(mirror, truth, "mirror must settle exactly on the truth");
+        // The best offer always reports improvement; exactly how many
+        // others do depends on the schedule, but at least one must.
+        assert!(improved.iter().any(|&b| b), "some offer must improve");
+    });
+    assert!(report.exhaustive, "exploration hit a cap");
+}
+
+/// Model of the portfolio race (strategy.rs:375-427): racers write their
+/// outcomes into per-entry slots, the decisive racer cancels the race on
+/// success, and the winner is selected from the slots *after* all racers
+/// are joined. The decisive entry is slot 0, as in `Portfolio::standard`.
+#[test]
+fn portfolio_picks_a_deterministic_winner_and_cancels_losers() {
+    // Collect the winner of every schedule; they must all agree.
+    let winners = Arc::new(std::sync::Mutex::new(std::collections::BTreeSet::new()));
+    let sink = Arc::clone(&winners);
+    let report = Builder::new().max_preemptions(2).check(move || {
+        let stop = TokenModel::root();
+        // Slot-per-entry outcome collection (scoped_map in strategy.rs):
+        // index = entry position, value = latency key or None (cancelled
+        // racer with nothing to hand in).
+        let slots: Arc<Vec<Mutex<Option<u64>>>> =
+            Arc::new(vec![Mutex::new(None), Mutex::new(None), Mutex::new(None)]);
+        // How many losers saw the cancel before finishing (≥ 0; all of
+        // them if the decisive racer ran first).
+        let observed_cancel = Arc::new(AtomicUsize::new(0));
+
+        // Decisive racer: proves optimality at key 100, cancels the race
+        // (strategy.rs:380-386).
+        let decisive = {
+            let stop = Arc::clone(&stop);
+            let slots = Arc::clone(&slots);
+            thread::spawn(move || {
+                *slots[0].lock() = Some(100);
+                stop.cancel();
+            })
+        };
+        // Cooperative losers: poll the race token; when cancelled they
+        // still hand in their best-so-far (here: a worse key), matching
+        // "cancelled cooperative racers still hand in their best-so-far
+        // designs".
+        let losers: Vec<_> = [(1usize, 150u64), (2, 120)]
+            .into_iter()
+            .map(|(slot, key)| {
+                let stop = stop.child();
+                let slots = Arc::clone(&slots);
+                let observed = Arc::clone(&observed_cancel);
+                thread::spawn(move || {
+                    if stop.is_cancelled() {
+                        observed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    *slots[slot].lock() = Some(key);
+                })
+            })
+            .collect();
+
+        decisive.join();
+        for h in losers {
+            h.join();
+        }
+        // After the decisive join, the cancel must be visible to any
+        // fresh poll — no lost first-winner cancellation.
+        assert!(stop.is_cancelled());
+
+        // Winner selection is a pure fold over the slots in entry order
+        // (strategy.rs:389-416): smallest key wins, ties to the earliest
+        // slot.
+        let mut winner: Option<(u64, usize)> = None;
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some(key) = *slot.lock() {
+                if winner.is_none_or(|(k, _)| key < k) {
+                    winner = Some((key, i));
+                }
+            }
+        }
+        let (key, slot) = winner.map_or((u64::MAX, usize::MAX), |w| w);
+        if let Ok(mut set) = sink.lock() {
+            set.insert((key, slot));
+        }
+        assert_eq!(
+            (key, slot),
+            (100, 0),
+            "decisive optimum must win in every schedule"
+        );
+    });
+    assert!(report.exhaustive, "exploration hit a cap");
+    let set = winners.lock().expect("winner collector intact");
+    assert_eq!(set.len(), 1, "winner differed across schedules: {set:?}");
+}

@@ -7,6 +7,7 @@
 //! sparcs explore   <graph.tg> [flow options] [--workload N[,N...]]
 //! sparcs run       <graph.tg> [flow options] [--seq static|fdh|idh]
 //!                             [--workload I] [--synthetic]
+//! sparcs audit     <graph.tg> [flow options] [--json]   # alias: lint
 //! sparcs dot       <graph.tg>                 # Graphviz, partition-clustered
 //! sparcs example                              # print a sample graph file
 //! ```
@@ -25,8 +26,15 @@
 //! only counted/digested on the way out, so host memory stays bounded by
 //! the batch geometry no matter how large `I` is; without it, input words
 //! are read from stdin and output words stream to stdout.
+//!
+//! `audit` (alias `lint`) runs the synthesized design through the
+//! independent certifier ([`sparcs::audit`]): the partitioning, every
+//! number the partitioner reported, and the fission analysis are
+//! re-derived from first principles and every disagreement is printed as
+//! a diagnostic (`--json` for one JSON object per line). Exit status is
+//! nonzero when any diagnostic — error or warning — is found.
 
-use sparcs::core::fission::{BlockRounding, SequencingStrategy};
+use sparcs::core::fission::{BlockRounding, FissionAnalysis, SequencingStrategy};
 use sparcs::core::model::ModelConfig;
 use sparcs::core::partitioning::MemoryMode;
 use sparcs::core::search::SearchCtx;
@@ -57,6 +65,7 @@ struct Flags {
     max_partitions: Vec<u32>,
     archs: Vec<ArchPreset>,
     ilp_stats: bool,
+    json: bool,
 }
 
 impl Flags {
@@ -123,7 +132,7 @@ impl CliError {
 }
 
 fn usage() -> &'static str {
-    "usage: sparcs <partition|fission|codegen|explore|run|dot|example> [graph.tg] [options]\n\
+    "usage: sparcs <partition|fission|codegen|explore|run|audit|dot|example> [graph.tg] [options]\n\
      options: --clbs N  --memory WORDS  --ct NS  --dm NS  --pow2  --edge-memory\n\
               --inputs I  --workload N[,N...] (explore ranks every entry)\n\
               --strategy fdh|idh\n\
@@ -136,6 +145,9 @@ fn usage() -> &'static str {
               --jobs N (explore workers / partition tree-search threads;\n\
                         rankings and proven optima are identical for any N)\n\
               --ilp-stats (print solver nodes/pivots/cold-solves/wall time)\n\
+              --json (audit: one JSON diagnostic per line)\n\
+     `audit` (alias `lint`) re-derives the synthesized design's legality\n\
+     with the independent certifier and reports every disagreement\n\
      run `sparcs example` for a sample graph file"
 }
 
@@ -159,6 +171,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         max_partitions: Vec::new(),
         archs: Vec::new(),
         ilp_stats: false,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -189,6 +202,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             }
             "--pow2" => f.pow2 = true,
             "--ilp-stats" => f.ilp_stats = true,
+            "--json" => f.json = true,
             "--edge-memory" => f.edge_memory = true,
             "--synthetic" => f.synthetic = true,
             "--seq" => {
@@ -542,6 +556,66 @@ fn real_main() -> Result<(), CliError> {
             println!("{}", analyzed.host_code(strategy));
         }
         "run" => run_command(&f)?,
+        "audit" | "lint" => {
+            let s = session(&f)?;
+            let strategy = strategy_of(&f, false)?;
+            // Deliberately bypass the flow's certification gate (which would
+            // convert error-class findings into a FlowError before they can
+            // be listed): partition raw, then report everything the
+            // certifier has to say about what the strategy returned.
+            let design = strategy
+                .partition(s.context(), &search_ctx(&f))
+                .map_err(CliError::runtime)?;
+            let mode = strategy.memory_mode();
+            let mut diags = sparcs::audit::audit_design(s.graph(), s.arch(), &design, mode);
+            let rounding = if f.pow2 {
+                BlockRounding::PowerOfTwo
+            } else {
+                BlockRounding::Exact
+            };
+            match FissionAnalysis::analyze(
+                s.graph(),
+                &design.partitioning,
+                &design.partition_delays_ns,
+                s.arch(),
+                rounding,
+            ) {
+                Ok(fission) => diags.extend(sparcs::audit::audit_fission(
+                    s.graph(),
+                    &design.partitioning,
+                    &fission,
+                    s.arch(),
+                )),
+                Err(e) => {
+                    eprintln!("note: fission analysis unavailable ({e}); design-level audit only")
+                }
+            }
+            if f.json {
+                for d in &diags {
+                    println!("{}", d.to_json());
+                }
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+            }
+            if diags.is_empty() {
+                println!(
+                    "audit: clean — {} partitions via {}, every number re-derived and confirmed",
+                    design.partitioning.partition_count(),
+                    strategy.name(),
+                );
+            } else {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == sparcs::audit::Severity::Error)
+                    .count();
+                return Err(CliError::Runtime(format!(
+                    "audit found {} diagnostic(s) ({errors} error-class)",
+                    diags.len(),
+                )));
+            }
+        }
         "explore" => {
             let s = session(&f)?;
             let mut space = ExploreSpace::for_workloads(f.workload_grid());

@@ -137,6 +137,8 @@ impl PartitionCache {
         if let Some(hit) = self.lookup(&key) {
             return Ok(hit);
         }
+        // relaxed-ok: standalone statistics counter — nothing reads it to
+        // make a decision, and fetch_add keeps the count itself exact.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let design = Arc::new(solve()?);
         let mut map = self.map.lock().expect("cache lock");
@@ -147,6 +149,7 @@ impl PartitionCache {
         let map = self.map.lock().expect("cache lock");
         let hit = map.get(key).cloned();
         if hit.is_some() {
+            // relaxed-ok: statistics counter, no ordering dependency.
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         hit
@@ -165,8 +168,11 @@ impl PartitionCache {
     /// Hit/miss counters so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            // relaxed-ok: advisory snapshot of statistics counters; the two
+            // loads need no mutual ordering — a momentarily torn hit/miss
+            // pair is fine for reporting.
             hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed), // relaxed-ok: see above
         }
     }
 

@@ -108,6 +108,13 @@ pub enum FlowError {
     /// An exploration (or a strategy portfolio) had no feasible candidate
     /// to return.
     NoFeasibleCandidate,
+    /// The independent certifier ([`sparcs_audit`]) found error-class
+    /// diagnostics in a design a strategy returned: the design's own
+    /// numbers (delays, latency, schedule shape) disagree with what the
+    /// certifier re-derives from first principles. This is always a bug in
+    /// the producing strategy, never a property of the problem — it is
+    /// *not* an infeasible-class error and is never skipped.
+    Certification(Vec<sparcs_audit::Diagnostic>),
 }
 
 impl fmt::Display for FlowError {
@@ -135,6 +142,16 @@ impl fmt::Display for FlowError {
             FlowError::Spec(spec) => write!(f, "{spec}"),
             FlowError::NoFeasibleCandidate => {
                 write!(f, "no partitioning strategy produced a feasible design")
+            }
+            FlowError::Certification(diags) => {
+                write!(f, "design failed independent certification: ")?;
+                for (i, d) in diags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -174,7 +191,8 @@ impl FlowError {
             | FlowError::Fission(FissionError::EmptyDesign)
             | FlowError::Host(_)
             | FlowError::NotExecutable(_)
-            | FlowError::Spec(_) => false,
+            | FlowError::Spec(_)
+            | FlowError::Certification(_) => false,
         }
     }
 }
@@ -191,7 +209,8 @@ impl std::error::Error for FlowError {
             FlowError::NotExecutable(_)
             | FlowError::Infeasible(_)
             | FlowError::Spec(_)
-            | FlowError::NoFeasibleCandidate => None,
+            | FlowError::NoFeasibleCandidate
+            | FlowError::Certification(_) => None,
         }
     }
 }
@@ -296,6 +315,16 @@ pub trait PartitionStrategy: Send + Sync {
     fn config_key(&self) -> Option<String> {
         None
     }
+
+    /// The memory-accounting convention this strategy's own feasibility
+    /// reasoning uses — the mode its designs should be validated and
+    /// certified under ([`PartitionedFlow::certify`]). The default is the
+    /// paper's net accounting; strategies configured for per-edge
+    /// accounting override this so downstream checks judge them by the
+    /// rules they actually played by.
+    fn memory_mode(&self) -> MemoryMode {
+        MemoryMode::Net
+    }
 }
 
 /// The legacy one-shot strategy surface: `partition(&ctx)` with no search
@@ -320,6 +349,11 @@ pub trait SimpleStrategy: Send + Sync {
     fn config_key(&self) -> Option<String> {
         None
     }
+
+    /// See [`PartitionStrategy::memory_mode`].
+    fn memory_mode(&self) -> MemoryMode {
+        MemoryMode::Net
+    }
 }
 
 impl<T: SimpleStrategy + ?Sized> PartitionStrategy for T {
@@ -337,6 +371,10 @@ impl<T: SimpleStrategy + ?Sized> PartitionStrategy for T {
 
     fn config_key(&self) -> Option<String> {
         SimpleStrategy::config_key(self)
+    }
+
+    fn memory_mode(&self) -> MemoryMode {
+        SimpleStrategy::memory_mode(self)
     }
 }
 
@@ -418,6 +456,10 @@ impl PartitionStrategy for IlpStrategy {
         // rendering; any change (memory mode, budgets, symmetry, partition
         // cap, warm start, bound pinning) changes the key.
         Some(format!("{:?}", self.options))
+    }
+
+    fn memory_mode(&self) -> MemoryMode {
+        self.options.model.memory_mode
     }
 }
 
@@ -582,11 +624,12 @@ impl FlowSession {
         search: &SearchCtx,
     ) -> Result<PartitionedFlow<'_>, FlowError> {
         let design = strategy.partition(&self.ctx, search)?;
-        Ok(PartitionedFlow {
+        let flow = PartitionedFlow {
             ctx: &self.ctx,
             design,
             strategy: strategy.name(),
-        })
+        };
+        flow.certified(strategy.memory_mode())
     }
 
     /// Like [`Self::partition_with`], but memoized: the solve is answered
@@ -604,11 +647,12 @@ impl FlowSession {
         cache: &PartitionCache,
     ) -> Result<PartitionedFlow<'_>, FlowError> {
         let design = partition_cached(&self.ctx, strategy, Some(cache), &SearchCtx::unbounded())?;
-        Ok(PartitionedFlow {
+        let flow = PartitionedFlow {
             ctx: &self.ctx,
             design: (*design).clone(),
             strategy: strategy.name(),
-        })
+        };
+        flow.certified(strategy.memory_mode())
     }
 
     /// Evaluates the whole candidate space — strategy × architecture ×
@@ -853,6 +897,37 @@ impl<'a> PartitionedFlow<'a> {
         let mut design = design_from_partitioning(self.ctx, partitioning)?;
         design.stats = self.design.stats;
         Ok(PartitionedFlow { design, ..self })
+    }
+
+    /// Runs the independent certifier ([`sparcs_audit::audit_design`])
+    /// over this stage's design: every embedded number (per-partition
+    /// delays, their sum, the latency) and every feasibility condition
+    /// (precedence, resources, boundary memory under `mode`) is re-derived
+    /// from the graph and architecture with no shared code with the
+    /// producing solver, and every disagreement comes back as a
+    /// [`sparcs_audit::Diagnostic`]. Error-severity diagnostics mean the
+    /// producer mis-reported its own design (a bug); warning-severity ones
+    /// mean an architecture-infeasible design (an expected outcome for
+    /// capacity-blind heuristics, also caught by [`Self::validate`]).
+    pub fn certify(&self, mode: MemoryMode) -> Vec<sparcs_audit::Diagnostic> {
+        sparcs_audit::audit_design(&self.ctx.graph, &self.ctx.arch, &self.design, mode)
+    }
+
+    /// The mandatory certification gate every
+    /// [`FlowSession::partition_with_search`]-family entry point passes
+    /// its stage through: error-class diagnostics (internal inconsistency
+    /// — the strategy lied about its own design) become
+    /// [`FlowError::Certification`]; warnings (architecture feasibility)
+    /// pass through to the existing [`Self::validate`] /
+    /// [`Self::require_valid`] machinery, which decides per call site
+    /// whether a capacity-blind heuristic's oversized design is a skipped
+    /// candidate or an error.
+    fn certified(self, mode: MemoryMode) -> Result<Self, FlowError> {
+        let diags = self.certify(mode);
+        if sparcs_audit::has_errors(&diags) {
+            return Err(FlowError::Certification(diags));
+        }
+        Ok(self)
     }
 
     /// Checks the partitioning against the architecture.

@@ -22,6 +22,7 @@
 //! | [`hls`] | binding, datapath, memory mapping, controllers, RTL |
 //! | [`rtr`] | the simulated reconfigurable board and host sequencers |
 //! | [`jpeg`] | the JPEG/DCT case study application |
+//! | [`audit`] | the independent certifier re-deriving design legality |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use sparcs_audit as audit;
 pub use sparcs_core as core;
 pub use sparcs_dfg as dfg;
 pub use sparcs_estimate as estimate;

@@ -64,6 +64,13 @@ pub trait Refinement: Send + Sync {
         ctx: &DesignContext,
         search: &SearchCtx,
     ) -> Result<Partitioning, FlowError>;
+
+    /// The memory-accounting convention this pass's feasibility checks
+    /// use; a [`Seeded`] chain reports its last pass's mode as the whole
+    /// composition's (see [`PartitionStrategy::memory_mode`]).
+    fn memory_mode(&self) -> MemoryMode {
+        MemoryMode::Net
+    }
 }
 
 /// The Kernighan–Lin-style move/swap refinement pass
@@ -110,6 +117,10 @@ impl Refinement for KlRefiner {
             search,
         )?)
     }
+
+    fn memory_mode(&self) -> MemoryMode {
+        self.memory_mode
+    }
 }
 
 /// The simulated-annealing refinement pass
@@ -147,6 +158,10 @@ impl Refinement for AnnealRefiner {
             &self.schedule,
             search,
         )?)
+    }
+
+    fn memory_mode(&self) -> MemoryMode {
+        self.memory_mode
     }
 }
 
@@ -225,6 +240,15 @@ impl PartitionStrategy for Seeded {
         }
         Some(key)
     }
+
+    fn memory_mode(&self) -> MemoryMode {
+        // The last pass has the final say on feasibility (each pass
+        // re-checks under its own mode), so its convention is the one the
+        // composed design should be judged by; a bare seed reports its own.
+        self.passes
+            .last()
+            .map_or_else(|| self.seed.memory_mode(), |pass| pass.memory_mode())
+    }
 }
 
 /// The memory-aware list seed: greedy packing that validates word capacity
@@ -249,6 +273,10 @@ impl SimpleStrategy for MemoryAwareListStrategy {
 
     fn config_key(&self) -> Option<String> {
         Some(format!("{:?}", self.memory_mode))
+    }
+
+    fn memory_mode(&self) -> MemoryMode {
+        self.memory_mode
     }
 }
 
@@ -424,6 +452,10 @@ impl PartitionStrategy for Portfolio {
             Some((_, _, design)) => Ok(design),
             None => Err(FlowError::NoFeasibleCandidate),
         }
+    }
+
+    fn memory_mode(&self) -> MemoryMode {
+        self.memory_mode
     }
 }
 

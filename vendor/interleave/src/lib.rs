@@ -1,0 +1,810 @@
+//! A small deterministic interleaving explorer (loom-style model checker).
+//!
+//! [`Builder::check`] runs a test closure many times, once per distinct
+//! thread interleaving. The closure builds its concurrent scenario out of
+//! this crate's shims — [`thread::spawn`], [`sync::Mutex`],
+//! [`sync::atomic::AtomicBool`]/[`sync::atomic::AtomicU64`]/
+//! [`sync::atomic::AtomicUsize`] — each of whose operations is a *step*
+//! scheduled by a central controller. Between steps, exactly one thread is
+//! ever granted progress, so the order of all shimmed operations is fully
+//! determined by the schedule, and a depth-first search over schedules
+//! (with a bounded number of *preemptions* — switches away from a thread
+//! that could have continued, the Musuvathi/Qadeer CHESS bound) visits
+//! every interleaving up to the bound exactly once.
+//!
+//! A panic in any schedule (an `assert!` in the closure, a model deadlock)
+//! fails the whole check and reports the schedule that triggered it as a
+//! list of thread ids, so the failing interleaving can be replayed by
+//! reading it off.
+//!
+//! ## Memory-model caveat
+//!
+//! The shims execute under **sequential consistency**: every explored
+//! interleaving is an SC interleaving, regardless of the `Ordering`
+//! arguments (which are accepted so model code can mirror production code
+//! verbatim, but not weakened). Verdicts are therefore exhaustive over
+//! thread *interleavings*, not over C11 weak-memory reorderings. For the
+//! protocols this workspace checks — monotonic one-way flags (cancellation),
+//! state published under a mutex with an advisory mirror, join-settled
+//! final reads — SC interleavings are the discriminating axis: each shared
+//! cell is either monotonic (a flag that only ever goes `false → true`) or
+//! canonically guarded by a lock, so no additional behavior is introduced
+//! by `Relaxed` on these shapes beyond what schedule choice already
+//! exposes. Protocols relying on release/acquire *pairing* between
+//! independent cells would need a weak-memory checker instead.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Re-exported so model code can `use interleave::Ordering` and pass the
+/// same ordering tokens production code does. Semantically every explored
+/// execution is sequentially consistent (see the crate docs).
+pub use std::sync::atomic::Ordering;
+
+/// What one thread is doing, as the controller sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    /// Executing un-shimmed code; the controller waits for it to settle.
+    Running,
+    /// Parked at a yield point, ready to be granted a step.
+    Waiting,
+    /// Parked waiting for a shim mutex to be released.
+    BlockedOnMutex(usize),
+    /// Parked waiting for another model thread to finish.
+    BlockedOnJoin(usize),
+    /// Body returned (or panicked — see `SchedState::failure`).
+    Finished,
+}
+
+/// One scheduling decision, recorded so the DFS can enumerate siblings.
+#[derive(Debug, Clone)]
+struct Choice {
+    /// Thread ids that were runnable, ascending.
+    runnable: Vec<usize>,
+    /// Index into `runnable` that was granted.
+    chosen: usize,
+    /// Preemptions spent strictly before this choice.
+    preemptions_before: usize,
+    /// The previously granted thread (preemption accounting).
+    prev: Option<usize>,
+}
+
+/// Switching to `runnable[j]` is a preemption iff the previously granted
+/// thread could have continued but was not chosen.
+fn is_preemption(prev: Option<usize>, runnable: &[usize], j: usize) -> bool {
+    match prev {
+        Some(p) => runnable.contains(&p) && runnable[j] != p,
+        None => false,
+    }
+}
+
+#[derive(Debug, Default)]
+struct SchedState {
+    threads: Vec<TState>,
+    /// Thread currently granted a step (at most one).
+    grant: Option<usize>,
+    /// First failure observed in this execution (panic message).
+    failure: Option<String>,
+    /// Shim mutexes' owners, by mutex id (`None` = unlocked).
+    mutex_owners: Vec<Option<usize>>,
+}
+
+impl SchedState {
+    fn all_settled(&self) -> bool {
+        self.grant.is_none() && self.threads.iter().all(|t| *t != TState::Running)
+    }
+}
+
+/// The per-execution runtime shared by the controller and every shim.
+struct Sched {
+    state: StdMutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Sched {
+    fn new() -> Arc<Self> {
+        Arc::new(Sched {
+            state: StdMutex::new(SchedState::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, SchedState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            // A model thread panicked while holding the scheduler lock;
+            // the exploration is already failed — keep going so the
+            // controller can report it.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Parks the calling model thread at a yield point, waits for its
+    /// grant, runs `op` as the granted step, and releases the grant.
+    /// Returns `None` when the execution has been abandoned (failure in
+    /// another thread) and the caller should unwind quietly.
+    fn step<T>(&self, tid: usize, op: impl FnOnce(&mut SchedState) -> T) -> Option<T> {
+        self.step_blocking(tid, {
+            let mut op = Some(op);
+            move |st| {
+                let op = op.take().expect("granted at most once per success");
+                Some(op(st))
+            }
+        })
+    }
+
+    /// Like [`Sched::step`], but `op` may *block* the thread by moving it
+    /// to a `BlockedOn*` state and returning `None`: the thread then stays
+    /// parked in this single call until a waker's scheduled op flips it
+    /// back to `Waiting` and the controller grants it again, at which
+    /// point `op` re-runs. Keeping the whole blocked episode inside one
+    /// parked session is what makes replay deterministic — the only
+    /// transitions back to `Waiting` happen inside granted steps, never
+    /// at times the controller cannot see.
+    fn step_blocking<T>(
+        &self,
+        tid: usize,
+        mut op: impl FnMut(&mut SchedState) -> Option<T>,
+    ) -> Option<T> {
+        let mut st = self.lock();
+        st.threads[tid] = TState::Waiting;
+        self.cv.notify_all();
+        loop {
+            while st.grant != Some(tid) {
+                if st.failure.is_some() {
+                    // Another thread already failed the execution; park as
+                    // finished so the controller is not left waiting.
+                    st.threads[tid] = TState::Finished;
+                    self.cv.notify_all();
+                    return None;
+                }
+                st = match self.cv.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+            let out = op(&mut st);
+            st.grant = None;
+            self.cv.notify_all();
+            match out {
+                Some(v) => {
+                    st.threads[tid] = TState::Running;
+                    self.cv.notify_all();
+                    return Some(v);
+                }
+                // `op` moved this thread to a BlockedOn* state; keep it
+                // parked here until the waker flips it back to Waiting.
+                None => continue,
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// The runtime of the execution this OS thread belongs to, plus the
+    /// model thread id it runs.
+    static CURRENT: std::cell::RefCell<Option<(Arc<Sched>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn current() -> (Arc<Sched>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("interleave shim used outside Builder::check")
+    })
+}
+
+/// Identity source for shim mutexes (values are only compared within one
+/// execution; monotonic global ids keep them unique without coordination).
+static MUTEX_IDS: StdAtomicUsize = StdAtomicUsize::new(0);
+
+/// Deterministic threads, mirroring `std::thread` over the model scheduler.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a model thread; [`JoinHandle::join`] is a blocking step.
+    pub struct JoinHandle<T> {
+        pub(crate) tid: usize,
+        pub(crate) inner: std::thread::JoinHandle<Option<T>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (as a scheduled step) until the thread finishes, then
+        /// returns its result. Panics if the joined thread panicked — by
+        /// then the schedule has already been reported as failing.
+        pub fn join(self) -> T {
+            let (sched, tid) = current();
+            // One parked session: block until the target is Finished (the
+            // finishing thread wakes BlockedOnJoin waiters).
+            sched.step_blocking(tid, |st| match st.threads[self.tid] {
+                TState::Finished => Some(()),
+                _ => {
+                    st.threads[tid] = TState::BlockedOnJoin(self.tid);
+                    None
+                }
+            });
+            match self.inner.join() {
+                Ok(Some(v)) => v,
+                _ => panic!("joined model thread panicked"),
+            }
+        }
+    }
+
+    /// Spawns a model thread. The spawn itself is a scheduled step, so
+    /// thread ids are deterministic for a given schedule.
+    pub fn spawn<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> JoinHandle<T> {
+        let (sched, tid) = current();
+        let child = sched
+            .step(tid, |st| {
+                st.threads.push(TState::Running);
+                st.threads.len() - 1
+            })
+            .unwrap_or_else(|| panic!("spawn on abandoned execution"));
+        let sched2 = Arc::clone(&sched);
+        let inner = std::thread::spawn(move || run_model_thread(sched2, child, f));
+        JoinHandle { tid: child, inner }
+    }
+
+    pub(crate) fn run_model_thread<T>(
+        sched: Arc<Sched>,
+        tid: usize,
+        f: impl FnOnce() -> T,
+    ) -> Option<T> {
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), tid)));
+        let result = catch_unwind(AssertUnwindSafe(f));
+        let mut st = sched.lock();
+        if let Err(payload) = &result {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "model thread panicked".to_string());
+            if st.failure.is_none() {
+                st.failure = Some(msg);
+            }
+        }
+        st.threads[tid] = TState::Finished;
+        // Joiners of this thread become runnable again.
+        for t in st.threads.iter_mut() {
+            if *t == TState::BlockedOnJoin(tid) {
+                *t = TState::Waiting;
+            }
+        }
+        sched.cv.notify_all();
+        drop(st);
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        result.ok()
+    }
+}
+
+/// Instrumented synchronization shims.
+pub mod sync {
+    use super::*;
+
+    /// A mutex whose lock/unlock operations are scheduled steps, with
+    /// real blocking semantics in the model (a thread waiting on a held
+    /// lock is not runnable).
+    pub struct Mutex<T> {
+        id: usize,
+        data: StdMutex<T>,
+    }
+
+    /// Guard over a shim [`Mutex`]; dropping it is the unlock step.
+    pub struct MutexGuard<'a, T> {
+        mutex: &'a Mutex<T>,
+        guard: Option<StdMutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        /// A new unlocked mutex.
+        pub fn new(value: T) -> Self {
+            Mutex {
+                id: MUTEX_IDS.fetch_add(1, StdOrdering::Relaxed),
+                data: StdMutex::new(value),
+            }
+        }
+
+        /// Acquires the lock as one scheduled (possibly blocking) step: a
+        /// failed attempt parks the thread until an unlock wakes it.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let (sched, tid) = current();
+            let acquired = sched.step_blocking(tid, |st| {
+                while st.mutex_owners.len() <= self.id {
+                    st.mutex_owners.push(None);
+                }
+                match st.mutex_owners[self.id] {
+                    None => {
+                        st.mutex_owners[self.id] = Some(tid);
+                        Some(())
+                    }
+                    Some(_) => {
+                        st.threads[tid] = TState::BlockedOnMutex(self.id);
+                        None
+                    }
+                }
+            });
+            if acquired.is_none() {
+                panic!("lock on abandoned execution");
+            }
+            let guard = match self.data.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            MutexGuard {
+                mutex: self,
+                guard: Some(guard),
+            }
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.guard.as_ref().expect("guard present until drop")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.guard.as_mut().expect("guard present until drop")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            self.guard = None; // release the data lock first
+            let (sched, tid) = current();
+            let id = self.mutex.id;
+            sched.step(tid, |st| {
+                st.mutex_owners[id] = None;
+                // Every thread parked on this mutex races for it again.
+                for t in st.threads.iter_mut() {
+                    if *t == TState::BlockedOnMutex(id) {
+                        *t = TState::Waiting;
+                    }
+                }
+            });
+        }
+    }
+
+    /// Instrumented atomics (sequentially consistent regardless of the
+    /// ordering argument — see the crate docs).
+    pub mod atomic {
+        use super::*;
+
+        macro_rules! shim_atomic {
+            ($name:ident, $ty:ty) => {
+                /// An instrumented atomic cell; every operation is one
+                /// scheduled step.
+                pub struct $name {
+                    cell: StdMutex<$ty>,
+                }
+
+                impl $name {
+                    /// A new cell holding `value`.
+                    pub fn new(value: $ty) -> Self {
+                        $name {
+                            cell: StdMutex::new(value),
+                        }
+                    }
+
+                    fn access<R>(&self, op: impl FnOnce(&mut $ty) -> R) -> R {
+                        let (sched, tid) = current();
+                        let out = sched.step(tid, |_| {
+                            let mut v = match self.cell.lock() {
+                                Ok(g) => g,
+                                Err(p) => p.into_inner(),
+                            };
+                            op(&mut v)
+                        });
+                        match out {
+                            Some(v) => v,
+                            None => panic!("atomic access on abandoned execution"),
+                        }
+                    }
+
+                    /// Atomic load.
+                    pub fn load(&self, _order: Ordering) -> $ty {
+                        self.access(|v| *v)
+                    }
+
+                    /// Atomic store.
+                    pub fn store(&self, value: $ty, _order: Ordering) {
+                        self.access(|v| *v = value)
+                    }
+
+                    /// Atomic swap, returning the previous value.
+                    pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                        self.access(|v| std::mem::replace(v, value))
+                    }
+
+                    /// Atomic compare-exchange.
+                    ///
+                    /// # Errors
+                    ///
+                    /// Returns the actual value when it differs from
+                    /// `expected`.
+                    pub fn compare_exchange(
+                        &self,
+                        expected: $ty,
+                        new: $ty,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        self.access(|v| {
+                            if *v == expected {
+                                *v = new;
+                                Ok(expected)
+                            } else {
+                                Err(*v)
+                            }
+                        })
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicBool, bool);
+        shim_atomic!(AtomicU64, u64);
+        shim_atomic!(AtomicUsize, usize);
+
+        impl AtomicU64 {
+            /// Atomic fetch-add, returning the previous value.
+            pub fn fetch_add(&self, delta: u64, _order: Ordering) -> u64 {
+                self.access(|v| {
+                    let prev = *v;
+                    *v = v.wrapping_add(delta);
+                    prev
+                })
+            }
+        }
+
+        impl AtomicUsize {
+            /// Atomic fetch-add, returning the previous value.
+            pub fn fetch_add(&self, delta: usize, _order: Ordering) -> usize {
+                self.access(|v| {
+                    let prev = *v;
+                    *v = v.wrapping_add(delta);
+                    prev
+                })
+            }
+
+            /// Atomic fetch-sub, returning the previous value.
+            pub fn fetch_sub(&self, delta: usize, _order: Ordering) -> usize {
+                self.access(|v| {
+                    let prev = *v;
+                    *v = v.wrapping_sub(delta);
+                    prev
+                })
+            }
+        }
+    }
+}
+
+/// Outcome of an exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Distinct schedules executed.
+    pub schedules: usize,
+    /// `true` when every schedule within the preemption bound was visited
+    /// (the schedule cap was not hit).
+    pub exhaustive: bool,
+}
+
+/// Configures and runs an exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// Maximum preemptions per schedule (the CHESS bound). Exhaustive
+    /// within the bound; 2 catches most real protocol bugs cheaply.
+    pub max_preemptions: usize,
+    /// Hard cap on schedules, so a state-space explosion fails fast
+    /// instead of hanging CI. Hitting the cap makes the report
+    /// non-exhaustive, which [`Builder::check`] treats as a failure.
+    pub max_schedules: usize,
+    /// Hard cap on steps per schedule (runaway-loop backstop).
+    pub max_steps: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_preemptions: 2,
+            max_schedules: 100_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Builder {
+    /// The default bounds.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Sets the preemption bound.
+    pub fn max_preemptions(mut self, n: usize) -> Self {
+        self.max_preemptions = n;
+        self
+    }
+
+    /// Sets the schedule cap.
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Runs `f` once per distinct schedule within the preemption bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics — reporting the schedule as a thread-id sequence — when any
+    /// schedule panics inside `f`, deadlocks, exceeds the step cap, or
+    /// when the schedule cap is hit before the space is exhausted.
+    pub fn check(&self, f: impl Fn() + Send + Sync + 'static) -> Report {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            if schedules >= self.max_schedules {
+                panic!(
+                    "interleave: schedule cap {} hit after exploring {schedules} schedules — \
+                     raise max_schedules or shrink the model",
+                    self.max_schedules
+                );
+            }
+            let trace = self.run_one(Arc::clone(&f), &prefix);
+            schedules += 1;
+            match next_schedule(&trace, self.max_preemptions) {
+                Some(next) => prefix = next,
+                None => {
+                    return Report {
+                        schedules,
+                        exhaustive: true,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one schedule: replays `prefix`, then extends it with the
+    /// cheapest legal choice at every further decision point. Returns the
+    /// full decision trace.
+    fn run_one(&self, f: Arc<dyn Fn() + Send + Sync>, prefix: &[usize]) -> Vec<Choice> {
+        let sched = Sched::new();
+        sched.lock().threads.push(TState::Running); // tid 0: the closure
+        let sched0 = Arc::clone(&sched);
+        let root = std::thread::spawn(move || thread::run_model_thread(sched0, 0, move || f()));
+
+        let mut trace: Vec<Choice> = Vec::new();
+        let mut replay: VecDeque<usize> = prefix.iter().copied().collect();
+        let mut prev: Option<usize> = None;
+        let mut preemptions = 0usize;
+        loop {
+            let mut st = sched.lock();
+            while !st.all_settled() {
+                st = match sched.cv.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+            if let Some(msg) = st.failure.clone() {
+                drop(st);
+                let _ = root.join();
+                panic!("interleave: schedule {:?} failed: {msg}", rendered(&trace));
+            }
+            if st.threads.iter().all(|t| *t == TState::Finished) {
+                drop(st);
+                let _ = root.join();
+                return trace;
+            }
+            let runnable: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| **t == TState::Waiting)
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                let stuck: Vec<(usize, TState)> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| **t != TState::Finished)
+                    .map(|(i, t)| (i, *t))
+                    .collect();
+                drop(st);
+                panic!(
+                    "interleave: deadlock on schedule {:?}: threads {stuck:?} can never run",
+                    rendered(&trace)
+                );
+            }
+            if trace.len() >= self.max_steps {
+                drop(st);
+                panic!(
+                    "interleave: schedule exceeded {} steps — a model loop never terminates",
+                    self.max_steps
+                );
+            }
+            let chosen = match replay.pop_front() {
+                // Replayed choices were legal when recorded; trust them.
+                Some(j) => j,
+                None => {
+                    // Cheapest legal first choice: continue the previous
+                    // thread when that stays within the preemption bound.
+                    let mut pick = 0usize;
+                    for j in 0..runnable.len() {
+                        let cost = preemptions + usize::from(is_preemption(prev, &runnable, j));
+                        if cost <= self.max_preemptions {
+                            pick = j;
+                            break;
+                        }
+                    }
+                    pick
+                }
+            };
+            let tid = runnable[chosen];
+            if is_preemption(prev, &runnable, chosen) {
+                preemptions += 1;
+            }
+            trace.push(Choice {
+                runnable: runnable.clone(),
+                chosen,
+                preemptions_before: preemptions
+                    - usize::from(is_preemption(prev, &runnable, chosen)),
+                prev,
+            });
+            prev = Some(tid);
+            st.threads[tid] = TState::Running;
+            st.grant = Some(tid);
+            sched.cv.notify_all();
+            drop(st);
+        }
+    }
+}
+
+/// The thread-id sequence of a trace, for failure reports.
+fn rendered(trace: &[Choice]) -> Vec<usize> {
+    trace.iter().map(|c| c.runnable[c.chosen]).collect()
+}
+
+/// Depth-first sibling: the deepest decision with an untried alternative
+/// within the preemption bound, or `None` when the space is exhausted.
+fn next_schedule(trace: &[Choice], bound: usize) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        let c = &trace[i];
+        for j in (c.chosen + 1)..c.runnable.len() {
+            let cost = c.preemptions_before + usize::from(is_preemption(c.prev, &c.runnable, j));
+            if cost <= bound {
+                let mut schedule: Vec<usize> = trace[..i].iter().map(|c| c.chosen).collect();
+                schedule.push(j);
+                return Some(schedule);
+            }
+        }
+    }
+    None
+}
+
+/// [`Builder::check`] with default bounds.
+pub fn model(f: impl Fn() + Send + Sync + 'static) -> Report {
+    Builder::new().check(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicU64};
+    use super::sync::Mutex;
+    use super::*;
+
+    #[test]
+    fn store_then_join_is_visible() {
+        let report = model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let f2 = Arc::clone(&flag);
+            let h = thread::spawn(move || f2.store(true, Ordering::Relaxed));
+            h.join();
+            assert!(flag.load(Ordering::Relaxed), "join must publish the store");
+        });
+        assert!(report.exhaustive);
+        assert!(report.schedules >= 1);
+    }
+
+    #[test]
+    fn explores_both_orders_of_two_writers() {
+        // Two racing writers: the final value depends on the schedule, so
+        // an exhaustive exploration must see both outcomes.
+        let outcomes = Arc::new(StdMutex::new(std::collections::BTreeSet::new()));
+        let seen = Arc::clone(&outcomes);
+        let report = Builder::new().max_preemptions(2).check(move || {
+            let cell = Arc::new(AtomicU64::new(0));
+            let (a, b) = (Arc::clone(&cell), Arc::clone(&cell));
+            let ha = thread::spawn(move || a.store(1, Ordering::Relaxed));
+            let hb = thread::spawn(move || b.store(2, Ordering::Relaxed));
+            ha.join();
+            hb.join();
+            if let Ok(mut set) = seen.lock() {
+                set.insert(cell.load(Ordering::Relaxed));
+            }
+        });
+        assert!(report.exhaustive);
+        assert!(report.schedules > 1, "must explore more than one schedule");
+        let set = outcomes.lock().expect("collector intact");
+        assert!(set.contains(&1) && set.contains(&2), "saw {set:?}");
+    }
+
+    #[test]
+    fn mutex_counter_never_loses_an_increment() {
+        let report = model(|| {
+            let counter = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        let mut guard = c.lock();
+                        *guard += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*counter.lock(), 2);
+        });
+        assert!(report.exhaustive);
+    }
+
+    #[test]
+    fn racy_read_modify_write_is_caught() {
+        // The classic lost update: load, then store load+1 as two separate
+        // steps. Some interleaving must lose an increment, and the checker
+        // must find it.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Builder::new().max_preemptions(2).check(|| {
+                let cell = Arc::new(AtomicU64::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = Arc::clone(&cell);
+                        thread::spawn(move || {
+                            let v = c.load(Ordering::Relaxed);
+                            c.store(v + 1, Ordering::Relaxed);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join();
+                }
+                assert_eq!(cell.load(Ordering::Relaxed), 2, "lost update");
+            })
+        }));
+        assert!(result.is_err(), "the lost update must be discovered");
+    }
+
+    #[test]
+    fn compare_exchange_settles_exactly_one_winner() {
+        let report = model(|| {
+            let cell = Arc::new(AtomicU64::new(0));
+            let wins = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (1..=2u64)
+                .map(|me| {
+                    let c = Arc::clone(&cell);
+                    let w = Arc::clone(&wins);
+                    thread::spawn(move || {
+                        if c.compare_exchange(0, me, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            w.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(wins.load(Ordering::Relaxed), 1);
+            assert_ne!(cell.load(Ordering::Relaxed), 0);
+        });
+        assert!(report.exhaustive);
+    }
+}
