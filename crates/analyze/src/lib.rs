@@ -1,0 +1,943 @@
+//! Pre-solve static analysis over the task-graph IR.
+//!
+//! `sparcs_audit` is the *post-hoc* half of the trust story: it certifies
+//! what the solvers already produced. This crate is the *pre-solve* half —
+//! it abstract-interprets a [`TaskGraph`] + [`Architecture`] +
+//! [`MemoryMode`] into **certified interval facts** before a single simplex
+//! pivot runs:
+//!
+//! * a critical-path lower bound on the ILP objective `Σ d_p` (sound in
+//!   both delay modes: in `ExactPaths` the longest path's delay is split
+//!   across the partitions it visits and each piece is ≤ that partition's
+//!   `d_p`; in `PartitionSum` the objective counts every task delay once),
+//! * a resource-ceiling lower bound on the partition count — the paper's
+//!   preprocessing `⌈ΣR(t)/R_max⌉` plus a precedence-aware refinement via
+//!   ancestor/descendant closures,
+//! * boundary-word and §2.2 `m_i_temp` memory lower bounds per
+//!   [`MemoryMode`],
+//! * a reconfiguration-ledger lower bound on total FDH/IDH configuration
+//!   time (`N_lb × CT`),
+//!
+//! each emitted as a [`Fact`] `{ rule, bound, witness }` with stable rule
+//! ids mirroring the audit layer's diagnostic scheme — alongside graph
+//! [`Lint`]s (dead nodes, unreachable outputs, width mismatches,
+//! unschedulable tasks).
+//!
+//! Because every fact is a *sound* bound (true for every feasible design,
+//! proved from the graph alone), two downstream uses are safe by
+//! construction: [`Analysis::static_verdict`] prunes provably-infeasible
+//! candidates before the exact solver is even launched (a pruned spec can
+//! never be one the ILP would have solved), and
+//! [`Analysis::objective_lb_ns`] seeds the branch-and-bound's
+//! `SolveOptions::root_bound` so the search can stop the moment an
+//! incumbent meets the bound.
+//!
+//! Audit-style independence: the critical-path bound is computed **twice**
+//! — once through `sparcs_dfg::algo::critical_path` and once through this
+//! crate's own Kahn order + longest-path recurrence over the raw edge
+//! list. The emitted bound is the *minimum* of the two (sound as long as
+//! either computation is), and a disagreement raises an error-severity
+//! [`rules::BOUND_DIVERGENCE`] lint instead of being papered over.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sparcs_core::partitioning::MemoryMode;
+use sparcs_dfg::{algo, GraphError, TaskGraph, TaskId};
+use sparcs_estimate::Architecture;
+use std::fmt;
+
+/// Stable rule identifiers: one per certified bound and one per lint
+/// class. These are the `rule` values of emitted [`Fact`]s/[`Lint`]s, the
+/// ids [`Analysis::static_verdict`] convicts a candidate under, and the
+/// contract the mutation corpus pins.
+pub mod rules {
+    /// Lower bound on the ILP objective `Σ d_p` in ns: the delay-weighted
+    /// critical path of the whole graph (paper Figure 4's measure applied
+    /// to the unpartitioned DAG).
+    pub const CRITICAL_PATH_BOUND: &str = "critical-path-bound";
+    /// Lower bound on the temporal partition count: the paper's
+    /// preprocessing `⌈ΣR(t)/R_max⌉` sharpened by the precedence-closure
+    /// refinement (for every task `t`, partitions `0..=p(t)` must hold
+    /// `ancestors(t) ∪ {t}` and `p(t)..N` must hold `descendants(t) ∪
+    /// {t}`, so `N ≥ bins(anc) + bins(desc) − 1`).
+    pub const PARTITION_COUNT_BOUND: &str = "partition-count-bound";
+    /// Lower bound on the words some partition boundary must store (paper
+    /// Eq. 3): edges whose endpoints cannot share a configuration are
+    /// forced to cross, and all forced in-edges of one consumer (resp.
+    /// out-edges of one producer) are live at the same boundary.
+    pub const MEMORY_BOUND: &str = "memory-bound";
+    /// Lower bound on the §2.2 per-partition temp memory `m_i_temp`: a
+    /// partition containing task `t` must hold every environment input
+    /// feeding `t` and every environment output `t` writes.
+    pub const TEMP_MEMORY_BOUND: &str = "temp-memory-bound";
+    /// Lower bound on total reconfiguration time paid by any FDH/IDH
+    /// schedule: each of the `N_lb` configurations is loaded at least
+    /// once, so the ledger opens at `N_lb × CT` ns.
+    pub const RECONFIG_LEDGER_BOUND: &str = "reconfig-ledger-bound";
+    /// A task whose result can never reach any environment output — it
+    /// burns area and delay for data the host will never observe.
+    pub const DEAD_NODE: &str = "dead-node";
+    /// An environment output none of whose writers is fed (even
+    /// transitively) by any environment input — the port emits constants.
+    pub const UNREACHABLE_OUTPUT: &str = "unreachable-output";
+    /// An edge claiming to carry more words than its producer produces
+    /// (`B(u,v) > output_words(u)`).
+    pub const WIDTH_MISMATCH: &str = "width-mismatch";
+    /// A task that exceeds the device capacity on its own (or demands a
+    /// resource kind the device has none of): no partition count can
+    /// schedule it.
+    pub const UNSCHEDULABLE: &str = "unschedulable-under-cap";
+    /// The independent critical-path recomputation disagrees with
+    /// `sparcs_dfg::algo::critical_path` — one of the two is buggy; the
+    /// emitted bound falls back to the smaller (still-sound) value.
+    pub const BOUND_DIVERGENCE: &str = "bound-divergence";
+}
+
+/// How bad a [`Lint`] is — mirrors `sparcs_audit::Severity`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Wasteful or suspicious but legal (dead nodes, constant outputs).
+    Warning,
+    /// The graph is malformed or can never be scheduled; downstream
+    /// stages would fail on it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One certified interval fact: a sound bound with the evidence that
+/// proves it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fact {
+    /// Stable rule id from [`rules`].
+    pub rule: &'static str,
+    /// The bound value (ns for time rules, count for
+    /// [`rules::PARTITION_COUNT_BOUND`], words for the memory rules). All
+    /// bounds are lower bounds over every feasible design.
+    pub bound: u64,
+    /// Human-readable derivation: what was summed/maximized and why the
+    /// bound is sound.
+    pub witness: String,
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bound[{}] {}: {}", self.rule, self.bound, self.witness)
+    }
+}
+
+/// One graph lint: a structural defect found without solving anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Stable rule id from [`rules`].
+    pub rule: &'static str,
+    /// See [`Severity`].
+    pub severity: Severity,
+    /// Where in the graph (`"t3"`, `"edge t1->t4"`, `"env out 2"`).
+    pub location: String,
+    /// What is wrong and the numbers behind it.
+    pub details: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule, self.location, self.details
+        )
+    }
+}
+
+/// The full pre-solve report for one `(graph, architecture, memory mode)`
+/// problem statement: every certified fact, every lint, and the scalar
+/// bounds the flow layer prunes/seeds with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// Name of the analyzed graph (for reports).
+    pub graph: String,
+    /// All certified bounds, in emission order.
+    pub facts: Vec<Fact>,
+    /// All lints, in emission order.
+    pub lints: Vec<Lint>,
+    /// Lower bound on the ILP objective `Σ d_p` in ns (0 for an empty
+    /// graph).
+    pub objective_lb_ns: u64,
+    /// Lower bound on the number of temporal partitions (0 for an empty
+    /// graph). Meaningless when [`Analysis::schedulable`] is false.
+    pub partition_count_lb: u32,
+    /// Lower bound on the words stored at the fullest partition boundary
+    /// of any feasible partitioning under the analyzed [`MemoryMode`].
+    pub memory_lb_words: u64,
+    /// Lower bound on `max_i m_i_temp` (§2.2): environment I/O resident
+    /// with the busiest single task. Informational — the feasibility
+    /// system constrains boundary words, not `m_i_temp`, so this bound
+    /// never prunes.
+    pub temp_memory_lb_words: u64,
+    /// Lower bound on total reconfiguration time in ns (`N_lb × CT`).
+    pub reconfig_lb_ns: u64,
+    /// Whether every task individually fits the device. When false,
+    /// [`Analysis::static_verdict`] convicts under
+    /// [`rules::UNSCHEDULABLE`] for every cap.
+    pub schedulable: bool,
+    /// The board memory `M_max` the analysis judged against.
+    pub board_memory_words: u64,
+    /// The memory accounting mode the bounds were derived under.
+    pub memory_mode: MemoryMode,
+}
+
+impl Analysis {
+    /// The fact emitted under `rule`, if any.
+    pub fn fact(&self, rule: &str) -> Option<&Fact> {
+        self.facts.iter().find(|f| f.rule == rule)
+    }
+
+    /// `true` when any lint is [`Severity::Error`] — the condition the
+    /// `sparcs analyze` CLI exits nonzero on.
+    pub fn has_errors(&self) -> bool {
+        self.lints.iter().any(|l| l.severity == Severity::Error)
+    }
+
+    /// Judges a candidate `(this graph, this architecture, max_partitions
+    /// cap)` without solving: returns the convicting rule id when the
+    /// candidate is **provably infeasible** — a task that fits no device
+    /// configuration, a boundary-memory lower bound above `M_max`, or a
+    /// partition-count lower bound above the cap. `None` means the
+    /// analysis cannot rule the candidate out (it may still be infeasible
+    /// for reasons only the exact solver can see).
+    ///
+    /// Soundness contract (pinned by the flow-level proptest): every
+    /// conviction returned here is a candidate the exact ILP also proves
+    /// infeasible — a feasible spec is never pruned.
+    pub fn static_verdict(&self, max_partitions: Option<u32>) -> Option<&'static str> {
+        if !self.schedulable {
+            return Some(rules::UNSCHEDULABLE);
+        }
+        if self.memory_lb_words > self.board_memory_words {
+            return Some(rules::MEMORY_BOUND);
+        }
+        if let Some(cap) = max_partitions {
+            if self.partition_count_lb > cap {
+                return Some(rules::PARTITION_COUNT_BOUND);
+            }
+        }
+        None
+    }
+
+    /// Renders the whole report as one JSON object (hand-rolled like the
+    /// audit layer's, so the analyzer stays serde-free).
+    pub fn to_json(&self) -> String {
+        let facts: Vec<String> = self
+            .facts
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"rule\":\"{}\",\"bound\":{},\"witness\":\"{}\"}}",
+                    esc(f.rule),
+                    f.bound,
+                    esc(&f.witness)
+                )
+            })
+            .collect();
+        let lints: Vec<String> = self
+            .lints
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"rule\":\"{}\",\"severity\":\"{}\",\"location\":\"{}\",\"details\":\"{}\"}}",
+                    esc(l.rule),
+                    l.severity,
+                    esc(&l.location),
+                    esc(&l.details)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"graph\":\"{}\",\"memory_mode\":\"{:?}\",\"schedulable\":{},\"facts\":[{}],\"lints\":[{}]}}",
+            esc(&self.graph),
+            self.memory_mode,
+            self.schedulable,
+            facts.join(","),
+            lints.join(",")
+        )
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Cross-checks the independently recomputed critical path against the
+/// production `sparcs_dfg::algo` value: a disagreement is an
+/// error-severity [`rules::BOUND_DIVERGENCE`] lint (the emitted fact then
+/// uses the smaller, still-sound value). Public so the mutation corpus can
+/// convict the rule with a forged reference value.
+pub fn crosscheck_critical_path(own_ns: u64, reference_ns: u64) -> Option<Lint> {
+    (own_ns != reference_ns).then(|| Lint {
+        rule: rules::BOUND_DIVERGENCE,
+        severity: Severity::Error,
+        location: "critical path".to_string(),
+        details: format!(
+            "independent recomputation found {own_ns} ns but dfg::algo::critical_path \
+             reports {reference_ns} ns; emitting the smaller value"
+        ),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Independent recomputation (audit-style: raw edge list, own Kahn order).
+// ---------------------------------------------------------------------------
+
+/// Kahn's algorithm over the raw edge list, sharing no code with
+/// `TaskGraph::topological_order`. Returns `None` on a cycle.
+fn own_topo_order(g: &TaskGraph) -> Option<Vec<usize>> {
+    let n = g.task_count();
+    let mut indegree = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        indegree[e.dst.index()] += 1;
+        succs[e.src.index()].push(e.dst.index());
+    }
+    let mut frontier: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = frontier.pop() {
+        order.push(i);
+        for &s in &succs[i] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                frontier.push(s);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Longest delay-weighted root→leaf path, recomputed from scratch.
+fn own_critical_path_ns(g: &TaskGraph, order: &[usize]) -> u64 {
+    let n = g.task_count();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        preds[e.dst.index()].push(e.src.index());
+    }
+    // dist[i] = max over paths ending at i of Σ delays (including i).
+    let mut dist = vec![0u64; n];
+    for &i in order {
+        let here = g.task(TaskId(i as u32)).delay_ns;
+        let best_in = preds[i].iter().map(|&p| dist[p]).max().unwrap_or(0);
+        dist[i] = best_in + here;
+    }
+    dist.into_iter().max().unwrap_or(0)
+}
+
+/// Component-wise `⌈demand / capacity⌉` (≥ 1 for nonzero demand sets).
+/// `None` when some component has demand but zero capacity.
+fn bins(demand: sparcs_dfg::Resources, cap: sparcs_dfg::Resources) -> Option<u64> {
+    let mut worst = 1u64;
+    for ((_, d), (_, c)) in demand.components().zip(cap.components()) {
+        match (d, c) {
+            (0, _) => {}
+            (_, 0) => return None,
+            (d, c) => worst = worst.max(d.div_ceil(c)),
+        }
+    }
+    Some(worst)
+}
+
+/// The graph-only piece of [`analyze`]: the certified critical-path lower
+/// bound on the ILP objective `Σ d_p`, in ns. Double-computed like the
+/// full analysis (own Kahn + `dfg::algo`), returning the smaller — and
+/// therefore sound-regardless — value. This is the bound
+/// `FlowSession::explore` injects as the branch-and-bound's
+/// `SolveOptions::root_bound`; it needs no architecture, so one call
+/// covers every board of an exploration.
+///
+/// # Errors
+///
+/// [`GraphError::Cycle`] (and friends) when the graph does not validate.
+pub fn critical_path_lb_ns(g: &TaskGraph) -> Result<u64, GraphError> {
+    let (own, reference, _) = critical_paths(g)?;
+    Ok(own.min(reference))
+}
+
+/// Both critical-path computations plus the reference path's task list.
+fn critical_paths(g: &TaskGraph) -> Result<(u64, u64, Vec<TaskId>), GraphError> {
+    g.validate()?;
+    let order = own_topo_order(g).ok_or(
+        // Unreachable after validate(); name task 0 if it somehow fires.
+        GraphError::Cycle(TaskId(0)),
+    )?;
+    let own = own_critical_path_ns(g, &order);
+    let (reference, tasks) = match algo::critical_path(g)? {
+        Some(cp) => (cp.delay_ns, cp.tasks),
+        None => (0, Vec::new()),
+    };
+    Ok((own, reference, tasks))
+}
+
+// ---------------------------------------------------------------------------
+// The analysis itself.
+// ---------------------------------------------------------------------------
+
+/// Abstract-interprets `g` against `arch` under `mode`, producing every
+/// certified bound and lint. Pure and solver-free: nothing here launches
+/// the simplex, and the wall-clock cost is `O(V·E)` (dominated by the
+/// reachability closure).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] when the graph is not a DAG — there is
+/// nothing sound to certify about a cyclic "schedule".
+pub fn analyze(
+    g: &TaskGraph,
+    arch: &Architecture,
+    mode: MemoryMode,
+) -> Result<Analysis, GraphError> {
+    let mut facts = Vec::new();
+    let mut lints = Vec::new();
+
+    // --- Critical-path objective bound, computed twice. -------------------
+    let (own_cp, ref_cp, cp_tasks) = critical_paths(g)?;
+    if let Some(lint) = crosscheck_critical_path(own_cp, ref_cp) {
+        lints.push(lint);
+    }
+    let objective_lb_ns = own_cp.min(ref_cp);
+    let path_names: Vec<&str> = cp_tasks.iter().map(|&t| g.task(t).name.as_str()).collect();
+    facts.push(Fact {
+        rule: rules::CRITICAL_PATH_BOUND,
+        bound: objective_lb_ns,
+        witness: format!(
+            "delay-weighted critical path [{}] recomputed independently ({own_cp} ns) and \
+             via dfg::algo ({ref_cp} ns); every schedule's Σ d_p is at least this in both \
+             delay modes",
+            path_names.join(" -> ")
+        ),
+    });
+
+    // --- Schedulability + partition-count bound. ---------------------------
+    let mut schedulable = true;
+    for (t, task) in g.tasks() {
+        if !task.resources.fits_within(&arch.resources) {
+            schedulable = false;
+            lints.push(Lint {
+                rule: rules::UNSCHEDULABLE,
+                severity: Severity::Error,
+                location: t.to_string(),
+                details: format!(
+                    "task `{}` needs {} but the device caps at {}; no partition count \
+                     can schedule it",
+                    task.name, task.resources, arch.resources
+                ),
+            });
+        }
+    }
+    let total: sparcs_dfg::Resources = g.tasks().map(|(_, t)| t.resources).sum();
+    let n0 = bins(total, arch.resources);
+    if n0.is_none() && g.task_count() > 0 && schedulable {
+        // Demand on a zero-capacity component that no single task trips
+        // (possible only with zero-area tasks summing to demand — defensive).
+        schedulable = false;
+        lints.push(Lint {
+            rule: rules::UNSCHEDULABLE,
+            severity: Severity::Error,
+            location: "graph".to_string(),
+            details: format!(
+                "total demand {} includes a resource kind the device ({}) has none of",
+                total, arch.resources
+            ),
+        });
+    }
+    let mut partition_count_lb: u64 = if g.task_count() == 0 {
+        0
+    } else {
+        n0.unwrap_or(0)
+    };
+    let mut refinement_witness = String::new();
+    let reach = algo::reachability(g)?;
+    if schedulable && g.task_count() > 0 {
+        for t in g.task_ids() {
+            let me = g.task(t).resources;
+            let anc: sparcs_dfg::Resources = reach
+                .ancestors(t)
+                .into_iter()
+                .map(|a| g.task(a).resources)
+                .sum();
+            let desc: sparcs_dfg::Resources = reach
+                .descendants(t)
+                .into_iter()
+                .map(|d| g.task(d).resources)
+                .sum();
+            let (Some(up), Some(down)) = (
+                bins(anc + me, arch.resources),
+                bins(desc + me, arch.resources),
+            ) else {
+                continue;
+            };
+            let through = up + down - 1;
+            if through > partition_count_lb {
+                partition_count_lb = through;
+                refinement_witness = format!(
+                    "; precedence closure through `{}` needs {up} partition(s) upstream \
+                     and {down} downstream (sharing one)",
+                    g.task(t).name
+                );
+            }
+        }
+    }
+    if schedulable {
+        facts.push(Fact {
+            rule: rules::PARTITION_COUNT_BOUND,
+            bound: partition_count_lb,
+            witness: format!(
+                "preprocessing bound ceil(sum R(t) / R_max) with SumR(t) = {} on R_max = {} \
+                 gives {}{}",
+                total,
+                arch.resources,
+                n0.unwrap_or(0),
+                refinement_witness
+            ),
+        });
+    }
+
+    // --- Boundary-memory bound (Eq. 3). ------------------------------------
+    // An edge (u, v) whose endpoint areas cannot share the device forces
+    // p(u) < p(v): at boundary p(v)-1 every forced in-edge of v is live,
+    // and at boundary p(u) every forced out-edge of u is live.
+    let forced = |u: TaskId, v: TaskId| {
+        !(g.task(u).resources + g.task(v).resources).fits_within(&arch.resources)
+    };
+    let mut memory_lb_words = 0u64;
+    let mut memory_witness = String::from("no edge is forced to cross a boundary");
+    for v in g.task_ids() {
+        let mut edge_sum = 0u64;
+        let mut net_producers: Vec<TaskId> = Vec::new();
+        for e in g.in_edges(v) {
+            if forced(e.src, v) {
+                edge_sum += e.words;
+                if !net_producers.contains(&e.src) {
+                    net_producers.push(e.src);
+                }
+            }
+        }
+        let live = match mode {
+            MemoryMode::Edge => edge_sum,
+            MemoryMode::Net => net_producers.iter().map(|&u| g.task(u).output_words).sum(),
+        };
+        if live > memory_lb_words {
+            memory_lb_words = live;
+            memory_witness = format!(
+                "{} forced in-edge(s) of `{}` are all live at the boundary below it",
+                net_producers.len(),
+                g.task(v).name
+            );
+        }
+    }
+    for u in g.task_ids() {
+        let mut edge_sum = 0u64;
+        let mut any = false;
+        for e in g.out_edges(u) {
+            if forced(u, e.dst) {
+                edge_sum += e.words;
+                any = true;
+            }
+        }
+        let live = match mode {
+            MemoryMode::Edge => edge_sum,
+            MemoryMode::Net => {
+                if any {
+                    g.task(u).output_words
+                } else {
+                    0
+                }
+            }
+        };
+        if live > memory_lb_words {
+            memory_lb_words = live;
+            memory_witness = format!(
+                "the forced out-edges of `{}` are all live at the boundary above it",
+                g.task(u).name
+            );
+        }
+    }
+    facts.push(Fact {
+        rule: rules::MEMORY_BOUND,
+        bound: memory_lb_words,
+        witness: format!(
+            "{memory_witness} ({mode:?} accounting, M_max = {})",
+            arch.memory_words
+        ),
+    });
+
+    // --- m_i_temp bound (§2.2). --------------------------------------------
+    let mut temp_memory_lb_words = 0u64;
+    let mut temp_witness = String::from("no task touches an environment port");
+    for t in g.task_ids() {
+        let ins: u64 = g
+            .env_inputs()
+            .filter(|(_, p)| p.tasks.contains(&t))
+            .map(|(_, p)| p.words)
+            .sum();
+        let outs: u64 = g
+            .env_outputs()
+            .filter(|(_, p)| p.tasks.contains(&t))
+            .map(|(_, p)| p.words)
+            .sum();
+        if ins + outs > temp_memory_lb_words {
+            temp_memory_lb_words = ins + outs;
+            temp_witness = format!(
+                "any partition containing `{}` holds its {ins} env-input + {outs} env-output \
+                 words",
+                g.task(t).name
+            );
+        }
+    }
+    facts.push(Fact {
+        rule: rules::TEMP_MEMORY_BOUND,
+        bound: temp_memory_lb_words,
+        witness: temp_witness,
+    });
+
+    // --- Reconfiguration ledger (§4). --------------------------------------
+    let reconfig_lb_ns = if schedulable {
+        partition_count_lb.saturating_mul(arch.reconfig_time_ns)
+    } else {
+        0
+    };
+    facts.push(Fact {
+        rule: rules::RECONFIG_LEDGER_BOUND,
+        bound: reconfig_lb_ns,
+        witness: format!(
+            "each of the >= {partition_count_lb} configurations is loaded at least once at \
+             CT = {} ns",
+            arch.reconfig_time_ns
+        ),
+    });
+
+    // --- Graph lints. --------------------------------------------------------
+    for e in g.edges() {
+        if e.words > g.task(e.src).output_words {
+            lints.push(Lint {
+                rule: rules::WIDTH_MISMATCH,
+                severity: Severity::Error,
+                location: format!("edge {}->{}", e.src, e.dst),
+                details: format!(
+                    "edge carries {} words but producer `{}` outputs only {}",
+                    e.words,
+                    g.task(e.src).name,
+                    g.task(e.src).output_words
+                ),
+            });
+        }
+    }
+    let writers: Vec<TaskId> = g
+        .env_outputs()
+        .flat_map(|(_, p)| p.tasks.iter().copied())
+        .collect();
+    if !writers.is_empty() {
+        for t in g.task_ids() {
+            let observed = writers.iter().any(|&w| w == t || reach.reaches(t, w));
+            if !observed {
+                lints.push(Lint {
+                    rule: rules::DEAD_NODE,
+                    severity: Severity::Warning,
+                    location: t.to_string(),
+                    details: format!(
+                        "task `{}` reaches no environment output; its result is never \
+                         observed by the host",
+                        g.task(t).name
+                    ),
+                });
+            }
+        }
+    }
+    let fed: Vec<TaskId> = g
+        .env_inputs()
+        .flat_map(|(_, p)| p.tasks.iter().copied())
+        .collect();
+    if !fed.is_empty() {
+        for (id, port) in g.env_outputs() {
+            let reachable = port
+                .tasks
+                .iter()
+                .any(|&w| fed.iter().any(|&i| i == w || reach.reaches(i, w)));
+            if !reachable {
+                lints.push(Lint {
+                    rule: rules::UNREACHABLE_OUTPUT,
+                    severity: Severity::Warning,
+                    location: id.to_string(),
+                    details: format!(
+                        "environment output `{}` depends on no environment input; it can \
+                         only emit constants",
+                        port.name
+                    ),
+                });
+            }
+        }
+    }
+
+    Ok(Analysis {
+        graph: g.name().to_string(),
+        facts,
+        lints,
+        objective_lb_ns,
+        partition_count_lb: u32::try_from(partition_count_lb).unwrap_or(u32::MAX),
+        memory_lb_words,
+        temp_memory_lb_words,
+        reconfig_lb_ns,
+        schedulable,
+        board_memory_words: arch.memory_words,
+        memory_mode: mode,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcs_dfg::{gen, Resources};
+
+    fn arch(clbs: u64, mem: u64) -> Architecture {
+        let mut a = Architecture::xc4044_wildforce();
+        a.resources = Resources::clbs(clbs);
+        a.memory_words = mem;
+        a
+    }
+
+    #[test]
+    fn fig4_bounds_are_the_known_values() {
+        let g = gen::fig4_example();
+        let a = arch(1200, 100);
+        let an = analyze(&g, &a, MemoryMode::Net).unwrap();
+        assert_eq!(an.objective_lb_ns, 700, "critical path of fig4");
+        assert_eq!(critical_path_lb_ns(&g).unwrap(), 700);
+        assert!(an.schedulable);
+        assert!(an.partition_count_lb >= 1);
+        assert!(!an.has_errors(), "{:?}", an.lints);
+        assert_eq!(an.static_verdict(Some(4)), None);
+        assert_eq!(
+            an.fact(rules::CRITICAL_PATH_BOUND).map(|f| f.bound),
+            Some(700)
+        );
+        assert_eq!(
+            an.reconfig_lb_ns,
+            u64::from(an.partition_count_lb) * a.reconfig_time_ns
+        );
+    }
+
+    #[test]
+    fn chain_closure_refinement_beats_the_area_bound() {
+        // Ten 100-CLB tasks in a chain on a 1000-CLB device: the area bound
+        // says 1 partition, and the closure refinement cannot beat it (all
+        // ten fit together). Shrink the device to 100 CLBs: area bound 10,
+        // closure bound through the middle also 10 — and on a 150-CLB device
+        // the area bound is 7 while adjacent tasks still cannot pair up
+        // arbitrarily; the refinement must never *exceed* a feasible count.
+        let g = gen::chain(10, 100, 10, 1);
+        let a = arch(100, 1000);
+        let an = analyze(&g, &a, MemoryMode::Net).unwrap();
+        assert_eq!(an.partition_count_lb, 10, "one task per partition");
+        let a = arch(1000, 1000);
+        let an = analyze(&g, &a, MemoryMode::Net).unwrap();
+        assert_eq!(an.partition_count_lb, 1);
+    }
+
+    #[test]
+    fn partition_cap_below_the_bound_is_convicted() {
+        let g = gen::chain(4, 100, 10, 1);
+        let a = arch(100, 1000);
+        let an = analyze(&g, &a, MemoryMode::Net).unwrap();
+        assert_eq!(an.partition_count_lb, 4);
+        assert_eq!(
+            an.static_verdict(Some(3)),
+            Some(rules::PARTITION_COUNT_BOUND)
+        );
+        assert_eq!(an.static_verdict(Some(4)), None);
+        assert_eq!(an.static_verdict(None), None);
+    }
+
+    #[test]
+    fn forced_crossing_memory_bound_is_convicted() {
+        // Two 100-CLB tasks on a 150-CLB device: the edge must cross, so the
+        // boundary stores its words; a 3-word board cannot hold 50.
+        let mut g = sparcs_dfg::TaskGraph::new("forced");
+        let a_t = g.add_task("a", Resources::clbs(100), 10, 50);
+        let b_t = g.add_task("b", Resources::clbs(100), 10, 1);
+        g.add_edge(a_t, b_t, 50).unwrap();
+        let dev = arch(150, 3);
+        let an = analyze(&g, &dev, MemoryMode::Net).unwrap();
+        assert_eq!(an.memory_lb_words, 50);
+        assert_eq!(an.static_verdict(None), Some(rules::MEMORY_BOUND));
+        let roomy = arch(150, 64);
+        let an = analyze(&g, &roomy, MemoryMode::Net).unwrap();
+        assert_eq!(an.static_verdict(None), None);
+    }
+
+    #[test]
+    fn edge_mode_counts_edges_net_mode_counts_producers() {
+        // One producer feeding two consumers over 30-word edges, all forced
+        // to cross (every pair overflows the device).
+        let mut g = sparcs_dfg::TaskGraph::new("fanout");
+        let p = g.add_task("p", Resources::clbs(100), 10, 30);
+        let c1 = g.add_task("c1", Resources::clbs(100), 10, 1);
+        let c2 = g.add_task("c2", Resources::clbs(100), 10, 1);
+        g.add_edge(p, c1, 30).unwrap();
+        g.add_edge(p, c2, 30).unwrap();
+        let dev = arch(150, 1000);
+        let edge = analyze(&g, &dev, MemoryMode::Edge).unwrap();
+        assert_eq!(edge.memory_lb_words, 60, "both edges live above p");
+        let net = analyze(&g, &dev, MemoryMode::Net).unwrap();
+        assert_eq!(net.memory_lb_words, 30, "one net live above p");
+    }
+
+    #[test]
+    fn oversized_task_is_unschedulable() {
+        let g = gen::fig4_example();
+        let a = arch(100, 1000);
+        let an = analyze(&g, &a, MemoryMode::Net).unwrap();
+        assert!(!an.schedulable);
+        assert!(an.has_errors());
+        assert_eq!(an.static_verdict(None), Some(rules::UNSCHEDULABLE));
+        assert!(an.lints.iter().any(|l| l.rule == rules::UNSCHEDULABLE));
+    }
+
+    #[test]
+    fn temp_memory_bound_tracks_env_ports() {
+        let mut g = sparcs_dfg::TaskGraph::new("env");
+        let t = g.add_task("t", Resources::clbs(10), 10, 4);
+        g.add_env_input("x", 64, [t]).unwrap();
+        g.add_env_output("y", 16, [t]).unwrap();
+        let an = analyze(&g, &arch(100, 1000), MemoryMode::Net).unwrap();
+        assert_eq!(an.temp_memory_lb_words, 80);
+        // Informational only: the verdict never convicts on it.
+        let tiny = analyze(&g, &arch(100, 8), MemoryMode::Net).unwrap();
+        assert_eq!(tiny.static_verdict(None), None);
+    }
+
+    #[test]
+    fn lints_fire_on_seeded_defects_and_stay_silent_on_fig4() {
+        let g = gen::fig4_example();
+        let an = analyze(&g, &arch(1200, 100), MemoryMode::Net).unwrap();
+        assert!(
+            an.lints.is_empty(),
+            "fig4 must be lint-clean: {:?}",
+            an.lints
+        );
+
+        // Width mismatch: an edge wider than its producer's output.
+        let mut g = sparcs_dfg::TaskGraph::new("wide");
+        let a_t = g.add_task("a", Resources::clbs(10), 10, 2);
+        let b_t = g.add_task("b", Resources::clbs(10), 10, 1);
+        g.add_edge(a_t, b_t, 5).unwrap();
+        let an = analyze(&g, &arch(100, 100), MemoryMode::Net).unwrap();
+        assert!(an.lints.iter().any(|l| l.rule == rules::WIDTH_MISMATCH));
+        assert!(an.has_errors());
+    }
+
+    #[test]
+    fn dead_node_and_unreachable_output_lints() {
+        let mut g = sparcs_dfg::TaskGraph::new("dead");
+        let a_t = g.add_task("a", Resources::clbs(10), 10, 1);
+        let b_t = g.add_task("b", Resources::clbs(10), 10, 1);
+        let c_t = g.add_task("c", Resources::clbs(10), 10, 1);
+        g.add_edge(a_t, b_t, 1).unwrap();
+        g.add_env_input("in", 4, [a_t]).unwrap();
+        g.add_env_output("out", 4, [b_t]).unwrap();
+        // c is disconnected: dead (reaches no output) and its own source of
+        // constants if it wrote one.
+        g.add_env_output("ghost", 4, [c_t]).unwrap();
+        let an = analyze(&g, &arch(100, 100), MemoryMode::Net).unwrap();
+        assert!(
+            an.lints
+                .iter()
+                .any(|l| l.rule == rules::UNREACHABLE_OUTPUT && l.details.contains("ghost")),
+            "{:?}",
+            an.lints
+        );
+        // a and b are observed; c writes `ghost` so it is not dead — drop
+        // the ghost port instead to see the dead-node case.
+        let mut g = sparcs_dfg::TaskGraph::new("dead2");
+        let a_t = g.add_task("a", Resources::clbs(10), 10, 1);
+        let b_t = g.add_task("b", Resources::clbs(10), 10, 1);
+        let c_t = g.add_task("c", Resources::clbs(10), 10, 1);
+        g.add_edge(a_t, b_t, 1).unwrap();
+        g.add_env_output("out", 4, [b_t]).unwrap();
+        let an = analyze(&g, &arch(100, 100), MemoryMode::Net).unwrap();
+        let dead: Vec<_> = an
+            .lints
+            .iter()
+            .filter(|l| l.rule == rules::DEAD_NODE)
+            .collect();
+        assert_eq!(dead.len(), 1, "{:?}", an.lints);
+        assert_eq!(dead[0].location, c_t.to_string());
+    }
+
+    #[test]
+    fn crosscheck_convicts_divergence() {
+        assert!(crosscheck_critical_path(700, 700).is_none());
+        let lint = crosscheck_critical_path(700, 699).unwrap();
+        assert_eq!(lint.rule, rules::BOUND_DIVERGENCE);
+        assert_eq!(lint.severity, Severity::Error);
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_fine() {
+        let g = sparcs_dfg::TaskGraph::new("empty");
+        let an = analyze(&g, &arch(100, 100), MemoryMode::Net).unwrap();
+        assert_eq!(an.objective_lb_ns, 0);
+        assert_eq!(an.partition_count_lb, 0);
+        assert_eq!(an.static_verdict(Some(1)), None);
+        assert!(!an.has_errors());
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let g = gen::fig4_example();
+        let an = analyze(&g, &arch(1200, 100), MemoryMode::Net).unwrap();
+        let json = an.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"critical-path-bound\""));
+        assert!(json.contains("\"bound\":700"));
+        assert!(json.contains("\"lints\":[]"));
+    }
+
+    #[test]
+    fn bounds_hold_on_random_layered_graphs() {
+        // Sanity sweep (the cross-solver soundness proptest lives at the
+        // facade level): bounds are monotone and internally consistent.
+        for seed in 0..32 {
+            let cfg = gen::LayeredConfig {
+                layers: 3,
+                min_width: 2,
+                max_width: 3,
+                ..gen::LayeredConfig::default()
+            };
+            let g = gen::layered(&cfg, seed);
+            let a = arch(700, 1_000_000);
+            let an = analyze(&g, &a, MemoryMode::Net).unwrap();
+            assert!(an.schedulable || an.lints.iter().any(|l| l.severity == Severity::Error));
+            assert!(an.objective_lb_ns <= algo::total_delay(&g));
+            assert!(u64::from(an.partition_count_lb) <= g.task_count() as u64);
+            assert_eq!(
+                an.reconfig_lb_ns,
+                u64::from(an.partition_count_lb) * a.reconfig_time_ns
+            );
+        }
+    }
+}

@@ -42,6 +42,27 @@ struct SolveRecord {
     pivots_per_sec: f64,
     objective: f64,
     proven_optimal: bool,
+    /// Relative gap between the analyzer's certified critical-path bound
+    /// and the proven optimum before any node is explored:
+    /// `(objective − lb) / objective`. How much of the proof the static
+    /// layer hands the branch-and-bound for free.
+    root_bound_gap_at_node_zero: f64,
+}
+
+/// The `sparcs_analyze` pre-solve facts for the same model, recorded so
+/// the trajectory shows what is known before the first simplex pivot.
+#[derive(Debug, Serialize)]
+struct StaticAnalysisRecord {
+    /// Certified lower bound on `Σ d_p` (ns): the delay-weighted critical
+    /// path, injected as the solver's root bound.
+    critical_path_lb_ns: u64,
+    /// Certified lower bound on the partition count (`N₀` + closure).
+    partition_count_lb: u32,
+    /// Certified lower bound on boundary memory words.
+    memory_lb_words: u64,
+    /// Partition bounds in `1..lo` the analyzer proves infeasible without
+    /// solving — the specs `FlowSession::explore` would skip statically.
+    static_prunes: Vec<u32>,
 }
 
 /// The seed solver's measured behaviour at the same bounds (dense
@@ -79,6 +100,7 @@ struct Trajectory {
     generated_by: &'static str,
     model: &'static str,
     trials_per_bound: usize,
+    static_analysis: StaticAnalysisRecord,
     seed_baseline: Vec<SeedBaseline>,
     prefission_baseline: Vec<PrefissionBaseline>,
     runs: Vec<SolveRecord>,
@@ -142,6 +164,30 @@ fn main() {
         declared_symmetry: dct.symmetry_groups.clone(),
         ..ModelConfig::default()
     };
+
+    // Pre-solve facts: the same analysis `FlowSession::explore` runs
+    // before launching any solver, recorded next to the solve trajectory.
+    let analysis = sparcs_analyze::analyze(
+        &dct.graph,
+        &arch,
+        sparcs_core::partitioning::MemoryMode::Net,
+    )
+    .expect("the DCT graph is a DAG");
+    let cp_lb = analysis.objective_lb_ns;
+    let static_prunes: Vec<u32> = (1..lo)
+        .filter(|&n| analysis.static_verdict(Some(n)).is_some())
+        .collect();
+    let static_analysis = StaticAnalysisRecord {
+        critical_path_lb_ns: cp_lb,
+        partition_count_lb: analysis.partition_count_lb,
+        memory_lb_words: analysis.memory_lb_words,
+        static_prunes: static_prunes.clone(),
+    };
+    println!(
+        "static: Σd_p >= {cp_lb} ns, N >= {}, bounds {:?} pruned without solving",
+        analysis.partition_count_lb, static_prunes
+    );
+
     let mut records = Vec::new();
     for n in lo..=hi {
         let pm = build_model(&dct.graph, &arch, n, &cfg).expect("model builds");
@@ -175,6 +221,12 @@ fn main() {
                         pivots_per_sec: sol.pivots_per_sec(),
                         objective: sol.objective,
                         proven_optimal: sol.status == Status::Optimal,
+                        root_bound_gap_at_node_zero: if sol.objective > 0.0 {
+                            // cast-ok: the certified bound is exact below 2^53
+                            (sol.objective - cp_lb as f64) / sol.objective
+                        } else {
+                            0.0
+                        },
                     };
                     match &mut best {
                         None => best = Some(record),
@@ -213,6 +265,7 @@ fn main() {
         generated_by: "cargo run --release -p sparcs_bench --bin bench-ilp",
         model: "DCT 4x4 task graph (paper-calibrated), XC4044/WildForce, ModelConfig::default + declared symmetry",
         trials_per_bound: TRIALS,
+        static_analysis,
         seed_baseline: seed_baseline(),
         prefission_baseline: prefission_baseline(),
         runs: records,

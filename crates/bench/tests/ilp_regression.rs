@@ -52,6 +52,45 @@ fn serial_dct_solve_is_deterministic() {
     assert_eq!(a.x, b.x);
 }
 
+/// The acceptance gate's root-bound regression: injecting the analyzer's
+/// certified critical-path bound as `SolveOptions::root_bound` (exactly
+/// what `FlowSession::explore` does) still proves the §4 N = 4 optimum
+/// bit-stable, never explores more nodes than the PR 7 pre-fission
+/// baseline (417), and floors the reported proof bound at the injection.
+#[test]
+fn injected_root_bound_preserves_the_n4_objective_and_node_budget() {
+    const PREFISSION_NODES_N4: usize = 417;
+    let dct = dct_task_graph(EstimateBackend::PaperCalibrated).expect("graph builds");
+    let arch = sparcs_estimate::Architecture::xc4044_wildforce();
+    let cfg = ModelConfig {
+        declared_symmetry: dct.symmetry_groups.clone(),
+        ..ModelConfig::default()
+    };
+    let pm = build_model(&dct.graph, &arch, 4, &cfg).expect("model builds");
+    let cp = sparcs_analyze::critical_path_lb_ns(&dct.graph).expect("DCT graph is a DAG");
+    assert_eq!(cp, 5_920, "the DCT's certified critical path moved");
+    let sol = solve(
+        &pm.model,
+        &SolveOptions {
+            root_bound: Some(cp as f64), // cast-ok: exact below 2^53
+            ..SolveOptions::default()
+        },
+    )
+    .expect("model is feasible");
+    assert_eq!(sol.status, Status::Optimal);
+    assert!((sol.objective - 8_440.0).abs() < 1e-6, "§4 optimum moved");
+    assert!(
+        sol.nodes <= PREFISSION_NODES_N4,
+        "node regression under a root bound: {} explored, baseline {PREFISSION_NODES_N4}",
+        sol.nodes
+    );
+    assert!(
+        sol.bound >= cp as f64, // cast-ok: exact below 2^53
+        "the injected root bound must floor the proof bound: {}",
+        sol.bound
+    );
+}
+
 #[test]
 fn parallel_dct_solve_proves_the_same_objective() {
     let serial = solve_dct_n3();

@@ -141,6 +141,19 @@ pub struct SolveOptions {
     /// [`Self::deadline`]. Lets a portfolio of racing solves stop the
     /// losers the moment a winner is proven.
     pub cancel: Option<CancelToken>,
+    /// A **proven** bound on the optimum in the model's orientation (a
+    /// lower bound for minimization, an upper bound for maximization) —
+    /// e.g. the static critical-path bound `sparcs_analyze` certifies
+    /// before the solve. Two effects: the search stops with
+    /// [`Status::Optimal`] the moment an incumbent's objective meets the
+    /// bound (no exhaustion needed — with a warm incumbent already at the
+    /// bound the tree is never opened and `nodes == 0`), and
+    /// [`Solution::bound`] is clamped to never report looser than it, so
+    /// cancelled solves inherit the static bound even when their own
+    /// frontier proved nothing. Soundness is the *caller's* contract: an
+    /// unproven value here can make the solver claim optimality for a
+    /// suboptimal incumbent. `None` (the default) changes nothing.
+    pub root_bound: Option<f64>,
 }
 
 impl Default for SolveOptions {
@@ -153,6 +166,7 @@ impl Default for SolveOptions {
             jobs: 1,
             deadline: None,
             cancel: None,
+            root_bound: None,
         }
     }
 }
@@ -331,9 +345,16 @@ struct Shared<'a> {
     incumbent: Mutex<Option<(f64, Vec<f64>)>>,
     /// Read-mostly mirror of the incumbent key for cheap pruning.
     incumbent_key: AtomicF64,
+    /// [`SolveOptions::root_bound`] translated into the internal
+    /// minimization key orientation; incumbents at or below it end the
+    /// search as proven optimal.
+    root_key: Option<f64>,
     nodes: AtomicUsize,
     node_limit_hit: AtomicBool,
     cancel_hit: AtomicBool,
+    /// Set when the search stopped because an incumbent met the root
+    /// bound — an *optimality* stop, unlike the two flags above.
+    root_bound_hit: AtomicBool,
     /// Tightest still-open relaxation bound (minimization key) captured
     /// when the search aborted; `None` for searches that ran to completion.
     stop_bound: Mutex<Option<f64>>,
@@ -548,6 +569,11 @@ pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError>
         .map(|i| model.var_bounds(crate::model::Var(i as u32)))
         .collect();
 
+    // The caller's proven bound, in the internal minimization key space.
+    let root_key = opts
+        .root_bound
+        .map(|rb| if model.objective().is_max() { -rb } else { rb });
+
     let mut warm_best: Option<(f64, Vec<f64>)> = None;
     if let Some(warm) = &opts.warm_incumbent {
         let viol = model.violations(warm, opts.tolerance.max(1e-6));
@@ -578,17 +604,36 @@ pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError>
         cv: Condvar::new(),
         incumbent_key: AtomicF64::new(warm_best.as_ref().map_or(f64::INFINITY, |(k, _)| *k)),
         incumbent: Mutex::new(warm_best),
+        root_key,
         nodes: AtomicUsize::new(0),
         node_limit_hit: AtomicBool::new(false),
         cancel_hit: AtomicBool::new(false),
+        root_bound_hit: AtomicBool::new(false),
         stop_bound: Mutex::new(None),
         error: Mutex::new(None),
     };
-    shared.push_node(Node {
-        chain: None,
-        basis: None,
-        bound: f64::NEG_INFINITY,
-    });
+    // A warm incumbent that already meets the proven root bound makes the
+    // whole tree redundant: never open the root, prove optimality at zero
+    // nodes. Judged on the *original* objective — the root bound is a
+    // statement about the model, not about the perturbed key space.
+    let warm_meets_root = match (
+        root_key,
+        shared.incumbent.lock().expect("incumbent lock").as_ref(),
+    ) {
+        (Some(rk), Some((_, x))) => {
+            let o = model.objective().expr().eval(x);
+            let omin = if model.objective().is_max() { -o } else { o };
+            omin <= rk + opts.tolerance
+        }
+        _ => false,
+    };
+    if !warm_meets_root {
+        shared.push_node(Node {
+            chain: None,
+            basis: None,
+            bound: f64::NEG_INFINITY,
+        });
+    }
 
     let jobs = opts.jobs.max(1);
     let stats = if jobs <= 1 {
@@ -624,9 +669,13 @@ pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, SolveError>
         Some((key, x)) => {
             // The proven bound is the tightest still-open frontier bound at
             // abort time, clipped by the incumbent itself (an exhausted
-            // search proves the incumbent optimal). Keys live in the
-            // internal minimization orientation; flip for max models.
-            let key_bound = stop_bound.unwrap_or(f64::INFINITY).min(key);
+            // search proves the incumbent optimal) and never looser than
+            // the caller's proven root bound. Keys live in the internal
+            // minimization orientation; flip for max models.
+            let mut key_bound = stop_bound.unwrap_or(f64::INFINITY).min(key);
+            if let Some(rk) = root_key {
+                key_bound = key_bound.max(rk);
+            }
             Ok(Solution {
                 objective: model.objective().expr().eval(&x),
                 bound: if model.objective().is_max() {
@@ -773,7 +822,23 @@ fn process_subtree(shared: &Shared<'_>, ws: &mut Workspace, scratch: &mut NodeSc
             // proves the same perturbed optimum). Reported objectives are
             // re-evaluated on the original expression at the end.
             let k = ws.perturbed_objective_of(&xi);
-            shared.offer_incumbent(k, xi);
+            let o = shared.model.objective().expr().eval(&xi);
+            if shared.offer_incumbent(k, xi) {
+                // An incumbent meeting the caller's proven root bound is
+                // optimal — no open node can beat a proven bound. Stop the
+                // search without raising the limit/cancel flags so the
+                // result reports `Status::Optimal`.
+                if let Some(rk) = shared.root_key {
+                    let omin = if shared.model.objective().is_max() {
+                        -o
+                    } else {
+                        o
+                    };
+                    if omin <= rk + tol {
+                        shared.abort_search(&shared.root_bound_hit);
+                    }
+                }
+            }
             return;
         };
 
@@ -1147,6 +1212,92 @@ mod tests {
         assert_eq!(s.objective, baseline.objective);
         assert_eq!(s.nodes, baseline.nodes);
         assert!((s.bound - s.objective).abs() < 1e-5, "optimal proves bound");
+    }
+
+    #[test]
+    fn root_bound_proves_optimality_early() {
+        let m = chunky_knapsack();
+        let baseline = solve_default(&m);
+        assert_eq!(baseline.status, Status::Optimal);
+        let s = solve(
+            &m,
+            &SolveOptions {
+                root_bound: Some(baseline.objective),
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.objective, baseline.objective);
+        assert!(
+            s.nodes < baseline.nodes,
+            "the bound must cut the proof short: {} vs {}",
+            s.nodes,
+            baseline.nodes
+        );
+        assert!((s.bound - s.objective).abs() < 1e-5);
+    }
+
+    #[test]
+    fn warm_incumbent_meeting_root_bound_never_opens_the_tree() {
+        let m = chunky_knapsack();
+        let baseline = solve_default(&m);
+        let s = solve(
+            &m,
+            &SolveOptions {
+                warm_incumbent: Some(baseline.x.clone()),
+                root_bound: Some(baseline.objective),
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.nodes, 0, "proof complete before the root node");
+        assert_eq!(s.objective, baseline.objective);
+        assert!((s.bound - s.objective).abs() < 1e-5);
+    }
+
+    #[test]
+    fn root_bound_tightens_the_cancelled_bound() {
+        // Pre-cancelled search: the frontier proves nothing (the root was
+        // never explored), so without a root bound the reported bound is
+        // +inf for this max model; the injected proven bound replaces it.
+        let m = chunky_knapsack();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let s = solve(
+            &m,
+            &SolveOptions {
+                warm_incumbent: Some(vec![0.0; 12]),
+                cancel: Some(cancel),
+                root_bound: Some(250.0),
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.status, Status::Cancelled);
+        assert_eq!(s.objective, 0.0);
+        assert_eq!(s.bound, 250.0, "static bound survives the cancellation");
+    }
+
+    #[test]
+    fn loose_root_bound_changes_nothing() {
+        // A bound far below the optimum (for this max model) never fires:
+        // node-for-node identical to the default search.
+        let m = chunky_knapsack();
+        let baseline = solve_default(&m);
+        let s = solve(
+            &m,
+            &SolveOptions {
+                root_bound: Some(1e6),
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.objective, baseline.objective);
+        assert_eq!(s.nodes, baseline.nodes);
+        assert_eq!(s.pivots, baseline.pivots);
     }
 
     #[test]

@@ -126,7 +126,7 @@ pub fn dual_ratio_scan(
 ) {
     cands.clear();
     for &j32 in nonbasic {
-        let j = j32 as usize;
+        let j = j32 as usize; // cast-ok: u32 column ids widen losslessly to usize
         if lo[j] >= hi[j] {
             continue;
         }
@@ -221,7 +221,7 @@ pub mod reference {
                 ColStatus::AtUpper => (-d[j]).max(0.0),
                 _ => d[j].abs(),
             };
-            cands.push((dj / a.abs(), j as u32));
+            cands.push((dj / a.abs(), j as u32)); // cast-ok: j < var_count, which is Var(u32)-bounded
         }
     }
 }

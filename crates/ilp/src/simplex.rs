@@ -109,7 +109,7 @@ impl std::error::Error for LpError {}
 /// Returns [`LpError::IterationLimit`] if the pivot budget is exhausted.
 pub fn solve_lp(model: &Model, max_iters: usize) -> Result<LpOutcome, LpError> {
     let bounds: Vec<(f64, f64)> = (0..model.var_count())
-        .map(|i| model.var_bounds(Var(i as u32)))
+        .map(|i| model.var_bounds(Var(i as u32))) // cast-ok: var_count is Var(u32)-bounded
         .collect();
     solve_lp_with_bounds(model, &bounds, max_iters)
 }
@@ -330,10 +330,10 @@ impl Workspace {
         // original expression, never on the perturbed costs.
         for (j, c) in cost.iter_mut().enumerate().take(n) {
             if *c == 0.0 {
-                let (l, h) = model.var_bounds(Var(j as u32));
+                let (l, h) = model.var_bounds(Var(j as u32)); // cast-ok: j < n = var_count, Var(u32)-bounded
                 if l.is_finite() && h.is_finite() {
                     let range = (h - l).max(1.0);
-                    *c = 1e-7 * hash_unit(j as u64) / range;
+                    *c = 1e-7 * hash_unit(j as u64) / range; // cast-ok: usize widens losslessly to u64
                 }
             }
         }
@@ -443,7 +443,7 @@ impl Workspace {
     /// with the worker, not with the call.
     pub(crate) fn snapshot_into(&self, out: &mut Vec<u8>) {
         out.clear();
-        out.extend(self.vstat.iter().map(|&s| s as u8));
+        out.extend(self.vstat.iter().map(|&s| s as u8)); // cast-ok: VStat is a fieldless enum with < 256 variants
     }
 
     /// Objective of the current solution in the internal minimization
@@ -458,7 +458,7 @@ impl Workspace {
             }
         }
         for &j32 in &self.nonbasic {
-            let j = j32 as usize;
+            let j = j32 as usize; // cast-ok: u32 column ids widen losslessly to usize
             if j >= self.n {
                 break;
             }
@@ -484,7 +484,7 @@ impl Workspace {
     pub(crate) fn extract_x(&self) -> Vec<f64> {
         let mut x = vec![0.0; self.n];
         for &j32 in &self.nonbasic {
-            let j = j32 as usize;
+            let j = j32 as usize; // cast-ok: u32 column ids widen losslessly to usize
             if j >= self.n {
                 break;
             }
@@ -520,7 +520,7 @@ impl Workspace {
         self.nonbasic.clear();
         for j in 0..self.n_total {
             if self.vstat[j] != VStat::Basic && !(j >= self.n && self.lo[j] >= self.hi[j]) {
-                self.nonbasic.push(j as u32);
+                self.nonbasic.push(j as u32); // cast-ok: j < n_total, Var(u32)-bounded
             }
         }
     }
@@ -539,14 +539,14 @@ impl Workspace {
     fn nonbasic_pivot_swap(&mut self, enter: usize, leave: usize) {
         let e = self
             .nonbasic
-            .binary_search(&(enter as u32))
+            .binary_search(&(enter as u32)) // cast-ok: enter < n_total, Var(u32)-bounded
             .expect("entering column was nonbasic");
         self.nonbasic.remove(e);
         let l = self
             .nonbasic
-            .binary_search(&(leave as u32))
+            .binary_search(&(leave as u32)) // cast-ok: leave < n_total, Var(u32)-bounded
             .expect_err("leaving column was basic");
-        self.nonbasic.insert(l, leave as u32);
+        self.nonbasic.insert(l, leave as u32); // cast-ok: leave < n_total, Var(u32)-bounded
     }
 
     /// Recomputes the basic values `x_B = B⁻¹(b − N·x_N)` from scratch.
@@ -558,7 +558,7 @@ impl Workspace {
         v.clear();
         v.extend_from_slice(&self.rhs);
         for &j32 in &self.nonbasic {
-            let j = j32 as usize;
+            let j = j32 as usize; // cast-ok: u32 column ids widen losslessly to usize
             let xj = self.nonbasic_value(j);
             if xj != 0.0 {
                 self.mat.col_axpy(j, -xj, &mut v);
@@ -585,7 +585,7 @@ impl Workspace {
         self.basis.btran(&mut self.y);
         self.d.fill(0.0);
         for &j32 in &self.nonbasic {
-            let j = j32 as usize;
+            let j = j32 as usize; // cast-ok: u32 column ids widen losslessly to usize
             if self.lo[j] >= self.hi[j] {
                 continue;
             }
@@ -826,7 +826,7 @@ impl Workspace {
 
     fn dual_feasible(&self) -> bool {
         self.nonbasic.iter().all(|&j32| {
-            let j = j32 as usize;
+            let j = j32 as usize; // cast-ok: u32 column ids widen losslessly to usize
             match self.vstat[j] {
                 VStat::Basic => true,
                 VStat::AtLower => self.lo[j] >= self.hi[j] || self.d[j] >= -DUAL_TOL,
@@ -850,7 +850,7 @@ impl Workspace {
             // Entering column.
             let mut enter: Option<(usize, f64)> = None; // (col, score)
             for &j32 in &self.nonbasic {
-                let j = j32 as usize;
+                let j = j32 as usize; // cast-ok: u32 column ids widen losslessly to usize
                 if self.lo[j] >= self.hi[j] {
                     continue;
                 }
@@ -1067,7 +1067,7 @@ impl Workspace {
             self.rho[r] = 1.0;
             self.basis.btran(&mut self.rho);
             for &j32 in &self.nonbasic {
-                let j = j32 as usize;
+                let j = j32 as usize; // cast-ok: u32 column ids widen losslessly to usize
                 if self.lo[j] >= self.hi[j] {
                     continue;
                 }
@@ -1132,14 +1132,14 @@ impl Workspace {
                         .iter()
                         .copied()
                         .min_by(|a, b| a.partial_cmp(b).expect("ratios are finite"))
-                        .map(|(_, j)| j as usize);
+                        .map(|(_, j)| j as usize); // cast-ok: u32 column ids widen losslessly to usize
                 } else {
                     self.cands
                         .sort_unstable_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
                     let mut remaining = viol_abs;
                     let slack = FEAS_TOL * (1.0 + viol_abs);
                     for &(_, j) in &self.cands {
-                        let j = j as usize;
+                        let j = j as usize; // cast-ok: u32 column ids widen losslessly to usize
                         let range = self.hi[j] - self.lo[j];
                         let capacity = range * self.alpha[j].abs(); // ∞ stays ∞
                         if capacity < remaining - slack {
@@ -1238,7 +1238,7 @@ impl Workspace {
             let theta = self.d[q] / self.alpha[q];
             if theta != 0.0 {
                 for &j32 in &self.nonbasic {
-                    let j = j32 as usize;
+                    let j = j32 as usize; // cast-ok: u32 column ids widen losslessly to usize
                     if self.lo[j] >= self.hi[j] {
                         continue;
                     }
@@ -1303,7 +1303,7 @@ fn hash_unit(j: u64) -> f64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
-    1.0 + (z >> 11) as f64 / (1u64 << 53) as f64
+    1.0 + (z >> 11) as f64 / (1u64 << 53) as f64 // cast-ok: both operands fit in 53 bits, so the f64s are exact
 }
 
 /// The nonbasic resting status nearest to feasibility for given bounds.

@@ -269,8 +269,8 @@ impl Sequencer for StaticSequencer<'_> {
         let transfer_ns = u128::from(arch.transfer_ns_per_word) * u128::from(duplex_words);
         let delay = u128::from(design.delay_per_computation_ns);
         let mut exposed = u128::from(arch.transfer_ns_per_word) * u128::from(in_w); // prologue
-        let mut buf = vec![0i32; in_w as usize];
-        let mut out = vec![0i32; design.output_words as usize];
+        let mut buf = vec![0i32; in_w as usize]; // cast-ok: in_w is a word count bounded by board memory, far below usize::MAX
+        let mut out = vec![0i32; design.output_words as usize]; // cast-ok: output_words is bounded by board memory, far below usize::MAX
         let t0 = Instant::now();
         for _ in 0..computations {
             source.read(&mut buf);
@@ -326,12 +326,12 @@ struct BatchBuffers {
 
 impl BatchBuffers {
     fn new(design: &RtrDesign) -> Self {
-        let k = design.k as usize;
-        let stride = design.primary_input_words as usize
+        let k = design.k as usize; // cast-ok: k is a batch width bounded by board memory / block_words
+        let stride = design.primary_input_words as usize // cast-ok: word counts are bounded by board memory, far below usize::MAX
             + design
                 .configurations
                 .iter()
-                .map(|c| c.output_words as usize)
+                .map(|c| c.output_words as usize) // cast-ok: word counts are bounded by board memory, far below usize::MAX
                 .sum::<usize>();
         let max_in = design
             .configurations
@@ -342,11 +342,11 @@ impl BatchBuffers {
         let max_out = design
             .configurations
             .iter()
-            .map(|c| c.output_words as usize)
+            .map(|c| c.output_words as usize) // cast-ok: word counts are bounded by board memory, far below usize::MAX
             .max()
             .unwrap_or(0);
         BatchBuffers {
-            input: vec![0; k * design.primary_input_words as usize],
+            input: vec![0; k * design.primary_input_words as usize], // cast-ok: word counts are bounded by board memory, far below usize::MAX
             histories: vec![0; k * stride],
             stride,
             filled: 0,
@@ -362,8 +362,8 @@ impl BatchBuffers {
     /// `source` into the staged buffer (zero-padding the garbage tail
     /// slots) and seeds every slot's history with its primary input words.
     fn stage(&mut self, design: &RtrDesign, source: &mut dyn InputSource, real: u64) {
-        let in_w = design.primary_input_words as usize;
-        let real_words = real as usize * in_w;
+        let in_w = design.primary_input_words as usize; // cast-ok: word counts are bounded by board memory, far below usize::MAX
+        let real_words = real as usize * in_w; // cast-ok: real <= k, a batch width bounded by board memory
         source.read(&mut self.input[..real_words]);
         self.input[real_words..].fill(0);
         for (slot, hist) in self.histories.chunks_exact_mut(self.stride).enumerate() {
@@ -376,6 +376,7 @@ impl BatchBuffers {
     /// words — gathered by the last configuration's store pass in
     /// [`execute_batch`] — into `sink`.
     fn drain(&mut self, design: &RtrDesign, sink: &mut dyn OutputSink, real: u64) {
+        // cast-ok: real <= k, a batch width bounded by board memory
         sink.write(&self.output[..real as usize * design.output_selector.len()]);
     }
 }
@@ -432,7 +433,7 @@ fn execute_batch(
     drain_selector: Option<&[u32]>,
 ) -> Result<(), BoardError> {
     let in_w = config.input_words();
-    let (iw, ow) = (in_w as usize, config.output_words as usize);
+    let (iw, ow) = (in_w as usize, config.output_words as usize); // cast-ok: word counts are bounded by board memory, far below usize::MAX
     let (stride, filled) = (bufs.stride, bufs.filled);
     let k = bufs.histories.len() / stride;
     if let Some(osel) = drain_selector {
@@ -459,7 +460,7 @@ fn execute_batch(
         let from_primary = config
             .input_selector
             .iter()
-            .all(|&sel| (sel as usize) < p_iw);
+            .all(|&sel| (sel as usize) < p_iw); // cast-ok: u32 selector indices widen losslessly to usize
         let mut chunk = 0usize;
         while chunk < k {
             let lanes = MAX_BATCH_LANES.min(k - chunk);
@@ -474,9 +475,9 @@ fn execute_batch(
             } else {
                 (&histories[chunk * stride..(chunk + lanes) * stride], stride)
             };
-            let bw = config.block_words as usize;
+            let bw = config.block_words as usize; // cast-ok: block_words is bounded by board memory, far below usize::MAX
             let bank_region =
-                bank.region_mut(chunk as u64 * config.block_words, (lanes * bw) as u64)?;
+                bank.region_mut(chunk as u64 * config.block_words, (lanes * bw) as u64)?; // cast-ok: chunk indexes banked board memory; usize widens losslessly to u64
             let rows = gathered
                 .chunks_exact_mut(iw)
                 .zip(bank_region.chunks_exact_mut(bw))
@@ -485,7 +486,7 @@ fn execute_batch(
                 let mirror = &mut block[..iw];
                 let cells = dst.iter_mut().zip(mirror).zip(&config.input_selector);
                 for ((d, m), &sel) in cells {
-                    let v = row[sel as usize];
+                    let v = row[sel as usize]; // cast-ok: u32 selector indices widen losslessly to usize
                     *d = v;
                     *m = v;
                 }
@@ -511,7 +512,7 @@ fn execute_batch(
             let t2 = Instant::now();
             let window = &mut histories[chunk * stride..(chunk + lanes) * stride];
             let bank_region =
-                bank.region_mut(chunk as u64 * config.block_words, (lanes * bw) as u64)?;
+                bank.region_mut(chunk as u64 * config.block_words, (lanes * bw) as u64)?; // cast-ok: chunk indexes banked board memory; usize widens losslessly to u64
             for ((l, hist), block) in window
                 .chunks_exact_mut(stride)
                 .enumerate()
@@ -535,7 +536,7 @@ fn execute_batch(
                     .zip(window.chunks_exact(stride));
                 for (dst, hist) in rows {
                     for (d, &sel) in dst.iter_mut().zip(osel) {
-                        *d = hist[sel as usize];
+                        *d = hist[sel as usize]; // cast-ok: u32 selector indices widen losslessly to usize
                     }
                 }
             }
@@ -555,7 +556,7 @@ fn execute_batch(
         .zip(histories.chunks_exact(stride));
     for (dst, hist) in rows {
         for (d, &sel) in dst.iter_mut().zip(&config.input_selector) {
-            *d = hist[sel as usize];
+            *d = hist[sel as usize]; // cast-ok: u32 selector indices widen losslessly to usize
         }
     }
     bank.write_strided(0, config.block_words, iw, &bufs.gathered)?;
@@ -587,7 +588,7 @@ fn execute_batch(
             .zip(bufs.histories.chunks_exact(stride));
         for (dst, hist) in rows {
             for (d, &sel) in dst.iter_mut().zip(osel) {
-                *d = hist[sel as usize];
+                *d = hist[sel as usize]; // cast-ok: u32 selector indices widen losslessly to usize
             }
         }
     }

@@ -1,4 +1,4 @@
-//! Workspace automation. `cargo xtask lint` enforces three source-level
+//! Workspace automation. `cargo xtask lint` enforces four source-level
 //! policies that rustc/clippy have no lint for:
 //!
 //! 1. **Panic-freedom in library code** — no `.unwrap()` or `panic!` in
@@ -11,6 +11,13 @@
 //! 3. **Clock discipline in strategy code** — deterministic strategy and
 //!    refinement code must not read `Instant::now()` directly; wall-clock
 //!    reads belong to the search driver so runs replay identically.
+//! 4. **Justified numeric casts in kernel code** — in the numeric hot
+//!    paths (simplex kernels, the board-memory host driver) every bare
+//!    `as` cast to a primitive numeric type needs a `// cast-ok:` comment
+//!    saying why it cannot truncate, wrap, or lose precision. Elsewhere
+//!    clippy's lossless-conversion lints suffice; these files convert
+//!    between index and float domains constantly, where a silent
+//!    truncation would corrupt a basis or a DMA length, not crash.
 //!
 //! The tool is path-based, not syntax-tree-based: it strips comments and
 //! string literals with a small state machine and tracks `#[cfg(test)]`
@@ -152,8 +159,60 @@ const CLOCK_FREE: &[&str] = &[
     "crates/core/src/list.rs",
 ];
 
+/// Files where every bare `as` cast to a primitive numeric type must carry
+/// a `// cast-ok:` justification: the simplex hot paths and the
+/// board-memory host driver, where an unnoticed truncation corrupts a
+/// basis index or a transfer length instead of failing loudly.
+const CAST_JUSTIFY: &[&str] = &[
+    "crates/ilp/src/kernels.rs",
+    "crates/ilp/src/simplex.rs",
+    "crates/rtr/src/host.rs",
+];
+
+/// Primitive numeric cast targets `cast-needs-justification` covers.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Whether the (comment-stripped) line contains a cast expression
+/// `... as <numeric type>`. Token-based: `as` must stand alone (not part
+/// of an identifier) and the next token must be a primitive numeric type,
+/// so `use x as y` imports and generic `as` in paths never match.
+fn has_numeric_cast(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = code[i..].find("as") {
+        let start = i + pos;
+        let end = start + 2;
+        let before_ok = start == 0 || {
+            let c = bytes[start - 1] as char;
+            !c.is_alphanumeric() && c != '_'
+        };
+        let after = &code[end..];
+        let after_ok = after.starts_with(char::is_whitespace);
+        if before_ok && after_ok {
+            let target = after.trim_start();
+            if NUMERIC_TYPES.iter().any(|t| {
+                target.starts_with(t)
+                    && target[t.len()..]
+                        .chars()
+                        .next()
+                        .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+            }) {
+                return true;
+            }
+        }
+        i = end;
+    }
+    false
+}
+
 fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
     let clock_free = CLOCK_FREE
+        .iter()
+        .any(|p| rel == Path::new(p) || rel.to_string_lossy().replace('\\', "/") == *p);
+    let cast_justify = CAST_JUSTIFY
         .iter()
         .any(|p| rel == Path::new(p) || rel.to_string_lossy().replace('\\', "/") == *p);
 
@@ -164,9 +223,11 @@ fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
     let mut pending_test_attr = false;
     let mut depth = 0usize;
     let mut prev_raw = "";
-    // A `// relaxed-ok:` seen in the contiguous comment block directly
-    // above the current line justifies the first code line after it.
+    // A `// relaxed-ok:` / `// cast-ok:` seen in the contiguous comment
+    // block directly above the current line justifies the first code line
+    // after it.
     let mut relaxed_ok_pending = false;
+    let mut cast_ok_pending = false;
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -174,6 +235,9 @@ fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
         let comment_only = code.trim().is_empty() && !raw.trim().is_empty();
         if comment_only && raw.contains("relaxed-ok:") {
             relaxed_ok_pending = true;
+        }
+        if comment_only && raw.contains("cast-ok:") {
+            cast_ok_pending = true;
         }
 
         if code.contains("#[cfg(test)]") {
@@ -242,6 +306,21 @@ fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
                         .to_string(),
                 });
             }
+            if cast_justify
+                && has_numeric_cast(&code)
+                && !raw.contains("cast-ok:")
+                && !prev_raw.contains("cast-ok:")
+                && !cast_ok_pending
+            {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: line_no,
+                    rule: "cast-needs-justification",
+                    message:
+                        "bare `as` cast to a numeric type without a `// cast-ok:` justification"
+                            .to_string(),
+                });
+            }
             if clock_free && code.contains("Instant::now") {
                 findings.push(Finding {
                     file: rel.to_path_buf(),
@@ -255,6 +334,7 @@ fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
 
         if !comment_only {
             relaxed_ok_pending = false;
+            cast_ok_pending = false;
         }
         prev_raw = raw;
     }
@@ -378,6 +458,32 @@ mod tests {
         assert_eq!(
             rules_of("src/lib.rs", stale),
             vec![("relaxed-needs-justification", 3)]
+        );
+    }
+
+    #[test]
+    fn cast_rule_applies_only_to_kernel_files() {
+        let bare = "fn f(i: usize) -> f64 { i as f64 }\n";
+        assert_eq!(
+            rules_of("crates/ilp/src/kernels.rs", bare),
+            vec![("cast-needs-justification", 1)]
+        );
+        // Outside the kernel list the same cast is clippy's business.
+        assert_eq!(rules_of("crates/ilp/src/branch.rs", bare), vec![]);
+        let same_line = "fn f(i: usize) -> f64 { i as f64 } // cast-ok: exact below 2^53\n";
+        assert_eq!(rules_of("crates/ilp/src/kernels.rs", same_line), vec![]);
+        let block_above = "// cast-ok: indices fit in f64\n// (row counts are < 2^20)\nfn f(i: usize) -> f64 { i as f64 }\n";
+        assert_eq!(rules_of("crates/ilp/src/kernels.rs", block_above), vec![]);
+        // Only *numeric* casts are covered; `as` in imports and trait
+        // casts (`as dyn`, `as_ref` idents) never match.
+        let non_numeric =
+            "use std::fmt as formatting;\nfn g(x: &dyn std::any::Any) { let _ = x as &dyn std::any::Any; }\nfn h() { basis.as_slice(); }\n";
+        assert_eq!(rules_of("crates/ilp/src/kernels.rs", non_numeric), vec![]);
+        // The justification must sit on or directly above the cast line.
+        let stale = "// cast-ok: for the first one\nfn f(i: usize) -> f64 { i as f64 }\nfn g(j: usize) -> f64 { j as f64 }\n";
+        assert_eq!(
+            rules_of("crates/ilp/src/simplex.rs", stale),
+            vec![("cast-needs-justification", 3)]
         );
     }
 

@@ -132,7 +132,7 @@ impl CliError {
 }
 
 fn usage() -> &'static str {
-    "usage: sparcs <partition|fission|codegen|explore|run|audit|dot|example> [graph.tg] [options]\n\
+    "usage: sparcs <partition|fission|codegen|explore|run|audit|analyze|dot|example> [graph.tg] [options]\n\
      options: --clbs N  --memory WORDS  --ct NS  --dm NS  --pow2  --edge-memory\n\
               --inputs I  --workload N[,N...] (explore ranks every entry)\n\
               --strategy fdh|idh\n\
@@ -148,6 +148,8 @@ fn usage() -> &'static str {
               --json (audit: one JSON diagnostic per line)\n\
      `audit` (alias `lint`) re-derives the synthesized design's legality\n\
      with the independent certifier and reports every disagreement\n\
+     `analyze` reports certified pre-solve bounds and graph lints without\n\
+     solving anything (exit is nonzero on error-class lints)\n\
      run `sparcs example` for a sample graph file"
 }
 
@@ -616,6 +618,46 @@ fn real_main() -> Result<(), CliError> {
                 )));
             }
         }
+        "analyze" => {
+            let s = session(&f)?;
+            let mode = if f.edge_memory {
+                MemoryMode::Edge
+            } else {
+                MemoryMode::Net
+            };
+            let analysis =
+                sparcs::analyze::analyze(s.graph(), s.arch(), mode).map_err(CliError::runtime)?;
+            if f.json {
+                println!("{}", analysis.to_json());
+            } else {
+                for fact in &analysis.facts {
+                    println!("{fact}");
+                }
+                for lint in &analysis.lints {
+                    println!("{lint}");
+                }
+                let verdict = match analysis.static_verdict(f.max_partitions.first().copied()) {
+                    Some(rule) => format!("statically infeasible [{rule}]"),
+                    None => "no static infeasibility".to_string(),
+                };
+                println!(
+                    "analyze: {} — {} fact(s), {} lint(s), {verdict}",
+                    analysis.graph,
+                    analysis.facts.len(),
+                    analysis.lints.len(),
+                );
+            }
+            let errors = analysis
+                .lints
+                .iter()
+                .filter(|l| l.severity == sparcs::analyze::Severity::Error)
+                .count();
+            if errors > 0 {
+                return Err(CliError::Runtime(format!(
+                    "analyze found {errors} error-class lint(s)"
+                )));
+            }
+        }
         "explore" => {
             let s = session(&f)?;
             let mut space = ExploreSpace::for_workloads(f.workload_grid());
@@ -719,12 +761,13 @@ fn real_main() -> Result<(), CliError> {
             }
             let cov = &exploration.coverage;
             println!(
-                "coverage: {}/{} specs ranked ({} infeasible, {} invalid, {} fission-skipped), jobs = {}",
+                "coverage: {}/{} specs ranked ({} infeasible, {} invalid, {} fission-skipped, {} static-pruned), jobs = {}",
                 cov.ranked_specs,
                 cov.specs,
                 cov.skipped_infeasible,
                 cov.skipped_invalid,
                 cov.skipped_fission,
+                cov.skipped_static,
                 space.jobs,
             );
             for skip in &cov.skips {

@@ -325,6 +325,15 @@ pub trait PartitionStrategy: Send + Sync {
     fn memory_mode(&self) -> MemoryMode {
         MemoryMode::Net
     }
+
+    /// The hard partition-count cap this strategy solves under, if any —
+    /// what the [`sparcs_analyze`] pre-pass judges the
+    /// `partition-count-bound` verdict against. `None` (the default) means
+    /// uncapped: the count bound can then never convict the spec, only the
+    /// memory and schedulability bounds can.
+    fn partition_cap(&self) -> Option<u32> {
+        None
+    }
 }
 
 /// The legacy one-shot strategy surface: `partition(&ctx)` with no search
@@ -460,6 +469,10 @@ impl PartitionStrategy for IlpStrategy {
 
     fn memory_mode(&self) -> MemoryMode {
         self.options.model.memory_mode
+    }
+
+    fn partition_cap(&self) -> Option<u32> {
+        self.options.max_partitions
     }
 }
 
@@ -691,7 +704,7 @@ impl FlowSession {
                 })
                 .collect()
         };
-        let builtins = space.builtin_strategies()?;
+        let builtins = space.builtin_strategies(&self.ctx.graph)?;
         let strategies: Vec<(&dyn PartitionStrategy, Option<u32>)> = builtins
             .iter()
             .map(|(boxed, cap)| (boxed.as_ref(), *cap))
@@ -730,6 +743,7 @@ impl FlowSession {
             let outcome = outcome?;
             coverage.skipped_infeasible += usize::from(outcome.skipped_infeasible);
             coverage.skipped_invalid += usize::from(outcome.skipped_invalid);
+            coverage.skipped_static += usize::from(outcome.skipped_static);
             coverage.skipped_fission += outcome.skipped_fission;
             coverage.ranked_specs += usize::from(!outcome.candidates.is_empty());
             coverage.skips.extend(outcome.skips);
@@ -749,6 +763,107 @@ impl FlowSession {
     }
 }
 
+/// Why one candidate spec fell out of an exploration's ranking — the typed
+/// record behind [`ExploreCoverage::skips`]. Every variant carries the
+/// spec's identity (strategy spec string + architecture name); `Display`
+/// renders the same `"<strategy> on <arch>: <reason>"` lines the coverage
+/// report always printed, so the accounting is no longer stringly-typed
+/// without changing a byte of CLI output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The partitioner reported the spec infeasible (no partitioning under
+    /// the cap, memory too small, solver budget exhausted).
+    Infeasible {
+        /// Strategy spec (e.g. `"ilp"`, `"list+kl"`).
+        strategy: String,
+        /// Architecture name.
+        arch: String,
+        /// The partitioner's error rendering.
+        detail: String,
+    },
+    /// The strategy produced a design that failed architecture validation.
+    Invalid {
+        /// Strategy spec.
+        strategy: String,
+        /// Architecture name.
+        arch: String,
+        /// The violation list rendering.
+        detail: String,
+    },
+    /// One rounding's fission analysis found the board memory too small.
+    Fission {
+        /// Strategy spec.
+        strategy: String,
+        /// Architecture name.
+        arch: String,
+        /// The fission error rendering.
+        detail: String,
+    },
+    /// The [`sparcs_analyze`] pre-pass proved the spec infeasible before
+    /// any solve was launched.
+    Static {
+        /// Strategy spec.
+        strategy: String,
+        /// Architecture name.
+        arch: String,
+        /// The convicting analyzer rule id (see [`sparcs_analyze::rules`]).
+        rule: &'static str,
+        /// The certified bound versus the limit it exceeds.
+        detail: String,
+    },
+}
+
+impl SkipReason {
+    /// The convicting analyzer rule id, for [`SkipReason::Static`] skips.
+    pub fn rule(&self) -> Option<&'static str> {
+        match self {
+            SkipReason::Static { rule, .. } => Some(rule),
+            _ => None,
+        }
+    }
+
+    /// The strategy spec this skip belongs to.
+    pub fn strategy(&self) -> &str {
+        match self {
+            SkipReason::Infeasible { strategy, .. }
+            | SkipReason::Invalid { strategy, .. }
+            | SkipReason::Fission { strategy, .. }
+            | SkipReason::Static { strategy, .. } => strategy,
+        }
+    }
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::Infeasible {
+                strategy,
+                arch,
+                detail,
+            }
+            | SkipReason::Invalid {
+                strategy,
+                arch,
+                detail,
+            }
+            | SkipReason::Fission {
+                strategy,
+                arch,
+                detail,
+            } => write!(f, "{strategy} on {arch}: {detail}"),
+            SkipReason::Static {
+                strategy,
+                arch,
+                rule,
+                detail,
+            } => write!(
+                f,
+                "{strategy} on {arch}: statically pruned [{rule}]: {detail}"
+            ),
+        }
+    }
+}
+
 /// What one candidate spec (strategy × architecture × cap) contributed.
 #[derive(Default)]
 struct SpecOutcome {
@@ -757,27 +872,13 @@ struct SpecOutcome {
     skipped_infeasible: bool,
     /// The partitioning failed architecture validation.
     skipped_invalid: bool,
+    /// The static pre-pass convicted the spec before any solve.
+    skipped_static: bool,
     /// Roundings whose fission analysis found the memory too small.
     skipped_fission: usize,
-    /// Human-readable reasons for everything skipped above, labelled with
-    /// the spec (for [`ExploreCoverage::skips`]).
-    skips: Vec<String>,
-}
-
-impl SpecOutcome {
-    /// Labels a skip reason with the spec's identity.
-    fn record_skip(
-        &mut self,
-        ctx: &DesignContext,
-        strategy: &dyn PartitionStrategy,
-        reason: &dyn fmt::Display,
-    ) {
-        self.skips.push(format!(
-            "{} on {}: {reason}",
-            strategy.name(),
-            ctx.arch.name
-        ));
-    }
+    /// Typed reasons for everything skipped above, labelled with the spec
+    /// (for [`ExploreCoverage::skips`]).
+    skips: Vec<SkipReason>,
 }
 
 /// Evaluates one spec: partition (through the cache), validate, then fan
@@ -791,11 +892,46 @@ fn evaluate_spec(
     search: &SearchCtx,
 ) -> Result<SpecOutcome, FlowError> {
     let mut outcome = SpecOutcome::default();
+    // Static pre-pass: a solver is never launched on a spec the analyzer
+    // proves dead. The analysis runs under the *validation* memory mode —
+    // the gate every ranked candidate must clear — so a memory or
+    // schedulability conviction means no design of any strategy could have
+    // survived, and a partition-count conviction (judged against this
+    // spec's cap) means the exact solver could only have proven
+    // infeasibility the slow way.
+    let analysis = sparcs_analyze::analyze(&ctx.graph, &ctx.arch, space.memory_mode)?;
+    let cap = max_partitions.or(strategy.partition_cap());
+    if let Some(rule) = analysis.static_verdict(cap) {
+        let detail = match rule {
+            sparcs_analyze::rules::PARTITION_COUNT_BOUND => format!(
+                "partition-count lower bound {} exceeds the cap {}",
+                analysis.partition_count_lb,
+                cap.map_or_else(|| "-".into(), |c| c.to_string()),
+            ),
+            sparcs_analyze::rules::MEMORY_BOUND => format!(
+                "boundary-memory lower bound {} words exceeds the board's {}",
+                analysis.memory_lb_words, analysis.board_memory_words,
+            ),
+            _ => "a task exceeds the device capacity at every partition count".into(),
+        };
+        outcome.skipped_static = true;
+        outcome.skips.push(SkipReason::Static {
+            strategy: strategy.name(),
+            arch: ctx.arch.name.clone(),
+            rule,
+            detail,
+        });
+        return Ok(outcome);
+    }
     let design = match partition_cached(ctx, strategy, space.cache.as_deref(), search) {
         Ok(design) => design,
         Err(e) if e.is_infeasible() => {
             outcome.skipped_infeasible = true;
-            outcome.record_skip(ctx, strategy, &e);
+            outcome.skips.push(SkipReason::Infeasible {
+                strategy: strategy.name(),
+                arch: ctx.arch.name.clone(),
+                detail: e.to_string(),
+            });
             return Ok(outcome);
         }
         Err(e) => return Err(e),
@@ -808,7 +944,11 @@ fn evaluate_spec(
         .validate(&ctx.graph, &ctx.arch, space.memory_mode);
     if !violations.is_empty() {
         outcome.skipped_invalid = true;
-        outcome.record_skip(ctx, strategy, &FlowError::Infeasible(violations));
+        outcome.skips.push(SkipReason::Invalid {
+            strategy: strategy.name(),
+            arch: ctx.arch.name.clone(),
+            detail: FlowError::Infeasible(violations).to_string(),
+        });
         return Ok(outcome);
     }
     for &rounding in &space.roundings {
@@ -824,7 +964,11 @@ fn evaluate_spec(
                 let e = FlowError::from(e);
                 if e.is_infeasible() {
                     outcome.skipped_fission += 1;
-                    outcome.record_skip(ctx, strategy, &e);
+                    outcome.skips.push(SkipReason::Fission {
+                        strategy: strategy.name(),
+                        arch: ctx.arch.name.clone(),
+                        detail: e.to_string(),
+                    });
                     continue;
                 }
                 return Err(e);
@@ -1276,12 +1420,25 @@ impl ExploreSpace {
     }
 
     /// The built-in strategies this space enables, each with the partition
-    /// cap it reports under.
+    /// cap it reports under. Exact (ILP-backed) candidates get the
+    /// certified [`sparcs_analyze::critical_path_lb_ns`] bound of `graph`
+    /// injected as their branch-and-bound root bound — the search proves
+    /// optimality the moment an incumbent meets it — unless the space's
+    /// shared options already pinned one. The bound is a pure function of
+    /// the graph, so cache keys and rankings stay deterministic.
     ///
     /// # Errors
     ///
-    /// [`FlowError::Spec`] when an entry of [`Self::specs`] does not parse.
-    fn builtin_strategies(&self) -> Result<Vec<BuiltinStrategy>, FlowError> {
+    /// [`FlowError::Spec`] when an entry of [`Self::specs`] does not
+    /// parse; [`FlowError::Graph`] when `graph` does not validate.
+    fn builtin_strategies(&self, graph: &TaskGraph) -> Result<Vec<BuiltinStrategy>, FlowError> {
+        let mut ilp_options = self.ilp_options.clone();
+        if ilp_options.solve.root_bound.is_none() {
+            let lb = sparcs_analyze::critical_path_lb_ns(graph)?;
+            // cast-ok: u64 ns → f64 objective space; partition delays are
+            // far below 2^53 ns (~104 days), so the conversion is exact.
+            ilp_options.solve.root_bound = Some(lb as f64);
+        }
         let mut builtins: Vec<BuiltinStrategy> = Vec::new();
         if self.include_ilp {
             let caps: &[Option<u32>] = if self.max_partitions.is_empty() {
@@ -1290,7 +1447,7 @@ impl ExploreSpace {
                 &self.max_partitions
             };
             for &cap in caps {
-                let mut options = self.ilp_options.clone();
+                let mut options = ilp_options.clone();
                 // Report the *effective* cap (axis value, else the shared
                 // options cap) so candidates never look uncapped when the
                 // solver was in fact bounded.
@@ -1304,7 +1461,7 @@ impl ExploreSpace {
             builtins.push((Box::new(ListStrategy::new()), None));
         }
         for spec in &self.specs {
-            builtins.push((crate::strategy::parse_spec(spec, &self.ilp_options)?, None));
+            builtins.push((crate::strategy::parse_spec(spec, &ilp_options)?, None));
         }
         Ok(builtins)
     }
@@ -1376,14 +1533,19 @@ pub struct ExploreCoverage {
     /// Specs skipped because the partitioning failed validation against
     /// the architecture.
     pub skipped_invalid: usize,
+    /// Specs the [`sparcs_analyze`] pre-pass proved infeasible before any
+    /// solver was launched — the convicting rule id is in [`Self::skips`]
+    /// ([`SkipReason::rule`]).
+    pub skipped_static: usize,
     /// Per-rounding analyses skipped because the fission analysis found
     /// the board memory too small.
     pub skipped_fission: usize,
-    /// Why each skip happened, labelled `"<strategy> on <arch>: <reason>"`
-    /// and ordered by candidate-spec position (deterministic for any job
-    /// count) — the violation or error that disqualified the candidate,
-    /// e.g. `"boundary 0 stores 51 words > M_max"`.
-    pub skips: Vec<String>,
+    /// Why each skip happened, typed ([`SkipReason`]) and ordered by
+    /// candidate-spec position (deterministic for any job count); the
+    /// `Display` rendering is the familiar
+    /// `"<strategy> on <arch>: <reason>"` line, e.g.
+    /// `"… boundary 0 stores 51 words > M_max"`.
+    pub skips: Vec<SkipReason>,
 }
 
 /// Summed [`SolveStats`] over an exploration's distinct designs
@@ -1656,14 +1818,16 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_partition_cap_is_skipped_and_counted() {
+    fn infeasible_partition_cap_is_statically_pruned() {
         let s = session();
         let mut space = ExploreSpace::for_workload(10_000);
         // fig4's resource lower bound is 2 partitions; a hard cap of 1 is
-        // infeasible and must be counted, not fatal and not silent.
+        // provably infeasible — the analyzer pre-pass must convict it
+        // before any solver launches, counted, not fatal and not silent.
         space.max_partitions = vec![Some(1), None];
         let exploration = s.explore(&space).unwrap();
-        assert_eq!(exploration.coverage.skipped_infeasible, 1);
+        assert_eq!(exploration.coverage.skipped_static, 1);
+        assert_eq!(exploration.coverage.skipped_infeasible, 0);
         assert_eq!(
             exploration.coverage.ranked_specs,
             exploration.coverage.specs - 1
@@ -1672,13 +1836,51 @@ mod tests {
             .candidates
             .iter()
             .all(|c| c.max_partitions != Some(1)));
-        // Coverage says *why* the capped spec was skipped.
+        // Coverage says *why* the capped spec was skipped — with the
+        // convicting analyzer rule id.
         assert_eq!(exploration.coverage.skips.len(), 1);
-        assert!(
-            exploration.coverage.skips[0].contains("no feasible partitioning"),
-            "skip reason: {}",
-            exploration.coverage.skips[0]
+        let skip = &exploration.coverage.skips[0];
+        assert_eq!(
+            skip.rule(),
+            Some(sparcs_analyze::rules::PARTITION_COUNT_BOUND)
         );
+        assert_eq!(skip.strategy(), "ilp");
+        let line = skip.to_string();
+        assert!(line.contains("statically pruned"), "skip reason: {line}");
+        assert!(line.contains("partition-count-bound"), "{line}");
+    }
+
+    #[test]
+    fn solver_cap_failures_still_count_as_infeasible() {
+        // A spec the analyzer cannot convict (cap == the certified lower
+        // bound) but the solver proves infeasible anyway must still land in
+        // `skipped_infeasible` with the classic reason line — the static
+        // pre-pass narrows the solver's work, never rewrites its verdicts.
+        use sparcs_dfg::Resources;
+        // Two independent 700-CLB tasks + a 700-CLB sink: area bound says
+        // ⌈2100/1200⌉ = 2, but no 2-partition split fits (any pair
+        // overflows 1200 CLBs — every partition holds exactly one task).
+        let mut g = sparcs_dfg::TaskGraph::new("tight");
+        let a = g.add_task("a", Resources::clbs(700), 100, 1);
+        let b = g.add_task("b", Resources::clbs(700), 100, 1);
+        let c = g.add_task("c", Resources::clbs(700), 100, 1);
+        g.add_edge(a, c, 1).unwrap();
+        g.add_edge(b, c, 1).unwrap();
+        let mut arch = Architecture::xc4044_wildforce();
+        arch.resources = Resources::clbs(1200);
+        let s = FlowSession::new(g, arch);
+        let mut space = ExploreSpace::for_workload(10_000);
+        space.include_list = false;
+        space.max_partitions = vec![Some(2)];
+        let err = s.explore(&space).unwrap_err();
+        assert!(matches!(err, FlowError::NoFeasibleCandidate));
+        // With an uncapped sibling the capped spec's skip is recorded.
+        space.max_partitions = vec![Some(2), None];
+        let exploration = s.explore(&space).unwrap();
+        assert_eq!(exploration.coverage.skipped_infeasible, 1);
+        assert_eq!(exploration.coverage.skipped_static, 0);
+        let line = exploration.coverage.skips[0].to_string();
+        assert!(line.contains("no feasible partitioning"), "{line}");
     }
 
     // The legacy one-shot surface: these two compile unchanged against
@@ -1738,7 +1940,7 @@ mod tests {
         assert!(exploration.candidates.iter().all(|c| c.strategy == "ilp"));
         // The skip names the strategy and the violated constraint.
         assert_eq!(exploration.coverage.skips.len(), 1);
-        let skip = &exploration.coverage.skips[0];
+        let skip = exploration.coverage.skips[0].to_string();
         assert!(skip.contains("one-partition"), "skip reason: {skip}");
         assert!(skip.contains("exceeds device resources"), "{skip}");
     }

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use sparcs_analyze as analyze;
 pub use sparcs_audit as audit;
 pub use sparcs_core as core;
 pub use sparcs_dfg as dfg;

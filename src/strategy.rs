@@ -194,6 +194,12 @@ impl PartitionStrategy for Seeded {
         name
     }
 
+    fn partition_cap(&self) -> Option<u32> {
+        // Refinement passes move tasks between partitions but never add
+        // one, so the seed's hard cap bounds the whole chain.
+        self.seed.partition_cap()
+    }
+
     fn partition(
         &self,
         ctx: &DesignContext,

@@ -119,13 +119,18 @@ fn explore_widens_across_jobs_caps_and_boards() {
     assert!(table.contains("coverage:"), "{table}");
     assert!(table.contains("jobs = 2"), "{table}");
 
-    // A cap below the resource lower bound is reported as skipped
-    // coverage, not silently raised and not fatal.
+    // A cap below the resource lower bound is convicted by the static
+    // analyzer before any solve — reported as skipped coverage with the
+    // convicting rule id, not silently raised and not fatal.
     let capped = sparcs(&["explore", file, "--max-partitions", "1,4"]);
     let _ = std::fs::remove_file(&path);
     assert!(capped.status.success(), "{}", stderr(&capped));
     let table = stdout(&capped);
-    assert!(table.contains("1 infeasible"), "{table}");
+    assert!(table.contains("1 static-pruned"), "{table}");
+    assert!(
+        table.contains("statically pruned [partition-count-bound]"),
+        "{table}"
+    );
 
     // Identical rankings regardless of --jobs (determinism guarantee).
     let strip = |out: &str| {
@@ -321,4 +326,58 @@ fn bad_flag_values_fail_with_usage() {
         assert!(!out.status.success(), "{args:?} exits non-zero");
         assert!(stderr(&out).contains("usage:"), "{args:?} prints usage");
     }
+}
+
+#[test]
+fn analyze_reports_facts_and_convicts_without_solving() {
+    // The checked-in example graph is the CI fixture; analyzing it must
+    // succeed, name every bound rule, and (with --json) emit one object.
+    let out = sparcs(&["analyze", "examples/graphs/fig4.tg"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let report = stdout(&out);
+    for rule in [
+        "critical-path-bound",
+        "partition-count-bound",
+        "memory-bound",
+        "temp-memory-bound",
+        "reconfig-ledger-bound",
+    ] {
+        assert!(report.contains(rule), "missing {rule}: {report}");
+    }
+    assert!(report.contains("no static infeasibility"), "{report}");
+
+    let json = sparcs(&["analyze", "examples/graphs/fig4.tg", "--json"]);
+    assert!(json.status.success(), "{}", stderr(&json));
+    let line = stdout(&json);
+    assert!(
+        line.starts_with('{') && line.trim_end().ends_with('}'),
+        "{line}"
+    );
+    assert!(line.contains("\"schedulable\":true"), "{line}");
+
+    // A cap below the certified partition-count bound is convicted
+    // statically — no solver ran, yet the verdict names the rule.
+    let capped = sparcs(&[
+        "analyze",
+        "examples/graphs/fig4.tg",
+        "--max-partitions",
+        "1",
+    ]);
+    assert!(capped.status.success(), "verdict is a report, not an error");
+    let report = stdout(&capped);
+    assert!(
+        report.contains("statically infeasible [partition-count-bound]"),
+        "{report}"
+    );
+
+    // An error-class lint (edge wider than its producer's output) makes
+    // the exit nonzero so CI can gate on checked-in graphs.
+    let bad = "graph bad\ntask a clbs=100 delay=10 out=1\ntask b clbs=100 delay=10 out=1\n\
+               edge a -> b words=9\ninput i words=1 tasks=a\noutput o words=1 tasks=b\n";
+    let path = temp_graph("analyze-bad", bad);
+    let out = sparcs(&["analyze", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert!(!out.status.success(), "error lints exit nonzero");
+    assert!(stdout(&out).contains("width-mismatch"), "{}", stdout(&out));
+    assert!(stderr(&out).contains("error-class"), "{}", stderr(&out));
 }
