@@ -1,0 +1,160 @@
+//! `bench-service` — machine-readable throughput numbers for the sparcsd
+//! durability tier.
+//!
+//! Times the two disk paths every daemon request crosses: the fsync'd
+//! journal append (one per state transition) and the content-addressed
+//! result store (one publish per fresh solve, one load per cross-process
+//! cache probe). Also times cold replay of the journal it just wrote, the
+//! path that bounds restart latency after a crash. Writes
+//! `BENCH_service.json` at the workspace root.
+//!
+//! ```text
+//! cargo run --release -p sparcs_bench --bin bench-service [appends] [results]
+//! ```
+
+use serde::Serialize;
+use sparcs::service::ResultSummary;
+use sparcsd::journal::{Event, Journal};
+use sparcsd::store::ResultStore;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct ServiceRecord {
+    generated_by: &'static str,
+    /// Fsync'd journal appends per second (the per-transition floor on
+    /// daemon throughput; every submit/claim/done pays one).
+    journal_appends: u64,
+    journal_appends_per_sec: f64,
+    /// Cold-replay events per second over the same journal (bounds
+    /// restart latency: a journal of N events reopens in N/rate seconds).
+    journal_replay_events_per_sec: f64,
+    journal_bytes: u64,
+    /// Durable publish (temp write + fsync + rename + dir fsync) per sec.
+    store_results: u64,
+    store_publishes_per_sec: f64,
+    /// Store loads per second, every one a verified hit.
+    store_loads_per_sec: f64,
+    store_hit_rate: f64,
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sparcsd-bench-{}-{name}", std::process::id()))
+}
+
+fn progress(i: u64) -> Event {
+    Event::Progress {
+        job: i,
+        detail: format!("bench step {i}: solve tier answered"),
+    }
+}
+
+fn summary(i: u64) -> ResultSummary {
+    ResultSummary {
+        strategy: "ilp".into(),
+        assignment: vec![0, 0, 1, 1, 2, 2],
+        partitions: 3,
+        partition_delays_ns: vec![40 + i, 50 + i, 60 + i],
+        sum_delay_ns: 150 + 3 * i,
+        latency_ns: 150 + 3 * i,
+        bound_ns: 150 + 3 * i,
+        proven_optimal: true,
+        cancelled: false,
+    }
+}
+
+fn main() {
+    let appends: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let results: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+
+    // Journal: fsync'd appends, then a cold replay of the same file.
+    let journal_path = scratch("journal.jsonl");
+    let _ = std::fs::remove_file(&journal_path);
+    let (mut journal, _) = Journal::open(&journal_path).expect("journal opens");
+    let t0 = Instant::now();
+    for i in 0..appends {
+        journal.append(&progress(i)).expect("append");
+    }
+    let append_wall = t0.elapsed().as_secs_f64();
+    drop(journal);
+    let journal_bytes = std::fs::metadata(&journal_path)
+        .expect("journal metadata")
+        .len();
+
+    let t0 = Instant::now();
+    let (_, replay) = Journal::open(&journal_path).expect("journal replays");
+    let replay_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        replay.events.len() as u64,
+        appends,
+        "replay recovers every fsync'd append"
+    );
+    assert_eq!(replay.truncated_bytes, 0);
+    println!(
+        "journal: {appends} fsync'd appends in {:.1} ms ({:.3e}/sec), replay {:.3e} events/sec",
+        append_wall * 1e3,
+        appends as f64 / append_wall,
+        appends as f64 / replay_wall,
+    );
+
+    // Store: durable publishes of distinct statements, then verified loads.
+    let store_dir = scratch("store");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = ResultStore::open(&store_dir).expect("store opens");
+    let statements: Vec<String> = (0..results)
+        .map(|i| format!("bench statement {i}: dfg-{i} on xc4044, net memory, ilp"))
+        .collect();
+    let t0 = Instant::now();
+    for (i, statement) in statements.iter().enumerate() {
+        store
+            .publish(statement, &summary(i as u64))
+            .expect("publish");
+    }
+    let publish_wall = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    for (i, statement) in statements.iter().enumerate() {
+        let loaded = store.load(statement).expect("published result loads");
+        assert_eq!(loaded, summary(i as u64), "store roundtrips bit-identical");
+    }
+    let load_wall = t0.elapsed().as_secs_f64();
+    let stats = store.stats();
+    let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+    println!(
+        "store: {results} publishes in {:.1} ms ({:.3e}/sec), loads {:.3e}/sec, hit rate {:.2}",
+        publish_wall * 1e3,
+        results as f64 / publish_wall,
+        results as f64 / load_wall,
+        hit_rate,
+    );
+
+    let record = ServiceRecord {
+        generated_by: "cargo run --release -p sparcs_bench --bin bench-service",
+        journal_appends: appends,
+        journal_appends_per_sec: appends as f64 / append_wall,
+        journal_replay_events_per_sec: appends as f64 / replay_wall,
+        journal_bytes,
+        store_results: results,
+        store_publishes_per_sec: results as f64 / publish_wall,
+        store_loads_per_sec: results as f64 / load_wall,
+        store_hit_rate: hit_rate,
+    };
+    let json = serde_json::to_string_pretty(&record).expect("record serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    match std::fs::write(path, format!("{json}\n")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            println!("{json}");
+        }
+    }
+
+    let _ = std::fs::remove_file(&journal_path);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

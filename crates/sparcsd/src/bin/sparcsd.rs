@@ -1,0 +1,113 @@
+//! The `sparcsd` daemon binary: parse flags, run the server.
+
+use sparcsd::server::{run, Config};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+sparcsd — resident crash-safe partitioning service
+
+USAGE:
+    sparcsd --socket PATH --data DIR --store DIR [OPTIONS]
+
+OPTIONS:
+    --socket PATH         Unix socket to listen on (required)
+    --data DIR            per-daemon state dir, holds the journal (required)
+    --store DIR           shared content-addressed result store (required)
+    --workers N           worker threads [default: 2]
+    --max-budget-ms MS    admission cap: reject submits whose budget
+                          exceeds MS (or that have no budget at all)
+    --queue-cap N         max jobs queued+running [default: 1024]
+    --lease-ms MS         claim lease before a worker is presumed dead
+                          [default: 60000]
+    --max-attempts N      default retry bound for jobs [default: 3]
+
+Fault injection for tests: see the SPARCSD_FAULTS grammar in
+crates/sparcsd/src/faults.rs.
+";
+
+fn parse(args: &[String]) -> Result<Config, String> {
+    let mut socket = None;
+    let mut data = None;
+    let mut store = None;
+    let mut workers = 2usize;
+    let mut max_budget_ms = None;
+    let mut queue_cap = 1024usize;
+    let mut lease_ms = 60_000u64;
+    let mut max_attempts = sparcsd::graph::DEFAULT_MAX_ATTEMPTS;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut grab = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(grab()?),
+            "--data" => data = Some(grab()?),
+            "--store" => store = Some(grab()?),
+            "--workers" => {
+                workers = grab()?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?
+            }
+            "--max-budget-ms" => {
+                max_budget_ms = Some(
+                    grab()?
+                        .parse()
+                        .map_err(|_| "--max-budget-ms needs an integer".to_string())?,
+                )
+            }
+            "--queue-cap" => {
+                queue_cap = grab()?
+                    .parse()
+                    .map_err(|_| "--queue-cap needs an integer".to_string())?
+            }
+            "--lease-ms" => {
+                lease_ms = grab()?
+                    .parse()
+                    .map_err(|_| "--lease-ms needs an integer".to_string())?
+            }
+            "--max-attempts" => {
+                max_attempts = grab()?
+                    .parse()
+                    .map_err(|_| "--max-attempts needs an integer".to_string())?
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let socket = socket.ok_or("--socket is required")?;
+    let data = data.ok_or("--data is required")?;
+    let store = store.ok_or("--store is required")?;
+    let mut config = Config::new(socket, data, store);
+    config.workers = workers.max(1);
+    config.max_budget_ms = max_budget_ms;
+    config.queue_cap = queue_cap.max(1);
+    config.lease = Duration::from_millis(lease_ms.max(1));
+    config.default_max_attempts = max_attempts.max(1);
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("sparcsd: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sparcsd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The daemon's content hash: FNV-1a 64-bit.
+//!
+//! Used for two jobs with the same failure story: journal record checksums
+//! and result-store filenames. In both places a hash mismatch or collision
+//! degrades safely — a journal record whose checksum disagrees ends the
+//! replayed prefix, and a store filename collision is caught by comparing
+//! the full statement embedded in the file (a collision is a miss, never a
+//! wrong answer) — so a non-cryptographic hash is sufficient, and FNV keeps
+//! the daemon dependency-free.
+
+/// FNV-1a over `bytes`, 64-bit.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_published_fnv1a_vectors() {
+        // Reference values from the FNV specification.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_hash() {
+        let base = b"journal record material".to_vec();
+        let h = fnv64(&base);
+        for i in 0..base.len() * 8 {
+            let mut flipped = base.clone();
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(fnv64(&flipped), h, "bit {i} flip went undetected");
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! End-to-end crash tests against the real daemon binary.
+//!
+//! Each test spawns `sparcsd` (via `CARGO_BIN_EXE_sparcsd`), talks to it
+//! over its Unix socket with the public [`Client`], kills it — either
+//! with an injected `SPARCSD_FAULTS` crash at a labeled point or with a
+//! real `SIGKILL` — restarts it over the same journal, and checks the
+//! recovery contract: every acknowledged job completes, no claim is left
+//! stuck, and the final results are bit-identical to an uninterrupted
+//! run.
+
+use sparcs::dfg::gen::{self, LayeredConfig};
+use sparcs::dfg::parse;
+use sparcs::service::{Client, JobSpec, Request, Response, ResultSummary, ServiceStats};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn fig4_text() -> String {
+    parse::to_text(&gen::fig4_example())
+}
+
+/// A fresh scratch root for one test (removed best-effort at the end).
+fn fresh_root(name: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("sparcsd-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("scratch root");
+    root
+}
+
+/// Spawns a daemon: one worker (so fault hit counts are deterministic),
+/// per-tag socket and data dir, and a named store dir — tags passing the
+/// same `store` name share that store, others are isolated (the baseline
+/// must not pre-publish results the victim would then serve from disk
+/// instead of exercising its solve path).
+fn spawn_daemon(
+    root: &Path,
+    tag: &str,
+    store: &str,
+    faults: Option<&str>,
+    extra: &[&str],
+) -> (Child, Client) {
+    let socket = root.join(format!("{tag}.sock"));
+    let _ = std::fs::remove_file(&socket);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_sparcsd"));
+    cmd.arg("--socket")
+        .arg(&socket)
+        .arg("--data")
+        .arg(root.join(format!("{tag}-data")))
+        .arg("--store")
+        .arg(root.join(store))
+        .args(["--workers", "1"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    match faults {
+        Some(f) => cmd.env("SPARCSD_FAULTS", f),
+        None => cmd.env_remove("SPARCSD_FAULTS"),
+    };
+    let child = cmd.spawn().expect("daemon spawns");
+    (child, Client::new(socket))
+}
+
+/// Blocks until the daemon answers on its socket.
+fn wait_ready(client: &Client) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if client.request(&Request::Stats).is_ok() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "daemon never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Blocks until the child process exits (the injected crash fired).
+fn wait_crashed(child: &mut Child) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            assert!(
+                !status.success(),
+                "the daemon must have crashed, not exited cleanly"
+            );
+            return;
+        }
+        assert!(Instant::now() < deadline, "daemon never crashed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn result_of(client: &Client, job: u64) -> ResultSummary {
+    match client
+        .request(&Request::Result {
+            job,
+            wait_ms: Some(60_000),
+        })
+        .expect("result request")
+    {
+        Response::Result { result, .. } => result,
+        other => panic!("job {job} did not complete: {other:?}"),
+    }
+}
+
+fn stats_of(client: &Client) -> ServiceStats {
+    match client.request(&Request::Stats).expect("stats request") {
+        Response::Stats { stats } => stats,
+        other => panic!("unexpected stats reply: {other:?}"),
+    }
+}
+
+fn shutdown(client: &Client, child: &mut Child) {
+    let _ = client.request(&Request::Shutdown);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while child.try_wait().expect("try_wait").is_none() {
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let _ = child.wait();
+}
+
+/// The uninterrupted run every crash case is compared against.
+fn baseline(root: &Path, spec: &JobSpec) -> ResultSummary {
+    let (mut child, client) = spawn_daemon(root, "baseline", "baseline-store", None, &[]);
+    wait_ready(&client);
+    let job = client.submit(spec.clone()).expect("baseline submit");
+    let result = result_of(&client, job);
+    shutdown(&client, &mut child);
+    result
+}
+
+/// The kill-9 matrix: at every labeled crash point, an acknowledged job
+/// survives the crash, the restarted daemon recovers it (no stuck
+/// claims), and the served result is bit-identical to the uninterrupted
+/// run.
+#[test]
+fn crash_matrix_recovers_every_acked_job_with_identical_results() {
+    // With one worker and one job the append sequence is deterministic:
+    // append 1 = the submit (acked), append 2 = the claim.
+    let cases = [
+        "journal.append.mid=crash@2",  // claim torn mid-record
+        "journal.append.post=crash@2", // claim durable, then death
+        "worker.claim.post=crash",     // claimed, solve never started
+        "worker.solve.post=crash",     // solved, result never journaled
+        "store.publish.mid=crash",     // result temp written, not renamed
+    ];
+    let spec = JobSpec::new(fig4_text());
+    for faults in cases {
+        let root = fresh_root(&format!("matrix-{}", faults.replace(['.', '=', '@'], "-")));
+        let expected = baseline(&root, &spec);
+
+        let (mut crashed, client) =
+            spawn_daemon(&root, "victim", "victim-store", Some(faults), &[]);
+        wait_ready(&client);
+        let job = client
+            .submit(spec.clone())
+            .expect("submit is acked before the crash");
+        wait_crashed(&mut crashed);
+
+        // Restart over the same journal, no faults: the acked job must
+        // complete with the exact baseline numbers.
+        let (mut revived, client) = spawn_daemon(&root, "victim", "victim-store", None, &[]);
+        wait_ready(&client);
+        let recovered = result_of(&client, job);
+        assert_eq!(
+            recovered, expected,
+            "{faults}: recovery must be bit-identical to the uninterrupted run"
+        );
+        let stats = stats_of(&client);
+        assert_eq!(
+            (stats.queued, stats.running),
+            (0, 0),
+            "{faults}: no stuck claims after recovery"
+        );
+        shutdown(&client, &mut revived);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+/// A real `SIGKILL` (not an injected abort) at an arbitrary instant: the
+/// acknowledged job still recovers bit-identically.
+#[test]
+fn sigkill_mid_run_recovers_on_restart() {
+    let root = fresh_root("sigkill");
+    let spec = JobSpec::new(fig4_text());
+    let expected = baseline(&root, &spec);
+
+    let (mut victim, client) = spawn_daemon(&root, "victim", "victim-store", None, &[]);
+    wait_ready(&client);
+    let job = client.submit(spec.clone()).expect("submit acked");
+    victim.kill().expect("SIGKILL delivered");
+    let _ = victim.wait();
+
+    let (mut revived, client) = spawn_daemon(&root, "victim", "victim-store", None, &[]);
+    wait_ready(&client);
+    assert_eq!(result_of(&client, job), expected);
+    shutdown(&client, &mut revived);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Graceful degradation: a deadline-expired solve is served as a normal
+/// result — the audited incumbent plus a proven nonzero lower bound —
+/// not an error.
+#[test]
+fn deadline_expired_solves_serve_an_audited_incumbent_and_bound() {
+    let root = fresh_root("deadline");
+    // Large enough that an exact ILP cannot finish in 25 ms, small enough
+    // that the warm-start incumbent exists immediately.
+    let cfg = LayeredConfig {
+        layers: 10,
+        min_width: 4,
+        max_width: 6,
+        ..LayeredConfig::default()
+    };
+    let spec = JobSpec {
+        budget_ms: Some(25),
+        ..JobSpec::new(parse::to_text(&gen::layered(&cfg, 42)))
+    };
+    let (mut child, client) = spawn_daemon(&root, "deadline", "store", None, &[]);
+    wait_ready(&client);
+    let job = client.submit(spec).expect("submit acked");
+    let result = result_of(&client, job);
+    assert!(result.cancelled, "the budget must have expired mid-search");
+    assert!(!result.proven_optimal);
+    assert!(
+        result.bound_ns > 0,
+        "the served bound is a proven fact, not a placeholder"
+    );
+    assert!(
+        result.bound_ns <= result.latency_ns,
+        "a certified lower bound can never exceed the incumbent's latency"
+    );
+    shutdown(&client, &mut child);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Two concurrent daemons share one result store: the second daemon
+/// serves the first daemon's published solve from disk (after
+/// re-certifying it), and concurrent operation corrupts nothing.
+#[test]
+fn two_daemons_share_one_result_store_without_corruption() {
+    let root = fresh_root("shared-store");
+    let spec = JobSpec::new(fig4_text());
+
+    let (mut a, client_a) = spawn_daemon(&root, "daemon-a", "store", None, &[]);
+    let (mut b, client_b) = spawn_daemon(&root, "daemon-b", "store", None, &[]);
+    wait_ready(&client_a);
+    wait_ready(&client_b);
+
+    // A solves and publishes; B must answer from the shared store.
+    let job_a = client_a.submit(spec.clone()).expect("A accepts");
+    let from_a = result_of(&client_a, job_a);
+    let job_b = client_b.submit(spec.clone()).expect("B accepts");
+    let from_b = result_of(&client_b, job_b);
+    assert_eq!(from_a, from_b, "both daemons serve identical results");
+    assert!(
+        stats_of(&client_b).store_hits >= 1,
+        "B served A's published result from the shared store"
+    );
+
+    // Concurrent submits of distinct statements to both daemons: every
+    // job completes and the daemons agree on every statement.
+    let chains: Vec<JobSpec> = (3..7)
+        .map(|n| JobSpec::new(parse::to_text(&gen::chain(n, 120, 90, 4))))
+        .collect();
+    let jobs: Vec<(u64, u64)> = chains
+        .iter()
+        .map(|s| {
+            (
+                client_a.submit(s.clone()).expect("A accepts"),
+                client_b.submit(s.clone()).expect("B accepts"),
+            )
+        })
+        .collect();
+    for (ja, jb) in jobs {
+        assert_eq!(
+            result_of(&client_a, ja),
+            result_of(&client_b, jb),
+            "concurrent daemons never disagree on a statement"
+        );
+    }
+    shutdown(&client_a, &mut a);
+    shutdown(&client_b, &mut b);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Admission control: with a budget cap set, unbounded or over-budget
+/// submits are rejected with the documented code, in-budget work runs.
+#[test]
+fn admission_control_rejects_over_budget_work() {
+    let root = fresh_root("admission");
+    let (mut child, client) =
+        spawn_daemon(&root, "capped", "store", None, &["--max-budget-ms", "5000"]);
+    wait_ready(&client);
+
+    let unbounded = client.request(&Request::Submit {
+        spec: JobSpec::new(fig4_text()),
+    });
+    assert!(
+        matches!(
+            unbounded,
+            Ok(Response::Error { ref code, .. }) if code == "over-budget"
+        ),
+        "unbounded work must be refused under a cap: {unbounded:?}"
+    );
+    let too_big = client.request(&Request::Submit {
+        spec: JobSpec {
+            budget_ms: Some(60_000),
+            ..JobSpec::new(fig4_text())
+        },
+    });
+    assert!(
+        matches!(
+            too_big,
+            Ok(Response::Error { ref code, .. }) if code == "over-budget"
+        ),
+        "an over-cap budget must be refused: {too_big:?}"
+    );
+
+    let job = client
+        .submit(JobSpec {
+            budget_ms: Some(4_000),
+            ..JobSpec::new(fig4_text())
+        })
+        .expect("in-budget work is admitted");
+    let result = result_of(&client, job);
+    assert!(result.latency_ns > 0);
+    shutdown(&client, &mut child);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// An injected dropped reply (`proto.reply=drop`) looks like an I/O error
+/// to the client; the next request — the retry — succeeds, because
+/// submits are journaled before the ack and requests are idempotent to
+/// re-issue.
+#[test]
+fn dropped_replies_surface_as_io_errors_and_retries_succeed() {
+    let root = fresh_root("drop");
+    let (mut child, client) = spawn_daemon(&root, "droppy", "store", Some("proto.reply=drop"), &[]);
+    wait_ready(&client); // the readiness probe itself eats the one drop
+    let probe = client.request(&Request::Stats);
+    assert!(
+        probe.is_ok(),
+        "after the armed drop, requests flow again: {probe:?}"
+    );
+    shutdown(&client, &mut child);
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,4 +1,4 @@
-//! Workspace automation. `cargo xtask lint` enforces four source-level
+//! Workspace automation. `cargo xtask lint` enforces five source-level
 //! policies that rustc/clippy have no lint for:
 //!
 //! 1. **Panic-freedom in library code** — no `.unwrap()` or `panic!` in
@@ -18,6 +18,12 @@
 //!    clippy's lossless-conversion lints suffice; these files convert
 //!    between index and float domains constantly, where a silent
 //!    truncation would corrupt a basis or a DMA length, not crash.
+//! 5. **Fsync'd writes in the durable tiers** — in the daemon's journal
+//!    and result-store modules, a bare `fs::write(` or `File::create(`
+//!    bypasses the checksummed, fsynced, atomically-renamed append path
+//!    that crash recovery depends on; each needs a `// durable-ok:`
+//!    comment proving the write still reaches the disk before anything
+//!    depends on it.
 //!
 //! The tool is path-based, not syntax-tree-based: it strips comments and
 //! string literals with a small state machine and tracks `#[cfg(test)]`
@@ -169,6 +175,15 @@ const CAST_JUSTIFY: &[&str] = &[
     "crates/rtr/src/host.rs",
 ];
 
+/// Files implementing the daemon's durable tiers, where every file write
+/// must go through the fsync'd append/publish path: a bare `fs::write(`
+/// or `File::create(` needs a `// durable-ok:` justification saying why
+/// the bytes are still guaranteed durable (or provably disposable).
+const DURABLE_STORE: &[&str] = &[
+    "crates/sparcsd/src/journal.rs",
+    "crates/sparcsd/src/store.rs",
+];
+
 /// Primitive numeric cast targets `cast-needs-justification` covers.
 const NUMERIC_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
@@ -215,6 +230,9 @@ fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
     let cast_justify = CAST_JUSTIFY
         .iter()
         .any(|p| rel == Path::new(p) || rel.to_string_lossy().replace('\\', "/") == *p);
+    let durable_store = DURABLE_STORE
+        .iter()
+        .any(|p| rel == Path::new(p) || rel.to_string_lossy().replace('\\', "/") == *p);
 
     let mut in_block_comment = false;
     // Brace depth where an active `#[cfg(test)]` module body started;
@@ -228,6 +246,7 @@ fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
     // after it.
     let mut relaxed_ok_pending = false;
     let mut cast_ok_pending = false;
+    let mut durable_ok_pending = false;
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -238,6 +257,9 @@ fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
         }
         if comment_only && raw.contains("cast-ok:") {
             cast_ok_pending = true;
+        }
+        if comment_only && raw.contains("durable-ok:") {
+            durable_ok_pending = true;
         }
 
         if code.contains("#[cfg(test)]") {
@@ -321,6 +343,21 @@ fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
                             .to_string(),
                 });
             }
+            if durable_store
+                && (code.contains("fs::write(") || code.contains("File::create("))
+                && !raw.contains("durable-ok:")
+                && !prev_raw.contains("durable-ok:")
+                && !durable_ok_pending
+            {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: line_no,
+                    rule: "durable-store-write",
+                    message: "bare `fs::write`/`File::create` in a durable-store module; \
+                              use the fsync'd append path or justify with `// durable-ok:`"
+                        .to_string(),
+                });
+            }
             if clock_free && code.contains("Instant::now") {
                 findings.push(Finding {
                     file: rel.to_path_buf(),
@@ -335,6 +372,7 @@ fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
         if !comment_only {
             relaxed_ok_pending = false;
             cast_ok_pending = false;
+            durable_ok_pending = false;
         }
         prev_raw = raw;
     }
@@ -484,6 +522,40 @@ mod tests {
         assert_eq!(
             rules_of("crates/ilp/src/simplex.rs", stale),
             vec![("cast-needs-justification", 3)]
+        );
+    }
+
+    #[test]
+    fn durable_store_rule_flags_bare_writes_in_the_daemon_tiers() {
+        let bare = "fn f() { std::fs::write(&path, bytes).ok(); }\n";
+        assert_eq!(
+            rules_of("crates/sparcsd/src/store.rs", bare),
+            vec![("durable-store-write", 1)]
+        );
+        let create = "fn f() { let f = File::create(&tmp)?; }\n";
+        assert_eq!(
+            rules_of("crates/sparcsd/src/journal.rs", create),
+            vec![("durable-store-write", 1)]
+        );
+        // Outside the durable tiers the same calls are fine.
+        assert_eq!(rules_of("crates/sparcsd/src/server.rs", bare), vec![]);
+        assert_eq!(rules_of("src/flow.rs", create), vec![]);
+        // A justification on the line, directly above, or in the comment
+        // block above clears it.
+        let same_line =
+            "fn f() { let f = File::create(&tmp)?; } // durable-ok: synced then renamed\n";
+        assert_eq!(rules_of("crates/sparcsd/src/store.rs", same_line), vec![]);
+        let block_above = "// durable-ok: the temp file is fsynced below and\n// atomically renamed into place\nfn f() { let f = File::create(&tmp)?; }\n";
+        assert_eq!(rules_of("crates/sparcsd/src/store.rs", block_above), vec![]);
+        // Tests inside the module keep their throwaway writes.
+        let in_tests =
+            "#[cfg(test)]\nmod tests {\n    fn f() { std::fs::write(&p, b\"x\").ok(); }\n}\n";
+        assert_eq!(rules_of("crates/sparcsd/src/store.rs", in_tests), vec![]);
+        // A stale justification does not leak to later writes.
+        let stale = "// durable-ok: for the first one\nfn f() { std::fs::write(&a, x).ok(); }\nfn g() { std::fs::write(&b, y).ok(); }\n";
+        assert_eq!(
+            rules_of("crates/sparcsd/src/journal.rs", stale),
+            vec![("durable-store-write", 3)]
         );
     }
 

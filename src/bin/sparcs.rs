@@ -42,6 +42,7 @@ use sparcs::core::PartitionOptions;
 use sparcs::dfg::{dot, parse, Resources};
 use sparcs::estimate::Architecture;
 use sparcs::flow::{rounding_label, AnalyzedFlow, ExploreSpace, FlowSession, PartitionStrategy};
+use sparcs::service::{Client, JobSpec, Request, Response};
 use sparcs::strategy::{parse_spec, SPEC_GRAMMAR};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -66,6 +67,14 @@ struct Flags {
     archs: Vec<ArchPreset>,
     ilp_stats: bool,
     json: bool,
+    // Service (sparcsd) flags.
+    socket: Option<String>,
+    data: Option<String>,
+    store: Option<String>,
+    wait_ms: Option<u64>,
+    workers: Option<u64>,
+    max_budget_ms: Option<u64>,
+    max_attempts: Option<u64>,
 }
 
 impl Flags {
@@ -109,6 +118,15 @@ enum ArchPreset {
 }
 
 impl ArchPreset {
+    /// The name this preset goes by on the service wire (`JobSpec::arch`).
+    fn wire_name(self) -> &'static str {
+        match self {
+            ArchPreset::Xc4044 => "xc4044",
+            ArchPreset::Xc6200 => "xc6200",
+            ArchPreset::TimeMultiplexed => "tm",
+        }
+    }
+
     fn build(self) -> Architecture {
         match self {
             ArchPreset::Xc4044 => Architecture::xc4044_wildforce(),
@@ -133,6 +151,7 @@ impl CliError {
 
 fn usage() -> &'static str {
     "usage: sparcs <partition|fission|codegen|explore|run|audit|analyze|dot|example> [graph.tg] [options]\n\
+     \x20      sparcs <serve|submit|status|result|cancel|svc-stats> ... --socket PATH\n\
      options: --clbs N  --memory WORDS  --ct NS  --dm NS  --pow2  --edge-memory\n\
               --inputs I  --workload N[,N...] (explore ranks every entry)\n\
               --strategy fdh|idh\n\
@@ -150,6 +169,12 @@ fn usage() -> &'static str {
      with the independent certifier and reports every disagreement\n\
      `analyze` reports certified pre-solve bounds and graph lints without\n\
      solving anything (exit is nonzero on error-class lints)\n\
+     resident service (crash-safe daemon, see README `Resident service`):\n\
+       serve --socket S --data DIR --store DIR [--workers N] [--max-budget-ms MS]\n\
+       submit graph.tg --socket S [--arch A] [--partitioner SPEC] [--budget-ms MS]\n\
+              [--max-partitions N] [--edge-memory] [--max-attempts N] [--wait-ms MS]\n\
+       status|result|cancel JOB --socket S   (result takes [--wait-ms MS])\n\
+       svc-stats --socket S\n\
      run `sparcs example` for a sample graph file"
 }
 
@@ -174,6 +199,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         archs: Vec::new(),
         ilp_stats: false,
         json: false,
+        socket: None,
+        data: None,
+        store: None,
+        wait_ms: None,
+        workers: None,
+        max_budget_ms: None,
+        max_attempts: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -265,6 +297,31 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                     f.max_partitions.push(n);
                 }
             }
+            "--socket" => {
+                f.socket = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage("--socket needs a path".into()))?,
+                )
+            }
+            "--data" => {
+                f.data = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage("--data needs a directory".into()))?,
+                )
+            }
+            "--store" => {
+                f.store = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage("--store needs a directory".into()))?,
+                )
+            }
+            "--wait-ms" => f.wait_ms = Some(grab("--wait-ms")?),
+            "--workers" => f.workers = Some(grab("--workers")?),
+            "--max-budget-ms" => f.max_budget_ms = Some(grab("--max-budget-ms")?),
+            "--max-attempts" => f.max_attempts = Some(grab("--max-attempts")?),
             "--arch" => f.archs.push(match it.next().map(String::as_str) {
                 Some("xc4044") => ArchPreset::Xc4044,
                 Some("xc6200") => ArchPreset::Xc6200,
@@ -792,7 +849,185 @@ fn real_main() -> Result<(), CliError> {
                 );
             }
         }
+        "serve" => serve(&f)?,
+        "submit" => {
+            let path = f
+                .path
+                .as_deref()
+                .ok_or_else(|| CliError::Usage("submit needs a graph file".into()))?;
+            let graph = std::fs::read_to_string(path).map_err(CliError::runtime)?;
+            let mut spec = JobSpec::new(graph);
+            if let Some(preset) = f.archs.first() {
+                spec.arch = preset.wire_name().to_string();
+            }
+            if let Some(p) = &f.partitioner {
+                spec.partitioner = p.clone();
+            }
+            spec.budget_ms = f.budget_ms;
+            spec.max_partitions = f.max_partitions.first().copied();
+            spec.edge_memory = f.edge_memory;
+            if let Some(n) = f.max_attempts {
+                spec.max_attempts = n.min(u64::from(u32::MAX)) as u32;
+            }
+            let client = client(&f)?;
+            let job = client
+                .submit(spec)
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            println!("job   : {job}");
+            if let Some(wait_ms) = f.wait_ms {
+                render(service_request(
+                    &client,
+                    &Request::Result {
+                        job,
+                        wait_ms: Some(wait_ms),
+                    },
+                )?)?;
+            }
+        }
+        "status" => render(service_request(
+            &client(&f)?,
+            &Request::Status { job: job_arg(&f)? },
+        )?)?,
+        "result" => render(service_request(
+            &client(&f)?,
+            &Request::Result {
+                job: job_arg(&f)?,
+                wait_ms: f.wait_ms,
+            },
+        )?)?,
+        "cancel" => render(service_request(
+            &client(&f)?,
+            &Request::Cancel { job: job_arg(&f)? },
+        )?)?,
+        "svc-stats" => render(service_request(&client(&f)?, &Request::Stats)?)?,
         other => return Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+    Ok(())
+}
+
+/// Runs the resident daemon in the foreground by launching the `sparcsd`
+/// binary: `$SPARCSD_BIN` if set, else the sibling of this executable,
+/// else `sparcsd` on `PATH`.
+fn serve(f: &Flags) -> Result<(), CliError> {
+    let socket = socket_of(f)?;
+    let data = f
+        .data
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("serve needs --data DIR".into()))?;
+    let store = f
+        .store
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("serve needs --store DIR".into()))?;
+    let bin = std::env::var("SPARCSD_BIN").ok().unwrap_or_else(|| {
+        std::env::current_exe()
+            .ok()
+            .map(|p| p.with_file_name("sparcsd"))
+            .filter(|p| p.exists())
+            .map(|p| p.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "sparcsd".to_string())
+    });
+    let mut cmd = std::process::Command::new(&bin);
+    cmd.arg("--socket")
+        .arg(socket)
+        .arg("--data")
+        .arg(data)
+        .arg("--store")
+        .arg(store);
+    if let Some(w) = f.workers {
+        cmd.arg("--workers").arg(w.to_string());
+    }
+    if let Some(ms) = f.max_budget_ms {
+        cmd.arg("--max-budget-ms").arg(ms.to_string());
+    }
+    if let Some(n) = f.max_attempts {
+        cmd.arg("--max-attempts").arg(n.to_string());
+    }
+    let status = cmd
+        .status()
+        .map_err(|e| CliError::Runtime(format!("could not launch {bin}: {e}")))?;
+    if !status.success() {
+        return Err(CliError::Runtime(format!("sparcsd exited with {status}")));
+    }
+    Ok(())
+}
+
+fn socket_of(f: &Flags) -> Result<String, CliError> {
+    f.socket
+        .clone()
+        .ok_or_else(|| CliError::Usage("service commands need --socket PATH".into()))
+}
+
+fn client(f: &Flags) -> Result<Client, CliError> {
+    Ok(Client::new(socket_of(f)?))
+}
+
+/// The positional argument of status/result/cancel, as a job id.
+fn job_arg(f: &Flags) -> Result<u64, CliError> {
+    f.path
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("this command needs a job id".into()))?
+        .parse()
+        .map_err(|_| CliError::Usage("the job id must be a number".into()))
+}
+
+fn service_request(client: &Client, request: &Request) -> Result<Response, CliError> {
+    client
+        .request(request)
+        .map_err(|e| CliError::Runtime(e.to_string()))
+}
+
+/// Prints a daemon response; protocol-level errors become runtime errors.
+fn render(response: Response) -> Result<(), CliError> {
+    match response {
+        Response::Submitted { job } => println!("job   : {job}"),
+        Response::Status {
+            job,
+            phase,
+            attempts,
+            detail,
+        } => {
+            let detail = if detail.is_empty() {
+                String::new()
+            } else {
+                format!(" — {detail}")
+            };
+            println!("job {job}: {phase} (attempt {attempts}){detail}");
+        }
+        Response::Result { job, result } => {
+            println!("job {job}: done (via {})", result.strategy);
+            println!("partitions: {}", result.partitions);
+            println!("delays    : {:?} ns", result.partition_delays_ns);
+            println!(
+                "latency   : {} ns (bound {} ns), optimal = {}{}",
+                result.latency_ns,
+                result.bound_ns,
+                result.proven_optimal,
+                if result.cancelled {
+                    " (degraded: budget expired; audited incumbent + proven bound)"
+                } else {
+                    ""
+                }
+            );
+        }
+        Response::Cancelled { job, phase } => println!("job {job}: cancel delivered ({phase})"),
+        Response::Stats { stats } => {
+            println!(
+                "jobs : {} queued, {} running, {} done, {} failed, {} cancelled",
+                stats.queued, stats.running, stats.done, stats.failed, stats.cancelled
+            );
+            println!(
+                "cache: {} hits, {} misses, {} evictions; store: {} hits",
+                stats.cache_hits, stats.cache_misses, stats.cache_evictions, stats.store_hits
+            );
+            println!(
+                "journal: {} event(s) replayed at startup",
+                stats.replayed_events
+            );
+        }
+        Response::Ok => println!("ok"),
+        Response::Error { code, message } => {
+            return Err(CliError::Runtime(format!("{code}: {message}")))
+        }
     }
     Ok(())
 }

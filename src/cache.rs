@@ -27,6 +27,15 @@
 //! The cache is safe to share across threads (exploration workers hit it
 //! concurrently) and stores designs behind [`Arc`], so a hit costs a clone
 //! of the solved design, not a re-solve.
+//!
+//! The in-memory tier is *bounded*: every cache carries a capacity cap
+//! (default [`PartitionCache::DEFAULT_CAPACITY`]) and evicts the
+//! least-recently-used design when full, so a long-running process — the
+//! `sparcsd` resident service above all — cannot grow the map without
+//! limit. Eviction is safe by construction: the cache is a pure memo
+//! table, so dropping an entry only costs a future re-solve (or, in the
+//! daemon, a disk-tier read — the `sparcsd` result store stays
+//! authoritative). [`CacheStats`] counts hits, misses and evictions.
 
 use sparcs_core::PartitionedDesign;
 use std::collections::HashMap;
@@ -51,6 +60,14 @@ impl CacheKey {
     pub fn builder() -> CacheKeyBuilder {
         CacheKeyBuilder::default()
     }
+
+    /// The full rendered problem statement this key is. The `sparcsd`
+    /// disk store embeds this string in every stored result and compares
+    /// it on read, so a filename-hash collision degrades to a store miss,
+    /// never to serving a design solved for a different problem.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
 }
 
 impl CacheKeyBuilder {
@@ -69,13 +86,16 @@ impl CacheKeyBuilder {
     }
 }
 
-/// Hit/miss counters of a [`PartitionCache`] (monotonic per cache).
+/// Hit/miss/eviction counters of a [`PartitionCache`] (monotonic per
+/// cache).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to solve and insert.
     pub misses: u64,
+    /// Designs dropped to keep the map within its capacity cap.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -85,18 +105,62 @@ impl CacheStats {
     }
 }
 
-/// A thread-safe `problem statement → PartitionedDesign` memo table.
-#[derive(Debug, Default)]
+/// One cached design plus the LRU stamp of its last touch.
+#[derive(Debug)]
+struct Slot {
+    design: Arc<PartitionedDesign>,
+    last_used: u64,
+}
+
+/// A thread-safe, capacity-bounded `problem statement → PartitionedDesign`
+/// memo table with least-recently-used eviction.
+#[derive(Debug)]
 pub struct PartitionCache {
-    map: Mutex<HashMap<CacheKey, Arc<PartitionedDesign>>>,
+    map: Mutex<HashMap<CacheKey, Slot>>,
+    /// Maximum designs held at once; the least recently used one is
+    /// evicted to admit a new insert at capacity.
+    capacity: usize,
+    /// Monotonic touch counter backing the LRU stamps.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PartitionCache {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
 }
 
 impl PartitionCache {
-    /// An empty cache.
+    /// Default capacity cap: generous for exploration sweeps (a widened
+    /// DCT exploration solves a few dozen distinct statements), small
+    /// enough that a resident daemon serving arbitrary traffic stays at
+    /// bounded memory.
+    pub const DEFAULT_CAPACITY: usize = 512;
+
+    /// An empty cache with the default capacity cap.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` designs (at least one
+    /// slot is always kept, so a zero capacity behaves as one).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PartitionCache {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The capacity cap this cache evicts at.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The process-wide shared cache. [`crate::flow`] and
@@ -134,25 +198,70 @@ impl PartitionCache {
         key: CacheKey,
         solve: impl FnOnce() -> Result<PartitionedDesign, E>,
     ) -> Result<Arc<PartitionedDesign>, E> {
-        if let Some(hit) = self.lookup(&key) {
+        if let Some(hit) = self.get(&key) {
             return Ok(hit);
         }
-        // relaxed-ok: standalone statistics counter — nothing reads it to
-        // make a decision, and fetch_add keeps the count itself exact.
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let design = Arc::new(solve()?);
-        let mut map = self.map.lock().expect("cache lock");
-        Ok(Arc::clone(map.entry(key).or_insert(design)))
+        Ok(self.insert(key, design))
     }
 
-    fn lookup(&self, key: &CacheKey) -> Option<Arc<PartitionedDesign>> {
-        let map = self.map.lock().expect("cache lock");
-        let hit = map.get(key).cloned();
-        if hit.is_some() {
-            // relaxed-ok: statistics counter, no ordering dependency.
-            self.hits.fetch_add(1, Ordering::Relaxed);
+    /// Looks the key up, counting a hit or a miss and refreshing the LRU
+    /// stamp on a hit. This is the public read half of the read-through
+    /// tiering `sparcsd` builds on top (memory first, then its disk
+    /// store, then the solver).
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<PartitionedDesign>> {
+        let mut map = self.map.lock().expect("cache lock");
+        // relaxed-ok: the stamp only orders evictions among entries; the
+        // map lock already serializes map access, and a momentarily stale
+        // stamp can only make LRU slightly approximate, never unsound.
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        match map.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = now;
+                // relaxed-ok: statistics counter, no ordering dependency.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.design))
+            }
+            None => {
+                // relaxed-ok: standalone statistics counter — nothing
+                // reads it to make a decision, and fetch_add keeps the
+                // count itself exact.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         }
-        hit
+    }
+
+    /// Inserts (or refreshes) a design under `key`, evicting the least
+    /// recently used entry if the cache is at capacity. Returns the design
+    /// now cached under the key — when two threads race on the same key
+    /// the first insert wins and both get the same `Arc`, keeping results
+    /// independent of scheduling. The write half of `sparcsd`'s
+    /// read-through tiering: disk-tier hits are promoted here.
+    pub fn insert(&self, key: CacheKey, design: Arc<PartitionedDesign>) -> Arc<PartitionedDesign> {
+        let mut map = self.map.lock().expect("cache lock");
+        // relaxed-ok: see `get` — stamps only order evictions.
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        if !map.contains_key(&key) && map.len() >= self.capacity {
+            // O(n) victim scan: capacities are small (hundreds) and
+            // eviction only happens on inserts past capacity, so the scan
+            // is far cheaper than the solve that preceded it.
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&victim);
+                // relaxed-ok: statistics counter, no ordering dependency.
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let slot = map.entry(key).or_insert(Slot {
+            design,
+            last_used: now,
+        });
+        slot.last_used = now;
+        Arc::clone(&slot.design)
     }
 
     /// Cached designs.
@@ -165,14 +274,15 @@ impl PartitionCache {
         self.len() == 0
     }
 
-    /// Hit/miss counters so far.
+    /// Hit/miss/eviction counters so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            // relaxed-ok: advisory snapshot of statistics counters; the two
-            // loads need no mutual ordering — a momentarily torn hit/miss
-            // pair is fine for reporting.
+            // relaxed-ok: advisory snapshot of statistics counters; the
+            // loads need no mutual ordering — a momentarily torn
+            // hit/miss/eviction triple is fine for reporting.
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed), // relaxed-ok: see above
+            evictions: self.evictions.load(Ordering::Relaxed), // relaxed-ok: see above
         }
     }
 
@@ -233,9 +343,59 @@ mod tests {
             .get_or_solve::<()>(key(&["p"]), || panic!("must not re-solve"))
             .expect("hits");
         assert_eq!(first.latency_ns, second.latency_ns);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert_eq!(cache.stats().lookups(), 2);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = PartitionCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        cache.insert(key(&["a"]), Arc::new(design(1)));
+        cache.insert(key(&["b"]), Arc::new(design(2)));
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(cache.get(&key(&["a"])).is_some());
+        cache.insert(key(&["c"]), Arc::new(design(3)));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(&["a"])).is_some(), "recently used survives");
+        assert!(cache.get(&key(&["b"])).is_none(), "LRU entry was evicted");
+        assert!(cache.get(&key(&["c"])).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        // An evicted key is simply re-solvable: the memo table stays a
+        // pure cache.
+        let back = cache
+            .get_or_solve::<()>(key(&["b"]), || Ok(design(2)))
+            .expect("re-solves");
+        assert_eq!(back.latency_ns, 2);
+    }
+
+    #[test]
+    fn refreshing_an_existing_key_does_not_evict() {
+        let cache = PartitionCache::with_capacity(2);
+        cache.insert(key(&["a"]), Arc::new(design(1)));
+        cache.insert(key(&["b"]), Arc::new(design(2)));
+        // Re-inserting a resident key at capacity must not push anything
+        // out (the map does not grow).
+        cache.insert(key(&["a"]), Arc::new(design(1)));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn racing_inserts_keep_the_first_design() {
+        let cache = PartitionCache::new();
+        let first = cache.insert(key(&["k"]), Arc::new(design(7)));
+        let second = cache.insert(key(&["k"]), Arc::new(design(9)));
+        assert_eq!(first.latency_ns, 7);
+        assert_eq!(second.latency_ns, 7, "first insert wins the slot");
     }
 
     #[test]

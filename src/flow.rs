@@ -506,6 +506,28 @@ impl SimpleStrategy for ListStrategy {
     }
 }
 
+/// The content-addressed cache key for solving `ctx` with `strategy`: the
+/// full rendered problem statement (graph, architecture, strategy name,
+/// strategy configuration). `None` when the strategy cannot render a
+/// stable configuration (e.g. a deadline or token is embedded in its
+/// options), in which case its results must never be memoized.
+///
+/// This is the *single* statement-key definition: the in-process
+/// [`PartitionCache`] and `sparcsd`'s shared disk-backed result store both
+/// key by it, which is what makes the disk tier a transparent promotion of
+/// the in-memory one.
+pub fn statement_key(ctx: &DesignContext, strategy: &dyn PartitionStrategy) -> Option<CacheKey> {
+    let config = strategy.config_key()?;
+    Some(
+        CacheKey::builder()
+            .push(&ctx.graph)
+            .push(&ctx.arch)
+            .push(&strategy.name())
+            .push(&config)
+            .build(),
+    )
+}
+
 /// Solves `ctx` with `strategy`, going through `cache` when a cache is
 /// given, the strategy can render its configuration, *and* the search is
 /// unbounded — a budgeted or cancellable solve is not a pure function of
@@ -517,25 +539,24 @@ fn partition_cached(
     search: &SearchCtx,
 ) -> Result<Arc<PartitionedDesign>, FlowError> {
     let cache = cache.filter(|_| search.is_unbounded());
-    match (cache, strategy.config_key()) {
-        (Some(cache), Some(config)) => {
-            let key = CacheKey::builder()
-                .push(&ctx.graph)
-                .push(&ctx.arch)
-                .push(&strategy.name())
-                .push(&config)
-                .build();
-            cache.get_or_solve(key, || strategy.partition(ctx, search))
-        }
+    match (cache, statement_key(ctx, strategy)) {
+        (Some(cache), Some(key)) => cache.get_or_solve(key, || strategy.partition(ctx, search)),
         _ => Ok(Arc::new(strategy.partition(ctx, search)?)),
     }
 }
 
 /// Assembles a [`PartitionedDesign`] (delays, latency, heuristic stats)
 /// from a bare assignment — shared by non-ILP strategies, the refinement
-/// combinators in [`crate::strategy`], and
-/// [`PartitionedFlow::map_partitioning`].
-pub(crate) fn design_from_partitioning(
+/// combinators in [`crate::strategy`], [`PartitionedFlow::map_partitioning`],
+/// and `sparcsd`'s replay path (which rebuilds a stored assignment into a
+/// full design so the mandatory audit gate can re-certify it before the
+/// daemon serves it).
+///
+/// # Errors
+///
+/// Returns [`FlowError::Graph`] when the assignment does not shape the
+/// graph into a forward-in-time DAG of partitions.
+pub fn design_from_partitioning(
     ctx: &DesignContext,
     partitioning: Partitioning,
 ) -> Result<PartitionedDesign, FlowError> {

@@ -54,4 +54,5 @@ pub use sparcs_rtr as rtr;
 pub mod cache;
 pub mod casestudy;
 pub mod flow;
+pub mod service;
 pub mod strategy;
