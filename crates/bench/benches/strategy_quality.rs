@@ -19,7 +19,7 @@ use sparcs_dfg::gen::{self, LayeredConfig};
 use sparcs_dfg::Resources;
 use std::hint::black_box;
 
-const SPECS: [&str; 4] = ["list", "list+kl", "list+anneal", "ilp"];
+const SPECS: [&str; 5] = ["list", "list+kl", "list+anneal", "multilevel", "ilp"];
 
 /// One strategy's result on one problem.
 #[derive(Debug, Serialize)]
@@ -109,6 +109,12 @@ fn bench(c: &mut Criterion) {
         "list+kl ranks behind list on the pinned DCT model"
     );
     assert!(cost(&dct_row, "ilp") <= cost(&dct_row, "list+kl"));
+    // The multilevel guard ranks its result against plain list before
+    // returning, so it can never trail the strawman on a pinned model.
+    assert!(
+        cost(&dct_row, "multilevel") <= cost(&dct_row, "list"),
+        "multilevel ranks behind list on the pinned DCT model"
+    );
     rows.push(dct_row);
 
     // Random layered families (the ablation graphs).

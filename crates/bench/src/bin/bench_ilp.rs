@@ -47,6 +47,10 @@ struct SolveRecord {
     /// `(objective − lb) / objective`. How much of the proof the static
     /// layer hands the branch-and-bound for free.
     root_bound_gap_at_node_zero: f64,
+    /// Same gap measured from the Lagrangian dual bound (critical path
+    /// vs. dualized resource area) — the bound `IlpStrategy` actually
+    /// injects. Never larger than `root_bound_gap_at_node_zero`.
+    lagrangian_root_bound_gap: f64,
 }
 
 /// The `sparcs_analyze` pre-solve facts for the same model, recorded so
@@ -60,6 +64,13 @@ struct StaticAnalysisRecord {
     partition_count_lb: u32,
     /// Certified lower bound on boundary memory words.
     memory_lb_words: u64,
+    /// The Lagrangian dual bound on `Σ d_p` (ns): max over the
+    /// critical-path fact and each dualized resource dimension's area
+    /// fact. `≥ critical_path_lb_ns` by construction.
+    lagrangian_lb_ns: u64,
+    /// Which fact binds the Lagrangian bound ("critical-path" or a
+    /// resource dimension name).
+    lagrangian_binding: &'static str,
     /// Partition bounds in `1..lo` the analyzer proves infeasible without
     /// solving — the specs `FlowSession::explore` would skip statically.
     static_prunes: Vec<u32>,
@@ -174,6 +185,12 @@ fn main() {
     )
     .expect("the DCT graph is a DAG");
     let cp_lb = analysis.objective_lb_ns;
+    let lagrange =
+        sparcs_multilevel::lower_bound(&dct.graph, &arch).expect("the DCT graph is a DAG");
+    assert!(
+        lagrange.bound_ns >= cp_lb,
+        "the Lagrangian bound must dominate the critical-path bound"
+    );
     let static_prunes: Vec<u32> = (1..lo)
         .filter(|&n| analysis.static_verdict(Some(n)).is_some())
         .collect();
@@ -181,11 +198,13 @@ fn main() {
         critical_path_lb_ns: cp_lb,
         partition_count_lb: analysis.partition_count_lb,
         memory_lb_words: analysis.memory_lb_words,
+        lagrangian_lb_ns: lagrange.bound_ns,
+        lagrangian_binding: lagrange.binding,
         static_prunes: static_prunes.clone(),
     };
     println!(
-        "static: Σd_p >= {cp_lb} ns, N >= {}, bounds {:?} pruned without solving",
-        analysis.partition_count_lb, static_prunes
+        "static: Σd_p >= {cp_lb} ns (lagrangian {} ns, {} binding), N >= {}, bounds {:?} pruned without solving",
+        lagrange.bound_ns, lagrange.binding, analysis.partition_count_lb, static_prunes
     );
 
     let mut records = Vec::new();
@@ -224,6 +243,12 @@ fn main() {
                         root_bound_gap_at_node_zero: if sol.objective > 0.0 {
                             // cast-ok: the certified bound is exact below 2^53
                             (sol.objective - cp_lb as f64) / sol.objective
+                        } else {
+                            0.0
+                        },
+                        lagrangian_root_bound_gap: if sol.objective > 0.0 {
+                            // cast-ok: the certified bound is exact below 2^53
+                            (sol.objective - lagrange.bound_ns as f64) / sol.objective
                         } else {
                             0.0
                         },

@@ -58,10 +58,45 @@ fn refined_list_never_ranks_behind_plain_list_on_the_pinned_dct() {
     }
 }
 
+/// The multilevel pipeline (coarsen / solve / uncoarsen) must keep pace
+/// with the strongest single-level chain on pinned graphs: never behind
+/// `list+kl` on the DCT model or on the pinned layered family. Both
+/// sides are deterministic, so the ranking is bit-stable in CI.
+#[test]
+fn multilevel_never_ranks_behind_refined_list_on_pinned_graphs() {
+    let (session, options) = dct_problem();
+    let kl = run(&session, &options, "list+kl");
+    let ml = run(&session, &options, "multilevel");
+    assert!(
+        ml.design.latency_ns <= kl.design.latency_ns,
+        "multilevel regressed on dct: {} ns > list+kl {} ns",
+        ml.design.latency_ns,
+        kl.design.latency_ns
+    );
+    assert!(ml.validate(MemoryMode::Net).is_empty());
+
+    let mut dev = Architecture::xc4044_wildforce();
+    dev.resources = sparcs::dfg::Resources::clbs(700);
+    for seed in [3u64, 11, 42] {
+        let g = sparcs::dfg::gen::layered(&sparcs::dfg::gen::LayeredConfig::default(), seed);
+        let session = FlowSession::new(g, dev.clone());
+        let options = PartitionOptions::default();
+        let kl = run(&session, &options, "list+kl");
+        let ml = run(&session, &options, "multilevel");
+        assert!(
+            ml.design.latency_ns <= kl.design.latency_ns,
+            "multilevel regressed on layered-{seed}: {} ns > list+kl {} ns",
+            ml.design.latency_ns,
+            kl.design.latency_ns
+        );
+        assert!(ml.validate(MemoryMode::Net).is_empty());
+    }
+}
+
 #[test]
 fn refinement_chains_are_deterministic_on_the_pinned_dct() {
     let (session, options) = dct_problem();
-    for spec in ["list+kl", "list+anneal"] {
+    for spec in ["list+kl", "list+anneal", "multilevel"] {
         let a = run(&session, &options, spec);
         let b = run(&session, &options, spec);
         assert_eq!(

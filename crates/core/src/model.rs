@@ -214,15 +214,33 @@ impl PartitionModel {
         for (ti, row) in self.y.iter().enumerate() {
             x[row[assignment[ti] as usize].index()] = 1.0;
         }
-        // Partition delays for the canonicalized assignment.
-        let canon = Partitioning::new(assignment.iter().map(|&p| PartitionId(p)).collect());
-        let delays = crate::delay::partition_delays(g, &canon).ok()?;
-        // `canon` is compacted; map its delays back onto raw labels.
-        let mut used: Vec<u32> = assignment.clone();
-        used.sort_unstable();
-        used.dedup();
-        for (di, &raw) in used.iter().enumerate() {
-            x[self.d[raw as usize].index()] = delays[di] as f64;
+        // Partition delays for the canonicalized assignment. The value must
+        // satisfy the model's delay rows, which depend on its delay mode:
+        // `ExactPaths` bounds `d_p` by in-partition critical paths, while
+        // the `PartitionSum` fallback (path budget exceeded) uses the
+        // coarser `d_p ≥ Σ_{t∈p} δ_t` — there the warm `d_p` must be the
+        // plain delay sum or the vector violates its own rows.
+        match self.delay_mode {
+            DelayMode::ExactPaths { .. } => {
+                let canon = Partitioning::new(assignment.iter().map(|&p| PartitionId(p)).collect());
+                let delays = crate::delay::partition_delays(g, &canon).ok()?;
+                // `canon` is compacted; map its delays back onto raw labels.
+                let mut used: Vec<u32> = assignment.clone();
+                used.sort_unstable();
+                used.dedup();
+                for (di, &raw) in used.iter().enumerate() {
+                    x[self.d[raw as usize].index()] = delays[di] as f64;
+                }
+            }
+            DelayMode::PartitionSum => {
+                let mut sums = vec![0u64; self.n as usize];
+                for (t, task) in g.tasks() {
+                    sums[assignment[t.index()] as usize] += task.delay_ns;
+                }
+                for (p, &sum) in sums.iter().enumerate() {
+                    x[self.d[p].index()] = sum as f64;
+                }
+            }
         }
         // Crossing indicators take their implied values.
         for cv in &self.cross {

@@ -110,6 +110,157 @@ pub fn layered(cfg: &LayeredConfig, seed: u64) -> TaskGraph {
     g
 }
 
+/// Parameters for [`scaled`]: layered generation with an *exact* task
+/// budget plus width/depth and resource-skew knobs, for the synthetic
+/// scale suite (graphs far beyond what the exact solver can touch).
+///
+/// Unlike [`LayeredConfig`], whose task count emerges from per-layer
+/// width rolls, a [`ScaledConfig`] hits `nodes` exactly: layer widths
+/// are jittered around `avg_width` and the final layer absorbs the
+/// remainder, so `scaled(&cfg, seed).task_count() == cfg.nodes` for
+/// every seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaledConfig {
+    /// Exact number of tasks to generate (≥ 1).
+    pub nodes: u32,
+    /// Average tasks per layer (≥ 1) — the width/depth knob: depth is
+    /// roughly `nodes / avg_width`.
+    pub avg_width: u32,
+    /// Relative per-layer width jitter in `[0, 1)`: each layer's width is
+    /// drawn from `avg_width · [1 − jitter, 1 + jitter]`.
+    pub width_jitter: f64,
+    /// Probability of an edge between a task and each task of the next
+    /// layer (every non-root task keeps at least one predecessor).
+    pub edge_prob: f64,
+    /// Inclusive range of task CLB costs.
+    pub clbs: (u64, u64),
+    /// Resource-skew knob: `0.0` draws CLB costs uniformly from `clbs`;
+    /// larger values bias the draw toward the low end with a heavy tail
+    /// of large tasks (the draw is `lo + (hi − lo) · u^(1 + skew)` for
+    /// uniform `u`), the shape that stresses bin packing.
+    pub skew: f64,
+    /// Inclusive range of task delays in nanoseconds.
+    pub delay_ns: (u64, u64),
+    /// Inclusive range of per-edge word counts.
+    pub words: (u64, u64),
+}
+
+impl ScaledConfig {
+    /// A preset with `nodes` tasks: moderately wide layers (width ≈
+    /// `√nodes`, so depth ≈ width), mild skew — the default shape of the
+    /// synthetic scale suite.
+    pub fn preset(nodes: u32) -> Self {
+        // Integer square root for a deterministic width choice.
+        let mut w = 1u32;
+        while (w + 1).saturating_mul(w + 1) <= nodes {
+            w += 1;
+        }
+        ScaledConfig {
+            nodes,
+            avg_width: w.max(1),
+            width_jitter: 0.5,
+            edge_prob: 0.12,
+            clbs: (20, 300),
+            skew: 1.0,
+            delay_ns: (50, 800),
+            words: (1, 16),
+        }
+    }
+
+    /// The 10k-node member of the scale suite.
+    pub fn preset_10k() -> Self {
+        Self::preset(10_000)
+    }
+}
+
+/// Generates a layered random DAG with an exact task count and skewed
+/// resources (see [`ScaledConfig`]). Deterministic for a given
+/// `(cfg, seed)` pair; every non-root-layer task keeps at least one
+/// predecessor in the previous layer, and environment I/O covers the
+/// roots and leaves like [`layered`].
+///
+/// # Panics
+///
+/// Panics if `cfg` is degenerate (`nodes == 0`, `avg_width == 0`, an
+/// inverted range, or `width_jitter`/`skew` outside their documented
+/// domains).
+pub fn scaled(cfg: &ScaledConfig, seed: u64) -> TaskGraph {
+    assert!(cfg.nodes >= 1, "need at least one task");
+    assert!(cfg.avg_width >= 1, "need at least one task per layer");
+    assert!(
+        (0.0..1.0).contains(&cfg.width_jitter),
+        "width_jitter must be in [0, 1)"
+    );
+    assert!(cfg.skew >= 0.0, "skew must be nonnegative");
+    assert!(cfg.clbs.0 <= cfg.clbs.1, "clb range inverted");
+    assert!(cfg.delay_ns.0 <= cfg.delay_ns.1, "delay range inverted");
+    assert!(cfg.words.0 <= cfg.words.1, "word range inverted");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = TaskGraph::new(format!("scaled-{}-{seed}", cfg.nodes));
+    let skewed_clbs = |rng: &mut StdRng| -> u64 {
+        let (lo, hi) = cfg.clbs;
+        if lo == hi {
+            return lo;
+        }
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let shaped = u.powf(1.0 + cfg.skew);
+        lo + ((hi - lo) as f64 * shaped).round() as u64
+    };
+    let mut remaining = cfg.nodes;
+    let mut prev_layer: Vec<TaskId> = Vec::new();
+    let mut layer = 0u32;
+    while remaining > 0 {
+        let jitter = cfg.avg_width as f64 * cfg.width_jitter;
+        let lo = ((cfg.avg_width as f64 - jitter).floor() as u32).max(1);
+        let hi = ((cfg.avg_width as f64 + jitter).ceil() as u32).max(lo);
+        let width = rng.gen_range(lo..=hi).min(remaining);
+        let mut this_layer = Vec::with_capacity(width as usize);
+        for i in 0..width {
+            let t = g.add_task(
+                format!("S{layer}_{i}"),
+                Resources::clbs(skewed_clbs(&mut rng)),
+                rng.gen_range(cfg.delay_ns.0..=cfg.delay_ns.1),
+                rng.gen_range(cfg.words.0..=cfg.words.1),
+            );
+            this_layer.push(t);
+        }
+        if !prev_layer.is_empty() {
+            for &dst in &this_layer {
+                let mut connected = false;
+                for &src in &prev_layer {
+                    if rng.gen_bool(cfg.edge_prob) {
+                        let w = rng.gen_range(cfg.words.0..=cfg.words.1);
+                        g.add_edge(src, dst, w).expect("layered edges are acyclic");
+                        connected = true;
+                    }
+                }
+                if !connected {
+                    let src = prev_layer[rng.gen_range(0..prev_layer.len())];
+                    let w = rng.gen_range(cfg.words.0..=cfg.words.1);
+                    g.add_edge(src, dst, w).expect("layered edges are acyclic");
+                }
+            }
+        }
+        remaining -= width;
+        prev_layer = this_layer;
+        layer += 1;
+    }
+    let roots = g.roots();
+    let leaves = g.leaves();
+    for (i, &r) in roots.iter().enumerate() {
+        let words = g.task(r).output_words.max(1);
+        g.add_env_input(format!("in{i}"), words, [r])
+            .expect("roots are valid tasks");
+    }
+    for (i, &l) in leaves.iter().enumerate() {
+        let words = g.task(l).output_words.max(1);
+        g.add_env_output(format!("out{i}"), words, [l])
+            .expect("leaves are valid tasks");
+    }
+    g
+}
+
 /// A linear chain of `n` identical tasks — the simplest pipeline.
 pub fn chain(n: u32, clbs: u64, delay_ns: u64, words: u64) -> TaskGraph {
     let mut g = TaskGraph::new(format!("chain-{n}"));
@@ -196,6 +347,61 @@ mod tests {
     #[test]
     fn layered_env_ports_cover_roots_and_leaves() {
         let g = layered(&LayeredConfig::default(), 11);
+        assert_eq!(g.env_inputs().count(), g.roots().len());
+        assert_eq!(g.env_outputs().count(), g.leaves().len());
+    }
+
+    #[test]
+    fn scaled_hits_the_exact_node_budget() {
+        for nodes in [1u32, 7, 40, 500] {
+            let cfg = ScaledConfig::preset(nodes);
+            for seed in 0..3 {
+                let g = scaled(&cfg, seed);
+                g.validate().unwrap();
+                assert_eq!(g.task_count(), nodes as usize, "nodes {nodes} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_is_deterministic_per_seed() {
+        let cfg = ScaledConfig::preset(120);
+        assert_eq!(scaled(&cfg, 9), scaled(&cfg, 9));
+        assert_ne!(scaled(&cfg, 9), scaled(&cfg, 10));
+    }
+
+    #[test]
+    fn scaled_depth_follows_the_width_knob() {
+        // Wider layers → shallower graph, for the same node budget.
+        let mut wide = ScaledConfig::preset(300);
+        wide.avg_width = 60;
+        wide.width_jitter = 0.0;
+        let mut deep = wide.clone();
+        deep.avg_width = 10;
+        let dw = algo::levels(&scaled(&wide, 5)).unwrap().depth;
+        let dd = algo::levels(&scaled(&deep, 5)).unwrap().depth;
+        assert!(dw < dd, "wide depth {dw} must be below deep depth {dd}");
+    }
+
+    #[test]
+    fn scaled_skew_biases_resources_low_with_a_heavy_tail() {
+        let mut uniform = ScaledConfig::preset(400);
+        uniform.skew = 0.0;
+        let mut skewed = uniform.clone();
+        skewed.skew = 3.0;
+        let mean = |g: &TaskGraph| {
+            g.tasks().map(|(_, t)| t.resources.clbs).sum::<u64>() / g.task_count() as u64
+        };
+        let (gu, gs) = (scaled(&uniform, 2), scaled(&skewed, 2));
+        assert!(mean(&gs) < mean(&gu), "skew must pull the mean down");
+        // The tail survives: the skewed draw still reaches the top decile.
+        let hi = uniform.clbs.0 + (uniform.clbs.1 - uniform.clbs.0) * 9 / 10;
+        assert!(gs.tasks().any(|(_, t)| t.resources.clbs >= hi));
+    }
+
+    #[test]
+    fn scaled_env_ports_cover_roots_and_leaves() {
+        let g = scaled(&ScaledConfig::preset(64), 11);
         assert_eq!(g.env_inputs().count(), g.roots().len());
         assert_eq!(g.env_outputs().count(), g.leaves().len());
     }

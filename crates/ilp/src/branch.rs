@@ -171,6 +171,26 @@ impl Default for SolveOptions {
     }
 }
 
+impl SolveOptions {
+    /// Installs `bound` as the root bound unless an at-least-as-tight one
+    /// is already set — the plumbing every static-bound producer (the
+    /// analyzer's certified critical path, the Lagrangian relaxation)
+    /// goes through, so independently derived bounds *compose*: the
+    /// branch-and-bound always sees the tightest proven one.
+    ///
+    /// `bound` must be a proven *lower* bound on a minimization
+    /// objective (tighter = larger, which is what the keep-the-max rule
+    /// implements); maximization models manage [`Self::root_bound`]
+    /// directly. Soundness remains the caller's contract, exactly as
+    /// documented on [`Self::root_bound`].
+    pub fn tighten_root_bound(&mut self, bound: f64) {
+        match self.root_bound {
+            Some(existing) if existing >= bound => {}
+            _ => self.root_bound = Some(bound),
+        }
+    }
+}
+
 /// Final status of a successful solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {

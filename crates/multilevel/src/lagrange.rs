@@ -1,0 +1,234 @@
+//! Lagrangian lower bound on the temporal-partitioning objective.
+//!
+//! The §3 ILP minimises `N·CT + Σ_p d_p` where `d_p` is the partition-masked
+//! critical-path delay of slot `p`. This module bounds `Σ_p d_p` from below
+//! by dualizing the per-partition resource-capacity constraints (the paper's
+//! Eq. 6, `Σ_{t∈p} R(t) ≤ R_max`) and solving the dual *exactly* in closed
+//! form — no subgradient iteration, no tolerance.
+//!
+//! # Derivation
+//!
+//! Two facts hold for every feasible partitioning:
+//!
+//! 1. **Path fact.** For any root→leaf path `P`, the masked delays satisfy
+//!    `Σ_p d_p ≥ Σ_p Σ_{t∈P∩p} δ_t = Σ_{t∈P} δ_t`, so `Σ_p d_p` is at least
+//!    the graph's critical-path delay.
+//! 2. **Area fact.** `d_p ≥ max_{t∈p} δ_t` (every task lies on some
+//!    root→leaf path). Fix a resource dimension `k` with capacity `R_k > 0`.
+//!    Because Eq. 6 forces `Σ_{t∈p} r_{t,k} ≤ R_k`, the weights
+//!    `r_{t,k}/R_k` form a sub-probability distribution over each
+//!    partition, hence
+//!    `d_p ≥ max_{t∈p} δ_t ≥ Σ_{t∈p} (r_{t,k}/R_k)·δ_t`, and summing over
+//!    partitions: `Σ_p d_p ≥ (Σ_t r_{t,k}·δ_t)/R_k`. The objective is an
+//!    integer number of nanoseconds, so the ceiling is still a bound.
+//!
+//! The area fact is exactly the Lagrangian dual of Eq. 6 restricted to the
+//! price family `μ_t = (r_{t,k}/R_k)·δ_t`: relaxing the capacity
+//! constraints with multipliers `λ_k ≥ 0` scaled so `Σ_k λ_k R_k ≤ 1`
+//! leaves a dual function that is *linear* in `λ`, so its maximum sits at a
+//! vertex of the simplex — i.e. at a single dimension `k`. Evaluating every
+//! dimension and taking the best therefore solves this dual family exactly;
+//! the critical path is the `λ = 0` vertex. [`lower_bound`] returns the
+//! max of both facts.
+
+use sparcs_dfg::{algo, GraphError, Resources, TaskGraph};
+use sparcs_estimate::Architecture;
+
+/// A certified lower bound on `Σ_p d_p` (sum of partition delays, ns) for
+/// *every* feasible partitioning of a graph on an architecture, together
+/// with the terms that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LagrangeBound {
+    /// Critical-path delay of the graph (the `λ = 0` dual vertex).
+    pub critical_path_ns: u64,
+    /// Best per-dimension area bound `⌈Σ_t r_{t,k}·δ_t / R_k⌉`.
+    pub area_ns: u64,
+    /// `max(critical_path_ns, area_ns)` — the bound to use.
+    pub bound_ns: u64,
+    /// Which term is binding: the resource dimension name, or
+    /// `"critical-path"` when the path fact dominates every dimension.
+    pub binding: &'static str,
+}
+
+impl LagrangeBound {
+    /// The bound as a minimization `root_bound` for the ILP objective
+    /// `N·CT + Σ_p d_p`, given a partition count floor `min_partitions`.
+    pub fn objective_bound_ns(&self, min_partitions: u64, reconfig_time_ns: u64) -> u64 {
+        min_partitions
+            .saturating_mul(reconfig_time_ns)
+            .saturating_add(self.bound_ns)
+    }
+}
+
+/// A named accessor for one resource dimension.
+type Dimension = (&'static str, fn(&Resources) -> u64);
+
+/// Resource dimensions addressed uniformly: `(name, accessor)`.
+const DIMENSIONS: [Dimension; 4] = [
+    ("clbs", |r| r.clbs),
+    ("flip_flops", |r| r.flip_flops),
+    ("mult_blocks", |r| r.mult_blocks),
+    ("bram_words", |r| r.bram_words),
+];
+
+/// Computes the Lagrangian lower bound on `Σ_p d_p` for `g` on `arch`.
+///
+/// Sound for every feasible partitioning (see the module docs for the
+/// derivation); dimensions with zero capacity are skipped — a task
+/// demanding such a dimension makes the instance infeasible outright,
+/// which is the solver's diagnosis to make, not the bound's.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if `g` is not a DAG.
+pub fn lower_bound(g: &TaskGraph, arch: &Architecture) -> Result<LagrangeBound, GraphError> {
+    let critical_path_ns = algo::critical_path(g)?.map_or(0, |p| p.delay_ns);
+    let mut area_ns = 0u64;
+    let mut binding = "critical-path";
+    for (name, dim) in DIMENSIONS {
+        let cap = dim(&arch.resources);
+        if cap == 0 {
+            continue;
+        }
+        // Σ_t r_{t,k}·δ_t in u128: each product is ≤ 2^128 and the number
+        // of tasks is far below the remaining headroom.
+        let weighted: u128 = g
+            .tasks()
+            .map(|(_, t)| u128::from(dim(&t.resources)) * u128::from(t.delay_ns))
+            .sum();
+        let bound = u64::try_from(weighted.div_ceil(u128::from(cap))).unwrap_or(u64::MAX);
+        if bound > area_ns {
+            area_ns = bound;
+            binding = name;
+        }
+    }
+    let bound_ns = critical_path_ns.max(area_ns);
+    if critical_path_ns >= area_ns {
+        binding = "critical-path";
+    }
+    Ok(LagrangeBound {
+        critical_path_ns,
+        area_ns,
+        bound_ns,
+        binding,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcs_dfg::Resources;
+    use sparcs_estimate::Architecture;
+
+    fn device(clbs: u64) -> Architecture {
+        Architecture {
+            name: "test".into(),
+            resources: Resources {
+                clbs,
+                flip_flops: 0,
+                mult_blocks: 0,
+                bram_words: 0,
+            },
+            memory_words: 1_000_000,
+            memory_word_bits: 16,
+            reconfig_time_ns: 1_000,
+            transfer_ns_per_word: 1,
+        }
+    }
+
+    fn chain(delays: &[(u64, u64)]) -> TaskGraph {
+        // (clbs, delay) pairs in a dependency chain.
+        let mut g = TaskGraph::new("chain");
+        let mut prev = None;
+        for (i, &(clbs, delay)) in delays.iter().enumerate() {
+            let t = g.add_task(
+                format!("t{i}"),
+                Resources {
+                    clbs,
+                    ..Resources::default()
+                },
+                delay,
+                1,
+            );
+            if let Some(p) = prev {
+                g.add_edge(p, t, 1).expect("chain edge");
+            }
+            prev = Some(t);
+        }
+        g
+    }
+
+    #[test]
+    fn critical_path_dominates_when_the_device_is_roomy() {
+        let g = chain(&[(10, 100), (10, 200), (10, 300)]);
+        let b = lower_bound(&g, &device(10_000)).expect("bound");
+        assert_eq!(b.critical_path_ns, 600);
+        assert_eq!(b.bound_ns, 600);
+        assert_eq!(b.binding, "critical-path");
+    }
+
+    #[test]
+    fn area_dominates_on_a_packed_device() {
+        // Two parallel tasks, each 600 of 1000 CLBs, delay 100: critical
+        // path is 100, but they cannot share a partition, so Σ d_p ≥ 200.
+        // Area bound: ⌈(600·100 + 600·100)/1000⌉ = 120 — sound (≤ 200)
+        // and strictly better than the path bound.
+        let mut g = TaskGraph::new("parallel");
+        g.add_task(
+            "a",
+            Resources {
+                clbs: 600,
+                ..Resources::default()
+            },
+            100,
+            1,
+        );
+        g.add_task(
+            "b",
+            Resources {
+                clbs: 600,
+                ..Resources::default()
+            },
+            100,
+            1,
+        );
+        let b = lower_bound(&g, &device(1_000)).expect("bound");
+        assert_eq!(b.critical_path_ns, 100);
+        assert_eq!(b.area_ns, 120);
+        assert_eq!(b.bound_ns, 120);
+        assert_eq!(b.binding, "clbs");
+    }
+
+    #[test]
+    fn zero_capacity_dimensions_are_skipped() {
+        // flip_flops demand with zero capacity must not divide by zero or
+        // poison the bound.
+        let mut g = TaskGraph::new("ff");
+        g.add_task(
+            "a",
+            Resources {
+                clbs: 10,
+                flip_flops: 64,
+                ..Resources::default()
+            },
+            100,
+            1,
+        );
+        let b = lower_bound(&g, &device(100)).expect("bound");
+        assert_eq!(b.bound_ns, 100);
+    }
+
+    #[test]
+    fn empty_graph_bounds_at_zero() {
+        let g = TaskGraph::new("empty");
+        let b = lower_bound(&g, &device(100)).expect("bound");
+        assert_eq!(b.bound_ns, 0);
+    }
+
+    #[test]
+    fn objective_bound_adds_the_reconfiguration_floor() {
+        let g = chain(&[(10, 100)]);
+        let b = lower_bound(&g, &device(100)).expect("bound");
+        assert_eq!(b.objective_bound_ns(3, 1_000), 3_100);
+    }
+}

@@ -155,7 +155,7 @@ fn usage() -> &'static str {
      options: --clbs N  --memory WORDS  --ct NS  --dm NS  --pow2  --edge-memory\n\
               --inputs I  --workload N[,N...] (explore ranks every entry)\n\
               --strategy fdh|idh\n\
-              --partitioner SPEC (ilp | list | memlist [+kl|+anneal ...] | portfolio)\n\
+              --partitioner SPEC (ilp | list | memlist | multilevel [+kl|+anneal|+fm ...] | portfolio)\n\
               --budget-ms N (search deadline; cooperative partitioners return\n\
                              their best feasible design when it passes)\n\
               --seq static|fdh|idh  --synthetic (run: generated stream, counted sink)\n\

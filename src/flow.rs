@@ -251,6 +251,19 @@ impl From<HostError> for FlowError {
     }
 }
 
+impl From<sparcs_multilevel::MultilevelError> for FlowError {
+    fn from(e: sparcs_multilevel::MultilevelError) -> Self {
+        use sparcs_multilevel::MultilevelError;
+        match e {
+            MultilevelError::Graph(g) => FlowError::Graph(g),
+            MultilevelError::TaskTooLarge(t) => {
+                FlowError::Partition(PartitionError::TaskTooLarge(t))
+            }
+            MultilevelError::Infeasible { violations } => FlowError::Infeasible(violations),
+        }
+    }
+}
+
 /// The immutable inputs every stage reads: the behavior task graph and the
 /// target board.
 #[derive(Debug, Clone)]
@@ -448,7 +461,18 @@ impl PartitionStrategy for IlpStrategy {
         ctx: &DesignContext,
         search: &SearchCtx,
     ) -> Result<PartitionedDesign, FlowError> {
-        Ok(IlpPartitioner::new(ctx.arch.clone(), self.options.clone())
+        let mut options = self.options.clone();
+        // Architecture in hand, the Lagrangian dual bound (critical path
+        // vs. dualized resource area — never looser than the analyzer's
+        // pure critical-path bound) can prune the branch-and-bound from
+        // the root. A pure function of `(graph, arch)`, so cache keys and
+        // rankings stay deterministic; an explicitly pinned tighter bound
+        // survives untouched.
+        let lb = sparcs_multilevel::lower_bound(&ctx.graph, &ctx.arch)?;
+        // u64 ns → f64 objective space; delay sums stay far below 2^53 ns,
+        // so the conversion is exact.
+        options.solve.tighten_root_bound(lb.bound_ns as f64);
+        Ok(IlpPartitioner::new(ctx.arch.clone(), options)
             .partition_with_search(&ctx.graph, search)?)
     }
 

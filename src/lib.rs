@@ -49,6 +49,7 @@ pub use sparcs_estimate as estimate;
 pub use sparcs_hls as hls;
 pub use sparcs_ilp as ilp;
 pub use sparcs_jpeg as jpeg;
+pub use sparcs_multilevel as multilevel;
 pub use sparcs_rtr as rtr;
 
 pub mod cache;

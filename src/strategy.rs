@@ -18,9 +18,13 @@
 //!   thread pool, cancel the losers the moment a decisive racer proves
 //!   optimality or the deadline passes, and pick the winner by a
 //!   deterministic `(cost, name, position)` order.
+//! * [`MultilevelStrategy`] — the coarsen/solve/uncoarsen pipeline from
+//!   [`sparcs_multilevel`] as a raceable seed: exact at the coarsest
+//!   level, gain-sequence refinement on the way back up, never worse
+//!   than plain `list`.
 //! * [`parse_spec`] — the CLI-facing spec grammar
-//!   (`seed[+pass…]` over `ilp | list | memlist` with passes
-//!   `kl | anneal`, plus the standalone `portfolio`).
+//!   (`seed[+pass…]` over `ilp | list | memlist | multilevel` with
+//!   passes `kl | anneal | fm`, plus the standalone `portfolio`).
 //!
 //! Budgets and cancellation thread through everything via [`SearchCtx`]:
 //! a `Portfolio` hands each racer a child token of its own context, so an
@@ -35,9 +39,10 @@ use scoped_threadpool::scoped_map;
 use sparcs_core::list::partition_list_memory_aware;
 use sparcs_core::model::DelayMode;
 use sparcs_core::partitioning::{MemoryMode, Partitioning};
-use sparcs_core::refine::{anneal_refine, kl_refine, AnnealSchedule};
+use sparcs_core::refine::{anneal_refine, kl_refine, kl_refine_gains, AnnealSchedule, GainConfig};
 use sparcs_core::search::SearchCtx;
 use sparcs_core::{PartitionOptions, PartitionedDesign};
+use sparcs_multilevel::{partition_multilevel, MultilevelConfig};
 
 /// An iterative improvement pass over a seed partitioning. Implementations
 /// must preserve feasibility (precedence + resources + memory, as checked
@@ -75,11 +80,25 @@ pub trait Refinement: Send + Sync {
 
 /// The Kernighan–Lin-style move/swap refinement pass
 /// ([`sparcs_core::refine::kl_refine`]) behind the [`Refinement`] trait.
+///
+/// With `gain_sequence` set (the default), the steepest-descent pass is
+/// followed by the true gain-sequence chain search
+/// ([`sparcs_core::refine::kl_refine_gains`]): descent stops at the first
+/// round with no strictly improving single move, and the chain search
+/// then walks *through* zero-gain plateaus via tentative move sequences
+/// with best-prefix commit — the fix for the `kl_gap_closed ≈ 0` plateau
+/// the DCT packing exposed. `gain_sequence: false` is the pre-fix
+/// steepest-descent-only behavior, kept as the executable reference the
+/// proptests compare against.
 #[derive(Debug, Clone)]
 pub struct KlRefiner {
     /// Maximum steepest-descent rounds (each applies the single best
     /// improving move or swap).
     pub max_rounds: usize,
+    /// Follow descent with the gain-sequence chain search.
+    pub gain_sequence: bool,
+    /// Gain-sequence knobs (chain length, scan caps) when enabled.
+    pub gain_config: GainConfig,
     /// Memory mode used when checking candidate feasibility.
     pub memory_mode: MemoryMode,
 }
@@ -88,6 +107,8 @@ impl Default for KlRefiner {
     fn default() -> Self {
         KlRefiner {
             max_rounds: 64,
+            gain_sequence: true,
+            gain_config: GainConfig::default(),
             memory_mode: MemoryMode::Net,
         }
     }
@@ -108,12 +129,65 @@ impl Refinement for KlRefiner {
         ctx: &DesignContext,
         search: &SearchCtx,
     ) -> Result<Partitioning, FlowError> {
-        Ok(kl_refine(
+        let descended = kl_refine(
             &ctx.graph,
             &ctx.arch,
             self.memory_mode,
             seed,
             self.max_rounds,
+            search,
+        )?;
+        if !self.gain_sequence {
+            return Ok(descended);
+        }
+        Ok(kl_refine_gains(
+            &ctx.graph,
+            &ctx.arch,
+            self.memory_mode,
+            &descended,
+            &self.gain_config,
+            search,
+        )?)
+    }
+
+    fn memory_mode(&self) -> MemoryMode {
+        self.memory_mode
+    }
+}
+
+/// The pure gain-sequence (Fiduccia–Mattheyses-style) refinement pass
+/// ([`sparcs_core::refine::kl_refine_gains`]) behind the [`Refinement`]
+/// trait: tentative move chains through zero-gain (and temporarily
+/// infeasible) states, best-prefix commit. Spec name `fm`.
+#[derive(Debug, Clone, Default)]
+pub struct GainRefiner {
+    /// Chain length, pass count and scan caps.
+    pub config: GainConfig,
+    /// Memory mode used when checking candidate feasibility.
+    pub memory_mode: MemoryMode,
+}
+
+impl Refinement for GainRefiner {
+    fn name(&self) -> &'static str {
+        "fm"
+    }
+
+    fn config_key(&self) -> String {
+        format!("{self:?}")
+    }
+
+    fn refine(
+        &self,
+        seed: &Partitioning,
+        ctx: &DesignContext,
+        search: &SearchCtx,
+    ) -> Result<Partitioning, FlowError> {
+        Ok(kl_refine_gains(
+            &ctx.graph,
+            &ctx.arch,
+            self.memory_mode,
+            seed,
+            &self.config,
             search,
         )?)
     }
@@ -286,6 +360,74 @@ impl SimpleStrategy for MemoryAwareListStrategy {
     }
 }
 
+/// The multilevel coarsen/solve/uncoarsen pipeline
+/// ([`sparcs_multilevel::partition_multilevel`]) behind the strategy
+/// trait: heavy-edge coarsening to a size the exact ILP can handle, exact
+/// (or memory-aware list) solve at the coarsest level, then projection
+/// down the tower with gain-sequence refinement at every level — the
+/// scalable seed for graphs far beyond the exact solver's reach. Spec
+/// name `multilevel`.
+#[derive(Debug, Clone, Default)]
+pub struct MultilevelStrategy {
+    /// Coarsening, refinement and exactness-gate knobs.
+    pub config: MultilevelConfig,
+    /// Options for the coarsest-level exact solve (budgets, memory mode,
+    /// warm starts). `options.model.memory_mode` should agree with
+    /// `config.memory_mode`; [`parse_spec`] keeps them in sync.
+    pub options: PartitionOptions,
+}
+
+impl MultilevelStrategy {
+    /// A multilevel strategy whose feasibility checks (and coarsest ILP)
+    /// follow `options.model.memory_mode`.
+    pub fn with_options(options: PartitionOptions) -> Self {
+        MultilevelStrategy {
+            config: MultilevelConfig {
+                memory_mode: options.model.memory_mode,
+                ..MultilevelConfig::default()
+            },
+            options,
+        }
+    }
+}
+
+impl PartitionStrategy for MultilevelStrategy {
+    fn name(&self) -> String {
+        "multilevel".into()
+    }
+
+    fn partition(
+        &self,
+        ctx: &DesignContext,
+        search: &SearchCtx,
+    ) -> Result<PartitionedDesign, FlowError> {
+        let outcome =
+            partition_multilevel(&ctx.graph, &ctx.arch, &self.config, &self.options, search)?;
+        let mut design = design_from_partitioning(ctx, outcome.partitioning)?;
+        design.stats.proven_optimal = outcome.proven_optimal;
+        design.stats.cancelled = outcome.cancelled;
+        Ok(design)
+    }
+
+    fn config_key(&self) -> Option<String> {
+        // Same rule as the exact strategy: a deadline or cancel token in
+        // the solver options makes the outcome budget-dependent — never
+        // memoize such a run.
+        if self.options.solve.deadline.is_some() || self.options.solve.cancel.is_some() {
+            return None;
+        }
+        Some(format!("{:?}\u{1f}{:?}", self.config, self.options))
+    }
+
+    fn memory_mode(&self) -> MemoryMode {
+        self.config.memory_mode
+    }
+
+    // No `partition_cap` override: the heuristic fallback and the final
+    // guard do not enforce `options.max_partitions`, so the honest cap is
+    // the default "uncapped".
+}
+
 /// One racer of a [`Portfolio`].
 pub struct PortfolioEntry {
     /// The strategy this racer runs.
@@ -372,7 +514,7 @@ impl Portfolio {
         let memory_mode = options.model.memory_mode;
         let mut portfolio = Self::new(vec![
             PortfolioEntry::decisive(Box::new(IlpStrategy::at_bound_offset(options.clone(), 0))),
-            PortfolioEntry::racer(Box::new(IlpStrategy::from_bound_offset(options, 1))),
+            PortfolioEntry::racer(Box::new(IlpStrategy::from_bound_offset(options.clone(), 1))),
             PortfolioEntry::racer(Box::new(Seeded::new(
                 Box::new(ListStrategy::new()),
                 vec![Box::new(KlRefiner {
@@ -387,6 +529,7 @@ impl Portfolio {
                     ..AnnealRefiner::default()
                 })],
             ))),
+            PortfolioEntry::racer(Box::new(MultilevelStrategy::with_options(options))),
         ]);
         portfolio.memory_mode = memory_mode;
         portfolio
@@ -469,9 +612,11 @@ impl PartitionStrategy for Portfolio {
 ///
 /// Grammar: `portfolio` (the [`Portfolio::standard`] race), or
 /// `<seed>[+<pass>…]` with seeds `ilp` (exact, configured by `options`),
-/// `list` (the §4 strawman) and `memlist` (memory-aware list), and passes
-/// `kl` (move/swap descent) and `anneal` (simulated annealing). Examples:
-/// `"ilp"`, `"list+kl"`, `"memlist+kl+anneal"`. The memory accounting of
+/// `list` (the §4 strawman), `memlist` (memory-aware list) and
+/// `multilevel` (coarsen/solve/uncoarsen), and passes `kl` (move/swap
+/// descent plus gain-sequence chains), `anneal` (simulated annealing) and
+/// `fm` (pure gain-sequence chains). Examples: `"ilp"`, `"list+kl"`,
+/// `"multilevel+fm"`, `"memlist+kl+anneal"`. The memory accounting of
 /// every produced piece — the memlist packer, the refiners' feasibility
 /// checks, the portfolio's validation — follows
 /// `options.model.memory_mode`, so `--edge-memory` applies to the whole
@@ -495,10 +640,11 @@ pub fn parse_spec(
         "ilp" => Box::new(IlpStrategy::with_options(options.clone())),
         "list" => Box::new(ListStrategy::new()),
         "memlist" => Box::new(MemoryAwareListStrategy { memory_mode }),
+        "multilevel" => Box::new(MultilevelStrategy::with_options(options.clone())),
         other => {
             return Err(FlowError::Spec(format!(
                 "unknown seed strategy {other:?} in spec {spec:?} \
-                 (expected ilp, list, memlist, or portfolio)"
+                 (expected ilp, list, memlist, multilevel, or portfolio)"
             )))
         }
     };
@@ -513,10 +659,14 @@ pub fn parse_spec(
                 memory_mode,
                 ..AnnealRefiner::default()
             }),
+            "fm" => Box::new(GainRefiner {
+                memory_mode,
+                ..GainRefiner::default()
+            }),
             other => {
                 return Err(FlowError::Spec(format!(
                     "unknown refinement pass {other:?} in spec {spec:?} \
-                     (expected kl or anneal)"
+                     (expected kl, anneal, or fm)"
                 )))
             }
         });
@@ -529,7 +679,8 @@ pub fn parse_spec(
 }
 
 /// The specs [`parse_spec`] understands, for usage text and docs.
-pub const SPEC_GRAMMAR: &str = "ilp | list | memlist [+kl|+anneal ...] | portfolio";
+pub const SPEC_GRAMMAR: &str =
+    "ilp | list | memlist | multilevel [+kl|+anneal|+fm ...] | portfolio";
 
 #[cfg(test)]
 mod tests {
@@ -552,6 +703,9 @@ mod tests {
             ("list+kl", "list+kl"),
             ("list+anneal", "list+anneal"),
             ("memlist+kl+anneal", "memlist+kl+anneal"),
+            ("multilevel", "multilevel"),
+            ("multilevel+fm", "multilevel+fm"),
+            ("list+fm", "list+fm"),
             ("portfolio", "portfolio"),
         ] {
             let strategy = parse_spec(spec, &options).expect(spec);
@@ -580,7 +734,7 @@ mod tests {
         // The whole chain — packer and refiners — must inherit the mode
         // (visible through the rendered config keys), so `--edge-memory`
         // is never silently dropped by a composed spec.
-        for spec in ["memlist", "list+kl", "list+anneal"] {
+        for spec in ["memlist", "list+kl", "list+anneal", "multilevel", "list+fm"] {
             let key = parse_spec(spec, &edge).unwrap().config_key().unwrap();
             assert!(key.contains("Edge"), "{spec} key ignores the mode: {key}");
         }
@@ -705,6 +859,22 @@ mod tests {
         );
         let exact = s.partition_with(&IlpStrategy::new()).unwrap();
         assert_eq!(stage.design.latency_ns, exact.design.latency_ns);
+    }
+
+    #[test]
+    fn multilevel_matches_the_exact_optimum_on_the_paper_example() {
+        // The Fig. 4 graph is below the coarsening floor, so the pipeline
+        // degenerates to the exact solve on the original graph — the
+        // optimality proof must survive the trip through the subsystem.
+        let s = session();
+        let options = PartitionOptions::default();
+        let ml = s
+            .partition_with(parse_spec("multilevel", &options).unwrap().as_ref())
+            .unwrap();
+        let exact = s.partition_with(&IlpStrategy::new()).unwrap();
+        assert_eq!(ml.design.latency_ns, exact.design.latency_ns);
+        assert!(ml.validate(MemoryMode::Net).is_empty());
+        assert!(ml.design.stats.proven_optimal);
     }
 
     #[test]
